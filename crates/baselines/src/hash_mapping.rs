@@ -1,0 +1,172 @@
+//! Hash-based mapping: every node placed independently by pathname hash.
+
+use d2tree_namespace::{NamespaceTree, Popularity};
+use d2tree_core::Partitioner;
+use d2tree_metrics::{Assignment, ClusterSpec, MdsId, Migration, Placement};
+
+use crate::keys::stable_hash;
+
+/// Static hash-based mapping (Sec. II; CalvinFS \[9\], Giga+ \[15\]):
+/// hash the full pathname, take it modulo the cluster size.
+///
+/// Balance is essentially perfect and nothing ever migrates, but a
+/// pathname traversal visits a fresh random server at almost every step —
+/// the worst-case locality the paper contrasts against. The scheme also
+/// exposes the rename problem: [`rename_rehash_count`] counts how many
+/// nodes would rehash when a directory is renamed.
+///
+/// [`rename_rehash_count`]: HashMapping::rename_rehash_count
+#[derive(Debug)]
+pub struct HashMapping {
+    seed: u64,
+    placement: Option<Placement>,
+}
+
+impl HashMapping {
+    /// Creates the scheme.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        HashMapping { seed, placement: None }
+    }
+
+    fn owner(&self, path: &str, m: usize) -> MdsId {
+        MdsId(((stable_hash(path.as_bytes()) ^ self.seed) % m as u64) as u16)
+    }
+
+    /// How many nodes change servers if the subtree at `root` is renamed:
+    /// every descendant's pathname (and hence hash) changes, so in
+    /// expectation `(M−1)/M` of the subtree migrates. This is the
+    /// "considerable rehashing overhead" of Sec. II.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`Partitioner::build`].
+    #[must_use]
+    pub fn rename_rehash_count(
+        &self,
+        tree: &NamespaceTree,
+        root: d2tree_namespace::NodeId,
+        new_name: &str,
+    ) -> usize {
+        let placement = self.placement.as_ref().expect("HashMapping used before build");
+        let m = placement.cluster_size();
+        let old_prefix = tree.path_of(root).to_string();
+        let new_prefix = match tree.path_of(root).parent() {
+            Some(parent) => format!("{parent}/{new_name}").replace("//", "/"),
+            None => return 0,
+        };
+        tree.descendants(root)
+            .filter(|&id| {
+                let old_path = tree.path_of(id).to_string();
+                let new_path = format!("{new_prefix}{}", &old_path[old_prefix.len()..]);
+                self.owner(&old_path, m) != self.owner(&new_path, m)
+            })
+            .count()
+    }
+}
+
+impl Partitioner for HashMapping {
+    fn name(&self) -> &'static str {
+        "Hash Mapping"
+    }
+
+    fn build(&mut self, tree: &NamespaceTree, _pop: &Popularity, cluster: &ClusterSpec) {
+        let m = cluster.len();
+        let mut placement = Placement::new(tree, m);
+        for (id, _) in tree.nodes() {
+            let path = tree.path_of(id).to_string();
+            placement.set(id, Assignment::Single(self.owner(&path, m)));
+        }
+        self.placement = Some(placement);
+    }
+
+    fn placement(&self) -> &Placement {
+        self.placement.as_ref().expect("HashMapping used before build")
+    }
+
+    fn rebalance(
+        &mut self,
+        _tree: &NamespaceTree,
+        _pop: &Popularity,
+        _cluster: &ClusterSpec,
+    ) -> Vec<Migration> {
+        Vec::new() // the hash is the balance policy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2tree_workload::{TraceProfile, WorkloadBuilder};
+
+    fn setup(m: usize) -> (d2tree_workload::Workload, HashMapping) {
+        let w = WorkloadBuilder::new(
+            TraceProfile::lmbe().with_nodes(1_500).with_operations(3_000),
+        )
+        .seed(4)
+        .build();
+        let pop = w.popularity();
+        let mut s = HashMapping::new(17);
+        s.build(&w.tree, &pop, &ClusterSpec::homogeneous(m, 10.0));
+        (w, s)
+    }
+
+    #[test]
+    fn node_counts_spread_evenly() {
+        let (w, s) = setup(4);
+        let mut counts = [0usize; 4];
+        for (id, _) in w.tree.nodes() {
+            counts[s.placement().assignment(id).owner().unwrap().index()] += 1;
+        }
+        let ideal = w.tree.node_count() / 4;
+        for c in counts {
+            assert!((c as i64 - ideal as i64).abs() < (ideal as i64) / 2, "counts {counts:?}");
+        }
+    }
+
+    #[test]
+    fn locality_is_poor() {
+        use d2tree_core::Partitioner as _;
+        let (w, s) = setup(8);
+        // Deep nodes should accumulate many jumps.
+        let deepest = w
+            .tree
+            .nodes()
+            .map(|(id, _)| id)
+            .max_by_key(|&id| w.tree.depth(id))
+            .unwrap();
+        assert!(w.tree.depth(deepest) >= 5);
+        assert!(s.jumps(&w.tree, deepest) >= 2);
+    }
+
+    #[test]
+    fn rename_forces_rehashing() {
+        let (w, s) = setup(4);
+        // Find a directory with a reasonably large subtree.
+        let dir = w
+            .tree
+            .nodes()
+            .filter(|(_, n)| n.kind().is_directory())
+            .map(|(id, _)| id)
+            .filter(|&id| id != w.tree.root())
+            .max_by_key(|&id| w.tree.subtree_size(id))
+            .unwrap();
+        let size = w.tree.subtree_size(dir);
+        let moved = s.rename_rehash_count(&w.tree, dir, "renamed");
+        // Expect roughly (M-1)/M = 75% of descendants to move.
+        assert!(size >= 10);
+        assert!(
+            moved as f64 >= 0.4 * size as f64,
+            "rename moved only {moved} of {size} nodes"
+        );
+    }
+
+    #[test]
+    fn rebalance_is_a_noop() {
+        let (w, mut s) = setup(4);
+        let pop = w.popularity();
+        assert!(s
+            .rebalance(&w.tree, &pop, &ClusterSpec::homogeneous(4, 10.0))
+            .is_empty());
+    }
+}

@@ -1,0 +1,115 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §7:
+//!
+//! 1. subtree granularity — intact local-layer subtrees vs a finer
+//!    forced sub-split (balance vs locality trade);
+//! 2. sampling size — sampled allocation vs full-information mirror
+//!    division;
+//! 3. global-layer proportion (also Fig. 8/9);
+//! 4. decay factor of the popularity counters.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2tree_core::{
+    allocate_full, allocate_sampled, collect_subtrees, split_to_proportion, SampleStrategy,
+};
+use d2tree_metrics::mirror::bucket_loads;
+use d2tree_metrics::ClusterSpec;
+use d2tree_workload::{TraceProfile, WorkloadBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_ablation(c: &mut Criterion) {
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr().with_nodes(20_000).with_operations(80_000),
+    )
+    .seed(8)
+    .build();
+    let pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(8, 1.0);
+
+    // Ablation 3: split cost by global-layer proportion.
+    let mut group = c.benchmark_group("ablation_gl_proportion");
+    for p in [0.001, 0.01, 0.1] {
+        group.bench_with_input(BenchmarkId::new("prop", p), &p, |b, &p| {
+            b.iter(|| {
+                let (gl, implied) = split_to_proportion(&w.tree, &pop, |_| 0.0, p);
+                std::hint::black_box((gl.len(), implied.locality))
+            });
+        });
+    }
+    group.finish();
+
+    // Ablation 2: sampled vs full allocation cost (quality is reported by
+    // the `theory` binary).
+    let (gl, _) = split_to_proportion(&w.tree, &pop, |_| 0.0, 0.01);
+    let subtrees = collect_subtrees(&w.tree, &gl, &pop);
+    let mut group = c.benchmark_group("ablation_allocation");
+    group.bench_function("full", |b| {
+        b.iter(|| std::hint::black_box(allocate_full(&subtrees, &cluster)));
+    });
+    for k in [100usize, 2_000] {
+        group.bench_with_input(BenchmarkId::new("sampled", k), &k, |b, &k| {
+            let mut rng = StdRng::seed_from_u64(9);
+            b.iter(|| {
+                std::hint::black_box(allocate_sampled(
+                    &subtrees,
+                    &cluster,
+                    &w.tree,
+                    &gl,
+                    SampleStrategy::Uniform,
+                    k,
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    group.finish();
+
+    // Ablation 1: granularity — allocating whole subtrees vs allocating
+    // their children individually (finer pieces balance better but split
+    // subtrees across servers, costing locality).
+    let mut fine = Vec::new();
+    for s in &subtrees {
+        let node = w.tree.node(s.root).expect("live");
+        if node.child_count() == 0 {
+            fine.push(*s);
+        } else {
+            for (_, child) in node.children() {
+                fine.push(d2tree_core::Subtree {
+                    root: child,
+                    parent: s.root,
+                    popularity: pop.total(child),
+                    size: w.tree.subtree_size(child),
+                });
+            }
+        }
+    }
+    let mut group = c.benchmark_group("ablation_granularity");
+    for (label, set) in [("intact", &subtrees), ("split_one_level", &fine)] {
+        group.bench_with_input(BenchmarkId::new("units", label), set, |b, set| {
+            b.iter(|| {
+                let owners = allocate_full(set, &cluster);
+                let weights: Vec<f64> = set.iter().map(|s| s.popularity).collect();
+                let buckets: Vec<usize> = owners.iter().map(|o| o.index()).collect();
+                std::hint::black_box(bucket_loads(&weights, &buckets, 8))
+            });
+        });
+    }
+    group.finish();
+
+    // Ablation 4: decay factor — cost of the decay + rollup cycle.
+    let mut group = c.benchmark_group("ablation_decay");
+    for factor in [0.5, 0.9, 0.99] {
+        group.bench_with_input(BenchmarkId::new("factor", factor), &factor, |b, &f| {
+            b.iter(|| {
+                let mut p = pop.clone();
+                p.decay(f);
+                p.rollup(&w.tree);
+                std::hint::black_box(p.total(w.tree.root()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

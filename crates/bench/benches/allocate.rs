@@ -1,0 +1,48 @@
+//! Criterion micro-benchmark: full vs sampled mirror-division allocation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2tree_core::{
+    allocate_full, allocate_sampled, collect_subtrees, split_to_proportion, SampleStrategy,
+};
+use d2tree_metrics::ClusterSpec;
+use d2tree_workload::{TraceProfile, WorkloadBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_allocate(c: &mut Criterion) {
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr().with_nodes(40_000).with_operations(160_000),
+    )
+    .seed(2)
+    .build();
+    let pop = w.popularity();
+    let (gl, _) = split_to_proportion(&w.tree, &pop, |_| 0.0, 0.01);
+    let subtrees = collect_subtrees(&w.tree, &gl, &pop);
+    let cluster = ClusterSpec::homogeneous(16, 1.0);
+
+    c.bench_function("allocate_full", |b| {
+        b.iter(|| std::hint::black_box(allocate_full(&subtrees, &cluster)));
+    });
+
+    let mut group = c.benchmark_group("allocate_sampled");
+    for k in [100usize, 1_000, 10_000] {
+        group.bench_with_input(BenchmarkId::new("samples", k), &k, |b, &k| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| {
+                std::hint::black_box(allocate_sampled(
+                    &subtrees,
+                    &cluster,
+                    &w.tree,
+                    &gl,
+                    SampleStrategy::Uniform,
+                    k,
+                    &mut rng,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allocate);
+criterion_main!(benches);

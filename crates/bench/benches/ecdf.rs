@@ -1,0 +1,39 @@
+//! Criterion micro-benchmark: ECDF construction/evaluation and the
+//! mirror-division kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2tree_metrics::mirror::mirror_divide;
+use d2tree_metrics::{Ecdf, Histogram};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_ecdf(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(6);
+    let samples: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..1e6)).collect();
+
+    c.bench_function("ecdf_build_100k", |b| {
+        b.iter(|| std::hint::black_box(Ecdf::from_samples(samples.clone())));
+    });
+
+    let ecdf = Ecdf::from_samples(samples.clone());
+    c.bench_function("ecdf_eval", |b| {
+        b.iter(|| std::hint::black_box(ecdf.eval(5e5)));
+    });
+
+    c.bench_function("histogram_equi_probability_64", |b| {
+        b.iter(|| std::hint::black_box(Histogram::equi_probability(&ecdf, 64)));
+    });
+
+    let mut group = c.benchmark_group("mirror_divide");
+    for n in [1_000usize, 10_000, 100_000] {
+        let weights: Vec<f64> = samples[..n].to_vec();
+        let caps = vec![1.0; 32];
+        group.bench_with_input(BenchmarkId::new("items", n), &n, |b, _| {
+            b.iter(|| std::hint::black_box(mirror_divide(&weights, &caps)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ecdf);
+criterion_main!(benches);

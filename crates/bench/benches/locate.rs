@@ -1,0 +1,43 @@
+//! Criterion micro-benchmark: per-access routing cost of every scheme —
+//! the hot path of an MDS client.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2tree_baselines::extended_lineup;
+use d2tree_metrics::ClusterSpec;
+use d2tree_workload::{TraceProfile, WorkloadBuilder};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_locate(c: &mut Criterion) {
+    let w = WorkloadBuilder::new(
+        TraceProfile::ra().with_nodes(20_000).with_operations(80_000),
+    )
+    .seed(4)
+    .build();
+    let pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(16, 1.0);
+
+    let mut group = c.benchmark_group("route");
+    for mut scheme in extended_lineup(0.01, 9) {
+        scheme.build(&w.tree, &pop, &cluster);
+        let targets: Vec<_> = w.trace.iter().take(1_000).map(|o| o.target).collect();
+        group.bench_with_input(
+            BenchmarkId::new("scheme", scheme.name()),
+            &targets,
+            |b, targets| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| {
+                    let mut hops = 0usize;
+                    for &t in targets {
+                        hops += scheme.route(&w.tree, t, &mut rng).hops();
+                    }
+                    std::hint::black_box(hops)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locate);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Criterion micro-benchmark: namespace-tree hot paths — resolution,
+//! traversal, popularity roll-up and synthesis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2tree_workload::{synthesize_tree, TraceProfile};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_namespace(c: &mut Criterion) {
+    let profile = TraceProfile::dtr().with_nodes(50_000);
+    let (tree, _) = synthesize_tree(&profile, 1);
+    let ids: Vec<_> = tree.nodes().map(|(id, _)| id).collect();
+    let mut rng = StdRng::seed_from_u64(2);
+    let sample: Vec<_> = (0..1_000).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
+    let paths: Vec<String> =
+        sample.iter().map(|&id| tree.path_of(id).to_string()).collect();
+
+    c.bench_function("resolve_1k_paths", |b| {
+        b.iter(|| {
+            let mut found = 0usize;
+            for p in &paths {
+                if tree.resolve_str(p).is_ok() {
+                    found += 1;
+                }
+            }
+            std::hint::black_box(found)
+        });
+    });
+
+    c.bench_function("path_of_1k_nodes", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &id in &sample {
+                total += tree.path_of(id).depth();
+            }
+            std::hint::black_box(total)
+        });
+    });
+
+    c.bench_function("ancestor_chains_1k", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for &id in &sample {
+                total += tree.ancestors(id).count();
+            }
+            std::hint::black_box(total)
+        });
+    });
+
+    c.bench_function("popularity_rollup_50k", |b| {
+        let mut pop = d2tree_namespace::Popularity::new(&tree);
+        for &id in &sample {
+            pop.record(id, 1.0);
+        }
+        b.iter(|| {
+            pop.decay(0.999); // invalidate so rollup does real work
+            pop.rollup(&tree);
+            std::hint::black_box(pop.is_rolled_up())
+        });
+    });
+
+    let mut group = c.benchmark_group("synthesize_tree");
+    group.sample_size(10);
+    for nodes in [10_000usize, 50_000] {
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, &n| {
+            let p = TraceProfile::lmbe().with_nodes(n);
+            b.iter(|| std::hint::black_box(synthesize_tree(&p, 3).0.node_count()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_namespace);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion macro-benchmark: discrete-event replay throughput (how fast
+//! the simulator itself runs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2tree_cluster::{SimConfig, Simulator};
+use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
+use d2tree_metrics::ClusterSpec;
+use d2tree_workload::{TraceProfile, WorkloadBuilder};
+
+fn bench_replay(c: &mut Criterion) {
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr().with_nodes(5_000).with_operations(20_000),
+    )
+    .seed(7)
+    .build();
+    let pop = w.popularity();
+
+    let mut group = c.benchmark_group("des_replay_20k_ops");
+    group.sample_size(10);
+    for m in [4usize, 16] {
+        let cluster = ClusterSpec::homogeneous(m, 1.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let sim = Simulator::new(SimConfig { clients: 64, ..SimConfig::default() });
+        group.bench_with_input(BenchmarkId::new("mds", m), &m, |b, _| {
+            b.iter(|| std::hint::black_box(sim.replay(&w.tree, &w.trace, &scheme).completed));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion micro-benchmark: Tree-Splitting (Alg. 1) cost as the
+//! namespace and the global-layer proportion grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use d2tree_core::split_to_proportion;
+use d2tree_workload::{TraceProfile, WorkloadBuilder};
+
+fn bench_split(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tree_split");
+    for nodes in [5_000usize, 20_000, 80_000] {
+        let w = WorkloadBuilder::new(
+            TraceProfile::dtr().with_nodes(nodes).with_operations(nodes * 4),
+        )
+        .seed(1)
+        .build();
+        let pop = w.popularity();
+        group.bench_with_input(BenchmarkId::new("nodes", nodes), &nodes, |b, _| {
+            b.iter(|| {
+                let (gl, _) =
+                    split_to_proportion(&w.tree, &pop, |id| pop.individual(id) * 0.05, 0.01);
+                std::hint::black_box(gl.len())
+            });
+        });
+    }
+    group.finish();
+
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr().with_nodes(20_000).with_operations(80_000),
+    )
+    .seed(1)
+    .build();
+    let pop = w.popularity();
+    let mut group = c.benchmark_group("tree_split_proportion");
+    for pct in [0.001, 0.01, 0.1, 0.5] {
+        group.bench_with_input(BenchmarkId::new("prop", pct), &pct, |b, &p| {
+            b.iter(|| {
+                let (gl, _) = split_to_proportion(&w.tree, &pop, |_| 0.0, p);
+                std::hint::black_box(gl.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split);
+criterion_main!(benches);

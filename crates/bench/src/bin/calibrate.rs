@@ -1,0 +1,62 @@
+//! Calibration report: verifies that the synthetic trace presets
+//! reproduce the layer-hit statistics the paper quotes in Sec. VI-A —
+//! DTR ≈83% of queries hitting a 1% global layer, LMBE ≈58.6% of queries
+//! going to the local layer, RA ≈67% of updates directed at the global
+//! layer.
+//!
+//! Run after touching any `TraceProfile` parameter.
+
+use d2tree_bench::{render_table, Scale};
+use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
+use d2tree_metrics::ClusterSpec;
+use d2tree_workload::{OpKind, TraceProfile, WorkloadBuilder};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Calibration: synthetic traces vs the paper's quoted statistics ==\n");
+
+    let paper_targets = [
+        ("DTR", "GL query hit", 0.8306),
+        ("LMBE", "LL query hit", 0.5857),
+        ("RA", "updates -> GL", 0.67),
+    ];
+
+    let headers: Vec<String> =
+        ["Trace", "Statistic", "Paper", "Measured"].map(String::from).to_vec();
+    let mut rows = Vec::new();
+    for (profile, (name, stat, target)) in
+        TraceProfile::paper_presets().into_iter().zip(paper_targets)
+    {
+        let w = WorkloadBuilder::new(scale.apply(profile)).seed(scale.seed).build();
+        let pop = w.popularity();
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(4, 1.0));
+
+        let measured = match name {
+            "DTR" => {
+                let all: Vec<_> = w.trace.iter().map(|o| o.target).collect();
+                scheme.global_hit_fraction(all.iter())
+            }
+            "LMBE" => {
+                let all: Vec<_> = w.trace.iter().map(|o| o.target).collect();
+                1.0 - scheme.global_hit_fraction(all.iter())
+            }
+            _ => {
+                let upd: Vec<_> = w
+                    .trace
+                    .iter()
+                    .filter(|o| o.kind == OpKind::Update)
+                    .map(|o| o.target)
+                    .collect();
+                scheme.global_hit_fraction(upd.iter())
+            }
+        };
+        rows.push(vec![
+            name.to_owned(),
+            stat.to_owned(),
+            format!("{:.1}%", target * 100.0),
+            format!("{:.1}%", measured * 100.0),
+        ]);
+    }
+    println!("{}", render_table("Layer hit-rate calibration", &headers, &rows));
+}

@@ -1,0 +1,77 @@
+//! Extension experiment: dynamic adjustment under hotspot drift
+//! (Sec. IV-B's motivation — "both the size and popularity of subtrees
+//! change over time in an unpredictable manner").
+//!
+//! A phased LMBE-style workload shifts its hot set every phase; each
+//! scheme's access counters decay, it rebalances, and the balance it
+//! sustains per phase is reported. Static partitioning cannot react;
+//! D2-Tree and the dynamic schemes should hold their balance.
+
+use d2tree_bench::{fmt_float, render_table, Scale};
+use d2tree_baselines::paper_lineup;
+use d2tree_metrics::{balance, ClusterSpec};
+use d2tree_namespace::Popularity;
+use d2tree_workload::{DriftingWorkload, TraceProfile};
+
+fn main() {
+    let scale = Scale::from_env();
+    const PHASES: usize = 5;
+    const DECAY: f64 = 0.3;
+    let workload = DriftingWorkload::generate(
+        TraceProfile::lmbe().with_nodes(scale.nodes).with_operations(scale.operations),
+        PHASES,
+        scale.seed,
+    );
+    let m = 8;
+
+    println!("== Extension: balance under hotspot drift (LMBE, M = {m}) ==");
+    println!(
+        "(hot-set overlap phase 0 -> 1: {:.0}%; counters decay by {DECAY} per phase)\n",
+        workload.hot_overlap(0, 1, 100) * 100.0
+    );
+
+    let mut headers = vec!["Scheme".to_owned()];
+    headers.extend((0..PHASES).map(|p| format!("phase {p}")));
+    let mut rows = Vec::new();
+
+    let scheme_count = paper_lineup(0.01, scale.seed).len();
+    for slot in 0..scheme_count {
+        let mut lineup = paper_lineup(0.01, scale.seed);
+        let scheme = &mut lineup[slot];
+        let mut row = vec![scheme.name().to_owned()];
+
+        // Popularity accumulates with decay, like the paper's counters.
+        let mut pop = Popularity::new(&workload.tree);
+        let mut built = false;
+        for phase in &workload.phases {
+            pop.decay(DECAY);
+            for op in phase {
+                pop.record(op.target, 1.0);
+            }
+            pop.rollup(&workload.tree);
+            let cluster = ClusterSpec::homogeneous(m, pop.sum_individual() / m as f64);
+            if built {
+                for _ in 0..3 {
+                    let _ = scheme.rebalance(&workload.tree, &pop, &cluster);
+                }
+            } else {
+                scheme.build(&workload.tree, &pop, &cluster);
+                built = true;
+            }
+            // Balance against *this phase's* fresh load only: what the
+            // cluster actually experiences now.
+            let mut phase_pop = Popularity::new(&workload.tree);
+            for op in phase {
+                phase_pop.record(op.target, 1.0);
+            }
+            phase_pop.rollup(&workload.tree);
+            let phase_cluster =
+                ClusterSpec::homogeneous(m, phase_pop.sum_individual() / m as f64);
+            let loads = scheme.placement().loads(&workload.tree, &phase_pop);
+            row.push(fmt_float(balance(&loads, &phase_cluster)));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table("Balance per phase", &headers, &rows));
+    println!("\nStatic subtree cannot adapt; D2-Tree / DROP / AngleCut re-tune each phase.");
+}

@@ -1,0 +1,51 @@
+//! Extension experiment (paper Sec. VII future work): cap the number of
+//! global-layer replicas at `R ≤ M` and sweep `R`, measuring the
+//! trade-off the paper anticipates — fewer replicas cut the replicated
+//! update cost roughly `M/R`-fold while giving up some query spreading.
+//!
+//! Uses the update-heavy RA trace where the effect is largest.
+
+use d2tree_bench::{normalized_cluster, paper_workloads, render_table, Scale};
+use d2tree_cluster::{SimConfig, Simulator};
+use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
+use d2tree_metrics::{balance, ClusterSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = paper_workloads(scale).remove(2); // RA
+    let pop = workload.popularity();
+    let m = 16;
+    let cluster = normalized_cluster(m, &pop);
+    let sim = Simulator::new(SimConfig { seed: scale.seed, ..SimConfig::default() });
+
+    println!("== Extension: global-layer replication threshold (RA, M = {m}) ==\n");
+    let headers: Vec<String> =
+        ["Replicas R", "Throughput (ops/s)", "Balance", "Replica applies / update"]
+            .map(String::from)
+            .to_vec();
+    let mut rows = Vec::new();
+    for r in [1usize, 2, 4, 8, 16] {
+        let mut config = D2TreeConfig::paper_default().with_seed(scale.seed);
+        if r < m {
+            config = config.with_replication_limit(r);
+        }
+        let mut scheme = D2TreeScheme::new(config);
+        scheme.build(&workload.tree, &pop, &cluster);
+        let out = sim.replay(&workload.tree, &workload.trace, &scheme);
+        let loads: Vec<f64> = out.served_ops.iter().map(|&s| s as f64).collect();
+        let total: f64 = loads.iter().sum();
+        let measured = ClusterSpec::homogeneous(m, total / m as f64);
+        rows.push(vec![
+            format!("{r}"),
+            format!("{:.0}", out.throughput),
+            format!("{:.2}", balance(&loads, &measured)),
+            format!("{r}"),
+        ]);
+    }
+    println!("{}", render_table("Replication threshold sweep", &headers, &rows));
+    println!(
+        "\nExpected trade-off: small R concentrates global-layer queries (lower\n\
+         balance / throughput) but each update syncs only R replicas; R = M is\n\
+         the paper's default."
+    );
+}

@@ -1,0 +1,46 @@
+//! Extension experiment: online cluster scale-out. Start on a small
+//! cluster, add servers in steps, and watch the pending-pool mechanism
+//! redistribute subtrees onto the newcomers without re-partitioning.
+
+use d2tree_bench::{fmt_float, paper_workloads, render_table, Scale};
+use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
+use d2tree_metrics::{balance, ClusterSpec};
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = paper_workloads(scale).remove(0); // DTR
+    let pop = workload.popularity();
+    let unit = pop.sum_individual();
+
+    println!("== Extension: online scale-out 4 -> 8 -> 16 -> 32 MDSs (DTR) ==\n");
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default().with_seed(scale.seed));
+    scheme.build(&workload.tree, &pop, &ClusterSpec::homogeneous(4, unit / 4.0));
+
+    let headers: Vec<String> =
+        ["Cluster", "Migrations", "Balance after", "Max/Ideal load"].map(String::from).to_vec();
+    let mut rows = Vec::new();
+    let mut record = |m: usize, migrations: usize, scheme: &D2TreeScheme| {
+        let cluster = ClusterSpec::homogeneous(m, unit / m as f64);
+        let loads = scheme.loads(&workload.tree, &pop);
+        let ideal = loads.iter().sum::<f64>() / m as f64;
+        let max = loads.iter().cloned().fold(0.0_f64, f64::max);
+        rows.push(vec![
+            format!("M={m}"),
+            format!("{migrations}"),
+            fmt_float(balance(&loads, &cluster)),
+            format!("{:.2}", max / ideal),
+        ]);
+    };
+    record(4, 0, &scheme);
+
+    for m in [8usize, 16, 32] {
+        let cluster = ClusterSpec::homogeneous(m, unit / m as f64);
+        let mut migrations = scheme.expand_cluster(&workload.tree, &pop, &cluster).len();
+        for _ in 0..4 {
+            migrations += scheme.rebalance(&workload.tree, &pop, &cluster).len();
+        }
+        record(m, migrations, &scheme);
+    }
+    println!("{}", render_table("Scale-out", &headers, &rows));
+    println!("\nNew servers join empty and pull subtrees through the pending pool;\nno re-hashing, no global re-partition.");
+}

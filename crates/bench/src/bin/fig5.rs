@@ -1,0 +1,53 @@
+//! Fig. 5(a–c) — cluster throughput as the MDS cluster is scaled
+//! (5→30 servers), for every scheme on every trace, over the
+//! discrete-event cluster simulator.
+//!
+//! Paper shapes this must reproduce:
+//! * DTR: D2-Tree scales near-linearly (≈83% of queries hit the
+//!   replicated global layer); static subtree is competitive on raw
+//!   throughput; dynamic subtree / DROP / AngleCut trail because path
+//!   traversal forwards between servers.
+//! * LMBE: D2-Tree's curve flattens/degrades past ~20 MDSs (58.6% of
+//!   queries go to the local layer).
+//! * RA: 16% updates lock the global layer, so D2-Tree grows slower than
+//!   on DTR but still beats the dynamic/hashing schemes.
+
+use d2tree_bench::{mds_range, normalized_cluster, paper_workloads, render_table, Scale};
+use d2tree_baselines::paper_lineup;
+use d2tree_cluster::{SimConfig, Simulator};
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Fig. 5: Throughput (ops/s) as the MDS cluster is scaled ==");
+    println!("(discrete-event simulation; 200 closed-loop clients; seed {})\n", scale.seed);
+
+    for workload in paper_workloads(scale) {
+        let pop = workload.popularity();
+        let mut headers = vec!["Scheme".to_owned()];
+        headers.extend(mds_range().iter().map(|m| format!("M={m}")));
+
+        let mut rows = Vec::new();
+        let scheme_count = paper_lineup(0.01, scale.seed).len();
+        for slot in 0..scheme_count {
+            let mut row = Vec::new();
+            let mut name = String::new();
+            for &m in &mds_range() {
+                let mut lineup = paper_lineup(0.01, scale.seed);
+                let scheme = &mut lineup[slot];
+                name = scheme.name().to_owned();
+                let cluster = normalized_cluster(m, &pop);
+                scheme.build(&workload.tree, &pop, &cluster);
+                let sim = Simulator::new(SimConfig { seed: scale.seed, ..SimConfig::default() });
+                let out = sim.replay(&workload.tree, &workload.trace, scheme.as_ref());
+                row.push(format!("{:.0}", out.throughput));
+            }
+            let mut full = vec![name];
+            full.extend(row);
+            rows.push(full);
+        }
+        println!(
+            "{}",
+            render_table(&format!("Fig. 5 — {}", workload.profile.name), &headers, &rows)
+        );
+    }
+}

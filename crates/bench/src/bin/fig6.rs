@@ -1,0 +1,45 @@
+//! Fig. 6(a–c) — system locality (Def. 3, displayed ×1e−9 like the
+//! paper's axes) under every scheme as the cluster is scaled.
+//!
+//! Paper shapes this must reproduce: D2-Tree and static subtree stay flat
+//! in the cluster size (their jump counts do not depend on M); dynamic
+//! subtree, DROP and AngleCut degrade with M; D2-Tree leads on DTR,
+//! static subtree leads on LMBE.
+
+use d2tree_bench::{mds_range, normalized_cluster, paper_workloads, render_table, Scale};
+use d2tree_baselines::paper_lineup;
+
+fn main() {
+    let scale = Scale::from_env();
+    println!("== Fig. 6: Locality (Def. 3, x 1e-9) under different schemes ==\n");
+
+    for workload in paper_workloads(scale) {
+        let pop = workload.popularity();
+        let mut headers = vec!["Scheme".to_owned()];
+        headers.extend(mds_range().iter().map(|m| format!("M={m}")));
+
+        let mut rows = Vec::new();
+        let scheme_count = paper_lineup(0.01, scale.seed).len();
+        for slot in 0..scheme_count {
+            let mut row = Vec::new();
+            let mut name = String::new();
+            for &m in &mds_range() {
+                let mut lineup = paper_lineup(0.01, scale.seed);
+                let scheme = &mut lineup[slot];
+                name = scheme.name().to_owned();
+                let cluster = normalized_cluster(m, &pop);
+                scheme.build(&workload.tree, &pop, &cluster);
+                let report = scheme.locality(&workload.tree, &pop);
+                row.push(format!("{:.3}", report.locality * 1e9));
+            }
+            let mut full = vec![name];
+            full.extend(row);
+            rows.push(full);
+        }
+        println!(
+            "{}",
+            render_table(&format!("Fig. 6 — {}", workload.profile.name), &headers, &rows)
+        );
+    }
+    println!("(locality of a single-server deployment is infinite; larger is better)");
+}

@@ -1,0 +1,64 @@
+//! Fig. 7(a–c) — load-balance degree (Def. 5) under every scheme after
+//! the paper's 20 replay-and-rebalance rounds, as the cluster is scaled.
+//!
+//! Faithful to the paper's procedure: the trace is split into 20
+//! subtraces, each is replayed through the discrete-event simulator, the
+//! scheme rebalances on decayed measured popularity between rounds, and
+//! Def. 5 is computed over the *final* round's measured per-server
+//! served-operation counts.
+//!
+//! Paper shapes this must reproduce: DROP and AngleCut balance best
+//! (hashing granularity); D2-Tree beats dynamic subtree on LMBE and RA
+//! (the global layer absorbs the flow-control nodes); static subtree is
+//! the weakest.
+
+use d2tree_bench::{fmt_float, mds_range, normalized_cluster, paper_workloads, render_table, Scale};
+use d2tree_baselines::paper_lineup;
+use d2tree_cluster::{SimConfig, Simulator};
+
+fn main() {
+    let scale = Scale::from_env();
+    const ROUNDS: usize = 20;
+    const DECAY: f64 = 0.5;
+    println!("== Fig. 7: Load balancing (Def. 5) after {ROUNDS} replay rounds ==");
+    println!("(each round: simulated subtrace replay -> decayed counters -> rebalance)\n");
+
+    for workload in paper_workloads(scale) {
+        let pop = workload.popularity();
+        let mut headers = vec!["Scheme".to_owned()];
+        headers.extend(mds_range().iter().map(|m| format!("M={m}")));
+
+        let mut rows = Vec::new();
+        let scheme_count = paper_lineup(0.01, scale.seed).len();
+        for slot in 0..scheme_count {
+            let mut row = Vec::new();
+            let mut name = String::new();
+            for &m in &mds_range() {
+                let mut lineup = paper_lineup(0.01, scale.seed);
+                let scheme = &mut lineup[slot];
+                name = scheme.name().to_owned();
+                let cluster = normalized_cluster(m, &pop);
+                scheme.build(&workload.tree, &pop, &cluster);
+                let sim = Simulator::new(SimConfig { seed: scale.seed, ..SimConfig::default() });
+                let out = sim.replay_with_rebalance(
+                    &workload.tree,
+                    &workload.trace,
+                    scheme.as_mut(),
+                    &cluster,
+                    ROUNDS,
+                    DECAY,
+                );
+                let settled = *out.balance_per_round.last().expect("rounds ran");
+                row.push(fmt_float(settled));
+            }
+            let mut full = vec![name];
+            full.extend(row);
+            rows.push(full);
+        }
+        println!(
+            "{}",
+            render_table(&format!("Fig. 7 — {}", workload.profile.name), &headers, &rows)
+        );
+    }
+    println!("(balance = 1 / load-ratio variance over measured served ops; larger is better)");
+}

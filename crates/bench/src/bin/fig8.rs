@@ -1,0 +1,42 @@
+//! Fig. 8 — the `L0` and `U0` values implied by different global-layer
+//! proportions (DTR, 4 MDSs).
+//!
+//! Paper shape this must reproduce: both the achievable locality bound
+//! `L0` and the update-cost budget `U0` grow monotonically with the
+//! global-layer proportion.
+
+use d2tree_bench::{paper_workloads, render_table, Scale};
+use d2tree_core::split_to_proportion;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = paper_workloads(scale).remove(0); // DTR
+    let pop = workload.popularity();
+
+    // The paper's x-axis.
+    let proportions = [0.001, 0.002, 0.005, 0.01, 0.02, 0.05, 0.10, 0.20, 0.50];
+    // u_j model: every update to a global-layer node must reach all 4
+    // replicas (the paper's 4-MDS setting for this figure).
+    let m = 4.0;
+    let update_frac = workload.profile.op_mix.update;
+
+    println!("== Fig. 8: L0 and U0 under different global-layer proportions ==");
+    println!("(trace DTR, 4-MDS cluster, u_j = update_rate_j x M)\n");
+
+    let headers: Vec<String> =
+        ["GL proportion", "GL nodes", "L0 (x 1e-8)", "U0 (x 1e5)"].map(String::from).to_vec();
+    let mut rows = Vec::new();
+    for &p in &proportions {
+        let (_, implied) = split_to_proportion(&workload.tree, &pop, |id| {
+            update_frac * pop.individual(id) * m
+        }, p);
+        rows.push(vec![
+            format!("{p}"),
+            format!("{}", implied.global_nodes),
+            format!("{:.4}", implied.locality * 1e8),
+            format!("{:.4}", implied.update_cost / 1e5),
+        ]);
+    }
+    println!("{}", render_table("Fig. 8", &headers, &rows));
+    println!("Reproduction check: both columns increase monotonically with the proportion.");
+}

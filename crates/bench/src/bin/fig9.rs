@@ -1,0 +1,39 @@
+//! Fig. 9 — balance performance as the cluster is scaled, for
+//! global-layer proportions 0.001 / 0.01 / 0.10 / 0.20 (DTR).
+//!
+//! Paper shape this must reproduce: balance improves as the global-layer
+//! proportion grows (more, finer subtrees split into the local layer
+//! allocate more evenly), so the 0.20 curve dominates the 0.001 curve.
+
+use d2tree_bench::{
+    build_and_settle, fmt_float, normalized_cluster, paper_workloads, render_table, Scale,
+};
+use d2tree_core::{D2TreeConfig, D2TreeScheme};
+use d2tree_metrics::balance;
+
+fn main() {
+    let scale = Scale::from_env();
+    let workload = paper_workloads(scale).remove(0); // DTR
+    let pop = workload.popularity();
+    let proportions = [0.001, 0.01, 0.10, 0.20];
+    let cluster_sizes = [2usize, 5, 10, 15, 20, 25, 30];
+
+    println!("== Fig. 9: Balance vs cluster size for different GL proportions ==");
+    println!("(trace DTR, D2-Tree only, 20 replay rounds)\n");
+
+    let mut headers = vec!["GL prop.".to_owned()];
+    headers.extend(cluster_sizes.iter().map(|m| format!("M={m}")));
+    let mut rows = Vec::new();
+    for &p in &proportions {
+        let mut row = vec![format!("{p}")];
+        for &m in &cluster_sizes {
+            let mut scheme = D2TreeScheme::new(D2TreeConfig::by_proportion(p).with_seed(scale.seed));
+            let cluster = normalized_cluster(m, &pop);
+            let loads = build_and_settle(&mut scheme, &workload, &cluster, 20);
+            row.push(fmt_float(balance(&loads, &cluster)));
+        }
+        rows.push(row);
+    }
+    println!("{}", render_table("Fig. 9", &headers, &rows));
+    println!("Reproduction check: rows with larger proportions dominate (better balance).");
+}

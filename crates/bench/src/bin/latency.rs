@@ -1,0 +1,45 @@
+//! Supplementary exhibit: end-to-end request latency per scheme (mean and
+//! p99) at a fixed cluster size, for every trace.
+//!
+//! Not a figure in the paper, but the flip side of Fig. 5: with a fixed
+//! closed-loop client base, throughput differences *are* latency
+//! differences — forwarding hops and lock waits show up here directly.
+
+use d2tree_bench::{normalized_cluster, paper_workloads, render_table, Scale};
+use d2tree_baselines::paper_lineup;
+use d2tree_cluster::{SimConfig, Simulator};
+
+fn main() {
+    let scale = Scale::from_env();
+    let m = 16;
+    println!("== Latency per scheme (M = {m}, 200 closed-loop clients) ==\n");
+
+    for workload in paper_workloads(scale) {
+        let pop = workload.popularity();
+        let headers: Vec<String> =
+            ["Scheme", "mean µs", "p99 µs", "hops/op", "max util %"].map(String::from).to_vec();
+        let mut rows = Vec::new();
+        for mut scheme in paper_lineup(0.01, scale.seed) {
+            let cluster = normalized_cluster(m, &pop);
+            scheme.build(&workload.tree, &pop, &cluster);
+            let config = SimConfig { seed: scale.seed, ..SimConfig::default() };
+            let out = Simulator::new(config).replay(&workload.tree, &workload.trace, scheme.as_ref());
+            let max_util = out
+                .utilization(config.workers_per_mds)
+                .into_iter()
+                .fold(0.0_f64, f64::max);
+            rows.push(vec![
+                scheme.name().to_owned(),
+                format!("{:.0}", out.mean_latency_us),
+                format!("{:.0}", out.p99_latency_us),
+                format!("{:.2}", out.total_hops as f64 / out.completed as f64),
+                format!("{:.0}", max_util * 100.0),
+            ]);
+        }
+        println!(
+            "{}",
+            render_table(&format!("Latency — {}", workload.profile.name), &headers, &rows)
+        );
+    }
+    println!("(max util = busiest server's worker occupancy; saturation ⇒ queueing delay)");
+}

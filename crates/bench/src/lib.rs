@@ -1,0 +1,216 @@
+//! Shared harness for regenerating every table and figure of the D2-Tree
+//! paper.
+//!
+//! Each `src/bin/*` binary reproduces one exhibit:
+//!
+//! | Binary   | Paper exhibit | What it prints |
+//! |----------|---------------|----------------|
+//! | `table1` | Table I       | dataset description, paper vs synthetic |
+//! | `table2` | Table II      | operation breakdowns, paper vs measured |
+//! | `fig5`   | Fig. 5(a–c)   | throughput vs cluster size, 5 schemes × 3 traces |
+//! | `fig6`   | Fig. 6(a–c)   | locality (Def. 3) vs cluster size |
+//! | `fig7`   | Fig. 7(a–c)   | balance (Def. 5) vs cluster size after 20 replay rounds |
+//! | `fig8`   | Fig. 8        | implied `L0`/`U0` vs global-layer proportion |
+//! | `fig9`   | Fig. 9        | balance vs cluster size for 4 GL proportions |
+//! | `theory` | Thm. 2–4      | DKW sample bounds vs measured balance error |
+//!
+//! Scale is controlled by environment variables so the full sweep can run
+//! quickly in CI and at paper scale overnight: `D2_NODES` (default
+//! 50 000), `D2_OPS` (default 200 000), `D2_SEED` (default 42).
+
+#![warn(missing_docs)]
+
+use d2tree_core::Partitioner;
+use d2tree_metrics::ClusterSpec;
+use d2tree_namespace::Popularity;
+use d2tree_workload::{TraceProfile, Workload, WorkloadBuilder};
+
+/// Experiment scale knobs, read from the environment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// Nodes per synthesised namespace.
+    pub nodes: usize,
+    /// Operations per trace.
+    pub operations: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Scale {
+    /// Reads `D2_NODES` / `D2_OPS` / `D2_SEED`, with CI-friendly defaults.
+    #[must_use]
+    pub fn from_env() -> Self {
+        fn var(name: &str, default: u64) -> u64 {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        }
+        Scale {
+            nodes: var("D2_NODES", 50_000) as usize,
+            operations: var("D2_OPS", 200_000) as usize,
+            seed: var("D2_SEED", 42),
+        }
+    }
+
+    /// A small scale for unit tests of the harness itself.
+    #[must_use]
+    pub fn tiny() -> Self {
+        Scale { nodes: 1_000, operations: 10_000, seed: 7 }
+    }
+
+    /// Applies the scale to a profile.
+    #[must_use]
+    pub fn apply(&self, profile: TraceProfile) -> TraceProfile {
+        profile.with_nodes(self.nodes).with_operations(self.operations)
+    }
+}
+
+/// Builds the three paper workloads (DTR, LMBE, RA) at this scale.
+#[must_use]
+pub fn paper_workloads(scale: Scale) -> Vec<Workload> {
+    TraceProfile::paper_presets()
+        .into_iter()
+        .map(|p| WorkloadBuilder::new(scale.apply(p)).seed(scale.seed).build())
+        .collect()
+}
+
+/// The cluster sizes of the paper's x-axes.
+#[must_use]
+pub fn mds_range() -> Vec<usize> {
+    vec![5, 10, 15, 20, 25, 30]
+}
+
+/// The harness convention for capacities: `C_k = ΣL / M`, so the ideal
+/// load factor is `μ = 1` and balance values are comparable across
+/// cluster sizes and traces (the paper's Fig. 7/9 y-axis regime).
+#[must_use]
+pub fn normalized_cluster(m: usize, pop: &Popularity) -> ClusterSpec {
+    // Total touch load is the sum of all total popularities; this keeps
+    // per-server relative loads O(1).
+    let total = pop.sum_individual().max(1.0);
+    ClusterSpec::homogeneous(m, total / m as f64)
+}
+
+/// Builds a scheme against a workload and runs `rounds` of replay +
+/// rebalance, mirroring the paper's "subtraces are replayed to these
+/// clusters for 20 times" warm-up.
+pub fn build_and_settle(
+    scheme: &mut dyn Partitioner,
+    workload: &Workload,
+    cluster: &ClusterSpec,
+    rounds: usize,
+) -> Vec<f64> {
+    let pop = workload.popularity();
+    scheme.build(&workload.tree, &pop, cluster);
+    for _ in 0..rounds {
+        let _ = scheme.rebalance(&workload.tree, &pop, cluster);
+    }
+    scheme.loads(&workload.tree, &pop)
+}
+
+/// Formats one aligned text table.
+#[must_use]
+pub fn render_table(title: &str, headers: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let line = |cells: &[String], widths: &[usize]| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            if i > 0 {
+                s.push_str("  ");
+            }
+            s.push_str(&format!("{:<width$}", c, width = widths[i]));
+        }
+        s.push('\n');
+        s
+    };
+    out.push_str(&line(headers, &widths));
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&line(row, &widths));
+    }
+    out
+}
+
+/// Formats a float compactly for table cells.
+#[must_use]
+pub fn fmt_float(v: f64) -> String {
+    if v.is_infinite() {
+        "inf".to_owned()
+    } else if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1e5 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2tree_baselines::paper_lineup;
+
+    #[test]
+    fn scale_defaults_apply() {
+        let scale = Scale::tiny();
+        let p = scale.apply(TraceProfile::dtr());
+        assert_eq!(p.nodes, 1_000);
+        assert_eq!(p.operations, 10_000);
+    }
+
+    #[test]
+    fn workloads_cover_all_three_traces() {
+        let ws = paper_workloads(Scale::tiny());
+        let names: Vec<&str> = ws.iter().map(|w| w.profile.name.as_str()).collect();
+        assert_eq!(names, vec!["DTR", "LMBE", "RA"]);
+    }
+
+    #[test]
+    fn normalized_cluster_yields_unit_mu() {
+        let w = paper_workloads(Scale::tiny()).remove(0);
+        let pop = w.popularity();
+        let cluster = normalized_cluster(4, &pop);
+        let mu = cluster.ideal_load_factor(pop.sum_individual());
+        assert!((mu - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn settle_produces_loads_for_all_schemes() {
+        let w = paper_workloads(Scale::tiny()).remove(1);
+        let pop = w.popularity();
+        let cluster = normalized_cluster(5, &pop);
+        for mut scheme in paper_lineup(0.01, 1) {
+            let loads = build_and_settle(scheme.as_mut(), &w, &cluster, 3);
+            assert_eq!(loads.len(), 5, "{}", scheme.name());
+            let _ = pop.sum_individual();
+        }
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let s = render_table(
+            "T",
+            &["a".into(), "bb".into()],
+            &[vec!["xxx".into(), "y".into()]],
+        );
+        assert!(s.contains("a    bb"));
+        assert!(s.contains("xxx  y"));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_float(f64::INFINITY), "inf");
+        assert_eq!(fmt_float(0.0), "0");
+        assert!(fmt_float(1.0e-9).contains('e'));
+        assert_eq!(fmt_float(3.25), "3.250");
+    }
+}

@@ -1,0 +1,450 @@
+//! Implementation of the `d2tree` command-line tool.
+//!
+//! All command logic lives here (returning its output as a `String`) so
+//! it is unit-testable; `main.rs` only forwards `std::env::args`.
+//!
+//! ```text
+//! d2tree synth     --trace dtr --nodes 20000 --ops 100000 --seed 42 --out ws
+//! d2tree stats     --tree ws.tree --trace ws.trace
+//! d2tree partition --tree ws.tree --trace ws.trace --scheme d2tree --mds 8
+//! d2tree replay    --tree ws.tree --trace ws.trace --scheme d2tree --mds 8
+//! ```
+
+#![warn(missing_docs)]
+
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
+use d2tree_cluster::{SimConfig, Simulator};
+use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
+use d2tree_metrics::{balance, ClusterSpec};
+use d2tree_namespace::NamespaceTree;
+use d2tree_workload::{io as trace_io, Trace, TraceProfile, TraceStats, WorkloadBuilder};
+
+/// Errors surfaced to the user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// Wrong or missing arguments; the message explains usage.
+    Usage(String),
+    /// A file could not be read or written.
+    Io(std::io::Error),
+    /// A trace/namespace file was malformed.
+    Format(trace_io::TraceIoError),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+            CliError::Format(e) => write!(f, "bad input file: {e}"),
+        }
+    }
+}
+
+impl Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+impl From<trace_io::TraceIoError> for CliError {
+    fn from(e: trace_io::TraceIoError) -> Self {
+        CliError::Format(e)
+    }
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+d2tree — distributed double-layer namespace tree partitioning (ICDCS'18 reproduction)
+
+USAGE:
+    d2tree <COMMAND> [OPTIONS]
+
+COMMANDS:
+    synth      generate a synthetic namespace + trace to files
+    stats      summarise a namespace + trace (Table I/II style)
+    partition  partition a namespace and report locality/balance
+    replay     replay a trace through the cluster simulator
+    hotspots   list the hottest paths of a trace
+    check      partition with D2-Tree and fsck the resulting state
+    help       show this message
+
+Common options:
+    --tree <file>    namespace file (from `synth`, `D|F <path>` lines)
+    --trace <file>   trace file (from `synth`, `R|W|U <path>` lines)
+    --scheme <name>  d2tree | static | dynamic | hash | drop | anglecut
+    --mds <n>        cluster size (default 8)
+    --gl <frac>      D2-Tree global-layer proportion (default 0.01)
+    --seed <n>       RNG seed (default 42)
+
+`synth` options:
+    --profile <name>  dtr | lmbe | ra (default dtr)
+    --nodes <n>       namespace size (default 20000)
+    --ops <n>         trace length (default 100000)
+    --out <prefix>    writes <prefix>.tree and <prefix>.trace
+";
+
+/// Simple `--flag value` argument map.
+#[derive(Debug, Default)]
+struct Opts {
+    pairs: Vec<(String, String)>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Result<Opts, CliError> {
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(flag) = it.next() {
+            let key = flag
+                .strip_prefix("--")
+                .ok_or_else(|| CliError::Usage(format!("expected --flag, got {flag:?}")))?;
+            let value = it
+                .next()
+                .ok_or_else(|| CliError::Usage(format!("--{key} needs a value")))?;
+            pairs.push((key.to_owned(), value.clone()));
+        }
+        Ok(Opts { pairs })
+    }
+
+    fn get(&self, key: &str) -> Option<&str> {
+        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+    }
+
+    fn required(&self, key: &str) -> Result<&str, CliError> {
+        self.get(key).ok_or_else(|| CliError::Usage(format!("missing required --{key}")))
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| CliError::Usage(format!("--{key} expects a number, got {v:?}"))),
+        }
+    }
+}
+
+fn profile_by_name(name: &str) -> Result<TraceProfile, CliError> {
+    match name.to_ascii_lowercase().as_str() {
+        "dtr" => Ok(TraceProfile::dtr()),
+        "lmbe" => Ok(TraceProfile::lmbe()),
+        "ra" => Ok(TraceProfile::ra()),
+        other => Err(CliError::Usage(format!(
+            "unknown profile {other:?} (expected dtr, lmbe or ra)"
+        ))),
+    }
+}
+
+fn scheme_by_name(name: &str, gl: f64, seed: u64) -> Result<Box<dyn Partitioner>, CliError> {
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "d2tree" => Box::new(D2TreeScheme::new(
+            D2TreeConfig::by_proportion(gl).with_seed(seed),
+        )),
+        "static" => Box::new(StaticSubtree::new(seed)),
+        "dynamic" => Box::new(DynamicSubtree::new(seed)),
+        "hash" => Box::new(HashMapping::new(seed)),
+        "drop" => Box::new(DropScheme::new(seed)),
+        "anglecut" => Box::new(AngleCut::new(seed)),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scheme {other:?} (expected d2tree, static, dynamic, hash, drop or anglecut)"
+            )))
+        }
+    })
+}
+
+fn load_workspace(opts: &Opts) -> Result<(NamespaceTree, Trace), CliError> {
+    let tree_path = opts.required("tree")?;
+    let trace_path = opts.required("trace")?;
+    let tree = trace_io::read_tree(BufReader::new(File::open(tree_path)?))?;
+    let trace = trace_io::read_trace(BufReader::new(File::open(trace_path)?), &tree)?;
+    Ok((tree, trace))
+}
+
+/// Runs one CLI invocation; `args` excludes the program name.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for usage mistakes, I/O failures and malformed
+/// input files.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Err(CliError::Usage(USAGE.to_owned()));
+    };
+    match command.as_str() {
+        "synth" => cmd_synth(&Opts::parse(rest)?),
+        "stats" => cmd_stats(&Opts::parse(rest)?),
+        "partition" => cmd_partition(&Opts::parse(rest)?),
+        "replay" => cmd_replay(&Opts::parse(rest)?),
+        "hotspots" => cmd_hotspots(&Opts::parse(rest)?),
+        "check" => cmd_check(&Opts::parse(rest)?),
+        "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
+        other => Err(CliError::Usage(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
+    }
+}
+
+fn cmd_synth(opts: &Opts) -> Result<String, CliError> {
+    let profile = profile_by_name(opts.get("profile").unwrap_or("dtr"))?
+        .with_nodes(opts.num("nodes", 20_000usize)?)
+        .with_operations(opts.num("ops", 100_000usize)?);
+    let seed = opts.num("seed", 42u64)?;
+    let out = opts.required("out")?;
+
+    let workload = WorkloadBuilder::new(profile).seed(seed).build();
+    let tree_path = format!("{out}.tree");
+    let trace_path = format!("{out}.trace");
+    trace_io::write_tree(BufWriter::new(File::create(&tree_path)?), &workload.tree)?;
+    trace_io::write_trace(
+        BufWriter::new(File::create(&trace_path)?),
+        &workload.trace,
+        &workload.tree,
+    )?;
+    Ok(format!(
+        "wrote {tree_path} ({} nodes, max depth {}) and {trace_path} ({} ops)\n",
+        workload.tree.node_count(),
+        workload.tree.max_depth(),
+        workload.trace.len()
+    ))
+}
+
+fn cmd_stats(opts: &Opts) -> Result<String, CliError> {
+    let (tree, trace) = load_workspace(opts)?;
+    let stats = TraceStats::measure("workspace", &trace, &tree);
+    Ok(format!(
+        "{stats}\n\
+         directories: {}\nfiles: {}\nmean access depth: {:.2}\n",
+        tree.directory_count(),
+        tree.file_count(),
+        stats.mean_access_depth
+    ))
+}
+
+fn cmd_partition(opts: &Opts) -> Result<String, CliError> {
+    let (tree, trace) = load_workspace(opts)?;
+    let m = opts.num("mds", 8usize)?;
+    let gl = opts.num("gl", 0.01f64)?;
+    let seed = opts.num("seed", 42u64)?;
+    let mut scheme = scheme_by_name(opts.required("scheme")?, gl, seed)?;
+
+    let pop = trace.popularity(&tree);
+    let cluster = ClusterSpec::homogeneous(m, pop.sum_individual().max(1.0) / m as f64);
+    scheme.build(&tree, &pop, &cluster);
+
+    let locality = scheme.locality(&tree, &pop);
+    let loads = scheme.loads(&tree, &pop);
+    let replicated = scheme.placement().replicated_count(&tree);
+    let mut out = String::new();
+    out.push_str(&format!("scheme: {}\n", scheme.name()));
+    out.push_str(&format!("cluster: {m} MDSs\n"));
+    out.push_str(&format!("replicated (global-layer) nodes: {replicated}\n"));
+    out.push_str(&format!("locality (Def. 3): {:.6e}\n", locality.locality));
+    out.push_str(&format!("balance (Def. 5): {:.3}\n", balance(&loads, &cluster)));
+    out.push_str("per-MDS loads:");
+    for l in &loads {
+        out.push_str(&format!(" {l:.0}"));
+    }
+    out.push('\n');
+    Ok(out)
+}
+
+fn cmd_replay(opts: &Opts) -> Result<String, CliError> {
+    let (tree, trace) = load_workspace(opts)?;
+    let m = opts.num("mds", 8usize)?;
+    let gl = opts.num("gl", 0.01f64)?;
+    let seed = opts.num("seed", 42u64)?;
+    let clients = opts.num("clients", 200usize)?;
+    let mut scheme = scheme_by_name(opts.required("scheme")?, gl, seed)?;
+
+    let pop = trace.popularity(&tree);
+    let cluster = ClusterSpec::homogeneous(m, 1.0);
+    scheme.build(&tree, &pop, &cluster);
+    let sim = Simulator::new(SimConfig { clients, seed, ..SimConfig::default() });
+    let out = sim.replay(&tree, &trace, scheme.as_ref());
+    Ok(format!(
+        "scheme: {}\ncompleted: {} ops in {:.3} virtual s\n\
+         throughput: {:.0} ops/s\nmean latency: {:.1} µs\np99 latency: {:.1} µs\n\
+         forwarding hops: {}\n",
+        scheme.name(),
+        out.completed,
+        out.sim_seconds,
+        out.throughput,
+        out.mean_latency_us,
+        out.p99_latency_us,
+        out.total_hops
+    ))
+}
+
+fn cmd_hotspots(opts: &Opts) -> Result<String, CliError> {
+    let (tree, trace) = load_workspace(opts)?;
+    let top = opts.num("top", 15usize)?;
+    let mut counts = std::collections::HashMap::new();
+    for op in &trace {
+        *counts.entry(op.target).or_insert(0u64) += 1;
+    }
+    let mut ranked: Vec<_> = counts.into_iter().collect();
+    ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked.truncate(top);
+    let total = trace.len().max(1) as f64;
+    let mut out = format!("top {} targets of {} ops:\n", ranked.len(), trace.len());
+    for (id, count) in ranked {
+        out.push_str(&format!(
+            "{count:>10}  {:>6.2}%  {}\n",
+            100.0 * count as f64 / total,
+            tree.path_of(id)
+        ));
+    }
+    Ok(out)
+}
+
+fn cmd_check(opts: &Opts) -> Result<String, CliError> {
+    let (tree, trace) = load_workspace(opts)?;
+    let m = opts.num("mds", 8usize)?;
+    let gl = opts.num("gl", 0.01f64)?;
+    let seed = opts.num("seed", 42u64)?;
+    let rounds = opts.num("rounds", 5usize)?;
+
+    let pop = trace.popularity(&tree);
+    let cluster = ClusterSpec::homogeneous(m, pop.sum_individual().max(1.0) / m as f64);
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::by_proportion(gl).with_seed(seed));
+    scheme.build(&tree, &pop, &cluster);
+    for _ in 0..rounds {
+        let _ = scheme.rebalance(&tree, &pop, &cluster);
+    }
+    let violations = d2tree_core::check_d2tree(
+        &tree,
+        scheme.placement(),
+        scheme.global_layer(),
+        scheme.local_index(),
+    );
+    if violations.is_empty() {
+        Ok(format!(
+            "OK: {} nodes, {} global-layer, {} subtrees, {} rebalance rounds — no violations\n",
+            tree.node_count(),
+            scheme.global_layer().len(),
+            scheme.subtrees().count(),
+            rounds
+        ))
+    } else {
+        let mut out = format!("{} violations:\n", violations.len());
+        for v in violations.iter().take(50) {
+            out.push_str(&format!("  {v}\n"));
+        }
+        Err(CliError::Usage(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    fn tmp_prefix(tag: &str) -> String {
+        let dir = std::env::temp_dir().join(format!("d2tree-cli-test-{tag}-{}", std::process::id()));
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn help_and_unknown_commands() {
+        assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
+        assert!(matches!(run(&args(&["bogus"])), Err(CliError::Usage(_))));
+        assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn synth_stats_partition_replay_pipeline() {
+        let prefix = tmp_prefix("pipeline");
+        let out = run(&args(&[
+            "synth", "--profile", "lmbe", "--nodes", "800", "--ops", "4000", "--seed", "7",
+            "--out", &prefix,
+        ]))
+        .unwrap();
+        assert!(out.contains("800 nodes"), "{out}");
+
+        let tree_file = format!("{prefix}.tree");
+        let trace_file = format!("{prefix}.trace");
+        let stats =
+            run(&args(&["stats", "--tree", &tree_file, "--trace", &trace_file])).unwrap();
+        assert!(stats.contains("4000 ops"), "{stats}");
+
+        for scheme in ["d2tree", "static", "dynamic", "hash", "drop", "anglecut"] {
+            let out = run(&args(&[
+                "partition", "--tree", &tree_file, "--trace", &trace_file, "--scheme", scheme,
+                "--mds", "4",
+            ]))
+            .unwrap();
+            assert!(out.contains("balance"), "{scheme}: {out}");
+        }
+
+        let replay = run(&args(&[
+            "replay", "--tree", &tree_file, "--trace", &trace_file, "--scheme", "d2tree",
+            "--mds", "4", "--clients", "16",
+        ]))
+        .unwrap();
+        assert!(replay.contains("completed: 4000 ops"), "{replay}");
+
+        let _ = std::fs::remove_file(tree_file);
+        let _ = std::fs::remove_file(trace_file);
+    }
+
+    #[test]
+    fn usage_errors_are_helpful() {
+        assert!(matches!(
+            run(&args(&["synth", "--nodes", "100"])),
+            Err(CliError::Usage(msg)) if msg.contains("--out")
+        ));
+        assert!(matches!(
+            run(&args(&["partition", "--tree", "x", "--trace", "y", "--scheme", "nope"])),
+            Err(CliError::Io(_)) | Err(CliError::Usage(_))
+        ));
+        assert!(matches!(
+            run(&args(&["synth", "--nodes", "abc", "--out", "x"])),
+            Err(CliError::Usage(msg)) if msg.contains("number")
+        ));
+    }
+
+    #[test]
+    fn hotspots_and_check_commands() {
+        let prefix = tmp_prefix("hotcheck");
+        run(&args(&[
+            "synth", "--profile", "dtr", "--nodes", "600", "--ops", "3000", "--out", &prefix,
+        ]))
+        .unwrap();
+        let tree_file = format!("{prefix}.tree");
+        let trace_file = format!("{prefix}.trace");
+        let hot = run(&args(&[
+            "hotspots", "--tree", &tree_file, "--trace", &trace_file, "--top", "5",
+        ]))
+        .unwrap();
+        assert!(hot.contains('%'), "{hot}");
+        assert!(hot.lines().count() <= 6);
+        let check = run(&args(&[
+            "check", "--tree", &tree_file, "--trace", &trace_file, "--mds", "4",
+        ]))
+        .unwrap();
+        assert!(check.starts_with("OK"), "{check}");
+        let _ = std::fs::remove_file(tree_file);
+        let _ = std::fs::remove_file(trace_file);
+    }
+
+    #[test]
+    fn missing_files_error_cleanly() {
+        let err = run(&args(&[
+            "stats", "--tree", "/no/such/file", "--trace", "/no/such/file",
+        ]))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Io(_)));
+        assert!(!err.to_string().is_empty());
+    }
+}

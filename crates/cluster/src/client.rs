@@ -1,0 +1,175 @@
+//! Client-side cache of the local index (Sec. IV-A2).
+//!
+//! Clients cache the inter-node → owner map with a version number and a
+//! lease (the GFS-style consistency mechanisms the paper borrows). A
+//! lookup first consults the cache; on a hit the query goes straight to
+//! the owning MDS, otherwise the target is assumed to live in the
+//! replicated global layer and any MDS will do.
+
+use d2tree_namespace::{NamespaceTree, NodeId};
+use d2tree_core::LocalIndex;
+use d2tree_metrics::MdsId;
+
+/// Where the client should send a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteDecision {
+    /// A cached inter-node entry points at this owner.
+    Owner(MdsId),
+    /// No prefix matched: the target is in the global layer, pick any MDS.
+    AnyMds,
+    /// The cached index lease expired; refresh before routing.
+    StaleCache,
+}
+
+/// A client's cached copy of the local index.
+///
+/// # Example
+///
+/// ```
+/// use d2tree_cluster::ClientCache;
+/// use d2tree_core::LocalIndex;
+/// use d2tree_metrics::MdsId;
+/// use d2tree_namespace::{NamespaceTree, NodeKind};
+///
+/// # fn main() -> Result<(), d2tree_namespace::TreeError> {
+/// let mut tree = NamespaceTree::new();
+/// let sub = tree.create(tree.root(), "project", NodeKind::Directory)?;
+/// let mut index = LocalIndex::new();
+/// index.insert(sub, MdsId(2));
+///
+/// let mut cache = ClientCache::new(1_000);
+/// cache.refresh(index, 0);
+/// use d2tree_cluster::client::RouteDecision;
+/// assert_eq!(cache.route(&tree, sub, 10), RouteDecision::Owner(MdsId(2)));
+/// assert_eq!(cache.route(&tree, tree.root(), 10), RouteDecision::AnyMds);
+/// assert_eq!(cache.route(&tree, sub, 2_000), RouteDecision::StaleCache);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ClientCache {
+    index: LocalIndex,
+    lease_ms: u64,
+    fetched_at_ms: u64,
+    has_index: bool,
+    hits: u64,
+    misses: u64,
+}
+
+impl ClientCache {
+    /// Creates an empty cache whose entries stay fresh for `lease_ms`.
+    #[must_use]
+    pub fn new(lease_ms: u64) -> Self {
+        ClientCache {
+            index: LocalIndex::new(),
+            lease_ms,
+            fetched_at_ms: 0,
+            has_index: false,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Installs a fresh index copy fetched at `now_ms`.
+    pub fn refresh(&mut self, index: LocalIndex, now_ms: u64) {
+        self.index = index;
+        self.fetched_at_ms = now_ms;
+        self.has_index = true;
+    }
+
+    /// The cached index version, if any copy is installed.
+    #[must_use]
+    pub fn version(&self) -> Option<u64> {
+        self.has_index.then(|| self.index.version())
+    }
+
+    /// Whether the cached copy is within its lease at `now_ms`.
+    #[must_use]
+    pub fn is_fresh(&self, now_ms: u64) -> bool {
+        self.has_index && now_ms.saturating_sub(self.fetched_at_ms) < self.lease_ms
+    }
+
+    /// Routes a query per the paper's client logic, recording hit/miss
+    /// statistics.
+    pub fn route(&mut self, tree: &NamespaceTree, target: NodeId, now_ms: u64) -> RouteDecision {
+        if !self.is_fresh(now_ms) {
+            self.misses += 1;
+            return RouteDecision::StaleCache;
+        }
+        match self.index.locate(tree, target) {
+            Some((_, owner)) => {
+                self.hits += 1;
+                RouteDecision::Owner(owner)
+            }
+            None => {
+                self.hits += 1;
+                RouteDecision::AnyMds
+            }
+        }
+    }
+
+    /// `(hits, misses)` counters.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2tree_namespace::NodeKind;
+
+    fn setup() -> (NamespaceTree, NodeId, LocalIndex) {
+        let mut tree = NamespaceTree::new();
+        let sub = tree.create(tree.root(), "s", NodeKind::Directory).unwrap();
+        let leaf = tree.create(sub, "leaf", NodeKind::File).unwrap();
+        let mut index = LocalIndex::new();
+        index.insert(sub, MdsId(1));
+        let _ = leaf;
+        (tree, sub, index)
+    }
+
+    #[test]
+    fn empty_cache_is_stale() {
+        let (tree, sub, _) = setup();
+        let mut cache = ClientCache::new(100);
+        assert_eq!(cache.route(&tree, sub, 0), RouteDecision::StaleCache);
+        assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(cache.version(), None);
+    }
+
+    #[test]
+    fn routes_through_subtree_prefix() {
+        let (tree, sub, index) = setup();
+        let leaf = tree.resolve_str("/s/leaf").unwrap();
+        let mut cache = ClientCache::new(100);
+        cache.refresh(index, 0);
+        assert_eq!(cache.route(&tree, leaf, 50), RouteDecision::Owner(MdsId(1)));
+        assert_eq!(cache.route(&tree, sub, 50), RouteDecision::Owner(MdsId(1)));
+        assert_eq!(cache.stats(), (2, 0));
+    }
+
+    #[test]
+    fn lease_expiry_forces_refresh() {
+        let (tree, sub, index) = setup();
+        let mut cache = ClientCache::new(100);
+        cache.refresh(index.clone(), 0);
+        assert!(cache.is_fresh(99));
+        assert!(!cache.is_fresh(100));
+        assert_eq!(cache.route(&tree, sub, 150), RouteDecision::StaleCache);
+        cache.refresh(index, 150);
+        assert_eq!(cache.route(&tree, sub, 160), RouteDecision::Owner(MdsId(1)));
+    }
+
+    #[test]
+    fn version_tracks_refreshes() {
+        let (_, sub, mut index) = setup();
+        let mut cache = ClientCache::new(100);
+        cache.refresh(index.clone(), 0);
+        let v1 = cache.version().unwrap();
+        index.insert(sub, MdsId(3));
+        cache.refresh(index, 10);
+        assert!(cache.version().unwrap() > v1);
+    }
+}

@@ -1,0 +1,35 @@
+//! MDS-cluster substrate for the D2-Tree reproduction.
+//!
+//! The paper evaluates on 33 EC2 instances (1 Monitor + 32 MDSs, 100 Mbps
+//! links). This crate substitutes two in-process equivalents:
+//!
+//! * [`sim`] — a deterministic discrete-event simulator modelling the
+//!   pieces throughput actually depends on: per-MDS service queues with a
+//!   fixed worker count, per-hop network latency, and the Zookeeper-style
+//!   lock serialisation of global-layer updates. Fig. 5 is regenerated on
+//!   top of it.
+//! * [`live`] — a real multi-threaded cluster (one OS thread per MDS,
+//!   crossbeam channels as the network, a length-prefixed `bytes` wire
+//!   codec) used by the integration tests and examples to exercise true
+//!   concurrency, heartbeats and fail-over.
+//!
+//! Shared building blocks: [`message`] (the wire protocol), [`lock`] (the
+//! lease-based lock service of Sec. IV-A3), [`client`] (the client-side
+//! local-index cache) and [`monitor`] (membership, heartbeats, pending
+//! pool, failure detection).
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod client;
+pub mod live;
+pub mod lock;
+pub mod message;
+pub mod monitor;
+pub mod sim;
+
+pub use client::ClientCache;
+pub use lock::{LockService, LockToken};
+pub use message::{Request, RequestId, Response, ResponseBody};
+pub use monitor::{ClusterEvent, Monitor, MonitorConfig};
+pub use sim::{RebalancedReplay, ReplayOutcome, SimConfig, Simulator};

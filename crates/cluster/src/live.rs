@@ -1,0 +1,843 @@
+//! A real multi-threaded MDS cluster: one OS thread per server, crossbeam
+//! channels as the network, the `bytes` wire codec on every message, a
+//! Monitor thread doing heartbeat-based failure detection, and fail-over
+//! that re-homes a dead server's nodes onto the survivors.
+//!
+//! This runtime exists to exercise true concurrency — races between
+//! clients, the Monitor and fail-over — that the deterministic simulator
+//! cannot. The integration tests and the `rebalance_on_failure` example
+//! run on it.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
+use bytes::Bytes;
+use d2tree_namespace::{AttrTable, NamespaceTree, NodeId};
+use d2tree_core::Heartbeat;
+use d2tree_metrics::{Assignment, MdsId, Placement};
+use d2tree_workload::{OpKind, Operation};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use d2tree_core::LocalIndex;
+
+use crate::client::{ClientCache, RouteDecision};
+use crate::lock::LockService;
+use crate::message::{Request, RequestId, Response, ResponseBody};
+use crate::monitor::{ClusterEvent, Monitor, MonitorConfig};
+
+/// Tuning of the live runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct LiveConfig {
+    /// How often each MDS heartbeats the Monitor.
+    pub heartbeat_interval: Duration,
+    /// Monitor failure-declaration timeout.
+    pub failure_timeout: Duration,
+    /// Client-side per-attempt response timeout.
+    pub request_timeout: Duration,
+    /// Client-side attempt budget per operation.
+    pub max_retries: usize,
+    /// How long a client's cached local index stays fresh before it
+    /// re-fetches (the GFS-style lease of Sec. IV-A2).
+    pub index_lease: Duration,
+    /// Live rebalancing trigger: the Monitor migrates a hot subtree when
+    /// the busiest server's recent local-layer load exceeds the lightest's
+    /// by this factor. `f64::INFINITY` disables live rebalancing.
+    pub rebalance_factor: f64,
+}
+
+impl Default for LiveConfig {
+    fn default() -> Self {
+        LiveConfig {
+            heartbeat_interval: Duration::from_millis(20),
+            failure_timeout: Duration::from_millis(120),
+            request_timeout: Duration::from_millis(50),
+            max_retries: 40,
+            index_lease: Duration::from_millis(500),
+            rebalance_factor: 3.0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum ServerMsg {
+    Frame(Bytes, Sender<Bytes>),
+    /// Control-plane request for the current local index (clients refresh
+    /// their cache through this; it is not part of the data-path codec).
+    FetchIndex(Sender<LocalIndex>),
+    Shutdown,
+}
+
+#[derive(Debug)]
+struct Shared {
+    tree: Arc<NamespaceTree>,
+    placement: RwLock<Placement>,
+    index: RwLock<LocalIndex>,
+    /// One attribute store per server — the replicated metadata state.
+    /// Global-layer mutations commit on the serving replica and propagate
+    /// version-gated to the others while the per-node lock is held.
+    attr_stores: Vec<RwLock<AttrTable>>,
+    /// Recent served-op counts per local-layer subtree root — the access
+    /// counters MDSs report so the Monitor can rebalance (Sec. IV-B).
+    /// Decayed by the Monitor after each inspection.
+    subtree_counts: RwLock<HashMap<NodeId, f64>>,
+    rebalance_factor: f64,
+    migrations: AtomicU64,
+    locks: LockService,
+    killed: Vec<AtomicBool>,
+    served: Vec<AtomicU64>,
+    redirects: AtomicU64,
+    epoch: Instant,
+}
+
+impl Shared {
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+}
+
+/// Final report returned by [`LiveCluster::shutdown`].
+#[derive(Debug, Clone)]
+pub struct LiveReport {
+    /// Operations served per MDS.
+    pub served: Vec<u64>,
+    /// Redirect responses issued (mis-routed requests).
+    pub redirects: u64,
+    /// Live subtree migrations the Monitor performed.
+    pub migrations: u64,
+    /// Membership events the Monitor recorded.
+    pub events: Vec<ClusterEvent>,
+}
+
+/// A running in-process MDS cluster.
+///
+/// Start it with a complete [`Placement`] (usually from a built scheme),
+/// obtain any number of [`LiveClient`]s, optionally [`kill`] servers to
+/// test fail-over, then [`shutdown`] for the final report.
+///
+/// [`kill`]: LiveCluster::kill
+/// [`shutdown`]: LiveCluster::shutdown
+#[derive(Debug)]
+pub struct LiveCluster {
+    shared: Arc<Shared>,
+    config: LiveConfig,
+    server_txs: Vec<Sender<ServerMsg>>,
+    server_handles: Vec<JoinHandle<()>>,
+    monitor_handle: Option<JoinHandle<Monitor>>,
+    monitor_stop: Arc<AtomicBool>,
+}
+
+impl LiveCluster {
+    /// Spawns `placement.cluster_size()` server threads plus the Monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is not complete for `tree`.
+    #[must_use]
+    pub fn start(tree: Arc<NamespaceTree>, placement: Placement, config: LiveConfig) -> Self {
+        Self::start_with_index(tree, placement, LocalIndex::new(), config)
+    }
+
+    /// Like [`start`](Self::start), seeding the servers with a local index
+    /// (usually `D2TreeScheme::local_index().clone()`), which clients then
+    /// cache and route by. Without one, clients fall back to contacting
+    /// arbitrary servers and following redirects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is not complete for `tree`.
+    #[must_use]
+    pub fn start_with_index(
+        tree: Arc<NamespaceTree>,
+        placement: Placement,
+        index: LocalIndex,
+        config: LiveConfig,
+    ) -> Self {
+        assert!(placement.is_complete(&tree), "live cluster needs a complete placement");
+        let m = placement.cluster_size();
+        let attr_stores = (0..m).map(|_| RwLock::new(AttrTable::new(&tree))).collect();
+        let shared = Arc::new(Shared {
+            tree,
+            placement: RwLock::new(placement),
+            index: RwLock::new(index),
+            attr_stores,
+            subtree_counts: RwLock::new(HashMap::new()),
+            rebalance_factor: config.rebalance_factor,
+            migrations: AtomicU64::new(0),
+            locks: LockService::new(1_000),
+            killed: (0..m).map(|_| AtomicBool::new(false)).collect(),
+            served: (0..m).map(|_| AtomicU64::new(0)).collect(),
+            redirects: AtomicU64::new(0),
+            epoch: Instant::now(),
+        });
+
+        let (hb_tx, hb_rx) = unbounded::<Heartbeat>();
+        let mut server_txs = Vec::with_capacity(m);
+        let mut server_handles = Vec::with_capacity(m);
+        for k in 0..m {
+            let (tx, rx) = unbounded::<ServerMsg>();
+            server_txs.push(tx);
+            let shared = Arc::clone(&shared);
+            let hb_tx = hb_tx.clone();
+            let interval = config.heartbeat_interval;
+            server_handles.push(std::thread::spawn(move || {
+                server_main(&shared, k, &rx, &hb_tx, interval);
+            }));
+        }
+        drop(hb_tx);
+
+        let monitor_stop = Arc::new(AtomicBool::new(false));
+        let monitor_handle = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&monitor_stop);
+            let mon_config = MonitorConfig {
+                heartbeat_interval_ms: config.heartbeat_interval.as_millis() as u64,
+                failure_timeout_ms: config.failure_timeout.as_millis() as u64,
+                ..MonitorConfig::default()
+            };
+            std::thread::spawn(move || monitor_main(&shared, m, mon_config, &hb_rx, &stop))
+        };
+
+        LiveCluster {
+            shared,
+            config,
+            server_txs,
+            server_handles,
+            monitor_handle: Some(monitor_handle),
+            monitor_stop,
+        }
+    }
+
+    /// A new client handle (clients are cheap; make one per thread).
+    #[must_use]
+    pub fn client(&self, seed: u64) -> LiveClient {
+        LiveClient {
+            shared: Arc::clone(&self.shared),
+            server_txs: self.server_txs.clone(),
+            timeout: self.config.request_timeout,
+            max_retries: self.config.max_retries,
+            cache: ClientCache::new(self.config.index_lease.as_millis() as u64),
+            next_id: 1,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Crash-stops one MDS: it silently drops every message and stops
+    /// heartbeating, exactly like a crashed process behind a live socket.
+    pub fn kill(&self, mds: MdsId) {
+        self.shared.killed[mds.index()].store(true, Ordering::SeqCst);
+    }
+
+    /// Snapshot of the current placement (e.g. to observe fail-over).
+    #[must_use]
+    pub fn placement_snapshot(&self) -> Placement {
+        self.shared.placement.read().clone()
+    }
+
+    /// The attribute version server `mds` holds for `node` — used to
+    /// verify replica convergence after global-layer updates.
+    #[must_use]
+    pub fn attr_version(&self, mds: MdsId, node: NodeId) -> u64 {
+        self.shared.attr_stores[mds.index()].read().get(node).version
+    }
+
+    /// Stops every thread and returns the run's report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a server or the Monitor thread panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> LiveReport {
+        for tx in &self.server_txs {
+            let _ = tx.send(ServerMsg::Shutdown);
+        }
+        for h in self.server_handles.drain(..) {
+            h.join().expect("server thread panicked");
+        }
+        self.monitor_stop.store(true, Ordering::SeqCst);
+        let monitor = self
+            .monitor_handle
+            .take()
+            .expect("shutdown called once")
+            .join()
+            .expect("monitor thread panicked");
+        LiveReport {
+            served: self.shared.served.iter().map(|s| s.load(Ordering::SeqCst)).collect(),
+            redirects: self.shared.redirects.load(Ordering::SeqCst),
+            migrations: self.shared.migrations.load(Ordering::SeqCst),
+            events: monitor.events().to_vec(),
+        }
+    }
+}
+
+fn server_main(
+    shared: &Shared,
+    me: usize,
+    rx: &Receiver<ServerMsg>,
+    hb_tx: &Sender<Heartbeat>,
+    interval: Duration,
+) {
+    let my_id = MdsId(me as u16);
+    let mut last_hb = Instant::now() - interval; // heartbeat immediately
+    loop {
+        if !shared.killed[me].load(Ordering::SeqCst) && last_hb.elapsed() >= interval {
+            let load = shared.served[me].load(Ordering::SeqCst) as f64;
+            let _ = hb_tx.send(Heartbeat { mds: my_id, load });
+            last_hb = Instant::now();
+        }
+        match rx.recv_timeout(interval) {
+            Ok(ServerMsg::Shutdown) => break,
+            Ok(ServerMsg::FetchIndex(reply)) => {
+                if !shared.killed[me].load(Ordering::SeqCst) {
+                    let _ = reply.send(shared.index.read().clone());
+                }
+            }
+            Ok(ServerMsg::Frame(mut frame, reply)) => {
+                if shared.killed[me].load(Ordering::SeqCst) {
+                    continue; // crashed: silently drop
+                }
+                let Some(req) = Request::decode(&mut frame) else { continue };
+                let assignment = shared.placement.read().assignment(req.target);
+                let body = match assignment {
+                    Assignment::Replicated => {
+                        if req.kind == OpKind::Update {
+                            // Global-layer mutation: serialise through the
+                            // lock service (spin until granted), commit on
+                            // this replica, propagate to the others while
+                            // the lock is held.
+                            let token = loop {
+                                if let Some(t) =
+                                    shared.locks.try_acquire(req.target, shared.now_ms())
+                                {
+                                    break t;
+                                }
+                                std::thread::yield_now();
+                            };
+                            let now = shared.now_ms();
+                            shared.attr_stores[me]
+                                .write()
+                                .update(req.target, |a| a.mtime = now);
+                            let committed = shared.attr_stores[me].read().get(req.target);
+                            for (k, store) in shared.attr_stores.iter().enumerate() {
+                                if k != me {
+                                    store.write().apply_if_newer(req.target, committed);
+                                }
+                            }
+                            let released = shared.locks.release(token);
+                            debug_assert!(released, "fresh token releases cleanly");
+                        }
+                        ResponseBody::Served { node: req.target }
+                    }
+                    Assignment::Single(owner) if owner == my_id => {
+                        if req.kind == OpKind::Update {
+                            // Local-layer mutation: single copy, no lock.
+                            let now = shared.now_ms();
+                            shared.attr_stores[me]
+                                .write()
+                                .update(req.target, |a| a.mtime = now);
+                        }
+                        ResponseBody::Served { node: req.target }
+                    }
+                    Assignment::Single(owner) => {
+                        shared.redirects.fetch_add(1, Ordering::Relaxed);
+                        ResponseBody::Redirect { owner }
+                    }
+                    Assignment::Unassigned => ResponseBody::NotFound,
+                };
+                if matches!(body, ResponseBody::Served { .. }) {
+                    shared.served[me].fetch_add(1, Ordering::Relaxed);
+                    if matches!(assignment, Assignment::Single(_)) {
+                        if let Some((root, _)) =
+                            shared.index.read().locate(&shared.tree, req.target)
+                        {
+                            *shared.subtree_counts.write().entry(root).or_insert(0.0) += 1.0;
+                        }
+                    }
+                }
+                let resp =
+                    Response { id: req.id, from: my_id, body, hops: req.hops };
+                let _ = reply.send(resp.encode());
+            }
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+}
+
+fn monitor_main(
+    shared: &Shared,
+    m: usize,
+    config: MonitorConfig,
+    hb_rx: &Receiver<Heartbeat>,
+    stop: &AtomicBool,
+) -> Monitor {
+    let mut mon = Monitor::new(config, m);
+    let tick = Duration::from_millis(config.heartbeat_interval_ms.max(1));
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match hb_rx.recv_timeout(tick) {
+            Ok(hb) => mon.on_heartbeat(hb, shared.now_ms()),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        let now = shared.now_ms();
+        live_rebalance(shared, &mon, m, now);
+        for event in mon.detect_failures(now) {
+            if let ClusterEvent::MdsFailed(dead) = event {
+                // Re-home the dead server's nodes onto the survivors,
+                // spreading round-robin (whole subtrees stay together
+                // because children shared the dead owner).
+                let survivors: Vec<MdsId> = (0..m as u16)
+                    .map(MdsId)
+                    .filter(|&k| k != dead && mon.is_alive(k, now))
+                    .collect();
+                if survivors.is_empty() {
+                    continue;
+                }
+                let mut placement = shared.placement.write();
+                let mut i = 0usize;
+                for (id, _) in shared.tree.nodes() {
+                    if placement.assignment(id).owner() == Some(dead) {
+                        placement.set(id, Assignment::Single(survivors[i % survivors.len()]));
+                        i += 1;
+                    }
+                }
+                drop(placement);
+                // Re-point the published local index so freshly-fetched
+                // client caches route around the dead server.
+                let placement = shared.placement.read();
+                let mut index = shared.index.write();
+                let stale: Vec<_> = index
+                    .iter()
+                    .filter(|(_, owner)| *owner == dead)
+                    .map(|(root, _)| root)
+                    .collect();
+                for root in stale {
+                    if let Some(new_owner) = placement.assignment(root).owner() {
+                        index.insert(root, new_owner);
+                    }
+                }
+            }
+        }
+    }
+    mon
+}
+
+/// One live rebalancing inspection (Sec. IV-B's dynamic adjustment,
+/// driven by the access counters the servers accumulate): when the
+/// busiest alive server's recent local-layer load exceeds the lightest's
+/// by the configured factor, its hottest subtree migrates — placement and
+/// published index are rewritten so subsequent (re-)fetched client caches
+/// route to the new owner.
+fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
+    if !shared.rebalance_factor.is_finite() {
+        return;
+    }
+    let counts_snapshot: Vec<(NodeId, f64)> = {
+        let counts = shared.subtree_counts.read();
+        counts.iter().map(|(&k, &v)| (k, v)).collect()
+    };
+    if counts_snapshot.is_empty() {
+        return;
+    }
+    let placement = shared.placement.read();
+    let mut per_server = vec![0.0f64; m];
+    for &(root, c) in &counts_snapshot {
+        if let Some(owner) = placement.assignment(root).owner() {
+            per_server[owner.index()] += c;
+        }
+    }
+    drop(placement);
+    let alive: Vec<usize> =
+        (0..m).filter(|&k| mon.is_alive(MdsId(k as u16), now)).collect();
+    if alive.len() < 2 {
+        return;
+    }
+    let &busy = alive
+        .iter()
+        .max_by(|&&a, &&b| per_server[a].total_cmp(&per_server[b]))
+        .expect("non-empty");
+    let &light = alive
+        .iter()
+        .min_by(|&&a, &&b| per_server[a].total_cmp(&per_server[b]))
+        .expect("non-empty");
+    if per_server[busy] < shared.rebalance_factor * per_server[light].max(1.0) {
+        return;
+    }
+    // Shed the busy server's hottest subtree to the light one.
+    let placement = shared.placement.read();
+    let hottest = counts_snapshot
+        .iter()
+        .filter(|(root, _)| placement.assignment(*root).owner() == Some(MdsId(busy as u16)))
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|&(root, _)| root);
+    drop(placement);
+    let Some(root) = hottest else { return };
+    let to = MdsId(light as u16);
+    {
+        let mut placement = shared.placement.write();
+        placement.assign_subtree(&shared.tree, root, to);
+    }
+    shared.index.write().insert(root, to);
+    shared.migrations.fetch_add(1, Ordering::Relaxed);
+    // Decay the counters so the next decision reflects fresh traffic.
+    let mut counts = shared.subtree_counts.write();
+    for v in counts.values_mut() {
+        *v *= 0.5;
+    }
+}
+
+/// Errors a live client can hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// All retries exhausted (e.g. the cluster is entirely down).
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: usize,
+    },
+    /// The target node has no assignment anywhere.
+    NotFound,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::RetriesExhausted { attempts } => {
+                write!(f, "request failed after {attempts} attempts")
+            }
+            ClientError::NotFound => f.write_str("target metadata not found"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// A client of the live cluster: routes through its cached local index,
+/// retries, follows redirects, refreshes the index when its lease expires
+/// and survives fail-over.
+#[derive(Debug)]
+pub struct LiveClient {
+    shared: Arc<Shared>,
+    server_txs: Vec<Sender<ServerMsg>>,
+    timeout: Duration,
+    max_retries: usize,
+    cache: ClientCache,
+    next_id: u64,
+    rng: StdRng,
+}
+
+impl LiveClient {
+    fn random_server(&mut self) -> MdsId {
+        MdsId(self.rng.gen_range(0..self.server_txs.len()) as u16)
+    }
+
+    /// Fetches a fresh index copy from some responsive server.
+    fn refresh_cache(&mut self) {
+        for _ in 0..self.server_txs.len().max(1) {
+            let dest = self.random_server();
+            let (tx, rx) = bounded(1);
+            if self.server_txs[dest.index()].send(ServerMsg::FetchIndex(tx)).is_err() {
+                continue;
+            }
+            if let Ok(index) = rx.recv_timeout(self.timeout) {
+                self.cache.refresh(index, self.shared.now_ms());
+                return;
+            }
+        }
+        // Every server timed out; leave the cache stale and let the
+        // data-path retries cope via redirects.
+    }
+
+    /// `(hits, misses)` of this client's index cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Executes one metadata operation to completion.
+    ///
+    /// Routing follows the paper's client logic: consult the cached local
+    /// index; on a prefix hit go straight to the owner, otherwise any MDS
+    /// will do (the global layer is everywhere). Stale routes surface as
+    /// redirects or timeouts and are retried.
+    ///
+    /// # Errors
+    ///
+    /// * [`ClientError::NotFound`] — no server admits owning the target.
+    /// * [`ClientError::RetriesExhausted`] — no server answered within the
+    ///   attempt budget.
+    pub fn execute(&mut self, op: Operation) -> Result<Response, ClientError> {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let mut hops = 0u32;
+        let mut forced_dest: Option<MdsId> = None;
+        let mut not_found_streak = 0usize;
+        for _attempt in 0..self.max_retries {
+            let dest = match forced_dest.take() {
+                Some(d) => d,
+                None => {
+                    let now = self.shared.now_ms();
+                    match self.cache.route(&self.shared.tree, op.target, now) {
+                        RouteDecision::Owner(owner) => owner,
+                        RouteDecision::AnyMds => self.random_server(),
+                        RouteDecision::StaleCache => {
+                            self.refresh_cache();
+                            match self.cache.route(&self.shared.tree, op.target, now) {
+                                RouteDecision::Owner(owner) => owner,
+                                _ => self.random_server(),
+                            }
+                        }
+                    }
+                }
+            };
+            let req = Request { id, kind: op.kind, target: op.target, hops };
+            let (tx, rx) = bounded(1);
+            if self.server_txs[dest.index()].send(ServerMsg::Frame(req.encode(), tx)).is_err() {
+                continue; // server thread gone; re-route next attempt
+            }
+            match rx.recv_timeout(self.timeout) {
+                Ok(mut frame) => match Response::decode(&mut frame) {
+                    Some(resp) => match resp.body {
+                        ResponseBody::Served { .. } => return Ok(resp),
+                        ResponseBody::Redirect { owner } => {
+                            hops += 1;
+                            forced_dest = Some(owner);
+                        }
+                        ResponseBody::NotFound => {
+                            not_found_streak += 1;
+                            if not_found_streak >= 3 {
+                                return Err(ClientError::NotFound);
+                            }
+                            // Possibly mid-fail-over; back off and re-route.
+                            std::thread::sleep(self.timeout / 4);
+                        }
+                    },
+                    None => continue,
+                },
+                Err(_) => {
+                    // Dead or overloaded server; the placement (and index)
+                    // may change under us — drop the stale hint.
+                    continue;
+                }
+            }
+        }
+        Err(ClientError::RetriesExhausted { attempts: self.max_retries })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
+    use d2tree_metrics::ClusterSpec;
+    use d2tree_workload::{TraceProfile, WorkloadBuilder};
+
+    fn build_cluster(m: usize) -> (Arc<NamespaceTree>, LiveCluster, d2tree_workload::Trace) {
+        let w = WorkloadBuilder::new(
+            TraceProfile::dtr().with_nodes(600).with_operations(600),
+        )
+        .seed(10)
+        .build();
+        let pop = w.popularity();
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(m, 1.0));
+        let placement = scheme.placement().clone();
+        let index = scheme.local_index().clone();
+        let tree = Arc::new(w.tree);
+        let cluster = LiveCluster::start_with_index(
+            Arc::clone(&tree),
+            placement,
+            index,
+            LiveConfig::default(),
+        );
+        (tree, cluster, w.trace)
+    }
+
+    #[test]
+    fn serves_a_whole_trace() {
+        let (_tree, cluster, trace) = build_cluster(3);
+        let mut client = cluster.client(1);
+        for op in trace.iter().take(300) {
+            let resp = client.execute(*op).expect("op served");
+            assert!(matches!(resp.body, ResponseBody::Served { .. }));
+        }
+        let report = cluster.shutdown();
+        assert_eq!(report.served.iter().sum::<u64>(), 300);
+    }
+
+    #[test]
+    fn concurrent_clients_all_complete() {
+        let (_tree, cluster, trace) = build_cluster(4);
+        let cluster = Arc::new(cluster);
+        let trace = Arc::new(trace);
+        let mut handles = Vec::new();
+        for c in 0..4u64 {
+            let mut client = cluster.client(c);
+            let trace = Arc::clone(&trace);
+            handles.push(std::thread::spawn(move || {
+                trace
+                    .iter()
+                    .skip(c as usize * 100)
+                    .take(100)
+                    .map(|op| client.execute(*op).is_ok())
+                    .filter(|&ok| ok)
+                    .count()
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 400);
+        let cluster = Arc::try_unwrap(cluster).expect("all clients done");
+        let report = cluster.shutdown();
+        assert_eq!(report.served.iter().sum::<u64>(), 400);
+    }
+
+    #[test]
+    fn failover_rehomes_a_dead_servers_nodes() {
+        let (tree, cluster, _trace) = build_cluster(3);
+        // Find any single-owner node and kill its server.
+        let (victim_node, dead_mds) = {
+            let placement = cluster.placement_snapshot();
+            tree.nodes()
+                .filter_map(|(id, _)| placement.assignment(id).owner().map(|o| (id, o)))
+                .next()
+                .expect("some node has a single owner")
+        };
+        // Let every server heartbeat at least once so the Monitor knows
+        // it (a never-seen server counts as joining, not failed).
+        std::thread::sleep(Duration::from_millis(100));
+        cluster.kill(dead_mds);
+        // Wait for the monitor to declare the failure and re-home.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let owner = cluster.placement_snapshot().assignment(victim_node).owner();
+            if owner.is_some() && owner != Some(dead_mds) {
+                break;
+            }
+            assert!(Instant::now() < deadline, "fail-over did not happen in time");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        // The node is reachable again through a fresh client.
+        let mut client = cluster.client(7);
+        let resp = client
+            .execute(Operation { target: victim_node, kind: OpKind::Read })
+            .expect("served after fail-over");
+        assert!(matches!(resp.body, ResponseBody::Served { .. }));
+        let report = cluster.shutdown();
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, ClusterEvent::MdsFailed(m) if *m == dead_mds)));
+    }
+
+    #[test]
+    fn monitor_migrates_a_hammered_subtree() {
+        let (tree, cluster, _trace) = build_cluster(3);
+        std::thread::sleep(Duration::from_millis(80)); // servers known
+        // Find an indexed local-layer subtree and hammer it.
+        let placement = cluster.placement_snapshot();
+        let (root, original_owner) = tree
+            .nodes()
+            .filter_map(|(id, _)| placement.assignment(id).owner().map(|o| (id, o)))
+            .next()
+            .expect("some single-owner node");
+        let mut client = cluster.client(50);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            for _ in 0..200 {
+                let _ = client.execute(Operation { target: root, kind: OpKind::Read });
+            }
+            let owner = cluster.placement_snapshot().assignment(root).owner();
+            if owner.is_some() && owner != Some(original_owner) {
+                break; // migrated away from the hot server
+            }
+            assert!(Instant::now() < deadline, "monitor never rebalanced the hot subtree");
+        }
+        let report = cluster.shutdown();
+        assert!(report.migrations > 0);
+    }
+
+    #[test]
+    fn concurrent_gl_updates_converge_on_all_replicas() {
+        let (tree, cluster, _trace) = build_cluster(3);
+        let cluster = Arc::new(cluster);
+        let root = tree.root();
+        let mut handles = Vec::new();
+        for c in 0..4u64 {
+            let mut client = cluster.client(100 + c);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..25 {
+                    client
+                        .execute(Operation { target: root, kind: OpKind::Update })
+                        .expect("update served");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // Every replica saw every one of the 100 lock-serialised commits.
+        let versions: Vec<u64> =
+            (0..3).map(|k| cluster.attr_version(MdsId(k), root)).collect();
+        assert_eq!(versions, vec![100, 100, 100], "replicas diverged: {versions:?}");
+        let _ = Arc::try_unwrap(cluster).unwrap().shutdown();
+    }
+
+    #[test]
+    fn seeded_index_cuts_redirects() {
+        let w = WorkloadBuilder::new(
+            TraceProfile::dtr().with_nodes(600).with_operations(600),
+        )
+        .seed(10)
+        .build();
+        let pop = w.popularity();
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(4, 1.0));
+        let placement = scheme.placement().clone();
+        let index = scheme.local_index().clone();
+        let tree = Arc::new(w.tree);
+
+        let run = |with_index: bool| {
+            let cluster = if with_index {
+                LiveCluster::start_with_index(
+                    Arc::clone(&tree),
+                    placement.clone(),
+                    index.clone(),
+                    LiveConfig::default(),
+                )
+            } else {
+                LiveCluster::start(Arc::clone(&tree), placement.clone(), LiveConfig::default())
+            };
+            let mut client = cluster.client(3);
+            for op in w.trace.iter().take(400) {
+                client.execute(*op).expect("served");
+            }
+            cluster.shutdown().redirects
+        };
+        let with_index = run(true);
+        let without = run(false);
+        assert!(
+            with_index < without,
+            "index-cached routing should redirect less: {with_index} vs {without}"
+        );
+    }
+
+    #[test]
+    fn updates_on_global_layer_take_the_lock() {
+        let (tree, cluster, _trace) = build_cluster(2);
+        let mut client = cluster.client(3);
+        // The root is always in the global layer.
+        let resp = client
+            .execute(Operation { target: tree.root(), kind: OpKind::Update })
+            .expect("update served");
+        assert!(matches!(resp.body, ResponseBody::Served { .. }));
+        let _ = cluster.shutdown();
+    }
+}

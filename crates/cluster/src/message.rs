@@ -1,0 +1,257 @@
+//! Wire protocol of the MDS cluster, with a length-prefixed binary codec.
+//!
+//! The live runtime sends these frames over its channel "network"; the
+//! codec is the same one a TCP deployment would use (length-prefixed,
+//! fixed-width big-endian fields), so the tests exercise real
+//! encode/decode paths.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use d2tree_namespace::NodeId;
+use d2tree_metrics::MdsId;
+use d2tree_workload::OpKind;
+use serde::{Deserialize, Serialize};
+
+/// Unique id a client assigns to each outstanding request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct RequestId(pub u64);
+
+/// A metadata request from a client (or a forwarding MDS).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-assigned id, echoed in the response.
+    pub id: RequestId,
+    /// Operation kind.
+    pub kind: OpKind,
+    /// Target metadata node.
+    pub target: NodeId,
+    /// How many times this request has been forwarded between MDSs.
+    pub hops: u32,
+}
+
+/// What an MDS answers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ResponseBody {
+    /// The operation was served by this MDS.
+    Served {
+        /// Node the metadata belongs to.
+        node: NodeId,
+    },
+    /// This MDS does not own the target; retry at the given server.
+    Redirect {
+        /// The server believed to own the target.
+        owner: MdsId,
+    },
+    /// The target does not exist (or its owner is down and not yet
+    /// re-homed).
+    NotFound,
+}
+
+/// A response frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Response {
+    /// Echoed request id.
+    pub id: RequestId,
+    /// Serving MDS.
+    pub from: MdsId,
+    /// Outcome.
+    pub body: ResponseBody,
+    /// Total forwarding hops the request experienced.
+    pub hops: u32,
+}
+
+const KIND_READ: u8 = 0;
+const KIND_WRITE: u8 = 1;
+const KIND_UPDATE: u8 = 2;
+
+const BODY_SERVED: u8 = 0;
+const BODY_REDIRECT: u8 = 1;
+const BODY_NOT_FOUND: u8 = 2;
+
+impl Request {
+    /// Encodes the request as one length-prefixed frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + 17);
+        buf.put_u32(17);
+        buf.put_u64(self.id.0);
+        buf.put_u8(match self.kind {
+            OpKind::Read => KIND_READ,
+            OpKind::Write => KIND_WRITE,
+            OpKind::Update => KIND_UPDATE,
+        });
+        buf.put_u32(self.target.index() as u32);
+        buf.put_u32(self.hops);
+        buf.freeze()
+    }
+
+    /// Decodes one frame produced by [`encode`](Self::encode).
+    ///
+    /// Returns `None` if the buffer does not hold a complete, well-formed
+    /// frame.
+    #[must_use]
+    pub fn decode(buf: &mut Bytes) -> Option<Request> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes(buf[..4].try_into().ok()?) as usize;
+        if buf.len() < 4 + len || len != 17 {
+            return None;
+        }
+        buf.advance(4);
+        let id = RequestId(buf.get_u64());
+        let kind = match buf.get_u8() {
+            KIND_READ => OpKind::Read,
+            KIND_WRITE => OpKind::Write,
+            KIND_UPDATE => OpKind::Update,
+            _ => return None,
+        };
+        let target = NodeId::from_index(buf.get_u32() as usize);
+        let hops = buf.get_u32();
+        Some(Request { id, kind, target, hops })
+    }
+}
+
+impl Response {
+    /// Encodes the response as one length-prefixed frame.
+    #[must_use]
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(4 + 20);
+        buf.put_u32(20);
+        buf.put_u64(self.id.0);
+        buf.put_u16(self.from.0);
+        match self.body {
+            ResponseBody::Served { node } => {
+                buf.put_u8(BODY_SERVED);
+                buf.put_u32(node.index() as u32);
+                buf.put_u16(0);
+            }
+            ResponseBody::Redirect { owner } => {
+                buf.put_u8(BODY_REDIRECT);
+                buf.put_u32(0);
+                buf.put_u16(owner.0);
+            }
+            ResponseBody::NotFound => {
+                buf.put_u8(BODY_NOT_FOUND);
+                buf.put_u32(0);
+                buf.put_u16(0);
+            }
+        }
+        buf.put_u32(self.hops);
+        buf.freeze()
+    }
+
+    /// Decodes one frame produced by [`encode`](Self::encode).
+    ///
+    /// Returns `None` if the buffer does not hold a complete, well-formed
+    /// frame.
+    #[must_use]
+    pub fn decode(buf: &mut Bytes) -> Option<Response> {
+        if buf.len() < 4 {
+            return None;
+        }
+        let len = u32::from_be_bytes(buf[..4].try_into().ok()?) as usize;
+        if buf.len() < 4 + len || len != 20 {
+            return None;
+        }
+        buf.advance(4);
+        let id = RequestId(buf.get_u64());
+        let from = MdsId(buf.get_u16());
+        let tag = buf.get_u8();
+        let node_raw = buf.get_u32();
+        let owner_raw = buf.get_u16();
+        let hops = buf.get_u32();
+        let body = match tag {
+            BODY_SERVED => ResponseBody::Served { node: NodeId::from_index(node_raw as usize) },
+            BODY_REDIRECT => ResponseBody::Redirect { owner: MdsId(owner_raw) },
+            BODY_NOT_FOUND => ResponseBody::NotFound,
+            _ => return None,
+        };
+        Some(Response { id, from, body, hops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip() {
+        for kind in [OpKind::Read, OpKind::Write, OpKind::Update] {
+            let req = Request {
+                id: RequestId(0xDEAD_BEEF),
+                kind,
+                target: NodeId::from_index(12345),
+                hops: 3,
+            };
+            let mut framed = req.encode();
+            assert_eq!(Request::decode(&mut framed), Some(req));
+            assert!(framed.is_empty(), "frame fully consumed");
+        }
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let bodies = [
+            ResponseBody::Served { node: NodeId::from_index(7) },
+            ResponseBody::Redirect { owner: MdsId(31) },
+            ResponseBody::NotFound,
+        ];
+        for body in bodies {
+            let resp = Response { id: RequestId(42), from: MdsId(5), body, hops: 2 };
+            let mut framed = resp.encode();
+            assert_eq!(Response::decode(&mut framed), Some(resp));
+        }
+    }
+
+    #[test]
+    fn truncated_frames_are_rejected() {
+        let req = Request {
+            id: RequestId(1),
+            kind: OpKind::Read,
+            target: NodeId::from_index(1),
+            hops: 0,
+        };
+        let full = req.encode();
+        for cut in 0..full.len() {
+            let mut partial = full.slice(..cut);
+            assert_eq!(Request::decode(&mut partial), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn garbage_kind_is_rejected() {
+        let req = Request {
+            id: RequestId(1),
+            kind: OpKind::Read,
+            target: NodeId::from_index(1),
+            hops: 0,
+        };
+        let mut raw = BytesMut::from(&req.encode()[..]);
+        raw[4 + 8] = 99; // corrupt the kind byte
+        let mut frame = raw.freeze();
+        assert_eq!(Request::decode(&mut frame), None);
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_in_order() {
+        let a = Request {
+            id: RequestId(1),
+            kind: OpKind::Read,
+            target: NodeId::from_index(10),
+            hops: 0,
+        };
+        let b = Request {
+            id: RequestId(2),
+            kind: OpKind::Update,
+            target: NodeId::from_index(20),
+            hops: 1,
+        };
+        let mut stream = BytesMut::new();
+        stream.extend_from_slice(&a.encode());
+        stream.extend_from_slice(&b.encode());
+        let mut stream = stream.freeze();
+        assert_eq!(Request::decode(&mut stream), Some(a));
+        assert_eq!(Request::decode(&mut stream), Some(b));
+        assert!(stream.is_empty());
+    }
+}

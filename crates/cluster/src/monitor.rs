@@ -1,0 +1,296 @@
+//! The Monitor daemon (Sec. IV-A3): heartbeats, membership, failure
+//! detection and the pending pool.
+//!
+//! The paper adds one Monitor to the cluster — like Ceph's OSD monitor —
+//! to (1) accept heartbeats and maintain the pending pool, (2) keep the
+//! global layer consistent, and (3) detect MDS failures and arrivals.
+//! This module implements that state machine against an explicit
+//! millisecond clock, so it runs identically under the live runtime and
+//! in deterministic tests.
+
+use d2tree_core::{AdjustPolicy, DynamicAdjuster, Heartbeat, PendingPool, Subtree};
+use d2tree_metrics::{ClusterSpec, MdsId, Migration};
+use serde::{Deserialize, Serialize};
+
+/// Membership changes the Monitor announces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ClusterEvent {
+    /// An MDS missed enough heartbeats to be declared dead.
+    MdsFailed(MdsId),
+    /// A previously-dead MDS heartbeated again.
+    MdsRecovered(MdsId),
+}
+
+/// Monitor tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MonitorConfig {
+    /// Expected heartbeat period.
+    pub heartbeat_interval_ms: u64,
+    /// Declare an MDS dead after this long without a heartbeat.
+    pub failure_timeout_ms: u64,
+    /// Rebalancing thresholds forwarded to the pending-pool engine.
+    pub policy: AdjustPolicy,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        MonitorConfig {
+            heartbeat_interval_ms: 100,
+            failure_timeout_ms: 500,
+            policy: AdjustPolicy::default(),
+        }
+    }
+}
+
+/// The Monitor's state machine.
+///
+/// # Example
+///
+/// ```
+/// use d2tree_cluster::{Monitor, MonitorConfig};
+/// use d2tree_core::Heartbeat;
+/// use d2tree_metrics::MdsId;
+///
+/// let mut mon = Monitor::new(MonitorConfig::default(), 2);
+/// mon.on_heartbeat(Heartbeat { mds: MdsId(0), load: 10.0 }, 0);
+/// mon.on_heartbeat(Heartbeat { mds: MdsId(1), load: 12.0 }, 0);
+/// assert_eq!(mon.alive_count(1), 2);
+/// // mds1 goes silent past the timeout:
+/// mon.on_heartbeat(Heartbeat { mds: MdsId(0), load: 10.0 }, 600);
+/// let events = mon.detect_failures(600);
+/// assert_eq!(events.len(), 1);
+/// assert_eq!(mon.alive_count(600), 1);
+/// ```
+#[derive(Debug)]
+pub struct Monitor {
+    config: MonitorConfig,
+    last_seen_ms: Vec<Option<u64>>,
+    declared_dead: Vec<bool>,
+    loads: Vec<f64>,
+    adjuster: DynamicAdjuster,
+    events: Vec<ClusterEvent>,
+}
+
+impl Monitor {
+    /// Creates a Monitor for a cluster of `m` servers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0`.
+    #[must_use]
+    pub fn new(config: MonitorConfig, m: usize) -> Self {
+        assert!(m > 0, "cluster must have at least one MDS");
+        Monitor {
+            config,
+            last_seen_ms: vec![None; m],
+            declared_dead: vec![false; m],
+            loads: vec![0.0; m],
+            adjuster: DynamicAdjuster::new(config.policy),
+            events: Vec::new(),
+        }
+    }
+
+    /// Records a heartbeat at `now_ms`, resurrecting a declared-dead MDS.
+    pub fn on_heartbeat(&mut self, hb: Heartbeat, now_ms: u64) {
+        let k = hb.mds.index();
+        self.last_seen_ms[k] = Some(now_ms);
+        self.loads[k] = hb.load;
+        if self.declared_dead[k] {
+            self.declared_dead[k] = false;
+            self.events.push(ClusterEvent::MdsRecovered(hb.mds));
+        }
+    }
+
+    /// Scans for servers past the failure timeout; returns the *new*
+    /// failures declared by this call.
+    pub fn detect_failures(&mut self, now_ms: u64) -> Vec<ClusterEvent> {
+        let mut fresh = Vec::new();
+        for k in 0..self.last_seen_ms.len() {
+            if self.declared_dead[k] {
+                continue;
+            }
+            let silent = match self.last_seen_ms[k] {
+                Some(t) => now_ms.saturating_sub(t) >= self.config.failure_timeout_ms,
+                None => false, // never-seen servers are "joining", not dead
+            };
+            if silent {
+                self.declared_dead[k] = true;
+                let ev = ClusterEvent::MdsFailed(MdsId(k as u16));
+                self.events.push(ev);
+                fresh.push(ev);
+            }
+        }
+        fresh
+    }
+
+    /// Whether an MDS is currently considered alive at `now_ms`.
+    #[must_use]
+    pub fn is_alive(&self, mds: MdsId, now_ms: u64) -> bool {
+        let k = mds.index();
+        if self.declared_dead[k] {
+            return false;
+        }
+        match self.last_seen_ms[k] {
+            Some(t) => now_ms.saturating_sub(t) < self.config.failure_timeout_ms,
+            None => false,
+        }
+    }
+
+    /// Number of alive servers at `now_ms`.
+    #[must_use]
+    pub fn alive_count(&self, now_ms: u64) -> usize {
+        (0..self.last_seen_ms.len())
+            .filter(|&k| self.is_alive(MdsId(k as u16), now_ms))
+            .count()
+    }
+
+    /// Latest reported load per server.
+    #[must_use]
+    pub fn loads(&self) -> &[f64] {
+        &self.loads
+    }
+
+    /// Every membership event recorded so far.
+    #[must_use]
+    pub fn events(&self) -> &[ClusterEvent] {
+        &self.events
+    }
+
+    /// The Monitor's pending pool (for inspection).
+    #[must_use]
+    pub fn pool(&self) -> &PendingPool {
+        self.adjuster.pool()
+    }
+
+    /// Runs a pending-pool rebalancing round over the subtree ownership
+    /// reported by the cluster (Sec. IV-B's dynamic adjustment).
+    #[must_use]
+    pub fn rebalance(
+        &mut self,
+        owned: &[(Subtree, MdsId)],
+        cluster: &ClusterSpec,
+    ) -> Vec<Migration> {
+        self.adjuster.rebalance(owned, cluster)
+    }
+
+    /// Plans the re-homing of a failed server's subtrees onto the
+    /// survivors, spreading popularity with mirror division over the
+    /// remaining capacities.
+    #[must_use]
+    pub fn plan_failover(
+        &self,
+        failed: MdsId,
+        owned: &[(Subtree, MdsId)],
+        cluster: &ClusterSpec,
+        now_ms: u64,
+    ) -> Vec<Migration> {
+        let victims: Vec<&(Subtree, MdsId)> =
+            owned.iter().filter(|(_, o)| *o == failed).collect();
+        if victims.is_empty() {
+            return Vec::new();
+        }
+        let survivors: Vec<MdsId> = cluster
+            .ids()
+            .filter(|&k| k != failed && self.is_alive(k, now_ms))
+            .collect();
+        if survivors.is_empty() {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = victims.iter().map(|(s, _)| s.popularity).collect();
+        let capacities: Vec<f64> = survivors.iter().map(|&k| cluster.capacity(k)).collect();
+        let buckets = d2tree_metrics::mirror::mirror_divide(&weights, &capacities);
+        victims
+            .into_iter()
+            .zip(buckets)
+            .map(|((s, _), b)| Migration { node: s.root, from: failed, to: survivors[b] })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2tree_namespace::NodeId;
+
+    fn hb(k: u16, load: f64) -> Heartbeat {
+        Heartbeat { mds: MdsId(k), load }
+    }
+
+    fn subtree(i: usize, pop: f64) -> Subtree {
+        Subtree { root: NodeId::from_index(i + 1), parent: NodeId::ROOT, popularity: pop, size: 1 }
+    }
+
+    #[test]
+    fn failure_needs_timeout_to_elapse() {
+        let mut mon = Monitor::new(MonitorConfig::default(), 2);
+        mon.on_heartbeat(hb(0, 1.0), 0);
+        mon.on_heartbeat(hb(1, 1.0), 0);
+        assert!(mon.detect_failures(400).is_empty());
+        let events = mon.detect_failures(500);
+        assert_eq!(events.len(), 2);
+        assert!(mon.detect_failures(600).is_empty(), "failures are declared once");
+    }
+
+    #[test]
+    fn recovery_after_failure() {
+        let mut mon = Monitor::new(MonitorConfig::default(), 1);
+        mon.on_heartbeat(hb(0, 1.0), 0);
+        assert_eq!(mon.detect_failures(1_000).len(), 1);
+        assert!(!mon.is_alive(MdsId(0), 1_000));
+        mon.on_heartbeat(hb(0, 1.0), 1_100);
+        assert!(mon.is_alive(MdsId(0), 1_150));
+        assert!(matches!(mon.events().last(), Some(ClusterEvent::MdsRecovered(_))));
+    }
+
+    #[test]
+    fn never_seen_servers_are_not_failed() {
+        let mut mon = Monitor::new(MonitorConfig::default(), 3);
+        mon.on_heartbeat(hb(0, 1.0), 0);
+        assert!(mon.detect_failures(10_000).iter().all(|e| match e {
+            ClusterEvent::MdsFailed(m) => m.index() == 0,
+            ClusterEvent::MdsRecovered(_) => false,
+        }));
+    }
+
+    #[test]
+    fn failover_spreads_victims_over_survivors() {
+        let cluster = ClusterSpec::homogeneous(3, 100.0);
+        let mut mon = Monitor::new(MonitorConfig::default(), 3);
+        for k in 0..3 {
+            mon.on_heartbeat(hb(k, 1.0), 0);
+        }
+        let owned = vec![
+            (subtree(0, 30.0), MdsId(0)),
+            (subtree(1, 30.0), MdsId(0)),
+            (subtree(2, 5.0), MdsId(1)),
+        ];
+        let _ = mon.detect_failures(0);
+        // Fail mds0 by silencing it.
+        mon.on_heartbeat(hb(1, 1.0), 600);
+        mon.on_heartbeat(hb(2, 1.0), 600);
+        let events = mon.detect_failures(600);
+        assert_eq!(events, vec![ClusterEvent::MdsFailed(MdsId(0))]);
+        let plan = mon.plan_failover(MdsId(0), &owned, &cluster, 600);
+        assert_eq!(plan.len(), 2);
+        assert!(plan.iter().all(|m| m.from == MdsId(0) && m.to != MdsId(0)));
+        // Both survivors are used when the load splits evenly.
+        let targets: std::collections::BTreeSet<_> = plan.iter().map(|m| m.to).collect();
+        assert_eq!(targets.len(), 2);
+    }
+
+    #[test]
+    fn failover_with_no_survivors_is_empty() {
+        let cluster = ClusterSpec::homogeneous(1, 100.0);
+        let mon = Monitor::new(MonitorConfig::default(), 1);
+        let owned = vec![(subtree(0, 1.0), MdsId(0))];
+        assert!(mon.plan_failover(MdsId(0), &owned, &cluster, 0).is_empty());
+    }
+
+    #[test]
+    fn loads_track_latest_heartbeat() {
+        let mut mon = Monitor::new(MonitorConfig::default(), 2);
+        mon.on_heartbeat(hb(0, 5.0), 0);
+        mon.on_heartbeat(hb(0, 9.0), 100);
+        assert_eq!(mon.loads()[0], 9.0);
+    }
+}

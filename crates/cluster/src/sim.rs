@@ -1,0 +1,727 @@
+//! Deterministic discrete-event simulation of the MDS cluster.
+//!
+//! Models exactly the mechanisms cluster throughput depends on in the
+//! paper's EC2 evaluation:
+//!
+//! * each MDS is a FIFO service station with a fixed worker count (the
+//!   2-core instances of Sec. VI);
+//! * every client→server or server→server message costs a configurable
+//!   one-way latency (the 100 Mbps links);
+//! * an update whose target is replicated (global layer) serialises
+//!   through the Zookeeper-style lock service — one lock per node, as a
+//!   real Zookeeper deployment would grant — holding the lock while all
+//!   `M` replicas apply the mutation; hold time grows with the cluster
+//!   size, the paper's explanation for RA's slower scaling;
+//! * clients are closed-loop: each has one outstanding request, mirroring
+//!   the fixed 200-client base.
+//!
+//! Everything is deterministic under a fixed seed, so experiments are
+//! exactly reproducible.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+use d2tree_namespace::NodeId;
+
+use d2tree_namespace::NamespaceTree;
+use d2tree_core::Partitioner;
+use d2tree_workload::{OpKind, Trace};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Simulation parameters, defaulted to the EC2-like setup of Sec. VI.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Closed-loop client count (the paper fixes 200).
+    pub clients: usize,
+    /// Concurrent workers per MDS (DualCore instances → 2).
+    pub workers_per_mds: usize,
+    /// One-way client↔server latency in nanoseconds.
+    pub client_latency_ns: u64,
+    /// One-way server→server forwarding latency in nanoseconds.
+    pub hop_latency_ns: u64,
+    /// Service time of a query (read/write) in nanoseconds.
+    pub read_service_ns: u64,
+    /// Service time of an update in nanoseconds.
+    pub update_service_ns: u64,
+    /// Fixed lock-service overhead per global-layer update.
+    pub lock_base_ns: u64,
+    /// Per-replica apply cost while the lock is held; total hold time grows
+    /// linearly with the cluster size.
+    pub replica_apply_ns: u64,
+    /// Seed for routing randomness (which MDS serves a global-layer hit).
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            clients: 200,
+            workers_per_mds: 2,
+            client_latency_ns: 250_000,
+            hop_latency_ns: 250_000,
+            read_service_ns: 100_000,
+            update_service_ns: 150_000,
+            lock_base_ns: 100_000,
+            replica_apply_ns: 30_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Results of one trace replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplayOutcome {
+    /// Operations completed (always the full trace).
+    pub completed: usize,
+    /// Virtual wall-clock the replay took, in seconds.
+    pub sim_seconds: f64,
+    /// Operations per virtual second.
+    pub throughput: f64,
+    /// Mean end-to-end latency in microseconds.
+    pub mean_latency_us: f64,
+    /// 99th-percentile latency in microseconds.
+    pub p99_latency_us: f64,
+    /// Per-server busy time in nanoseconds (utilisation numerator).
+    pub server_busy_ns: Vec<u64>,
+    /// Operations whose request each server ultimately served (empirical
+    /// load, the quantity the paper's balance experiments measure).
+    pub served_ops: Vec<u64>,
+    /// Lock-service busy time in nanoseconds.
+    pub lock_busy_ns: u64,
+    /// Total inter-server forwarding hops.
+    pub total_hops: u64,
+}
+
+impl ReplayOutcome {
+    /// Per-server utilisation: busy time over (virtual wall-clock ×
+    /// workers).
+    #[must_use]
+    pub fn utilization(&self, workers_per_mds: usize) -> Vec<f64> {
+        let wall_ns = (self.sim_seconds * 1e9).max(1.0);
+        self.server_busy_ns
+            .iter()
+            .map(|&b| b as f64 / (wall_ns * workers_per_mds as f64))
+            .collect()
+    }
+}
+
+/// Result of a [`Simulator::replay_with_rebalance`] run: the overall
+/// outcome plus the per-round balance trajectory.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RebalancedReplay {
+    /// Merged outcome over every chunk (throughput is ops over the summed
+    /// virtual time).
+    pub overall: ReplayOutcome,
+    /// Def. 5 balance over each chunk's measured served-op counts, in
+    /// chunk order.
+    pub balance_per_round: Vec<f64>,
+    /// Migrations the scheme performed after each chunk.
+    pub migrations_per_round: Vec<usize>,
+}
+
+#[derive(Debug, Clone)]
+struct ReqState {
+    visits: Vec<d2tree_metrics::MdsId>,
+    next_visit: usize,
+    kind: OpKind,
+    target: NodeId,
+    issued_at: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// A client pulls its next trace operation.
+    Issue { client: u32 },
+    /// A request lands in a server's queue.
+    Arrive { client: u32 },
+    /// A server finishes one service slot for the request.
+    ServeDone { client: u32 },
+    /// A global-layer update reaches the lock service.
+    LockArrive { client: u32 },
+    /// The lock holder commits; replicas start applying.
+    LockDone { client: u32 },
+    /// One server finishes applying a replicated update.
+    ApplyDone { server: u32 },
+}
+
+/// A unit of work in a server's FIFO queue: either a client request stage
+/// or the local apply of a committed global-layer update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Job {
+    Request(u32),
+    Apply,
+}
+
+#[derive(Debug)]
+struct Server {
+    busy_workers: usize,
+    queue: VecDeque<Job>,
+    busy_ns: u64,
+}
+
+/// The discrete-event simulator.
+///
+/// # Example
+///
+/// ```
+/// use d2tree_cluster::{SimConfig, Simulator};
+/// use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
+/// use d2tree_metrics::ClusterSpec;
+/// use d2tree_workload::{TraceProfile, WorkloadBuilder};
+///
+/// let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(1_000).with_operations(5_000))
+///     .seed(1)
+///     .build();
+/// let pop = w.popularity();
+/// let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+/// scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(4, 1.0));
+///
+/// let sim = Simulator::new(SimConfig { clients: 16, ..SimConfig::default() });
+/// let out = sim.replay(&w.tree, &w.trace, &scheme);
+/// assert_eq!(out.completed, 5_000);
+/// assert!(out.throughput > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Simulator {
+    config: SimConfig,
+}
+
+impl Simulator {
+    /// Creates a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `clients` or `workers_per_mds` is zero.
+    #[must_use]
+    pub fn new(config: SimConfig) -> Self {
+        assert!(config.clients > 0, "need at least one client");
+        assert!(config.workers_per_mds > 0, "need at least one worker per MDS");
+        Simulator { config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    fn service_ns(&self, kind: OpKind, terminal: bool) -> u64 {
+        if terminal && kind == OpKind::Update {
+            self.update_service()
+        } else {
+            self.config.read_service_ns
+        }
+    }
+
+    fn update_service(&self) -> u64 {
+        self.config.update_service_ns
+    }
+
+    /// Replays `trace` in `rounds` chunks, rebalancing the scheme between
+    /// chunks against popularity measured from the replayed prefix (with
+    /// the paper's decaying counters) — the experimental loop behind
+    /// Fig. 7's "subtraces are replayed to these clusters for 20 times".
+    ///
+    /// Returns the merged outcome plus per-round balance/migration
+    /// trajectories.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rounds == 0` or the trace has fewer operations than
+    /// rounds.
+    pub fn replay_with_rebalance(
+        &self,
+        tree: &NamespaceTree,
+        trace: &Trace,
+        scheme: &mut dyn Partitioner,
+        cluster: &d2tree_metrics::ClusterSpec,
+        rounds: usize,
+        decay: f64,
+    ) -> RebalancedReplay {
+        assert!(rounds > 0, "need at least one round");
+        assert!(trace.len() >= rounds, "need at least one op per round");
+        let chunk = trace.len() / rounds;
+        let mut pop = d2tree_namespace::Popularity::new(tree);
+        let mut balance_per_round = Vec::with_capacity(rounds);
+        let mut migrations_per_round = Vec::with_capacity(rounds);
+        let mut merged: Option<ReplayOutcome> = None;
+
+        for r in 0..rounds {
+            let start = r * chunk;
+            let end = if r + 1 == rounds { trace.len() } else { start + chunk };
+            let sub = Trace::from_ops(trace.ops()[start..end].to_vec());
+
+            let out = self.replay(tree, &sub, scheme);
+            let loads: Vec<f64> = out.served_ops.iter().map(|&s| s as f64).collect();
+            let total: f64 = loads.iter().sum();
+            let measured = d2tree_metrics::ClusterSpec::homogeneous(
+                cluster.len(),
+                (total / cluster.len() as f64).max(f64::MIN_POSITIVE),
+            );
+            balance_per_round.push(d2tree_metrics::balance(&loads, &measured));
+
+            // Decayed counters, then one adjustment round.
+            pop.decay(decay);
+            for op in &sub {
+                pop.record(op.target, 1.0);
+            }
+            pop.rollup(tree);
+            migrations_per_round.push(scheme.rebalance(tree, &pop, cluster).len());
+
+            merged = Some(match merged.take() {
+                None => out,
+                Some(mut acc) => {
+                    acc.completed += out.completed;
+                    acc.sim_seconds += out.sim_seconds;
+                    acc.total_hops += out.total_hops;
+                    acc.lock_busy_ns += out.lock_busy_ns;
+                    for (a, b) in acc.server_busy_ns.iter_mut().zip(&out.server_busy_ns) {
+                        *a += b;
+                    }
+                    for (a, b) in acc.served_ops.iter_mut().zip(&out.served_ops) {
+                        *a += b;
+                    }
+                    // Latency stats: weighted merge by completed counts.
+                    let w_old = (acc.completed - out.completed) as f64;
+                    let w_new = out.completed as f64;
+                    acc.mean_latency_us = (acc.mean_latency_us * w_old
+                        + out.mean_latency_us * w_new)
+                        / (w_old + w_new);
+                    acc.p99_latency_us = acc.p99_latency_us.max(out.p99_latency_us);
+                    acc
+                }
+            });
+        }
+        let mut overall = merged.expect("at least one round ran");
+        overall.throughput = overall.completed as f64 / overall.sim_seconds;
+        RebalancedReplay { overall, balance_per_round, migrations_per_round }
+    }
+
+    /// Replays `trace` against `scheme`'s current placement and routing.
+    ///
+    /// Runs until every operation completes; the virtual elapsed time
+    /// yields the throughput.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme routes to an empty visit list (never happens
+    /// for a built scheme).
+    #[must_use]
+    pub fn replay(
+        &self,
+        tree: &NamespaceTree,
+        trace: &Trace,
+        scheme: &dyn Partitioner,
+    ) -> ReplayOutcome {
+        let m = scheme.placement().cluster_size();
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut servers: Vec<Server> = (0..m)
+            .map(|_| Server { busy_workers: 0, queue: VecDeque::new(), busy_ns: 0 })
+            .collect();
+        // Per-node lock state: nodes currently held, and FIFO waiters.
+        let mut locked: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
+        let mut lock_waiters: HashMap<NodeId, VecDeque<u32>> = HashMap::new();
+        let mut lock_busy_ns = 0u64;
+
+        let clients = self.config.clients.min(trace.len().max(1));
+        let mut states: Vec<Option<ReqState>> = vec![None; clients];
+        let mut cursor = 0usize; // shared trace cursor
+        let ops = trace.ops();
+
+        let mut heap: BinaryHeap<Reverse<(u64, u64, u32, u8)>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        // Event tags for heap entries (heap stores only copyable keys).
+        const TAG_ISSUE: u8 = 0;
+        const TAG_ARRIVE: u8 = 1;
+        const TAG_SERVE_DONE: u8 = 2;
+        const TAG_LOCK_ARRIVE: u8 = 3;
+        const TAG_LOCK_DONE: u8 = 4;
+        const TAG_APPLY_DONE: u8 = 5;
+
+        let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, u32, u8)>>,
+                        seq: &mut u64,
+                        t: u64,
+                        ev: Event| {
+            let (client, tag) = match ev {
+                Event::Issue { client } => (client, TAG_ISSUE),
+                Event::Arrive { client } => (client, TAG_ARRIVE),
+                Event::ServeDone { client } => (client, TAG_SERVE_DONE),
+                Event::LockArrive { client } => (client, TAG_LOCK_ARRIVE),
+                Event::LockDone { client } => (client, TAG_LOCK_DONE),
+                Event::ApplyDone { server } => (server, TAG_APPLY_DONE),
+            };
+            *seq += 1;
+            heap.push(Reverse((t, *seq, client, tag)));
+        };
+
+        for c in 0..clients as u32 {
+            push(&mut heap, &mut seq, 0, Event::Issue { client: c });
+        }
+
+        // Lock hold: fixed coordination cost, the leader's own apply, one
+        // replica apply and a parallel broadcast round trip. The per-M
+        // scaling cost is the real apply *work* each replica performs
+        // (enqueued below on commit), not a serial hold.
+        let hold_ns = self.config.lock_base_ns
+            + self.update_service()
+            + self.config.replica_apply_ns
+            + 2 * self.config.hop_latency_ns;
+
+        let mut completed = 0usize;
+        let mut served_ops = vec![0u64; m];
+        let mut latencies: Vec<u64> = Vec::with_capacity(trace.len());
+        let mut total_hops = 0u64;
+        let mut end_time = 0u64;
+
+        while let Some(Reverse((t, _, client, tag))) = heap.pop() {
+            end_time = end_time.max(t);
+            let c = client as usize;
+            match tag {
+                TAG_ISSUE => {
+                    if cursor >= ops.len() {
+                        continue; // this client retires
+                    }
+                    let op = ops[cursor];
+                    cursor += 1;
+                    let plan = scheme.route(tree, op.target, &mut rng);
+                    total_hops += plan.hops() as u64;
+                    let locked_update = plan.target_replicated && op.kind == OpKind::Update;
+                    states[c] = Some(ReqState {
+                        visits: plan.visits,
+                        next_visit: 0,
+                        kind: op.kind,
+                        target: op.target,
+                        issued_at: t,
+                    });
+                    let arrive_t = t + self.config.client_latency_ns;
+                    if locked_update {
+                        push(&mut heap, &mut seq, arrive_t, Event::LockArrive { client });
+                    } else {
+                        push(&mut heap, &mut seq, arrive_t, Event::Arrive { client });
+                    }
+                }
+                TAG_ARRIVE => {
+                    let state = states[c].as_ref().expect("arrival without a request");
+                    let server = state.visits[state.next_visit].index();
+                    if servers[server].busy_workers < self.config.workers_per_mds {
+                        servers[server].busy_workers += 1;
+                        let terminal = state.next_visit + 1 == state.visits.len();
+                        let svc = self.service_ns(state.kind, terminal);
+                        servers[server].busy_ns += svc;
+                        push(&mut heap, &mut seq, t + svc, Event::ServeDone { client });
+                    } else {
+                        servers[server].queue.push_back(Job::Request(client));
+                    }
+                }
+                TAG_SERVE_DONE => {
+                    let (server, finished) = {
+                        let state = states[c].as_mut().expect("completion without a request");
+                        let server = state.visits[state.next_visit].index();
+                        state.next_visit += 1;
+                        (server, state.next_visit == state.visits.len())
+                    };
+                    // Free the worker; admit the next queued job.
+                    servers[server].busy_workers -= 1;
+                    match servers[server].queue.pop_front() {
+                        Some(Job::Request(next_client)) => {
+                            let nc = next_client as usize;
+                            let nstate = states[nc].as_ref().expect("queued request state");
+                            let terminal = nstate.next_visit + 1 == nstate.visits.len();
+                            let svc = self.service_ns(nstate.kind, terminal);
+                            servers[server].busy_workers += 1;
+                            servers[server].busy_ns += svc;
+                            push(&mut heap, &mut seq, t + svc, Event::ServeDone {
+                                client: next_client,
+                            });
+                        }
+                        Some(Job::Apply) => {
+                            let svc = self.config.replica_apply_ns;
+                            servers[server].busy_workers += 1;
+                            servers[server].busy_ns += svc;
+                            push(&mut heap, &mut seq, t + svc, Event::ApplyDone {
+                                server: server as u32,
+                            });
+                        }
+                        None => {}
+                    }
+                    if finished {
+                        let state = states[c].take().expect("request state");
+                        served_ops[state.visits.last().expect("non-empty").index()] += 1;
+                        let done_at = t + self.config.client_latency_ns;
+                        latencies.push(done_at - state.issued_at);
+                        completed += 1;
+                        push(&mut heap, &mut seq, done_at, Event::Issue { client });
+                    } else {
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            t + self.config.hop_latency_ns,
+                            Event::Arrive { client },
+                        );
+                    }
+                }
+                TAG_LOCK_ARRIVE => {
+                    let node = states[c].as_ref().expect("lock arrival state").target;
+                    if locked.contains(&node) {
+                        lock_waiters.entry(node).or_default().push_back(client);
+                    } else {
+                        locked.insert(node);
+                        lock_busy_ns += hold_ns;
+                        push(&mut heap, &mut seq, t + hold_ns, Event::LockDone { client });
+                    }
+                }
+                TAG_LOCK_DONE => {
+                    let state = states[c].take().expect("lock holder state");
+                    let node = state.target;
+                    match lock_waiters.get_mut(&node).and_then(VecDeque::pop_front) {
+                        Some(next_client) => {
+                            lock_busy_ns += hold_ns;
+                            push(&mut heap, &mut seq, t + hold_ns, Event::LockDone {
+                                client: next_client,
+                            });
+                        }
+                        None => {
+                            locked.remove(&node);
+                            lock_waiters.remove(&node);
+                        }
+                    }
+                    // Every replica applies the committed mutation —
+                    // real work on every replica's queue, which is what
+                    // slows update-heavy traces as the cluster grows.
+                    let replicas = scheme.placement().replicas().clone();
+                    for (s, server) in servers.iter_mut().enumerate() {
+                        if !replicas.contains(d2tree_metrics::MdsId(s as u16)) {
+                            continue;
+                        }
+                        if server.busy_workers < self.config.workers_per_mds {
+                            server.busy_workers += 1;
+                            server.busy_ns += self.config.replica_apply_ns;
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + self.config.replica_apply_ns,
+                                Event::ApplyDone { server: s as u32 },
+                            );
+                        } else {
+                            server.queue.push_back(Job::Apply);
+                        }
+                    }
+                    // The op itself is charged to the MDS the client first
+                    // contacted (the commit leader).
+                    served_ops[state.visits[0].index()] += 1;
+                    let done_at = t + self.config.client_latency_ns;
+                    latencies.push(done_at - state.issued_at);
+                    completed += 1;
+                    push(&mut heap, &mut seq, done_at, Event::Issue { client });
+                }
+                TAG_APPLY_DONE => {
+                    let server = c; // the "client" slot carries the server index
+                    servers[server].busy_workers -= 1;
+                    match servers[server].queue.pop_front() {
+                        Some(Job::Request(next_client)) => {
+                            let nc = next_client as usize;
+                            let nstate = states[nc].as_ref().expect("queued request state");
+                            let terminal = nstate.next_visit + 1 == nstate.visits.len();
+                            let svc = self.service_ns(nstate.kind, terminal);
+                            servers[server].busy_workers += 1;
+                            servers[server].busy_ns += svc;
+                            push(&mut heap, &mut seq, t + svc, Event::ServeDone {
+                                client: next_client,
+                            });
+                        }
+                        Some(Job::Apply) => {
+                            let svc = self.config.replica_apply_ns;
+                            servers[server].busy_workers += 1;
+                            servers[server].busy_ns += svc;
+                            push(&mut heap, &mut seq, t + svc, Event::ApplyDone {
+                                server: server as u32,
+                            });
+                        }
+                        None => {}
+                    }
+                }
+                _ => unreachable!("unknown event tag"),
+            }
+        }
+
+        latencies.sort_unstable();
+        let sim_seconds = (end_time.max(1)) as f64 / 1e9;
+        let mean_latency_us = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies.iter().sum::<u64>() as f64 / latencies.len() as f64 / 1e3
+        };
+        let p99_latency_us = if latencies.is_empty() {
+            0.0
+        } else {
+            latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)] as f64 / 1e3
+        };
+        ReplayOutcome {
+            completed,
+            sim_seconds,
+            throughput: completed as f64 / sim_seconds,
+            mean_latency_us,
+            p99_latency_us,
+            server_busy_ns: servers.into_iter().map(|s| s.busy_ns).collect(),
+            served_ops,
+            lock_busy_ns,
+            total_hops,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2tree_baselines::{HashMapping, StaticSubtree};
+    use d2tree_core::{D2TreeConfig, D2TreeScheme};
+    use d2tree_metrics::ClusterSpec;
+    use d2tree_workload::{TraceProfile, WorkloadBuilder};
+
+    fn workload(ops: usize) -> (d2tree_workload::Workload, d2tree_namespace::Popularity) {
+        let w = WorkloadBuilder::new(
+            TraceProfile::dtr().with_nodes(1_500).with_operations(ops),
+        )
+        .seed(3)
+        .build();
+        let pop = w.popularity();
+        (w, pop)
+    }
+
+    fn sim(clients: usize) -> Simulator {
+        Simulator::new(SimConfig { clients, seed: 1, ..SimConfig::default() })
+    }
+
+    #[test]
+    fn completes_every_operation() {
+        let (w, pop) = workload(4_000);
+        let cluster = ClusterSpec::homogeneous(4, 1.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let out = sim(32).replay(&w.tree, &w.trace, &scheme);
+        assert_eq!(out.completed, 4_000);
+        assert!(out.sim_seconds > 0.0);
+        assert!(out.mean_latency_us > 0.0);
+        assert!(out.p99_latency_us >= out.mean_latency_us * 0.5);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let (w, pop) = workload(2_000);
+        let cluster = ClusterSpec::homogeneous(3, 1.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let a = sim(16).replay(&w.tree, &w.trace, &scheme);
+        let b = sim(16).replay(&w.tree, &w.trace, &scheme);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn d2tree_scales_with_cluster_size_on_read_heavy_trace() {
+        let (w, pop) = workload(8_000);
+        let mut results = Vec::new();
+        for m in [2, 8] {
+            let cluster = ClusterSpec::homogeneous(m, 1.0);
+            let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+            scheme.build(&w.tree, &pop, &cluster);
+            results.push(sim(64).replay(&w.tree, &w.trace, &scheme).throughput);
+        }
+        assert!(
+            results[1] > results[0] * 1.5,
+            "8 MDSs should clearly outrun 2: {results:?}"
+        );
+    }
+
+    #[test]
+    fn hash_mapping_pays_for_hops() {
+        let (w, pop) = workload(4_000);
+        let cluster = ClusterSpec::homogeneous(8, 1.0);
+        let mut d2 = D2TreeScheme::new(D2TreeConfig::paper_default());
+        d2.build(&w.tree, &pop, &cluster);
+        let mut hash = HashMapping::new(5);
+        hash.build(&w.tree, &pop, &cluster);
+        let s = sim(64);
+        let d2_out = s.replay(&w.tree, &w.trace, &d2);
+        let hash_out = s.replay(&w.tree, &w.trace, &hash);
+        assert!(hash_out.total_hops > d2_out.total_hops * 2);
+        assert!(
+            d2_out.throughput > hash_out.throughput,
+            "D2-Tree {} vs hash {}",
+            d2_out.throughput,
+            hash_out.throughput
+        );
+    }
+
+    #[test]
+    fn update_heavy_trace_contends_on_the_lock() {
+        let w = WorkloadBuilder::new(
+            TraceProfile::ra().with_nodes(1_500).with_operations(4_000),
+        )
+        .seed(4)
+        .build();
+        let pop = w.popularity();
+        let cluster = ClusterSpec::homogeneous(8, 1.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let out = sim(64).replay(&w.tree, &w.trace, &scheme);
+        assert!(out.lock_busy_ns > 0, "RA updates must exercise the lock service");
+    }
+
+    #[test]
+    fn static_subtree_skew_limits_throughput() {
+        let (w, pop) = workload(6_000);
+        let cluster = ClusterSpec::homogeneous(8, 1.0);
+        let mut st = StaticSubtree::new(2);
+        st.build(&w.tree, &pop, &cluster);
+        let out = sim(64).replay(&w.tree, &w.trace, &st);
+        // The busiest server should be far busier than the idlest —
+        // static partitioning cannot spread a skewed workload.
+        let max = out.server_busy_ns.iter().max().unwrap();
+        let min = out.server_busy_ns.iter().min().unwrap();
+        assert!(max > &(min * 2), "busy {max} vs idle {min}");
+    }
+
+    #[test]
+    fn rebalanced_replay_conserves_ops_and_reports_rounds() {
+        let (w, pop) = workload(6_000);
+        let cluster = ClusterSpec::homogeneous(4, pop.sum_individual() / 4.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let out = sim(32).replay_with_rebalance(&w.tree, &w.trace, &mut scheme, &cluster, 5, 0.5);
+        assert_eq!(out.overall.completed, 6_000);
+        assert_eq!(out.balance_per_round.len(), 5);
+        assert_eq!(out.migrations_per_round.len(), 5);
+        assert_eq!(out.overall.served_ops.iter().sum::<u64>(), 6_000);
+        assert!(out.overall.throughput > 0.0);
+        for b in &out.balance_per_round {
+            assert!(*b > 0.0);
+        }
+    }
+
+    #[test]
+    fn utilization_is_a_fraction() {
+        let (w, pop) = workload(2_000);
+        let cluster = ClusterSpec::homogeneous(3, 1.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let config = SimConfig { clients: 32, seed: 1, ..SimConfig::default() };
+        let out = Simulator::new(config).replay(&w.tree, &w.trace, &scheme);
+        for u in out.utilization(config.workers_per_mds) {
+            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilisation {u} out of range");
+        }
+    }
+
+    #[test]
+    fn more_clients_do_not_lose_operations() {
+        let (w, pop) = workload(1_000);
+        let cluster = ClusterSpec::homogeneous(2, 1.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        // More clients than operations: the simulator clamps.
+        let out = Simulator::new(SimConfig { clients: 5_000, ..SimConfig::default() })
+            .replay(&w.tree, &w.trace, &scheme);
+        assert_eq!(out.completed, 1_000);
+    }
+}

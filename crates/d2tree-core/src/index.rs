@@ -1,0 +1,179 @@
+//! The local index: inter node → owners of its local-layer subtrees.
+//!
+//! Clients cache this index. A query whose path prefix hits an inter node
+//! goes straight to the MDS owning the corresponding subtree; a query whose
+//! prefix never leaves the global layer can be served by any MDS
+//! (Sec. IV-A2 of the paper).
+
+use std::collections::HashMap;
+
+use d2tree_namespace::{NamespaceTree, NodeId};
+use d2tree_metrics::MdsId;
+use serde::{Deserialize, Serialize};
+
+/// Versioned map from local-layer subtree roots to their owning MDS.
+///
+/// The version number supports the paper's client-cache consistency story
+/// (version number + timeout + lease, borrowed from GFS): a client whose
+/// cached version lags the server's re-fetches the index.
+///
+/// # Example
+///
+/// ```
+/// use d2tree_core::LocalIndex;
+/// use d2tree_metrics::MdsId;
+/// use d2tree_namespace::{NamespaceTree, NodeKind};
+///
+/// # fn main() -> Result<(), d2tree_namespace::TreeError> {
+/// let mut tree = NamespaceTree::new();
+/// let a = tree.create(tree.root(), "a", NodeKind::Directory)?;
+/// let mut idx = LocalIndex::new();
+/// idx.insert(a, MdsId(1));
+/// assert_eq!(idx.owner_of(a), Some(MdsId(1)));
+/// assert_eq!(idx.version(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LocalIndex {
+    owners: HashMap<NodeId, MdsId>,
+    version: u64,
+}
+
+impl LocalIndex {
+    /// Creates an empty index at version 0.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of indexed subtree roots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.owners.len()
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.owners.is_empty()
+    }
+
+    /// Monotonic version, bumped on every mutation.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Registers (or re-registers) a subtree root's owner.
+    pub fn insert(&mut self, subtree_root: NodeId, owner: MdsId) {
+        self.owners.insert(subtree_root, owner);
+        self.version += 1;
+    }
+
+    /// Removes a subtree root (e.g. when it is promoted into the global
+    /// layer). Returns the previous owner, if any.
+    pub fn remove(&mut self, subtree_root: NodeId) -> Option<MdsId> {
+        let prev = self.owners.remove(&subtree_root);
+        if prev.is_some() {
+            self.version += 1;
+        }
+        prev
+    }
+
+    /// Direct owner lookup for a known subtree root.
+    #[must_use]
+    pub fn owner_of(&self, subtree_root: NodeId) -> Option<MdsId> {
+        self.owners.get(&subtree_root).copied()
+    }
+
+    /// The client lookup of Sec. IV-A2: walk the root-to-`target` chain and
+    /// return the first indexed subtree root with its owner.
+    ///
+    /// `None` means every prefix node is in the global layer, so the query
+    /// may be sent to any MDS.
+    #[must_use]
+    pub fn locate(&self, tree: &NamespaceTree, target: NodeId) -> Option<(NodeId, MdsId)> {
+        for id in tree.path_from_root(target) {
+            if let Some(&owner) = self.owners.get(&id) {
+                return Some((id, owner));
+            }
+        }
+        None
+    }
+
+    /// Iterates over `(subtree_root, owner)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, MdsId)> + '_ {
+        self.owners.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Rebuilds the index from an aligned `(subtree_root, owner)` listing,
+    /// bumping the version once.
+    pub fn replace_all<I>(&mut self, entries: I)
+    where
+        I: IntoIterator<Item = (NodeId, MdsId)>,
+    {
+        self.owners = entries.into_iter().collect();
+        self.version += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2tree_namespace::NodeKind;
+
+    fn deep_tree() -> (NamespaceTree, NodeId, NodeId, NodeId) {
+        let mut t = NamespaceTree::new();
+        let a = t.create(t.root(), "a", NodeKind::Directory).unwrap();
+        let b = t.create(a, "b", NodeKind::Directory).unwrap();
+        let c = t.create(b, "c", NodeKind::File).unwrap();
+        (t, a, b, c)
+    }
+
+    #[test]
+    fn locate_finds_nearest_indexed_prefix() {
+        let (t, _a, b, c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        idx.insert(b, MdsId(2));
+        // Looking up c: prefix chain root, a, b, c — b is indexed.
+        assert_eq!(idx.locate(&t, c), Some((b, MdsId(2))));
+        // Looking up the subtree root itself also resolves.
+        assert_eq!(idx.locate(&t, b), Some((b, MdsId(2))));
+    }
+
+    #[test]
+    fn locate_returns_none_for_global_layer_targets() {
+        let (t, a, b, _c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        idx.insert(b, MdsId(0));
+        assert_eq!(idx.locate(&t, a), None);
+        assert_eq!(idx.locate(&t, t.root()), None);
+    }
+
+    #[test]
+    fn versions_bump_on_mutation_only() {
+        let (_t, a, b, _c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        assert_eq!(idx.version(), 0);
+        idx.insert(a, MdsId(0));
+        assert_eq!(idx.version(), 1);
+        idx.insert(a, MdsId(1)); // re-registration still bumps
+        assert_eq!(idx.version(), 2);
+        assert_eq!(idx.remove(b), None);
+        assert_eq!(idx.version(), 2, "removing a missing key does not bump");
+        assert_eq!(idx.remove(a), Some(MdsId(1)));
+        assert_eq!(idx.version(), 3);
+    }
+
+    #[test]
+    fn replace_all_swaps_contents() {
+        let (_t, a, b, _c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        idx.insert(a, MdsId(0));
+        idx.replace_all([(b, MdsId(1))]);
+        assert_eq!(idx.owner_of(a), None);
+        assert_eq!(idx.owner_of(b), Some(MdsId(1)));
+        assert_eq!(idx.len(), 1);
+    }
+}

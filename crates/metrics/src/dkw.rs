@@ -1,0 +1,150 @@
+//! Dvoretzky–Kiefer–Wolfowitz machinery (Thm. 2) and the paper's
+//! sample-size prescriptions (Lem. 1, Thm. 3, Thm. 4).
+
+/// Upper bound on `Pr(sup |F_k − F| > ε)` for `k` i.i.d. samples
+/// (Thm. 2): `2·e^(−2kε²)`.
+///
+/// # Panics
+///
+/// Panics if `eps` is not positive.
+#[must_use]
+pub fn violation_probability(k: usize, eps: f64) -> f64 {
+    assert!(eps > 0.0, "epsilon must be positive");
+    (2.0 * (-2.0 * k as f64 * eps * eps).exp()).min(1.0)
+}
+
+/// The smallest `ε` guaranteed with probability at least `confidence` for
+/// `k` samples: `ε = sqrt(ln(2 / (1 − confidence)) / (2k))`.
+///
+/// # Panics
+///
+/// Panics if `confidence` is outside `(0, 1)` or `k == 0`.
+#[must_use]
+pub fn epsilon_for_confidence(k: usize, confidence: f64) -> f64 {
+    assert!(k > 0, "need at least one sample");
+    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence must be in (0,1)");
+    ((2.0 / (1.0 - confidence)).ln() / (2.0 * k as f64)).sqrt()
+}
+
+/// Lemma 1's sample count: with `ln(t·H)/2 · ((U−L)/δ)²` uniform samples
+/// from a pool of `h` subtrees whose popularities span `[l, u]`, the
+/// expected index-matching error satisfies `E[|s_i − s_j|] < δ` with
+/// probability at least `1 − 2/(t·H)`.
+///
+/// Returns at least 1.
+///
+/// # Panics
+///
+/// Panics if `delta <= 0`, `u < l`, or `t·h ≤ 1` (the logarithm must be
+/// positive for the bound to be meaningful).
+#[must_use]
+pub fn lemma1_sample_count(t: f64, h: usize, l: f64, u: f64, delta: f64) -> usize {
+    assert!(delta > 0.0, "delta must be positive");
+    assert!(u >= l, "span must be non-negative");
+    let th = t * h as f64;
+    assert!(th > 1.0, "t*H must exceed 1 for a meaningful bound");
+    let span = (u - l) / delta;
+    ((th.ln() / 2.0) * span * span).ceil().max(1.0) as usize
+}
+
+/// Theorem 3's per-MDS sample count:
+/// `ln(t·H²)/2 · (H·p_k·(U−L) / (δ·μ·C_k))²` samples give
+/// `E[|L_k/C_k − μ|] < δμ` with probability at least `1 − 2/(t·H)`.
+///
+/// `p_k` is the MDS's capacity share `C_k / ΣC_i`.
+///
+/// # Panics
+///
+/// Panics on non-positive `delta`, `mu` or `c_k`, or if `t·h² ≤ 1`.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn theorem3_sample_count(
+    t: f64,
+    h: usize,
+    p_k: f64,
+    l: f64,
+    u: f64,
+    delta: f64,
+    mu: f64,
+    c_k: f64,
+) -> usize {
+    assert!(delta > 0.0 && mu > 0.0 && c_k > 0.0, "delta, mu, c_k must be positive");
+    assert!(u >= l, "span must be non-negative");
+    let th2 = t * (h as f64) * (h as f64);
+    assert!(th2 > 1.0, "t*H^2 must exceed 1 for a meaningful bound");
+    let ratio = (h as f64) * p_k * (u - l) / (delta * mu * c_k);
+    ((th2.ln() / 2.0) * ratio * ratio).ceil().max(1.0) as usize
+}
+
+/// Theorem 4's bound on the expected balance *variance*: when every MDS
+/// samples per [`theorem3_sample_count`], the expected value of the
+/// balance denominator `(1/(M−1))·Σ(L_k/C_k − μ)²` is below
+/// `M/(M−1) · δ²μ²`, i.e. `E[1/balance] < M/(M−1)·δ²μ²`.
+///
+/// # Panics
+///
+/// Panics if `m < 2`.
+#[must_use]
+pub fn theorem4_variance_bound(m: usize, delta: f64, mu: f64) -> f64 {
+    assert!(m >= 2, "theorem 4 needs at least two MDSs");
+    (m as f64 / (m as f64 - 1.0)) * delta * delta * mu * mu
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn violation_probability_decays_with_samples() {
+        let a = violation_probability(10, 0.1);
+        let b = violation_probability(1_000, 0.1);
+        assert!(b < a);
+        assert!(b < 1e-8);
+        assert!(a <= 1.0);
+    }
+
+    #[test]
+    fn epsilon_inverts_violation_probability() {
+        let k = 500;
+        let conf = 0.95;
+        let eps = epsilon_for_confidence(k, conf);
+        let p = violation_probability(k, eps);
+        assert!((p - (1.0 - conf)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lemma1_count_grows_with_precision() {
+        let loose = lemma1_sample_count(0.5, 10_000, 0.0, 100.0, 10.0);
+        let tight = lemma1_sample_count(0.5, 10_000, 0.0, 100.0, 1.0);
+        assert!(tight > loose);
+        assert!(tight >= 100 * loose / 2, "quadratic in 1/delta");
+    }
+
+    #[test]
+    fn theorem3_count_positive_and_monotone() {
+        let base = theorem3_sample_count(0.5, 1_000, 0.1, 0.0, 50.0, 0.1, 2.0, 100.0);
+        let tighter = theorem3_sample_count(0.5, 1_000, 0.1, 0.0, 50.0, 0.05, 2.0, 100.0);
+        assert!(base >= 1);
+        assert!(tighter > base);
+    }
+
+    #[test]
+    fn theorem4_bound_shrinks_with_cluster_size() {
+        let small = theorem4_variance_bound(2, 0.1, 1.0);
+        let large = theorem4_variance_bound(32, 0.1, 1.0);
+        assert!(large < small);
+        assert!((small - 2.0 * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "t*H must exceed 1")]
+    fn lemma1_rejects_tiny_pools() {
+        let _ = lemma1_sample_count(0.5, 1, 0.0, 1.0, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn theorem4_needs_two_servers() {
+        let _ = theorem4_variance_bound(1, 0.1, 1.0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Mirror division (Fig. 4): match the cumulative-popularity CDF of
+//! subtrees against the cumulative-capacity CDF of servers.
+//!
+//! Each item (subtree) occupies an interval of the cumulative popularity
+//! axis; each server occupies an interval of the cumulative capacity axis.
+//! An item goes to the server whose interval contains the item's upper
+//! cumulative index — so servers receive popularity proportional to their
+//! (remaining) capacity, which is exactly Eq. 10's
+//! `{t ∈ P : F_Δ(R_{i−1}) < F_Δ(s_t) ≤ F_Δ(R_i)}`.
+
+/// Assigns weighted items to buckets proportionally to bucket capacity.
+///
+/// Items are processed in descending weight order (as in the paper's Fig. 4
+/// where `Δ1`, the heaviest subtree, anchors the axis); the returned vector
+/// gives, per input item (in the *original* input order), the index of the
+/// bucket it landed in.
+///
+/// Buckets with zero capacity receive nothing; items with zero weight
+/// follow their position on the cumulative axis like any other. If all
+/// capacities are zero the items are spread round-robin.
+///
+/// # Panics
+///
+/// Panics if `capacities` is empty or any weight/capacity is negative.
+///
+/// # Example
+///
+/// ```
+/// use d2tree_metrics::mirror::mirror_divide;
+///
+/// // Fig. 4 of the paper: five subtrees with popularity shares
+/// // .5/.2/.1/.1/.1 onto three MDSs with capacity shares .5/.3/.2.
+/// let buckets = mirror_divide(&[0.5, 0.2, 0.1, 0.1, 0.1], &[0.5, 0.3, 0.2]);
+/// assert_eq!(buckets, vec![0, 1, 1, 2, 2]);
+/// ```
+#[must_use]
+pub fn mirror_divide(weights: &[f64], capacities: &[f64]) -> Vec<usize> {
+    assert!(!capacities.is_empty(), "need at least one bucket");
+    assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+    assert!(capacities.iter().all(|&c| c >= 0.0), "capacities must be non-negative");
+
+    let total_cap: f64 = capacities.iter().sum();
+    let mut result = vec![0usize; weights.len()];
+    if weights.is_empty() {
+        return result;
+    }
+    if total_cap <= 0.0 {
+        for (i, slot) in result.iter_mut().enumerate() {
+            *slot = i % capacities.len();
+        }
+        return result;
+    }
+
+    // Cumulative capacity boundaries Y_1..Y_M on a [0, 1] axis.
+    let mut cap_bounds = Vec::with_capacity(capacities.len());
+    let mut acc = 0.0;
+    for &c in capacities {
+        acc += c / total_cap;
+        cap_bounds.push(acc);
+    }
+    // Guard against rounding: the last boundary is exactly 1.
+    *cap_bounds.last_mut().expect("non-empty") = 1.0;
+
+    // Items sorted by descending weight, ties broken by original index for
+    // determinism.
+    let mut order: Vec<usize> = (0..weights.len()).collect();
+    order.sort_by(|&a, &b| weights[b].total_cmp(&weights[a]).then(a.cmp(&b)));
+
+    let total_weight: f64 = weights.iter().sum();
+    let mut cum = 0.0;
+    let mut bucket = 0usize;
+    for &item in &order {
+        let share = if total_weight > 0.0 {
+            weights[item] / total_weight
+        } else {
+            1.0 / weights.len() as f64
+        };
+        // The item occupies [cum, cum + share) on the popularity axis; it
+        // goes to the bucket containing the interval's midpoint, i.e. the
+        // bucket with the largest overlap. (Assigning by the interval's
+        // *endpoint* would strand every item after an over-sized head in
+        // the last bucket.) Midpoints are monotonic, so a forward-only
+        // pointer suffices; zero-capacity buckets have empty intervals and
+        // are skipped automatically.
+        let mid = cum + share / 2.0;
+        cum += share;
+        while bucket + 1 < cap_bounds.len() && mid > cap_bounds[bucket] + 1e-12 {
+            bucket += 1;
+        }
+        result[item] = bucket;
+    }
+    result
+}
+
+/// Computes per-bucket weight totals for an assignment produced by
+/// [`mirror_divide`].
+#[must_use]
+pub fn bucket_loads(weights: &[f64], assignment: &[usize], buckets: usize) -> Vec<f64> {
+    let mut loads = vec![0.0; buckets];
+    for (&w, &b) in weights.iter().zip(assignment) {
+        loads[b] += w;
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig4_example() {
+        let buckets = mirror_divide(&[0.5, 0.2, 0.1, 0.1, 0.1], &[0.5, 0.3, 0.2]);
+        assert_eq!(buckets, vec![0, 1, 1, 2, 2]);
+        let loads = bucket_loads(&[0.5, 0.2, 0.1, 0.1, 0.1], &buckets, 3);
+        assert!((loads[0] - 0.5).abs() < 1e-12);
+        assert!((loads[1] - 0.3).abs() < 1e-12);
+        assert!((loads[2] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_to_heterogeneous_capacity() {
+        let weights = vec![1.0; 100];
+        let caps = [10.0, 30.0, 60.0];
+        let assignment = mirror_divide(&weights, &caps);
+        let loads = bucket_loads(&weights, &assignment, 3);
+        assert!((loads[0] - 10.0).abs() <= 1.0);
+        assert!((loads[1] - 30.0).abs() <= 1.0);
+        assert!((loads[2] - 60.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn zero_capacity_bucket_gets_nothing() {
+        let weights = vec![1.0; 50];
+        let assignment = mirror_divide(&weights, &[1.0, 0.0, 1.0]);
+        assert!(assignment.iter().all(|&b| b != 1));
+    }
+
+    #[test]
+    fn all_zero_capacity_falls_back_to_round_robin() {
+        let weights = vec![1.0; 6];
+        let assignment = mirror_divide(&weights, &[0.0, 0.0, 0.0]);
+        let loads = bucket_loads(&weights, &assignment, 3);
+        assert_eq!(loads, vec![2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn empty_items_ok() {
+        assert!(mirror_divide(&[], &[1.0]).is_empty());
+    }
+
+    #[test]
+    fn single_bucket_takes_everything() {
+        let assignment = mirror_divide(&[3.0, 1.0, 2.0], &[7.0]);
+        assert_eq!(assignment, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn deterministic_on_ties() {
+        let a = mirror_divide(&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0]);
+        let b = mirror_divide(&[1.0, 1.0, 1.0, 1.0], &[1.0, 1.0]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn no_buckets_panics() {
+        let _ = mirror_divide(&[1.0], &[]);
+    }
+}

@@ -1,0 +1,276 @@
+//! POSIX-style file attributes — the actual *metadata* an MDS stores.
+//!
+//! The partitioning machinery only needs the tree structure, but a
+//! metadata server ultimately serves `stat`-like records. [`AttrTable`]
+//! is the dense per-node store the cluster runtimes read and mutate;
+//! every mutation bumps a per-node version, which is what the
+//! global-layer consistency machinery (fencing tokens, client leases)
+//! synchronises on.
+
+use serde::{Deserialize, Serialize};
+
+use crate::node::NodeId;
+use crate::tree::NamespaceTree;
+
+/// A `stat`-like attribute record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FileAttr {
+    /// Permission bits (the low 12 bits of `st_mode`).
+    pub mode: u16,
+    /// Owning user id.
+    pub uid: u32,
+    /// Owning group id.
+    pub gid: u32,
+    /// Logical size in bytes (0 for directories).
+    pub size: u64,
+    /// Modification time, seconds since the epoch.
+    pub mtime: u64,
+}
+
+impl Default for FileAttr {
+    fn default() -> Self {
+        FileAttr { mode: 0o644, uid: 0, gid: 0, size: 0, mtime: 0 }
+    }
+}
+
+impl FileAttr {
+    /// A default directory record (`rwxr-xr-x`).
+    #[must_use]
+    pub fn directory() -> Self {
+        FileAttr { mode: 0o755, ..FileAttr::default() }
+    }
+
+    /// Whether `uid`/`gid` may traverse (execute) this entry — the check a
+    /// POSIX pathname walk performs on every ancestor.
+    #[must_use]
+    pub fn allows_traversal(&self, uid: u32, gid: u32) -> bool {
+        if uid == 0 {
+            return true;
+        }
+        let shift = if uid == self.uid {
+            6
+        } else if gid == self.gid {
+            3
+        } else {
+            0
+        };
+        self.mode >> shift & 0o1 == 0o1
+    }
+}
+
+/// A versioned attribute record as stored by the table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionedAttr {
+    /// The attributes.
+    pub attr: FileAttr,
+    /// Bumped on every mutation; replicas compare versions to converge.
+    pub version: u64,
+}
+
+/// Dense per-node attribute store, indexed by [`NodeId::index`].
+///
+/// # Example
+///
+/// ```
+/// use d2tree_namespace::{AttrTable, FileAttr, NamespaceTree, NodeKind};
+///
+/// # fn main() -> Result<(), d2tree_namespace::TreeError> {
+/// let mut tree = NamespaceTree::new();
+/// let f = tree.create(tree.root(), "f", NodeKind::File)?;
+/// let mut attrs = AttrTable::new(&tree);
+///
+/// let v0 = attrs.get(f).version;
+/// attrs.update(f, |a| a.size = 4096);
+/// assert_eq!(attrs.get(f).attr.size, 4096);
+/// assert!(attrs.get(f).version > v0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AttrTable {
+    records: Vec<VersionedAttr>,
+}
+
+impl AttrTable {
+    /// Creates a table sized for `tree`, with directory defaults for
+    /// directories and file defaults for files.
+    #[must_use]
+    pub fn new(tree: &NamespaceTree) -> Self {
+        let mut records =
+            vec![VersionedAttr { attr: FileAttr::default(), version: 0 }; tree.arena_size()];
+        for (id, node) in tree.nodes() {
+            if node.kind().is_directory() {
+                records[id.index()].attr = FileAttr::directory();
+            }
+        }
+        AttrTable { records }
+    }
+
+    /// Grows the table to cover nodes created after it was built.
+    pub fn resize_for(&mut self, tree: &NamespaceTree) {
+        let n = tree.arena_size();
+        if n > self.records.len() {
+            self.records.resize(n, VersionedAttr { attr: FileAttr::default(), version: 0 });
+        }
+    }
+
+    /// Reads a node's versioned record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is outside the table.
+    #[must_use]
+    pub fn get(&self, id: NodeId) -> VersionedAttr {
+        self.records[id.index()]
+    }
+
+    /// Mutates a node's attributes in place and bumps its version;
+    /// returns the new version.
+    pub fn update<F>(&mut self, id: NodeId, mutate: F) -> u64
+    where
+        F: FnOnce(&mut FileAttr),
+    {
+        let rec = &mut self.records[id.index()];
+        mutate(&mut rec.attr);
+        rec.version += 1;
+        rec.version
+    }
+
+    /// Applies a replica record if it is newer; returns whether it was
+    /// applied. This is the convergence rule replicas use after a
+    /// global-layer commit.
+    pub fn apply_if_newer(&mut self, id: NodeId, incoming: VersionedAttr) -> bool {
+        let rec = &mut self.records[id.index()];
+        if incoming.version > rec.version {
+            *rec = incoming;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Walks the root-to-`node` chain checking traversal permission on
+    /// every ancestor and read permission on the target — the POSIX check
+    /// the paper's Sec. I invokes to motivate locality.
+    #[must_use]
+    pub fn permission_walk(
+        &self,
+        tree: &NamespaceTree,
+        node: NodeId,
+        uid: u32,
+        gid: u32,
+    ) -> bool {
+        for anc in tree.ancestors(node) {
+            if !self.records[anc.index()].attr.allows_traversal(uid, gid) {
+                return false;
+            }
+        }
+        let target = self.records[node.index()].attr;
+        let shift = if uid == 0 {
+            return true;
+        } else if uid == target.uid {
+            6
+        } else if gid == target.gid {
+            3
+        } else {
+            0
+        };
+        target.mode >> shift & 0o4 == 0o4
+    }
+
+    /// Number of slots.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the table has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::NodeKind;
+
+    fn tree_with_file() -> (NamespaceTree, NodeId, NodeId) {
+        let mut t = NamespaceTree::new();
+        let d = t.create(t.root(), "d", NodeKind::Directory).unwrap();
+        let f = t.create(d, "f", NodeKind::File).unwrap();
+        (t, d, f)
+    }
+
+    #[test]
+    fn directories_get_executable_defaults() {
+        let (t, d, f) = tree_with_file();
+        let attrs = AttrTable::new(&t);
+        assert_eq!(attrs.get(d).attr.mode, 0o755);
+        assert_eq!(attrs.get(f).attr.mode, 0o644);
+    }
+
+    #[test]
+    fn updates_bump_versions_monotonically() {
+        let (t, _, f) = tree_with_file();
+        let mut attrs = AttrTable::new(&t);
+        let v1 = attrs.update(f, |a| a.size = 1);
+        let v2 = attrs.update(f, |a| a.mtime = 99);
+        assert!(v2 > v1);
+        assert_eq!(attrs.get(f).attr.size, 1);
+        assert_eq!(attrs.get(f).attr.mtime, 99);
+    }
+
+    #[test]
+    fn replica_convergence_is_version_gated() {
+        let (t, _, f) = tree_with_file();
+        let mut primary = AttrTable::new(&t);
+        let mut replica = AttrTable::new(&t);
+        primary.update(f, |a| a.size = 7);
+        let record = primary.get(f);
+        assert!(replica.apply_if_newer(f, record));
+        assert_eq!(replica.get(f).attr.size, 7);
+        // Re-applying the same version is a no-op; older never wins.
+        assert!(!replica.apply_if_newer(f, record));
+        replica.update(f, |a| a.size = 8);
+        assert!(!replica.apply_if_newer(f, record));
+        assert_eq!(replica.get(f).attr.size, 8);
+    }
+
+    #[test]
+    fn permission_walk_requires_every_ancestor() {
+        let (t, d, f) = tree_with_file();
+        let mut attrs = AttrTable::new(&t);
+        assert!(attrs.permission_walk(&t, f, 1000, 1000), "defaults are world-readable");
+        // Lock the directory: no world execute.
+        attrs.update(d, |a| a.mode = 0o700);
+        assert!(!attrs.permission_walk(&t, f, 1000, 1000));
+        assert!(attrs.permission_walk(&t, f, 0, 0), "root bypasses");
+        // The directory owner can still traverse.
+        attrs.update(d, |a| a.uid = 1000);
+        assert!(attrs.permission_walk(&t, f, 1000, 1000));
+    }
+
+    #[test]
+    fn group_permissions_apply() {
+        let (t, _, f) = tree_with_file();
+        let mut attrs = AttrTable::new(&t);
+        attrs.update(f, |a| {
+            a.mode = 0o040; // group-readable only
+            a.uid = 1;
+            a.gid = 50;
+        });
+        assert!(attrs.permission_walk(&t, f, 2, 50));
+        assert!(!attrs.permission_walk(&t, f, 2, 51));
+    }
+
+    #[test]
+    fn resize_for_covers_new_nodes() {
+        let (mut t, d, _) = tree_with_file();
+        let mut attrs = AttrTable::new(&t);
+        let extra = t.create(d, "extra", NodeKind::File).unwrap();
+        attrs.resize_for(&t);
+        assert_eq!(attrs.get(extra).version, 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Convenience builder for assembling trees from path strings.
+
+use crate::error::TreeError;
+use crate::node::{NodeId, NodeKind};
+use crate::path::NsPath;
+use crate::tree::NamespaceTree;
+
+/// Incrementally builds a [`NamespaceTree`] from absolute path strings,
+/// creating intermediate directories on demand.
+///
+/// # Example
+///
+/// ```
+/// use d2tree_namespace::TreeBuilder;
+///
+/// # fn main() -> Result<(), d2tree_namespace::TreeError> {
+/// let mut b = TreeBuilder::new();
+/// b.file("/var/log/syslog")?;
+/// b.file("/var/log/auth.log")?;
+/// b.dir("/var/tmp")?;
+/// let tree = b.build();
+/// assert_eq!(tree.file_count(), 2);
+/// assert_eq!(tree.max_depth(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TreeBuilder {
+    tree: NamespaceTree,
+}
+
+impl TreeBuilder {
+    /// Creates a builder holding an empty tree (just the root).
+    #[must_use]
+    pub fn new() -> Self {
+        TreeBuilder { tree: NamespaceTree::new() }
+    }
+
+    /// Ensures a file exists at `path`, creating intermediate directories.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`TreeError`] if the path is malformed or
+    /// conflicts with existing nodes of a different kind.
+    pub fn file(&mut self, path: &str) -> Result<NodeId, TreeError> {
+        let p: NsPath = path.parse()?;
+        self.tree.create_path(&p, NodeKind::File)
+    }
+
+    /// Ensures a directory exists at `path`, creating intermediates.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`TreeError`] if the path is malformed or
+    /// conflicts with existing nodes of a different kind.
+    pub fn dir(&mut self, path: &str) -> Result<NodeId, TreeError> {
+        let p: NsPath = path.parse()?;
+        self.tree.create_path(&p, NodeKind::Directory)
+    }
+
+    /// Adds many files at once.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first failure.
+    pub fn files<I, S>(&mut self, paths: I) -> Result<(), TreeError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for p in paths {
+            self.file(p.as_ref())?;
+        }
+        Ok(())
+    }
+
+    /// A view of the tree built so far.
+    #[must_use]
+    pub fn tree(&self) -> &NamespaceTree {
+        &self.tree
+    }
+
+    /// Finishes building and returns the tree.
+    #[must_use]
+    pub fn build(self) -> NamespaceTree {
+        self.tree
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_shared_prefixes_once() {
+        let mut b = TreeBuilder::new();
+        b.files(["/a/b/one", "/a/b/two", "/a/c/three"]).unwrap();
+        let t = b.build();
+        assert_eq!(t.file_count(), 3);
+        assert_eq!(t.directory_count(), 4); // root, a, b, c
+    }
+
+    #[test]
+    fn kind_conflict_is_an_error() {
+        let mut b = TreeBuilder::new();
+        b.file("/a/b").unwrap();
+        assert!(b.dir("/a/b").is_err());
+        assert!(b.file("/a/b/c").is_err()); // b is a file
+    }
+
+    #[test]
+    fn tree_view_matches_build() {
+        let mut b = TreeBuilder::new();
+        b.file("/x").unwrap();
+        assert_eq!(b.tree().file_count(), 1);
+        assert_eq!(b.build().file_count(), 1);
+    }
+}

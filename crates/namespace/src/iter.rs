@@ -1,0 +1,105 @@
+//! Tree traversal iterators.
+
+use crate::node::NodeId;
+use crate::tree::NamespaceTree;
+
+/// Iterator over the strict ancestors of a node, parent first, root last.
+///
+/// Produced by [`NamespaceTree::ancestors`].
+#[derive(Debug, Clone)]
+pub struct Ancestors<'a> {
+    tree: &'a NamespaceTree,
+    next: Option<NodeId>,
+}
+
+impl<'a> Ancestors<'a> {
+    pub(crate) fn new(tree: &'a NamespaceTree, start: NodeId) -> Self {
+        let next = tree.node(start).and_then(|n| n.parent());
+        Ancestors { tree, next }
+    }
+}
+
+impl Iterator for Ancestors<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.node(cur).and_then(|n| n.parent());
+        Some(cur)
+    }
+}
+
+/// Pre-order depth-first iterator over a subtree, including its root.
+///
+/// Children are visited in name order, so traversal order is deterministic.
+/// Produced by [`NamespaceTree::descendants`].
+#[derive(Debug, Clone)]
+pub struct Descendants<'a> {
+    tree: &'a NamespaceTree,
+    stack: Vec<NodeId>,
+}
+
+impl<'a> Descendants<'a> {
+    pub(crate) fn new(tree: &'a NamespaceTree, start: NodeId) -> Self {
+        let stack = if tree.contains(start) { vec![start] } else { Vec::new() };
+        Descendants { tree, stack }
+    }
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.stack.pop()?;
+        if let Some(node) = self.tree.node(cur) {
+            // Push in reverse name order so name order pops first.
+            let mut kids: Vec<NodeId> = node.children().map(|(_, id)| id).collect();
+            kids.reverse();
+            self.stack.extend(kids);
+        }
+        Some(cur)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{NamespaceTree, NodeKind};
+
+    #[test]
+    fn ancestors_of_root_is_empty() {
+        let t = NamespaceTree::new();
+        assert_eq!(t.ancestors(t.root()).count(), 0);
+    }
+
+    #[test]
+    fn descendants_of_missing_node_is_empty() {
+        let mut t = NamespaceTree::new();
+        let a = t.create(t.root(), "a", NodeKind::Directory).unwrap();
+        t.remove_subtree(a).unwrap();
+        assert_eq!(t.descendants(a).count(), 0);
+    }
+
+    #[test]
+    fn descendants_visit_children_in_name_order() {
+        let mut t = NamespaceTree::new();
+        let d = t.create(t.root(), "d", NodeKind::Directory).unwrap();
+        let z = t.create(d, "z", NodeKind::File).unwrap();
+        let a = t.create(d, "a", NodeKind::File).unwrap();
+        let m = t.create(d, "m", NodeKind::File).unwrap();
+        let order: Vec<_> = t.descendants(d).collect();
+        assert_eq!(order, vec![d, a, m, z]);
+    }
+
+    #[test]
+    fn preorder_parent_before_children() {
+        let mut t = NamespaceTree::new();
+        let a = t.create(t.root(), "a", NodeKind::Directory).unwrap();
+        let b = t.create(a, "b", NodeKind::Directory).unwrap();
+        let c = t.create(b, "c", NodeKind::File).unwrap();
+        let order: Vec<_> = t.descendants(t.root()).collect();
+        let pos = |x| order.iter().position(|&y| y == x).unwrap();
+        assert!(pos(t.root()) < pos(a));
+        assert!(pos(a) < pos(b));
+        assert!(pos(b) < pos(c));
+    }
+}

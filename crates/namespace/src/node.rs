@@ -1,0 +1,162 @@
+//! Node identity and payload types.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Stable identifier of a node inside a [`NamespaceTree`](crate::NamespaceTree).
+///
+/// Ids are arena indices: they are never reused, remain valid across
+/// mutations of other nodes, and order follows creation order. The root is
+/// always [`NodeId::ROOT`].
+///
+/// # Example
+///
+/// ```
+/// use d2tree_namespace::{NamespaceTree, NodeId};
+///
+/// let tree = NamespaceTree::new();
+/// assert_eq!(tree.root(), NodeId::ROOT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The id of the root directory of every tree.
+    pub const ROOT: NodeId = NodeId(0);
+
+    /// Returns the raw arena index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a raw arena index.
+    ///
+    /// Intended for dense per-node side tables (popularity, placement); the
+    /// caller is responsible for the index referring to a live node of the
+    /// intended tree.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        NodeId(u32::try_from(index).expect("node index fits in u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Whether a node is a directory (may hold children) or a file (leaf).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// An internal node that can hold children.
+    Directory,
+    /// A leaf node.
+    File,
+}
+
+impl NodeKind {
+    /// Returns `true` for [`NodeKind::Directory`].
+    #[must_use]
+    pub fn is_directory(self) -> bool {
+        matches!(self, NodeKind::Directory)
+    }
+}
+
+impl fmt::Display for NodeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeKind::Directory => f.write_str("directory"),
+            NodeKind::File => f.write_str("file"),
+        }
+    }
+}
+
+/// A single metadata node: name, kind, parent link and (for directories) a
+/// name-ordered child map.
+///
+/// Children are kept in a [`BTreeMap`] so traversal order is deterministic,
+/// which keeps every downstream experiment reproducible under a fixed seed.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Node {
+    pub(crate) name: Box<str>,
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: BTreeMap<Box<str>, NodeId>,
+    pub(crate) alive: bool,
+}
+
+impl Node {
+    /// The node's own name component (empty string for the root).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The node's kind.
+    #[must_use]
+    pub fn kind(&self) -> NodeKind {
+        self.kind
+    }
+
+    /// The parent id, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// Number of live children.
+    #[must_use]
+    pub fn child_count(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Iterates over `(name, id)` pairs of live children in name order.
+    pub fn children(&self) -> impl Iterator<Item = (&str, NodeId)> + '_ {
+        self.children.iter().map(|(k, v)| (k.as_ref(), *v))
+    }
+
+    /// Looks up a child by name.
+    #[must_use]
+    pub fn child(&self, name: &str) -> Option<NodeId> {
+        self.children.get(name).copied()
+    }
+
+    /// Whether the node is still part of the tree (not removed).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrips_through_index() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id.to_string(), "n42");
+    }
+
+    #[test]
+    fn root_is_index_zero() {
+        assert_eq!(NodeId::ROOT.index(), 0);
+    }
+
+    #[test]
+    fn kind_predicates() {
+        assert!(NodeKind::Directory.is_directory());
+        assert!(!NodeKind::File.is_directory());
+        assert_eq!(NodeKind::File.to_string(), "file");
+    }
+
+    #[test]
+    fn node_ids_order_by_creation() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

@@ -1,0 +1,205 @@
+//! Slash-separated namespace paths.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TreeError;
+
+/// An absolute, normalised namespace path (`/a/b/c`).
+///
+/// `NsPath` is a plain sequence of name components; unlike `std::path::Path`
+/// it has no platform semantics, no `.`/`..` and no non-UTF-8 names, which is
+/// all a metadata trace needs. The root path is the empty component list and
+/// displays as `/`.
+///
+/// # Example
+///
+/// ```
+/// use d2tree_namespace::NsPath;
+///
+/// let p: NsPath = "/var/log/syslog".parse()?;
+/// assert_eq!(p.depth(), 3);
+/// assert_eq!(p.components().last(), Some("syslog"));
+/// assert_eq!(p.parent().unwrap().to_string(), "/var/log");
+/// # Ok::<(), d2tree_namespace::TreeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct NsPath {
+    components: Vec<Box<str>>,
+}
+
+impl NsPath {
+    /// The root path `/`.
+    #[must_use]
+    pub fn root() -> Self {
+        NsPath { components: Vec::new() }
+    }
+
+    /// Builds a path from an iterator of components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::InvalidPath`] if any component is empty or
+    /// contains `/`.
+    pub fn from_components<I, S>(components: I) -> Result<Self, TreeError>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut out = Vec::new();
+        for c in components {
+            let c = c.as_ref();
+            if c.is_empty() || c.contains('/') {
+                return Err(TreeError::InvalidPath(c.to_owned()));
+            }
+            out.push(Box::from(c));
+        }
+        Ok(NsPath { components: out })
+    }
+
+    /// Number of components; the root has depth 0.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether this is the root path.
+    #[must_use]
+    pub fn is_root(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Iterates over the components from the root downwards.
+    pub fn components(&self) -> impl DoubleEndedIterator<Item = &str> + ExactSizeIterator {
+        self.components.iter().map(AsRef::as_ref)
+    }
+
+    /// The final component, or `None` for the root.
+    #[must_use]
+    pub fn file_name(&self) -> Option<&str> {
+        self.components.last().map(AsRef::as_ref)
+    }
+
+    /// The parent path, or `None` for the root.
+    #[must_use]
+    pub fn parent(&self) -> Option<NsPath> {
+        if self.components.is_empty() {
+            None
+        } else {
+            Some(NsPath { components: self.components[..self.components.len() - 1].to_vec() })
+        }
+    }
+
+    /// Returns a new path with `name` appended.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::InvalidPath`] if `name` is empty or contains `/`.
+    pub fn join(&self, name: &str) -> Result<NsPath, TreeError> {
+        if name.is_empty() || name.contains('/') {
+            return Err(TreeError::InvalidPath(name.to_owned()));
+        }
+        let mut components = self.components.clone();
+        components.push(Box::from(name));
+        Ok(NsPath { components })
+    }
+
+    /// Whether `self` is `other` or one of its ancestors.
+    ///
+    /// ```
+    /// use d2tree_namespace::NsPath;
+    /// let a: NsPath = "/usr".parse()?;
+    /// let b: NsPath = "/usr/lib".parse()?;
+    /// assert!(a.is_prefix_of(&b));
+    /// assert!(!b.is_prefix_of(&a));
+    /// # Ok::<(), d2tree_namespace::TreeError>(())
+    /// ```
+    #[must_use]
+    pub fn is_prefix_of(&self, other: &NsPath) -> bool {
+        self.components.len() <= other.components.len()
+            && self.components.iter().zip(&other.components).all(|(a, b)| a == b)
+    }
+}
+
+impl FromStr for NsPath {
+    type Err = TreeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let trimmed = s.strip_prefix('/').ok_or_else(|| TreeError::InvalidPath(s.to_owned()))?;
+        if trimmed.is_empty() {
+            return Ok(NsPath::root());
+        }
+        NsPath::from_components(trimmed.split('/'))
+    }
+}
+
+impl fmt::Display for NsPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.components.is_empty() {
+            return f.write_str("/");
+        }
+        for c in &self.components {
+            write!(f, "/{c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays_roundtrip() {
+        for s in ["/", "/a", "/a/b/c", "/home/alice/.config"] {
+            let p: NsPath = s.parse().unwrap();
+            assert_eq!(p.to_string(), s);
+        }
+    }
+
+    #[test]
+    fn rejects_relative_and_malformed() {
+        assert!("a/b".parse::<NsPath>().is_err());
+        assert!("".parse::<NsPath>().is_err());
+        assert!("/a//b".parse::<NsPath>().is_err());
+    }
+
+    #[test]
+    fn join_and_parent_are_inverses() {
+        let p: NsPath = "/x/y".parse().unwrap();
+        let q = p.join("z").unwrap();
+        assert_eq!(q.to_string(), "/x/y/z");
+        assert_eq!(q.parent().unwrap(), p);
+    }
+
+    #[test]
+    fn join_rejects_bad_component() {
+        let p = NsPath::root();
+        assert!(p.join("").is_err());
+        assert!(p.join("a/b").is_err());
+    }
+
+    #[test]
+    fn root_properties() {
+        let r = NsPath::root();
+        assert!(r.is_root());
+        assert_eq!(r.depth(), 0);
+        assert_eq!(r.parent(), None);
+        assert_eq!(r.file_name(), None);
+        assert_eq!(r.to_string(), "/");
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let root = NsPath::root();
+        let a: NsPath = "/a".parse().unwrap();
+        let ab: NsPath = "/a/b".parse().unwrap();
+        let ac: NsPath = "/a/c".parse().unwrap();
+        assert!(root.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&ab));
+        assert!(a.is_prefix_of(&a));
+        assert!(!ab.is_prefix_of(&ac));
+    }
+}

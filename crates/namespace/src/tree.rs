@@ -1,0 +1,521 @@
+//! The arena-backed namespace tree.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::TreeError;
+use crate::iter::{Ancestors, Descendants};
+use crate::node::{Node, NodeId, NodeKind};
+use crate::path::NsPath;
+
+/// A POSIX-style namespace tree of files and directories.
+///
+/// Nodes live in an arena indexed by [`NodeId`]; ids are never reused, so
+/// dense side tables (popularity, placement) indexed by [`NodeId::index`]
+/// stay valid across removals. Removed nodes are tombstoned and skipped by
+/// all traversals.
+///
+/// # Example
+///
+/// ```
+/// use d2tree_namespace::{NamespaceTree, NodeKind};
+///
+/// # fn main() -> Result<(), d2tree_namespace::TreeError> {
+/// let mut tree = NamespaceTree::new();
+/// let etc = tree.create(tree.root(), "etc", NodeKind::Directory)?;
+/// tree.create(etc, "hosts", NodeKind::File)?;
+/// assert_eq!(tree.node_count(), 3); // root, etc, hosts
+/// assert_eq!(tree.subtree_size(etc), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct NamespaceTree {
+    nodes: Vec<Node>,
+    live: usize,
+}
+
+impl NamespaceTree {
+    /// Creates a tree containing only the root directory.
+    #[must_use]
+    pub fn new() -> Self {
+        NamespaceTree {
+            nodes: vec![Node {
+                name: Box::from(""),
+                kind: NodeKind::Directory,
+                parent: None,
+                children: BTreeMap::new(),
+                alive: true,
+            }],
+            live: 1,
+        }
+    }
+
+    /// The root directory's id.
+    #[must_use]
+    pub fn root(&self) -> NodeId {
+        NodeId::ROOT
+    }
+
+    /// Number of live nodes, including the root.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.live
+    }
+
+    /// Size of the underlying arena (live + tombstoned nodes).
+    ///
+    /// Dense side tables indexed by [`NodeId::index`] should be sized to this
+    /// value, not to [`node_count`](Self::node_count).
+    #[must_use]
+    pub fn arena_size(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns the node payload, or `None` if the id is out of range or the
+    /// node has been removed.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> Option<&Node> {
+        self.nodes.get(id.index()).filter(|n| n.alive)
+    }
+
+    /// Whether `id` refers to a live node.
+    #[must_use]
+    pub fn contains(&self, id: NodeId) -> bool {
+        self.node(id).is_some()
+    }
+
+    fn get(&self, id: NodeId) -> Result<&Node, TreeError> {
+        self.node(id).ok_or(TreeError::NodeNotFound(id))
+    }
+
+    fn get_mut(&mut self, id: NodeId) -> Result<&mut Node, TreeError> {
+        self.nodes
+            .get_mut(id.index())
+            .filter(|n| n.alive)
+            .ok_or(TreeError::NodeNotFound(id))
+    }
+
+    /// Creates a child of `parent` and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::NodeNotFound`] — `parent` is not a live node.
+    /// * [`TreeError::NotADirectory`] — `parent` is a file.
+    /// * [`TreeError::DuplicateName`] — a sibling named `name` exists.
+    /// * [`TreeError::InvalidPath`] — `name` is empty or contains `/`.
+    pub fn create(
+        &mut self,
+        parent: NodeId,
+        name: &str,
+        kind: NodeKind,
+    ) -> Result<NodeId, TreeError> {
+        if name.is_empty() || name.contains('/') {
+            return Err(TreeError::InvalidPath(name.to_owned()));
+        }
+        let p = self.get(parent)?;
+        if !p.kind.is_directory() {
+            return Err(TreeError::NotADirectory(parent));
+        }
+        if p.children.contains_key(name) {
+            return Err(TreeError::DuplicateName(name.to_owned()));
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            name: Box::from(name),
+            kind,
+            parent: Some(parent),
+            children: BTreeMap::new(),
+            alive: true,
+        });
+        self.nodes[parent.index()].children.insert(Box::from(name), id);
+        self.live += 1;
+        Ok(id)
+    }
+
+    /// Creates every missing directory along `path` and returns the id of the
+    /// final component.
+    ///
+    /// The final component is created with `kind`; intermediate components
+    /// are directories.
+    ///
+    /// # Errors
+    ///
+    /// Fails if an intermediate component already exists as a file, or the
+    /// final component exists with a different kind.
+    pub fn create_path(&mut self, path: &NsPath, kind: NodeKind) -> Result<NodeId, TreeError> {
+        let mut cur = self.root();
+        let n = path.depth();
+        for (i, comp) in path.components().enumerate() {
+            let last = i + 1 == n;
+            let want = if last { kind } else { NodeKind::Directory };
+            match self.get(cur)?.child(comp) {
+                Some(next) => {
+                    let existing = self.get(next)?;
+                    if last && existing.kind != want {
+                        return Err(TreeError::DuplicateName(comp.to_owned()));
+                    }
+                    if !last && !existing.kind.is_directory() {
+                        return Err(TreeError::NotADirectory(next));
+                    }
+                    cur = next;
+                }
+                None => cur = self.create(cur, comp, want)?,
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Resolves an absolute path to a node id.
+    #[must_use]
+    pub fn resolve(&self, path: &NsPath) -> Option<NodeId> {
+        let mut cur = self.root();
+        for comp in path.components() {
+            cur = self.node(cur)?.child(comp)?;
+        }
+        Some(cur)
+    }
+
+    /// Convenience: parse `path` and resolve it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TreeError::InvalidPath`] for malformed strings and
+    /// [`TreeError::NodeNotFound`] when the path does not exist.
+    pub fn resolve_str(&self, path: &str) -> Result<NodeId, TreeError> {
+        let p: NsPath = path.parse()?;
+        self.resolve(&p).ok_or(TreeError::NodeNotFound(NodeId::ROOT))
+    }
+
+    /// Reconstructs the absolute path of a live node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live node.
+    #[must_use]
+    pub fn path_of(&self, id: NodeId) -> NsPath {
+        let mut comps: Vec<&str> = Vec::new();
+        let mut cur = self.get(id).expect("path_of of a live node");
+        while let Some(parent) = cur.parent {
+            comps.push(&cur.name);
+            cur = self.get(parent).expect("parent chain is live");
+        }
+        comps.reverse();
+        NsPath::from_components(comps).expect("stored names are valid components")
+    }
+
+    /// Depth of a node: the root has depth 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live node.
+    #[must_use]
+    pub fn depth(&self, id: NodeId) -> usize {
+        self.ancestors(id).count()
+    }
+
+    /// Iterates over the strict ancestors of `id`, from its parent up to the
+    /// root (the set `A_j` of Def. 1 in the paper).
+    #[must_use]
+    pub fn ancestors(&self, id: NodeId) -> Ancestors<'_> {
+        Ancestors::new(self, id)
+    }
+
+    /// The node ids on the root-to-`id` path, inclusive of both ends.
+    ///
+    /// This is the chain a POSIX pathname traversal touches; the locality
+    /// metric counts server changes along it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a live node.
+    #[must_use]
+    pub fn path_from_root(&self, id: NodeId) -> Vec<NodeId> {
+        let mut chain: Vec<NodeId> = self.ancestors(id).collect();
+        chain.reverse();
+        chain.push(id);
+        chain
+    }
+
+    /// Pre-order depth-first traversal of the subtree rooted at `id`,
+    /// including `id` itself.
+    #[must_use]
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        Descendants::new(self, id)
+    }
+
+    /// Number of live nodes in the subtree rooted at `id` (including `id`).
+    #[must_use]
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.descendants(id).count()
+    }
+
+    /// Whether `a` is a strict ancestor of `b`.
+    #[must_use]
+    pub fn is_ancestor_of(&self, a: NodeId, b: NodeId) -> bool {
+        self.ancestors(b).any(|x| x == a)
+    }
+
+    /// Renames a node in place.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::RootImmutable`] — `id` is the root.
+    /// * [`TreeError::DuplicateName`] — a sibling named `new_name` exists.
+    /// * [`TreeError::InvalidPath`] — `new_name` is malformed.
+    pub fn rename(&mut self, id: NodeId, new_name: &str) -> Result<(), TreeError> {
+        if new_name.is_empty() || new_name.contains('/') {
+            return Err(TreeError::InvalidPath(new_name.to_owned()));
+        }
+        let node = self.get(id)?;
+        let parent = node.parent.ok_or(TreeError::RootImmutable)?;
+        let old_name = node.name.clone();
+        if old_name.as_ref() == new_name {
+            return Ok(());
+        }
+        if self.get(parent)?.children.contains_key(new_name) {
+            return Err(TreeError::DuplicateName(new_name.to_owned()));
+        }
+        let pnode = self.get_mut(parent)?;
+        pnode.children.remove(&old_name);
+        pnode.children.insert(Box::from(new_name), id);
+        self.get_mut(id)?.name = Box::from(new_name);
+        Ok(())
+    }
+
+    /// Moves the subtree rooted at `id` under `new_parent`.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::RootImmutable`] — `id` is the root.
+    /// * [`TreeError::NotADirectory`] — `new_parent` is a file.
+    /// * [`TreeError::DuplicateName`] — `new_parent` has a child with the
+    ///   same name.
+    /// * [`TreeError::MoveIntoDescendant`] — `new_parent` lies inside the
+    ///   moved subtree.
+    pub fn move_subtree(&mut self, id: NodeId, new_parent: NodeId) -> Result<(), TreeError> {
+        let node = self.get(id)?;
+        let old_parent = node.parent.ok_or(TreeError::RootImmutable)?;
+        let name = node.name.clone();
+        let dest = self.get(new_parent)?;
+        if !dest.kind.is_directory() {
+            return Err(TreeError::NotADirectory(new_parent));
+        }
+        if new_parent == id || self.is_ancestor_of(id, new_parent) {
+            return Err(TreeError::MoveIntoDescendant { subject: id, destination: new_parent });
+        }
+        if new_parent == old_parent {
+            return Ok(());
+        }
+        if dest.children.contains_key(&name) {
+            return Err(TreeError::DuplicateName(name.into_string()));
+        }
+        self.get_mut(old_parent)?.children.remove(&name);
+        self.get_mut(new_parent)?.children.insert(name, id);
+        self.get_mut(id)?.parent = Some(new_parent);
+        Ok(())
+    }
+
+    /// Removes the subtree rooted at `id` and returns how many nodes were
+    /// removed.
+    ///
+    /// Removed ids become tombstones: they are never reused and all lookups
+    /// on them fail.
+    ///
+    /// # Errors
+    ///
+    /// * [`TreeError::RootImmutable`] — `id` is the root.
+    /// * [`TreeError::NodeNotFound`] — `id` is not live.
+    pub fn remove_subtree(&mut self, id: NodeId) -> Result<usize, TreeError> {
+        let node = self.get(id)?;
+        let parent = node.parent.ok_or(TreeError::RootImmutable)?;
+        let name = node.name.clone();
+        let victims: Vec<NodeId> = self.descendants(id).collect();
+        self.get_mut(parent)?.children.remove(&name);
+        for v in &victims {
+            self.nodes[v.index()].alive = false;
+            self.nodes[v.index()].children.clear();
+        }
+        self.live -= victims.len();
+        Ok(victims.len())
+    }
+
+    /// Iterates over all live nodes as `(id, node)` in id (creation) order.
+    pub fn nodes(&self) -> impl Iterator<Item = (NodeId, &Node)> + '_ {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.alive)
+            .map(|(i, n)| (NodeId::from_index(i), n))
+    }
+
+    /// Number of live directories.
+    #[must_use]
+    pub fn directory_count(&self) -> usize {
+        self.nodes().filter(|(_, n)| n.kind.is_directory()).count()
+    }
+
+    /// Number of live files.
+    #[must_use]
+    pub fn file_count(&self) -> usize {
+        self.nodes().filter(|(_, n)| !n.kind.is_directory()).count()
+    }
+
+    /// Maximum depth over all live nodes (the paper's Table I "Max Depth").
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        let mut depth = vec![0usize; self.arena_size()];
+        let mut max = 0;
+        for (id, node) in self.nodes() {
+            if let Some(p) = node.parent {
+                depth[id.index()] = depth[p.index()] + 1;
+                max = max.max(depth[id.index()]);
+            }
+        }
+        max
+    }
+}
+
+impl Default for NamespaceTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (NamespaceTree, NodeId, NodeId, NodeId) {
+        let mut t = NamespaceTree::new();
+        let home = t.create(t.root(), "home", NodeKind::Directory).unwrap();
+        let a = t.create(home, "a", NodeKind::Directory).unwrap();
+        let f = t.create(a, "f.txt", NodeKind::File).unwrap();
+        (t, home, a, f)
+    }
+
+    #[test]
+    fn create_resolve_path_roundtrip() {
+        let (t, _, _, f) = sample();
+        let p = t.path_of(f);
+        assert_eq!(p.to_string(), "/home/a/f.txt");
+        assert_eq!(t.resolve(&p), Some(f));
+        assert_eq!(t.resolve_str("/home/a/f.txt").unwrap(), f);
+    }
+
+    #[test]
+    fn create_rejects_duplicates_and_bad_parents() {
+        let (mut t, home, _, f) = sample();
+        assert_eq!(
+            t.create(home, "a", NodeKind::Directory),
+            Err(TreeError::DuplicateName("a".into()))
+        );
+        assert_eq!(t.create(f, "x", NodeKind::File), Err(TreeError::NotADirectory(f)));
+        assert!(matches!(
+            t.create(home, "x/y", NodeKind::File),
+            Err(TreeError::InvalidPath(_))
+        ));
+    }
+
+    #[test]
+    fn create_path_builds_intermediates() {
+        let mut t = NamespaceTree::new();
+        let p: NsPath = "/x/y/z.dat".parse().unwrap();
+        let id = t.create_path(&p, NodeKind::File).unwrap();
+        assert_eq!(t.path_of(id), p);
+        assert_eq!(t.node_count(), 4);
+        // Idempotent for an existing node of the same kind.
+        assert_eq!(t.create_path(&p, NodeKind::File).unwrap(), id);
+        // Conflicting kind fails.
+        assert!(t.create_path(&p, NodeKind::Directory).is_err());
+    }
+
+    #[test]
+    fn ancestors_and_depth() {
+        let (t, home, a, f) = sample();
+        let anc: Vec<NodeId> = t.ancestors(f).collect();
+        assert_eq!(anc, vec![a, home, t.root()]);
+        assert_eq!(t.depth(f), 3);
+        assert_eq!(t.depth(t.root()), 0);
+        assert_eq!(t.path_from_root(f), vec![t.root(), home, a, f]);
+    }
+
+    #[test]
+    fn descendants_preorder() {
+        let (t, home, a, f) = sample();
+        let desc: Vec<NodeId> = t.descendants(home).collect();
+        assert_eq!(desc, vec![home, a, f]);
+        assert_eq!(t.subtree_size(home), 3);
+        assert_eq!(t.subtree_size(f), 1);
+    }
+
+    #[test]
+    fn rename_updates_resolution() {
+        let (mut t, _, a, f) = sample();
+        t.rename(a, "b").unwrap();
+        assert_eq!(t.resolve_str("/home/b/f.txt").unwrap(), f);
+        assert!(t.resolve_str("/home/a/f.txt").is_err());
+        assert_eq!(t.rename(t.root(), "r"), Err(TreeError::RootImmutable));
+    }
+
+    #[test]
+    fn rename_to_same_name_is_noop() {
+        let (mut t, _, a, _) = sample();
+        t.rename(a, "a").unwrap();
+        assert!(t.resolve_str("/home/a").is_ok());
+    }
+
+    #[test]
+    fn move_subtree_rewires_paths() {
+        let (mut t, home, a, f) = sample();
+        let var = t.create(t.root(), "var", NodeKind::Directory).unwrap();
+        t.move_subtree(a, var).unwrap();
+        assert_eq!(t.path_of(f).to_string(), "/var/a/f.txt");
+        assert!(!t.is_ancestor_of(home, f));
+        assert!(t.is_ancestor_of(var, f));
+    }
+
+    #[test]
+    fn move_into_descendant_rejected() {
+        let (mut t, home, a, _) = sample();
+        assert!(matches!(
+            t.move_subtree(home, a),
+            Err(TreeError::MoveIntoDescendant { .. })
+        ));
+        assert!(matches!(
+            t.move_subtree(home, home),
+            Err(TreeError::MoveIntoDescendant { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_subtree_tombstones() {
+        let (mut t, home, a, f) = sample();
+        let removed = t.remove_subtree(a).unwrap();
+        assert_eq!(removed, 2);
+        assert!(!t.contains(a));
+        assert!(!t.contains(f));
+        assert!(t.contains(home));
+        assert_eq!(t.node_count(), 2);
+        assert_eq!(t.arena_size(), 4); // tombstones keep the arena dense
+        assert_eq!(t.remove_subtree(a), Err(TreeError::NodeNotFound(a)));
+        assert_eq!(t.remove_subtree(t.root()), Err(TreeError::RootImmutable));
+    }
+
+    #[test]
+    fn counts_and_max_depth() {
+        let (t, ..) = sample();
+        assert_eq!(t.directory_count(), 3); // root, home, a
+        assert_eq!(t.file_count(), 1);
+        assert_eq!(t.max_depth(), 3);
+    }
+
+    #[test]
+    fn clone_preserves_structure() {
+        let (t, _, _, f) = sample();
+        let c = t.clone();
+        assert_eq!(c.resolve_str("/home/a/f.txt").unwrap(), f);
+        assert_eq!(c.node_count(), t.node_count());
+    }
+}

@@ -1,0 +1,45 @@
+//! Synthetic metadata workloads for the D2-Tree reproduction.
+//!
+//! The paper evaluates on three 24-hour Microsoft production traces —
+//! *Development Tools Release* (DTR), *Live Maps Back End* (LMBE) and
+//! *Radius Authentication* (RA), SNIA IOTTA trace #158 — which are not
+//! redistributable. This crate substitutes seeded synthetic equivalents that
+//! reproduce the characteristics the evaluation actually depends on:
+//!
+//! * namespace shape — node count and the published maximum depths
+//!   (49 / 9 / 13, Table I);
+//! * access skew — Zipf-distributed per-node popularity with a tunable
+//!   depth bias, so the paper's measured global-layer hit rates emerge
+//!   (≈83% of DTR queries hit the top-1% global layer, ≈58.6% of LMBE
+//!   queries go to the local layer);
+//! * operation mix — read/write/update fractions matching Table II.
+//!
+//! # Example
+//!
+//! ```
+//! use d2tree_workload::{TraceProfile, WorkloadBuilder};
+//!
+//! let profile = TraceProfile::dtr().with_nodes(2_000).with_operations(10_000);
+//! let workload = WorkloadBuilder::new(profile).seed(42).build();
+//! assert_eq!(workload.tree.max_depth(), 49);
+//! assert_eq!(workload.trace.len(), 10_000);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod drift;
+pub mod io;
+mod profile;
+mod stats;
+mod synth;
+mod trace;
+mod zipf;
+
+pub use drift::DriftingWorkload;
+pub use io::TraceIoError;
+pub use profile::{OpMix, TraceProfile};
+pub use stats::{DepthHistogram, TraceStats};
+pub use synth::{synthesize_tree, SynthesisReport};
+pub use trace::{OpKind, Operation, Trace, TraceGen, Workload, WorkloadBuilder};
+pub use zipf::Zipf;

@@ -1,0 +1,70 @@
+//! Side-by-side study of how each partitioning scheme reacts to a hotspot
+//! shift: build, measure, move the workload's heat to a cold corner of
+//! the namespace, rebalance, and measure again.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example scheme_shootout
+//! ```
+
+use d2tree::baselines::extended_lineup;
+use d2tree::metrics::{balance, ClusterSpec};
+use d2tree::workload::{TraceProfile, WorkloadBuilder};
+
+fn main() {
+    let workload = WorkloadBuilder::new(
+        TraceProfile::lmbe().with_nodes(10_000).with_operations(100_000),
+    )
+    .seed(3)
+    .build();
+    let pop = workload.popularity();
+    // Capacity C_k = ΣL/M so μ = 1 and Def. 5 balance values are O(1)-
+    // comparable (the same convention the bench harness uses).
+    let m = 6;
+    let cluster = ClusterSpec::homogeneous(m, pop.sum_individual() / m as f64);
+
+    // Pick a batch of currently-cold nodes to heat up later.
+    let mut cold: Vec<_> = workload
+        .tree
+        .nodes()
+        .map(|(id, _)| id)
+        .filter(|&id| pop.individual(id) < 1.0)
+        .take(50)
+        .collect();
+    cold.sort();
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>12}",
+        "scheme", "balance before", "balance after", "migrations"
+    );
+    for mut scheme in extended_lineup(0.01, 11) {
+        scheme.build(&workload.tree, &pop, &cluster);
+        let before = balance(&scheme.loads(&workload.tree, &pop), &cluster);
+
+        // The hotspot shift: the cold corner suddenly receives 30% of all
+        // traffic (e.g. a viral dataset).
+        let mut shifted = pop.clone();
+        for &id in &cold {
+            shifted.record(id, 100_000.0 * 0.3 / cold.len() as f64);
+        }
+        shifted.rollup(&workload.tree);
+        let shifted_cluster =
+            ClusterSpec::homogeneous(m, shifted.sum_individual() / m as f64);
+
+        // Let the scheme react for up to five rounds.
+        let mut migrations = 0usize;
+        for _ in 0..5 {
+            migrations += scheme.rebalance(&workload.tree, &shifted, &cluster).len();
+        }
+        let after = balance(&scheme.loads(&workload.tree, &shifted), &shifted_cluster);
+        println!(
+            "{:<16} {:>14.2} {:>14.2} {:>12}",
+            scheme.name(),
+            before,
+            after,
+            migrations
+        );
+    }
+    println!("\nStatic schemes cannot react; D2-Tree and the dynamic schemes migrate.");
+}

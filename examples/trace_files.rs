@@ -1,0 +1,67 @@
+//! Export a synthetic workload to plain-text files, reload it, and replay
+//! the reloaded copy — the round-trip a user converting their own traces
+//! into this repository's format would follow.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example trace_files
+//! ```
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use d2tree::cluster::{SimConfig, Simulator};
+use d2tree::core::{D2TreeConfig, D2TreeScheme, Partitioner};
+use d2tree::metrics::ClusterSpec;
+use d2tree::workload::io::{read_trace, read_tree, write_trace, write_tree};
+use d2tree::workload::{TraceProfile, WorkloadBuilder};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dir = std::env::temp_dir().join(format!("d2tree-example-{}", std::process::id()));
+    std::fs::create_dir_all(&dir)?;
+    let tree_path = dir.join("workspace.tree");
+    let trace_path = dir.join("workspace.trace");
+
+    // 1. Generate and export.
+    let workload = WorkloadBuilder::new(
+        TraceProfile::ra().with_nodes(5_000).with_operations(30_000),
+    )
+    .seed(12)
+    .build();
+    write_tree(BufWriter::new(File::create(&tree_path)?), &workload.tree)?;
+    write_trace(BufWriter::new(File::create(&trace_path)?), &workload.trace, &workload.tree)?;
+    println!(
+        "exported {} nodes -> {}\n         {} ops  -> {}",
+        workload.tree.node_count(),
+        tree_path.display(),
+        workload.trace.len(),
+        trace_path.display()
+    );
+
+    // 2. Reload from disk, as an external tool would.
+    let tree = read_tree(BufReader::new(File::open(&tree_path)?))?;
+    let trace = read_trace(BufReader::new(File::open(&trace_path)?), &tree)?;
+    println!(
+        "reloaded {} nodes / {} ops (max depth {})",
+        tree.node_count(),
+        trace.len(),
+        tree.max_depth()
+    );
+
+    // 3. Partition and replay the reloaded copy.
+    let pop = trace.popularity(&tree);
+    let cluster = ClusterSpec::homogeneous(6, 1.0);
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+    scheme.build(&tree, &pop, &cluster);
+    let out = Simulator::new(SimConfig { clients: 64, ..SimConfig::default() })
+        .replay(&tree, &trace, &scheme);
+    println!(
+        "replayed: {} ops at {:.0} ops/s (mean latency {:.0} µs)",
+        out.completed, out.throughput, out.mean_latency_us
+    );
+
+    std::fs::remove_dir_all(&dir)?;
+    println!("cleaned up {}", dir.display());
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Replay a synthetic DTR-style trace through the discrete-event cluster
+//! simulator under every scheme and compare throughput, latency, locality
+//! and balance — a miniature of the paper's whole evaluation.
+//!
+//! Run with:
+//!
+//! ```sh
+//! cargo run --release --example trace_replay [nodes] [ops] [mds]
+//! ```
+
+use d2tree::baselines::extended_lineup;
+use d2tree::cluster::{SimConfig, Simulator};
+use d2tree::metrics::{balance, ClusterSpec};
+use d2tree::workload::{TraceProfile, WorkloadBuilder};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let nodes: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    let ops: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100_000);
+    let m: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
+
+    println!("generating DTR-style workload: {nodes} nodes, {ops} ops, {m} MDSs…");
+    let workload =
+        WorkloadBuilder::new(TraceProfile::dtr().with_nodes(nodes).with_operations(ops))
+            .seed(1)
+            .build();
+    let pop = workload.popularity();
+    let cluster = ClusterSpec::homogeneous(m, 1.0);
+    let sim = Simulator::new(SimConfig::default());
+
+    println!(
+        "\n{:<16} {:>12} {:>12} {:>12} {:>14} {:>10}",
+        "scheme", "ops/s", "mean µs", "p99 µs", "locality", "balance"
+    );
+    for mut scheme in extended_lineup(0.01, 7) {
+        scheme.build(&workload.tree, &pop, &cluster);
+        let out = sim.replay(&workload.tree, &workload.trace, scheme.as_ref());
+        let locality = scheme.locality(&workload.tree, &pop);
+        let loads = scheme.loads(&workload.tree, &pop);
+        println!(
+            "{:<16} {:>12.0} {:>12.1} {:>12.1} {:>14.3e} {:>10.2}",
+            scheme.name(),
+            out.throughput,
+            out.mean_latency_us,
+            out.p99_latency_us,
+            locality.locality,
+            balance(&loads, &cluster)
+        );
+    }
+    println!("\n(larger locality/balance is better; see EXPERIMENTS.md for full sweeps)");
+}

@@ -1,0 +1,26 @@
+//! # D2-Tree — distributed double-layer namespace partitioning
+//!
+//! Facade crate re-exporting the whole reproduction of *“D2-Tree: A
+//! Distributed Double-Layer Namespace Tree Partition Scheme for Metadata
+//! Management in Large-Scale Storage Systems”* (ICDCS 2018):
+//!
+//! * [`namespace`] — the arena-backed namespace-tree substrate.
+//! * [`workload`] — synthetic DTR / LMBE / RA-style traces.
+//! * [`metrics`] — the paper's locality / balance / update metrics, ECDFs
+//!   and DKW bounds.
+//! * [`core`] — the D2-Tree scheme itself (Tree-Splitting, mirror-division
+//!   Subtree-Allocation, Dynamic-Adjustment).
+//! * [`baselines`] — static/dynamic subtree partitioning, hash mapping,
+//!   DROP and AngleCut.
+//! * [`cluster`] — the MDS-cluster substrate (discrete-event simulator,
+//!   live threaded runtime, monitor, lock service).
+//!
+//! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for
+//! the paper-vs-measured record of every table and figure.
+
+pub use d2tree_baselines as baselines;
+pub use d2tree_cluster as cluster;
+pub use d2tree_core as core;
+pub use d2tree_metrics as metrics;
+pub use d2tree_namespace as namespace;
+pub use d2tree_workload as workload;

@@ -1,0 +1,142 @@
+//! Integration tests of the dynamic-adjustment machinery across crates:
+//! popularity drift, decaying counters, pending-pool convergence and
+//! global-layer re-cuts.
+
+use d2tree::core::{
+    plan_recut, split_to_proportion, D2TreeConfig, D2TreeScheme, Partitioner, SampleStrategy,
+};
+use d2tree::metrics::{balance, ClusterSpec};
+use d2tree::workload::{TraceGen, TraceProfile, WorkloadBuilder};
+
+#[test]
+fn repeated_rounds_converge_to_stable_balance() {
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr().with_nodes(4_000).with_operations(60_000),
+    )
+    .seed(31)
+    .build();
+    let pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(6, pop.sum_individual() / 6.0);
+    let mut scheme = D2TreeScheme::new(
+        D2TreeConfig::paper_default().with_sampling(SampleStrategy::Uniform, 300).with_seed(31),
+    );
+    scheme.build(&w.tree, &pop, &cluster);
+
+    let mut history = Vec::new();
+    for _ in 0..10 {
+        let migrations = scheme.rebalance(&w.tree, &pop, &cluster);
+        history.push((migrations.len(), balance(&scheme.loads(&w.tree, &pop), &cluster)));
+    }
+    // Convergence: the tail rounds stop migrating.
+    let tail_moves: usize = history.iter().rev().take(3).map(|(m, _)| m).sum();
+    assert_eq!(tail_moves, 0, "rounds kept thrashing: {history:?}");
+    // And the final balance is no worse than the initial one.
+    let first = history.first().unwrap().1;
+    let last = history.last().unwrap().1;
+    assert!(last >= first * 0.9, "balance degraded: {first} -> {last}");
+}
+
+#[test]
+fn decay_lets_new_hotspots_dominate() {
+    let w = WorkloadBuilder::new(
+        TraceProfile::lmbe().with_nodes(2_000).with_operations(20_000),
+    )
+    .seed(32)
+    .build();
+    let mut pop = w.popularity();
+    let (old_layer, _) = split_to_proportion(&w.tree, &pop, |_| 0.0, 0.01);
+
+    // A regime change: traffic moves to previously-cold nodes. With decay,
+    // a few half-lives push the old regime's weight below the new one.
+    let cold: Vec<_> = w
+        .tree
+        .nodes()
+        .map(|(id, _)| id)
+        .filter(|&id| pop.individual(id) < 1.0 && w.tree.depth(id) >= 2)
+        .take(30)
+        .collect();
+    assert!(!cold.is_empty());
+    for _ in 0..6 {
+        pop.decay(0.5);
+        for &id in &cold {
+            pop.record(id, 500.0);
+        }
+    }
+    pop.rollup(&w.tree);
+
+    let plan = plan_recut(&w.tree, &pop, |_| 0.0, 0.01, &old_layer);
+    assert!(
+        !plan.promoted.is_empty(),
+        "the re-cut should promote ancestors of the new hotspots"
+    );
+    assert!(plan.new_layer.is_closed_under_parents(&w.tree));
+    assert_eq!(plan.new_layer.len(), old_layer.len(), "same proportion, same size");
+}
+
+#[test]
+fn trace_generator_streams_lazily_and_matches_collected() {
+    let profile = TraceProfile::ra().with_nodes(600).with_operations(5_000);
+    let w = WorkloadBuilder::new(profile.clone()).seed(33).build();
+    let regenerated: Vec<_> = TraceGen::new(&profile, &w.tree, 33).collect();
+    assert_eq!(w.trace.ops(), regenerated.as_slice());
+    assert_eq!(TraceGen::new(&profile, &w.tree, 33).len(), 5_000);
+}
+
+#[test]
+fn heterogeneous_cluster_gets_proportional_loads() {
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr().with_nodes(3_000).with_operations(50_000),
+    )
+    .seed(34)
+    .build();
+    let pop = w.popularity();
+    // One server is 4x larger than the others.
+    let cluster = ClusterSpec::new(vec![1_000.0, 1_000.0, 1_000.0, 4_000.0]);
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default().with_seed(34));
+    scheme.build(&w.tree, &pop, &cluster);
+    for _ in 0..5 {
+        let _ = scheme.rebalance(&w.tree, &pop, &cluster);
+    }
+    let loads = scheme.loads(&w.tree, &pop);
+    // The big server should carry clearly more than each small one.
+    let small_max = loads[..3].iter().cloned().fold(0.0_f64, f64::max);
+    assert!(
+        loads[3] > small_max,
+        "big server underused: {loads:?}"
+    );
+}
+
+#[test]
+fn update_popularity_shapes_the_split() {
+    let w = WorkloadBuilder::new(
+        TraceProfile::ra().with_nodes(2_000).with_operations(30_000),
+    )
+    .seed(35)
+    .build();
+    let pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(4, 1.0);
+
+    // Measured update popularity: every update op weighs on its target.
+    let mut update_pop = d2tree::namespace::Popularity::new(&w.tree);
+    for op in &w.trace {
+        if op.kind.is_mutation() {
+            update_pop.record(op.target, 1.0);
+        }
+    }
+    update_pop.rollup(&w.tree);
+
+    let mut with_measured = D2TreeScheme::new(D2TreeConfig::paper_default());
+    with_measured.set_update_popularity(update_pop);
+    with_measured.build(&w.tree, &pop, &cluster);
+
+    let mut with_assumed = D2TreeScheme::new(D2TreeConfig::paper_default());
+    with_assumed.build(&w.tree, &pop, &cluster);
+
+    // Same proportion target, both complete.
+    assert!(with_measured.placement().is_complete(&w.tree));
+    assert!(with_assumed.placement().is_complete(&w.tree));
+    assert_eq!(
+        with_measured.global_layer().len(),
+        with_assumed.global_layer().len()
+    );
+}

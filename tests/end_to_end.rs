@@ -1,0 +1,140 @@
+//! End-to-end integration: workload generation → every partitioning
+//! scheme → metric evaluation → simulated replay, checking the paper's
+//! qualitative claims hold on the full pipeline.
+
+use d2tree::baselines::{extended_lineup, HashMapping};
+use d2tree::cluster::{SimConfig, Simulator};
+use d2tree::core::{D2TreeConfig, D2TreeScheme, Partitioner};
+use d2tree::metrics::{balance, ClusterSpec};
+use d2tree::workload::{TraceProfile, Workload, WorkloadBuilder};
+
+fn workload(profile: TraceProfile) -> Workload {
+    WorkloadBuilder::new(profile.with_nodes(3_000).with_operations(30_000)).seed(99).build()
+}
+
+#[test]
+fn full_pipeline_for_every_scheme_and_trace() {
+    for profile in TraceProfile::paper_presets() {
+        let w = workload(profile);
+        let pop = w.popularity();
+        let cluster = ClusterSpec::homogeneous(6, 1.0);
+        let sim = Simulator::new(SimConfig { clients: 32, ..SimConfig::default() });
+        for mut scheme in extended_lineup(0.01, 5) {
+            scheme.build(&w.tree, &pop, &cluster);
+            assert!(scheme.placement().is_complete(&w.tree), "{}", scheme.name());
+
+            let out = sim.replay(&w.tree, &w.trace, scheme.as_ref());
+            assert_eq!(out.completed, w.trace.len(), "{} lost ops", scheme.name());
+            assert_eq!(
+                out.served_ops.iter().sum::<u64>() as usize,
+                w.trace.len(),
+                "{} served-op accounting",
+                scheme.name()
+            );
+            assert!(out.throughput > 0.0);
+            assert!(out.mean_latency_us > 0.0);
+
+            let loads = scheme.loads(&w.tree, &pop);
+            let total: f64 = loads.iter().sum();
+            assert!(
+                (total - pop.sum_individual()).abs() < 1e-6 * pop.sum_individual(),
+                "{}: served-request load must be conserved ({total} vs {})",
+                scheme.name(),
+                pop.sum_individual()
+            );
+        }
+    }
+}
+
+#[test]
+fn d2tree_dominates_hash_on_locality_everywhere() {
+    for profile in TraceProfile::paper_presets() {
+        let w = workload(profile);
+        let pop = w.popularity();
+        let cluster = ClusterSpec::homogeneous(8, 1.0);
+
+        let mut d2 = D2TreeScheme::new(D2TreeConfig::paper_default());
+        d2.build(&w.tree, &pop, &cluster);
+        let mut hash = HashMapping::new(1);
+        hash.build(&w.tree, &pop, &cluster);
+
+        let d2_loc = d2.locality(&w.tree, &pop).locality;
+        let hash_loc = hash.locality(&w.tree, &pop).locality;
+        assert!(
+            d2_loc > hash_loc,
+            "{}: D2-Tree locality {d2_loc} must beat hashing {hash_loc}",
+            w.profile.name
+        );
+    }
+}
+
+#[test]
+fn d2tree_beats_static_on_balance_under_skew() {
+    let w = workload(TraceProfile::dtr());
+    let pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(8, pop.sum_individual() / 8.0);
+
+    let mut schemes = extended_lineup(0.01, 2);
+    let mut results = std::collections::HashMap::new();
+    for scheme in &mut schemes {
+        scheme.build(&w.tree, &pop, &cluster);
+        for _ in 0..5 {
+            let _ = scheme.rebalance(&w.tree, &pop, &cluster);
+        }
+        results.insert(
+            scheme.name().to_owned(),
+            balance(&scheme.loads(&w.tree, &pop), &cluster),
+        );
+    }
+    assert!(
+        results["D2-Tree"] > results["Static Subtree"],
+        "D2-Tree {} vs static {}",
+        results["D2-Tree"],
+        results["Static Subtree"]
+    );
+}
+
+#[test]
+fn throughput_scales_for_d2tree_but_not_static() {
+    let w = workload(TraceProfile::dtr());
+    let pop = w.popularity();
+    let sim = Simulator::new(SimConfig { clients: 64, ..SimConfig::default() });
+
+    let run = |m: usize, mk: &dyn Fn() -> Box<dyn Partitioner>| {
+        let cluster = ClusterSpec::homogeneous(m, 1.0);
+        let mut scheme = mk();
+        scheme.build(&w.tree, &pop, &cluster);
+        sim.replay(&w.tree, &w.trace, scheme.as_ref()).throughput
+    };
+
+    let d2 = |_| -> Box<dyn Partitioner> {
+        Box::new(D2TreeScheme::new(D2TreeConfig::paper_default()))
+    };
+    let d2_small = run(3, &|| d2(()));
+    let d2_large = run(12, &|| d2(()));
+    assert!(
+        d2_large > d2_small * 1.5,
+        "D2-Tree should scale: {d2_small} -> {d2_large}"
+    );
+
+    let st = || -> Box<dyn Partitioner> { Box::new(d2tree::baselines::StaticSubtree::new(7)) };
+    let st_small = run(3, &st);
+    let st_large = run(12, &st);
+    assert!(
+        st_large < st_small * 1.5,
+        "static subtree should be skew-bound: {st_small} -> {st_large}"
+    );
+}
+
+#[test]
+fn replay_is_deterministic_across_runs() {
+    let w = workload(TraceProfile::ra());
+    let pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(4, 1.0);
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default().with_seed(13));
+    scheme.build(&w.tree, &pop, &cluster);
+    let sim = Simulator::new(SimConfig { clients: 16, seed: 3, ..SimConfig::default() });
+    let a = sim.replay(&w.tree, &w.trace, &scheme);
+    let b = sim.replay(&w.tree, &w.trace, &scheme);
+    assert_eq!(a, b);
+}

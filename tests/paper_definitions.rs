@@ -1,0 +1,144 @@
+//! Worked numeric examples validating the paper's formal definitions
+//! end-to-end — each test is a hand-computed miniature of a definition or
+//! equation, independent of the implementation that produced it.
+
+use d2tree::core::{D2TreeConfig, D2TreeScheme, Partitioner};
+use d2tree::metrics::mirror::mirror_divide;
+use d2tree::metrics::{balance, ClusterSpec};
+use d2tree::namespace::{NamespaceTree, NodeKind, Popularity};
+
+/// Def. 2: `p_j = p'_j + Σ p_children` — hand-computed on the paper's
+/// Fig. 2-like tree.
+#[test]
+fn def2_popularity_rollup_worked_example() {
+    // root -> home -> {a, b}; home/a -> g.pdf; home/b -> {h.jpg}
+    let mut t = NamespaceTree::new();
+    let home = t.create(t.root(), "home", NodeKind::Directory).unwrap();
+    let a = t.create(home, "a", NodeKind::Directory).unwrap();
+    let b = t.create(home, "b", NodeKind::Directory).unwrap();
+    let g = t.create(a, "g.pdf", NodeKind::File).unwrap();
+    let h = t.create(b, "h.jpg", NodeKind::File).unwrap();
+
+    let mut pop = Popularity::new(&t);
+    pop.record(g, 30.0);
+    pop.record(h, 50.0);
+    pop.record(home, 5.0);
+    pop.rollup(&t);
+
+    // By hand: p(a) = 30, p(b) = 50, p(home) = 5 + 30 + 50 = 85,
+    // p(root) = 85.
+    assert_eq!(pop.total(a), 30.0);
+    assert_eq!(pop.total(b), 50.0);
+    assert_eq!(pop.total(home), 85.0);
+    assert_eq!(pop.total(t.root()), 85.0);
+}
+
+/// Eq. 7: under the D2-Tree convention, Def. 3 locality reduces to
+/// `1 / Σ_{n_j ∈ LL} p_j`. Both sides computed independently.
+#[test]
+fn eq7_locality_identity() {
+    let mut t = NamespaceTree::new();
+    let hot = t.create(t.root(), "hot", NodeKind::Directory).unwrap();
+    let cold = t.create(t.root(), "cold", NodeKind::Directory).unwrap();
+    let f1 = t.create(hot, "f1", NodeKind::File).unwrap();
+    let f2 = t.create(cold, "f2", NodeKind::File).unwrap();
+
+    let mut pop = Popularity::new(&t);
+    pop.record(hot, 100.0);
+    pop.record(f1, 40.0);
+    pop.record(cold, 3.0);
+    pop.record(f2, 7.0);
+    pop.rollup(&t);
+
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::by_proportion(0.4)); // GL = {root, hot}
+    scheme.build(&t, &pop, &ClusterSpec::homogeneous(2, 1.0));
+    assert!(scheme.global_layer().contains(hot));
+    assert!(!scheme.global_layer().contains(cold));
+
+    // Right-hand side by hand: LL = {cold, f1, f2} with totals 10, 40, 7.
+    let denominator = 10.0 + 40.0 + 7.0;
+    let report = scheme.locality(&t, &pop);
+    assert!((report.weighted_jumps - denominator).abs() < 1e-12);
+    assert!((report.locality - 1.0 / denominator).abs() < 1e-15);
+    // And via the layer's own accounting.
+    assert!(
+        (scheme.global_layer().locality_denominator(&t, &pop) - denominator).abs() < 1e-12
+    );
+}
+
+/// Def. 5 worked example: M = 3, C = (10, 10, 20), L = (6, 4, 10).
+/// μ = 20/40 = 0.5; ratios (0.6, 0.4, 0.5); deviations (0.1, −0.1, 0);
+/// variance = (0.01 + 0.01 + 0) / 2 = 0.01; balance = 100.
+#[test]
+fn def5_balance_worked_example() {
+    let cluster = ClusterSpec::new(vec![10.0, 10.0, 20.0]);
+    let b = balance(&[6.0, 4.0, 10.0], &cluster);
+    assert!((b - 100.0).abs() < 1e-9, "got {b}");
+}
+
+/// Sec. III-B worked example: relative capacities `Re_k = L_k − μC_k`.
+#[test]
+fn relative_capacity_worked_example() {
+    let cluster = ClusterSpec::new(vec![10.0, 30.0]);
+    // Total load 20 over capacity 40: μ = 0.5, ideals (5, 15).
+    let re = cluster.relative_capacities(&[8.0, 12.0]);
+    assert_eq!(re, vec![3.0, -3.0]); // server 0 heavy, server 1 light
+}
+
+/// Fig. 4 of the paper, verbatim: subtree shares .5/.2/.1/.1/.1 onto
+/// capacities .5/.3/.2 must give m1 = {Δ1}, m2 = {Δ2, Δ3}, m3 = {Δ4, Δ5}.
+#[test]
+fn fig4_mirror_division_verbatim() {
+    let assignment = mirror_divide(&[0.5, 0.2, 0.1, 0.1, 0.1], &[0.5, 0.3, 0.2]);
+    assert_eq!(assignment, vec![0, 1, 1, 2, 2]);
+}
+
+/// Thm. 1's construction sanity check: files directly under a replicated
+/// root, two homogeneous servers — a perfect Partition-problem split gives
+/// perfectly balanced (infinite Def. 5) loads.
+#[test]
+fn thm1_partition_reduction_construction() {
+    let sizes = [3.0, 1.0, 1.0, 2.0, 5.0, 4.0]; // Σ = 16, perfect split = 8
+    let mut t = NamespaceTree::new();
+    let mut pop_builder = Vec::new();
+    for (i, &s) in sizes.iter().enumerate() {
+        let f = t.create(t.root(), &format!("f{i}"), NodeKind::File).unwrap();
+        pop_builder.push((f, s));
+    }
+    let mut pop = Popularity::new(&t);
+    for &(f, s) in &pop_builder {
+        pop.record(f, s);
+    }
+    pop.rollup(&t);
+
+    // A YES-instance split: {3, 1, 4} vs {1, 2, 5}.
+    use d2tree::metrics::{Assignment, MdsId, Placement};
+    let mut placement = Placement::new(&t, 2);
+    placement.set(t.root(), Assignment::Replicated);
+    for (i, &(f, _)) in pop_builder.iter().enumerate() {
+        let side = if [0usize, 1, 5].contains(&i) { 0 } else { 1 };
+        placement.set(f, Assignment::Single(MdsId(side)));
+    }
+    let loads = placement.loads(&t, &pop);
+    assert_eq!(loads[0], loads[1], "YES-instance must balance: {loads:?}");
+    let cluster = ClusterSpec::homogeneous(2, 8.0);
+    assert!(balance(&loads, &cluster).is_infinite());
+}
+
+/// Def. 1 on a concrete chain: servers A, A, B, C along the path give
+/// exactly two jumps.
+#[test]
+fn def1_jump_count_worked_example() {
+    use d2tree::metrics::{path_jumps, Assignment, MdsId, Placement};
+    let mut t = NamespaceTree::new();
+    let x = t.create(t.root(), "x", NodeKind::Directory).unwrap();
+    let y = t.create(x, "y", NodeKind::Directory).unwrap();
+    let z = t.create(y, "z", NodeKind::File).unwrap();
+
+    let mut p = Placement::new(&t, 3);
+    p.set(t.root(), Assignment::Single(MdsId(0)));
+    p.set(x, Assignment::Single(MdsId(0)));
+    p.set(y, Assignment::Single(MdsId(1)));
+    p.set(z, Assignment::Single(MdsId(2)));
+    assert_eq!(path_jumps(&t, &p, z), 2);
+}

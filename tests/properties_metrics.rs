@@ -1,0 +1,148 @@
+//! Property-based tests of the metrics substrate: ECDFs, histograms,
+//! mirror division, DKW bounds and the balance formula.
+
+use d2tree::metrics::mirror::{bucket_loads, mirror_divide};
+use d2tree::metrics::{balance, dkw, ClusterSpec, Ecdf, Histogram};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn ecdf_is_monotone_and_bounded(mut samples in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+        let e = Ecdf::from_samples(samples.clone());
+        samples.sort_by(f64::total_cmp);
+        let lo = samples[0];
+        let hi = *samples.last().unwrap();
+        prop_assert_eq!(e.eval(lo - 1.0), 0.0);
+        prop_assert_eq!(e.eval(hi), 1.0);
+        let probes = [lo, (lo + hi) / 2.0, hi];
+        for w in probes.windows(2) {
+            prop_assert!(e.eval(w[0]) <= e.eval(w[1]) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_eval(samples in proptest::collection::vec(0.0f64..1e3, 1..100), q in 0.0f64..=1.0) {
+        let e = Ecdf::from_samples(samples);
+        let v = e.quantile(q);
+        // F(quantile(q)) >= q, and quantile is a sample.
+        prop_assert!(e.eval(v) + 1e-12 >= q);
+    }
+
+    #[test]
+    fn histogram_boundaries_are_sorted(samples in proptest::collection::vec(0.0f64..1e4, 2..200), k in 2usize..16) {
+        let e = Ecdf::from_samples(samples);
+        let h = Histogram::equi_probability(&e, k);
+        prop_assert_eq!(h.boundaries().len(), k);
+        prop_assert!(h.boundaries().windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!((h.delta() * (k as f64 - 1.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mirror_divide_is_total_and_in_range(
+        weights in proptest::collection::vec(0.0f64..100.0, 0..80),
+        caps in proptest::collection::vec(0.0f64..10.0, 1..12),
+    ) {
+        let assignment = mirror_divide(&weights, &caps);
+        prop_assert_eq!(assignment.len(), weights.len());
+        for &b in &assignment {
+            prop_assert!(b < caps.len());
+        }
+        // Conservation: bucket loads sum to total weight.
+        let loads = bucket_loads(&weights, &assignment, caps.len());
+        let total_w: f64 = weights.iter().sum();
+        let total_l: f64 = loads.iter().sum();
+        prop_assert!((total_w - total_l).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mirror_divide_proportionality(
+        n in 10usize..200,
+        caps in proptest::collection::vec(0.1f64..10.0, 2..8),
+    ) {
+        // Uniform weights: each bucket's load tracks its capacity share
+        // within one item granule.
+        let weights = vec![1.0; n];
+        let assignment = mirror_divide(&weights, &caps);
+        let loads = bucket_loads(&weights, &assignment, caps.len());
+        let total_c: f64 = caps.iter().sum();
+        for (l, c) in loads.iter().zip(&caps) {
+            let ideal = n as f64 * c / total_c;
+            prop_assert!(
+                (l - ideal).abs() <= 2.0,
+                "load {l} vs ideal {ideal} (n={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn dkw_bound_is_monotone(k in 1usize..10_000, eps in 0.001f64..1.0) {
+        let p1 = dkw::violation_probability(k, eps);
+        let p2 = dkw::violation_probability(k * 2, eps);
+        prop_assert!(p2 <= p1 + 1e-15);
+        prop_assert!((0.0..=1.0).contains(&p1));
+    }
+
+    #[test]
+    fn dkw_epsilon_consistent(k in 2usize..10_000, conf in 0.5f64..0.999) {
+        let eps = dkw::epsilon_for_confidence(k, conf);
+        let p = dkw::violation_probability(k, eps);
+        prop_assert!((p - (1.0 - conf)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn balance_is_scale_consistent(loads in proptest::collection::vec(1.0f64..100.0, 2..16), scale in 0.5f64..4.0) {
+        // Scaling loads *and* capacities together leaves balance unchanged.
+        let m = loads.len();
+        let cluster = ClusterSpec::homogeneous(m, 10.0);
+        let scaled_cluster = ClusterSpec::homogeneous(m, 10.0 * scale);
+        let scaled_loads: Vec<f64> = loads.iter().map(|l| l * scale).collect();
+        let a = balance(&loads, &cluster);
+        let b = balance(&scaled_loads, &scaled_cluster);
+        if a.is_finite() {
+            prop_assert!((a - b).abs() / a < 1e-6, "{a} vs {b}");
+        } else {
+            prop_assert!(b.is_infinite());
+        }
+    }
+
+    #[test]
+    fn balance_decreases_when_skew_grows(base in 10.0f64..100.0, extra in 1.0f64..100.0, m in 2usize..10) {
+        let cluster = ClusterSpec::homogeneous(m, base);
+        let even = vec![base; m];
+        let mut skewed = even.clone();
+        skewed[0] += extra;
+        skewed[m - 1] -= extra.min(base - 1.0);
+        let b_even = balance(&even, &cluster);
+        let b_skew = balance(&skewed, &cluster);
+        prop_assert!(b_even > b_skew || b_even.is_infinite());
+    }
+}
+
+/// Empirical DKW check: the measured KS distance between an empirical CDF
+/// and the full-sample reference stays below the 99%-confidence epsilon in
+/// (at least) 99% of trials — run as a fixed statistical test, not a
+/// proptest, so the failure probability is controlled.
+#[test]
+fn dkw_bound_holds_empirically() {
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(123);
+    let reference: Vec<f64> = (0..40_000).map(|_| rng.gen_range(0.0f64..1.0)).collect();
+    let full = Ecdf::from_samples(reference.clone());
+
+    let k = 500;
+    let eps = dkw::epsilon_for_confidence(k, 0.99);
+    let trials = 200;
+    let mut violations = 0;
+    for _ in 0..trials {
+        let sample: Vec<f64> =
+            (0..k).map(|_| reference[rng.gen_range(0..reference.len())]).collect();
+        let e = Ecdf::from_samples(sample);
+        if e.sup_distance(&full) > eps {
+            violations += 1;
+        }
+    }
+    assert!(
+        violations <= trials / 20,
+        "DKW 99% bound violated {violations}/{trials} times (eps = {eps})"
+    );
+}

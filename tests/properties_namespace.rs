@@ -1,0 +1,231 @@
+//! Property-based tests of the namespace-tree substrate.
+
+use d2tree::namespace::{NamespaceTree, NodeKind, NsPath, Popularity, TreeBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a list of plausible absolute paths over a tiny alphabet so
+/// prefixes collide often (exercising shared-directory code paths).
+fn path_strategy() -> impl Strategy<Value = Vec<String>> {
+    proptest::collection::vec("(/[a-d]{1,2}){1,6}", 1..40)
+}
+
+proptest! {
+    #[test]
+    fn build_resolve_roundtrip(paths in path_strategy()) {
+        let mut builder = TreeBuilder::new();
+        let mut created = Vec::new();
+        for p in &paths {
+            // Conflicts (file vs dir on the same path) may legitimately
+            // error; only successful creations must resolve.
+            if let Ok(id) = builder.file(p) {
+                created.push((p.clone(), id));
+            }
+        }
+        let tree = builder.build();
+        for (p, id) in created {
+            let parsed: NsPath = p.parse().unwrap();
+            prop_assert_eq!(tree.resolve(&parsed), Some(id));
+            prop_assert_eq!(tree.path_of(id).to_string(), p);
+        }
+    }
+
+    #[test]
+    fn node_count_equals_descendants_of_root(paths in path_strategy()) {
+        let mut builder = TreeBuilder::new();
+        for p in &paths {
+            let _ = builder.file(p);
+        }
+        let tree = builder.build();
+        prop_assert_eq!(tree.node_count(), tree.descendants(tree.root()).count());
+        prop_assert_eq!(
+            tree.node_count(),
+            tree.directory_count() + tree.file_count()
+        );
+    }
+
+    #[test]
+    fn ancestor_chain_lengths_match_depth(paths in path_strategy()) {
+        let mut builder = TreeBuilder::new();
+        for p in &paths {
+            let _ = builder.file(p);
+        }
+        let tree = builder.build();
+        for (id, _) in tree.nodes() {
+            let depth = tree.depth(id);
+            prop_assert_eq!(tree.ancestors(id).count(), depth);
+            prop_assert_eq!(tree.path_from_root(id).len(), depth + 1);
+            prop_assert_eq!(tree.path_of(id).depth(), depth);
+        }
+    }
+
+    #[test]
+    fn removal_conserves_counts(paths in path_strategy(), pick in any::<prop::sample::Index>()) {
+        let mut builder = TreeBuilder::new();
+        for p in &paths {
+            let _ = builder.file(p);
+        }
+        let mut tree = builder.build();
+        let candidates: Vec<_> =
+            tree.nodes().map(|(id, _)| id).filter(|&id| id != tree.root()).collect();
+        if candidates.is_empty() {
+            return Ok(());
+        }
+        let victim = candidates[pick.index(candidates.len())];
+        let before = tree.node_count();
+        let sub = tree.subtree_size(victim);
+        let removed = tree.remove_subtree(victim).unwrap();
+        prop_assert_eq!(removed, sub);
+        prop_assert_eq!(tree.node_count(), before - removed);
+        prop_assert!(!tree.contains(victim));
+    }
+
+    #[test]
+    fn move_preserves_subtree_and_count(paths in path_strategy(), a in any::<prop::sample::Index>(), b in any::<prop::sample::Index>()) {
+        let mut builder = TreeBuilder::new();
+        for p in &paths {
+            let _ = builder.file(p);
+        }
+        let mut tree = builder.build();
+        let nodes: Vec<_> =
+            tree.nodes().map(|(id, _)| id).filter(|&id| id != tree.root()).collect();
+        let dirs: Vec<_> = tree
+            .nodes()
+            .filter(|(_, n)| n.kind().is_directory())
+            .map(|(id, _)| id)
+            .collect();
+        if nodes.is_empty() || dirs.is_empty() {
+            return Ok(());
+        }
+        let subject = nodes[a.index(nodes.len())];
+        let dest = dirs[b.index(dirs.len())];
+        let before = tree.node_count();
+        let sub_size = tree.subtree_size(subject);
+        match tree.move_subtree(subject, dest) {
+            Ok(()) => {
+                prop_assert_eq!(tree.node_count(), before);
+                prop_assert_eq!(tree.subtree_size(subject), sub_size);
+                let parent = tree.node(subject).unwrap().parent();
+                prop_assert_eq!(parent, Some(dest));
+            }
+            Err(_) => {
+                // Rejected moves must leave the tree untouched.
+                prop_assert_eq!(tree.node_count(), before);
+                prop_assert_eq!(tree.subtree_size(subject), sub_size);
+            }
+        }
+    }
+
+    #[test]
+    fn popularity_rollup_is_sum_of_individuals(paths in path_strategy(), weights in proptest::collection::vec(0.0f64..100.0, 40)) {
+        let mut builder = TreeBuilder::new();
+        for p in &paths {
+            let _ = builder.file(p);
+        }
+        let tree = builder.build();
+        let mut pop = Popularity::new(&tree);
+        let ids: Vec<_> = tree.nodes().map(|(id, _)| id).collect();
+        for (i, id) in ids.iter().enumerate() {
+            pop.record(*id, weights[i % weights.len()]);
+        }
+        pop.rollup(&tree);
+        // Root total equals the sum of all individuals.
+        let sum: f64 = ids.iter().map(|&id| pop.individual(id)).collect::<Vec<_>>().iter().sum();
+        prop_assert!((pop.total(tree.root()) - sum).abs() < 1e-6);
+        // Every node's total is at least its own individual and at most
+        // its parent's total.
+        for &id in &ids {
+            prop_assert!(pop.total(id) + 1e-9 >= pop.individual(id));
+            if let Some(parent) = tree.node(id).unwrap().parent() {
+                prop_assert!(pop.total(parent) + 1e-9 >= pop.total(id));
+            }
+        }
+    }
+
+    #[test]
+    fn rename_is_observable_and_reversible(paths in path_strategy()) {
+        let mut builder = TreeBuilder::new();
+        for p in &paths {
+            let _ = builder.file(p);
+        }
+        let mut tree = builder.build();
+        let victim = match tree.nodes().map(|(id, _)| id).find(|&id| id != tree.root()) {
+            Some(v) => v,
+            None => return Ok(()),
+        };
+        let old_name = tree.node(victim).unwrap().name().to_owned();
+        let unique = "zz_renamed";
+        if tree.rename(victim, unique).is_ok() {
+            prop_assert_eq!(tree.node(victim).unwrap().name(), unique);
+            tree.rename(victim, &old_name).unwrap();
+            prop_assert_eq!(tree.node(victim).unwrap().name(), old_name.as_str());
+        }
+    }
+}
+
+#[test]
+fn create_path_agrees_with_manual_creation() {
+    let mut a = NamespaceTree::new();
+    let p: NsPath = "/x/y/z".parse().unwrap();
+    let via_path = a.create_path(&p, NodeKind::File).unwrap();
+
+    let mut b = NamespaceTree::new();
+    let x = b.create(b.root(), "x", NodeKind::Directory).unwrap();
+    let y = b.create(x, "y", NodeKind::Directory).unwrap();
+    let z = b.create(y, "z", NodeKind::File).unwrap();
+
+    assert_eq!(a.path_of(via_path), b.path_of(z));
+    assert_eq!(a.node_count(), b.node_count());
+}
+
+/// I/O round-trip property: any tree built from generated paths survives
+/// `write_tree` → `read_tree` with identical structure, and any trace over
+/// it survives `write_trace` → `read_trace`.
+mod io_roundtrip {
+    use super::*;
+    use d2tree::workload::io::{read_trace, read_tree, write_trace, write_tree};
+    use d2tree::workload::{OpKind, Operation, Trace};
+    use std::io::BufReader;
+
+    proptest! {
+        #[test]
+        fn tree_and_trace_roundtrip(paths in super::path_strategy(), picks in proptest::collection::vec(any::<prop::sample::Index>(), 1..50)) {
+            let mut builder = TreeBuilder::new();
+            for p in &paths {
+                let _ = builder.file(p);
+            }
+            let tree = builder.build();
+
+            let mut buf = Vec::new();
+            write_tree(&mut buf, &tree).unwrap();
+            let back = read_tree(BufReader::new(buf.as_slice())).unwrap();
+            prop_assert_eq!(back.node_count(), tree.node_count());
+            for (id, node) in tree.nodes() {
+                let p = tree.path_of(id);
+                let there = back.resolve(&p);
+                prop_assert!(there.is_some(), "missing {}", p);
+                prop_assert_eq!(back.node(there.unwrap()).unwrap().kind(), node.kind());
+            }
+
+            // A random trace over the original tree replays over the copy.
+            let ids: Vec<_> = tree.nodes().map(|(id, _)| id).collect();
+            let kinds = [OpKind::Read, OpKind::Write, OpKind::Update];
+            let ops: Vec<Operation> = picks
+                .iter()
+                .enumerate()
+                .map(|(i, pick)| Operation {
+                    target: ids[pick.index(ids.len())],
+                    kind: kinds[i % 3],
+                })
+                .collect();
+            let trace = Trace::from_ops(ops);
+            let mut tbuf = Vec::new();
+            write_trace(&mut tbuf, &trace, &tree).unwrap();
+            let trace_back = read_trace(BufReader::new(tbuf.as_slice()), &back).unwrap();
+            prop_assert_eq!(trace_back.len(), trace.len());
+            for (a, b) in trace_back.iter().zip(&trace) {
+                prop_assert_eq!(a.kind, b.kind);
+                prop_assert_eq!(back.path_of(a.target), tree.path_of(b.target));
+            }
+        }
+    }
+}

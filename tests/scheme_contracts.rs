@@ -1,0 +1,129 @@
+//! Cross-cutting behavioural contracts every scheme must honour:
+//! determinism under a fixed seed, popularity-(in)sensitivity where
+//! specified, and stability of names/outputs the harnesses rely on.
+
+use d2tree::baselines::{extended_lineup, HashMapping, StaticSubtree};
+use d2tree::core::Partitioner;
+use d2tree::metrics::ClusterSpec;
+use d2tree::workload::{TraceProfile, WorkloadBuilder};
+
+fn workload(seed: u64) -> d2tree::workload::Workload {
+    WorkloadBuilder::new(TraceProfile::dtr().with_nodes(1_000).with_operations(10_000))
+        .seed(seed)
+        .build()
+}
+
+#[test]
+fn every_scheme_is_deterministic_under_a_fixed_seed() {
+    let w = workload(61);
+    let pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(5, 1.0);
+    for (mut a, mut b) in extended_lineup(0.01, 9).into_iter().zip(extended_lineup(0.01, 9)) {
+        a.build(&w.tree, &pop, &cluster);
+        b.build(&w.tree, &pop, &cluster);
+        for (id, _) in w.tree.nodes() {
+            assert_eq!(
+                a.placement().assignment(id),
+                b.placement().assignment(id),
+                "{} not deterministic at {id}",
+                a.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn hash_and_static_placements_ignore_popularity() {
+    let w = workload(62);
+    let cluster = ClusterSpec::homogeneous(4, 1.0);
+    let cold = {
+        let mut p = d2tree::namespace::Popularity::new(&w.tree);
+        p.rollup(&w.tree);
+        p
+    };
+    let hot = w.popularity();
+
+    for make in [
+        || Box::new(HashMapping::new(3)) as Box<dyn Partitioner>,
+        || Box::new(StaticSubtree::new(3)) as Box<dyn Partitioner>,
+    ] {
+        let mut with_cold = make();
+        let mut with_hot = make();
+        with_cold.build(&w.tree, &cold, &cluster);
+        with_hot.build(&w.tree, &hot, &cluster);
+        for (id, _) in w.tree.nodes() {
+            assert_eq!(
+                with_cold.placement().assignment(id),
+                with_hot.placement().assignment(id),
+                "{} placement should be popularity-blind",
+                with_cold.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn popularity_aware_schemes_react_to_popularity() {
+    // D2-Tree and DROP must place differently when the heat moves.
+    let w = workload(63);
+    let cluster = ClusterSpec::homogeneous(4, 1.0);
+    let pop_a = w.popularity();
+    let mut pop_b = pop_a.clone();
+    // Invert the regime: heat a set of cold leaves massively.
+    for (id, _) in w.tree.nodes().filter(|(_, n)| !n.kind().is_directory()).take(100) {
+        pop_b.record(id, 50_000.0);
+    }
+    pop_b.rollup(&w.tree);
+
+    for slot in [0usize, 3] {
+        // 0 = D2-Tree, 3 = DROP in the paper lineup.
+        let mut lineup_a = d2tree::baselines::paper_lineup(0.01, 5);
+        let mut lineup_b = d2tree::baselines::paper_lineup(0.01, 5);
+        let a = &mut lineup_a[slot];
+        let b = &mut lineup_b[slot];
+        a.build(&w.tree, &pop_a, &cluster);
+        b.build(&w.tree, &pop_b, &cluster);
+        let differs = w
+            .tree
+            .nodes()
+            .any(|(id, _)| a.placement().assignment(id) != b.placement().assignment(id));
+        assert!(differs, "{} ignored a regime change", a.name());
+    }
+}
+
+#[test]
+fn scheme_names_are_stable_api() {
+    // The harnesses and EXPERIMENTS.md key off these exact names.
+    let names: Vec<&str> = extended_lineup(0.01, 0).iter().map(|s| s.name()).collect();
+    assert_eq!(
+        names,
+        vec!["D2-Tree", "Static Subtree", "Dynamic Subtree", "DROP", "AngleCut", "Hash Mapping"]
+    );
+}
+
+#[test]
+fn loads_are_conserved_through_rebalancing() {
+    let w = workload(64);
+    let mut pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(6, 1.0);
+    for mut scheme in extended_lineup(0.01, 7) {
+        scheme.build(&w.tree, &pop, &cluster);
+        let total_before: f64 = scheme.loads(&w.tree, &pop).iter().sum();
+        // Perturb and rebalance thrice.
+        let victim = w.tree.nodes().map(|(id, _)| id).nth(123).unwrap();
+        pop.record(victim, 1_000.0);
+        pop.rollup(&w.tree);
+        for _ in 0..3 {
+            let _ = scheme.rebalance(&w.tree, &pop, &cluster);
+        }
+        let total_after: f64 = scheme.loads(&w.tree, &pop).iter().sum();
+        assert!(
+            (total_after - (total_before + 1_000.0)).abs() < 1e-6 * total_after,
+            "{} lost load mass: {total_before} + 1000 vs {total_after}",
+            scheme.name()
+        );
+        // Reset for the next scheme.
+        pop.record(victim, -1_000.0);
+        pop.rollup(&w.tree);
+    }
+}

@@ -1,8 +1,8 @@
 //! AngleCut: locality-preserving projection onto Chord-like rings.
 
-use d2tree_namespace::{NamespaceTree, Popularity};
 use d2tree_core::Partitioner;
 use d2tree_metrics::{Assignment, ClusterSpec, MdsId, Migration, Placement};
+use d2tree_namespace::{NamespaceTree, Popularity};
 
 use crate::keys::{locality_keys, range_owner, weighted_boundaries};
 
@@ -29,7 +29,13 @@ impl AngleCut {
     /// Creates the scheme with the default of 4 depth-band rings.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        AngleCut { seed, rings: 4, placement: None, angles: Vec::new(), boundaries: Vec::new() }
+        AngleCut {
+            seed,
+            rings: 4,
+            placement: None,
+            angles: Vec::new(),
+            boundaries: Vec::new(),
+        }
     }
 
     /// Overrides the number of rings (depth bands).
@@ -139,11 +145,9 @@ mod tests {
     use d2tree_workload::{TraceProfile, WorkloadBuilder};
 
     fn setup(m: usize) -> (d2tree_workload::Workload, Popularity, AngleCut, ClusterSpec) {
-        let w = WorkloadBuilder::new(
-            TraceProfile::ra().with_nodes(2_000).with_operations(40_000),
-        )
-        .seed(9)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::ra().with_nodes(2_000).with_operations(40_000))
+            .seed(9)
+            .build();
         let pop = w.popularity();
         let cluster = ClusterSpec::homogeneous(m, 100.0);
         let mut s = AngleCut::new(5);
@@ -163,7 +167,11 @@ mod tests {
         let loads = s.loads(&w.tree, &pop);
         let total: f64 = loads.iter().sum();
         for l in &loads {
-            assert!(*l <= 2.5 * total / 8.0 + 1e-9, "load {l} vs ideal {}", total / 8.0);
+            assert!(
+                *l <= 2.5 * total / 8.0 + 1e-9,
+                "load {l} vs ideal {}",
+                total / 8.0
+            );
         }
         assert!(balance(&loads, &cluster).is_finite());
     }
@@ -198,7 +206,10 @@ mod tests {
         let before = balance(&s.loads(&w.tree, &pop), &cluster);
         let _ = s.rebalance(&w.tree, &pop, &cluster);
         let after = balance(&s.loads(&w.tree, &pop), &cluster);
-        assert!(after >= before * 0.5, "retuning should roughly keep or improve balance");
+        assert!(
+            after >= before * 0.5,
+            "retuning should roughly keep or improve balance"
+        );
     }
 
     #[test]

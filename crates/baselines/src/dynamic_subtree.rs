@@ -1,8 +1,8 @@
 //! Dynamic subtree partitioning (Ceph-style).
 
-use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
 use d2tree_core::Partitioner;
 use d2tree_metrics::{Assignment, ClusterSpec, MdsId, Migration, Placement};
+use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
 
 use crate::keys::stable_hash;
 
@@ -117,7 +117,9 @@ impl Partitioner for DynamicSubtree {
     }
 
     fn placement(&self) -> &Placement {
-        self.placement.as_ref().expect("DynamicSubtree used before build")
+        self.placement
+            .as_ref()
+            .expect("DynamicSubtree used before build")
     }
 
     fn rebalance(
@@ -129,8 +131,11 @@ impl Partitioner for DynamicSubtree {
         // Full served-request loads (shallow nodes included), so the
         // migration decisions optimise the same objective Def. 5 measures;
         // only the units below the cut are migratable, though.
-        let mut loads =
-            self.placement.as_ref().expect("DynamicSubtree used before build").loads(tree, pop);
+        let mut loads = self
+            .placement
+            .as_ref()
+            .expect("DynamicSubtree used before build")
+            .loads(tree, pop);
         let total: f64 = loads.iter().sum();
         if total <= 0.0 {
             return Vec::new();
@@ -186,7 +191,11 @@ impl Partitioner for DynamicSubtree {
             self.reassign(tree, slot, to);
             loads[busy] -= weight;
             loads[light] += weight;
-            migrations.push(Migration { node: self.units[slot], from, to });
+            migrations.push(Migration {
+                node: self.units[slot],
+                from,
+                to,
+            });
         }
         migrations
     }
@@ -198,9 +207,18 @@ mod tests {
     use d2tree_metrics::balance;
     use d2tree_workload::{TraceProfile, WorkloadBuilder};
 
-    fn setup(m: usize) -> (d2tree_workload::Workload, Popularity, DynamicSubtree, ClusterSpec) {
+    fn setup(
+        m: usize,
+    ) -> (
+        d2tree_workload::Workload,
+        Popularity,
+        DynamicSubtree,
+        ClusterSpec,
+    ) {
         let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(2_000).with_operations(40_000),
+            TraceProfile::dtr()
+                .with_nodes(2_000)
+                .with_operations(40_000),
         )
         .seed(5)
         .build();
@@ -233,9 +251,15 @@ mod tests {
         let migrations = s.rebalance(&w.tree, &pop, &cluster);
         let after = balance(&s.loads(&w.tree, &pop), &cluster);
         if migrations.is_empty() {
-            assert!(before >= after * 0.99, "no migrations only if already balanced");
+            assert!(
+                before >= after * 0.99,
+                "no migrations only if already balanced"
+            );
         } else {
-            assert!(after >= before, "balance should not regress: {before} -> {after}");
+            assert!(
+                after >= before,
+                "balance should not regress: {before} -> {after}"
+            );
         }
     }
 

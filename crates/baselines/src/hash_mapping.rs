@@ -1,8 +1,8 @@
 //! Hash-based mapping: every node placed independently by pathname hash.
 
-use d2tree_namespace::{NamespaceTree, Popularity};
 use d2tree_core::Partitioner;
 use d2tree_metrics::{Assignment, ClusterSpec, MdsId, Migration, Placement};
+use d2tree_namespace::{NamespaceTree, Popularity};
 
 use crate::keys::stable_hash;
 
@@ -26,7 +26,10 @@ impl HashMapping {
     /// Creates the scheme.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        HashMapping { seed, placement: None }
+        HashMapping {
+            seed,
+            placement: None,
+        }
     }
 
     fn owner(&self, path: &str, m: usize) -> MdsId {
@@ -48,7 +51,10 @@ impl HashMapping {
         root: d2tree_namespace::NodeId,
         new_name: &str,
     ) -> usize {
-        let placement = self.placement.as_ref().expect("HashMapping used before build");
+        let placement = self
+            .placement
+            .as_ref()
+            .expect("HashMapping used before build");
         let m = placement.cluster_size();
         let old_prefix = tree.path_of(root).to_string();
         let new_prefix = match tree.path_of(root).parent() {
@@ -81,7 +87,9 @@ impl Partitioner for HashMapping {
     }
 
     fn placement(&self) -> &Placement {
-        self.placement.as_ref().expect("HashMapping used before build")
+        self.placement
+            .as_ref()
+            .expect("HashMapping used before build")
     }
 
     fn rebalance(
@@ -101,7 +109,9 @@ mod tests {
 
     fn setup(m: usize) -> (d2tree_workload::Workload, HashMapping) {
         let w = WorkloadBuilder::new(
-            TraceProfile::lmbe().with_nodes(1_500).with_operations(3_000),
+            TraceProfile::lmbe()
+                .with_nodes(1_500)
+                .with_operations(3_000),
         )
         .seed(4)
         .build();
@@ -120,7 +130,10 @@ mod tests {
         }
         let ideal = w.tree.node_count() / 4;
         for c in counts {
-            assert!((c as i64 - ideal as i64).abs() < (ideal as i64) / 2, "counts {counts:?}");
+            assert!(
+                (c as i64 - ideal as i64).abs() < (ideal as i64) / 2,
+                "counts {counts:?}"
+            );
         }
     }
 

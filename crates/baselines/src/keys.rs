@@ -91,7 +91,9 @@ pub fn locality_keys(tree: &NamespaceTree) -> Vec<f64> {
 /// end of the key space.
 #[must_use]
 pub fn range_owner(boundaries: &[f64], key: f64) -> usize {
-    boundaries.partition_point(|&b| b <= key).min(boundaries.len() - 1)
+    boundaries
+        .partition_point(|&b| b <= key)
+        .min(boundaries.len() - 1)
 }
 
 /// Weighted-quantile boundaries: splits `(key, weight)` points into
@@ -104,10 +106,7 @@ pub fn range_owner(boundaries: &[f64], key: f64) -> usize {
 ///
 /// Panics if `capacity_shares` is empty.
 #[must_use]
-pub fn weighted_boundaries(
-    points: &mut [(f64, f64)],
-    capacity_shares: &[f64],
-) -> Vec<f64> {
+pub fn weighted_boundaries(points: &mut [(f64, f64)], capacity_shares: &[f64]) -> Vec<f64> {
     assert!(!capacity_shares.is_empty(), "need at least one bucket");
     points.sort_by(|a, b| a.0.total_cmp(&b.0));
     let total_w: f64 = points.iter().map(|p| p.1).sum();
@@ -121,12 +120,20 @@ pub fn weighted_boundaries(
             boundaries.push(f64::INFINITY);
             break;
         }
-        target += if total_c > 0.0 { total_w * c / total_c } else { 0.0 };
+        target += if total_c > 0.0 {
+            total_w * c / total_c
+        } else {
+            0.0
+        };
         while idx < points.len() && acc + points[idx].1 <= target {
             acc += points[idx].1;
             idx += 1;
         }
-        let boundary = if idx < points.len() { points[idx].0 } else { f64::INFINITY };
+        let boundary = if idx < points.len() {
+            points[idx].0
+        } else {
+            f64::INFINITY
+        };
         boundaries.push(boundary);
     }
     boundaries
@@ -157,8 +164,7 @@ mod tests {
         let a = t.resolve_str("/a").unwrap();
         // Every node in /a's subtree has a key within /a's interval, and
         // every node outside has a key outside it.
-        let a_keys: Vec<f64> =
-            t.descendants(a).map(|id| keys[id.index()]).collect();
+        let a_keys: Vec<f64> = t.descendants(a).map(|id| keys[id.index()]).collect();
         let lo = a_keys.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = a_keys.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         for (id, _) in t.nodes() {
@@ -192,8 +198,7 @@ mod tests {
 
     #[test]
     fn weighted_boundaries_equalise_mass() {
-        let mut points: Vec<(f64, f64)> =
-            (0..100).map(|i| (i as f64 / 100.0, 1.0)).collect();
+        let mut points: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 / 100.0, 1.0)).collect();
         let b = weighted_boundaries(&mut points, &[1.0, 1.0, 1.0, 1.0]);
         assert_eq!(b.len(), 4);
         let mut counts = [0usize; 4];
@@ -207,8 +212,7 @@ mod tests {
 
     #[test]
     fn weighted_boundaries_follow_capacity_shares() {
-        let mut points: Vec<(f64, f64)> =
-            (0..100).map(|i| (i as f64 / 100.0, 1.0)).collect();
+        let mut points: Vec<(f64, f64)> = (0..100).map(|i| (i as f64 / 100.0, 1.0)).collect();
         let b = weighted_boundaries(&mut points, &[3.0, 1.0]);
         let mut counts = [0usize; 2];
         for (k, _) in &points {

@@ -79,11 +79,9 @@ mod tests {
 
     #[test]
     fn every_scheme_builds_a_complete_placement() {
-        let w = WorkloadBuilder::new(
-            TraceProfile::ra().with_nodes(1_200).with_operations(12_000),
-        )
-        .seed(6)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::ra().with_nodes(1_200).with_operations(12_000))
+            .seed(6)
+            .build();
         let pop = w.popularity();
         let cluster = ClusterSpec::homogeneous(5, 100.0);
         for mut scheme in extended_lineup(0.01, 3) {
@@ -105,6 +103,10 @@ mod tests {
         let mut dedup = names.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        assert_eq!(dedup.len(), names.len(), "duplicate scheme names: {names:?}");
+        assert_eq!(
+            dedup.len(),
+            names.len(),
+            "duplicate scheme names: {names:?}"
+        );
     }
 }

@@ -1,8 +1,8 @@
 //! Static subtree partitioning.
 
-use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
 use d2tree_core::Partitioner;
 use d2tree_metrics::{Assignment, ClusterSpec, MdsId, Placement};
+use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
 
 use crate::keys::stable_hash;
 
@@ -29,7 +29,11 @@ impl StaticSubtree {
     /// Creates the scheme with the paper's near-root cut (depth 1).
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        StaticSubtree { seed, cut_depth: 1, placement: None }
+        StaticSubtree {
+            seed,
+            cut_depth: 1,
+            placement: None,
+        }
     }
 
     /// Overrides how far below the root the immutable subtrees start.
@@ -72,7 +76,11 @@ impl Partitioner for StaticSubtree {
                 // Children strictly below the cut inherit the owner; the
                 // subtree roots at the cut (and anything above it) hash
                 // independently.
-                let next = if depth + 1 > self.cut_depth { Some(owner) } else { None };
+                let next = if depth + 1 > self.cut_depth {
+                    Some(owner)
+                } else {
+                    None
+                };
                 for (_, c) in node.children() {
                     stack.push((c, depth + 1, next));
                 }
@@ -82,7 +90,9 @@ impl Partitioner for StaticSubtree {
     }
 
     fn placement(&self) -> &Placement {
-        self.placement.as_ref().expect("StaticSubtree used before build")
+        self.placement
+            .as_ref()
+            .expect("StaticSubtree used before build")
     }
 }
 
@@ -92,11 +102,9 @@ mod tests {
     use d2tree_workload::{TraceProfile, WorkloadBuilder};
 
     fn build(m: usize) -> (d2tree_workload::Workload, StaticSubtree) {
-        let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(1_000).with_operations(5_000),
-        )
-        .seed(1)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(1_000).with_operations(5_000))
+            .seed(1)
+            .build();
         let pop = w.popularity();
         let mut s = StaticSubtree::new(42);
         s.build(&w.tree, &pop, &ClusterSpec::homogeneous(m, 10.0));
@@ -133,11 +141,9 @@ mod tests {
 
     #[test]
     fn different_seeds_give_different_placements() {
-        let w = WorkloadBuilder::new(
-            TraceProfile::lmbe().with_nodes(500).with_operations(1_000),
-        )
-        .seed(2)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::lmbe().with_nodes(500).with_operations(1_000))
+            .seed(2)
+            .build();
         let pop = w.popularity();
         let cluster = ClusterSpec::homogeneous(4, 10.0);
         let mut a = StaticSubtree::new(1);
@@ -153,11 +159,9 @@ mod tests {
 
     #[test]
     fn deeper_cut_creates_finer_subtrees() {
-        let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(1_500).with_operations(1_000),
-        )
-        .seed(3)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(1_500).with_operations(1_000))
+            .seed(3)
+            .build();
         let pop = w.popularity();
         let cluster = ClusterSpec::homogeneous(8, 10.0);
         let mut coarse = StaticSubtree::new(9);

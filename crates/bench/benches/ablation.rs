@@ -19,7 +19,9 @@ use rand::SeedableRng;
 
 fn bench_ablation(c: &mut Criterion) {
     let w = WorkloadBuilder::new(
-        TraceProfile::dtr().with_nodes(20_000).with_operations(80_000),
+        TraceProfile::dtr()
+            .with_nodes(20_000)
+            .with_operations(80_000),
     )
     .seed(8)
     .build();

@@ -11,7 +11,9 @@ use rand::SeedableRng;
 
 fn bench_allocate(c: &mut Criterion) {
     let w = WorkloadBuilder::new(
-        TraceProfile::dtr().with_nodes(40_000).with_operations(160_000),
+        TraceProfile::dtr()
+            .with_nodes(40_000)
+            .with_operations(160_000),
     )
     .seed(2)
     .build();

@@ -10,7 +10,9 @@ use rand::SeedableRng;
 
 fn bench_locate(c: &mut Criterion) {
     let w = WorkloadBuilder::new(
-        TraceProfile::ra().with_nodes(20_000).with_operations(80_000),
+        TraceProfile::ra()
+            .with_nodes(20_000)
+            .with_operations(80_000),
     )
     .seed(4)
     .build();

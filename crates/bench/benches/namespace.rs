@@ -11,9 +11,13 @@ fn bench_namespace(c: &mut Criterion) {
     let (tree, _) = synthesize_tree(&profile, 1);
     let ids: Vec<_> = tree.nodes().map(|(id, _)| id).collect();
     let mut rng = StdRng::seed_from_u64(2);
-    let sample: Vec<_> = (0..1_000).map(|_| ids[rng.gen_range(0..ids.len())]).collect();
-    let paths: Vec<String> =
-        sample.iter().map(|&id| tree.path_of(id).to_string()).collect();
+    let sample: Vec<_> = (0..1_000)
+        .map(|_| ids[rng.gen_range(0..ids.len())])
+        .collect();
+    let paths: Vec<String> = sample
+        .iter()
+        .map(|&id| tree.path_of(id).to_string())
+        .collect();
 
     c.bench_function("resolve_1k_paths", |b| {
         b.iter(|| {

@@ -1,15 +1,20 @@
 //! Criterion macro-benchmark: discrete-event replay throughput (how fast
 //! the simulator itself runs).
 
+use std::sync::Arc;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use d2tree_cluster::{SimConfig, Simulator};
 use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree_metrics::ClusterSpec;
+use d2tree_telemetry::Registry;
 use d2tree_workload::{TraceProfile, WorkloadBuilder};
 
 fn bench_replay(c: &mut Criterion) {
     let w = WorkloadBuilder::new(
-        TraceProfile::dtr().with_nodes(5_000).with_operations(20_000),
+        TraceProfile::dtr()
+            .with_nodes(5_000)
+            .with_operations(20_000),
     )
     .seed(7)
     .build();
@@ -21,7 +26,10 @@ fn bench_replay(c: &mut Criterion) {
         let cluster = ClusterSpec::homogeneous(m, 1.0);
         let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
         scheme.build(&w.tree, &pop, &cluster);
-        let sim = Simulator::new(SimConfig { clients: 64, ..SimConfig::default() });
+        let sim = Simulator::new(SimConfig {
+            clients: 64,
+            ..SimConfig::default()
+        });
         group.bench_with_input(BenchmarkId::new("mds", m), &m, |b, _| {
             b.iter(|| std::hint::black_box(sim.replay(&w.tree, &w.trace, &scheme).completed));
         });
@@ -29,5 +37,41 @@ fn bench_replay(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_replay);
+/// Telemetry overhead: the same replay with and without a registry
+/// attached. The instrumented path must stay within a few percent of the
+/// bare one (handles are pre-resolved; recording is relaxed atomics).
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr()
+            .with_nodes(5_000)
+            .with_operations(20_000),
+    )
+    .seed(7)
+    .build();
+    let pop = w.popularity();
+    let cluster = ClusterSpec::homogeneous(8, 1.0);
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+    scheme.build(&w.tree, &pop, &cluster);
+
+    let mut group = c.benchmark_group("replay_telemetry_overhead");
+    group.sample_size(10);
+    let bare = Simulator::new(SimConfig {
+        clients: 64,
+        ..SimConfig::default()
+    });
+    group.bench_function("disabled", |b| {
+        b.iter(|| std::hint::black_box(bare.replay(&w.tree, &w.trace, &scheme).completed));
+    });
+    let instrumented = Simulator::new(SimConfig {
+        clients: 64,
+        ..SimConfig::default()
+    })
+    .with_registry(Arc::new(Registry::new()));
+    group.bench_function("enabled", |b| {
+        b.iter(|| std::hint::black_box(instrumented.replay(&w.tree, &w.trace, &scheme).completed));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay, bench_telemetry_overhead);
 criterion_main!(benches);

@@ -9,7 +9,9 @@ fn bench_split(c: &mut Criterion) {
     let mut group = c.benchmark_group("tree_split");
     for nodes in [5_000usize, 20_000, 80_000] {
         let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(nodes).with_operations(nodes * 4),
+            TraceProfile::dtr()
+                .with_nodes(nodes)
+                .with_operations(nodes * 4),
         )
         .seed(1)
         .build();
@@ -25,7 +27,9 @@ fn bench_split(c: &mut Criterion) {
     group.finish();
 
     let w = WorkloadBuilder::new(
-        TraceProfile::dtr().with_nodes(20_000).with_operations(80_000),
+        TraceProfile::dtr()
+            .with_nodes(20_000)
+            .with_operations(80_000),
     )
     .seed(1)
     .build();

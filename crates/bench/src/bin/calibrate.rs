@@ -21,13 +21,16 @@ fn main() {
         ("RA", "updates -> GL", 0.67),
     ];
 
-    let headers: Vec<String> =
-        ["Trace", "Statistic", "Paper", "Measured"].map(String::from).to_vec();
+    let headers: Vec<String> = ["Trace", "Statistic", "Paper", "Measured"]
+        .map(String::from)
+        .to_vec();
     let mut rows = Vec::new();
     for (profile, (name, stat, target)) in
         TraceProfile::paper_presets().into_iter().zip(paper_targets)
     {
-        let w = WorkloadBuilder::new(scale.apply(profile)).seed(scale.seed).build();
+        let w = WorkloadBuilder::new(scale.apply(profile))
+            .seed(scale.seed)
+            .build();
         let pop = w.popularity();
         let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
         scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(4, 1.0));
@@ -58,5 +61,8 @@ fn main() {
             format!("{:.1}%", measured * 100.0),
         ]);
     }
-    println!("{}", render_table("Layer hit-rate calibration", &headers, &rows));
+    println!(
+        "{}",
+        render_table("Layer hit-rate calibration", &headers, &rows)
+    );
 }

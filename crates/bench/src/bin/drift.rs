@@ -7,8 +7,8 @@
 //! sustains per phase is reported. Static partitioning cannot react;
 //! D2-Tree and the dynamic schemes should hold their balance.
 
-use d2tree_bench::{fmt_float, render_table, Scale};
 use d2tree_baselines::paper_lineup;
+use d2tree_bench::{fmt_float, render_table, Scale};
 use d2tree_metrics::{balance, ClusterSpec};
 use d2tree_namespace::Popularity;
 use d2tree_workload::{DriftingWorkload, TraceProfile};
@@ -18,7 +18,9 @@ fn main() {
     const PHASES: usize = 5;
     const DECAY: f64 = 0.3;
     let workload = DriftingWorkload::generate(
-        TraceProfile::lmbe().with_nodes(scale.nodes).with_operations(scale.operations),
+        TraceProfile::lmbe()
+            .with_nodes(scale.nodes)
+            .with_operations(scale.operations),
         PHASES,
         scale.seed,
     );
@@ -65,8 +67,7 @@ fn main() {
                 phase_pop.record(op.target, 1.0);
             }
             phase_pop.rollup(&workload.tree);
-            let phase_cluster =
-                ClusterSpec::homogeneous(m, phase_pop.sum_individual() / m as f64);
+            let phase_cluster = ClusterSpec::homogeneous(m, phase_pop.sum_individual() / m as f64);
             let loads = scheme.placement().loads(&workload.tree, &phase_pop);
             row.push(fmt_float(balance(&loads, &phase_cluster)));
         }

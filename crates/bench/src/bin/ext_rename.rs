@@ -7,8 +7,8 @@
 //! nothing (the subtree stays put, only its name changes); full-pathname
 //! hashing moves ~(M−1)/M of every renamed subtree.
 
-use d2tree_bench::{paper_workloads, render_table, Scale};
 use d2tree_baselines::HashMapping;
+use d2tree_bench::{paper_workloads, render_table, Scale};
 use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree_metrics::ClusterSpec;
 
@@ -35,10 +35,14 @@ fn main() {
     d2.build(&workload.tree, &pop, &cluster);
 
     println!("== Extension: rename overhead, {m}-MDS cluster (DTR) ==\n");
-    let headers: Vec<String> =
-        ["Renamed dir", "Subtree nodes", "Hash moves", "D2-Tree moves"]
-            .map(String::from)
-            .to_vec();
+    let headers: Vec<String> = [
+        "Renamed dir",
+        "Subtree nodes",
+        "Hash moves",
+        "D2-Tree moves",
+    ]
+    .map(String::from)
+    .to_vec();
     let mut rows = Vec::new();
     let mut total_hash = 0usize;
     let mut total_size = 0usize;

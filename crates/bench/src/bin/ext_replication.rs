@@ -16,13 +16,20 @@ fn main() {
     let pop = workload.popularity();
     let m = 16;
     let cluster = normalized_cluster(m, &pop);
-    let sim = Simulator::new(SimConfig { seed: scale.seed, ..SimConfig::default() });
+    let sim = Simulator::new(SimConfig {
+        seed: scale.seed,
+        ..SimConfig::default()
+    });
 
     println!("== Extension: global-layer replication threshold (RA, M = {m}) ==\n");
-    let headers: Vec<String> =
-        ["Replicas R", "Throughput (ops/s)", "Balance", "Replica applies / update"]
-            .map(String::from)
-            .to_vec();
+    let headers: Vec<String> = [
+        "Replicas R",
+        "Throughput (ops/s)",
+        "Balance",
+        "Replica applies / update",
+    ]
+    .map(String::from)
+    .to_vec();
     let mut rows = Vec::new();
     for r in [1usize, 2, 4, 8, 16] {
         let mut config = D2TreeConfig::paper_default().with_seed(scale.seed);
@@ -42,7 +49,10 @@ fn main() {
             format!("{r}"),
         ]);
     }
-    println!("{}", render_table("Replication threshold sweep", &headers, &rows));
+    println!(
+        "{}",
+        render_table("Replication threshold sweep", &headers, &rows)
+    );
     println!(
         "\nExpected trade-off: small R concentrates global-layer queries (lower\n\
          balance / throughput) but each update syncs only R replicas; R = M is\n\

@@ -14,10 +14,15 @@ fn main() {
 
     println!("== Extension: online scale-out 4 -> 8 -> 16 -> 32 MDSs (DTR) ==\n");
     let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default().with_seed(scale.seed));
-    scheme.build(&workload.tree, &pop, &ClusterSpec::homogeneous(4, unit / 4.0));
+    scheme.build(
+        &workload.tree,
+        &pop,
+        &ClusterSpec::homogeneous(4, unit / 4.0),
+    );
 
-    let headers: Vec<String> =
-        ["Cluster", "Migrations", "Balance after", "Max/Ideal load"].map(String::from).to_vec();
+    let headers: Vec<String> = ["Cluster", "Migrations", "Balance after", "Max/Ideal load"]
+        .map(String::from)
+        .to_vec();
     let mut rows = Vec::new();
     let mut record = |m: usize, migrations: usize, scheme: &D2TreeScheme| {
         let cluster = ClusterSpec::homogeneous(m, unit / m as f64);

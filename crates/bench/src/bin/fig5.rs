@@ -12,14 +12,17 @@
 //! * RA: 16% updates lock the global layer, so D2-Tree grows slower than
 //!   on DTR but still beats the dynamic/hashing schemes.
 
-use d2tree_bench::{mds_range, normalized_cluster, paper_workloads, render_table, Scale};
 use d2tree_baselines::paper_lineup;
+use d2tree_bench::{mds_range, normalized_cluster, paper_workloads, render_table, Scale};
 use d2tree_cluster::{SimConfig, Simulator};
 
 fn main() {
     let scale = Scale::from_env();
     println!("== Fig. 5: Throughput (ops/s) as the MDS cluster is scaled ==");
-    println!("(discrete-event simulation; 200 closed-loop clients; seed {})\n", scale.seed);
+    println!(
+        "(discrete-event simulation; 200 closed-loop clients; seed {})\n",
+        scale.seed
+    );
 
     for workload in paper_workloads(scale) {
         let pop = workload.popularity();
@@ -37,7 +40,10 @@ fn main() {
                 name = scheme.name().to_owned();
                 let cluster = normalized_cluster(m, &pop);
                 scheme.build(&workload.tree, &pop, &cluster);
-                let sim = Simulator::new(SimConfig { seed: scale.seed, ..SimConfig::default() });
+                let sim = Simulator::new(SimConfig {
+                    seed: scale.seed,
+                    ..SimConfig::default()
+                });
                 let out = sim.replay(&workload.tree, &workload.trace, scheme.as_ref());
                 row.push(format!("{:.0}", out.throughput));
             }
@@ -47,7 +53,11 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&format!("Fig. 5 — {}", workload.profile.name), &headers, &rows)
+            render_table(
+                &format!("Fig. 5 — {}", workload.profile.name),
+                &headers,
+                &rows
+            )
         );
     }
 }

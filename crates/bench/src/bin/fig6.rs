@@ -6,8 +6,8 @@
 //! subtree, DROP and AngleCut degrade with M; D2-Tree leads on DTR,
 //! static subtree leads on LMBE.
 
-use d2tree_bench::{mds_range, normalized_cluster, paper_workloads, render_table, Scale};
 use d2tree_baselines::paper_lineup;
+use d2tree_bench::{mds_range, normalized_cluster, paper_workloads, render_table, Scale};
 
 fn main() {
     let scale = Scale::from_env();
@@ -38,7 +38,11 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&format!("Fig. 6 — {}", workload.profile.name), &headers, &rows)
+            render_table(
+                &format!("Fig. 6 — {}", workload.profile.name),
+                &headers,
+                &rows
+            )
         );
     }
     println!("(locality of a single-server deployment is infinite; larger is better)");

@@ -12,8 +12,10 @@
 //! (the global layer absorbs the flow-control nodes); static subtree is
 //! the weakest.
 
-use d2tree_bench::{fmt_float, mds_range, normalized_cluster, paper_workloads, render_table, Scale};
 use d2tree_baselines::paper_lineup;
+use d2tree_bench::{
+    fmt_float, mds_range, normalized_cluster, paper_workloads, render_table, Scale,
+};
 use d2tree_cluster::{SimConfig, Simulator};
 
 fn main() {
@@ -39,7 +41,10 @@ fn main() {
                 name = scheme.name().to_owned();
                 let cluster = normalized_cluster(m, &pop);
                 scheme.build(&workload.tree, &pop, &cluster);
-                let sim = Simulator::new(SimConfig { seed: scale.seed, ..SimConfig::default() });
+                let sim = Simulator::new(SimConfig {
+                    seed: scale.seed,
+                    ..SimConfig::default()
+                });
                 let out = sim.replay_with_rebalance(
                     &workload.tree,
                     &workload.trace,
@@ -57,7 +62,11 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&format!("Fig. 7 — {}", workload.profile.name), &headers, &rows)
+            render_table(
+                &format!("Fig. 7 — {}", workload.profile.name),
+                &headers,
+                &rows
+            )
         );
     }
     println!("(balance = 1 / load-ratio variance over measured served ops; larger is better)");

@@ -23,13 +23,17 @@ fn main() {
     println!("== Fig. 8: L0 and U0 under different global-layer proportions ==");
     println!("(trace DTR, 4-MDS cluster, u_j = update_rate_j x M)\n");
 
-    let headers: Vec<String> =
-        ["GL proportion", "GL nodes", "L0 (x 1e-8)", "U0 (x 1e5)"].map(String::from).to_vec();
+    let headers: Vec<String> = ["GL proportion", "GL nodes", "L0 (x 1e-8)", "U0 (x 1e5)"]
+        .map(String::from)
+        .to_vec();
     let mut rows = Vec::new();
     for &p in &proportions {
-        let (_, implied) = split_to_proportion(&workload.tree, &pop, |id| {
-            update_frac * pop.individual(id) * m
-        }, p);
+        let (_, implied) = split_to_proportion(
+            &workload.tree,
+            &pop,
+            |id| update_frac * pop.individual(id) * m,
+            p,
+        );
         rows.push(vec![
             format!("{p}"),
             format!("{}", implied.global_nodes),

@@ -27,7 +27,8 @@ fn main() {
     for &p in &proportions {
         let mut row = vec![format!("{p}")];
         for &m in &cluster_sizes {
-            let mut scheme = D2TreeScheme::new(D2TreeConfig::by_proportion(p).with_seed(scale.seed));
+            let mut scheme =
+                D2TreeScheme::new(D2TreeConfig::by_proportion(p).with_seed(scale.seed));
             let cluster = normalized_cluster(m, &pop);
             let loads = build_and_settle(&mut scheme, &workload, &cluster, 20);
             row.push(fmt_float(balance(&loads, &cluster)));

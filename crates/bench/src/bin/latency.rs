@@ -5,8 +5,8 @@
 //! closed-loop client base, throughput differences *are* latency
 //! differences — forwarding hops and lock waits show up here directly.
 
-use d2tree_bench::{normalized_cluster, paper_workloads, render_table, Scale};
 use d2tree_baselines::paper_lineup;
+use d2tree_bench::{normalized_cluster, paper_workloads, render_table, Scale};
 use d2tree_cluster::{SimConfig, Simulator};
 
 fn main() {
@@ -16,14 +16,19 @@ fn main() {
 
     for workload in paper_workloads(scale) {
         let pop = workload.popularity();
-        let headers: Vec<String> =
-            ["Scheme", "mean µs", "p99 µs", "hops/op", "max util %"].map(String::from).to_vec();
+        let headers: Vec<String> = ["Scheme", "mean µs", "p99 µs", "hops/op", "max util %"]
+            .map(String::from)
+            .to_vec();
         let mut rows = Vec::new();
         for mut scheme in paper_lineup(0.01, scale.seed) {
             let cluster = normalized_cluster(m, &pop);
             scheme.build(&workload.tree, &pop, &cluster);
-            let config = SimConfig { seed: scale.seed, ..SimConfig::default() };
-            let out = Simulator::new(config).replay(&workload.tree, &workload.trace, scheme.as_ref());
+            let config = SimConfig {
+                seed: scale.seed,
+                ..SimConfig::default()
+            };
+            let out =
+                Simulator::new(config).replay(&workload.tree, &workload.trace, scheme.as_ref());
             let max_util = out
                 .utilization(config.workers_per_mds)
                 .into_iter()
@@ -38,7 +43,11 @@ fn main() {
         }
         println!(
             "{}",
-            render_table(&format!("Latency — {}", workload.profile.name), &headers, &rows)
+            render_table(
+                &format!("Latency — {}", workload.profile.name),
+                &headers,
+                &rows
+            )
         );
     }
     println!("(max util = busiest server's worker occupancy; saturation ⇒ queueing delay)");

@@ -8,7 +8,11 @@ fn main() {
     let scale = Scale::from_env();
     println!("== Table II: Operation Breakdowns for Various Traces ==\n");
 
-    let paper = [("DTR", OpMix::dtr()), ("LMBE", OpMix::lmbe()), ("RA", OpMix::ra())];
+    let paper = [
+        ("DTR", OpMix::dtr()),
+        ("LMBE", OpMix::lmbe()),
+        ("RA", OpMix::ra()),
+    ];
     let headers: Vec<String> = [
         "Trace",
         "Read (paper)",

@@ -49,10 +49,13 @@ fn main() {
 
     // Measure the actual balance error of the sampled allocator.
     let ideal = total / m as f64;
-    let headers: Vec<String> =
-        ["Samples", "Mean |L_k - ideal| / ideal", "Max |L_k - ideal| / ideal"]
-            .map(String::from)
-            .to_vec();
+    let headers: Vec<String> = [
+        "Samples",
+        "Mean |L_k - ideal| / ideal",
+        "Max |L_k - ideal| / ideal",
+    ]
+    .map(String::from)
+    .to_vec();
     let mut rows = Vec::new();
     for k in [10usize, 50, 250, 1_000, 5_000] {
         let mut mean_err = 0.0;
@@ -73,8 +76,7 @@ fn main() {
             for (s, o) in subtrees.iter().zip(&owners) {
                 loads[o.index()] += s.popularity;
             }
-            let errs: Vec<f64> =
-                loads.iter().map(|l| (l - ideal).abs() / ideal).collect();
+            let errs: Vec<f64> = loads.iter().map(|l| (l - ideal).abs() / ideal).collect();
             mean_err += errs.iter().sum::<f64>() / m as f64 / TRIALS as f64;
             max_err = max_err.max(errs.iter().cloned().fold(0.0, f64::max));
         }
@@ -84,7 +86,10 @@ fn main() {
             format!("{max_err:.4}"),
         ]);
     }
-    println!("{}", render_table("Measured sampled-allocation error", &headers, &rows));
+    println!(
+        "{}",
+        render_table("Measured sampled-allocation error", &headers, &rows)
+    );
     println!(
         "Thm. 4 bound on E[1/balance] at delta = 0.1, mu = 1: {:.5}",
         dkw::theorem4_variance_bound(m, 0.1, 1.0)

@@ -41,7 +41,10 @@ impl Scale {
     #[must_use]
     pub fn from_env() -> Self {
         fn var(name: &str, default: u64) -> u64 {
-            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         }
         Scale {
             nodes: var("D2_NODES", 50_000) as usize,
@@ -53,13 +56,19 @@ impl Scale {
     /// A small scale for unit tests of the harness itself.
     #[must_use]
     pub fn tiny() -> Self {
-        Scale { nodes: 1_000, operations: 10_000, seed: 7 }
+        Scale {
+            nodes: 1_000,
+            operations: 10_000,
+            seed: 7,
+        }
     }
 
     /// Applies the scale to a profile.
     #[must_use]
     pub fn apply(&self, profile: TraceProfile) -> TraceProfile {
-        profile.with_nodes(self.nodes).with_operations(self.operations)
+        profile
+            .with_nodes(self.nodes)
+            .with_operations(self.operations)
     }
 }
 
@@ -68,7 +77,11 @@ impl Scale {
 pub fn paper_workloads(scale: Scale) -> Vec<Workload> {
     TraceProfile::paper_presets()
         .into_iter()
-        .map(|p| WorkloadBuilder::new(scale.apply(p)).seed(scale.seed).build())
+        .map(|p| {
+            WorkloadBuilder::new(scale.apply(p))
+                .seed(scale.seed)
+                .build()
+        })
         .collect()
 }
 

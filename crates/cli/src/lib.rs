@@ -8,6 +8,7 @@
 //! d2tree stats     --tree ws.tree --trace ws.trace
 //! d2tree partition --tree ws.tree --trace ws.trace --scheme d2tree --mds 8
 //! d2tree replay    --tree ws.tree --trace ws.trace --scheme d2tree --mds 8
+//! d2tree report    --tree ws.tree --trace ws.trace --scheme d2tree --mds 8
 //! ```
 
 #![warn(missing_docs)]
@@ -16,12 +17,14 @@ use std::error::Error;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::Arc;
 
 use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
-use d2tree_cluster::{SimConfig, Simulator};
+use d2tree_cluster::{ReplayOutcome, SimConfig, Simulator};
 use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree_metrics::{balance, ClusterSpec};
 use d2tree_namespace::NamespaceTree;
+use d2tree_telemetry::{export, Registry};
 use d2tree_workload::{io as trace_io, Trace, TraceProfile, TraceStats, WorkloadBuilder};
 
 /// Errors surfaced to the user.
@@ -72,6 +75,7 @@ COMMANDS:
     stats      summarise a namespace + trace (Table I/II style)
     partition  partition a namespace and report locality/balance
     replay     replay a trace through the cluster simulator
+    report     replay a trace and export telemetry (Prometheus text / JSON)
     hotspots   list the hottest paths of a trace
     check      partition with D2-Tree and fsck the resulting state
     help       show this message
@@ -89,6 +93,12 @@ Common options:
     --nodes <n>       namespace size (default 20000)
     --ops <n>         trace length (default 100000)
     --out <prefix>    writes <prefix>.tree and <prefix>.trace
+
+`replay` options:
+    --metrics-out <file>  also write the run's telemetry snapshot as JSON
+
+`report` options:
+    --format <name>   prometheus | json | both (default both)
 ";
 
 /// Simple `--flag value` argument map.
@@ -114,11 +124,15 @@ impl Opts {
     }
 
     fn get(&self, key: &str) -> Option<&str> {
-        self.pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v.as_str())
+        self.pairs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
     }
 
     fn required(&self, key: &str) -> Result<&str, CliError> {
-        self.get(key).ok_or_else(|| CliError::Usage(format!("missing required --{key}")))
+        self.get(key)
+            .ok_or_else(|| CliError::Usage(format!("missing required --{key}")))
     }
 
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, CliError> {
@@ -154,8 +168,8 @@ fn scheme_by_name(name: &str, gl: f64, seed: u64) -> Result<Box<dyn Partitioner>
         "anglecut" => Box::new(AngleCut::new(seed)),
         other => {
             return Err(CliError::Usage(format!(
-                "unknown scheme {other:?} (expected d2tree, static, dynamic, hash, drop or anglecut)"
-            )))
+            "unknown scheme {other:?} (expected d2tree, static, dynamic, hash, drop or anglecut)"
+        )))
         }
     })
 }
@@ -183,6 +197,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "stats" => cmd_stats(&Opts::parse(rest)?),
         "partition" => cmd_partition(&Opts::parse(rest)?),
         "replay" => cmd_replay(&Opts::parse(rest)?),
+        "report" => cmd_report(&Opts::parse(rest)?),
         "hotspots" => cmd_hotspots(&Opts::parse(rest)?),
         "check" => cmd_check(&Opts::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
@@ -247,7 +262,10 @@ fn cmd_partition(opts: &Opts) -> Result<String, CliError> {
     out.push_str(&format!("cluster: {m} MDSs\n"));
     out.push_str(&format!("replicated (global-layer) nodes: {replicated}\n"));
     out.push_str(&format!("locality (Def. 3): {:.6e}\n", locality.locality));
-    out.push_str(&format!("balance (Def. 5): {:.3}\n", balance(&loads, &cluster)));
+    out.push_str(&format!(
+        "balance (Def. 5): {:.3}\n",
+        balance(&loads, &cluster)
+    ));
     out.push_str("per-MDS loads:");
     for l in &loads {
         out.push_str(&format!(" {l:.0}"));
@@ -256,7 +274,10 @@ fn cmd_partition(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
-fn cmd_replay(opts: &Opts) -> Result<String, CliError> {
+/// Builds a scheme from the CLI options and replays the trace through an
+/// instrumented simulator, returning the scheme name, the outcome and the
+/// telemetry registry the run filled in.
+fn instrumented_replay(opts: &Opts) -> Result<(String, ReplayOutcome, Arc<Registry>), CliError> {
     let (tree, trace) = load_workspace(opts)?;
     let m = opts.num("mds", 8usize)?;
     let gl = opts.num("gl", 0.01f64)?;
@@ -267,20 +288,62 @@ fn cmd_replay(opts: &Opts) -> Result<String, CliError> {
     let pop = trace.popularity(&tree);
     let cluster = ClusterSpec::homogeneous(m, 1.0);
     scheme.build(&tree, &pop, &cluster);
-    let sim = Simulator::new(SimConfig { clients, seed, ..SimConfig::default() });
+    let registry = Arc::new(Registry::new());
+    let sim = Simulator::new(SimConfig {
+        clients,
+        seed,
+        ..SimConfig::default()
+    })
+    .with_registry(Arc::clone(&registry));
     let out = sim.replay(&tree, &trace, scheme.as_ref());
-    Ok(format!(
-        "scheme: {}\ncompleted: {} ops in {:.3} virtual s\n\
+    Ok((scheme.name().to_owned(), out, registry))
+}
+
+fn cmd_replay(opts: &Opts) -> Result<String, CliError> {
+    let (name, out, registry) = instrumented_replay(opts)?;
+    let mut text = format!(
+        "scheme: {name}\ncompleted: {} ops in {:.3} virtual s\n\
          throughput: {:.0} ops/s\nmean latency: {:.1} µs\np99 latency: {:.1} µs\n\
          forwarding hops: {}\n",
-        scheme.name(),
         out.completed,
         out.sim_seconds,
         out.throughput,
         out.mean_latency_us,
         out.p99_latency_us,
         out.total_hops
-    ))
+    );
+    if let Some(path) = opts.get("metrics-out") {
+        std::fs::write(path, export::json(&registry.snapshot()))?;
+        text.push_str(&format!("metrics written to {path}\n"));
+    }
+    Ok(text)
+}
+
+fn cmd_report(opts: &Opts) -> Result<String, CliError> {
+    let format = opts.get("format").unwrap_or("both");
+    let (name, out, registry) = instrumented_replay(opts)?;
+    let snapshot = registry.snapshot();
+    let mut text = format!(
+        "# replay of {} ops under scheme {name} ({:.0} ops/s)\n",
+        out.completed, out.throughput
+    );
+    match format {
+        "prometheus" => text.push_str(&export::prometheus_text(&snapshot)),
+        "json" => text.push_str(&export::json(&snapshot)),
+        "both" => {
+            text.push_str("==> prometheus <==\n");
+            text.push_str(&export::prometheus_text(&snapshot));
+            text.push_str("==> json <==\n");
+            text.push_str(&export::json(&snapshot));
+            text.push('\n');
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown --format {other:?} (expected prometheus, json or both)"
+            )))
+        }
+    }
+    Ok(text)
 }
 
 fn cmd_hotspots(opts: &Opts) -> Result<String, CliError> {
@@ -351,7 +414,8 @@ mod tests {
     }
 
     fn tmp_prefix(tag: &str) -> String {
-        let dir = std::env::temp_dir().join(format!("d2tree-cli-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("d2tree-cli-test-{tag}-{}", std::process::id()));
         dir.to_string_lossy().into_owned()
     }
 
@@ -366,30 +430,61 @@ mod tests {
     fn synth_stats_partition_replay_pipeline() {
         let prefix = tmp_prefix("pipeline");
         let out = run(&args(&[
-            "synth", "--profile", "lmbe", "--nodes", "800", "--ops", "4000", "--seed", "7",
-            "--out", &prefix,
+            "synth",
+            "--profile",
+            "lmbe",
+            "--nodes",
+            "800",
+            "--ops",
+            "4000",
+            "--seed",
+            "7",
+            "--out",
+            &prefix,
         ]))
         .unwrap();
         assert!(out.contains("800 nodes"), "{out}");
 
         let tree_file = format!("{prefix}.tree");
         let trace_file = format!("{prefix}.trace");
-        let stats =
-            run(&args(&["stats", "--tree", &tree_file, "--trace", &trace_file])).unwrap();
+        let stats = run(&args(&[
+            "stats",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+        ]))
+        .unwrap();
         assert!(stats.contains("4000 ops"), "{stats}");
 
         for scheme in ["d2tree", "static", "dynamic", "hash", "drop", "anglecut"] {
             let out = run(&args(&[
-                "partition", "--tree", &tree_file, "--trace", &trace_file, "--scheme", scheme,
-                "--mds", "4",
+                "partition",
+                "--tree",
+                &tree_file,
+                "--trace",
+                &trace_file,
+                "--scheme",
+                scheme,
+                "--mds",
+                "4",
             ]))
             .unwrap();
             assert!(out.contains("balance"), "{scheme}: {out}");
         }
 
         let replay = run(&args(&[
-            "replay", "--tree", &tree_file, "--trace", &trace_file, "--scheme", "d2tree",
-            "--mds", "4", "--clients", "16",
+            "replay",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
         ]))
         .unwrap();
         assert!(replay.contains("completed: 4000 ops"), "{replay}");
@@ -399,13 +494,154 @@ mod tests {
     }
 
     #[test]
+    fn report_renders_prometheus_and_json() {
+        let prefix = tmp_prefix("report");
+        run(&args(&[
+            "synth",
+            "--profile",
+            "dtr",
+            "--nodes",
+            "500",
+            "--ops",
+            "2000",
+            "--out",
+            &prefix,
+        ]))
+        .unwrap();
+        let tree_file = format!("{prefix}.tree");
+        let trace_file = format!("{prefix}.trace");
+
+        let both = run(&args(&[
+            "report",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+        ]))
+        .unwrap();
+        assert!(
+            both.contains("# TYPE d2tree_mds_ops_total counter"),
+            "{both}"
+        );
+        assert!(both.contains("\"counters\""), "{both}");
+        assert!(
+            both.contains("d2tree_op_latency_us{quantile=\"0.99\"}"),
+            "{both}"
+        );
+
+        let prom = run(&args(&[
+            "report",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--format",
+            "prometheus",
+        ]))
+        .unwrap();
+        assert!(prom.contains("d2tree_mds_ops_total{mds=\"0\"}"), "{prom}");
+        assert!(!prom.contains("\"counters\""), "{prom}");
+
+        let json = run(&args(&[
+            "report",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert!(json.contains("\"histograms\""), "{json}");
+
+        assert!(matches!(
+            run(&args(&[
+                "report", "--tree", &tree_file, "--trace", &trace_file, "--scheme", "d2tree",
+                "--format", "yaml",
+            ])),
+            Err(CliError::Usage(msg)) if msg.contains("--format")
+        ));
+
+        let _ = std::fs::remove_file(tree_file);
+        let _ = std::fs::remove_file(trace_file);
+    }
+
+    #[test]
+    fn replay_writes_metrics_snapshot() {
+        let prefix = tmp_prefix("metricsout");
+        run(&args(&[
+            "synth",
+            "--profile",
+            "dtr",
+            "--nodes",
+            "400",
+            "--ops",
+            "1500",
+            "--out",
+            &prefix,
+        ]))
+        .unwrap();
+        let tree_file = format!("{prefix}.tree");
+        let trace_file = format!("{prefix}.trace");
+        let metrics_file = format!("{prefix}.metrics.json");
+        let out = run(&args(&[
+            "replay",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--metrics-out",
+            &metrics_file,
+        ]))
+        .unwrap();
+        assert!(out.contains("metrics written"), "{out}");
+        let written = std::fs::read_to_string(&metrics_file).unwrap();
+        assert!(written.contains("mds_ops_total"), "{written}");
+        let _ = std::fs::remove_file(tree_file);
+        let _ = std::fs::remove_file(trace_file);
+        let _ = std::fs::remove_file(metrics_file);
+    }
+
+    #[test]
     fn usage_errors_are_helpful() {
         assert!(matches!(
             run(&args(&["synth", "--nodes", "100"])),
             Err(CliError::Usage(msg)) if msg.contains("--out")
         ));
         assert!(matches!(
-            run(&args(&["partition", "--tree", "x", "--trace", "y", "--scheme", "nope"])),
+            run(&args(&[
+                "partition",
+                "--tree",
+                "x",
+                "--trace",
+                "y",
+                "--scheme",
+                "nope"
+            ])),
             Err(CliError::Io(_)) | Err(CliError::Usage(_))
         ));
         assert!(matches!(
@@ -418,19 +654,39 @@ mod tests {
     fn hotspots_and_check_commands() {
         let prefix = tmp_prefix("hotcheck");
         run(&args(&[
-            "synth", "--profile", "dtr", "--nodes", "600", "--ops", "3000", "--out", &prefix,
+            "synth",
+            "--profile",
+            "dtr",
+            "--nodes",
+            "600",
+            "--ops",
+            "3000",
+            "--out",
+            &prefix,
         ]))
         .unwrap();
         let tree_file = format!("{prefix}.tree");
         let trace_file = format!("{prefix}.trace");
         let hot = run(&args(&[
-            "hotspots", "--tree", &tree_file, "--trace", &trace_file, "--top", "5",
+            "hotspots",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--top",
+            "5",
         ]))
         .unwrap();
         assert!(hot.contains('%'), "{hot}");
         assert!(hot.lines().count() <= 6);
         let check = run(&args(&[
-            "check", "--tree", &tree_file, "--trace", &trace_file, "--mds", "4",
+            "check",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--mds",
+            "4",
         ]))
         .unwrap();
         assert!(check.starts_with("OK"), "{check}");
@@ -441,7 +697,11 @@ mod tests {
     #[test]
     fn missing_files_error_cleanly() {
         let err = run(&args(&[
-            "stats", "--tree", "/no/such/file", "--trace", "/no/such/file",
+            "stats",
+            "--tree",
+            "/no/such/file",
+            "--trace",
+            "/no/such/file",
         ]))
         .unwrap_err();
         assert!(matches!(err, CliError::Io(_)));

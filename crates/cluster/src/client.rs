@@ -6,9 +6,9 @@
 //! the owning MDS, otherwise the target is assumed to live in the
 //! replicated global layer and any MDS will do.
 
-use d2tree_namespace::{NamespaceTree, NodeId};
 use d2tree_core::LocalIndex;
 use d2tree_metrics::MdsId;
+use d2tree_namespace::{NamespaceTree, NodeId};
 
 /// Where the client should send a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +19,28 @@ pub enum RouteDecision {
     AnyMds,
     /// The cached index lease expired; refresh before routing.
     StaleCache,
+}
+
+/// Hit/miss counters of a client's index cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Routes answered from the cached index within its lease.
+    pub hits: u64,
+    /// Routes that found the cache stale and forced a refresh.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of routes served from cache, or 0.0 before any route.
+    #[must_use]
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
 }
 
 /// A client's cached copy of the local index.
@@ -108,10 +130,13 @@ impl ClientCache {
         }
     }
 
-    /// `(hits, misses)` counters.
+    /// Hit/miss counters accumulated by [`ClientCache::route`].
     #[must_use]
-    pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+        }
     }
 }
 
@@ -135,7 +160,8 @@ mod tests {
         let (tree, sub, _) = setup();
         let mut cache = ClientCache::new(100);
         assert_eq!(cache.route(&tree, sub, 0), RouteDecision::StaleCache);
-        assert_eq!(cache.stats(), (0, 1));
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+        assert_eq!(cache.stats().hit_ratio(), 0.0);
         assert_eq!(cache.version(), None);
     }
 
@@ -147,7 +173,8 @@ mod tests {
         cache.refresh(index, 0);
         assert_eq!(cache.route(&tree, leaf, 50), RouteDecision::Owner(MdsId(1)));
         assert_eq!(cache.route(&tree, sub, 50), RouteDecision::Owner(MdsId(1)));
-        assert_eq!(cache.stats(), (2, 0));
+        assert_eq!(cache.stats(), CacheStats { hits: 2, misses: 0 });
+        assert_eq!(cache.stats().hit_ratio(), 1.0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ pub mod message;
 pub mod monitor;
 pub mod sim;
 
-pub use client::ClientCache;
+pub use client::{CacheStats, ClientCache};
 pub use lock::{LockService, LockToken};
 pub use message::{Request, RequestId, Response, ResponseBody};
 pub use monitor::{ClusterEvent, Monitor, MonitorConfig};

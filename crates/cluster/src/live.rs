@@ -14,11 +14,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use bytes::Bytes;
-use d2tree_namespace::{AttrTable, NamespaceTree, NodeId};
+use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use d2tree_core::Heartbeat;
 use d2tree_metrics::{Assignment, MdsId, Placement};
+use d2tree_namespace::{AttrTable, NamespaceTree, NodeId};
 use d2tree_workload::{OpKind, Operation};
 use parking_lot::RwLock;
 use rand::rngs::StdRng;
@@ -26,7 +26,9 @@ use rand::{Rng, SeedableRng};
 
 use d2tree_core::LocalIndex;
 
-use crate::client::{ClientCache, RouteDecision};
+use d2tree_telemetry::{names, Counter, Event, EventKind, MetricKey, Registry};
+
+use crate::client::{CacheStats, ClientCache, RouteDecision};
 use crate::lock::LockService;
 use crate::message::{Request, RequestId, Response, ResponseBody};
 use crate::monitor::{ClusterEvent, Monitor, MonitorConfig};
@@ -93,6 +95,9 @@ struct Shared {
     served: Vec<AtomicU64>,
     redirects: AtomicU64,
     epoch: Instant,
+    /// Cluster-wide telemetry: counters plus the event journal the
+    /// Monitor also writes membership transitions into.
+    registry: Arc<Registry>,
 }
 
 impl Shared {
@@ -112,6 +117,9 @@ pub struct LiveReport {
     pub migrations: u64,
     /// Membership events the Monitor recorded.
     pub events: Vec<ClusterEvent>,
+    /// Full structured event journal of the run, oldest first: heartbeats,
+    /// failures, subtree sheds/claims, forwards and cache misses.
+    pub journal: Vec<Event>,
 }
 
 /// A running in-process MDS cluster.
@@ -158,7 +166,10 @@ impl LiveCluster {
         index: LocalIndex,
         config: LiveConfig,
     ) -> Self {
-        assert!(placement.is_complete(&tree), "live cluster needs a complete placement");
+        assert!(
+            placement.is_complete(&tree),
+            "live cluster needs a complete placement"
+        );
         let m = placement.cluster_size();
         let attr_stores = (0..m).map(|_| RwLock::new(AttrTable::new(&tree))).collect();
         let shared = Arc::new(Shared {
@@ -174,6 +185,7 @@ impl LiveCluster {
             served: (0..m).map(|_| AtomicU64::new(0)).collect(),
             redirects: AtomicU64::new(0),
             epoch: Instant::now(),
+            registry: Arc::new(Registry::new()),
         });
 
         let (hb_tx, hb_rx) = unbounded::<Heartbeat>();
@@ -216,7 +228,11 @@ impl LiveCluster {
     /// A new client handle (clients are cheap; make one per thread).
     #[must_use]
     pub fn client(&self, seed: u64) -> LiveClient {
+        let registry = &self.shared.registry;
         LiveClient {
+            cache_hits: registry.counter(MetricKey::global(names::CLIENT_CACHE_HITS)),
+            cache_misses: registry.counter(MetricKey::global(names::CLIENT_CACHE_MISSES)),
+            client_id: seed,
             shared: Arc::clone(&self.shared),
             server_txs: self.server_txs.clone(),
             timeout: self.config.request_timeout,
@@ -239,11 +255,23 @@ impl LiveCluster {
         self.shared.placement.read().clone()
     }
 
+    /// The cluster's telemetry registry: per-MDS counters plus the
+    /// structured event journal (shared with the Monitor). Snapshot it any
+    /// time — including while the cluster is running — to export metrics
+    /// via [`d2tree_telemetry::export`].
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.shared.registry
+    }
+
     /// The attribute version server `mds` holds for `node` — used to
     /// verify replica convergence after global-layer updates.
     #[must_use]
     pub fn attr_version(&self, mds: MdsId, node: NodeId) -> u64 {
-        self.shared.attr_stores[mds.index()].read().get(node).version
+        self.shared.attr_stores[mds.index()]
+            .read()
+            .get(node)
+            .version
     }
 
     /// Stops every thread and returns the run's report.
@@ -267,10 +295,16 @@ impl LiveCluster {
             .join()
             .expect("monitor thread panicked");
         LiveReport {
-            served: self.shared.served.iter().map(|s| s.load(Ordering::SeqCst)).collect(),
+            served: self
+                .shared
+                .served
+                .iter()
+                .map(|s| s.load(Ordering::SeqCst))
+                .collect(),
             redirects: self.shared.redirects.load(Ordering::SeqCst),
             migrations: self.shared.migrations.load(Ordering::SeqCst),
-            events: monitor.events().to_vec(),
+            events: monitor.events(),
+            journal: self.shared.registry.journal().snapshot(),
         }
     }
 }
@@ -283,6 +317,14 @@ fn server_main(
     interval: Duration,
 ) {
     let my_id = MdsId(me as u16);
+    // Cache counter handles once; the serve loop must not take the
+    // registry's map locks.
+    let served_total = shared
+        .registry
+        .counter(MetricKey::mds(names::SERVER_SERVED_TOTAL, me as u16));
+    let forwarded_total = shared
+        .registry
+        .counter(MetricKey::global(names::FORWARDED_TOTAL));
     let mut last_hb = Instant::now() - interval; // heartbeat immediately
     loop {
         if !shared.killed[me].load(Ordering::SeqCst) && last_hb.elapsed() >= interval {
@@ -301,7 +343,9 @@ fn server_main(
                 if shared.killed[me].load(Ordering::SeqCst) {
                     continue; // crashed: silently drop
                 }
-                let Some(req) = Request::decode(&mut frame) else { continue };
+                let Some(req) = Request::decode(&mut frame) else {
+                    continue;
+                };
                 let assignment = shared.placement.read().assignment(req.target);
                 let body = match assignment {
                     Assignment::Replicated => {
@@ -345,12 +389,18 @@ fn server_main(
                     }
                     Assignment::Single(owner) => {
                         shared.redirects.fetch_add(1, Ordering::Relaxed);
+                        forwarded_total.inc();
+                        shared.registry.journal().record(EventKind::Forwarded {
+                            from: me as u16,
+                            to: owner.0,
+                        });
                         ResponseBody::Redirect { owner }
                     }
                     Assignment::Unassigned => ResponseBody::NotFound,
                 };
                 if matches!(body, ResponseBody::Served { .. }) {
                     shared.served[me].fetch_add(1, Ordering::Relaxed);
+                    served_total.inc();
                     if matches!(assignment, Assignment::Single(_)) {
                         if let Some((root, _)) =
                             shared.index.read().locate(&shared.tree, req.target)
@@ -359,8 +409,12 @@ fn server_main(
                         }
                     }
                 }
-                let resp =
-                    Response { id: req.id, from: my_id, body, hops: req.hops };
+                let resp = Response {
+                    id: req.id,
+                    from: my_id,
+                    body,
+                    hops: req.hops,
+                };
                 let _ = reply.send(resp.encode());
             }
             Err(RecvTimeoutError::Timeout) => {}
@@ -376,7 +430,12 @@ fn monitor_main(
     hb_rx: &Receiver<Heartbeat>,
     stop: &AtomicBool,
 ) -> Monitor {
-    let mut mon = Monitor::new(config, m);
+    // Share the registry's journal so membership transitions land in the
+    // same ordered stream as sheds/claims/forwards.
+    let mut mon = Monitor::with_journal(config, m, Arc::clone(shared.registry.journal()));
+    let failures_total = shared
+        .registry
+        .counter(MetricKey::global(names::MDS_FAILURES_TOTAL));
     let tick = Duration::from_millis(config.heartbeat_interval_ms.max(1));
     loop {
         if stop.load(Ordering::SeqCst) {
@@ -391,6 +450,7 @@ fn monitor_main(
         live_rebalance(shared, &mon, m, now);
         for event in mon.detect_failures(now) {
             if let ClusterEvent::MdsFailed(dead) = event {
+                failures_total.inc();
                 // Re-home the dead server's nodes onto the survivors,
                 // spreading round-robin (whole subtrees stay together
                 // because children shared the dead owner).
@@ -410,6 +470,10 @@ fn monitor_main(
                     }
                 }
                 drop(placement);
+                // Snapshot popularity before touching the index lock:
+                // servers take index.read → subtree_counts.write, so taking
+                // subtree_counts under index.write would invert the order.
+                let counts: HashMap<NodeId, f64> = shared.subtree_counts.read().clone();
                 // Re-point the published local index so freshly-fetched
                 // client caches route around the dead server.
                 let placement = shared.placement.read();
@@ -422,6 +486,12 @@ fn monitor_main(
                 for root in stale {
                     if let Some(new_owner) = placement.assignment(root).owner() {
                         index.insert(root, new_owner);
+                        shared.registry.journal().record(EventKind::SubtreeClaimed {
+                            to: new_owner.0,
+                            subtree: root.index() as u64,
+                            size: shared.tree.subtree_size(root) as u64,
+                            popularity: counts.get(&root).copied().unwrap_or(0.0),
+                        });
                     }
                 }
             }
@@ -455,8 +525,9 @@ fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
         }
     }
     drop(placement);
-    let alive: Vec<usize> =
-        (0..m).filter(|&k| mon.is_alive(MdsId(k as u16), now)).collect();
+    let alive: Vec<usize> = (0..m)
+        .filter(|&k| mon.is_alive(MdsId(k as u16), now))
+        .collect();
     if alive.len() < 2 {
         return;
     }
@@ -487,6 +558,29 @@ fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
     }
     shared.index.write().insert(root, to);
     shared.migrations.fetch_add(1, Ordering::Relaxed);
+    shared
+        .registry
+        .counter(MetricKey::global(names::MIGRATIONS_TOTAL))
+        .inc();
+    let size = shared.tree.subtree_size(root) as u64;
+    let popularity = counts_snapshot
+        .iter()
+        .find(|(r, _)| *r == root)
+        .map_or(0.0, |&(_, c)| c);
+    let subtree = root.index() as u64;
+    let journal = shared.registry.journal();
+    journal.record(EventKind::SubtreeShed {
+        from: busy as u16,
+        subtree,
+        size,
+        popularity,
+    });
+    journal.record(EventKind::SubtreeClaimed {
+        to: to.0,
+        subtree,
+        size,
+        popularity,
+    });
     // Decay the counters so the next decision reflects fresh traffic.
     let mut counts = shared.subtree_counts.write();
     for v in counts.values_mut() {
@@ -532,6 +626,11 @@ pub struct LiveClient {
     cache: ClientCache,
     next_id: u64,
     rng: StdRng,
+    /// The seed this client was created with, reported in `CacheMiss`
+    /// journal events.
+    client_id: u64,
+    cache_hits: Arc<Counter>,
+    cache_misses: Arc<Counter>,
 }
 
 impl LiveClient {
@@ -544,7 +643,10 @@ impl LiveClient {
         for _ in 0..self.server_txs.len().max(1) {
             let dest = self.random_server();
             let (tx, rx) = bounded(1);
-            if self.server_txs[dest.index()].send(ServerMsg::FetchIndex(tx)).is_err() {
+            if self.server_txs[dest.index()]
+                .send(ServerMsg::FetchIndex(tx))
+                .is_err()
+            {
                 continue;
             }
             if let Ok(index) = rx.recv_timeout(self.timeout) {
@@ -556,9 +658,9 @@ impl LiveClient {
         // data-path retries cope via redirects.
     }
 
-    /// `(hits, misses)` of this client's index cache.
+    /// Hit/miss statistics of this client's index cache.
     #[must_use]
-    pub fn cache_stats(&self) -> (u64, u64) {
+    pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
     }
 
@@ -586,9 +688,19 @@ impl LiveClient {
                 None => {
                     let now = self.shared.now_ms();
                     match self.cache.route(&self.shared.tree, op.target, now) {
-                        RouteDecision::Owner(owner) => owner,
-                        RouteDecision::AnyMds => self.random_server(),
+                        RouteDecision::Owner(owner) => {
+                            self.cache_hits.inc();
+                            owner
+                        }
+                        RouteDecision::AnyMds => {
+                            self.cache_hits.inc();
+                            self.random_server()
+                        }
                         RouteDecision::StaleCache => {
+                            self.cache_misses.inc();
+                            self.shared.registry.journal().record(EventKind::CacheMiss {
+                                client: self.client_id,
+                            });
                             self.refresh_cache();
                             match self.cache.route(&self.shared.tree, op.target, now) {
                                 RouteDecision::Owner(owner) => owner,
@@ -598,9 +710,17 @@ impl LiveClient {
                     }
                 }
             };
-            let req = Request { id, kind: op.kind, target: op.target, hops };
+            let req = Request {
+                id,
+                kind: op.kind,
+                target: op.target,
+                hops,
+            };
             let (tx, rx) = bounded(1);
-            if self.server_txs[dest.index()].send(ServerMsg::Frame(req.encode(), tx)).is_err() {
+            if self.server_txs[dest.index()]
+                .send(ServerMsg::Frame(req.encode(), tx))
+                .is_err()
+            {
                 continue; // server thread gone; re-route next attempt
             }
             match rx.recv_timeout(self.timeout) {
@@ -629,7 +749,9 @@ impl LiveClient {
                 }
             }
         }
-        Err(ClientError::RetriesExhausted { attempts: self.max_retries })
+        Err(ClientError::RetriesExhausted {
+            attempts: self.max_retries,
+        })
     }
 }
 
@@ -641,11 +763,9 @@ mod tests {
     use d2tree_workload::{TraceProfile, WorkloadBuilder};
 
     fn build_cluster(m: usize) -> (Arc<NamespaceTree>, LiveCluster, d2tree_workload::Trace) {
-        let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(600).with_operations(600),
-        )
-        .seed(10)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(600).with_operations(600))
+            .seed(10)
+            .build();
         let pop = w.popularity();
         let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
         scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(m, 1.0));
@@ -721,13 +841,19 @@ mod tests {
             if owner.is_some() && owner != Some(dead_mds) {
                 break;
             }
-            assert!(Instant::now() < deadline, "fail-over did not happen in time");
+            assert!(
+                Instant::now() < deadline,
+                "fail-over did not happen in time"
+            );
             std::thread::sleep(Duration::from_millis(10));
         }
         // The node is reachable again through a fresh client.
         let mut client = cluster.client(7);
         let resp = client
-            .execute(Operation { target: victim_node, kind: OpKind::Read })
+            .execute(Operation {
+                target: victim_node,
+                kind: OpKind::Read,
+            })
             .expect("served after fail-over");
         assert!(matches!(resp.body, ResponseBody::Served { .. }));
         let report = cluster.shutdown();
@@ -741,7 +867,7 @@ mod tests {
     fn monitor_migrates_a_hammered_subtree() {
         let (tree, cluster, _trace) = build_cluster(3);
         std::thread::sleep(Duration::from_millis(80)); // servers known
-        // Find an indexed local-layer subtree and hammer it.
+                                                       // Find an indexed local-layer subtree and hammer it.
         let placement = cluster.placement_snapshot();
         let (root, original_owner) = tree
             .nodes()
@@ -752,13 +878,19 @@ mod tests {
         let deadline = Instant::now() + Duration::from_secs(5);
         loop {
             for _ in 0..200 {
-                let _ = client.execute(Operation { target: root, kind: OpKind::Read });
+                let _ = client.execute(Operation {
+                    target: root,
+                    kind: OpKind::Read,
+                });
             }
             let owner = cluster.placement_snapshot().assignment(root).owner();
             if owner.is_some() && owner != Some(original_owner) {
                 break; // migrated away from the hot server
             }
-            assert!(Instant::now() < deadline, "monitor never rebalanced the hot subtree");
+            assert!(
+                Instant::now() < deadline,
+                "monitor never rebalanced the hot subtree"
+            );
         }
         let report = cluster.shutdown();
         assert!(report.migrations > 0);
@@ -775,7 +907,10 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for _ in 0..25 {
                     client
-                        .execute(Operation { target: root, kind: OpKind::Update })
+                        .execute(Operation {
+                            target: root,
+                            kind: OpKind::Update,
+                        })
                         .expect("update served");
                 }
             }));
@@ -784,19 +919,22 @@ mod tests {
             h.join().unwrap();
         }
         // Every replica saw every one of the 100 lock-serialised commits.
-        let versions: Vec<u64> =
-            (0..3).map(|k| cluster.attr_version(MdsId(k), root)).collect();
-        assert_eq!(versions, vec![100, 100, 100], "replicas diverged: {versions:?}");
+        let versions: Vec<u64> = (0..3)
+            .map(|k| cluster.attr_version(MdsId(k), root))
+            .collect();
+        assert_eq!(
+            versions,
+            vec![100, 100, 100],
+            "replicas diverged: {versions:?}"
+        );
         let _ = Arc::try_unwrap(cluster).unwrap().shutdown();
     }
 
     #[test]
     fn seeded_index_cuts_redirects() {
-        let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(600).with_operations(600),
-        )
-        .seed(10)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(600).with_operations(600))
+            .seed(10)
+            .build();
         let pop = w.popularity();
         let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
         scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(4, 1.0));
@@ -835,7 +973,10 @@ mod tests {
         let mut client = cluster.client(3);
         // The root is always in the global layer.
         let resp = client
-            .execute(Operation { target: tree.root(), kind: OpKind::Update })
+            .execute(Operation {
+                target: tree.root(),
+                kind: OpKind::Update,
+            })
             .expect("update served");
         assert!(matches!(resp.body, ResponseBody::Served { .. }));
         let _ = cluster.shutdown();

@@ -67,7 +67,10 @@ impl LockService {
     #[must_use]
     pub fn new(lease_ms: u64) -> Self {
         assert!(lease_ms > 0, "lease must be positive");
-        LockService { lease_ms, inner: Mutex::new(Inner::default()) }
+        LockService {
+            lease_ms,
+            inner: Mutex::new(Inner::default()),
+        }
     }
 
     /// Attempts to take the lock on `node` at time `now_ms`.
@@ -87,7 +90,13 @@ impl LockService {
         }
         inner.next_fence += 1;
         let fence = inner.next_fence;
-        inner.held.insert(node, Held { fence, expires_at_ms: now_ms + self.lease_ms });
+        inner.held.insert(
+            node,
+            Held {
+                fence,
+                expires_at_ms: now_ms + self.lease_ms,
+            },
+        );
         Some(LockToken { node, fence })
     }
 
@@ -197,8 +206,11 @@ mod tests {
                 locks.try_acquire(n(9), 0).is_some()
             }));
         }
-        let granted =
-            handles.into_iter().map(|h| h.join().unwrap()).filter(|&g| g).count();
+        let granted = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .filter(|&g| g)
+            .count();
         assert_eq!(granted, 1);
     }
 }

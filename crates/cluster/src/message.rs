@@ -6,8 +6,8 @@
 //! encode/decode paths.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
-use d2tree_namespace::NodeId;
 use d2tree_metrics::MdsId;
+use d2tree_namespace::NodeId;
 use d2tree_workload::OpKind;
 use serde::{Deserialize, Serialize};
 
@@ -107,7 +107,12 @@ impl Request {
         };
         let target = NodeId::from_index(buf.get_u32() as usize);
         let hops = buf.get_u32();
-        Some(Request { id, kind, target, hops })
+        Some(Request {
+            id,
+            kind,
+            target,
+            hops,
+        })
     }
 }
 
@@ -161,12 +166,21 @@ impl Response {
         let owner_raw = buf.get_u16();
         let hops = buf.get_u32();
         let body = match tag {
-            BODY_SERVED => ResponseBody::Served { node: NodeId::from_index(node_raw as usize) },
-            BODY_REDIRECT => ResponseBody::Redirect { owner: MdsId(owner_raw) },
+            BODY_SERVED => ResponseBody::Served {
+                node: NodeId::from_index(node_raw as usize),
+            },
+            BODY_REDIRECT => ResponseBody::Redirect {
+                owner: MdsId(owner_raw),
+            },
             BODY_NOT_FOUND => ResponseBody::NotFound,
             _ => return None,
         };
-        Some(Response { id, from, body, hops })
+        Some(Response {
+            id,
+            from,
+            body,
+            hops,
+        })
     }
 }
 
@@ -192,12 +206,19 @@ mod tests {
     #[test]
     fn response_roundtrip() {
         let bodies = [
-            ResponseBody::Served { node: NodeId::from_index(7) },
+            ResponseBody::Served {
+                node: NodeId::from_index(7),
+            },
             ResponseBody::Redirect { owner: MdsId(31) },
             ResponseBody::NotFound,
         ];
         for body in bodies {
-            let resp = Response { id: RequestId(42), from: MdsId(5), body, hops: 2 };
+            let resp = Response {
+                id: RequestId(42),
+                from: MdsId(5),
+                body,
+                hops: 2,
+            };
             let mut framed = resp.encode();
             assert_eq!(Response::decode(&mut framed), Some(resp));
         }

@@ -8,8 +8,11 @@
 //! millisecond clock, so it runs identically under the live runtime and
 //! in deterministic tests.
 
+use std::sync::Arc;
+
 use d2tree_core::{AdjustPolicy, DynamicAdjuster, Heartbeat, PendingPool, Subtree};
 use d2tree_metrics::{ClusterSpec, MdsId, Migration};
+use d2tree_telemetry::{EventJournal, EventKind};
 use serde::{Deserialize, Serialize};
 
 /// Membership changes the Monitor announces.
@@ -68,25 +71,35 @@ pub struct Monitor {
     declared_dead: Vec<bool>,
     loads: Vec<f64>,
     adjuster: DynamicAdjuster,
-    events: Vec<ClusterEvent>,
+    journal: Arc<EventJournal>,
 }
 
 impl Monitor {
-    /// Creates a Monitor for a cluster of `m` servers.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `m == 0`.
+    /// Creates a Monitor for a cluster of `m` servers with its own
+    /// event journal. `m == 0` is allowed: an empty cluster has no
+    /// members to track, and every query returns its vacuous answer.
     #[must_use]
     pub fn new(config: MonitorConfig, m: usize) -> Self {
-        assert!(m > 0, "cluster must have at least one MDS");
+        Monitor::with_journal(
+            config,
+            m,
+            Arc::new(EventJournal::new(
+                d2tree_telemetry::Registry::DEFAULT_JOURNAL_CAPACITY,
+            )),
+        )
+    }
+
+    /// Creates a Monitor recording into a shared journal (so membership
+    /// events interleave with the rest of the cluster's telemetry).
+    #[must_use]
+    pub fn with_journal(config: MonitorConfig, m: usize, journal: Arc<EventJournal>) -> Self {
         Monitor {
             config,
             last_seen_ms: vec![None; m],
             declared_dead: vec![false; m],
             loads: vec![0.0; m],
             adjuster: DynamicAdjuster::new(config.policy),
-            events: Vec::new(),
+            journal,
         }
     }
 
@@ -95,9 +108,14 @@ impl Monitor {
         let k = hb.mds.index();
         self.last_seen_ms[k] = Some(now_ms);
         self.loads[k] = hb.load;
+        self.journal.record(EventKind::Heartbeat {
+            mds: hb.mds.0,
+            load: hb.load,
+        });
         if self.declared_dead[k] {
             self.declared_dead[k] = false;
-            self.events.push(ClusterEvent::MdsRecovered(hb.mds));
+            self.journal
+                .record(EventKind::MdsRecovered { mds: hb.mds.0 });
         }
     }
 
@@ -115,9 +133,8 @@ impl Monitor {
             };
             if silent {
                 self.declared_dead[k] = true;
-                let ev = ClusterEvent::MdsFailed(MdsId(k as u16));
-                self.events.push(ev);
-                fresh.push(ev);
+                self.journal.record(EventKind::MdsDown { mds: k as u16 });
+                fresh.push(ClusterEvent::MdsFailed(MdsId(k as u16)));
             }
         }
         fresh
@@ -150,10 +167,26 @@ impl Monitor {
         &self.loads
     }
 
-    /// Every membership event recorded so far.
+    /// Every membership event still retained by the journal, oldest
+    /// first. (Heartbeats and other telemetry events are filtered out;
+    /// read [`Monitor::journal`] for the full stream.)
     #[must_use]
-    pub fn events(&self) -> &[ClusterEvent] {
-        &self.events
+    pub fn events(&self) -> Vec<ClusterEvent> {
+        self.journal
+            .snapshot()
+            .into_iter()
+            .filter_map(|e| match e.kind {
+                EventKind::MdsDown { mds } => Some(ClusterEvent::MdsFailed(MdsId(mds))),
+                EventKind::MdsRecovered { mds } => Some(ClusterEvent::MdsRecovered(MdsId(mds))),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// The journal this Monitor records into.
+    #[must_use]
+    pub fn journal(&self) -> &Arc<EventJournal> {
+        &self.journal
     }
 
     /// The Monitor's pending pool (for inspection).
@@ -184,8 +217,7 @@ impl Monitor {
         cluster: &ClusterSpec,
         now_ms: u64,
     ) -> Vec<Migration> {
-        let victims: Vec<&(Subtree, MdsId)> =
-            owned.iter().filter(|(_, o)| *o == failed).collect();
+        let victims: Vec<&(Subtree, MdsId)> = owned.iter().filter(|(_, o)| *o == failed).collect();
         if victims.is_empty() {
             return Vec::new();
         }
@@ -202,7 +234,11 @@ impl Monitor {
         victims
             .into_iter()
             .zip(buckets)
-            .map(|((s, _), b)| Migration { node: s.root, from: failed, to: survivors[b] })
+            .map(|((s, _), b)| Migration {
+                node: s.root,
+                from: failed,
+                to: survivors[b],
+            })
             .collect()
     }
 }
@@ -213,11 +249,19 @@ mod tests {
     use d2tree_namespace::NodeId;
 
     fn hb(k: u16, load: f64) -> Heartbeat {
-        Heartbeat { mds: MdsId(k), load }
+        Heartbeat {
+            mds: MdsId(k),
+            load,
+        }
     }
 
     fn subtree(i: usize, pop: f64) -> Subtree {
-        Subtree { root: NodeId::from_index(i + 1), parent: NodeId::ROOT, popularity: pop, size: 1 }
+        Subtree {
+            root: NodeId::from_index(i + 1),
+            parent: NodeId::ROOT,
+            popularity: pop,
+            size: 1,
+        }
     }
 
     #[test]
@@ -228,7 +272,10 @@ mod tests {
         assert!(mon.detect_failures(400).is_empty());
         let events = mon.detect_failures(500);
         assert_eq!(events.len(), 2);
-        assert!(mon.detect_failures(600).is_empty(), "failures are declared once");
+        assert!(
+            mon.detect_failures(600).is_empty(),
+            "failures are declared once"
+        );
     }
 
     #[test]
@@ -239,7 +286,10 @@ mod tests {
         assert!(!mon.is_alive(MdsId(0), 1_000));
         mon.on_heartbeat(hb(0, 1.0), 1_100);
         assert!(mon.is_alive(MdsId(0), 1_150));
-        assert!(matches!(mon.events().last(), Some(ClusterEvent::MdsRecovered(_))));
+        assert!(matches!(
+            mon.events().last(),
+            Some(ClusterEvent::MdsRecovered(_))
+        ));
     }
 
     #[test]
@@ -284,6 +334,46 @@ mod tests {
         let mon = Monitor::new(MonitorConfig::default(), 1);
         let owned = vec![(subtree(0, 1.0), MdsId(0))];
         assert!(mon.plan_failover(MdsId(0), &owned, &cluster, 0).is_empty());
+    }
+
+    #[test]
+    fn heartbeat_exactly_at_timeout_boundary_is_dead() {
+        // failure_timeout_ms = 500 and detection uses `>=`: one instant
+        // before the boundary the MDS is alive, at the boundary it is
+        // declared dead.
+        let mut mon = Monitor::new(MonitorConfig::default(), 1);
+        mon.on_heartbeat(hb(0, 1.0), 100);
+        assert!(mon.is_alive(MdsId(0), 599));
+        assert!(mon.detect_failures(599).is_empty());
+        assert!(!mon.is_alive(MdsId(0), 600));
+        assert_eq!(mon.detect_failures(600).len(), 1);
+    }
+
+    #[test]
+    fn zero_mds_cluster_is_inert() {
+        let mut mon = Monitor::new(MonitorConfig::default(), 0);
+        assert!(mon.detect_failures(1_000_000).is_empty());
+        assert_eq!(mon.alive_count(0), 0);
+        assert!(mon.events().is_empty());
+        assert!(mon.loads().is_empty());
+    }
+
+    #[test]
+    fn journal_orders_down_before_recovery() {
+        let mut mon = Monitor::new(MonitorConfig::default(), 1);
+        mon.on_heartbeat(hb(0, 1.0), 0);
+        let _ = mon.detect_failures(1_000);
+        mon.on_heartbeat(hb(0, 2.0), 1_100);
+        let membership: Vec<&'static str> = mon
+            .journal()
+            .snapshot()
+            .iter()
+            .map(|e| e.kind.label())
+            .filter(|l| *l != "heartbeat")
+            .collect();
+        assert_eq!(membership, vec!["mds_down", "mds_recovered"]);
+        let seqs: Vec<u64> = mon.journal().snapshot().iter().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]));
     }
 
     #[test]

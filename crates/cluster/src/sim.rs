@@ -20,11 +20,13 @@
 
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::Arc;
 
 use d2tree_namespace::NodeId;
 
-use d2tree_namespace::NamespaceTree;
 use d2tree_core::Partitioner;
+use d2tree_namespace::NamespaceTree;
+use d2tree_telemetry::{names, LocalHistogram, MetricKey, Registry};
 use d2tree_workload::{OpKind, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -161,6 +163,80 @@ struct Server {
     busy_ns: u64,
 }
 
+/// Per-replay telemetry accumulator. The event loop is single-threaded,
+/// so everything is buffered in plain (non-atomic) locals and flushed to
+/// the shared [`Registry`] once at the end of the replay — the per-event
+/// cost of enabled telemetry is ordinary integer arithmetic.
+struct ReplayTelemetry {
+    ops: Vec<u64>,
+    queue_depth: Vec<u64>,
+    queue_peak: Vec<u64>,
+    latency_all: LocalHistogram,
+    latency_read: LocalHistogram,
+    latency_write: LocalHistogram,
+    latency_update: LocalHistogram,
+}
+
+impl ReplayTelemetry {
+    fn new(m: usize) -> Self {
+        ReplayTelemetry {
+            ops: vec![0; m],
+            queue_depth: vec![0; m],
+            queue_peak: vec![0; m],
+            latency_all: LocalHistogram::new(),
+            latency_read: LocalHistogram::new(),
+            latency_write: LocalHistogram::new(),
+            latency_update: LocalHistogram::new(),
+        }
+    }
+
+    fn record_latency(&mut self, kind: OpKind, latency_ns: u64) {
+        let us = latency_ns / 1_000;
+        self.latency_all.record(us);
+        match kind {
+            OpKind::Read => self.latency_read.record(us),
+            OpKind::Write => self.latency_write.record(us),
+            OpKind::Update => self.latency_update.record(us),
+        }
+    }
+
+    fn queue_pushed(&mut self, server: usize, depth: usize) {
+        self.queue_depth[server] = depth as u64;
+        self.queue_peak[server] = self.queue_peak[server].max(depth as u64);
+    }
+
+    fn queue_popped(&mut self, server: usize, depth: usize) {
+        self.queue_depth[server] = depth as u64;
+    }
+
+    /// Publishes everything accumulated during the replay.
+    fn flush(&self, registry: &Registry) {
+        for (k, &n) in self.ops.iter().enumerate() {
+            registry
+                .counter(MetricKey::mds(names::MDS_OPS_TOTAL, k as u16))
+                .add(n);
+        }
+        for (k, &d) in self.queue_depth.iter().enumerate() {
+            registry
+                .gauge(MetricKey::mds(names::MDS_QUEUE_DEPTH, k as u16))
+                .set(d);
+        }
+        for (k, &p) in self.queue_peak.iter().enumerate() {
+            registry
+                .gauge(MetricKey::mds(names::MDS_QUEUE_DEPTH_PEAK, k as u16))
+                .max(p);
+        }
+        self.latency_all
+            .flush_into(&registry.histogram(MetricKey::global(names::OP_LATENCY_US)));
+        self.latency_read
+            .flush_into(&registry.histogram(MetricKey::global(names::OP_LATENCY_US_READ)));
+        self.latency_write
+            .flush_into(&registry.histogram(MetricKey::global(names::OP_LATENCY_US_WRITE)));
+        self.latency_update
+            .flush_into(&registry.histogram(MetricKey::global(names::OP_LATENCY_US_UPDATE)));
+    }
+}
+
 /// The discrete-event simulator.
 ///
 /// # Example
@@ -186,6 +262,7 @@ struct Server {
 #[derive(Debug, Clone)]
 pub struct Simulator {
     config: SimConfig,
+    registry: Option<Arc<Registry>>,
 }
 
 impl Simulator {
@@ -197,8 +274,29 @@ impl Simulator {
     #[must_use]
     pub fn new(config: SimConfig) -> Self {
         assert!(config.clients > 0, "need at least one client");
-        assert!(config.workers_per_mds > 0, "need at least one worker per MDS");
-        Simulator { config }
+        assert!(
+            config.workers_per_mds > 0,
+            "need at least one worker per MDS"
+        );
+        Simulator {
+            config,
+            registry: None,
+        }
+    }
+
+    /// Attaches a telemetry registry: subsequent replays record per-MDS
+    /// op counts, busy time, queue depths and per-op-type latency
+    /// histograms into it.
+    #[must_use]
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The attached telemetry registry, if any.
+    #[must_use]
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
     }
 
     /// The configuration in use.
@@ -250,7 +348,11 @@ impl Simulator {
 
         for r in 0..rounds {
             let start = r * chunk;
-            let end = if r + 1 == rounds { trace.len() } else { start + chunk };
+            let end = if r + 1 == rounds {
+                trace.len()
+            } else {
+                start + chunk
+            };
             let sub = Trace::from_ops(trace.ops()[start..end].to_vec());
 
             let out = self.replay(tree, &sub, scheme);
@@ -296,7 +398,11 @@ impl Simulator {
         }
         let mut overall = merged.expect("at least one round ran");
         overall.throughput = overall.completed as f64 / overall.sim_seconds;
-        RebalancedReplay { overall, balance_per_round, migrations_per_round }
+        RebalancedReplay {
+            overall,
+            balance_per_round,
+            migrations_per_round,
+        }
     }
 
     /// Replays `trace` against `scheme`'s current placement and routing.
@@ -316,9 +422,14 @@ impl Simulator {
         scheme: &dyn Partitioner,
     ) -> ReplayOutcome {
         let m = scheme.placement().cluster_size();
+        let mut tel = self.registry.is_some().then(|| ReplayTelemetry::new(m));
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mut servers: Vec<Server> = (0..m)
-            .map(|_| Server { busy_workers: 0, queue: VecDeque::new(), busy_ns: 0 })
+            .map(|_| Server {
+                busy_workers: 0,
+                queue: VecDeque::new(),
+                busy_ns: 0,
+            })
             .collect();
         // Per-node lock state: nodes currently held, and FIFO waiters.
         let mut locked: std::collections::HashSet<NodeId> = std::collections::HashSet::new();
@@ -341,9 +452,9 @@ impl Simulator {
         const TAG_APPLY_DONE: u8 = 5;
 
         let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, u32, u8)>>,
-                        seq: &mut u64,
-                        t: u64,
-                        ev: Event| {
+                    seq: &mut u64,
+                    t: u64,
+                    ev: Event| {
             let (client, tag) = match ev {
                 Event::Issue { client } => (client, TAG_ISSUE),
                 Event::Arrive { client } => (client, TAG_ARRIVE),
@@ -413,6 +524,9 @@ impl Simulator {
                         push(&mut heap, &mut seq, t + svc, Event::ServeDone { client });
                     } else {
                         servers[server].queue.push_back(Job::Request(client));
+                        if let Some(tel) = &mut tel {
+                            tel.queue_pushed(server, servers[server].queue.len());
+                        }
                     }
                 }
                 TAG_SERVE_DONE => {
@@ -432,25 +546,43 @@ impl Simulator {
                             let svc = self.service_ns(nstate.kind, terminal);
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
-                            push(&mut heap, &mut seq, t + svc, Event::ServeDone {
-                                client: next_client,
-                            });
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + svc,
+                                Event::ServeDone {
+                                    client: next_client,
+                                },
+                            );
                         }
                         Some(Job::Apply) => {
                             let svc = self.config.replica_apply_ns;
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
-                            push(&mut heap, &mut seq, t + svc, Event::ApplyDone {
-                                server: server as u32,
-                            });
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + svc,
+                                Event::ApplyDone {
+                                    server: server as u32,
+                                },
+                            );
                         }
                         None => {}
                     }
+                    if let Some(tel) = &mut tel {
+                        tel.queue_popped(server, servers[server].queue.len());
+                    }
                     if finished {
                         let state = states[c].take().expect("request state");
-                        served_ops[state.visits.last().expect("non-empty").index()] += 1;
+                        let served_by = state.visits.last().expect("non-empty").index();
+                        served_ops[served_by] += 1;
                         let done_at = t + self.config.client_latency_ns;
                         latencies.push(done_at - state.issued_at);
+                        if let Some(tel) = &mut tel {
+                            tel.ops[served_by] += 1;
+                            tel.record_latency(state.kind, done_at - state.issued_at);
+                        }
                         completed += 1;
                         push(&mut heap, &mut seq, done_at, Event::Issue { client });
                     } else {
@@ -478,9 +610,14 @@ impl Simulator {
                     match lock_waiters.get_mut(&node).and_then(VecDeque::pop_front) {
                         Some(next_client) => {
                             lock_busy_ns += hold_ns;
-                            push(&mut heap, &mut seq, t + hold_ns, Event::LockDone {
-                                client: next_client,
-                            });
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + hold_ns,
+                                Event::LockDone {
+                                    client: next_client,
+                                },
+                            );
                         }
                         None => {
                             locked.remove(&node);
@@ -506,13 +643,21 @@ impl Simulator {
                             );
                         } else {
                             server.queue.push_back(Job::Apply);
+                            if let Some(tel) = &mut tel {
+                                tel.queue_pushed(s, server.queue.len());
+                            }
                         }
                     }
                     // The op itself is charged to the MDS the client first
                     // contacted (the commit leader).
-                    served_ops[state.visits[0].index()] += 1;
+                    let served_by = state.visits[0].index();
+                    served_ops[served_by] += 1;
                     let done_at = t + self.config.client_latency_ns;
                     latencies.push(done_at - state.issued_at);
+                    if let Some(tel) = &mut tel {
+                        tel.ops[served_by] += 1;
+                        tel.record_latency(state.kind, done_at - state.issued_at);
+                    }
                     completed += 1;
                     push(&mut heap, &mut seq, done_at, Event::Issue { client });
                 }
@@ -527,19 +672,32 @@ impl Simulator {
                             let svc = self.service_ns(nstate.kind, terminal);
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
-                            push(&mut heap, &mut seq, t + svc, Event::ServeDone {
-                                client: next_client,
-                            });
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + svc,
+                                Event::ServeDone {
+                                    client: next_client,
+                                },
+                            );
                         }
                         Some(Job::Apply) => {
                             let svc = self.config.replica_apply_ns;
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
-                            push(&mut heap, &mut seq, t + svc, Event::ApplyDone {
-                                server: server as u32,
-                            });
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + svc,
+                                Event::ApplyDone {
+                                    server: server as u32,
+                                },
+                            );
                         }
                         None => {}
+                    }
+                    if let Some(tel) = &mut tel {
+                        tel.queue_popped(server, servers[server].queue.len());
                     }
                 }
                 _ => unreachable!("unknown event tag"),
@@ -558,13 +716,30 @@ impl Simulator {
         } else {
             latencies[(latencies.len() * 99 / 100).min(latencies.len() - 1)] as f64 / 1e3
         };
+        let server_busy_ns: Vec<u64> = servers.into_iter().map(|s| s.busy_ns).collect();
+        if let Some(registry) = self.registry.as_deref() {
+            if let Some(tel) = &tel {
+                tel.flush(registry);
+            }
+            for (k, &busy) in server_busy_ns.iter().enumerate() {
+                registry
+                    .counter(MetricKey::mds(names::MDS_BUSY_NS, k as u16))
+                    .add(busy);
+            }
+            registry
+                .counter(MetricKey::global(names::LOCK_BUSY_NS))
+                .add(lock_busy_ns);
+            registry
+                .counter(MetricKey::global(names::ROUTE_EXTRA_HOPS))
+                .add(total_hops);
+        }
         ReplayOutcome {
             completed,
             sim_seconds,
             throughput: completed as f64 / sim_seconds,
             mean_latency_us,
             p99_latency_us,
-            server_busy_ns: servers.into_iter().map(|s| s.busy_ns).collect(),
+            server_busy_ns,
             served_ops,
             lock_busy_ns,
             total_hops,
@@ -581,17 +756,19 @@ mod tests {
     use d2tree_workload::{TraceProfile, WorkloadBuilder};
 
     fn workload(ops: usize) -> (d2tree_workload::Workload, d2tree_namespace::Popularity) {
-        let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(1_500).with_operations(ops),
-        )
-        .seed(3)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(1_500).with_operations(ops))
+            .seed(3)
+            .build();
         let pop = w.popularity();
         (w, pop)
     }
 
     fn sim(clients: usize) -> Simulator {
-        Simulator::new(SimConfig { clients, seed: 1, ..SimConfig::default() })
+        Simulator::new(SimConfig {
+            clients,
+            seed: 1,
+            ..SimConfig::default()
+        })
     }
 
     #[test]
@@ -656,17 +833,18 @@ mod tests {
 
     #[test]
     fn update_heavy_trace_contends_on_the_lock() {
-        let w = WorkloadBuilder::new(
-            TraceProfile::ra().with_nodes(1_500).with_operations(4_000),
-        )
-        .seed(4)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::ra().with_nodes(1_500).with_operations(4_000))
+            .seed(4)
+            .build();
         let pop = w.popularity();
         let cluster = ClusterSpec::homogeneous(8, 1.0);
         let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
         scheme.build(&w.tree, &pop, &cluster);
         let out = sim(64).replay(&w.tree, &w.trace, &scheme);
-        assert!(out.lock_busy_ns > 0, "RA updates must exercise the lock service");
+        assert!(
+            out.lock_busy_ns > 0,
+            "RA updates must exercise the lock service"
+        );
     }
 
     #[test]
@@ -706,11 +884,71 @@ mod tests {
         let cluster = ClusterSpec::homogeneous(3, 1.0);
         let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
         scheme.build(&w.tree, &pop, &cluster);
-        let config = SimConfig { clients: 32, seed: 1, ..SimConfig::default() };
+        let config = SimConfig {
+            clients: 32,
+            seed: 1,
+            ..SimConfig::default()
+        };
         let out = Simulator::new(config).replay(&w.tree, &w.trace, &scheme);
         for u in out.utilization(config.workers_per_mds) {
-            assert!((0.0..=1.0 + 1e-9).contains(&u), "utilisation {u} out of range");
+            assert!(
+                (0.0..=1.0 + 1e-9).contains(&u),
+                "utilisation {u} out of range"
+            );
         }
+    }
+
+    #[test]
+    fn telemetry_agrees_with_outcome_and_leaves_results_unchanged() {
+        let (w, pop) = workload(2_000);
+        let cluster = ClusterSpec::homogeneous(3, 1.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let registry = Arc::new(Registry::new());
+        let out = sim(16)
+            .with_registry(Arc::clone(&registry))
+            .replay(&w.tree, &w.trace, &scheme);
+
+        let per_mds_ops: u64 = (0..3)
+            .map(|k| {
+                registry
+                    .counter(MetricKey::mds(names::MDS_OPS_TOTAL, k))
+                    .get()
+            })
+            .sum();
+        assert_eq!(per_mds_ops, out.completed as u64);
+        for (k, &served) in out.served_ops.iter().enumerate() {
+            assert_eq!(
+                registry
+                    .counter(MetricKey::mds(names::MDS_OPS_TOTAL, k as u16))
+                    .get(),
+                served
+            );
+            assert_eq!(
+                registry
+                    .counter(MetricKey::mds(names::MDS_BUSY_NS, k as u16))
+                    .get(),
+                out.server_busy_ns[k]
+            );
+        }
+        let h = registry.histogram(MetricKey::global(names::OP_LATENCY_US));
+        assert_eq!(h.count(), out.completed as u64);
+        let p99 = h.quantile(0.99) as f64;
+        assert!(
+            (p99 - out.p99_latency_us).abs() <= out.p99_latency_us * 0.08 + 1.0,
+            "histogram p99 {p99} vs exact {}",
+            out.p99_latency_us
+        );
+        assert_eq!(
+            registry
+                .counter(MetricKey::global(names::ROUTE_EXTRA_HOPS))
+                .get(),
+            out.total_hops
+        );
+
+        // Telemetry must be purely observational.
+        let plain = sim(16).replay(&w.tree, &w.trace, &scheme);
+        assert_eq!(plain, out);
     }
 
     #[test]
@@ -720,8 +958,11 @@ mod tests {
         let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
         scheme.build(&w.tree, &pop, &cluster);
         // More clients than operations: the simulator clamps.
-        let out = Simulator::new(SimConfig { clients: 5_000, ..SimConfig::default() })
-            .replay(&w.tree, &w.trace, &scheme);
+        let out = Simulator::new(SimConfig {
+            clients: 5_000,
+            ..SimConfig::default()
+        })
+        .replay(&w.tree, &w.trace, &scheme);
         assert_eq!(out.completed, 1_000);
     }
 }

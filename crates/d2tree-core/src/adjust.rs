@@ -1,8 +1,11 @@
 //! Dynamic-Adjustment: heartbeat-driven rebalancing through the Monitor's
 //! pending pool, plus periodic global-layer re-cuts.
 
-use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
+use std::sync::Arc;
+
 use d2tree_metrics::{ClusterSpec, MdsId, Migration};
+use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
+use d2tree_telemetry::{EventJournal, EventKind};
 use serde::{Deserialize, Serialize};
 
 use crate::allocate::Subtree;
@@ -89,7 +92,10 @@ pub struct AdjustPolicy {
 impl Default for AdjustPolicy {
     fn default() -> Self {
         // 5% hysteresis above ideal triggers shedding, shed back to ideal.
-        AdjustPolicy { overload_factor: 1.05, shed_target: 1.0 }
+        AdjustPolicy {
+            overload_factor: 1.05,
+            shed_target: 1.0,
+        }
     }
 }
 
@@ -100,13 +106,27 @@ impl Default for AdjustPolicy {
 pub struct DynamicAdjuster {
     policy: AdjustPolicy,
     pool: PendingPool,
+    journal: Option<Arc<EventJournal>>,
 }
 
 impl DynamicAdjuster {
     /// Creates an adjuster with the given policy.
     #[must_use]
     pub fn new(policy: AdjustPolicy) -> Self {
-        DynamicAdjuster { policy, pool: PendingPool::new() }
+        DynamicAdjuster {
+            policy,
+            pool: PendingPool::new(),
+            journal: None,
+        }
+    }
+
+    /// Attaches a telemetry journal; every shed and claim the adjuster
+    /// decides is then recorded as a structured event (with subtree size
+    /// and popularity).
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<EventJournal>) -> Self {
+        self.journal = Some(journal);
+        self
     }
 
     /// The current pending pool.
@@ -166,6 +186,14 @@ impl DynamicAdjuster {
                 let (subtree, _) = *mine.remove(pick);
                 i = pick.min(mine.len().saturating_sub(1));
                 load -= subtree.popularity;
+                if let Some(journal) = &self.journal {
+                    journal.record(EventKind::SubtreeShed {
+                        from: mds.0,
+                        subtree: subtree.root.index() as u64,
+                        size: subtree.size as u64,
+                        popularity: subtree.popularity,
+                    });
+                }
                 self.pool.offer(PoolEntry { subtree, from: mds });
                 if pick == mine.len() {
                     break; // shed the smallest; nothing else can help
@@ -195,12 +223,23 @@ impl DynamicAdjuster {
         entries
             .into_iter()
             .zip(buckets)
-            .map(|(e, b)| Migration {
-                node: e.subtree.root,
-                from: e.from,
-                to: MdsId(b as u16),
+            .filter(|(e, b)| e.from != MdsId(*b as u16))
+            .map(|(e, b)| {
+                let to = MdsId(b as u16);
+                if let Some(journal) = &self.journal {
+                    journal.record(EventKind::SubtreeClaimed {
+                        to: to.0,
+                        subtree: e.subtree.root.index() as u64,
+                        size: e.subtree.size as u64,
+                        popularity: e.subtree.popularity,
+                    });
+                }
+                Migration {
+                    node: e.subtree.root,
+                    from: e.from,
+                    to,
+                }
             })
-            .filter(|mig| mig.from != mig.to)
             .collect()
     }
 }
@@ -222,6 +261,16 @@ impl RecutPlan {
     #[must_use]
     pub fn churn(&self) -> usize {
         self.promoted.len() + self.demoted.len()
+    }
+
+    /// Records this re-cut in a telemetry journal as a
+    /// [`EventKind::GlRecut`] event.
+    pub fn record_to(&self, journal: &EventJournal) {
+        journal.record(EventKind::GlRecut {
+            promoted: self.promoted.len() as u64,
+            demoted: self.demoted.len() as u64,
+            churn: self.churn() as u64,
+        });
     }
 }
 
@@ -256,7 +305,11 @@ where
         .copied()
         .filter(|&id| !new_layer.contains(id))
         .collect();
-    RecutPlan { new_layer, promoted, demoted }
+    RecutPlan {
+        new_layer,
+        promoted,
+        demoted,
+    }
 }
 
 #[cfg(test)]
@@ -275,8 +328,7 @@ mod tests {
     #[test]
     fn balanced_cluster_produces_no_migrations() {
         let cluster = ClusterSpec::homogeneous(2, 100.0);
-        let owned =
-            vec![(subtree(0, 10.0), MdsId(0)), (subtree(1, 10.0), MdsId(1))];
+        let owned = vec![(subtree(0, 10.0), MdsId(0)), (subtree(1, 10.0), MdsId(1))];
         let mut adj = DynamicAdjuster::new(AdjustPolicy::default());
         assert!(adj.rebalance(&owned, &cluster).is_empty());
         assert!(adj.pool().is_empty());
@@ -294,11 +346,20 @@ mod tests {
         let mut adj = DynamicAdjuster::new(AdjustPolicy::default());
         let migrations = adj.rebalance(&owned, &cluster);
         assert!(!migrations.is_empty());
-        assert!(migrations.iter().all(|m| m.from == MdsId(0) && m.to == MdsId(1)));
+        assert!(migrations
+            .iter()
+            .all(|m| m.from == MdsId(0) && m.to == MdsId(1)));
         // Shedding should move about half the load.
         let moved: f64 = migrations
             .iter()
-            .map(|m| owned.iter().find(|(s, _)| s.root == m.node).unwrap().0.popularity)
+            .map(|m| {
+                owned
+                    .iter()
+                    .find(|(s, _)| s.root == m.node)
+                    .unwrap()
+                    .0
+                    .popularity
+            })
             .sum();
         assert!((moved - 20.0).abs() < 10.0 + 1e-9);
     }
@@ -347,7 +408,10 @@ mod tests {
             })
             .collect();
         let second = adj.rebalance(&rebalanced, &cluster);
-        assert!(second.len() <= 1, "should be settled or nearly so: {second:?}");
+        assert!(
+            second.len() <= 1,
+            "should be settled or nearly so: {second:?}"
+        );
     }
 
     #[test]
@@ -361,13 +425,57 @@ mod tests {
     fn pool_accounting() {
         let mut pool = PendingPool::new();
         assert!(pool.is_empty());
-        pool.offer(PoolEntry { subtree: subtree(0, 5.0), from: MdsId(0) });
-        pool.offer(PoolEntry { subtree: subtree(1, 7.0), from: MdsId(1) });
+        pool.offer(PoolEntry {
+            subtree: subtree(0, 5.0),
+            from: MdsId(0),
+        });
+        pool.offer(PoolEntry {
+            subtree: subtree(1, 7.0),
+            from: MdsId(1),
+        });
         assert_eq!(pool.len(), 2);
         assert_eq!(pool.total_popularity(), 12.0);
         let drained = pool.drain_all();
         assert_eq!(drained.len(), 2);
         assert!(pool.is_empty());
+    }
+
+    #[test]
+    fn journal_records_sheds_and_claims_with_size_and_popularity() {
+        let journal = Arc::new(EventJournal::new(64));
+        let cluster = ClusterSpec::homogeneous(2, 100.0);
+        let owned = vec![
+            (subtree(0, 10.0), MdsId(0)),
+            (subtree(1, 10.0), MdsId(0)),
+            (subtree(2, 10.0), MdsId(0)),
+            (subtree(3, 10.0), MdsId(0)),
+        ];
+        let mut adj =
+            DynamicAdjuster::new(AdjustPolicy::default()).with_journal(Arc::clone(&journal));
+        let migrations = adj.rebalance(&owned, &cluster);
+        assert!(!migrations.is_empty());
+        let events = journal.snapshot();
+        let sheds: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::SubtreeShed {
+                    from,
+                    size,
+                    popularity,
+                    ..
+                } => Some((from, size, popularity)),
+                _ => None,
+            })
+            .collect();
+        assert!(!sheds.is_empty());
+        assert!(sheds
+            .iter()
+            .all(|&(from, size, pop)| from == 0 && size == 1 && pop == 10.0));
+        let claims = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::SubtreeClaimed { to: 1, .. }))
+            .count();
+        assert_eq!(claims, migrations.len());
     }
 
     #[test]
@@ -393,5 +501,16 @@ mod tests {
         assert_eq!(plan.demoted, vec![a]);
         assert_eq!(plan.churn(), 2);
         assert!(plan.new_layer.contains(b));
+
+        let journal = EventJournal::new(8);
+        plan.record_to(&journal);
+        assert!(matches!(
+            journal.snapshot()[0].kind,
+            EventKind::GlRecut {
+                promoted: 1,
+                demoted: 1,
+                churn: 2
+            }
+        ));
     }
 }

@@ -1,8 +1,8 @@
 //! Subtree-Allocation: mirror division of local-layer subtrees onto MDSs.
 
-use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
 use d2tree_metrics::mirror::mirror_divide;
 use d2tree_metrics::{ClusterSpec, MdsId};
+use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
@@ -28,11 +28,7 @@ pub struct Subtree {
 ///
 /// In debug builds, panics if `pop` is not rolled up.
 #[must_use]
-pub fn collect_subtrees(
-    tree: &NamespaceTree,
-    gl: &GlobalLayer,
-    pop: &Popularity,
-) -> Vec<Subtree> {
+pub fn collect_subtrees(tree: &NamespaceTree, gl: &GlobalLayer, pop: &Popularity) -> Vec<Subtree> {
     let mut subtrees = Vec::new();
     for &inter in &gl.inter_nodes(tree) {
         let node = tree.node(inter).expect("inter nodes are live");
@@ -116,9 +112,9 @@ pub fn allocate_sampled<R: Rng + ?Sized>(
         SampleStrategy::Uniform => (0..sample_size)
             .map(|_| subtrees[rng.gen_range(0..subtrees.len())].popularity)
             .collect(),
-        SampleStrategy::TreeWalk => {
-            (0..sample_size).map(|_| tree_walk_sample(tree, gl, subtrees, rng)).collect()
-        }
+        SampleStrategy::TreeWalk => (0..sample_size)
+            .map(|_| tree_walk_sample(tree, gl, subtrees, rng))
+            .collect(),
     };
     let sample_total: f64 = sample.iter().sum();
 
@@ -148,7 +144,9 @@ pub fn allocate_sampled<R: Rng + ?Sized>(
             } else {
                 jitter
             };
-            let bucket = cap_bounds.partition_point(|&b| b < index).min(cluster.len() - 1);
+            let bucket = cap_bounds
+                .partition_point(|&b| b < index)
+                .min(cluster.len() - 1);
             MdsId(bucket as u16)
         })
         .collect()
@@ -198,7 +196,9 @@ mod tests {
 
     fn workload() -> (NamespaceTree, Popularity, GlobalLayer, Vec<Subtree>) {
         let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(3_000).with_operations(60_000),
+            TraceProfile::dtr()
+                .with_nodes(3_000)
+                .with_operations(60_000),
         )
         .seed(2)
         .build();
@@ -294,7 +294,10 @@ mod tests {
         let weights: Vec<f64> = subtrees.iter().map(|s| s.popularity).collect();
         let buckets: Vec<usize> = owners.iter().map(|m| m.index()).collect();
         let loads = bucket_loads(&weights, &buckets, 2);
-        assert!(loads[1] > loads[0], "the 3x-capacity server takes more load");
+        assert!(
+            loads[1] > loads[0],
+            "the 3x-capacity server takes more load"
+        );
     }
 
     #[test]

@@ -7,8 +7,8 @@
 
 use std::collections::HashMap;
 
-use d2tree_namespace::{NamespaceTree, NodeId};
 use d2tree_metrics::MdsId;
+use d2tree_namespace::{NamespaceTree, NodeId};
 use serde::{Deserialize, Serialize};
 
 /// Versioned map from local-layer subtree roots to their owning MDS.

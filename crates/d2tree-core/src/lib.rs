@@ -53,7 +53,7 @@ pub use adjust::{
 pub use allocate::{allocate_full, allocate_sampled, collect_subtrees, SampleStrategy, Subtree};
 pub use index::LocalIndex;
 pub use scheme::{AccessPlan, D2TreeConfig, D2TreeScheme, Partitioner};
-pub use validate::{check_d2tree, check_placement, Violation};
 pub use split::{
     split_to_proportion, tree_split, GlobalLayer, ImpliedBounds, SplitBounds, SplitError,
 };
+pub use validate::{check_d2tree, check_placement, Violation};

@@ -1,11 +1,11 @@
 //! The pluggable partitioning-scheme interface and the D2-Tree
 //! implementation of it.
 
-use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
 use d2tree_metrics::{
     locality_from_jumps, path_jumps, Assignment, ClusterSpec, LocalityReport, MdsId, Migration,
     Placement,
 };
+use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
 use rand::rngs::StdRng;
 use rand::{Rng, RngCore, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -92,7 +92,10 @@ pub fn chain_route(
         let any = MdsId(rng.gen_range(0..placement.cluster_size()) as u16);
         visits.push(any);
     }
-    AccessPlan { visits, target_replicated }
+    AccessPlan {
+        visits,
+        target_replicated,
+    }
 }
 
 /// A namespace partitioning scheme: D2-Tree or any of the baselines.
@@ -231,7 +234,10 @@ impl D2TreeConfig {
     /// Selects the global layer by explicit Alg. 1 bounds.
     #[must_use]
     pub fn by_bounds(bounds: SplitBounds) -> Self {
-        D2TreeConfig { split: SplitSpec::Bounds(bounds), ..Self::by_proportion(0.01) }
+        D2TreeConfig {
+            split: SplitSpec::Bounds(bounds),
+            ..Self::by_proportion(0.01)
+        }
     }
 
     /// Enables sampled allocation.
@@ -293,7 +299,12 @@ impl D2TreeScheme {
     #[must_use]
     pub fn new(config: D2TreeConfig) -> Self {
         let rng = StdRng::seed_from_u64(config.seed);
-        D2TreeScheme { config, update_pop: None, state: None, rng }
+        D2TreeScheme {
+            config,
+            update_pop: None,
+            state: None,
+            rng,
+        }
     }
 
     /// Supplies measured per-node *update* popularity, used as the Alg. 1
@@ -327,15 +338,9 @@ impl D2TreeScheme {
         let subtrees = collect_subtrees(tree, &layer, pop);
         let owners = match self.config.sampling {
             None => allocate_full(&subtrees, cluster),
-            Some((strategy, k)) => allocate_sampled(
-                &subtrees,
-                cluster,
-                tree,
-                &layer,
-                strategy,
-                k,
-                &mut self.rng,
-            ),
+            Some((strategy, k)) => {
+                allocate_sampled(&subtrees, cluster, tree, &layer, strategy, k, &mut self.rng)
+            }
         };
 
         let mut placement = Placement::new(tree, cluster.len());
@@ -352,11 +357,12 @@ impl D2TreeScheme {
                     ll_loads[o.index()] += s.popularity;
                 }
                 let mut order: Vec<usize> = (0..cluster.len()).collect();
-                order.sort_by(|&a, &b| {
-                    ll_loads[a].total_cmp(&ll_loads[b]).then(a.cmp(&b))
-                });
-                let subset: Vec<MdsId> =
-                    order.into_iter().take(limit).map(|k| MdsId(k as u16)).collect();
+                order.sort_by(|&a, &b| ll_loads[a].total_cmp(&ll_loads[b]).then(a.cmp(&b)));
+                let subset: Vec<MdsId> = order
+                    .into_iter()
+                    .take(limit)
+                    .map(|k| MdsId(k as u16))
+                    .collect();
                 placement.set_replicas(d2tree_metrics::ReplicaSet::Subset(subset));
             }
         }
@@ -455,7 +461,8 @@ impl Partitioner for D2TreeScheme {
     /// Panics if Alg. 1 bounds are infeasible; use
     /// [`D2TreeScheme::try_build`] to handle that case.
     fn build(&mut self, tree: &NamespaceTree, pop: &Popularity, cluster: &ClusterSpec) {
-        self.try_build(tree, pop, cluster).expect("split bounds are infeasible");
+        self.try_build(tree, pop, cluster)
+            .expect("split bounds are infeasible");
     }
 
     fn placement(&self) -> &Placement {
@@ -477,7 +484,10 @@ impl Partitioner for D2TreeScheme {
                 d2tree_metrics::ReplicaSet::All => MdsId(rng.gen_range(0..m) as u16),
                 d2tree_metrics::ReplicaSet::Subset(set) => set[rng.gen_range(0..set.len())],
             };
-            return AccessPlan { visits: vec![any], target_replicated: true };
+            return AccessPlan {
+                visits: vec![any],
+                target_replicated: true,
+            };
         }
         let (_, owner) = s
             .index
@@ -492,10 +502,16 @@ impl Partitioner for D2TreeScheme {
         if rng.gen_range(0.0..1.0) < miss {
             let first = MdsId(rng.gen_range(0..m) as u16);
             if first != owner {
-                return AccessPlan { visits: vec![first, owner], target_replicated: false };
+                return AccessPlan {
+                    visits: vec![first, owner],
+                    target_replicated: false,
+                };
             }
         }
-        AccessPlan { visits: vec![owner], target_replicated: false }
+        AccessPlan {
+            visits: vec![owner],
+            target_replicated: false,
+        }
     }
 
     fn rebalance(
@@ -509,8 +525,12 @@ impl Partitioner for D2TreeScheme {
         for s in &mut state.subtrees {
             s.popularity = pop.total(s.root);
         }
-        let owned: Vec<(Subtree, MdsId)> =
-            state.subtrees.iter().copied().zip(state.owners.iter().copied()).collect();
+        let owned: Vec<(Subtree, MdsId)> = state
+            .subtrees
+            .iter()
+            .copied()
+            .zip(state.owners.iter().copied())
+            .collect();
         let migrations = state.adjuster.rebalance(&owned, cluster);
         for m in &migrations {
             if let Some(slot) = state.subtrees.iter().position(|s| s.root == m.node) {
@@ -531,7 +551,9 @@ mod tests {
 
     fn built(nodes: usize, m: usize) -> (d2tree_workload::Workload, Popularity, D2TreeScheme) {
         let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(nodes).with_operations(nodes * 20),
+            TraceProfile::dtr()
+                .with_nodes(nodes)
+                .with_operations(nodes * 20),
         )
         .seed(7)
         .build();
@@ -547,7 +569,10 @@ mod tests {
         let placement = scheme.placement();
         assert!(placement.is_complete(&w.tree));
         // GL proportion target: 1% of 2000 = 20 nodes.
-        assert_eq!(placement.replicated_count(&w.tree), scheme.global_layer().len());
+        assert_eq!(
+            placement.replicated_count(&w.tree),
+            scheme.global_layer().len()
+        );
         assert_eq!(scheme.global_layer().len(), 20);
     }
 
@@ -579,7 +604,10 @@ mod tests {
             }
         }
         // Staleness misses are rare at M=4 (miss probability 0.08).
-        assert!(extra_hops < total / 4, "too many stale-index hops: {extra_hops}/{total}");
+        assert!(
+            extra_hops < total / 4,
+            "too many stale-index hops: {extra_hops}/{total}"
+        );
     }
 
     #[test]
@@ -612,19 +640,20 @@ mod tests {
         let migrations = scheme.rebalance(&w.tree, &pop, &cluster);
         let after = balance(&scheme.loads(&w.tree, &pop), &cluster);
         assert!(!migrations.is_empty(), "drift should trigger migrations");
-        assert!(after > before, "balance should improve: {before} -> {after}");
+        assert!(
+            after > before,
+            "balance should improve: {before} -> {after}"
+        );
     }
 
     #[test]
     fn bounds_build_propagates_infeasibility() {
-        let w = WorkloadBuilder::new(
-            TraceProfile::ra().with_nodes(500).with_operations(5_000),
-        )
-        .seed(2)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::ra().with_nodes(500).with_operations(5_000))
+            .seed(2)
+            .build();
         let pop = w.popularity();
         let mut scheme = D2TreeScheme::new(D2TreeConfig::by_bounds(SplitBounds {
-            min_locality: 1.0,   // absurdly strict
+            min_locality: 1.0, // absurdly strict
             max_update: 1e-12, // no budget
         }));
         let err = scheme.try_build(&w.tree, &pop, &ClusterSpec::homogeneous(2, 10.0));
@@ -634,7 +663,9 @@ mod tests {
     #[test]
     fn sampled_build_completes() {
         let w = WorkloadBuilder::new(
-            TraceProfile::lmbe().with_nodes(2_000).with_operations(20_000),
+            TraceProfile::lmbe()
+                .with_nodes(2_000)
+                .with_operations(20_000),
         )
         .seed(3)
         .build();
@@ -651,14 +682,18 @@ mod tests {
     #[test]
     fn replication_limit_confines_the_layer() {
         let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(2_000).with_operations(40_000),
+            TraceProfile::dtr()
+                .with_nodes(2_000)
+                .with_operations(40_000),
         )
         .seed(8)
         .build();
         let pop = w.popularity();
         let cluster = ClusterSpec::homogeneous(6, 1.0);
         let mut scheme = D2TreeScheme::new(
-            D2TreeConfig::paper_default().with_replication_limit(2).with_seed(8),
+            D2TreeConfig::paper_default()
+                .with_replication_limit(2)
+                .with_seed(8),
         );
         scheme.build(&w.tree, &pop, &cluster);
         let replicas = scheme.placement().replicas().clone();
@@ -667,7 +702,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         for &id in scheme.global_layer().members() {
             let plan = scheme.route(&w.tree, id, &mut rng);
-            assert!(replicas.contains(plan.terminal()), "routed off the replica set");
+            assert!(
+                replicas.contains(plan.terminal()),
+                "routed off the replica set"
+            );
         }
         // Replicated load is concentrated on the two replicas but the
         // overall placement stays complete.
@@ -680,7 +718,9 @@ mod tests {
     #[test]
     fn expand_cluster_fills_new_servers() {
         let w = WorkloadBuilder::new(
-            TraceProfile::lmbe().with_nodes(3_000).with_operations(60_000),
+            TraceProfile::lmbe()
+                .with_nodes(3_000)
+                .with_operations(60_000),
         )
         .seed(9)
         .build();
@@ -692,7 +732,10 @@ mod tests {
         let big = ClusterSpec::homogeneous(6, 1.0);
         let migrations = scheme.expand_cluster(&w.tree, &pop, &big);
         assert!(!migrations.is_empty(), "new servers should claim subtrees");
-        assert!(migrations.iter().any(|m| m.to.index() >= 3), "migrations reach new servers");
+        assert!(
+            migrations.iter().any(|m| m.to.index() >= 3),
+            "migrations reach new servers"
+        );
         assert!(scheme.placement().is_complete(&w.tree));
         assert_eq!(scheme.placement().cluster_size(), 6);
         // A couple more rounds should keep things stable.
@@ -700,7 +743,10 @@ mod tests {
             let _ = scheme.rebalance(&w.tree, &pop, &big);
         }
         let loads = scheme.loads(&w.tree, &pop);
-        assert!(loads[3..].iter().any(|&l| l > 0.0), "new servers carry load");
+        assert!(
+            loads[3..].iter().any(|&l| l > 0.0),
+            "new servers carry load"
+        );
     }
 
     #[test]
@@ -708,17 +754,17 @@ mod tests {
         let (w, _pop, scheme) = built(1_500, 3);
         for (s, owner) in scheme.subtrees() {
             assert_eq!(scheme.local_index().owner_of(s.root), Some(owner));
-            assert_eq!(
-                scheme.placement().assignment(s.root).owner(),
-                Some(owner)
-            );
+            assert_eq!(scheme.placement().assignment(s.root).owner(), Some(owner));
         }
         // Index lookup from a deep node inside a subtree resolves to the
         // same owner.
         let first = scheme.subtrees().next().map(|(s, owner)| (s.root, owner));
         if let Some((root, owner)) = first {
             for id in w.tree.descendants(root).take(10) {
-                assert_eq!(scheme.local_index().locate(&w.tree, id), Some((root, owner)));
+                assert_eq!(
+                    scheme.local_index().locate(&w.tree, id),
+                    Some((root, owner))
+                );
             }
         }
     }

@@ -109,7 +109,10 @@ impl GlobalLayer {
     fn with_root(tree: &NamespaceTree) -> Self {
         let mut member = vec![false; tree.arena_size()];
         member[tree.root().index()] = true;
-        GlobalLayer { member, order: vec![tree.root()] }
+        GlobalLayer {
+            member,
+            order: vec![tree.root()],
+        }
     }
 
     /// Whether `id` is in the global layer.
@@ -213,7 +216,9 @@ impl Eq for Candidate {}
 
 impl Ord for Candidate {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.p.total_cmp(&other.p).then_with(|| other.id.cmp(&self.id))
+        self.p
+            .total_cmp(&other.p)
+            .then_with(|| other.id.cmp(&self.id))
     }
 }
 
@@ -239,12 +244,18 @@ where
     let root = tree.root();
     if let Some(node) = tree.node(root) {
         for (_, c) in node.children() {
-            heap.push(Candidate { p: pop.total(c), id: c });
+            heap.push(Candidate {
+                p: pop.total(c),
+                id: c,
+            });
         }
     }
     // Eq. 7 denominator with GL = {root}: every node except the root.
-    let mut l_tmp: f64 =
-        tree.nodes().filter(|(id, _)| *id != root).map(|(id, _)| pop.total(id)).sum();
+    let mut l_tmp: f64 = tree
+        .nodes()
+        .filter(|(id, _)| *id != root)
+        .map(|(id, _)| pop.total(id))
+        .sum();
     let mut u_tmp = 0.0;
 
     while let Some(Candidate { p, id }) = heap.pop() {
@@ -259,7 +270,10 @@ where
         gl.order.push(id);
         if let Some(node) = tree.node(id) {
             for (_, c) in node.children() {
-                heap.push(Candidate { p: pop.total(c), id: c });
+                heap.push(Candidate {
+                    p: pop.total(c),
+                    id: c,
+                });
             }
         }
     }
@@ -301,14 +315,19 @@ where
 {
     // Alg. 1 admits as long as the update budget lasts (more global layer
     // only improves locality) and checks the locality bound at the end.
-    let target_denominator =
-        if bounds.min_locality > 0.0 { 1.0 / bounds.min_locality } else { f64::INFINITY };
+    let target_denominator = if bounds.min_locality > 0.0 {
+        1.0 / bounds.min_locality
+    } else {
+        f64::INFINITY
+    };
     let (gl, _u, l) = greedy_split(tree, pop, update_of, |_, u_after, _| {
         u_after >= bounds.max_update
     });
     let achieved = if l > 0.0 { 1.0 / l } else { f64::INFINITY };
     if l > target_denominator {
-        Err(SplitError::Infeasible { achieved_locality: achieved })
+        Err(SplitError::Infeasible {
+            achieved_locality: achieved,
+        })
     } else {
         Ok(gl)
     }
@@ -340,7 +359,11 @@ where
     let target = ((tree.node_count() as f64 * proportion).ceil() as usize).max(1);
     let (gl, u, l) = greedy_split(tree, pop, update_of, |gl, _, _| gl.len() >= target);
     let locality = if l > 0.0 { 1.0 / l } else { f64::INFINITY };
-    let implied = ImpliedBounds { locality, update_cost: u, global_nodes: gl.len() };
+    let implied = ImpliedBounds {
+        locality,
+        update_cost: u,
+        global_nodes: gl.len(),
+    };
     (gl, implied)
 }
 
@@ -383,7 +406,10 @@ mod tests {
         let (t, pop, _) = skewed_tree();
         // Each admission costs 1; budget 2 admits exactly one node
         // (the second would reach the budget and is refused).
-        let bounds = SplitBounds { min_locality: 0.0, max_update: 2.0 };
+        let bounds = SplitBounds {
+            min_locality: 0.0,
+            max_update: 2.0,
+        };
         let gl = tree_split(&t, &pop, |_| 1.0, bounds).unwrap();
         assert_eq!(gl.len(), 2); // root + 1
     }
@@ -395,7 +421,10 @@ mod tests {
             &t,
             &pop,
             |_| 1_000.0, // any admission blows the budget
-            SplitBounds { min_locality: 1.0, max_update: 1.0 },
+            SplitBounds {
+                min_locality: 1.0,
+                max_update: 1.0,
+            },
         )
         .unwrap_err();
         let SplitError::Infeasible { achieved_locality } = err;

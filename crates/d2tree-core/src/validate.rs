@@ -7,8 +7,8 @@
 
 use std::fmt;
 
-use d2tree_namespace::{NamespaceTree, NodeId};
 use d2tree_metrics::{Assignment, MdsId, Placement};
+use d2tree_namespace::{NamespaceTree, NodeId};
 
 use crate::index::LocalIndex;
 use crate::split::GlobalLayer;
@@ -73,9 +73,16 @@ impl fmt::Display for Violation {
                 write!(f, "node {n} replicated but outside the global layer")
             }
             Violation::SubtreeSplit { root, stray } => {
-                write!(f, "subtree {root} split: descendant {stray} lives elsewhere")
+                write!(
+                    f,
+                    "subtree {root} split: descendant {stray} lives elsewhere"
+                )
             }
-            Violation::IndexMismatch { root, index_owner, placement_owner } => write!(
+            Violation::IndexMismatch {
+                root,
+                index_owner,
+                placement_owner,
+            } => write!(
                 f,
                 "index says {root} -> {index_owner}, placement says {placement_owner:?}"
             ),
@@ -165,7 +172,9 @@ mod tests {
 
     fn built() -> (d2tree_workload::Workload, D2TreeScheme) {
         let w = WorkloadBuilder::new(
-            TraceProfile::dtr().with_nodes(1_500).with_operations(15_000),
+            TraceProfile::dtr()
+                .with_nodes(1_500)
+                .with_operations(15_000),
         )
         .seed(44)
         .build();
@@ -219,10 +228,16 @@ mod tests {
         };
         let stray = w.tree.descendants(victim_root).nth(1).unwrap();
         broken.set(stray, Assignment::Single(other_owner));
-        let violations =
-            check_d2tree(&w.tree, &broken, scheme.global_layer(), scheme.local_index());
+        let violations = check_d2tree(
+            &w.tree,
+            &broken,
+            scheme.global_layer(),
+            scheme.local_index(),
+        );
         assert!(
-            violations.iter().any(|v| matches!(v, Violation::SubtreeSplit { .. })),
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::SubtreeSplit { .. })),
             "{violations:?}"
         );
 
@@ -230,17 +245,29 @@ mod tests {
         let mut broken = scheme.placement().clone();
         let gl_node = scheme.global_layer().members()[0];
         broken.set(gl_node, Assignment::Single(MdsId(0)));
-        let violations =
-            check_d2tree(&w.tree, &broken, scheme.global_layer(), scheme.local_index());
-        assert!(violations.iter().any(|v| matches!(v, Violation::LayerNotReplicated(_))));
+        let violations = check_d2tree(
+            &w.tree,
+            &broken,
+            scheme.global_layer(),
+            scheme.local_index(),
+        );
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::LayerNotReplicated(_))));
 
         // Fault 3: stale index entry.
         let mut stale_index = scheme.local_index().clone();
         let (root, owner) = scheme.subtrees().map(|(s, o)| (s.root, o)).next().unwrap();
         stale_index.insert(root, MdsId((owner.index() as u16 + 1) % 4));
-        let violations =
-            check_d2tree(&w.tree, scheme.placement(), scheme.global_layer(), &stale_index);
-        assert!(violations.iter().any(|v| matches!(v, Violation::IndexMismatch { .. })));
+        let violations = check_d2tree(
+            &w.tree,
+            scheme.placement(),
+            scheme.global_layer(),
+            &stale_index,
+        );
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::IndexMismatch { .. })));
     }
 
     #[test]

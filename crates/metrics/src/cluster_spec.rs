@@ -129,7 +129,11 @@ impl ClusterSpec {
         assert_eq!(loads.len(), self.len(), "one load per MDS");
         let total: f64 = loads.iter().sum();
         let mu = self.ideal_load_factor(total);
-        loads.iter().zip(&self.capacities).map(|(&l, &c)| l - mu * c).collect()
+        loads
+            .iter()
+            .zip(&self.capacities)
+            .map(|(&l, &c)| l - mu * c)
+            .collect()
     }
 
     /// Capacity share `p_k = C_k / ΣC_i` of one server (Thm. 3).
@@ -159,7 +163,10 @@ mod tests {
         let re = c.relative_capacities(&[15.0, 5.0]);
         assert!(re[0] > 0.0, "overloaded server has positive Re");
         assert!(re[1] < 0.0, "light server has negative Re");
-        assert!((re[0] + re[1]).abs() < 1e-12, "relative capacities sum to zero");
+        assert!(
+            (re[0] + re[1]).abs() < 1e-12,
+            "relative capacities sum to zero"
+        );
     }
 
     #[test]

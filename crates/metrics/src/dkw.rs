@@ -22,7 +22,10 @@ pub fn violation_probability(k: usize, eps: f64) -> f64 {
 #[must_use]
 pub fn epsilon_for_confidence(k: usize, confidence: f64) -> f64 {
     assert!(k > 0, "need at least one sample");
-    assert!((0.0..1.0).contains(&confidence) && confidence > 0.0, "confidence must be in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&confidence) && confidence > 0.0,
+        "confidence must be in (0,1)"
+    );
     ((2.0 / (1.0 - confidence)).ln() / (2.0 * k as f64)).sqrt()
 }
 
@@ -68,7 +71,10 @@ pub fn theorem3_sample_count(
     mu: f64,
     c_k: f64,
 ) -> usize {
-    assert!(delta > 0.0 && mu > 0.0 && c_k > 0.0, "delta, mu, c_k must be positive");
+    assert!(
+        delta > 0.0 && mu > 0.0 && c_k > 0.0,
+        "delta, mu, c_k must be positive"
+    );
     assert!(u >= l, "span must be non-negative");
     let th2 = t * (h as f64) * (h as f64);
     assert!(th2 > 1.0, "t*H^2 must exceed 1 for a meaningful bound");

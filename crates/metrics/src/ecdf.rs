@@ -33,7 +33,10 @@ impl Ecdf {
     #[must_use]
     pub fn from_samples(mut samples: Vec<f64>) -> Self {
         assert!(!samples.is_empty(), "ECDF needs at least one sample");
-        assert!(samples.iter().all(|v| v.is_finite()), "ECDF samples must be finite");
+        assert!(
+            samples.iter().all(|v| v.is_finite()),
+            "ECDF samples must be finite"
+        );
         samples.sort_by(f64::total_cmp);
         Ecdf { sorted: samples }
     }
@@ -118,8 +121,9 @@ impl Histogram {
     #[must_use]
     pub fn equi_probability(ecdf: &Ecdf, k: usize) -> Self {
         assert!(k >= 2, "a histogram needs at least two boundaries");
-        let boundaries =
-            (0..k).map(|i| ecdf.quantile(i as f64 / (k - 1) as f64)).collect();
+        let boundaries = (0..k)
+            .map(|i| ecdf.quantile(i as f64 / (k - 1) as f64))
+            .collect();
         Histogram { boundaries }
     }
 

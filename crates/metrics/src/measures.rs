@@ -108,8 +108,15 @@ where
             weighted += f64::from(j) * pop.total(id);
         }
     }
-    let locality = if weighted > 0.0 { 1.0 / weighted } else { f64::INFINITY };
-    LocalityReport { weighted_jumps: weighted, locality }
+    let locality = if weighted > 0.0 {
+        1.0 / weighted
+    } else {
+        f64::INFINITY
+    };
+    LocalityReport {
+        weighted_jumps: weighted,
+        locality,
+    }
 }
 
 /// Total update cost over the global layer (Def. 4): `Σ_{n_j ∈ GL} u_j`.
@@ -170,7 +177,9 @@ mod tests {
         let mut t = NamespaceTree::new();
         let mut ids = vec![t.root()];
         for i in 0..n {
-            let id = t.create(*ids.last().unwrap(), &format!("c{i}"), NodeKind::Directory).unwrap();
+            let id = t
+                .create(*ids.last().unwrap(), &format!("c{i}"), NodeKind::Directory)
+                .unwrap();
             ids.push(id);
         }
         (t, ids)

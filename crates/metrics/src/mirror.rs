@@ -36,8 +36,14 @@
 #[must_use]
 pub fn mirror_divide(weights: &[f64], capacities: &[f64]) -> Vec<usize> {
     assert!(!capacities.is_empty(), "need at least one bucket");
-    assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
-    assert!(capacities.iter().all(|&c| c >= 0.0), "capacities must be non-negative");
+    assert!(
+        weights.iter().all(|&w| w >= 0.0),
+        "weights must be non-negative"
+    );
+    assert!(
+        capacities.iter().all(|&c| c >= 0.0),
+        "capacities must be non-negative"
+    );
 
     let total_cap: f64 = capacities.iter().sum();
     let mut result = vec![0usize; weights.len()];

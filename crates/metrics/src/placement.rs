@@ -174,7 +174,10 @@ impl Placement {
     /// [`Assignment::Unassigned`].
     #[must_use]
     pub fn assignment(&self, id: NodeId) -> Assignment {
-        self.assignments.get(id.index()).copied().unwrap_or(Assignment::Unassigned)
+        self.assignments
+            .get(id.index())
+            .copied()
+            .unwrap_or(Assignment::Unassigned)
     }
 
     /// Sets the assignment of one node.
@@ -184,10 +187,15 @@ impl Placement {
     /// Panics if a [`Assignment::Single`] id is outside the cluster.
     pub fn set(&mut self, id: NodeId, assignment: Assignment) {
         if let Assignment::Single(m) = assignment {
-            assert!(m.index() < self.cluster_size, "{m} outside cluster of {}", self.cluster_size);
+            assert!(
+                m.index() < self.cluster_size,
+                "{m} outside cluster of {}",
+                self.cluster_size
+            );
         }
         if id.index() >= self.assignments.len() {
-            self.assignments.resize(id.index() + 1, Assignment::Unassigned);
+            self.assignments
+                .resize(id.index() + 1, Assignment::Unassigned);
         }
         self.assignments[id.index()] = assignment;
     }
@@ -202,13 +210,16 @@ impl Placement {
     /// Whether every live node has an assignment (the paper's Eq. 4).
     #[must_use]
     pub fn is_complete(&self, tree: &NamespaceTree) -> bool {
-        tree.nodes().all(|(id, _)| self.assignment(id) != Assignment::Unassigned)
+        tree.nodes()
+            .all(|(id, _)| self.assignment(id) != Assignment::Unassigned)
     }
 
     /// Count of replicated (global-layer) nodes.
     #[must_use]
     pub fn replicated_count(&self, tree: &NamespaceTree) -> usize {
-        tree.nodes().filter(|(id, _)| self.assignment(*id).is_replicated()).count()
+        tree.nodes()
+            .filter(|(id, _)| self.assignment(*id).is_replicated())
+            .count()
     }
 
     /// Per-server loads `L_k`: the requests each server serves.
@@ -330,7 +341,14 @@ mod tests {
         let mut p = Placement::new(&t, 2);
         p.set(t.root(), Assignment::Replicated);
         p.assign_subtree(&t, a, MdsId(0));
-        p.apply_migrations(&t, &[Migration { node: a, from: MdsId(0), to: MdsId(1) }]);
+        p.apply_migrations(
+            &t,
+            &[Migration {
+                node: a,
+                from: MdsId(0),
+                to: MdsId(1),
+            }],
+        );
         assert_eq!(p.assignment(a), Assignment::Single(MdsId(1)));
         assert_eq!(p.assignment(f), Assignment::Single(MdsId(1)));
     }

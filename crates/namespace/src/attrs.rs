@@ -29,7 +29,13 @@ pub struct FileAttr {
 
 impl Default for FileAttr {
     fn default() -> Self {
-        FileAttr { mode: 0o644, uid: 0, gid: 0, size: 0, mtime: 0 }
+        FileAttr {
+            mode: 0o644,
+            uid: 0,
+            gid: 0,
+            size: 0,
+            mtime: 0,
+        }
     }
 }
 
@@ -37,7 +43,10 @@ impl FileAttr {
     /// A default directory record (`rwxr-xr-x`).
     #[must_use]
     pub fn directory() -> Self {
-        FileAttr { mode: 0o755, ..FileAttr::default() }
+        FileAttr {
+            mode: 0o755,
+            ..FileAttr::default()
+        }
     }
 
     /// Whether `uid`/`gid` may traverse (execute) this entry — the check a
@@ -96,8 +105,13 @@ impl AttrTable {
     /// directories and file defaults for files.
     #[must_use]
     pub fn new(tree: &NamespaceTree) -> Self {
-        let mut records =
-            vec![VersionedAttr { attr: FileAttr::default(), version: 0 }; tree.arena_size()];
+        let mut records = vec![
+            VersionedAttr {
+                attr: FileAttr::default(),
+                version: 0
+            };
+            tree.arena_size()
+        ];
         for (id, node) in tree.nodes() {
             if node.kind().is_directory() {
                 records[id.index()].attr = FileAttr::directory();
@@ -110,7 +124,13 @@ impl AttrTable {
     pub fn resize_for(&mut self, tree: &NamespaceTree) {
         let n = tree.arena_size();
         if n > self.records.len() {
-            self.records.resize(n, VersionedAttr { attr: FileAttr::default(), version: 0 });
+            self.records.resize(
+                n,
+                VersionedAttr {
+                    attr: FileAttr::default(),
+                    version: 0,
+                },
+            );
         }
     }
 
@@ -153,13 +173,7 @@ impl AttrTable {
     /// every ancestor and read permission on the target — the POSIX check
     /// the paper's Sec. I invokes to motivate locality.
     #[must_use]
-    pub fn permission_walk(
-        &self,
-        tree: &NamespaceTree,
-        node: NodeId,
-        uid: u32,
-        gid: u32,
-    ) -> bool {
+    pub fn permission_walk(&self, tree: &NamespaceTree, node: NodeId, uid: u32, gid: u32) -> bool {
         for anc in tree.ancestors(node) {
             if !self.records[anc.index()].attr.allows_traversal(uid, gid) {
                 return false;
@@ -242,7 +256,10 @@ mod tests {
     fn permission_walk_requires_every_ancestor() {
         let (t, d, f) = tree_with_file();
         let mut attrs = AttrTable::new(&t);
-        assert!(attrs.permission_walk(&t, f, 1000, 1000), "defaults are world-readable");
+        assert!(
+            attrs.permission_walk(&t, f, 1000, 1000),
+            "defaults are world-readable"
+        );
         // Lock the directory: no world execute.
         attrs.update(d, |a| a.mode = 0o700);
         assert!(!attrs.permission_walk(&t, f, 1000, 1000));

@@ -33,7 +33,9 @@ impl TreeBuilder {
     /// Creates a builder holding an empty tree (just the root).
     #[must_use]
     pub fn new() -> Self {
-        TreeBuilder { tree: NamespaceTree::new() }
+        TreeBuilder {
+            tree: NamespaceTree::new(),
+        }
     }
 
     /// Ensures a file exists at `path`, creating intermediate directories.

@@ -36,8 +36,14 @@ impl fmt::Display for TreeError {
             TreeError::NotADirectory(id) => write!(f, "node {id} is not a directory"),
             TreeError::DuplicateName(name) => write!(f, "name {name:?} already exists"),
             TreeError::InvalidPath(p) => write!(f, "invalid path or component {p:?}"),
-            TreeError::MoveIntoDescendant { subject, destination } => {
-                write!(f, "cannot move {subject} into its own descendant {destination}")
+            TreeError::MoveIntoDescendant {
+                subject,
+                destination,
+            } => {
+                write!(
+                    f,
+                    "cannot move {subject} into its own descendant {destination}"
+                )
             }
             TreeError::RootImmutable => f.write_str("the root node cannot be modified"),
         }
@@ -57,8 +63,11 @@ mod tests {
             TreeError::NotADirectory(NodeId::ROOT).to_string(),
             TreeError::DuplicateName("x".into()).to_string(),
             TreeError::InvalidPath("a//b".into()).to_string(),
-            TreeError::MoveIntoDescendant { subject: NodeId::ROOT, destination: NodeId::ROOT }
-                .to_string(),
+            TreeError::MoveIntoDescendant {
+                subject: NodeId::ROOT,
+                destination: NodeId::ROOT,
+            }
+            .to_string(),
             TreeError::RootImmutable.to_string(),
         ];
         for m in msgs {

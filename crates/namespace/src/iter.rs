@@ -41,7 +41,11 @@ pub struct Descendants<'a> {
 
 impl<'a> Descendants<'a> {
     pub(crate) fn new(tree: &'a NamespaceTree, start: NodeId) -> Self {
-        let stack = if tree.contains(start) { vec![start] } else { Vec::new() };
+        let stack = if tree.contains(start) {
+            vec![start]
+        } else {
+            Vec::new()
+        };
         Descendants { tree, stack }
     }
 }

@@ -34,7 +34,9 @@ impl NsPath {
     /// The root path `/`.
     #[must_use]
     pub fn root() -> Self {
-        NsPath { components: Vec::new() }
+        NsPath {
+            components: Vec::new(),
+        }
     }
 
     /// Builds a path from an iterator of components.
@@ -88,7 +90,9 @@ impl NsPath {
         if self.components.is_empty() {
             None
         } else {
-            Some(NsPath { components: self.components[..self.components.len() - 1].to_vec() })
+            Some(NsPath {
+                components: self.components[..self.components.len() - 1].to_vec(),
+            })
         }
     }
 
@@ -119,7 +123,11 @@ impl NsPath {
     #[must_use]
     pub fn is_prefix_of(&self, other: &NsPath) -> bool {
         self.components.len() <= other.components.len()
-            && self.components.iter().zip(&other.components).all(|(a, b)| a == b)
+            && self
+                .components
+                .iter()
+                .zip(&other.components)
+                .all(|(a, b)| a == b)
     }
 }
 
@@ -127,7 +135,9 @@ impl FromStr for NsPath {
     type Err = TreeError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let trimmed = s.strip_prefix('/').ok_or_else(|| TreeError::InvalidPath(s.to_owned()))?;
+        let trimmed = s
+            .strip_prefix('/')
+            .ok_or_else(|| TreeError::InvalidPath(s.to_owned()))?;
         if trimmed.is_empty() {
             return Ok(NsPath::root());
         }

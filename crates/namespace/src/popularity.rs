@@ -53,7 +53,11 @@ impl Popularity {
     #[must_use]
     pub fn new(tree: &NamespaceTree) -> Self {
         let n = tree.arena_size();
-        Popularity { individual: vec![0.0; n], total: vec![0.0; n], rolled_up: true }
+        Popularity {
+            individual: vec![0.0; n],
+            total: vec![0.0; n],
+            rolled_up: true,
+        }
     }
 
     /// Grows the table to cover nodes created after the table was built.
@@ -97,7 +101,10 @@ impl Popularity {
     /// roll-up.
     #[must_use]
     pub fn total(&self, id: NodeId) -> f64 {
-        debug_assert!(self.rolled_up, "call Popularity::rollup before reading totals");
+        debug_assert!(
+            self.rolled_up,
+            "call Popularity::rollup before reading totals"
+        );
         self.total[id.index()]
     }
 
@@ -179,7 +186,9 @@ mod tests {
         let mut t = NamespaceTree::new();
         let mut ids = vec![t.root()];
         for name in ["a", "b", "c"] {
-            let id = t.create(*ids.last().unwrap(), name, NodeKind::Directory).unwrap();
+            let id = t
+                .create(*ids.last().unwrap(), name, NodeKind::Directory)
+                .unwrap();
             ids.push(id);
         }
         (t, ids)

@@ -129,7 +129,9 @@ impl NamespaceTree {
             children: BTreeMap::new(),
             alive: true,
         });
-        self.nodes[parent.index()].children.insert(Box::from(name), id);
+        self.nodes[parent.index()]
+            .children
+            .insert(Box::from(name), id);
         self.live += 1;
         Ok(id)
     }
@@ -185,7 +187,8 @@ impl NamespaceTree {
     /// [`TreeError::NodeNotFound`] when the path does not exist.
     pub fn resolve_str(&self, path: &str) -> Result<NodeId, TreeError> {
         let p: NsPath = path.parse()?;
-        self.resolve(&p).ok_or(TreeError::NodeNotFound(NodeId::ROOT))
+        self.resolve(&p)
+            .ok_or(TreeError::NodeNotFound(NodeId::ROOT))
     }
 
     /// Reconstructs the absolute path of a live node.
@@ -303,7 +306,10 @@ impl NamespaceTree {
             return Err(TreeError::NotADirectory(new_parent));
         }
         if new_parent == id || self.is_ancestor_of(id, new_parent) {
-            return Err(TreeError::MoveIntoDescendant { subject: id, destination: new_parent });
+            return Err(TreeError::MoveIntoDescendant {
+                subject: id,
+                destination: new_parent,
+            });
         }
         if new_parent == old_parent {
             return Ok(());
@@ -411,7 +417,10 @@ mod tests {
             t.create(home, "a", NodeKind::Directory),
             Err(TreeError::DuplicateName("a".into()))
         );
-        assert_eq!(t.create(f, "x", NodeKind::File), Err(TreeError::NotADirectory(f)));
+        assert_eq!(
+            t.create(f, "x", NodeKind::File),
+            Err(TreeError::NotADirectory(f))
+        );
         assert!(matches!(
             t.create(home, "x/y", NodeKind::File),
             Err(TreeError::InvalidPath(_))

@@ -1,0 +1,322 @@
+//! Snapshot exporters: Prometheus text exposition and JSON.
+//!
+//! Both are hand-rolled string builders so the crate stays free of
+//! external dependencies. Metric names are prefixed `d2tree_` and
+//! sanitised to `[a-zA-Z0-9_]`.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::journal::{Event, EventKind};
+use crate::metrics::{MetricKey, Snapshot};
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+fn prom_line(
+    out: &mut String,
+    name: &str,
+    key: MetricKey,
+    extra: Option<(&str, &str)>,
+    value: impl std::fmt::Display,
+) {
+    out.push_str(name);
+    let mut labels = Vec::new();
+    if let Some(m) = key.mds {
+        labels.push(format!("mds=\"{m}\""));
+    }
+    if let Some((k, v)) = extra {
+        labels.push(format!("{k}=\"{v}\""));
+    }
+    if !labels.is_empty() {
+        let _ = write!(out, "{{{}}}", labels.join(","));
+    }
+    let _ = writeln!(out, " {value}");
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Counters become `d2tree_<name>` counters, gauges become gauges, and
+/// histograms become summary-style families with `_count`, `_sum` and
+/// `{quantile="…"}` series. Journal contents are aggregated into
+/// `d2tree_journal_events_total{kind="…"}`.
+#[must_use]
+pub fn prometheus_text(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# D2-Tree telemetry snapshot (uptime {} us)",
+        snap.uptime_us
+    );
+
+    let mut last_family = "";
+    for &(key, value) in &snap.counters {
+        let family = key.name;
+        if family != last_family {
+            let name = format!("d2tree_{}", sanitize(family));
+            let _ = writeln!(out, "# TYPE {name} counter");
+            last_family = family;
+        }
+        prom_line(
+            &mut out,
+            &format!("d2tree_{}", sanitize(family)),
+            key,
+            None,
+            value,
+        );
+    }
+
+    let mut last_family = "";
+    for &(key, value) in &snap.gauges {
+        let family = key.name;
+        if family != last_family {
+            let name = format!("d2tree_{}", sanitize(family));
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            last_family = family;
+        }
+        prom_line(
+            &mut out,
+            &format!("d2tree_{}", sanitize(family)),
+            key,
+            None,
+            value,
+        );
+    }
+
+    let mut last_family = "";
+    for &(key, h) in &snap.histograms {
+        let family = key.name;
+        let name = format!("d2tree_{}", sanitize(family));
+        if family != last_family {
+            let _ = writeln!(out, "# TYPE {name} summary");
+            last_family = family;
+        }
+        for (q, v) in [
+            ("0.5", h.p50),
+            ("0.9", h.p90),
+            ("0.99", h.p99),
+            ("0.999", h.p999),
+        ] {
+            prom_line(&mut out, &name, key, Some(("quantile", q)), v);
+        }
+        prom_line(&mut out, &format!("{name}_count"), key, None, h.count);
+        prom_line(&mut out, &format!("{name}_sum"), key, None, h.sum);
+    }
+
+    if !snap.events.is_empty() {
+        let mut by_kind: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for e in &snap.events {
+            *by_kind.entry(e.kind.label()).or_default() += 1;
+        }
+        let _ = writeln!(out, "# TYPE d2tree_journal_events_total counter");
+        for (kind, n) in by_kind {
+            let _ = writeln!(out, "d2tree_journal_events_total{{kind=\"{kind}\"}} {n}");
+        }
+    }
+
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Trim to a compact fixed representation; metrics are loads and
+        // popularities where 6 decimals is plenty.
+        let s = format!("{v:.6}");
+        s.trim_end_matches('0').trim_end_matches('.').to_owned()
+    } else {
+        "null".to_owned()
+    }
+}
+
+fn json_key(out: &mut String, key: MetricKey) {
+    let _ = write!(out, "\"name\":\"{}\",", sanitize(key.name));
+    match key.mds {
+        Some(m) => {
+            let _ = write!(out, "\"mds\":{m},");
+        }
+        None => out.push_str("\"mds\":null,"),
+    }
+}
+
+fn json_event(out: &mut String, e: &Event) {
+    let _ = write!(
+        out,
+        "{{\"seq\":{},\"ts_us\":{},\"kind\":\"{}\"",
+        e.seq,
+        e.ts_us,
+        e.kind.label()
+    );
+    match e.kind {
+        EventKind::Heartbeat { mds, load } => {
+            let _ = write!(out, ",\"mds\":{mds},\"load\":{}", json_f64(load));
+        }
+        EventKind::MdsDown { mds } | EventKind::MdsRecovered { mds } => {
+            let _ = write!(out, ",\"mds\":{mds}");
+        }
+        EventKind::SubtreeShed {
+            from,
+            subtree,
+            size,
+            popularity,
+        } => {
+            let _ = write!(
+                out,
+                ",\"from\":{from},\"subtree\":{subtree},\"size\":{size},\"popularity\":{}",
+                json_f64(popularity)
+            );
+        }
+        EventKind::SubtreeClaimed {
+            to,
+            subtree,
+            size,
+            popularity,
+        } => {
+            let _ = write!(
+                out,
+                ",\"to\":{to},\"subtree\":{subtree},\"size\":{size},\"popularity\":{}",
+                json_f64(popularity)
+            );
+        }
+        EventKind::GlRecut {
+            promoted,
+            demoted,
+            churn,
+        } => {
+            let _ = write!(
+                out,
+                ",\"promoted\":{promoted},\"demoted\":{demoted},\"churn\":{churn}"
+            );
+        }
+        EventKind::CacheMiss { client } => {
+            let _ = write!(out, ",\"client\":{client}");
+        }
+        EventKind::Forwarded { from, to } => {
+            let _ = write!(out, ",\"from\":{from},\"to\":{to}");
+        }
+    }
+    out.push('}');
+}
+
+/// Renders a snapshot as a self-contained JSON document.
+#[must_use]
+pub fn json(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{{\"uptime_us\":{},", snap.uptime_us);
+
+    out.push_str("\"counters\":[");
+    for (i, &(key, value)) in snap.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json_key(&mut out, key);
+        let _ = write!(out, "\"value\":{value}}}");
+    }
+    out.push_str("],\"gauges\":[");
+    for (i, &(key, value)) in snap.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json_key(&mut out, key);
+        let _ = write!(out, "\"value\":{value}}}");
+    }
+    out.push_str("],\"histograms\":[");
+    for (i, &(key, h)) in snap.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        json_key(&mut out, key);
+        let _ = write!(
+            out,
+            "\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{}}}",
+            h.count, h.sum, h.min, h.max, h.p50, h.p90, h.p99, h.p999
+        );
+    }
+    out.push_str("],\"events\":[");
+    for (i, e) in snap.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_event(&mut out, e);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::metrics::{MetricKey, Registry};
+    use crate::names;
+    use crate::EventKind;
+
+    fn sample_registry() -> Registry {
+        let r = Registry::new();
+        r.counter(MetricKey::mds(names::MDS_OPS_TOTAL, 0)).add(10);
+        r.counter(MetricKey::mds(names::MDS_OPS_TOTAL, 1)).add(20);
+        r.gauge(MetricKey::mds(names::MDS_QUEUE_DEPTH_PEAK, 0))
+            .set(4);
+        let h = r.histogram(MetricKey::global(names::OP_LATENCY_US));
+        for v in [10u64, 20, 30, 40, 1000] {
+            h.record(v);
+        }
+        r.journal().record(EventKind::MdsDown { mds: 1 });
+        r.journal().record(EventKind::SubtreeClaimed {
+            to: 0,
+            subtree: 42,
+            size: 7,
+            popularity: 0.25,
+        });
+        r
+    }
+
+    #[test]
+    fn prometheus_text_contains_families_labels_and_quantiles() {
+        let text = super::prometheus_text(&sample_registry().snapshot());
+        assert!(
+            text.contains("# TYPE d2tree_mds_ops_total counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains("d2tree_mds_ops_total{mds=\"1\"} 20"),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE d2tree_op_latency_us summary"),
+            "{text}"
+        );
+        assert!(text.contains("quantile=\"0.99\""), "{text}");
+        assert!(text.contains("d2tree_op_latency_us_count 5"), "{text}");
+        assert!(
+            text.contains("d2tree_journal_events_total{kind=\"mds_down\"} 1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn json_is_structurally_sound() {
+        let doc = super::json(&sample_registry().snapshot());
+        assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "unbalanced braces: {doc}"
+        );
+        assert!(
+            doc.contains("\"name\":\"mds_ops_total\",\"mds\":1,\"value\":20"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"kind\":\"subtree_claimed\""), "{doc}");
+        assert!(doc.contains("\"popularity\":0.25"), "{doc}");
+    }
+}

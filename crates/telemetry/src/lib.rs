@@ -1,0 +1,71 @@
+//! Observability substrate for the D2-Tree reproduction.
+//!
+//! The paper's dynamic-adjustment loop (Sec. IV) is driven entirely by
+//! measurement: per-MDS load, heartbeat liveness, and subtree-migration
+//! activity. This crate provides the measurement primitives the rest of
+//! the workspace instruments itself with:
+//!
+//! * [`Counter`] / [`Gauge`] — lock-free `AtomicU64`-backed scalars.
+//! * [`Histogram`] — fixed log-bucketed latency histogram with
+//!   p50/p90/p99/p999 extraction and a bounded relative error.
+//! * [`Registry`] — owns all metrics, keyed by metric name plus an
+//!   optional MDS id, and an embedded [`EventJournal`].
+//! * [`EventJournal`] — a bounded ring buffer of structured
+//!   [`Event`]s ([`EventKind::MdsDown`], [`EventKind::SubtreeShed`],
+//!   …) with monotone timestamps and global sequence numbers.
+//! * [`export`] — Prometheus text exposition and JSON snapshot
+//!   rendering, both hand-rolled so the crate stays dependency-free.
+//!
+//! Everything is `Sync`; instrumented code shares an `Arc<Registry>`
+//! and caches `Arc<Counter>` handles outside hot loops. When no
+//! registry is attached, call sites skip instrumentation entirely, so
+//! the disabled-telemetry cost is a branch on an `Option`.
+
+#![warn(missing_docs)]
+
+mod journal;
+mod metrics;
+
+pub mod export;
+
+pub use journal::{Event, EventJournal, EventKind};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricKey, Registry, Snapshot,
+};
+
+/// Canonical metric names used across the workspace, so call sites,
+/// exporters and docs agree on spelling.
+pub mod names {
+    /// Per-MDS count of metadata operations served (simulator).
+    pub const MDS_OPS_TOTAL: &str = "mds_ops_total";
+    /// Per-MDS nanoseconds spent busy serving (simulator).
+    pub const MDS_BUSY_NS: &str = "mds_busy_ns";
+    /// Per-MDS peak queue depth observed (simulator).
+    pub const MDS_QUEUE_DEPTH_PEAK: &str = "mds_queue_depth_peak";
+    /// Per-MDS instantaneous queue depth (simulator).
+    pub const MDS_QUEUE_DEPTH: &str = "mds_queue_depth";
+    /// End-to-end op latency in microseconds, all op types (simulator).
+    pub const OP_LATENCY_US: &str = "op_latency_us";
+    /// End-to-end latency of metadata reads, microseconds (simulator).
+    pub const OP_LATENCY_US_READ: &str = "op_latency_us_read";
+    /// End-to-end latency of metadata writes, microseconds (simulator).
+    pub const OP_LATENCY_US_WRITE: &str = "op_latency_us_write";
+    /// End-to-end latency of metadata updates, microseconds (simulator).
+    pub const OP_LATENCY_US_UPDATE: &str = "op_latency_us_update";
+    /// Global-layer lock-service busy nanoseconds (simulator).
+    pub const LOCK_BUSY_NS: &str = "lock_busy_ns";
+    /// Extra routing hops taken beyond the first (simulator).
+    pub const ROUTE_EXTRA_HOPS: &str = "route_extra_hops";
+    /// Client cache hits (live cluster).
+    pub const CLIENT_CACHE_HITS: &str = "client_cache_hits";
+    /// Client cache misses (live cluster).
+    pub const CLIENT_CACHE_MISSES: &str = "client_cache_misses";
+    /// Requests forwarded/redirected between servers (live cluster).
+    pub const FORWARDED_TOTAL: &str = "forwarded_total";
+    /// Per-MDS requests served (live cluster).
+    pub const SERVER_SERVED_TOTAL: &str = "server_served_total";
+    /// Subtree migrations executed (live cluster + adjuster).
+    pub const MIGRATIONS_TOTAL: &str = "migrations_total";
+    /// MDS failures declared by the monitor.
+    pub const MDS_FAILURES_TOTAL: &str = "mds_failures_total";
+}

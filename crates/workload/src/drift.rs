@@ -53,7 +53,11 @@ impl DriftingWorkload {
                 TraceGen::new(&phase_profile, &tree, seed.wrapping_add(1 + p as u64)).collect()
             })
             .collect();
-        DriftingWorkload { profile, tree, phases: traces }
+        DriftingWorkload {
+            profile,
+            tree,
+            phases: traces,
+        }
     }
 
     /// Number of phases.
@@ -79,7 +83,10 @@ impl DriftingWorkload {
             }
             let mut v: Vec<_> = counts.into_iter().collect();
             v.sort_by(|x, y| y.1.cmp(&x.1).then(x.0.cmp(&y.0)));
-            v.into_iter().take(k).map(|(id, _)| id).collect::<std::collections::HashSet<_>>()
+            v.into_iter()
+                .take(k)
+                .map(|(id, _)| id)
+                .collect::<std::collections::HashSet<_>>()
         };
         let ta = top(&self.phases[a]);
         let tb = top(&self.phases[b]);
@@ -112,7 +119,9 @@ mod tests {
         // LMBE's hotness is mostly noise-ranked, so the hot set should
         // shift substantially between phases.
         let w = DriftingWorkload::generate(
-            TraceProfile::lmbe().with_nodes(2_000).with_operations(40_000),
+            TraceProfile::lmbe()
+                .with_nodes(2_000)
+                .with_operations(40_000),
             2,
             9,
         );
@@ -128,12 +137,16 @@ mod tests {
     #[test]
     fn deep_bias_pins_more_of_the_hot_set() {
         let noisy = DriftingWorkload::generate(
-            TraceProfile::lmbe().with_nodes(2_000).with_operations(40_000),
+            TraceProfile::lmbe()
+                .with_nodes(2_000)
+                .with_operations(40_000),
             2,
             11,
         );
         let pinned = DriftingWorkload::generate(
-            TraceProfile::dtr().with_nodes(2_000).with_operations(40_000),
+            TraceProfile::dtr()
+                .with_nodes(2_000)
+                .with_operations(40_000),
             2,
             11,
         );

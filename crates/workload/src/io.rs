@@ -194,10 +194,12 @@ pub fn read_trace<R: BufRead>(input: R, tree: &NamespaceTree) -> Result<Trace, T
             line: idx + 1,
             content: trimmed.to_owned(),
         })?;
-        let target = tree.resolve(&parsed).ok_or_else(|| TraceIoError::UnknownPath {
-            line: idx + 1,
-            path: path.to_owned(),
-        })?;
+        let target = tree
+            .resolve(&parsed)
+            .ok_or_else(|| TraceIoError::UnknownPath {
+                line: idx + 1,
+                path: path.to_owned(),
+            })?;
         ops.push(Operation { target, kind });
     }
     Ok(Trace::from_ops(ops))
@@ -210,10 +212,12 @@ fn parse_line(line: &str, line_no: usize) -> Result<(char, &str), TraceIoError> 
         content: line.to_owned(),
     })?;
     let rest = chars.as_str();
-    let path = rest.strip_prefix(' ').ok_or_else(|| TraceIoError::Malformed {
-        line: line_no,
-        content: line.to_owned(),
-    })?;
+    let path = rest
+        .strip_prefix(' ')
+        .ok_or_else(|| TraceIoError::Malformed {
+            line: line_no,
+            content: line.to_owned(),
+        })?;
     Ok((tag, path))
 }
 
@@ -226,11 +230,9 @@ mod tests {
 
     #[test]
     fn tree_roundtrip() {
-        let w = WorkloadBuilder::new(
-            TraceProfile::lmbe().with_nodes(300).with_operations(10),
-        )
-        .seed(1)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::lmbe().with_nodes(300).with_operations(10))
+            .seed(1)
+            .build();
         let mut buf = Vec::new();
         write_tree(&mut buf, &w.tree).unwrap();
         let back = read_tree(BufReader::new(buf.as_slice())).unwrap();
@@ -248,11 +250,9 @@ mod tests {
 
     #[test]
     fn trace_roundtrip_preserves_order_and_kinds() {
-        let w = WorkloadBuilder::new(
-            TraceProfile::ra().with_nodes(200).with_operations(500),
-        )
-        .seed(2)
-        .build();
+        let w = WorkloadBuilder::new(TraceProfile::ra().with_nodes(200).with_operations(500))
+            .seed(2)
+            .build();
         let mut tree_buf = Vec::new();
         write_tree(&mut tree_buf, &w.tree).unwrap();
         let mut trace_buf = Vec::new();
@@ -290,8 +290,7 @@ mod tests {
     #[test]
     fn unknown_trace_paths_are_reported() {
         let tree = read_tree(BufReader::new("F /x\n".as_bytes())).unwrap();
-        let err =
-            read_trace(BufReader::new("R /does/not/exist\n".as_bytes()), &tree).unwrap_err();
+        let err = read_trace(BufReader::new("R /does/not/exist\n".as_bytes()), &tree).unwrap_err();
         assert!(matches!(err, TraceIoError::UnknownPath { line: 1, .. }));
     }
 

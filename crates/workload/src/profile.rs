@@ -27,10 +27,20 @@ impl OpMix {
     /// than `1e-6`.
     #[must_use]
     pub fn new(read: f64, write: f64, update: f64) -> Self {
-        assert!(read >= 0.0 && write >= 0.0 && update >= 0.0, "fractions must be non-negative");
+        assert!(
+            read >= 0.0 && write >= 0.0 && update >= 0.0,
+            "fractions must be non-negative"
+        );
         let sum = read + write + update;
-        assert!((sum - 1.0).abs() < 1e-6, "fractions must sum to 1, got {sum}");
-        OpMix { read, write, update }
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "fractions must sum to 1, got {sum}"
+        );
+        OpMix {
+            read,
+            write,
+            update,
+        }
     }
 
     /// DTR operation breakdown (67.743% / 26.137% / 6.119%, renormalised).
@@ -53,7 +63,11 @@ impl OpMix {
 
     fn normalised(read: f64, write: f64, update: f64) -> Self {
         let sum = read + write + update;
-        OpMix { read: read / sum, write: write / sum, update: update / sum }
+        OpMix {
+            read: read / sum,
+            write: write / sum,
+            update: update / sum,
+        }
     }
 }
 
@@ -255,7 +269,10 @@ mod tests {
 
     #[test]
     fn builder_overrides() {
-        let p = TraceProfile::dtr().with_nodes(10).with_operations(20).with_zipf_exponent(0.5);
+        let p = TraceProfile::dtr()
+            .with_nodes(10)
+            .with_operations(20)
+            .with_zipf_exponent(0.5);
         assert_eq!(p.nodes, 10);
         assert_eq!(p.operations, 20);
         assert_eq!(p.zipf_exponent, 0.5);

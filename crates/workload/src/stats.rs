@@ -47,8 +47,12 @@ impl DepthHistogram {
         if total == 0 {
             return 0.0;
         }
-        let weighted: u64 =
-            self.counts.iter().enumerate().map(|(d, &c)| d as u64 * c).sum();
+        let weighted: u64 = self
+            .counts
+            .iter()
+            .enumerate()
+            .map(|(d, &c)| d as u64 * c)
+            .sum();
         weighted as f64 / total as f64
     }
 }

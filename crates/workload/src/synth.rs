@@ -71,7 +71,8 @@ pub fn synthesize_tree(profile: &TraceProfile, seed: u64) -> (NamespaceTree, Syn
             .expect("spine names are unique");
         level.push(cur);
     }
-    tree.create(cur, "spine_leaf", NodeKind::File).expect("fresh leaf name");
+    tree.create(cur, "spine_leaf", NodeKind::File)
+        .expect("fresh leaf name");
 
     while tree.node_count() < profile.nodes {
         // Pick an attachment depth proportional to count_d * gamma^d.
@@ -84,7 +85,9 @@ pub fn synthesize_tree(profile: &TraceProfile, seed: u64) -> (NamespaceTree, Syn
             weights.push(total);
         }
         let x: f64 = rng.gen_range(0.0..total);
-        let depth = weights.partition_point(|&w| w <= x).min(profile.max_depth - 1);
+        let depth = weights
+            .partition_point(|&w| w <= x)
+            .min(profile.max_depth - 1);
         let dirs = &dirs_at[depth];
         let parent = dirs[rng.gen_range(0..dirs.len())];
 
@@ -129,9 +132,11 @@ mod tests {
 
     #[test]
     fn hits_exact_node_count_and_depth() {
-        for profile in
-            [TraceProfile::dtr(), TraceProfile::lmbe(), TraceProfile::ra()]
-        {
+        for profile in [
+            TraceProfile::dtr(),
+            TraceProfile::lmbe(),
+            TraceProfile::ra(),
+        ] {
             let profile = profile.with_nodes(1_500);
             let (tree, report) = synthesize_tree(&profile, 3);
             assert_eq!(tree.node_count(), 1_500);

@@ -100,7 +100,9 @@ impl<'a> IntoIterator for &'a Trace {
 
 impl FromIterator<Operation> for Trace {
     fn from_iter<T: IntoIterator<Item = Operation>>(iter: T) -> Self {
-        Trace { ops: iter.into_iter().collect() }
+        Trace {
+            ops: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -250,7 +252,12 @@ impl WorkloadBuilder {
     pub fn build(self) -> Workload {
         let (tree, report) = synthesize_tree(&self.profile, self.seed);
         let trace: Trace = TraceGen::new(&self.profile, &tree, self.seed).collect();
-        Workload { profile: self.profile, tree, report, trace }
+        Workload {
+            profile: self.profile,
+            tree,
+            report,
+            trace,
+        }
     }
 }
 
@@ -260,7 +267,9 @@ mod tests {
     use crate::profile::OpMix;
 
     fn small(profile: TraceProfile) -> Workload {
-        WorkloadBuilder::new(profile.with_nodes(1_000).with_operations(20_000)).seed(5).build()
+        WorkloadBuilder::new(profile.with_nodes(1_000).with_operations(20_000))
+            .seed(5)
+            .build()
     }
 
     #[test]
@@ -274,7 +283,10 @@ mod tests {
         let w = small(TraceProfile::ra());
         let updates = w.trace.iter().filter(|o| o.kind == OpKind::Update).count() as f64;
         let frac = updates / w.trace.len() as f64;
-        assert!((frac - OpMix::ra().update).abs() < 0.02, "update fraction {frac}");
+        assert!(
+            (frac - OpMix::ra().update).abs() < 0.02,
+            "update fraction {frac}"
+        );
     }
 
     #[test]
@@ -312,7 +324,12 @@ mod tests {
     #[test]
     fn trace_collects_from_iterator() {
         let w = small(TraceProfile::lmbe());
-        let reads: Trace = w.trace.iter().copied().filter(|o| o.kind == OpKind::Read).collect();
+        let reads: Trace = w
+            .trace
+            .iter()
+            .copied()
+            .filter(|o| o.kind == OpKind::Read)
+            .collect();
         assert!(!reads.is_empty());
         assert!(reads.len() < w.trace.len());
     }

@@ -61,15 +61,25 @@ impl Zipf {
     #[must_use]
     pub fn with_shift(n: usize, s: f64, q: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and non-negative");
-        assert!(q.is_finite() && q >= 0.0, "Zipf shift must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and non-negative"
+        );
+        assert!(
+            q.is_finite() && q >= 0.0,
+            "Zipf shift must be finite and non-negative"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {
             acc += 1.0 / (k as f64 + q).powf(s);
             cumulative.push(acc);
         }
-        Zipf { cumulative, exponent: s, shift: q }
+        Zipf {
+            cumulative,
+            exponent: s,
+            shift: q,
+        }
     }
 
     /// Number of ranks.
@@ -164,10 +174,12 @@ mod tests {
     #[test]
     fn deterministic_under_seed() {
         let z = Zipf::new(500, 1.1);
-        let a: Vec<usize> =
-            (0..50).scan(StdRng::seed_from_u64(9), |r, _| Some(z.sample(r))).collect();
-        let b: Vec<usize> =
-            (0..50).scan(StdRng::seed_from_u64(9), |r, _| Some(z.sample(r))).collect();
+        let a: Vec<usize> = (0..50)
+            .scan(StdRng::seed_from_u64(9), |r, _| Some(z.sample(r)))
+            .collect();
+        let b: Vec<usize> = (0..50)
+            .scan(StdRng::seed_from_u64(9), |r, _| Some(z.sample(r)))
+            .collect();
         assert_eq!(a, b);
     }
 

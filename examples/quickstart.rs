@@ -29,7 +29,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ])?;
     builder.dir("/tmp")?;
     let tree = builder.build();
-    println!("namespace: {} nodes, max depth {}", tree.node_count(), tree.max_depth());
+    println!(
+        "namespace: {} nodes, max depth {}",
+        tree.node_count(),
+        tree.max_depth()
+    );
 
     // 2. Record access popularity: the website is hot, archives are cold.
     let mut pop = Popularity::new(&tree);
@@ -72,7 +76,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "\naccess {path}: served by {}{}",
             plan.terminal(),
-            if plan.target_replicated { " (any replica)" } else { "" }
+            if plan.target_replicated {
+                " (any replica)"
+            } else {
+                ""
+            }
         );
     }
 

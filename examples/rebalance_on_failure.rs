@@ -14,14 +14,14 @@ use std::time::{Duration, Instant};
 use d2tree::cluster::live::{LiveCluster, LiveConfig};
 use d2tree::core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree::metrics::{ClusterSpec, MdsId};
+use d2tree::telemetry::{names, MetricKey};
 use d2tree::workload::{TraceProfile, WorkloadBuilder};
 
 fn main() {
-    let workload = WorkloadBuilder::new(
-        TraceProfile::ra().with_nodes(2_000).with_operations(4_000),
-    )
-    .seed(5)
-    .build();
+    let workload =
+        WorkloadBuilder::new(TraceProfile::ra().with_nodes(2_000).with_operations(4_000))
+            .seed(5)
+            .build();
     let pop = workload.popularity();
     let cluster_spec = ClusterSpec::homogeneous(4, 1.0);
     let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
@@ -29,8 +29,12 @@ fn main() {
 
     let tree = Arc::new(workload.tree);
     println!("starting a live 4-MDS cluster…");
-    let cluster =
-        LiveCluster::start(Arc::clone(&tree), scheme.placement().clone(), LiveConfig::default());
+    let cluster = LiveCluster::start_with_index(
+        Arc::clone(&tree),
+        scheme.placement().clone(),
+        scheme.local_index().clone(),
+        LiveConfig::default(),
+    );
     std::thread::sleep(Duration::from_millis(100)); // let everyone heartbeat
 
     let mut client = cluster.client(1);
@@ -71,7 +75,39 @@ fn main() {
         .count();
     println!("nodes still homed on the dead server: {orphaned}");
 
+    // One-line per-MDS utilization from the telemetry registry: each
+    // server's share of the cluster-wide served total.
+    let registry = cluster.registry().clone();
+    let served: Vec<u64> = (0..4)
+        .map(|k| {
+            registry
+                .counter(MetricKey::mds(names::SERVER_SERVED_TOTAL, k))
+                .get()
+        })
+        .collect();
+    let total = served.iter().sum::<u64>().max(1) as f64;
+    let util: Vec<String> = served
+        .iter()
+        .enumerate()
+        .map(|(k, &s)| format!("mds{k} {:.0}%", 100.0 * s as f64 / total))
+        .collect();
+    println!("per-MDS utilization: {}", util.join("  "));
+
     let report = cluster.shutdown();
     println!("\nper-server served counts: {:?}", report.served);
     println!("membership events: {:?}", report.events);
+    let failures = report
+        .journal
+        .iter()
+        .filter(|e| matches!(e.kind, d2tree::telemetry::EventKind::MdsDown { .. }))
+        .count();
+    let claims = report
+        .journal
+        .iter()
+        .filter(|e| matches!(e.kind, d2tree::telemetry::EventKind::SubtreeClaimed { .. }))
+        .count();
+    println!(
+        "journal: {} events ({failures} failures, {claims} subtree claims)",
+        report.journal.len()
+    );
 }

@@ -14,7 +14,9 @@ use d2tree::workload::{TraceProfile, WorkloadBuilder};
 
 fn main() {
     let workload = WorkloadBuilder::new(
-        TraceProfile::lmbe().with_nodes(10_000).with_operations(100_000),
+        TraceProfile::lmbe()
+            .with_nodes(10_000)
+            .with_operations(100_000),
     )
     .seed(3)
     .build();
@@ -49,8 +51,7 @@ fn main() {
             shifted.record(id, 100_000.0 * 0.3 / cold.len() as f64);
         }
         shifted.rollup(&workload.tree);
-        let shifted_cluster =
-            ClusterSpec::homogeneous(m, shifted.sum_individual() / m as f64);
+        let shifted_cluster = ClusterSpec::homogeneous(m, shifted.sum_individual() / m as f64);
 
         // Let the scheme react for up to five rounds.
         let mut migrations = 0usize;

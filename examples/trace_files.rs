@@ -24,13 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trace_path = dir.join("workspace.trace");
 
     // 1. Generate and export.
-    let workload = WorkloadBuilder::new(
-        TraceProfile::ra().with_nodes(5_000).with_operations(30_000),
-    )
-    .seed(12)
-    .build();
+    let workload =
+        WorkloadBuilder::new(TraceProfile::ra().with_nodes(5_000).with_operations(30_000))
+            .seed(12)
+            .build();
     write_tree(BufWriter::new(File::create(&tree_path)?), &workload.tree)?;
-    write_trace(BufWriter::new(File::create(&trace_path)?), &workload.trace, &workload.tree)?;
+    write_trace(
+        BufWriter::new(File::create(&trace_path)?),
+        &workload.trace,
+        &workload.tree,
+    )?;
     println!(
         "exported {} nodes -> {}\n         {} ops  -> {}",
         workload.tree.node_count(),
@@ -54,8 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cluster = ClusterSpec::homogeneous(6, 1.0);
     let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
     scheme.build(&tree, &pop, &cluster);
-    let out = Simulator::new(SimConfig { clients: 64, ..SimConfig::default() })
-        .replay(&tree, &trace, &scheme);
+    let out = Simulator::new(SimConfig {
+        clients: 64,
+        ..SimConfig::default()
+    })
+    .replay(&tree, &trace, &scheme);
     println!(
         "replayed: {} ops at {:.0} ops/s (mean latency {:.0} µs)",
         out.completed, out.throughput, out.mean_latency_us

@@ -8,9 +8,12 @@
 //! cargo run --release --example trace_replay [nodes] [ops] [mds]
 //! ```
 
+use std::sync::Arc;
+
 use d2tree::baselines::extended_lineup;
 use d2tree::cluster::{SimConfig, Simulator};
 use d2tree::metrics::{balance, ClusterSpec};
+use d2tree::telemetry::{names, MetricKey, Registry};
 use d2tree::workload::{TraceProfile, WorkloadBuilder};
 
 fn main() {
@@ -20,10 +23,9 @@ fn main() {
     let m: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(8);
 
     println!("generating DTR-style workload: {nodes} nodes, {ops} ops, {m} MDSs…");
-    let workload =
-        WorkloadBuilder::new(TraceProfile::dtr().with_nodes(nodes).with_operations(ops))
-            .seed(1)
-            .build();
+    let workload = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(nodes).with_operations(ops))
+        .seed(1)
+        .build();
     let pop = workload.popularity();
     let cluster = ClusterSpec::homogeneous(m, 1.0);
     let sim = Simulator::new(SimConfig::default());
@@ -34,6 +36,9 @@ fn main() {
     );
     for mut scheme in extended_lineup(0.01, 7) {
         scheme.build(&workload.tree, &pop, &cluster);
+        // A fresh registry per scheme keeps per-MDS telemetry separable.
+        let registry = Arc::new(Registry::new());
+        let sim = sim.clone().with_registry(Arc::clone(&registry));
         let out = sim.replay(&workload.tree, &workload.trace, scheme.as_ref());
         let locality = scheme.locality(&workload.tree, &pop);
         let loads = scheme.loads(&workload.tree, &pop);
@@ -46,6 +51,18 @@ fn main() {
             locality.locality,
             balance(&loads, &cluster)
         );
+        // One-line per-MDS utilization from the telemetry registry:
+        // busy nanoseconds over virtual wall-clock × workers.
+        let wall_ns = (out.sim_seconds * 1e9).max(1.0) * sim.config().workers_per_mds as f64;
+        let util: Vec<String> = (0..m)
+            .map(|k| {
+                let busy = registry
+                    .counter(MetricKey::mds(names::MDS_BUSY_NS, k as u16))
+                    .get();
+                format!("mds{k} {:.0}%", 100.0 * busy as f64 / wall_ns)
+            })
+            .collect();
+        println!("{:<16} utilization: {}", "", util.join("  "));
     }
     println!("\n(larger locality/balance is better; see EXPERIMENTS.md for full sweeps)");
 }

@@ -1,0 +1,443 @@
+//! Offline stand-in for `proptest`.
+//!
+//! A miniature property-testing runner implementing the subset of the
+//! proptest API this workspace's tests use:
+//!
+//! * the [`proptest!`] macro (with optional
+//!   `#![proptest_config(ProptestConfig::with_cases(n))]`),
+//! * [`Strategy`] for integer/float ranges, `&str` regex patterns (a
+//!   generative subset: literals, classes, groups, `{m,n}`/`*`/`+`/`?`),
+//!   and [`collection::vec`],
+//! * [`any`] for primitives and [`sample::Index`],
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs via `Debug` instead), and cases are seeded deterministically
+//! from the test name, so failures reproduce across runs. The default
+//! case count is 32 (upstream: 256) to keep offline CI fast; override
+//! per-block with `ProptestConfig::with_cases`.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::Strategy;
+
+/// Deterministic per-test RNG plus failure plumbing.
+pub mod test_runner {
+    use super::*;
+
+    /// Tuning for one `proptest!` block.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 32 }
+        }
+    }
+
+    /// Why a generated case failed.
+    #[derive(Debug, Clone)]
+    pub struct TestCaseError(pub String);
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        #[must_use]
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    /// Value-generation RNG handed to strategies.
+    #[derive(Debug, Clone)]
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        /// Seeded from the test's name, so every run replays the same
+        /// case sequence.
+        #[must_use]
+        pub fn deterministic(test_name: &str) -> Self {
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in test_name.bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100_0000_01b3);
+            }
+            TestRng(StdRng::seed_from_u64(h))
+        }
+    }
+}
+
+/// Generation of arbitrary values of a type.
+pub trait Arbitrary: Sized {
+    /// Produces one arbitrary value.
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+                use rand::RngCore;
+                rng.0.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        use rand::RngCore;
+        rng.0.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut test_runner::TestRng) -> Self {
+        use rand::Rng;
+        // Bounded arbitrary floats: ±1e9, plenty for property tests and
+        // never NaN/inf (upstream generates those behind flags only).
+        rng.0.gen_range(-1e9..1e9)
+    }
+}
+
+/// Strategy producing [`Arbitrary`] values of `T`.
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// The canonical strategy for any [`Arbitrary`] type.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary + std::fmt::Debug> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut test_runner::TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy yielding a fixed value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut test_runner::TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use rand::Rng;
+
+    /// Element-count specification for [`vec`]: a fixed `usize` or a
+    /// `Range<usize>`.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_exclusive: n + 1,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_exclusive: r.end,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_exclusive: *r.end() + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: std::fmt::Debug,
+    {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling helpers.
+pub mod sample {
+    use super::test_runner::TestRng;
+    use super::Arbitrary;
+
+    /// An index into a collection of not-yet-known length: generate one
+    /// arbitrarily, then project it onto `0..len` with
+    /// [`index`](Index::index).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Index(usize);
+
+    impl Index {
+        /// This index projected onto a collection of length `len`.
+        ///
+        /// # Panics
+        ///
+        /// Panics if `len == 0`.
+        #[must_use]
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            self.0 % len
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            use rand::RngCore;
+            Index(rng.0.next_u64() as usize)
+        }
+    }
+}
+
+/// The `prop::` hierarchy re-exported by the prelude.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// Everything tests typically import.
+pub mod prelude {
+    pub use crate::strategy::Strategy;
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{any, prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just};
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (not
+/// panicking) so the harness can report the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l,
+            r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Asserts two expressions differ inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+        $($(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strategy:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::TestRng::deterministic(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for case in 0..config.cases {
+                    let values =
+                        ($( $crate::strategy::Strategy::generate(&$strategy, &mut rng), )+);
+                    let inputs = format!(
+                        concat!(stringify!(($($arg),+)), " = {:?}"),
+                        values
+                    );
+                    let ($($arg,)+) = values;
+                    #[allow(clippy::redundant_closure_call)]
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            ::std::result::Result::Ok(())
+                        })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {} failed at case {}/{} with inputs [{}]: {}",
+                            stringify!($name),
+                            case + 1,
+                            config.cases,
+                            inputs,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($rest)*
+        );
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 0usize..10, y in 1u64..=5, f in 0.0f64..1.0) {
+            prop_assert!(x < 10);
+            prop_assert!((1..=5).contains(&y));
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_strategy_sizes(v in prop::collection::vec(0u8..255, 3..7)) {
+            prop_assert!((3..7).contains(&v.len()));
+        }
+
+        #[test]
+        fn regex_paths_parse(paths in prop::collection::vec("(/[a-d]{1,2}){1,6}", 1..10)) {
+            for p in &paths {
+                prop_assert!(p.starts_with('/'), "{p:?}");
+                let comps: Vec<&str> = p.split('/').skip(1).collect();
+                prop_assert!((1..=6).contains(&comps.len()), "{p:?}");
+                for c in comps {
+                    prop_assert!((1..=2).contains(&c.len()), "{p:?}");
+                    prop_assert!(c.bytes().all(|b| (b'a'..=b'd').contains(&b)), "{p:?}");
+                }
+            }
+        }
+
+        #[test]
+        fn index_projects_into_range(ix in any::<prop::sample::Index>(), len in 1usize..100) {
+            prop_assert!(ix.index(len) < len);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+
+        #[test]
+        fn config_is_honoured(_x in 0u8..=255) {
+            // Merely exercising the config path; 3 cases must not panic.
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 5usize..6) {
+                prop_assert!(x != 5, "x was {}", x);
+            }
+        }
+        let err = std::panic::catch_unwind(inner).unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("x was 5"), "{msg}");
+        assert!(msg.contains("inner"), "{msg}");
+    }
+
+    #[test]
+    fn early_ok_return_is_allowed() {
+        proptest! {
+            #[allow(unused)]
+            fn inner(x in 0usize..10) {
+                if x > 100 {
+                    prop_assert!(false, "unreachable");
+                }
+                return Ok(());
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,313 @@
+//! The [`Strategy`] trait and its built-in implementations: numeric
+//! ranges, `&str` regex patterns and boxed/owned indirections.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of one type.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this shim generates values directly.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: std::fmt::Debug;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// String literals act as regex strategies: generate a string matching
+/// the pattern. Supported subset: literal characters, `[a-z0-9_]`-style
+/// classes (ranges and singles), `(...)` groups, alternation `a|b`, and
+/// the quantifiers `{m}`, `{m,n}`, `*`, `+`, `?` (unbounded repeats cap
+/// at 8).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let ast = regex::parse(self)
+            .unwrap_or_else(|e| panic!("unsupported regex strategy {self:?}: {e}"));
+        let mut out = String::new();
+        regex::generate(&ast, rng, &mut out);
+        out
+    }
+}
+
+/// Parser + generator for the regex subset.
+mod regex {
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Cap for `*`/`+`/open-ended `{m,}` repetition.
+    const UNBOUNDED_CAP: u32 = 8;
+
+    #[derive(Debug)]
+    pub(super) enum Ast {
+        /// Sequence of factors.
+        Seq(Vec<Ast>),
+        /// `a|b|c` alternatives.
+        Alt(Vec<Ast>),
+        /// One literal character.
+        Lit(char),
+        /// A character class: inclusive ranges.
+        Class(Vec<(char, char)>),
+        /// `inner{lo,hi}` (inclusive).
+        Repeat(Box<Ast>, u32, u32),
+    }
+
+    pub(super) fn parse(pattern: &str) -> Result<Ast, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let ast = parse_alt(&chars, &mut pos)?;
+        if pos != chars.len() {
+            return Err(format!("trailing input at {pos}"));
+        }
+        Ok(ast)
+    }
+
+    fn parse_alt(chars: &[char], pos: &mut usize) -> Result<Ast, String> {
+        let mut branches = vec![parse_seq(chars, pos)?];
+        while *pos < chars.len() && chars[*pos] == '|' {
+            *pos += 1;
+            branches.push(parse_seq(chars, pos)?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Ast::Alt(branches)
+        })
+    }
+
+    fn parse_seq(chars: &[char], pos: &mut usize) -> Result<Ast, String> {
+        let mut factors = Vec::new();
+        while *pos < chars.len() && chars[*pos] != ')' && chars[*pos] != '|' {
+            factors.push(parse_factor(chars, pos)?);
+        }
+        Ok(Ast::Seq(factors))
+    }
+
+    fn parse_factor(chars: &[char], pos: &mut usize) -> Result<Ast, String> {
+        let atom = parse_atom(chars, pos)?;
+        if *pos >= chars.len() {
+            return Ok(atom);
+        }
+        let (lo, hi) = match chars[*pos] {
+            '*' => (0, UNBOUNDED_CAP),
+            '+' => (1, UNBOUNDED_CAP),
+            '?' => (0, 1),
+            '{' => {
+                *pos += 1;
+                let lo = parse_int(chars, pos)?;
+                let hi = if chars.get(*pos) == Some(&',') {
+                    *pos += 1;
+                    if chars.get(*pos) == Some(&'}') {
+                        lo.max(UNBOUNDED_CAP)
+                    } else {
+                        parse_int(chars, pos)?
+                    }
+                } else {
+                    lo
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    return Err(format!("expected }} at {pos:?}"));
+                }
+                (lo, hi)
+            }
+            _ => return Ok(atom),
+        };
+        *pos += 1;
+        if lo > hi {
+            return Err(format!("bad repetition {{{lo},{hi}}}"));
+        }
+        Ok(Ast::Repeat(Box::new(atom), lo, hi))
+    }
+
+    fn parse_int(chars: &[char], pos: &mut usize) -> Result<u32, String> {
+        let start = *pos;
+        while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+            *pos += 1;
+        }
+        if start == *pos {
+            return Err(format!("expected integer at {start}"));
+        }
+        chars[start..*pos]
+            .iter()
+            .collect::<String>()
+            .parse()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Ast, String> {
+        match chars[*pos] {
+            '(' => {
+                *pos += 1;
+                let inner = parse_alt(chars, pos)?;
+                if chars.get(*pos) != Some(&')') {
+                    return Err(format!("unclosed group at {pos:?}"));
+                }
+                *pos += 1;
+                Ok(inner)
+            }
+            '[' => {
+                *pos += 1;
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let lo = read_class_char(chars, pos)?;
+                    if chars.get(*pos) == Some(&'-')
+                        && chars.get(*pos + 1).is_some_and(|&c| c != ']')
+                    {
+                        *pos += 1;
+                        let hi = read_class_char(chars, pos)?;
+                        if lo > hi {
+                            return Err(format!("inverted class range {lo}-{hi}"));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+                if chars.get(*pos) != Some(&']') {
+                    return Err("unclosed character class".to_owned());
+                }
+                *pos += 1;
+                if ranges.is_empty() {
+                    return Err("empty character class".to_owned());
+                }
+                Ok(Ast::Class(ranges))
+            }
+            '\\' => {
+                *pos += 1;
+                let c = *chars.get(*pos).ok_or("dangling escape")?;
+                *pos += 1;
+                Ok(Ast::Lit(c))
+            }
+            '.' => {
+                *pos += 1;
+                Ok(Ast::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9')]))
+            }
+            c @ ('*' | '+' | '?' | '{' | '}' | ']') => Err(format!("unexpected {c:?}")),
+            c => {
+                *pos += 1;
+                Ok(Ast::Lit(c))
+            }
+        }
+    }
+
+    fn read_class_char(chars: &[char], pos: &mut usize) -> Result<char, String> {
+        let c = *chars.get(*pos).ok_or("unterminated class")?;
+        *pos += 1;
+        if c == '\\' {
+            let e = *chars.get(*pos).ok_or("dangling escape in class")?;
+            *pos += 1;
+            Ok(e)
+        } else {
+            Ok(c)
+        }
+    }
+
+    pub(super) fn generate(ast: &Ast, rng: &mut TestRng, out: &mut String) {
+        match ast {
+            Ast::Seq(factors) => {
+                for f in factors {
+                    generate(f, rng, out);
+                }
+            }
+            Ast::Alt(branches) => {
+                let pick = rng.0.gen_range(0..branches.len());
+                generate(&branches[pick], rng, out);
+            }
+            Ast::Lit(c) => out.push(*c),
+            Ast::Class(ranges) => {
+                let pick = rng.0.gen_range(0..ranges.len());
+                let (lo, hi) = ranges[pick];
+                let c = rng.0.gen_range(lo as u32..=hi as u32);
+                out.push(char::from_u32(c).expect("class chars are valid"));
+            }
+            Ast::Repeat(inner, lo, hi) => {
+                let n = rng.0.gen_range(*lo..=*hi);
+                for _ in 0..n {
+                    generate(inner, rng, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn range_strategies_cover_their_domain() {
+        let mut rng = TestRng::deterministic("range_domain");
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            seen[(0usize..5).generate(&mut rng)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "{seen:?}");
+    }
+
+    #[test]
+    fn regex_alternation_and_quantifiers() {
+        let mut rng = TestRng::deterministic("regex_alt");
+        for _ in 0..100 {
+            let s = "(ab|cd)+x?".generate(&mut rng);
+            let trimmed = s.strip_suffix('x').unwrap_or(&s);
+            assert!(!trimmed.is_empty());
+            assert!(trimmed.len().is_multiple_of(2), "{s:?}");
+            for pair in trimmed.as_bytes().chunks(2) {
+                assert!(pair == b"ab" || pair == b"cd", "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn regex_classes_respect_ranges() {
+        let mut rng = TestRng::deterministic("regex_class");
+        for _ in 0..100 {
+            let s = "[a-cx]{2,4}".generate(&mut rng);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| matches!(b, b'a'..=b'c' | b'x')), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn escaped_literals() {
+        let mut rng = TestRng::deterministic("regex_escape");
+        assert_eq!(r"\[x\]".generate(&mut rng), "[x]");
+    }
+}

@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only ever writes `#[derive(Serialize, Deserialize)]` and
+//! `use serde::{Deserialize, Serialize}` — nothing calls a serialisation
+//! API. These derives therefore expand to nothing, keeping every type's
+//! signature identical while the build stays fully offline. Swapping the
+//! workspace dependency back to crates-io serde re-enables real codegen
+//! with no source changes.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

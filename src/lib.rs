@@ -14,6 +14,8 @@
 //!   DROP and AngleCut.
 //! * [`cluster`] — the MDS-cluster substrate (discrete-event simulator,
 //!   live threaded runtime, monitor, lock service).
+//! * [`telemetry`] — counters, gauges, latency histograms, the structured
+//!   event journal and the Prometheus/JSON exporters.
 //!
 //! See the repository `README.md` for a quickstart and `EXPERIMENTS.md` for
 //! the paper-vs-measured record of every table and figure.
@@ -23,4 +25,5 @@ pub use d2tree_cluster as cluster;
 pub use d2tree_core as core;
 pub use d2tree_metrics as metrics;
 pub use d2tree_namespace as namespace;
+pub use d2tree_telemetry as telemetry;
 pub use d2tree_workload as workload;

@@ -92,7 +92,11 @@ fn lock_service_mutual_exclusion_under_stress() {
     for h in handles {
         h.join().unwrap();
     }
-    assert_eq!(max_seen.load(Ordering::SeqCst), 1, "two threads held the lock at once");
+    assert_eq!(
+        max_seen.load(Ordering::SeqCst),
+        1,
+        "two threads held the lock at once"
+    );
     assert_eq!(locks.held_count(), 0);
 }
 
@@ -121,7 +125,10 @@ fn fencing_tokens_strictly_increase_across_threads() {
             fences
         }));
     }
-    let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+    let mut all: Vec<u64> = handles
+        .into_iter()
+        .flat_map(|h| h.join().unwrap())
+        .collect();
     let before = all.len();
     all.sort_unstable();
     all.dedup();

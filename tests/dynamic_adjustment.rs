@@ -11,21 +11,28 @@ use d2tree::workload::{TraceGen, TraceProfile, WorkloadBuilder};
 #[test]
 fn repeated_rounds_converge_to_stable_balance() {
     let w = WorkloadBuilder::new(
-        TraceProfile::dtr().with_nodes(4_000).with_operations(60_000),
+        TraceProfile::dtr()
+            .with_nodes(4_000)
+            .with_operations(60_000),
     )
     .seed(31)
     .build();
     let pop = w.popularity();
     let cluster = ClusterSpec::homogeneous(6, pop.sum_individual() / 6.0);
     let mut scheme = D2TreeScheme::new(
-        D2TreeConfig::paper_default().with_sampling(SampleStrategy::Uniform, 300).with_seed(31),
+        D2TreeConfig::paper_default()
+            .with_sampling(SampleStrategy::Uniform, 300)
+            .with_seed(31),
     );
     scheme.build(&w.tree, &pop, &cluster);
 
     let mut history = Vec::new();
     for _ in 0..10 {
         let migrations = scheme.rebalance(&w.tree, &pop, &cluster);
-        history.push((migrations.len(), balance(&scheme.loads(&w.tree, &pop), &cluster)));
+        history.push((
+            migrations.len(),
+            balance(&scheme.loads(&w.tree, &pop), &cluster),
+        ));
     }
     // Convergence: the tail rounds stop migrating.
     let tail_moves: usize = history.iter().rev().take(3).map(|(m, _)| m).sum();
@@ -39,7 +46,9 @@ fn repeated_rounds_converge_to_stable_balance() {
 #[test]
 fn decay_lets_new_hotspots_dominate() {
     let w = WorkloadBuilder::new(
-        TraceProfile::lmbe().with_nodes(2_000).with_operations(20_000),
+        TraceProfile::lmbe()
+            .with_nodes(2_000)
+            .with_operations(20_000),
     )
     .seed(32)
     .build();
@@ -70,7 +79,11 @@ fn decay_lets_new_hotspots_dominate() {
         "the re-cut should promote ancestors of the new hotspots"
     );
     assert!(plan.new_layer.is_closed_under_parents(&w.tree));
-    assert_eq!(plan.new_layer.len(), old_layer.len(), "same proportion, same size");
+    assert_eq!(
+        plan.new_layer.len(),
+        old_layer.len(),
+        "same proportion, same size"
+    );
 }
 
 #[test]
@@ -85,7 +98,9 @@ fn trace_generator_streams_lazily_and_matches_collected() {
 #[test]
 fn heterogeneous_cluster_gets_proportional_loads() {
     let w = WorkloadBuilder::new(
-        TraceProfile::dtr().with_nodes(3_000).with_operations(50_000),
+        TraceProfile::dtr()
+            .with_nodes(3_000)
+            .with_operations(50_000),
     )
     .seed(34)
     .build();
@@ -100,19 +115,14 @@ fn heterogeneous_cluster_gets_proportional_loads() {
     let loads = scheme.loads(&w.tree, &pop);
     // The big server should carry clearly more than each small one.
     let small_max = loads[..3].iter().cloned().fold(0.0_f64, f64::max);
-    assert!(
-        loads[3] > small_max,
-        "big server underused: {loads:?}"
-    );
+    assert!(loads[3] > small_max, "big server underused: {loads:?}");
 }
 
 #[test]
 fn update_popularity_shapes_the_split() {
-    let w = WorkloadBuilder::new(
-        TraceProfile::ra().with_nodes(2_000).with_operations(30_000),
-    )
-    .seed(35)
-    .build();
+    let w = WorkloadBuilder::new(TraceProfile::ra().with_nodes(2_000).with_operations(30_000))
+        .seed(35)
+        .build();
     let pop = w.popularity();
     let cluster = ClusterSpec::homogeneous(4, 1.0);
 

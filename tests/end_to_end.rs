@@ -9,7 +9,9 @@ use d2tree::metrics::{balance, ClusterSpec};
 use d2tree::workload::{TraceProfile, Workload, WorkloadBuilder};
 
 fn workload(profile: TraceProfile) -> Workload {
-    WorkloadBuilder::new(profile.with_nodes(3_000).with_operations(30_000)).seed(99).build()
+    WorkloadBuilder::new(profile.with_nodes(3_000).with_operations(30_000))
+        .seed(99)
+        .build()
 }
 
 #[test]
@@ -18,7 +20,10 @@ fn full_pipeline_for_every_scheme_and_trace() {
         let w = workload(profile);
         let pop = w.popularity();
         let cluster = ClusterSpec::homogeneous(6, 1.0);
-        let sim = Simulator::new(SimConfig { clients: 32, ..SimConfig::default() });
+        let sim = Simulator::new(SimConfig {
+            clients: 32,
+            ..SimConfig::default()
+        });
         for mut scheme in extended_lineup(0.01, 5) {
             scheme.build(&w.tree, &pop, &cluster);
             assert!(scheme.placement().is_complete(&w.tree), "{}", scheme.name());
@@ -98,7 +103,10 @@ fn d2tree_beats_static_on_balance_under_skew() {
 fn throughput_scales_for_d2tree_but_not_static() {
     let w = workload(TraceProfile::dtr());
     let pop = w.popularity();
-    let sim = Simulator::new(SimConfig { clients: 64, ..SimConfig::default() });
+    let sim = Simulator::new(SimConfig {
+        clients: 64,
+        ..SimConfig::default()
+    });
 
     let run = |m: usize, mk: &dyn Fn() -> Box<dyn Partitioner>| {
         let cluster = ClusterSpec::homogeneous(m, 1.0);
@@ -107,9 +115,8 @@ fn throughput_scales_for_d2tree_but_not_static() {
         sim.replay(&w.tree, &w.trace, scheme.as_ref()).throughput
     };
 
-    let d2 = |_| -> Box<dyn Partitioner> {
-        Box::new(D2TreeScheme::new(D2TreeConfig::paper_default()))
-    };
+    let d2 =
+        |_| -> Box<dyn Partitioner> { Box::new(D2TreeScheme::new(D2TreeConfig::paper_default())) };
     let d2_small = run(3, &|| d2(()));
     let d2_large = run(12, &|| d2(()));
     assert!(
@@ -133,7 +140,11 @@ fn replay_is_deterministic_across_runs() {
     let cluster = ClusterSpec::homogeneous(4, 1.0);
     let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default().with_seed(13));
     scheme.build(&w.tree, &pop, &cluster);
-    let sim = Simulator::new(SimConfig { clients: 16, seed: 3, ..SimConfig::default() });
+    let sim = Simulator::new(SimConfig {
+        clients: 16,
+        seed: 3,
+        ..SimConfig::default()
+    });
     let a = sim.replay(&w.tree, &w.trace, &scheme);
     let b = sim.replay(&w.tree, &w.trace, &scheme);
     assert_eq!(a, b);

@@ -11,18 +11,26 @@ use d2tree::core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree::metrics::{ClusterSpec, MdsId};
 use d2tree::workload::{OpKind, Operation, TraceProfile, WorkloadBuilder};
 
-fn start(m: usize, seed: u64) -> (Arc<d2tree::namespace::NamespaceTree>, LiveCluster, d2tree::workload::Trace) {
-    let w = WorkloadBuilder::new(
-        TraceProfile::lmbe().with_nodes(800).with_operations(2_000),
-    )
-    .seed(seed)
-    .build();
+fn start(
+    m: usize,
+    seed: u64,
+) -> (
+    Arc<d2tree::namespace::NamespaceTree>,
+    LiveCluster,
+    d2tree::workload::Trace,
+) {
+    let w = WorkloadBuilder::new(TraceProfile::lmbe().with_nodes(800).with_operations(2_000))
+        .seed(seed)
+        .build();
     let pop = w.popularity();
     let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
     scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(m, 1.0));
     let tree = Arc::new(w.tree);
-    let cluster =
-        LiveCluster::start(Arc::clone(&tree), scheme.placement().clone(), LiveConfig::default());
+    let cluster = LiveCluster::start(
+        Arc::clone(&tree),
+        scheme.placement().clone(),
+        LiveConfig::default(),
+    );
     (tree, cluster, w.trace)
 }
 
@@ -58,7 +66,10 @@ fn mixed_reads_and_locked_updates() {
     // Root and its replicated prefix take the lock path; deep files do not.
     for _ in 0..50 {
         let resp = client
-            .execute(Operation { target: tree.root(), kind: OpKind::Update })
+            .execute(Operation {
+                target: tree.root(),
+                kind: OpKind::Update,
+            })
             .expect("root update");
         assert!(matches!(resp.body, ResponseBody::Served { .. }));
     }
@@ -68,7 +79,10 @@ fn mixed_reads_and_locked_updates() {
         .max_by_key(|&id| tree.depth(id))
         .unwrap();
     let resp = client
-        .execute(Operation { target: deep, kind: OpKind::Update })
+        .execute(Operation {
+            target: deep,
+            kind: OpKind::Update,
+        })
         .expect("deep update");
     assert!(matches!(resp.body, ResponseBody::Served { .. }));
     let _ = cluster.shutdown();
@@ -123,10 +137,78 @@ fn failover_under_continuous_load() {
         if orphaned == 0 {
             break;
         }
-        assert!(Instant::now() < deadline, "{orphaned} nodes still on the dead server");
+        assert!(
+            Instant::now() < deadline,
+            "{orphaned} nodes still on the dead server"
+        );
         std::thread::sleep(Duration::from_millis(20));
     }
     let _ = Arc::try_unwrap(cluster).unwrap().shutdown();
+}
+
+#[test]
+fn killing_an_mds_journals_mds_down_then_subtree_claimed() {
+    use d2tree::telemetry::EventKind;
+
+    // Seed the servers with the scheme's local index so the failover path
+    // has published subtree roots to re-home (and therefore to journal).
+    let w = WorkloadBuilder::new(TraceProfile::lmbe().with_nodes(800).with_operations(500))
+        .seed(25)
+        .build();
+    let pop = w.popularity();
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+    scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(4, 1.0));
+    let placement = scheme.placement().clone();
+    let index = scheme.local_index().clone();
+    let tree = Arc::new(w.tree);
+    let cluster = LiveCluster::start_with_index(
+        Arc::clone(&tree),
+        placement,
+        index.clone(),
+        LiveConfig::default(),
+    );
+
+    // Pick a victim that owns at least one published subtree root, so its
+    // death forces index re-pointing.
+    let victim = index
+        .iter()
+        .map(|(_, owner)| owner)
+        .next()
+        .expect("non-empty index");
+    std::thread::sleep(Duration::from_millis(100)); // all servers known
+    cluster.kill(victim);
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let events = cluster.registry().journal().snapshot();
+        let down_seq = events.iter().find_map(|e| match e.kind {
+            EventKind::MdsDown { mds } if mds == victim.0 => Some(e.seq),
+            _ => None,
+        });
+        let claim_seq = events.iter().find_map(|e| match e.kind {
+            EventKind::SubtreeClaimed { .. } => Some(e.seq),
+            _ => None,
+        });
+        if let (Some(down), Some(claim)) = (down_seq, claim_seq) {
+            assert!(
+                down < claim,
+                "failure must be journaled before the claim: down seq {down}, claim seq {claim}"
+            );
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no MdsDown + SubtreeClaimed pair in the journal (down: {down_seq:?}, claim: {claim_seq:?})"
+        );
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    let report = cluster.shutdown();
+    // The shutdown report carries the same journal.
+    assert!(report
+        .journal
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::MdsDown { mds } if mds == victim.0)));
 }
 
 #[test]

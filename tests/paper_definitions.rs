@@ -61,9 +61,7 @@ fn eq7_locality_identity() {
     assert!((report.weighted_jumps - denominator).abs() < 1e-12);
     assert!((report.locality - 1.0 / denominator).abs() < 1e-15);
     // And via the layer's own accounting.
-    assert!(
-        (scheme.global_layer().locality_denominator(&t, &pop) - denominator).abs() < 1e-12
-    );
+    assert!((scheme.global_layer().locality_denominator(&t, &pop) - denominator).abs() < 1e-12);
 }
 
 /// Def. 5 worked example: M = 3, C = (10, 10, 20), L = (6, 4, 10).
@@ -102,7 +100,9 @@ fn thm1_partition_reduction_construction() {
     let mut t = NamespaceTree::new();
     let mut pop_builder = Vec::new();
     for (i, &s) in sizes.iter().enumerate() {
-        let f = t.create(t.root(), &format!("f{i}"), NodeKind::File).unwrap();
+        let f = t
+            .create(t.root(), &format!("f{i}"), NodeKind::File)
+            .unwrap();
         pop_builder.push((f, s));
     }
     let mut pop = Popularity::new(&t);

@@ -134,8 +134,9 @@ fn dkw_bound_holds_empirically() {
     let trials = 200;
     let mut violations = 0;
     for _ in 0..trials {
-        let sample: Vec<f64> =
-            (0..k).map(|_| reference[rng.gen_range(0..reference.len())]).collect();
+        let sample: Vec<f64> = (0..k)
+            .map(|_| reference[rng.gen_range(0..reference.len())])
+            .collect();
         let e = Ecdf::from_samples(sample);
         if e.sup_distance(&full) > eps {
             violations += 1;

@@ -10,9 +10,13 @@ use d2tree::workload::{TraceProfile, WorkloadBuilder};
 use proptest::prelude::*;
 
 fn small_workload(seed: u64, nodes: usize) -> d2tree::workload::Workload {
-    WorkloadBuilder::new(TraceProfile::ra().with_nodes(nodes).with_operations(nodes * 8))
-        .seed(seed)
-        .build()
+    WorkloadBuilder::new(
+        TraceProfile::ra()
+            .with_nodes(nodes)
+            .with_operations(nodes * 8),
+    )
+    .seed(seed)
+    .build()
 }
 
 proptest! {

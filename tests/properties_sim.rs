@@ -6,15 +6,10 @@ use d2tree::metrics::ClusterSpec;
 use d2tree::workload::{TraceProfile, WorkloadBuilder};
 use proptest::prelude::*;
 
-fn built_scheme(
-    seed: u64,
-    m: usize,
-) -> (d2tree::workload::Workload, D2TreeScheme) {
-    let w = WorkloadBuilder::new(
-        TraceProfile::lmbe().with_nodes(400).with_operations(2_000),
-    )
-    .seed(seed)
-    .build();
+fn built_scheme(seed: u64, m: usize) -> (d2tree::workload::Workload, D2TreeScheme) {
+    let w = WorkloadBuilder::new(TraceProfile::lmbe().with_nodes(400).with_operations(2_000))
+        .seed(seed)
+        .build();
     let pop = w.popularity();
     let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default().with_seed(seed));
     scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(m, 1.0));

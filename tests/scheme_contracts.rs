@@ -8,9 +8,13 @@ use d2tree::metrics::ClusterSpec;
 use d2tree::workload::{TraceProfile, WorkloadBuilder};
 
 fn workload(seed: u64) -> d2tree::workload::Workload {
-    WorkloadBuilder::new(TraceProfile::dtr().with_nodes(1_000).with_operations(10_000))
-        .seed(seed)
-        .build()
+    WorkloadBuilder::new(
+        TraceProfile::dtr()
+            .with_nodes(1_000)
+            .with_operations(10_000),
+    )
+    .seed(seed)
+    .build()
 }
 
 #[test]
@@ -18,7 +22,10 @@ fn every_scheme_is_deterministic_under_a_fixed_seed() {
     let w = workload(61);
     let pop = w.popularity();
     let cluster = ClusterSpec::homogeneous(5, 1.0);
-    for (mut a, mut b) in extended_lineup(0.01, 9).into_iter().zip(extended_lineup(0.01, 9)) {
+    for (mut a, mut b) in extended_lineup(0.01, 9)
+        .into_iter()
+        .zip(extended_lineup(0.01, 9))
+    {
         a.build(&w.tree, &pop, &cluster);
         b.build(&w.tree, &pop, &cluster);
         for (id, _) in w.tree.nodes() {
@@ -70,7 +77,12 @@ fn popularity_aware_schemes_react_to_popularity() {
     let pop_a = w.popularity();
     let mut pop_b = pop_a.clone();
     // Invert the regime: heat a set of cold leaves massively.
-    for (id, _) in w.tree.nodes().filter(|(_, n)| !n.kind().is_directory()).take(100) {
+    for (id, _) in w
+        .tree
+        .nodes()
+        .filter(|(_, n)| !n.kind().is_directory())
+        .take(100)
+    {
         pop_b.record(id, 50_000.0);
     }
     pop_b.rollup(&w.tree);
@@ -97,7 +109,14 @@ fn scheme_names_are_stable_api() {
     let names: Vec<&str> = extended_lineup(0.01, 0).iter().map(|s| s.name()).collect();
     assert_eq!(
         names,
-        vec!["D2-Tree", "Static Subtree", "Dynamic Subtree", "DROP", "AngleCut", "Hash Mapping"]
+        vec![
+            "D2-Tree",
+            "Static Subtree",
+            "Dynamic Subtree",
+            "DROP",
+            "AngleCut",
+            "Hash Mapping"
+        ]
     );
 }
 

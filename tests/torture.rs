@@ -61,7 +61,11 @@ fn d2tree_survives_sustained_churn() {
             m += rng.gen_range(1..=2);
             cluster = ClusterSpec::homogeneous(m, 1.0);
             let _ = scheme.expand_cluster(&workload.tree, &pop, &cluster);
-            assert_valid(&workload, &scheme, &format!("expand to {m} (phase {phase_no})"));
+            assert_valid(
+                &workload,
+                &scheme,
+                &format!("expand to {m} (phase {phase_no})"),
+            );
         }
 
         // A few adjustment rounds.
@@ -70,7 +74,10 @@ fn d2tree_survives_sustained_churn() {
             assert_valid(
                 &workload,
                 &scheme,
-                &format!("rebalance round {round} (phase {phase_no}, {} moves)", migrations.len()),
+                &format!(
+                    "rebalance round {round} (phase {phase_no}, {} moves)",
+                    migrations.len()
+                ),
             );
         }
 
@@ -101,7 +108,9 @@ fn d2tree_survives_sustained_churn() {
 #[test]
 fn replication_limited_scheme_survives_expansion() {
     let workload = DriftingWorkload::generate(
-        TraceProfile::dtr().with_nodes(2_000).with_operations(20_000),
+        TraceProfile::dtr()
+            .with_nodes(2_000)
+            .with_operations(20_000),
         2,
         79,
     );
@@ -112,7 +121,9 @@ fn replication_limited_scheme_survives_expansion() {
     pop.rollup(&workload.tree);
 
     let mut scheme = D2TreeScheme::new(
-        D2TreeConfig::paper_default().with_replication_limit(2).with_seed(79),
+        D2TreeConfig::paper_default()
+            .with_replication_limit(2)
+            .with_seed(79),
     );
     let small = ClusterSpec::homogeneous(4, 1.0);
     scheme.build(&workload.tree, &pop, &small);

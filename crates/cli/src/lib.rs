@@ -20,11 +20,14 @@ use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
 
 use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
-use d2tree_cluster::{ReplayOutcome, SimConfig, Simulator};
+use d2tree_cluster::{
+    run_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule, FaultScope, ReplayOutcome,
+    SimConfig, Simulator,
+};
 use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree_metrics::{balance, ClusterSpec};
 use d2tree_namespace::NamespaceTree;
-use d2tree_telemetry::{export, Registry};
+use d2tree_telemetry::{export, names, MetricKey, Registry};
 use d2tree_workload::{io as trace_io, Trace, TraceProfile, TraceStats, WorkloadBuilder};
 
 /// Errors surfaced to the user.
@@ -37,6 +40,8 @@ pub enum CliError {
     Io(std::io::Error),
     /// A trace/namespace file was malformed.
     Format(trace_io::TraceIoError),
+    /// A chaos run violated a recovery invariant or failed to reproduce.
+    Chaos(String),
 }
 
 impl fmt::Display for CliError {
@@ -45,6 +50,7 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Format(e) => write!(f, "bad input file: {e}"),
+            CliError::Chaos(msg) => write!(f, "chaos run failed: {msg}"),
         }
     }
 }
@@ -78,6 +84,7 @@ COMMANDS:
     report     replay a trace and export telemetry (Prometheus text / JSON)
     hotspots   list the hottest paths of a trace
     check      partition with D2-Tree and fsck the resulting state
+    chaos      replay a seeded crash/partition schedule and check recovery
     help       show this message
 
 Common options:
@@ -94,11 +101,20 @@ Common options:
     --ops <n>         trace length (default 100000)
     --out <prefix>    writes <prefix>.tree and <prefix>.trace
 
-`replay` options:
-    --metrics-out <file>  also write the run's telemetry snapshot as JSON
+`replay` / `report` options:
+    --metrics-out <file>  (replay) also write the telemetry snapshot as JSON
+    --format <name>       (report) prometheus | json | both (default both)
+    --fault-drop <p>      drop each client→MDS message with probability p
+    --fault-dup <p>       duplicate each client→MDS message with probability p
+    --fault-seed <n>      seed of the fault injector (default: --seed)
 
-`report` options:
-    --format <name>   prometheus | json | both (default both)
+`chaos` options (schedule is derived from --seed):
+    --mds <n>         cluster size (default 4)
+    --nodes <n>       namespace size (default 600)
+    --ticks <n>       virtual ticks to run (default 400)
+    --tick-ms <n>     virtual ms per tick (default 20)
+    --kills <n>       crash-restart cycles (default 2)
+    --partitions <n>  monitor-link partition windows (default 1)
 ";
 
 /// Simple `--flag value` argument map.
@@ -200,6 +216,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "report" => cmd_report(&Opts::parse(rest)?),
         "hotspots" => cmd_hotspots(&Opts::parse(rest)?),
         "check" => cmd_check(&Opts::parse(rest)?),
+        "chaos" => cmd_chaos(&Opts::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -274,6 +291,37 @@ fn cmd_partition(opts: &Opts) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// Builds the optional fault plan requested by `--fault-*` flags.
+fn fault_plan_from_opts(opts: &Opts, default_seed: u64) -> Result<Option<FaultPlan>, CliError> {
+    let drop_p = opts.num("fault-drop", 0.0f64)?;
+    let dup_p = opts.num("fault-dup", 0.0f64)?;
+    if drop_p <= 0.0 && dup_p <= 0.0 {
+        return Ok(None);
+    }
+    let mut plan = FaultPlan::new(opts.num("fault-seed", default_seed)?);
+    if drop_p > 0.0 {
+        plan = plan.with_rule(
+            FaultRule::new(FaultScope::AllLinks, FaultAction::Drop).with_probability(drop_p),
+        );
+    }
+    if dup_p > 0.0 {
+        plan = plan.with_rule(
+            FaultRule::new(FaultScope::AllLinks, FaultAction::Duplicate).with_probability(dup_p),
+        );
+    }
+    Ok(Some(plan))
+}
+
+/// Pre-registers the fault/recovery metrics so `report` output always
+/// lists them, even for a clean run where every value stays at zero.
+fn preregister_recovery_metrics(registry: &Registry) {
+    let _ = registry.counter(MetricKey::global(names::FAULTS_DROPPED));
+    let _ = registry.counter(MetricKey::global(names::FAULTS_DELAYED));
+    let _ = registry.counter(MetricKey::global(names::FAULTS_DUPLICATED));
+    let _ = registry.counter(MetricKey::global(names::REJOINS_TOTAL));
+    let _ = registry.histogram(MetricKey::global(names::REJOIN_FIRST_CLAIM_MS));
+}
+
 /// Builds a scheme from the CLI options and replays the trace through an
 /// instrumented simulator, returning the scheme name, the outcome and the
 /// telemetry registry the run filled in.
@@ -289,12 +337,16 @@ fn instrumented_replay(opts: &Opts) -> Result<(String, ReplayOutcome, Arc<Regist
     let cluster = ClusterSpec::homogeneous(m, 1.0);
     scheme.build(&tree, &pop, &cluster);
     let registry = Arc::new(Registry::new());
-    let sim = Simulator::new(SimConfig {
+    preregister_recovery_metrics(&registry);
+    let mut sim = Simulator::new(SimConfig {
         clients,
         seed,
         ..SimConfig::default()
     })
     .with_registry(Arc::clone(&registry));
+    if let Some(plan) = fault_plan_from_opts(opts, seed)? {
+        sim = sim.with_faults(plan);
+    }
     let out = sim.replay(&tree, &trace, scheme.as_ref());
     Ok((scheme.name().to_owned(), out, registry))
 }
@@ -403,6 +455,61 @@ fn cmd_check(opts: &Opts) -> Result<String, CliError> {
         }
         Err(CliError::Usage(out))
     }
+}
+
+fn cmd_chaos(opts: &Opts) -> Result<String, CliError> {
+    let seed = opts.num("seed", 42u64)?;
+    let defaults = ChaosConfig::default();
+    let config = ChaosConfig {
+        mds: opts.num("mds", defaults.mds)?,
+        nodes: opts.num("nodes", defaults.nodes)?,
+        ticks: opts.num("ticks", defaults.ticks)?,
+        tick_ms: opts.num("tick-ms", defaults.tick_ms)?,
+        kills: opts.num("kills", defaults.kills)?,
+        partitions: opts.num("partitions", defaults.partitions)?,
+    };
+    if config.mds < 2 {
+        return Err(CliError::Usage("--mds must be at least 2".to_owned()));
+    }
+    let report = run_chaos(seed, &config);
+    let replayed = run_chaos(seed, &config);
+    if report != replayed {
+        return Err(CliError::Chaos(format!(
+            "seed {seed} did not reproduce: two runs produced different reports"
+        )));
+    }
+    if !report.violations.is_empty() {
+        let mut msg = format!(
+            "seed {seed}: {} invariant violation(s):\n",
+            report.violations.len()
+        );
+        for v in report.violations.iter().take(20) {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        return Err(CliError::Chaos(msg));
+    }
+    Ok(format!(
+        "chaos seed {seed}: {} MDSs, {} ticks x {} ms\n\
+         kills: {}  restarts: {}  partitions: {}\n\
+         rejoins: {} ({} reclaimed at least one subtree)\n\
+         faults injected: {} dropped, {} delayed, {} duplicated\n\
+         GL updates blocked by crashed lock holder: {}\n\
+         journal: {} events, identical across two runs\n\
+         invariants: all clean (every subtree exactly one live owner, GL converged)\n",
+        config.mds,
+        report.ticks,
+        config.tick_ms,
+        report.kills,
+        report.restarts,
+        report.partitions,
+        report.rejoins,
+        report.rejoins_with_claims,
+        report.faults_dropped,
+        report.faults_delayed,
+        report.faults_duplicated,
+        report.blocked_updates,
+        report.journal.len(),
+    ))
 }
 
 #[cfg(test)]
@@ -690,6 +797,96 @@ mod tests {
         ]))
         .unwrap();
         assert!(check.starts_with("OK"), "{check}");
+        let _ = std::fs::remove_file(tree_file);
+        let _ = std::fs::remove_file(trace_file);
+    }
+
+    #[test]
+    fn chaos_command_runs_clean_and_deterministic() {
+        let out = run(&args(&[
+            "chaos", "--seed", "42", "--mds", "3", "--nodes", "300", "--ticks", "300",
+        ]))
+        .unwrap();
+        assert!(out.contains("identical across two runs"), "{out}");
+        assert!(out.contains("invariants: all clean"), "{out}");
+        assert!(out.contains("kills: 2"), "{out}");
+
+        assert!(matches!(
+            run(&args(&["chaos", "--mds", "1"])),
+            Err(CliError::Usage(msg)) if msg.contains("--mds")
+        ));
+        assert!(matches!(
+            run(&args(&["chaos", "--seed", "x"])),
+            Err(CliError::Usage(msg)) if msg.contains("number")
+        ));
+    }
+
+    #[test]
+    fn report_lists_fault_and_rejoin_counters() {
+        let prefix = tmp_prefix("faultreport");
+        run(&args(&[
+            "synth",
+            "--profile",
+            "dtr",
+            "--nodes",
+            "400",
+            "--ops",
+            "1500",
+            "--out",
+            &prefix,
+        ]))
+        .unwrap();
+        let tree_file = format!("{prefix}.tree");
+        let trace_file = format!("{prefix}.trace");
+
+        // Clean run: counters are pre-registered and render at zero.
+        let prom = run(&args(&[
+            "report",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--format",
+            "prometheus",
+        ]))
+        .unwrap();
+        assert!(prom.contains("d2tree_faults_dropped_total 0"), "{prom}");
+        assert!(prom.contains("d2tree_rejoins_total 0"), "{prom}");
+        assert!(prom.contains("d2tree_rejoin_first_claim_ms"), "{prom}");
+
+        // Faulty run: the injector fills the drop counter in.
+        let faulty = run(&args(&[
+            "report",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--format",
+            "json",
+            "--fault-drop",
+            "0.05",
+            "--fault-dup",
+            "0.05",
+        ]))
+        .unwrap();
+        assert!(faulty.contains("faults_dropped_total"), "{faulty}");
+        assert!(
+            !faulty.contains("\"name\":\"faults_dropped_total\",\"mds\":null,\"value\":0}"),
+            "fault flags should inject at least one drop: {faulty}"
+        );
+
         let _ = std::fs::remove_file(tree_file);
         let _ = std::fs::remove_file(trace_file);
     }

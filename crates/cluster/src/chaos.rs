@@ -1,0 +1,592 @@
+//! Deterministic virtual-time chaos engine for the recovery protocol.
+//!
+//! [`run_chaos`] replays a seeded schedule of MDS crashes, restarts and
+//! Monitor-link partitions against the full recovery stack — the real
+//! [`Monitor`] state machine, the real lease-based [`LockService`] and
+//! the real mirror-division rejoin path — on a virtual millisecond
+//! clock. Unlike the wall-clock live runtime, every run with the same
+//! seed and config produces an *identical* event journal, so a failing
+//! schedule is a reproducible test case, not an anecdote.
+//!
+//! The engine machine-checks the cluster's safety invariants at every
+//! quiesce point (no partition active, every crash declared and failed
+//! over, schedule given time to settle):
+//!
+//! * no local-layer subtree is lost — the ownership table always covers
+//!   exactly the subtrees the initial placement published;
+//! * no subtree is owned by a crashed server once fail-over settles;
+//! * global-layer versions converge across all live replicas (a crashed
+//!   replica freezes, misses commits, and must re-sync on restart).
+//!
+//! Crashes are adversarial: a victim that can grab the global-layer
+//! lock crashes *while holding it*, so the schedule also exercises the
+//! lease-expiry path (updates stay blocked until the dead holder's
+//! lease runs out, never forever).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use d2tree_core::{D2TreeConfig, D2TreeScheme, Heartbeat, Partitioner, Subtree};
+use d2tree_metrics::{ClusterSpec, MdsId, Migration};
+use d2tree_namespace::{NamespaceTree, NodeId};
+use d2tree_telemetry::{names, EventKind, Registry};
+use d2tree_workload::{TraceProfile, WorkloadBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan, FaultRule, FaultScope, NetEdge};
+use crate::lock::LockService;
+use crate::monitor::{ClusterEvent, Monitor, MonitorConfig};
+
+/// Shape of a chaos run. The schedule itself (who dies when, where the
+/// partitions fall) is derived deterministically from the seed passed
+/// to [`run_chaos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Cluster size.
+    pub mds: usize,
+    /// Namespace-tree size the placement is built over.
+    pub nodes: usize,
+    /// Virtual ticks to run; disruptions are scheduled in the first 60%,
+    /// the tail is settle time.
+    pub ticks: u64,
+    /// Virtual milliseconds per tick (one heartbeat round).
+    pub tick_ms: u64,
+    /// Crash-restart cycles to schedule.
+    pub kills: usize,
+    /// Monitor-link partition windows to schedule (long enough to cause
+    /// false failure declarations, so recovery must also cope with
+    /// resurrections of servers that never actually died).
+    pub partitions: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            mds: 4,
+            nodes: 600,
+            ticks: 400,
+            tick_ms: 20,
+            kills: 2,
+            partitions: 1,
+        }
+    }
+}
+
+/// What a chaos run did and found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosReport {
+    /// The seed the schedule was derived from.
+    pub seed: u64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Crashes injected.
+    pub kills: usize,
+    /// Restarts performed.
+    pub restarts: usize,
+    /// Partition windows injected.
+    pub partitions: usize,
+    /// Rejoin protocols completed (restarts plus partition resurrections).
+    pub rejoins: usize,
+    /// Rejoins in which the returning server claimed at least one subtree.
+    pub rejoins_with_claims: usize,
+    /// Global-layer updates blocked by a crashed lock holder's
+    /// still-live lease (they unblock at lease expiry).
+    pub blocked_updates: u64,
+    /// Invariant violations observed at quiesce points (empty = the
+    /// recovery protocol survived the schedule).
+    pub violations: Vec<String>,
+    /// The run's event journal (heartbeats elided), in order. Two runs
+    /// with the same seed and config produce identical journals.
+    pub journal: Vec<EventKind>,
+    /// Messages the fault plan dropped.
+    pub faults_dropped: u64,
+    /// Messages the fault plan delayed or reordered.
+    pub faults_delayed: u64,
+    /// Messages the fault plan duplicated.
+    pub faults_duplicated: u64,
+}
+
+/// One scheduled disruption, in virtual ms.
+#[derive(Debug, Clone, Copy)]
+enum Disruption {
+    Kill(MdsId),
+    Restart(MdsId),
+}
+
+/// Runs one seeded chaos schedule to completion.
+///
+/// # Panics
+///
+/// Panics if `config` is degenerate (zero MDSs, ticks or tick length,
+/// or fewer than two servers to fail over between).
+#[must_use]
+pub fn run_chaos(seed: u64, config: &ChaosConfig) -> ChaosReport {
+    assert!(config.mds >= 2, "chaos needs at least two servers");
+    assert!(config.ticks > 0 && config.tick_ms > 0, "empty schedule");
+    let failure_timeout_ms = 5 * config.tick_ms;
+    let lease_ms = 4 * config.tick_ms;
+    let horizon_ms = config.ticks * config.tick_ms;
+    let disrupt_until_ms = horizon_ms * 3 / 5;
+
+    // Deterministic topology: placement and local index from the real
+    // scheme over a seeded workload tree.
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr()
+            .with_nodes(config.nodes)
+            .with_operations(config.nodes),
+    )
+    .seed(seed)
+    .build();
+    let pop = w.popularity();
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+    scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(config.mds, 1.0));
+    let tree = &w.tree;
+    // BTreeMap: deterministic iteration order is what makes the journal
+    // reproducible.
+    let mut owned: BTreeMap<NodeId, MdsId> = scheme.local_index().iter().collect();
+    let initial_roots: BTreeSet<NodeId> = owned.keys().copied().collect();
+    let gl_node = tree.root(); // always replicated
+
+    // Seeded schedule: kills with a restart after the failure timeout,
+    // partition windows long enough to trigger false declarations.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut schedule: Vec<(u64, Disruption)> = Vec::new();
+    let mut plan = FaultPlan::new(seed);
+    // Crash-restart cycles are laid out back-to-back (never overlapping),
+    // so every scheduled kill actually fires and gets its restart.
+    let mut cursor = failure_timeout_ms;
+    for _ in 0..config.kills {
+        let at = cursor + rng.gen_range(1..=5) * config.tick_ms;
+        let victim = MdsId(rng.gen_range(0..config.mds) as u16);
+        let back_at = at + failure_timeout_ms + rng.gen_range(1..=5) * config.tick_ms;
+        schedule.push((at, Disruption::Kill(victim)));
+        schedule.push((back_at, Disruption::Restart(victim)));
+        cursor = back_at + config.tick_ms;
+    }
+    assert!(
+        cursor <= disrupt_until_ms,
+        "schedule does not fit: raise ticks or lower kills"
+    );
+    let mut partition_windows: Vec<(u64, u64)> = Vec::new();
+    for _ in 0..config.partitions {
+        let from = rng.gen_range(config.tick_ms..disrupt_until_ms.max(config.tick_ms + 1));
+        let until = from + failure_timeout_ms + rng.gen_range(1..=4) * config.tick_ms;
+        let victim = rng.gen_range(0..config.mds) as u16;
+        plan = plan.with_rule(FaultRule::partition(
+            FaultScope::MonitorLink(victim),
+            from,
+            until,
+        ));
+        partition_windows.push((from, until));
+    }
+    schedule.sort_by_key(|&(at, _)| at);
+
+    let registry = Arc::new(Registry::with_journal_capacity(64 * 1024));
+    let injector = FaultInjector::new(&plan).with_registry(Arc::clone(&registry));
+    let mut mon = Monitor::with_journal(
+        MonitorConfig {
+            heartbeat_interval_ms: config.tick_ms,
+            failure_timeout_ms,
+            ..MonitorConfig::default()
+        },
+        config.mds,
+        Arc::clone(registry.journal()),
+    );
+    let locks = LockService::new(lease_ms);
+    let cluster_spec = ClusterSpec::homogeneous(config.mds, 1.0);
+
+    let mut killed = vec![false; config.mds];
+    let mut declared: BTreeSet<usize> = BTreeSet::new();
+    let mut gl_versions = vec![0u64; config.mds];
+    let mut last_disruption_ms = 0u64;
+    let mut next_sched = 0usize;
+    let mut kills = 0usize;
+    let mut restarts = 0usize;
+    let mut rejoins = 0usize;
+    let mut rejoins_with_claims = 0usize;
+    let mut blocked_updates = 0u64;
+    let mut violations: Vec<String> = Vec::new();
+
+    for tick in 0..config.ticks {
+        let now = tick * config.tick_ms;
+
+        // 1. Scheduled disruptions due at this tick.
+        while next_sched < schedule.len() && schedule[next_sched].0 <= now {
+            let (_, d) = schedule[next_sched];
+            next_sched += 1;
+            last_disruption_ms = now;
+            match d {
+                Disruption::Kill(v) => {
+                    if !killed[v.index()] {
+                        // Adversarial crash: die holding the GL lock if
+                        // it is free, wedging updates until lease expiry.
+                        let _leaked = locks.try_acquire(gl_node, now);
+                        killed[v.index()] = true;
+                        kills += 1;
+                    }
+                }
+                Disruption::Restart(v) => {
+                    if killed[v.index()] {
+                        // GL re-sync: a restarted replica copies the
+                        // freshest committed state from the live ones
+                        // before serving (mirrors LiveCluster::restart).
+                        let freshest = gl_versions
+                            .iter()
+                            .enumerate()
+                            .filter(|&(k, _)| !killed[k])
+                            .map(|(_, &v)| v)
+                            .max()
+                            .unwrap_or(gl_versions[v.index()]);
+                        gl_versions[v.index()] = freshest.max(gl_versions[v.index()]);
+                        killed[v.index()] = false;
+                        restarts += 1;
+                    }
+                }
+            }
+        }
+
+        // 2. Heartbeats through the (possibly partitioned) monitor links.
+        for (k, &dead) in killed.iter().enumerate() {
+            if dead {
+                continue;
+            }
+            let edge = NetEdge::MdsToMonitor(k as u16);
+            if injector.decide(edge, now) == FaultDecision::Drop {
+                continue; // partitioned away from the Monitor
+            }
+            let hb = Heartbeat {
+                mds: MdsId(k as u16),
+                load: owned.values().filter(|&&o| o.index() == k).count() as f64,
+            };
+            if let Some(ClusterEvent::MdsRecovered(back)) = mon.on_heartbeat(hb, now) {
+                declared.remove(&back.index());
+                let claimed = rejoin(&registry, &mut mon, tree, &mut owned, back, config.mds, now);
+                rejoins += 1;
+                if claimed > 0 {
+                    rejoins_with_claims += 1;
+                }
+                registry.journal().record(EventKind::MdsRejoined {
+                    mds: back.0,
+                    claimed: claimed as u64,
+                });
+            }
+        }
+
+        // 3. Failure detection and fail-over.
+        for event in mon.detect_failures(now) {
+            let ClusterEvent::MdsFailed(dead) = event else {
+                continue;
+            };
+            declared.insert(dead.index());
+            last_disruption_ms = now;
+            let owned_vec = subtree_table(tree, &owned);
+            let migrations = mon.plan_failover(dead, &owned_vec, &cluster_spec, now);
+            apply_migrations(&registry, tree, &mut owned, &migrations);
+        }
+
+        // 4. One global-layer update per tick through the lock service
+        // (any live server can lead the commit).
+        if killed.iter().any(|&dead| !dead) {
+            match locks.try_acquire(gl_node, now) {
+                Some(token) => {
+                    for (k, v) in gl_versions.iter_mut().enumerate() {
+                        if !killed[k] {
+                            *v += 1; // commit propagates to live replicas only
+                        }
+                    }
+                    let released = locks.release(token);
+                    debug_assert!(released, "fresh token releases cleanly");
+                }
+                None => blocked_updates += 1, // wedged by a crashed holder
+            }
+        }
+
+        // 5. Invariant check at quiesce points.
+        let partitioned = partition_windows
+            .iter()
+            .any(|&(from, until)| now >= from && now < until);
+        let undetected_crash = killed
+            .iter()
+            .enumerate()
+            .any(|(k, &dead)| dead && !declared.contains(&k));
+        let settled = now >= last_disruption_ms + failure_timeout_ms + 2 * config.tick_ms;
+        if !partitioned && !undetected_crash && settled {
+            check_invariants(
+                tick,
+                &owned,
+                &initial_roots,
+                &killed,
+                &gl_versions,
+                &mut violations,
+            );
+        }
+    }
+
+    // Final check: the schedule restarts every victim, so the run must
+    // end healthy regardless of where the last quiesce point fell.
+    check_invariants(
+        config.ticks,
+        &owned,
+        &initial_roots,
+        &killed,
+        &gl_versions,
+        &mut violations,
+    );
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k.name == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    ChaosReport {
+        seed,
+        ticks: config.ticks,
+        kills,
+        restarts,
+        partitions: partition_windows.len(),
+        rejoins,
+        rejoins_with_claims,
+        blocked_updates,
+        violations,
+        journal: snap
+            .events
+            .iter()
+            .map(|e| e.kind)
+            .filter(|k| !matches!(k, EventKind::Heartbeat { .. }))
+            .collect(),
+        faults_dropped: counter(names::FAULTS_DROPPED),
+        faults_delayed: counter(names::FAULTS_DELAYED),
+        faults_duplicated: counter(names::FAULTS_DUPLICATED),
+    }
+}
+
+/// The ownership table as the Monitor's rebalancing APIs want it:
+/// subtree descriptors (size-weighted popularity keeps weights positive
+/// and deterministic) paired with their current owner.
+fn subtree_table(tree: &NamespaceTree, owned: &BTreeMap<NodeId, MdsId>) -> Vec<(Subtree, MdsId)> {
+    owned
+        .iter()
+        .map(|(&root, &owner)| {
+            let parent = tree.node(root).and_then(|n| n.parent()).unwrap_or(root);
+            (
+                Subtree {
+                    root,
+                    parent,
+                    popularity: tree.subtree_size(root) as f64,
+                    size: tree.subtree_size(root),
+                },
+                owner,
+            )
+        })
+        .collect()
+}
+
+/// Rewrites the ownership table for a batch of migrations, journaling
+/// each re-homing as a shed/claim pair.
+fn apply_migrations(
+    registry: &Registry,
+    tree: &NamespaceTree,
+    owned: &mut BTreeMap<NodeId, MdsId>,
+    migrations: &[Migration],
+) {
+    for mg in migrations {
+        owned.insert(mg.node, mg.to);
+        let size = tree.subtree_size(mg.node) as u64;
+        let subtree = mg.node.index() as u64;
+        registry.journal().record(EventKind::SubtreeShed {
+            from: mg.from.0,
+            subtree,
+            size,
+            popularity: size as f64,
+        });
+        registry.journal().record(EventKind::SubtreeClaimed {
+            to: mg.to.0,
+            subtree,
+            size,
+            popularity: size as f64,
+        });
+    }
+}
+
+/// The claiming half of the rejoin protocol (mirrors the live runtime's
+/// `rejoin_claims`): run a pending-pool rebalancing round over the live
+/// capacities; if the load is too even for the adjuster to route
+/// anything to the rejoiner, the owner with the most subtrees hands one
+/// over so a rejoined server never sits idle. Returns claims by `back`.
+fn rejoin(
+    registry: &Registry,
+    mon: &mut Monitor,
+    tree: &NamespaceTree,
+    owned: &mut BTreeMap<NodeId, MdsId>,
+    back: MdsId,
+    m: usize,
+    now: u64,
+) -> usize {
+    let owned_vec = subtree_table(tree, owned);
+    if owned_vec.is_empty() {
+        return 0;
+    }
+    // Dead servers get a vanishing capacity (ClusterSpec requires
+    // strictly positive) so the adjuster routes essentially nothing at
+    // them; migrations onto a still-dead server are filtered anyway.
+    let capacities: Vec<f64> = (0..m)
+        .map(|k| {
+            let id = MdsId(k as u16);
+            if id == back || mon.is_alive(id, now) {
+                1.0
+            } else {
+                1e-9
+            }
+        })
+        .collect();
+    let mut migrations = mon.rebalance(&owned_vec, &ClusterSpec::new(capacities));
+    migrations.retain(|mg| mg.to == back || mon.is_alive(mg.to, now));
+    if !migrations.iter().any(|mg| mg.to == back) {
+        // Deterministic fallback: the busiest other live owner (most
+        // subtrees, ties to the lowest id) hands over its first subtree.
+        let mut per_owner: BTreeMap<MdsId, usize> = BTreeMap::new();
+        for (_, owner) in &owned_vec {
+            if *owner != back && mon.is_alive(*owner, now) {
+                *per_owner.entry(*owner).or_insert(0) += 1;
+            }
+        }
+        let busiest = per_owner
+            .iter()
+            .max_by_key(|(id, n)| (**n, std::cmp::Reverse(id.0)))
+            .map(|(&id, _)| id);
+        if let Some(busiest) = busiest {
+            if let Some((sub, _)) = owned_vec.iter().find(|(_, o)| *o == busiest) {
+                migrations.push(Migration {
+                    node: sub.root,
+                    from: busiest,
+                    to: back,
+                });
+            }
+        }
+    }
+    apply_migrations(registry, tree, owned, &migrations);
+    migrations.iter().filter(|mg| mg.to == back).count()
+}
+
+/// One invariant sweep; violations are appended with their tick.
+fn check_invariants(
+    tick: u64,
+    owned: &BTreeMap<NodeId, MdsId>,
+    initial_roots: &BTreeSet<NodeId>,
+    killed: &[bool],
+    gl_versions: &[u64],
+    violations: &mut Vec<String>,
+) {
+    let roots: BTreeSet<NodeId> = owned.keys().copied().collect();
+    if roots != *initial_roots {
+        for lost in initial_roots.difference(&roots) {
+            violations.push(format!("tick {tick}: subtree {} lost", lost.index()));
+        }
+        for extra in roots.difference(initial_roots) {
+            violations.push(format!(
+                "tick {tick}: phantom subtree {} appeared",
+                extra.index()
+            ));
+        }
+    }
+    for (&root, &owner) in owned {
+        if killed.get(owner.index()).copied().unwrap_or(true) {
+            violations.push(format!(
+                "tick {tick}: subtree {} owned by crashed mds{}",
+                root.index(),
+                owner.0
+            ));
+        }
+    }
+    let live: Vec<(usize, u64)> = gl_versions
+        .iter()
+        .enumerate()
+        .filter(|&(k, _)| !killed[k])
+        .map(|(k, &v)| (k, v))
+        .collect();
+    if live.windows(2).any(|w| w[0].1 != w[1].1) {
+        violations.push(format!("tick {tick}: GL replica divergence {live:?}"));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_journal_and_report() {
+        let config = ChaosConfig::default();
+        let a = run_chaos(42, &config);
+        let b = run_chaos(42, &config);
+        assert_eq!(a, b, "chaos runs must be fully reproducible");
+        assert!(!a.journal.is_empty(), "schedule must leave a trace");
+    }
+
+    #[test]
+    fn default_schedule_recovers_without_violations() {
+        let report = run_chaos(42, &ChaosConfig::default());
+        assert_eq!(report.kills, 2);
+        assert_eq!(report.restarts, report.kills, "every victim restarts");
+        assert!(report.rejoins >= report.restarts);
+        assert!(
+            report.rejoins_with_claims >= 1,
+            "a rejoined server must claim at least one subtree"
+        );
+        assert!(
+            report.violations.is_empty(),
+            "invariants violated: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn different_seeds_produce_different_schedules() {
+        let config = ChaosConfig::default();
+        let a = run_chaos(1, &config);
+        let b = run_chaos(2, &config);
+        assert_ne!(a.journal, b.journal, "seed must steer the schedule");
+    }
+
+    #[test]
+    fn crashed_lock_holder_blocks_updates_until_lease_expiry() {
+        // With kills scheduled, some victim dies holding the GL lock and
+        // the per-tick updates stall until the lease runs out.
+        let report = run_chaos(7, &ChaosConfig::default());
+        assert!(
+            report.blocked_updates > 0,
+            "adversarial crash must wedge at least one update"
+        );
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn partitions_cause_false_declarations_that_heal() {
+        let config = ChaosConfig {
+            kills: 0,
+            partitions: 2,
+            ..ChaosConfig::default()
+        };
+        let report = run_chaos(11, &config);
+        assert_eq!(report.kills, 0);
+        assert!(
+            report.rejoins >= 1,
+            "a long monitor partition must cause a false declaration + rejoin"
+        );
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn seeds_sweep_clean_across_the_ci_matrix() {
+        for seed in [1u64, 7, 42] {
+            let report = run_chaos(seed, &ChaosConfig::default());
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+        }
+    }
+}

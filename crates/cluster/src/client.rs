@@ -6,9 +6,12 @@
 //! the owning MDS, otherwise the target is assumed to live in the
 //! replicated global layer and any MDS will do.
 
+use std::time::Duration;
+
 use d2tree_core::LocalIndex;
 use d2tree_metrics::MdsId;
 use d2tree_namespace::{NamespaceTree, NodeId};
+use rand::Rng;
 
 /// Where the client should send a query.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -40,6 +43,54 @@ impl CacheStats {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+}
+
+/// Unified client retry policy: how often, how patiently and for how
+/// long a client keeps re-issuing one request.
+///
+/// A request fails when *either* budget is exhausted — `max_attempts`
+/// bounds the number of sends, `deadline` bounds total elapsed time
+/// (so a storm of fast redirects cannot spin forever, and a lossy
+/// network cannot hold a caller hostage). Between failed attempts the
+/// client sleeps an exponentially growing backoff with uniform jitter;
+/// see [`RetryPolicy::backoff`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum number of sends per request.
+    pub max_attempts: usize,
+    /// First backoff step; doubles per failed attempt (capped at 16×).
+    pub base_backoff: Duration,
+    /// Upper bound of the uniform jitter added to each backoff.
+    pub jitter: Duration,
+    /// Wall-clock budget for the whole request, retries included.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 40,
+            base_backoff: Duration::from_millis(1),
+            jitter: Duration::from_millis(2),
+            deadline: Duration::from_secs(10),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (0-based): exponential in
+    /// `base_backoff` (doubling, capped at 16×) plus a uniform jitter
+    /// draw in `0..=jitter`.
+    pub fn backoff(&self, attempt: usize, rng: &mut impl Rng) -> Duration {
+        let exp = self.base_backoff * (1u32 << attempt.min(4));
+        let jitter_us = self.jitter.as_micros() as u64;
+        let jitter = if jitter_us == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_micros(rng.gen_range(0..=jitter_us))
+        };
+        exp + jitter
     }
 }
 
@@ -187,6 +238,41 @@ mod tests {
         assert_eq!(cache.route(&tree, sub, 150), RouteDecision::StaleCache);
         cache.refresh(index, 150);
         assert_eq!(cache.route(&tree, sub, 160), RouteDecision::Owner(MdsId(1)));
+    }
+
+    #[test]
+    fn backoff_grows_exponentially_then_caps() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let policy = RetryPolicy {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(1),
+            jitter: Duration::ZERO,
+            deadline: Duration::from_secs(1),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(policy.backoff(0, &mut rng), Duration::from_millis(1));
+        assert_eq!(policy.backoff(1, &mut rng), Duration::from_millis(2));
+        assert_eq!(policy.backoff(3, &mut rng), Duration::from_millis(8));
+        // Capped at 16x base from attempt 4 on.
+        assert_eq!(policy.backoff(4, &mut rng), Duration::from_millis(16));
+        assert_eq!(policy.backoff(20, &mut rng), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn backoff_jitter_is_bounded() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let policy = RetryPolicy {
+            jitter: Duration::from_millis(3),
+            ..RetryPolicy::default()
+        };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            let d = policy.backoff(0, &mut rng);
+            assert!(d >= policy.base_backoff);
+            assert!(d <= policy.base_backoff + policy.jitter);
+        }
     }
 
     #[test]

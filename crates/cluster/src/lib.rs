@@ -17,18 +17,30 @@
 //! lease-based lock service of Sec. IV-A3), [`client`] (the client-side
 //! local-index cache) and [`monitor`] (membership, heartbeats, pending
 //! pool, failure detection).
+//!
+//! Robustness layers: [`fault`] (deterministic seeded fault injection
+//! over client↔MDS, MDS↔Monitor and MDS↔lock edges, consulted by both
+//! transports) and [`chaos`] (a virtual-time chaos engine that replays
+//! seeded kill/partition/restart schedules against the full recovery
+//! protocol and machine-checks ownership and GL-convergence invariants).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod chaos;
 pub mod client;
+pub mod fault;
 pub mod live;
 pub mod lock;
 pub mod message;
 pub mod monitor;
 pub mod sim;
 
-pub use client::{CacheStats, ClientCache};
+pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use client::{CacheStats, ClientCache, RetryPolicy};
+pub use fault::{
+    FaultAction, FaultDecision, FaultInjector, FaultPlan, FaultRule, FaultScope, NetEdge,
+};
 pub use lock::{LockService, LockToken};
 pub use message::{Request, RequestId, Response, ResponseBody};
 pub use monitor::{ClusterEvent, Monitor, MonitorConfig};

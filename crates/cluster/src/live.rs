@@ -16,8 +16,8 @@ use std::time::{Duration, Instant};
 
 use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
-use d2tree_core::Heartbeat;
-use d2tree_metrics::{Assignment, MdsId, Placement};
+use d2tree_core::{Heartbeat, Subtree};
+use d2tree_metrics::{Assignment, ClusterSpec, MdsId, Migration, Placement};
 use d2tree_namespace::{AttrTable, NamespaceTree, NodeId};
 use d2tree_workload::{OpKind, Operation};
 use parking_lot::RwLock;
@@ -28,7 +28,8 @@ use d2tree_core::LocalIndex;
 
 use d2tree_telemetry::{names, Counter, Event, EventKind, MetricKey, Registry};
 
-use crate::client::{CacheStats, ClientCache, RouteDecision};
+use crate::client::{CacheStats, ClientCache, RetryPolicy, RouteDecision};
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan, NetEdge};
 use crate::lock::LockService;
 use crate::message::{Request, RequestId, Response, ResponseBody};
 use crate::monitor::{ClusterEvent, Monitor, MonitorConfig};
@@ -42,8 +43,8 @@ pub struct LiveConfig {
     pub failure_timeout: Duration,
     /// Client-side per-attempt response timeout.
     pub request_timeout: Duration,
-    /// Client-side attempt budget per operation.
-    pub max_retries: usize,
+    /// Client retry policy: attempt budget, backoff and overall deadline.
+    pub retry: RetryPolicy,
     /// How long a client's cached local index stays fresh before it
     /// re-fetches (the GFS-style lease of Sec. IV-A2).
     pub index_lease: Duration,
@@ -59,7 +60,7 @@ impl Default for LiveConfig {
             heartbeat_interval: Duration::from_millis(20),
             failure_timeout: Duration::from_millis(120),
             request_timeout: Duration::from_millis(50),
-            max_retries: 40,
+            retry: RetryPolicy::default(),
             index_lease: Duration::from_millis(500),
             rebalance_factor: 3.0,
         }
@@ -92,17 +93,33 @@ struct Shared {
     migrations: AtomicU64,
     locks: LockService,
     killed: Vec<AtomicBool>,
+    /// Wall-ms timestamp of each server's last [`LiveCluster::restart`]
+    /// (`u64::MAX` when never restarted, or already consumed by the
+    /// Monitor's rejoin-latency measurement).
+    restarted_at: Vec<AtomicU64>,
     served: Vec<AtomicU64>,
     redirects: AtomicU64,
     epoch: Instant,
     /// Cluster-wide telemetry: counters plus the event journal the
     /// Monitor also writes membership transitions into.
     registry: Arc<Registry>,
+    /// Seeded fault injector both transport directions consult; `None`
+    /// runs the cluster fault-free with zero overhead.
+    faults: Option<FaultInjector>,
 }
 
 impl Shared {
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Consults the fault plan for one message on `edge` (a no-op
+    /// `Deliver` when the cluster runs fault-free).
+    fn fault(&self, edge: NetEdge) -> FaultDecision {
+        match &self.faults {
+            Some(inj) => inj.decide(edge, self.now_ms()),
+            None => FaultDecision::Deliver,
+        }
     }
 }
 
@@ -166,12 +183,46 @@ impl LiveCluster {
         index: LocalIndex,
         config: LiveConfig,
     ) -> Self {
+        Self::start_inner(tree, placement, index, config, None)
+    }
+
+    /// Like [`start_with_index`](Self::start_with_index), with a seeded
+    /// [`FaultPlan`] that every transport edge (client↔MDS, MDS↔Monitor,
+    /// MDS↔lock-service) consults on each message. Injected faults are
+    /// journaled as [`EventKind::FaultInjected`] and counted in the
+    /// `faults_dropped/delayed/duplicated_total` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is not complete for `tree`.
+    #[must_use]
+    pub fn start_with_faults(
+        tree: Arc<NamespaceTree>,
+        placement: Placement,
+        index: LocalIndex,
+        config: LiveConfig,
+        plan: FaultPlan,
+    ) -> Self {
+        Self::start_inner(tree, placement, index, config, Some(plan))
+    }
+
+    fn start_inner(
+        tree: Arc<NamespaceTree>,
+        placement: Placement,
+        index: LocalIndex,
+        config: LiveConfig,
+        plan: Option<FaultPlan>,
+    ) -> Self {
         assert!(
             placement.is_complete(&tree),
             "live cluster needs a complete placement"
         );
         let m = placement.cluster_size();
         let attr_stores = (0..m).map(|_| RwLock::new(AttrTable::new(&tree))).collect();
+        let registry = Arc::new(Registry::new());
+        let faults = plan
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultInjector::new(&p).with_registry(Arc::clone(&registry)));
         let shared = Arc::new(Shared {
             tree,
             placement: RwLock::new(placement),
@@ -182,10 +233,12 @@ impl LiveCluster {
             migrations: AtomicU64::new(0),
             locks: LockService::new(1_000),
             killed: (0..m).map(|_| AtomicBool::new(false)).collect(),
+            restarted_at: (0..m).map(|_| AtomicU64::new(u64::MAX)).collect(),
             served: (0..m).map(|_| AtomicU64::new(0)).collect(),
             redirects: AtomicU64::new(0),
             epoch: Instant::now(),
-            registry: Arc::new(Registry::new()),
+            registry,
+            faults,
         });
 
         let (hb_tx, hb_rx) = unbounded::<Heartbeat>();
@@ -236,7 +289,7 @@ impl LiveCluster {
             shared: Arc::clone(&self.shared),
             server_txs: self.server_txs.clone(),
             timeout: self.config.request_timeout,
-            max_retries: self.config.max_retries,
+            retry: self.config.retry,
             cache: ClientCache::new(self.config.index_lease.as_millis() as u64),
             next_id: 1,
             rng: StdRng::seed_from_u64(seed),
@@ -245,8 +298,152 @@ impl LiveCluster {
 
     /// Crash-stops one MDS: it silently drops every message and stops
     /// heartbeating, exactly like a crashed process behind a live socket.
-    pub fn kill(&self, mds: MdsId) {
-        self.shared.killed[mds.index()].store(true, Ordering::SeqCst);
+    ///
+    /// Idempotent and panic-free: killing an already-dead or unknown
+    /// `MdsId` is a no-op. Returns whether the call changed state (the
+    /// server was alive and is now dead).
+    pub fn kill(&self, mds: MdsId) -> bool {
+        match self.shared.killed.get(mds.index()) {
+            Some(flag) => !flag.swap(true, Ordering::SeqCst),
+            None => false,
+        }
+    }
+
+    /// Crash-**restarts** a previously-[`kill`](Self::kill)ed MDS,
+    /// running the recovery half of the paper's dynamic-adjustment
+    /// protocol:
+    ///
+    /// 1. The replica re-fetches the current global-layer state through
+    ///    the lock service — for every replicated node it takes the
+    ///    per-node lock, copies the freshest committed attribute version
+    ///    from the live replicas, and releases (a killed replica misses
+    ///    all GL propagation while down, so this is what makes it safe
+    ///    to serve again).
+    /// 2. It resumes heartbeating, which re-registers it with the
+    ///    Monitor: the Monitor sees a heartbeat from a declared-dead
+    ///    server, journals [`EventKind::MdsRejoined`] and hands it
+    ///    subtrees from the pending pool via the mirror-division
+    ///    claiming path (Sec. IV-B).
+    ///
+    /// Idempotent and panic-free: restarting an alive or unknown
+    /// `MdsId` is a no-op. Returns whether the call changed state (the
+    /// server was dead and is now rejoining).
+    pub fn restart(&self, mds: MdsId) -> bool {
+        let Some(flag) = self.shared.killed.get(mds.index()) else {
+            return false;
+        };
+        if !flag.load(Ordering::SeqCst) {
+            return false;
+        }
+        let me = mds.index();
+        // GL re-sync before serving: every replicated node's freshest
+        // committed copy, fetched under the node's lock so a concurrent
+        // writer cannot interleave a partial commit.
+        let replicated: Vec<NodeId> = {
+            let placement = self.shared.placement.read();
+            self.shared
+                .tree
+                .nodes()
+                .map(|(id, _)| id)
+                .filter(|&id| placement.assignment(id) == Assignment::Replicated)
+                .collect()
+        };
+        for node in replicated {
+            let token = loop {
+                if let Some(t) = self.shared.locks.try_acquire(node, self.shared.now_ms()) {
+                    break t;
+                }
+                std::thread::yield_now();
+            };
+            let freshest = self
+                .shared
+                .attr_stores
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != me && !self.shared.killed[k].load(Ordering::SeqCst))
+                .map(|(_, store)| store.read().get(node))
+                .max_by_key(|attr| attr.version);
+            if let Some(attr) = freshest {
+                self.shared.attr_stores[me]
+                    .write()
+                    .apply_if_newer(node, attr);
+            }
+            let released = self.shared.locks.release(token);
+            debug_assert!(released, "fresh token releases cleanly");
+        }
+        self.shared.restarted_at[me].store(self.shared.now_ms(), Ordering::SeqCst);
+        // Clearing the flag resumes serving and heartbeating; the
+        // Monitor completes the rejoin on the next heartbeat.
+        flag.store(false, Ordering::SeqCst);
+        true
+    }
+
+    /// Machine-checks the cluster's ownership and replication
+    /// invariants at a quiesce point (no kill/restart/partition
+    /// currently in flight and fail-over given time to settle):
+    ///
+    /// * the placement is complete — no node lost its assignment;
+    /// * every single-owner node's owner is a live (non-killed) MDS;
+    /// * the published local index agrees with the placement (no
+    ///   subtree double-owned between the index and the placement);
+    /// * global-layer attribute versions agree across live replicas.
+    ///
+    /// Returns human-readable violation descriptions (empty = healthy).
+    /// Mid-fail-over the checker legitimately reports transient
+    /// violations; poll until empty instead of asserting immediately.
+    #[must_use]
+    pub fn check_invariants(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let alive = |k: MdsId| -> bool { !self.shared.killed[k.index()].load(Ordering::SeqCst) };
+        let placement = self.shared.placement.read().clone();
+        if !placement.is_complete(&self.shared.tree) {
+            violations.push("placement incomplete: some node lost its assignment".to_string());
+        }
+        for (id, _) in self.shared.tree.nodes() {
+            if let Some(owner) = placement.assignment(id).owner() {
+                if owner.index() >= self.shared.killed.len() {
+                    violations.push(format!(
+                        "node {} owned by unknown mds{}",
+                        id.index(),
+                        owner.0
+                    ));
+                } else if !alive(owner) {
+                    violations.push(format!("node {} owned by dead mds{}", id.index(), owner.0));
+                }
+            }
+        }
+        let index = self.shared.index.read().clone();
+        for (root, owner) in index.iter() {
+            match placement.assignment(root).owner() {
+                Some(o) if o == owner => {}
+                other => violations.push(format!(
+                    "index points subtree {} at mds{} but placement says {:?}",
+                    root.index(),
+                    owner.0,
+                    other
+                )),
+            }
+        }
+        for (id, _) in self.shared.tree.nodes() {
+            if placement.assignment(id) != Assignment::Replicated {
+                continue;
+            }
+            let versions: Vec<(usize, u64)> = self
+                .shared
+                .attr_stores
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| alive(MdsId(k as u16)))
+                .map(|(k, store)| (k, store.read().get(id).version))
+                .collect();
+            if versions.windows(2).any(|w| w[0].1 != w[1].1) {
+                violations.push(format!(
+                    "GL replica divergence on node {}: {versions:?}",
+                    id.index()
+                ));
+            }
+        }
+        violations
     }
 
     /// Snapshot of the current placement (e.g. to observe fail-over).
@@ -329,7 +526,24 @@ fn server_main(
     loop {
         if !shared.killed[me].load(Ordering::SeqCst) && last_hb.elapsed() >= interval {
             let load = shared.served[me].load(Ordering::SeqCst) as f64;
-            let _ = hb_tx.send(Heartbeat { mds: my_id, load });
+            let hb = Heartbeat { mds: my_id, load };
+            match shared.fault(NetEdge::MdsToMonitor(me as u16)) {
+                FaultDecision::Drop => {} // heartbeat lost in transit
+                FaultDecision::Delay(ms) => {
+                    let hb_tx = hb_tx.clone();
+                    std::thread::spawn(move || {
+                        std::thread::sleep(Duration::from_millis(ms));
+                        let _ = hb_tx.send(hb);
+                    });
+                }
+                FaultDecision::DeliverTwice => {
+                    let _ = hb_tx.send(hb);
+                    let _ = hb_tx.send(hb); // heartbeats are idempotent
+                }
+                FaultDecision::Deliver => {
+                    let _ = hb_tx.send(hb);
+                }
+            }
             last_hb = Instant::now();
         }
         match rx.recv_timeout(interval) {
@@ -350,6 +564,18 @@ fn server_main(
                 let body = match assignment {
                     Assignment::Replicated => {
                         if req.kind == OpKind::Update {
+                            // The lock service sits across the network:
+                            // consult the fault plan before talking to it.
+                            // Partitioned from it, the server cannot
+                            // serialise the update — drop the request and
+                            // let the client's retry policy cope.
+                            match shared.fault(NetEdge::MdsToLock(me as u16)) {
+                                FaultDecision::Drop => continue,
+                                FaultDecision::Delay(ms) => {
+                                    std::thread::sleep(Duration::from_millis(ms));
+                                }
+                                _ => {}
+                            }
                             // Global-layer mutation: serialise through the
                             // lock service (spin until granted), commit on
                             // this replica, propagate to the others while
@@ -368,7 +594,10 @@ fn server_main(
                                 .update(req.target, |a| a.mtime = now);
                             let committed = shared.attr_stores[me].read().get(req.target);
                             for (k, store) in shared.attr_stores.iter().enumerate() {
-                                if k != me {
+                                // A killed replica is a crashed process: it
+                                // misses propagation and must re-sync through
+                                // the lock service on restart.
+                                if k != me && !shared.killed[k].load(Ordering::SeqCst) {
                                     store.write().apply_if_newer(req.target, committed);
                                 }
                             }
@@ -415,7 +644,26 @@ fn server_main(
                     body,
                     hops: req.hops,
                 };
-                let _ = reply.send(resp.encode());
+                let frame = resp.encode();
+                match shared.fault(NetEdge::MdsToClient(me as u16)) {
+                    FaultDecision::Drop => {} // reply lost; client times out
+                    FaultDecision::Delay(ms) => {
+                        // Deliver late without stalling the serve loop.
+                        std::thread::spawn(move || {
+                            std::thread::sleep(Duration::from_millis(ms));
+                            let _ = reply.try_send(frame);
+                        });
+                    }
+                    FaultDecision::DeliverTwice => {
+                        let _ = reply.send(frame.clone());
+                        // The client consumes one copy and drops the
+                        // channel; never block on the duplicate.
+                        let _ = reply.try_send(frame);
+                    }
+                    FaultDecision::Deliver => {
+                        let _ = reply.send(frame);
+                    }
+                }
             }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
@@ -436,13 +684,36 @@ fn monitor_main(
     let failures_total = shared
         .registry
         .counter(MetricKey::global(names::MDS_FAILURES_TOTAL));
+    let rejoins_total = shared
+        .registry
+        .counter(MetricKey::global(names::REJOINS_TOTAL));
+    let rejoin_latency = shared
+        .registry
+        .histogram(MetricKey::global(names::REJOIN_FIRST_CLAIM_MS));
     let tick = Duration::from_millis(config.heartbeat_interval_ms.max(1));
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
         match hb_rx.recv_timeout(tick) {
-            Ok(hb) => mon.on_heartbeat(hb, shared.now_ms()),
+            Ok(hb) => {
+                if let Some(ClusterEvent::MdsRecovered(back)) =
+                    mon.on_heartbeat(hb, shared.now_ms())
+                {
+                    let now = shared.now_ms();
+                    let claimed = rejoin_claims(shared, &mut mon, m, back, now);
+                    rejoins_total.inc();
+                    let restarted =
+                        shared.restarted_at[back.index()].swap(u64::MAX, Ordering::SeqCst);
+                    if restarted != u64::MAX {
+                        rejoin_latency.record(now.saturating_sub(restarted));
+                    }
+                    shared.registry.journal().record(EventKind::MdsRejoined {
+                        mds: back.0,
+                        claimed: claimed as u64,
+                    });
+                }
+            }
             Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -498,6 +769,113 @@ fn monitor_main(
         }
     }
     mon
+}
+
+/// The claiming half of the rejoin protocol (Sec. IV-B applied to a
+/// crash-restart): when a declared-dead server heartbeats again, the
+/// Monitor rebuilds the subtree-ownership table from the published
+/// index and access counters, runs a pending-pool rebalancing round
+/// over the live capacities (overloaded servers shed into the pool, the
+/// rejoiner claims by mirror division), and rewrites placement + index
+/// for every resulting migration. If the load is too even for the
+/// adjuster to shed anything toward the rejoiner, the busiest other
+/// server hands over its hottest subtree so a rejoined MDS never sits
+/// idle. Returns how many subtrees the rejoiner claimed.
+fn rejoin_claims(shared: &Shared, mon: &mut Monitor, m: usize, back: MdsId, now: u64) -> usize {
+    // Snapshot popularity before touching the index lock (same lock
+    // order as fail-over: servers take index.read → subtree_counts.write).
+    let counts: HashMap<NodeId, f64> = shared.subtree_counts.read().clone();
+    let owned: Vec<(Subtree, MdsId)> = {
+        let index = shared.index.read();
+        index
+            .iter()
+            .map(|(root, owner)| {
+                let parent = shared
+                    .tree
+                    .node(root)
+                    .and_then(|n| n.parent())
+                    .unwrap_or(root);
+                (
+                    Subtree {
+                        root,
+                        parent,
+                        // +1 keeps weights positive so mirror division
+                        // spreads even never-accessed subtrees.
+                        popularity: counts.get(&root).copied().unwrap_or(0.0) + 1.0,
+                        size: shared.tree.subtree_size(root),
+                    },
+                    owner,
+                )
+            })
+            .collect()
+    };
+    if owned.is_empty() {
+        return 0; // nothing published to claim
+    }
+    // Dead servers get a vanishing capacity (ClusterSpec requires
+    // strictly positive) so the adjuster routes essentially nothing at
+    // them; the rejoiner counts as alive (its heartbeat just arrived).
+    let capacities: Vec<f64> = (0..m)
+        .map(|k| {
+            let id = MdsId(k as u16);
+            if id == back || mon.is_alive(id, now) {
+                1.0
+            } else {
+                1e-9
+            }
+        })
+        .collect();
+    let mut migrations = mon.rebalance(&owned, &ClusterSpec::new(capacities));
+    // Belt and braces: never migrate a subtree onto a still-dead server.
+    migrations.retain(|mg| mg.to == back || mon.is_alive(mg.to, now));
+    if !migrations.iter().any(|mg| mg.to == back) {
+        if let Some((sub, from)) = owned
+            .iter()
+            .filter(|(_, o)| *o != back && mon.is_alive(*o, now))
+            .max_by(|a, b| a.0.popularity.total_cmp(&b.0.popularity))
+        {
+            shared.registry.journal().record(EventKind::SubtreeShed {
+                from: from.0,
+                subtree: sub.root.index() as u64,
+                size: sub.size as u64,
+                popularity: sub.popularity,
+            });
+            shared.registry.journal().record(EventKind::SubtreeClaimed {
+                to: back.0,
+                subtree: sub.root.index() as u64,
+                size: sub.size as u64,
+                popularity: sub.popularity,
+            });
+            migrations.push(Migration {
+                node: sub.root,
+                from: *from,
+                to: back,
+            });
+        }
+    }
+    if migrations.is_empty() {
+        return 0;
+    }
+    {
+        let mut placement = shared.placement.write();
+        for mg in &migrations {
+            placement.assign_subtree(&shared.tree, mg.node, mg.to);
+        }
+    }
+    {
+        let mut index = shared.index.write();
+        for mg in &migrations {
+            index.insert(mg.node, mg.to);
+        }
+    }
+    shared
+        .migrations
+        .fetch_add(migrations.len() as u64, Ordering::Relaxed);
+    shared
+        .registry
+        .counter(MetricKey::global(names::MIGRATIONS_TOTAL))
+        .add(migrations.len() as u64);
+    migrations.iter().filter(|mg| mg.to == back).count()
 }
 
 /// One live rebalancing inspection (Sec. IV-B's dynamic adjustment,
@@ -592,10 +970,24 @@ fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum ClientError {
-    /// All retries exhausted (e.g. the cluster is entirely down).
+    /// The attempt budget ran out, but at least one server responded
+    /// along the way (redirect storms, mid-fail-over races).
     RetriesExhausted {
         /// Attempts made.
         attempts: usize,
+    },
+    /// The attempt budget ran out without a single response — every
+    /// attempt timed out (the cluster looks entirely down or
+    /// partitioned away).
+    Timeout {
+        /// Attempts made, all of which timed out.
+        attempts: usize,
+    },
+    /// The [`RetryPolicy::deadline`] elapsed before the request
+    /// completed, regardless of attempts left.
+    DeadlineExceeded {
+        /// Total time spent on the request.
+        elapsed: Duration,
     },
     /// The target node has no assignment anywhere.
     NotFound,
@@ -606,6 +998,12 @@ impl std::fmt::Display for ClientError {
         match self {
             ClientError::RetriesExhausted { attempts } => {
                 write!(f, "request failed after {attempts} attempts")
+            }
+            ClientError::Timeout { attempts } => {
+                write!(f, "no server responded in {attempts} attempts")
+            }
+            ClientError::DeadlineExceeded { elapsed } => {
+                write!(f, "request deadline exceeded after {elapsed:?}")
             }
             ClientError::NotFound => f.write_str("target metadata not found"),
         }
@@ -622,7 +1020,7 @@ pub struct LiveClient {
     shared: Arc<Shared>,
     server_txs: Vec<Sender<ServerMsg>>,
     timeout: Duration,
-    max_retries: usize,
+    retry: RetryPolicy,
     cache: ClientCache,
     next_id: u64,
     rng: StdRng,
@@ -642,6 +1040,15 @@ impl LiveClient {
     fn refresh_cache(&mut self) {
         for _ in 0..self.server_txs.len().max(1) {
             let dest = self.random_server();
+            // The index fetch crosses the same client↔MDS link as the
+            // data path, so the fault plan applies to it too.
+            match self.shared.fault(NetEdge::ClientToMds(dest.0)) {
+                FaultDecision::Drop => continue, // fetch lost; try another
+                FaultDecision::Delay(ms) => {
+                    std::thread::sleep(Duration::from_millis(ms).min(self.timeout));
+                }
+                _ => {}
+            }
             let (tx, rx) = bounded(1);
             if self.server_txs[dest.index()]
                 .send(ServerMsg::FetchIndex(tx))
@@ -669,21 +1076,48 @@ impl LiveClient {
     /// Routing follows the paper's client logic: consult the cached local
     /// index; on a prefix hit go straight to the owner, otherwise any MDS
     /// will do (the global layer is everywhere). Stale routes surface as
-    /// redirects or timeouts and are retried.
+    /// redirects or timeouts and are retried under the configured
+    /// [`RetryPolicy`]: failed attempts back off exponentially with
+    /// jitter, and the whole request is bounded by both the attempt
+    /// budget and the policy deadline. A timed-out destination is
+    /// remembered and avoided on the next attempt (the hint was stale);
+    /// each such re-route is journaled as [`EventKind::Forwarded`].
     ///
     /// # Errors
     ///
     /// * [`ClientError::NotFound`] — no server admits owning the target.
-    /// * [`ClientError::RetriesExhausted`] — no server answered within the
-    ///   attempt budget.
+    /// * [`ClientError::RetriesExhausted`] — attempt budget spent, but
+    ///   servers were responding (e.g. a redirect storm mid-fail-over).
+    /// * [`ClientError::Timeout`] — attempt budget spent without any
+    ///   server ever responding.
+    /// * [`ClientError::DeadlineExceeded`] — the policy deadline elapsed
+    ///   first.
     pub fn execute(&mut self, op: Operation) -> Result<Response, ClientError> {
         let id = RequestId(self.next_id);
         self.next_id += 1;
+        let started = Instant::now();
         let mut hops = 0u32;
         let mut forced_dest: Option<MdsId> = None;
         let mut not_found_streak = 0usize;
-        for _attempt in 0..self.max_retries {
-            let dest = match forced_dest.take() {
+        let mut got_response = false;
+        let mut backoffs = 0usize;
+        // The server whose reply last timed out: its hint is stale, so
+        // the next routed attempt steers around it.
+        let mut stale_dest: Option<MdsId> = None;
+        for _attempt in 0..self.retry.max_attempts {
+            if started.elapsed() >= self.retry.deadline {
+                return Err(ClientError::DeadlineExceeded {
+                    elapsed: started.elapsed(),
+                });
+            }
+            if backoffs > 0 {
+                // Only failed attempts (timeouts, NotFound races) back
+                // off; redirects carry fresh routing and retry at once.
+                let pause = self.retry.backoff(backoffs - 1, &mut self.rng);
+                let remaining = self.retry.deadline.saturating_sub(started.elapsed());
+                std::thread::sleep(pause.min(remaining));
+            }
+            let mut dest = match forced_dest.take() {
                 Some(d) => d,
                 None => {
                     let now = self.shared.now_ms();
@@ -710,48 +1144,104 @@ impl LiveClient {
                     }
                 }
             };
+            if let Some(stale) = stale_dest.take() {
+                if dest == stale && self.server_txs.len() > 1 {
+                    // The cache still points at the server that just
+                    // timed out — steer around it and journal the
+                    // re-route so the operator can see hint staleness.
+                    while dest == stale {
+                        dest = self.random_server();
+                    }
+                    self.shared.registry.journal().record(EventKind::Forwarded {
+                        from: stale.0,
+                        to: dest.0,
+                    });
+                }
+            }
             let req = Request {
                 id,
                 kind: op.kind,
                 target: op.target,
                 hops,
             };
+            let frame = req.encode();
             let (tx, rx) = bounded(1);
-            if self.server_txs[dest.index()]
-                .send(ServerMsg::Frame(req.encode(), tx))
-                .is_err()
-            {
-                continue; // server thread gone; re-route next attempt
+            let mut sent = false;
+            match self.shared.fault(NetEdge::ClientToMds(dest.0)) {
+                FaultDecision::Drop => {} // request lost; attempt times out
+                FaultDecision::Delay(ms) => {
+                    std::thread::sleep(Duration::from_millis(ms).min(self.timeout));
+                    sent = self.server_txs[dest.index()]
+                        .send(ServerMsg::Frame(frame, tx))
+                        .is_ok();
+                }
+                FaultDecision::DeliverTwice => {
+                    sent = self.server_txs[dest.index()]
+                        .send(ServerMsg::Frame(frame.clone(), tx))
+                        .is_ok();
+                    // The duplicate's reply channel is already closed, so
+                    // the server's answer to it is discarded harmlessly.
+                    let (dup_tx, dup_rx) = bounded::<Bytes>(1);
+                    drop(dup_rx);
+                    let _ = self.server_txs[dest.index()].send(ServerMsg::Frame(frame, dup_tx));
+                }
+                FaultDecision::Deliver => {
+                    sent = self.server_txs[dest.index()]
+                        .send(ServerMsg::Frame(frame, tx))
+                        .is_ok();
+                }
+            }
+            if !sent {
+                // Message lost (injected drop or server thread gone):
+                // re-route after backoff like any timed-out attempt.
+                drop(rx);
+                stale_dest = Some(dest);
+                backoffs += 1;
+                continue;
             }
             match rx.recv_timeout(self.timeout) {
                 Ok(mut frame) => match Response::decode(&mut frame) {
-                    Some(resp) => match resp.body {
-                        ResponseBody::Served { .. } => return Ok(resp),
-                        ResponseBody::Redirect { owner } => {
-                            hops += 1;
-                            forced_dest = Some(owner);
-                        }
-                        ResponseBody::NotFound => {
-                            not_found_streak += 1;
-                            if not_found_streak >= 3 {
-                                return Err(ClientError::NotFound);
+                    Some(resp) => {
+                        got_response = true;
+                        match resp.body {
+                            ResponseBody::Served { .. } => return Ok(resp),
+                            ResponseBody::Redirect { owner } => {
+                                hops += 1;
+                                forced_dest = Some(owner);
                             }
-                            // Possibly mid-fail-over; back off and re-route.
-                            std::thread::sleep(self.timeout / 4);
+                            ResponseBody::NotFound => {
+                                not_found_streak += 1;
+                                if not_found_streak >= 3 {
+                                    return Err(ClientError::NotFound);
+                                }
+                                // Possibly mid-fail-over; back off and
+                                // re-route.
+                                backoffs += 1;
+                            }
                         }
-                    },
-                    None => continue,
+                    }
+                    None => {
+                        backoffs += 1;
+                    }
                 },
                 Err(_) => {
                     // Dead or overloaded server; the placement (and index)
-                    // may change under us — drop the stale hint.
-                    continue;
+                    // may change under us — drop the stale hint and avoid
+                    // this destination on the next routed attempt.
+                    stale_dest = Some(dest);
+                    backoffs += 1;
                 }
             }
         }
-        Err(ClientError::RetriesExhausted {
-            attempts: self.max_retries,
-        })
+        if got_response {
+            Err(ClientError::RetriesExhausted {
+                attempts: self.retry.max_attempts,
+            })
+        } else {
+            Err(ClientError::Timeout {
+                attempts: self.retry.max_attempts,
+            })
+        }
     }
 }
 

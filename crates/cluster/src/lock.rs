@@ -196,6 +196,90 @@ mod tests {
     }
 
     #[test]
+    fn replicated_updates_under_lock_delay_lose_nothing() {
+        // Satellite of the chaos PR: concurrent writers pushing
+        // replicated global-layer updates through the lock service while
+        // a fault plan injects delay on every lock-service link. Version
+        // monotonicity and the final counts prove no update was lost or
+        // reordered past another despite the perturbation.
+        use crate::fault::{
+            FaultAction, FaultDecision, FaultInjector, FaultPlan, FaultRule, FaultScope, NetEdge,
+        };
+        use std::sync::Arc;
+        use std::sync::Mutex;
+
+        const WRITERS: usize = 8;
+        const UPDATES: usize = 25;
+        const REPLICAS: usize = 3;
+
+        let locks = Arc::new(LockService::new(10_000));
+        let plan = FaultPlan::new(13).with_rule(
+            FaultRule::new(
+                FaultScope::AllLinks,
+                FaultAction::Delay {
+                    fixed_ms: 0,
+                    jitter_ms: 1,
+                },
+            )
+            .with_probability(0.5),
+        );
+        let injector = Arc::new(FaultInjector::new(&plan));
+        // The replicated state: per-replica version counters plus the
+        // commit log (version at each commit, pushed under the lock).
+        let replicas = Arc::new(Mutex::new(vec![0u64; REPLICAS]));
+        let commit_log = Arc::new(Mutex::new(Vec::<u64>::new()));
+
+        let mut handles = Vec::new();
+        for w in 0..WRITERS as u16 {
+            let locks = Arc::clone(&locks);
+            let injector = Arc::clone(&injector);
+            let replicas = Arc::clone(&replicas);
+            let commit_log = Arc::clone(&commit_log);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..UPDATES {
+                    // The lock service sits across the network: the fault
+                    // plan perturbs every interaction with it.
+                    if let FaultDecision::Delay(ms) =
+                        injector.decide(NetEdge::MdsToLock(w % REPLICAS as u16), i as u64)
+                    {
+                        std::thread::sleep(std::time::Duration::from_millis(ms));
+                    }
+                    let token = loop {
+                        if let Some(t) = locks.try_acquire(n(77), 0) {
+                            break t;
+                        }
+                        std::thread::yield_now();
+                    };
+                    {
+                        let mut reps = replicas.lock().unwrap();
+                        let next = reps[0] + 1;
+                        for v in reps.iter_mut() {
+                            *v = next;
+                        }
+                        commit_log.lock().unwrap().push(next);
+                    }
+                    assert!(locks.release(token));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let log = commit_log.lock().unwrap();
+        assert_eq!(log.len(), WRITERS * UPDATES, "no update lost");
+        assert!(
+            log.windows(2).all(|w| w[0] < w[1]),
+            "lock-serialised versions must be strictly increasing"
+        );
+        let reps = replicas.lock().unwrap();
+        assert!(
+            reps.iter().all(|&v| v == (WRITERS * UPDATES) as u64),
+            "replicas diverged: {reps:?}"
+        );
+    }
+
+    #[test]
     fn concurrent_acquire_grants_exactly_one() {
         use std::sync::Arc;
         let locks = Arc::new(LockService::new(1_000));

@@ -98,13 +98,16 @@ impl Monitor {
             last_seen_ms: vec![None; m],
             declared_dead: vec![false; m],
             loads: vec![0.0; m],
-            adjuster: DynamicAdjuster::new(config.policy),
+            adjuster: DynamicAdjuster::new(config.policy).with_journal(Arc::clone(&journal)),
             journal,
         }
     }
 
-    /// Records a heartbeat at `now_ms`, resurrecting a declared-dead MDS.
-    pub fn on_heartbeat(&mut self, hb: Heartbeat, now_ms: u64) {
+    /// Records a heartbeat at `now_ms`. A heartbeat from a declared-dead
+    /// MDS resurrects it and returns [`ClusterEvent::MdsRecovered`] so
+    /// the caller can run the rejoin protocol (re-register, re-claim
+    /// subtrees); ordinary heartbeats return `None`.
+    pub fn on_heartbeat(&mut self, hb: Heartbeat, now_ms: u64) -> Option<ClusterEvent> {
         let k = hb.mds.index();
         self.last_seen_ms[k] = Some(now_ms);
         self.loads[k] = hb.load;
@@ -116,7 +119,9 @@ impl Monitor {
             self.declared_dead[k] = false;
             self.journal
                 .record(EventKind::MdsRecovered { mds: hb.mds.0 });
+            return Some(ClusterEvent::MdsRecovered(hb.mds));
         }
+        None
     }
 
     /// Scans for servers past the failure timeout; returns the *new*
@@ -374,6 +379,19 @@ mod tests {
         assert_eq!(membership, vec!["mds_down", "mds_recovered"]);
         let seqs: Vec<u64> = mon.journal().snapshot().iter().map(|e| e.seq).collect();
         assert!(seqs.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn heartbeat_from_dead_mds_returns_recovery_event() {
+        let mut mon = Monitor::new(MonitorConfig::default(), 1);
+        assert_eq!(mon.on_heartbeat(hb(0, 1.0), 0), None);
+        assert_eq!(mon.detect_failures(1_000).len(), 1);
+        assert_eq!(
+            mon.on_heartbeat(hb(0, 1.0), 1_100),
+            Some(ClusterEvent::MdsRecovered(MdsId(0)))
+        );
+        // Once resurrected, further heartbeats are ordinary again.
+        assert_eq!(mon.on_heartbeat(hb(0, 1.0), 1_200), None);
     }
 
     #[test]

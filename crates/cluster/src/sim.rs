@@ -32,6 +32,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use crate::fault::{FaultDecision, FaultInjector, FaultPlan, NetEdge};
+
 /// Simulation parameters, defaulted to the EC2-like setup of Sec. VI.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
@@ -52,6 +54,8 @@ pub struct SimConfig {
     /// Per-replica apply cost while the lock is held; total hold time grows
     /// linearly with the cluster size.
     pub replica_apply_ns: u64,
+    /// Client resend timeout after a fault-injected message drop.
+    pub retry_timeout_ns: u64,
     /// Seed for routing randomness (which MDS serves a global-layer hit).
     pub seed: u64,
 }
@@ -67,6 +71,7 @@ impl Default for SimConfig {
             update_service_ns: 150_000,
             lock_base_ns: 100_000,
             replica_apply_ns: 30_000,
+            retry_timeout_ns: 2_000_000,
             seed: 0,
         }
     }
@@ -130,6 +135,8 @@ struct ReqState {
     kind: OpKind,
     target: NodeId,
     issued_at: u64,
+    /// Whether this request takes the lock-service path on arrival.
+    locked: bool,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,14 +153,62 @@ enum Event {
     LockDone { client: u32 },
     /// One server finishes applying a replicated update.
     ApplyDone { server: u32 },
+    /// A client re-sends a request whose first copy an injected fault
+    /// dropped (fires after `retry_timeout_ns`).
+    Resend { client: u32 },
+    /// A fault-duplicated request copy arrives: the server does the full
+    /// service work, then discards the result.
+    Waste { server: u32 },
 }
 
-/// A unit of work in a server's FIFO queue: either a client request stage
-/// or the local apply of a committed global-layer update.
+/// A unit of work in a server's FIFO queue: a client request stage, the
+/// local apply of a committed global-layer update, or wasted service of
+/// a fault-duplicated request copy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Job {
     Request(u32),
     Apply,
+    Waste,
+}
+
+/// How the (possibly faulty) network treats one client→server send.
+enum SendPlan {
+    /// The request arrives at this virtual time.
+    Deliver(u64),
+    /// It arrives, and a duplicate copy arrives with it (wasted work).
+    DeliverDup(u64),
+    /// It was dropped; the client resends at this virtual time.
+    Resend(u64),
+}
+
+/// Resend cap per client per request: past this, deliver unconditionally
+/// so a 100%-drop plan cannot hang the closed loop forever.
+const MAX_RESENDS: u32 = 64;
+
+fn plan_send(
+    injector: Option<&FaultInjector>,
+    drops: &mut u32,
+    server: u16,
+    t: u64,
+    cfg: &SimConfig,
+) -> SendPlan {
+    let base = t + cfg.client_latency_ns;
+    let Some(inj) = injector else {
+        return SendPlan::Deliver(base);
+    };
+    match inj.decide(NetEdge::ClientToMds(server), t / 1_000_000) {
+        FaultDecision::Deliver => SendPlan::Deliver(base),
+        FaultDecision::Drop => {
+            if *drops >= MAX_RESENDS {
+                SendPlan::Deliver(base)
+            } else {
+                *drops += 1;
+                SendPlan::Resend(t + cfg.retry_timeout_ns)
+            }
+        }
+        FaultDecision::Delay(ms) => SendPlan::Deliver(base + ms * 1_000_000),
+        FaultDecision::DeliverTwice => SendPlan::DeliverDup(base),
+    }
 }
 
 #[derive(Debug)]
@@ -263,6 +318,7 @@ impl ReplayTelemetry {
 pub struct Simulator {
     config: SimConfig,
     registry: Option<Arc<Registry>>,
+    faults: Option<FaultPlan>,
 }
 
 impl Simulator {
@@ -281,6 +337,7 @@ impl Simulator {
         Simulator {
             config,
             registry: None,
+            faults: None,
         }
     }
 
@@ -290,6 +347,17 @@ impl Simulator {
     #[must_use]
     pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Attaches a fault plan: every client→MDS send in subsequent replays
+    /// consults a fresh seeded [`FaultInjector`], so dropped requests are
+    /// resent after [`SimConfig::retry_timeout_ns`], delayed ones arrive
+    /// late, and duplicated ones burn wasted service time on the target.
+    /// The injector is rebuilt per replay, keeping replays deterministic.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
         self
     }
 
@@ -424,6 +492,15 @@ impl Simulator {
         let m = scheme.placement().cluster_size();
         let mut tel = self.registry.is_some().then(|| ReplayTelemetry::new(m));
         let mut rng = StdRng::seed_from_u64(self.config.seed);
+        // Fresh injector per replay: its RNG restarts from the plan seed,
+        // so identical replays see identical fault decisions.
+        let injector = self.faults.as_ref().map(|plan| {
+            let inj = FaultInjector::new(plan);
+            match &self.registry {
+                Some(r) => inj.with_registry(Arc::clone(r)),
+                None => inj,
+            }
+        });
         let mut servers: Vec<Server> = (0..m)
             .map(|_| Server {
                 busy_workers: 0,
@@ -450,6 +527,8 @@ impl Simulator {
         const TAG_LOCK_ARRIVE: u8 = 3;
         const TAG_LOCK_DONE: u8 = 4;
         const TAG_APPLY_DONE: u8 = 5;
+        const TAG_RESEND: u8 = 6;
+        const TAG_WASTE: u8 = 7;
 
         let push = |heap: &mut BinaryHeap<Reverse<(u64, u64, u32, u8)>>,
                     seq: &mut u64,
@@ -462,10 +541,15 @@ impl Simulator {
                 Event::LockArrive { client } => (client, TAG_LOCK_ARRIVE),
                 Event::LockDone { client } => (client, TAG_LOCK_DONE),
                 Event::ApplyDone { server } => (server, TAG_APPLY_DONE),
+                Event::Resend { client } => (client, TAG_RESEND),
+                Event::Waste { server } => (server, TAG_WASTE),
             };
             *seq += 1;
             heap.push(Reverse((t, *seq, client, tag)));
         };
+
+        // Per-client resend counter for the current request, reset on issue.
+        let mut drop_counts = vec![0u32; clients];
 
         for c in 0..clients as u32 {
             push(&mut heap, &mut seq, 0, Event::Issue { client: c });
@@ -505,12 +589,105 @@ impl Simulator {
                         kind: op.kind,
                         target: op.target,
                         issued_at: t,
+                        locked: locked_update,
                     });
-                    let arrive_t = t + self.config.client_latency_ns;
-                    if locked_update {
-                        push(&mut heap, &mut seq, arrive_t, Event::LockArrive { client });
+                    drop_counts[c] = 0;
+                    let state = states[c].as_ref().expect("just stored");
+                    let first = state.visits[0].0;
+                    match plan_send(
+                        injector.as_ref(),
+                        &mut drop_counts[c],
+                        first,
+                        t,
+                        &self.config,
+                    ) {
+                        SendPlan::Deliver(at) => {
+                            if locked_update {
+                                push(&mut heap, &mut seq, at, Event::LockArrive { client });
+                            } else {
+                                push(&mut heap, &mut seq, at, Event::Arrive { client });
+                            }
+                        }
+                        SendPlan::DeliverDup(at) => {
+                            if locked_update {
+                                push(&mut heap, &mut seq, at, Event::LockArrive { client });
+                            } else {
+                                push(&mut heap, &mut seq, at, Event::Arrive { client });
+                            }
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                at,
+                                Event::Waste {
+                                    server: first as u32,
+                                },
+                            );
+                        }
+                        SendPlan::Resend(at) => {
+                            push(&mut heap, &mut seq, at, Event::Resend { client });
+                        }
+                    }
+                }
+                TAG_RESEND => {
+                    let (first, locked_update) = {
+                        let state = states[c].as_ref().expect("resend without a request");
+                        (state.visits[0].0, state.locked)
+                    };
+                    match plan_send(
+                        injector.as_ref(),
+                        &mut drop_counts[c],
+                        first,
+                        t,
+                        &self.config,
+                    ) {
+                        SendPlan::Deliver(at) => {
+                            if locked_update {
+                                push(&mut heap, &mut seq, at, Event::LockArrive { client });
+                            } else {
+                                push(&mut heap, &mut seq, at, Event::Arrive { client });
+                            }
+                        }
+                        SendPlan::DeliverDup(at) => {
+                            if locked_update {
+                                push(&mut heap, &mut seq, at, Event::LockArrive { client });
+                            } else {
+                                push(&mut heap, &mut seq, at, Event::Arrive { client });
+                            }
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                at,
+                                Event::Waste {
+                                    server: first as u32,
+                                },
+                            );
+                        }
+                        SendPlan::Resend(at) => {
+                            push(&mut heap, &mut seq, at, Event::Resend { client });
+                        }
+                    }
+                }
+                TAG_WASTE => {
+                    // The "client" slot carries the server index; the server
+                    // burns one read-sized service slot on the duplicate.
+                    let server = c;
+                    if servers[server].busy_workers < self.config.workers_per_mds {
+                        let svc = self.config.read_service_ns;
+                        servers[server].busy_workers += 1;
+                        servers[server].busy_ns += svc;
+                        push(
+                            &mut heap,
+                            &mut seq,
+                            t + svc,
+                            Event::ApplyDone {
+                                server: server as u32,
+                            },
+                        );
                     } else {
-                        push(&mut heap, &mut seq, arrive_t, Event::Arrive { client });
+                        servers[server].queue.push_back(Job::Waste);
+                        if let Some(tel) = &mut tel {
+                            tel.queue_pushed(server, servers[server].queue.len());
+                        }
                     }
                 }
                 TAG_ARRIVE => {
@@ -557,6 +734,19 @@ impl Simulator {
                         }
                         Some(Job::Apply) => {
                             let svc = self.config.replica_apply_ns;
+                            servers[server].busy_workers += 1;
+                            servers[server].busy_ns += svc;
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + svc,
+                                Event::ApplyDone {
+                                    server: server as u32,
+                                },
+                            );
+                        }
+                        Some(Job::Waste) => {
+                            let svc = self.config.read_service_ns;
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
                             push(
@@ -683,6 +873,19 @@ impl Simulator {
                         }
                         Some(Job::Apply) => {
                             let svc = self.config.replica_apply_ns;
+                            servers[server].busy_workers += 1;
+                            servers[server].busy_ns += svc;
+                            push(
+                                &mut heap,
+                                &mut seq,
+                                t + svc,
+                                Event::ApplyDone {
+                                    server: server as u32,
+                                },
+                            );
+                        }
+                        Some(Job::Waste) => {
+                            let svc = self.config.read_service_ns;
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
                             push(
@@ -949,6 +1152,45 @@ mod tests {
         // Telemetry must be purely observational.
         let plain = sim(16).replay(&w.tree, &w.trace, &scheme);
         assert_eq!(plain, out);
+    }
+
+    #[test]
+    fn faulty_replay_is_deterministic_lossless_and_slower() {
+        use crate::fault::{FaultAction, FaultRule, FaultScope};
+        let (w, pop) = workload(2_000);
+        let cluster = ClusterSpec::homogeneous(3, 1.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let plan = FaultPlan::new(9)
+            .with_rule(
+                FaultRule::new(FaultScope::AllLinks, FaultAction::Drop).with_probability(0.05),
+            )
+            .with_rule(
+                FaultRule::new(
+                    FaultScope::Mds(0),
+                    FaultAction::Delay {
+                        fixed_ms: 1,
+                        jitter_ms: 1,
+                    },
+                )
+                .with_probability(0.2),
+            )
+            .with_rule(
+                FaultRule::new(FaultScope::Mds(1), FaultAction::Duplicate).with_probability(0.1),
+            );
+        let a = sim(16)
+            .with_faults(plan.clone())
+            .replay(&w.tree, &w.trace, &scheme);
+        let b = sim(16).with_faults(plan).replay(&w.tree, &w.trace, &scheme);
+        assert_eq!(a, b, "same plan must replay identically");
+        assert_eq!(a.completed, 2_000, "faults may slow ops, never lose them");
+        let clean = sim(16).replay(&w.tree, &w.trace, &scheme);
+        assert!(
+            a.sim_seconds > clean.sim_seconds,
+            "drops/delays must cost virtual time: faulty {} vs clean {}",
+            a.sim_seconds,
+            clean.sim_seconds
+        );
     }
 
     #[test]

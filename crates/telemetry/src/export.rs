@@ -202,6 +202,12 @@ fn json_event(out: &mut String, e: &Event) {
         EventKind::Forwarded { from, to } => {
             let _ = write!(out, ",\"from\":{from},\"to\":{to}");
         }
+        EventKind::FaultInjected { fault, mds } => {
+            let _ = write!(out, ",\"fault\":\"{}\",\"mds\":{mds}", fault.label());
+        }
+        EventKind::MdsRejoined { mds, claimed } => {
+            let _ = write!(out, ",\"mds\":{mds},\"claimed\":{claimed}");
+        }
     }
     out.push('}');
 }

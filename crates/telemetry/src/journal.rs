@@ -69,6 +69,46 @@ pub enum EventKind {
         /// MDS it was forwarded to.
         to: u16,
     },
+    /// The fault-injection layer perturbed a message.
+    FaultInjected {
+        /// What the injector did to the message.
+        fault: FaultKind,
+        /// The MDS whose link was perturbed.
+        mds: u16,
+    },
+    /// A restarted MDS completed its rejoin protocol.
+    MdsRejoined {
+        /// The rejoined MDS.
+        mds: u16,
+        /// Subtrees it claimed from the pending pool on rejoin.
+        claimed: u64,
+    },
+}
+
+/// The kind of perturbation a fault-injection rule applied to a message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The message was silently discarded.
+    Drop,
+    /// Delivery was postponed by a fixed + jittered delay.
+    Delay,
+    /// The message was delivered twice.
+    Duplicate,
+    /// Delivery order was perturbed by a random jitter.
+    Reorder,
+}
+
+impl FaultKind {
+    /// Short label used by the exporters (`drop`, `delay`, …).
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Delay => "delay",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Reorder => "reorder",
+        }
+    }
 }
 
 impl EventKind {
@@ -84,6 +124,8 @@ impl EventKind {
             EventKind::GlRecut { .. } => "gl_recut",
             EventKind::CacheMiss { .. } => "cache_miss",
             EventKind::Forwarded { .. } => "forwarded",
+            EventKind::FaultInjected { .. } => "fault_injected",
+            EventKind::MdsRejoined { .. } => "mds_rejoined",
         }
     }
 }

@@ -28,7 +28,7 @@ mod metrics;
 
 pub mod export;
 
-pub use journal::{Event, EventJournal, EventKind};
+pub use journal::{Event, EventJournal, EventKind, FaultKind};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricKey, Registry, Snapshot,
 };
@@ -68,4 +68,14 @@ pub mod names {
     pub const MIGRATIONS_TOTAL: &str = "migrations_total";
     /// MDS failures declared by the monitor.
     pub const MDS_FAILURES_TOTAL: &str = "mds_failures_total";
+    /// Messages dropped by the fault-injection layer.
+    pub const FAULTS_DROPPED: &str = "faults_dropped_total";
+    /// Messages delayed (or reordered) by the fault-injection layer.
+    pub const FAULTS_DELAYED: &str = "faults_delayed_total";
+    /// Messages duplicated by the fault-injection layer.
+    pub const FAULTS_DUPLICATED: &str = "faults_duplicated_total";
+    /// Crash-restart rejoins completed by the monitor.
+    pub const REJOINS_TOTAL: &str = "rejoins_total";
+    /// Milliseconds from restart to the rejoiner's first subtree claim.
+    pub const REJOIN_FIRST_CLAIM_MS: &str = "rejoin_first_claim_ms";
 }

@@ -58,6 +58,15 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct SendError<T>(pub T);
 
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; carries the unsent message.
+        Full(T),
+        /// Every receiver is gone; carries the unsent message.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`].
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
@@ -169,6 +178,29 @@ pub mod channel {
                         state = self.chan.send_ready.wait(state).unwrap();
                     }
                     _ => break,
+                }
+            }
+            state.queue.push_back(msg);
+            drop(state);
+            self.chan.recv_ready.notify_one();
+            Ok(())
+        }
+
+        /// Delivers `msg` without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TrySendError::Full`] when a bounded channel is at capacity;
+        /// [`TrySendError::Disconnected`] when every receiver is gone.
+        /// Both carry the unsent message.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.chan.state.lock().unwrap();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = self.chan.capacity {
+                if state.queue.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             state.queue.push_back(msg);

@@ -21,12 +21,15 @@ use std::sync::Arc;
 
 use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
 use d2tree_cluster::{
-    run_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule, FaultScope, ReplayOutcome,
-    SimConfig, Simulator,
+    run_chaos, run_store_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule, FaultScope,
+    ReplayOutcome, SimConfig, Simulator, StoreChaosConfig,
 };
 use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree_metrics::{balance, ClusterSpec};
 use d2tree_namespace::NamespaceTree;
+use d2tree_store::{
+    compact, inspect, verify, AttrState, MdsRecord, MdsState, MdsStore, StoreConfig, StoreError,
+};
 use d2tree_telemetry::{export, names, MetricKey, Registry};
 use d2tree_workload::{io as trace_io, Trace, TraceProfile, TraceStats, WorkloadBuilder};
 
@@ -42,6 +45,8 @@ pub enum CliError {
     Format(trace_io::TraceIoError),
     /// A chaos run violated a recovery invariant or failed to reproduce.
     Chaos(String),
+    /// A durable store could not be read, or its contents are corrupt.
+    Store(StoreError),
 }
 
 impl fmt::Display for CliError {
@@ -51,7 +56,14 @@ impl fmt::Display for CliError {
             CliError::Io(e) => write!(f, "i/o error: {e}"),
             CliError::Format(e) => write!(f, "bad input file: {e}"),
             CliError::Chaos(msg) => write!(f, "chaos run failed: {msg}"),
+            CliError::Store(e) => write!(f, "store error: {e}"),
         }
+    }
+}
+
+impl From<StoreError> for CliError {
+    fn from(e: StoreError) -> Self {
+        CliError::Store(e)
     }
 }
 
@@ -85,6 +97,7 @@ COMMANDS:
     hotspots   list the hottest paths of a trace
     check      partition with D2-Tree and fsck the resulting state
     chaos      replay a seeded crash/partition schedule and check recovery
+    store      inspect, verify, compact or bench a durable MDS store
     help       show this message
 
 Common options:
@@ -115,6 +128,17 @@ Common options:
     --tick-ms <n>     virtual ms per tick (default 20)
     --kills <n>       crash-restart cycles (default 2)
     --partitions <n>  monitor-link partition windows (default 1)
+    --store-crashes <n>  also run a WAL/torn-write store-chaos schedule
+                         with this many crash-recover cycles (default 0 = off)
+
+`store` usage:
+    d2tree store inspect <dir>   summarise snapshot, WAL segments and record mix
+    d2tree store verify <dir>    CRC-scan the whole store; errors on corruption
+    d2tree store compact <dir>   snapshot now and prune covered WAL segments
+    d2tree store bench [--records <n>] [--seed <n>] [--out <file>]
+                                 measure WAL append overhead vs an in-memory
+                                 baseline plus recovery time; writes a JSON
+                                 report (default BENCH_store.json)
 ";
 
 /// Simple `--flag value` argument map.
@@ -217,6 +241,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "hotspots" => cmd_hotspots(&Opts::parse(rest)?),
         "check" => cmd_check(&Opts::parse(rest)?),
         "chaos" => cmd_chaos(&Opts::parse(rest)?),
+        "store" => cmd_store(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -318,8 +343,16 @@ fn preregister_recovery_metrics(registry: &Registry) {
     let _ = registry.counter(MetricKey::global(names::FAULTS_DROPPED));
     let _ = registry.counter(MetricKey::global(names::FAULTS_DELAYED));
     let _ = registry.counter(MetricKey::global(names::FAULTS_DUPLICATED));
+    let _ = registry.counter(MetricKey::global(names::FAULTS_STORAGE));
     let _ = registry.counter(MetricKey::global(names::REJOINS_TOTAL));
     let _ = registry.histogram(MetricKey::global(names::REJOIN_FIRST_CLAIM_MS));
+    let _ = registry.counter(MetricKey::global(names::WAL_BYTES_TOTAL));
+    let _ = registry.counter(MetricKey::global(names::WAL_RECORDS_TOTAL));
+    let _ = registry.counter(MetricKey::global(names::SNAPSHOTS_TOTAL));
+    let _ = registry.counter(MetricKey::global(names::GL_DELTA_SYNC_ENTRIES));
+    let _ = registry.histogram(MetricKey::global(names::WAL_APPEND_US));
+    let _ = registry.histogram(MetricKey::global(names::WAL_FSYNC_US));
+    let _ = registry.histogram(MetricKey::global(names::RECOVERY_MS));
 }
 
 /// Builds a scheme from the CLI options and replays the trace through an
@@ -488,7 +521,7 @@ fn cmd_chaos(opts: &Opts) -> Result<String, CliError> {
         }
         return Err(CliError::Chaos(msg));
     }
-    Ok(format!(
+    let mut out = format!(
         "chaos seed {seed}: {} MDSs, {} ticks x {} ms\n\
          kills: {}  restarts: {}  partitions: {}\n\
          rejoins: {} ({} reclaimed at least one subtree)\n\
@@ -509,6 +542,253 @@ fn cmd_chaos(opts: &Opts) -> Result<String, CliError> {
         report.faults_duplicated,
         report.blocked_updates,
         report.journal.len(),
+    );
+
+    let store_crashes = opts.num("store-crashes", 0usize)?;
+    if store_crashes > 0 {
+        let store_config = StoreChaosConfig {
+            crashes: store_crashes,
+            ..StoreChaosConfig::default()
+        };
+        let store_report = run_store_chaos(seed, &store_config);
+        if store_report != run_store_chaos(seed, &store_config) {
+            return Err(CliError::Chaos(format!(
+                "store seed {seed} did not reproduce: two runs produced different reports"
+            )));
+        }
+        if !store_report.violations.is_empty() {
+            let mut msg = format!(
+                "store seed {seed}: {} recovery-contract violation(s):\n",
+                store_report.violations.len()
+            );
+            for v in store_report.violations.iter().take(20) {
+                msg.push_str(&format!("  {v}\n"));
+            }
+            return Err(CliError::Chaos(msg));
+        }
+        out.push_str(&format!(
+            "store chaos: {} crashes — {} left torn tails, {} under lying fsyncs, {} fail-loud\n\
+             store records: {} appended, {} unsynced lost; {} syncs, {} snapshots\n\
+             corruption probes: {} injected, {} detected\n\
+             store invariants: all clean (recovery always an exact journaled prefix)\n",
+            store_report.crashes,
+            store_report.torn_crashes,
+            store_report.partial_fsyncs,
+            store_report.loud_failures,
+            store_report.records_appended,
+            store_report.records_lost,
+            store_report.syncs,
+            store_report.snapshots,
+            store_report.corrupt_probes,
+            store_report.corruptions_detected,
+        ));
+    }
+    Ok(out)
+}
+
+/// Dispatches `d2tree store <action> …`: the first operand is the
+/// action, `inspect`/`verify`/`compact` then take a positional store
+/// directory, `bench` takes `--flag value` options.
+fn cmd_store(rest: &[String]) -> Result<String, CliError> {
+    let Some((action, rest)) = rest.split_first() else {
+        return Err(CliError::Usage(
+            "store needs an action: inspect | verify | compact | bench".to_owned(),
+        ));
+    };
+    if action == "bench" {
+        return cmd_store_bench(&Opts::parse(rest)?);
+    }
+    let Some((dir, _)) = rest.split_first() else {
+        return Err(CliError::Usage(format!("store {action} needs a <dir>")));
+    };
+    match action.as_str() {
+        "inspect" => cmd_store_inspect(dir),
+        "verify" => cmd_store_verify(dir),
+        "compact" => cmd_store_compact(dir),
+        other => Err(CliError::Usage(format!(
+            "unknown store action {other:?} (expected inspect, verify, compact or bench)"
+        ))),
+    }
+}
+
+fn cmd_store_inspect(dir: &str) -> Result<String, CliError> {
+    let report = inspect(dir)?;
+    let mut out = format!(
+        "store {dir}\n\
+         snapshot lsn: {}\nnext lsn: {}\ntorn tail bytes: {}\n",
+        report.snapshot_lsn, report.next_lsn, report.torn_bytes
+    );
+    out.push_str(&format!("segments: {}\n", report.segments.len()));
+    for seg in &report.segments {
+        out.push_str(&format!(
+            "  wal-{:016x}.log  {} frames, {} valid bytes\n",
+            seg.first_lsn, seg.frames, seg.valid_bytes
+        ));
+    }
+    out.push_str("replayed records:");
+    if report.record_counts.is_empty() {
+        out.push_str(" none");
+    }
+    for (label, n) in &report.record_counts {
+        out.push_str(&format!(" {label}={n}"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "state: gl_version {}, {} owned subtrees, {} attrs, {} popularity counters\n",
+        report.gl_version, report.owned, report.attrs, report.popularity
+    ));
+    Ok(out)
+}
+
+fn cmd_store_verify(dir: &str) -> Result<String, CliError> {
+    let report = verify(dir)?;
+    Ok(format!(
+        "OK: {dir}\n\
+         {} records across {} segments verify (snapshot lsn {}, next lsn {})\n\
+         torn tail bytes that recovery would truncate: {}\n",
+        report.records, report.segments, report.snapshot_lsn, report.next_lsn, report.torn_bytes
+    ))
+}
+
+fn cmd_store_compact(dir: &str) -> Result<String, CliError> {
+    let (lsn, removed) = compact(dir, StoreConfig::default())?;
+    Ok(format!(
+        "compacted {dir}: snapshot at lsn {lsn}, {removed} covered segment(s) pruned\n"
+    ))
+}
+
+/// A tiny deterministic generator (splitmix64) so the bench does not
+/// need an RNG dependency and two runs write comparable reports.
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn bench_record(rng: &mut SplitMix) -> MdsRecord {
+    match rng.next() % 4 {
+        0 => MdsRecord::AttrCommit {
+            node: rng.next() % 4096,
+            gl: rng.next().is_multiple_of(8),
+            attr: AttrState {
+                version: rng.next() % 100_000,
+                mode: 0o644,
+                uid: (rng.next() % 64) as u32,
+                gid: (rng.next() % 64) as u32,
+                size: rng.next() % (1 << 30),
+                mtime: rng.next() % (1 << 40),
+            },
+        },
+        1 => MdsRecord::Ownership {
+            root: rng.next() % 512,
+            acquired: rng.next().is_multiple_of(2),
+        },
+        2 => MdsRecord::GlRecut {
+            version: rng.next() % 100_000,
+            promoted: rng.next() % 32,
+            demoted: rng.next() % 32,
+        },
+        _ => MdsRecord::Popularity {
+            root: rng.next() % 512,
+            bits: f64::from((rng.next() % (1 << 20)) as u32).to_bits(),
+        },
+    }
+}
+
+fn cmd_store_bench(opts: &Opts) -> Result<String, CliError> {
+    let records = opts.num("records", 50_000u64)?;
+    let seed = opts.num("seed", 42u64)?;
+    let out_path = opts.get("out").unwrap_or("BENCH_store.json").to_owned();
+    if records == 0 {
+        return Err(CliError::Usage("--records must be positive".to_owned()));
+    }
+
+    let workload: Vec<MdsRecord> = {
+        let mut rng = SplitMix(seed);
+        (0..records).map(|_| bench_record(&mut rng)).collect()
+    };
+
+    // Baseline: the same records applied to a purely in-memory state.
+    let baseline_start = std::time::Instant::now();
+    let mut baseline = MdsState::default();
+    for record in &workload {
+        baseline.apply(record);
+    }
+    let baseline_ns = baseline_start.elapsed().as_nanos() as u64;
+
+    // Durable run: group-committed WAL with the default policy
+    // (periodic fsync + automatic snapshots).
+    let dir = std::env::temp_dir().join(format!("d2tree-storebench-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let registry = Arc::new(Registry::new());
+    let (store, _) = MdsStore::open(&dir, StoreConfig::default())?;
+    let mut store = store.with_registry(&registry, 0);
+    let wal_start = std::time::Instant::now();
+    for record in &workload {
+        store.append(*record)?;
+    }
+    store.sync()?;
+    let wal_ns = wal_start.elapsed().as_nanos() as u64;
+    if *store.state() != baseline {
+        return Err(CliError::Chaos(
+            "store bench: durable state diverged from the in-memory baseline".to_owned(),
+        ));
+    }
+    drop(store);
+
+    // Recovery: reopen from disk and time the replay.
+    let (recovered, info) = MdsStore::open(&dir, StoreConfig::default())?;
+    let recovered_matches = *recovered.state() == baseline;
+    drop(recovered);
+    let _ = std::fs::remove_dir_all(&dir);
+    if !recovered_matches {
+        return Err(CliError::Chaos(
+            "store bench: recovered state diverged from the in-memory baseline".to_owned(),
+        ));
+    }
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k.name == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let wal_bytes = counter(names::WAL_BYTES_TOTAL);
+    let snapshots = counter(names::SNAPSHOTS_TOTAL);
+    let baseline_ns_per_record = baseline_ns / records;
+    let wal_ns_per_record = wal_ns / records;
+    let overhead = wal_ns as f64 / baseline_ns.max(1) as f64;
+    let recovery_us = info.duration.as_micros() as u64;
+
+    let json = format!(
+        "{{\n  \"records\": {records},\n  \"seed\": {seed},\n  \
+         \"baseline_ns_per_record\": {baseline_ns_per_record},\n  \
+         \"wal_ns_per_record\": {wal_ns_per_record},\n  \
+         \"wal_overhead_x\": {overhead:.2},\n  \
+         \"wal_bytes\": {wal_bytes},\n  \"snapshots\": {snapshots},\n  \
+         \"recovery_us\": {recovery_us},\n  \
+         \"recovery_records_replayed\": {},\n  \
+         \"recovery_snapshot_lsn\": {},\n  \"recovery_next_lsn\": {}\n}}\n",
+        info.records_replayed, info.snapshot_lsn, info.next_lsn
+    );
+    std::fs::write(&out_path, &json)?;
+
+    Ok(format!(
+        "store bench: {records} records\n\
+         in-memory apply: {baseline_ns_per_record} ns/record\n\
+         WAL append (group commit + snapshots): {wal_ns_per_record} ns/record ({overhead:.1}x)\n\
+         WAL bytes: {wal_bytes}  snapshots: {snapshots}\n\
+         recovery: {recovery_us} µs to replay {} records on a {}-record snapshot\n\
+         recovered state matches the in-memory baseline\n\
+         report written to {out_path}\n",
+        info.records_replayed, info.snapshot_lsn
     ))
 }
 
@@ -887,6 +1167,143 @@ mod tests {
             "fault flags should inject at least one drop: {faulty}"
         );
 
+        let _ = std::fs::remove_file(tree_file);
+        let _ = std::fs::remove_file(trace_file);
+    }
+
+    #[test]
+    fn store_inspect_verify_compact_roundtrip() {
+        let dir = std::path::PathBuf::from(tmp_prefix("storecli"));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let (mut store, _) = MdsStore::open(&dir, StoreConfig::manual()).unwrap();
+            let mut rng = SplitMix(7);
+            for _ in 0..200 {
+                store.append(bench_record(&mut rng)).unwrap();
+            }
+            store.sync().unwrap();
+        }
+        let dir_s = dir.to_string_lossy().into_owned();
+
+        let verify_out = run(&args(&["store", "verify", &dir_s])).unwrap();
+        assert!(verify_out.starts_with("OK"), "{verify_out}");
+        assert!(verify_out.contains("200 records"), "{verify_out}");
+
+        let inspect_out = run(&args(&["store", "inspect", &dir_s])).unwrap();
+        assert!(inspect_out.contains("next lsn: 200"), "{inspect_out}");
+        assert!(inspect_out.contains("replayed records:"), "{inspect_out}");
+
+        let compact_out = run(&args(&["store", "compact", &dir_s])).unwrap();
+        assert!(compact_out.contains("snapshot at lsn 200"), "{compact_out}");
+
+        // After compaction, the snapshot covers everything and the WAL
+        // replays nothing.
+        let inspect2 = run(&args(&["store", "inspect", &dir_s])).unwrap();
+        assert!(inspect2.contains("snapshot lsn: 200"), "{inspect2}");
+
+        assert!(matches!(
+            run(&args(&["store", "verify"])),
+            Err(CliError::Usage(msg)) if msg.contains("<dir>")
+        ));
+        assert!(matches!(
+            run(&args(&["store", "defrag", &dir_s])),
+            Err(CliError::Usage(msg)) if msg.contains("unknown store action")
+        ));
+        assert!(matches!(
+            run(&args(&["store", "verify", "/no/such/store"])),
+            Err(CliError::Store(_))
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_bench_writes_json_report() {
+        let out_file = format!("{}.bench.json", tmp_prefix("storebench"));
+        let out = run(&args(&[
+            "store",
+            "bench",
+            "--records",
+            "3000",
+            "--seed",
+            "7",
+            "--out",
+            &out_file,
+        ]))
+        .unwrap();
+        assert!(out.contains("recovered state matches"), "{out}");
+        let written = std::fs::read_to_string(&out_file).unwrap();
+        assert!(written.contains("\"records\": 3000"), "{written}");
+        assert!(written.contains("\"recovery_us\""), "{written}");
+        assert!(written.contains("\"wal_overhead_x\""), "{written}");
+        let _ = std::fs::remove_file(out_file);
+    }
+
+    #[test]
+    fn chaos_command_runs_store_schedule() {
+        let out = run(&args(&[
+            "chaos",
+            "--seed",
+            "7",
+            "--mds",
+            "3",
+            "--nodes",
+            "300",
+            "--ticks",
+            "300",
+            "--store-crashes",
+            "4",
+        ]))
+        .unwrap();
+        assert!(out.contains("store chaos: 4 crashes"), "{out}");
+        assert!(out.contains("store invariants: all clean"), "{out}");
+    }
+
+    #[test]
+    fn report_lists_store_metrics_at_zero() {
+        let prefix = tmp_prefix("storereport");
+        run(&args(&[
+            "synth",
+            "--profile",
+            "dtr",
+            "--nodes",
+            "300",
+            "--ops",
+            "1000",
+            "--out",
+            &prefix,
+        ]))
+        .unwrap();
+        let tree_file = format!("{prefix}.tree");
+        let trace_file = format!("{prefix}.trace");
+        let prom = run(&args(&[
+            "report",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--format",
+            "prometheus",
+        ]))
+        .unwrap();
+        for family in [
+            "d2tree_wal_bytes_total 0",
+            "d2tree_wal_records_total 0",
+            "d2tree_snapshots_total 0",
+            "d2tree_gl_delta_sync_entries_total 0",
+            "d2tree_faults_storage_total 0",
+            "d2tree_wal_append_us",
+            "d2tree_wal_fsync_us",
+            "d2tree_recovery_ms",
+        ] {
+            assert!(prom.contains(family), "missing {family} in:\n{prom}");
+        }
         let _ = std::fs::remove_file(tree_file);
         let _ = std::fs::remove_file(trace_file);
     }

@@ -22,19 +22,34 @@
 //! lock crashes *while holding it*, so the schedule also exercises the
 //! lease-expiry path (updates stay blocked until the dead holder's
 //! lease runs out, never forever).
+//!
+//! [`run_store_chaos`] is the durability counterpart: it drives real
+//! [`MdsStore`]s on disk through a seeded schedule of appends, group
+//! commits, snapshots and crashes with injected storage faults (torn
+//! writes, lying fsyncs, bit-flipped durable records) and machine-checks
+//! the store's recovery contract — a reopened store is always the exact
+//! replay of a prefix of its history, never less than the fsynced
+//! floor, and detected corruption always fails loudly.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use d2tree_core::{D2TreeConfig, D2TreeScheme, Heartbeat, Partitioner, Subtree};
 use d2tree_metrics::{ClusterSpec, MdsId, Migration};
 use d2tree_namespace::{NamespaceTree, NodeId};
-use d2tree_telemetry::{names, EventKind, Registry};
+use d2tree_store::{AttrState, MdsRecord, MdsState, MdsStore, StoreConfig};
+use d2tree_telemetry::{names, EventKind, FaultKind, MetricKey, Registry};
 use d2tree_workload::{TraceProfile, WorkloadBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::fault::{FaultDecision, FaultInjector, FaultPlan, FaultRule, FaultScope, NetEdge};
+use crate::fault::{
+    FaultDecision, FaultInjector, FaultPlan, FaultRule, FaultScope, NetEdge, StorageFault,
+    StorageFaultRule,
+};
 use crate::lock::LockService;
 use crate::monitor::{ClusterEvent, Monitor, MonitorConfig};
 
@@ -512,6 +527,523 @@ fn check_invariants(
     }
 }
 
+// ---------------------------------------------------------------------------
+// Store chaos: the durability counterpart of `run_chaos`.
+
+/// Shape of a store-chaos run. The schedule (who crashes when, how each
+/// crash tears the log, where the bit-flips land) is derived
+/// deterministically from the seed passed to [`run_store_chaos`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StoreChaosConfig {
+    /// Stores (MDSs) under test.
+    pub mds: usize,
+    /// Virtual steps; every store appends one record per step.
+    pub steps: u64,
+    /// Virtual milliseconds per step (the clock storage-fault rule
+    /// windows are evaluated against).
+    pub step_ms: u64,
+    /// Crash-recover cycles to schedule across the run.
+    pub crashes: usize,
+    /// Bit-flip corruption probes to schedule in the second half.
+    pub corrupt_probes: usize,
+    /// WAL segment size; small so rotation and snapshot pruning are
+    /// exercised by a short run.
+    pub segment_bytes: u64,
+}
+
+impl Default for StoreChaosConfig {
+    fn default() -> Self {
+        StoreChaosConfig {
+            mds: 3,
+            steps: 240,
+            step_ms: 10,
+            crashes: 6,
+            corrupt_probes: 2,
+            segment_bytes: 2048,
+        }
+    }
+}
+
+/// What a store-chaos run did and found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StoreChaosReport {
+    /// The seed the schedule was derived from.
+    pub seed: u64,
+    /// Steps executed.
+    pub steps: u64,
+    /// Records appended across all stores.
+    pub records_appended: u64,
+    /// Explicit group commits performed.
+    pub syncs: u64,
+    /// Snapshots written.
+    pub snapshots: u64,
+    /// Crash-recover cycles executed.
+    pub crashes: usize,
+    /// Recoveries that truncated a torn WAL tail. Not disjoint from
+    /// [`StoreChaosReport::partial_fsyncs`]: a lying fsync usually cuts
+    /// the segment mid-frame, so the same crash counts in both.
+    pub torn_crashes: usize,
+    /// Crashes struck by an injected lying fsync (a durable suffix was
+    /// destroyed behind the store's back).
+    pub partial_fsyncs: usize,
+    /// Partial-fsync damage the store refused to open (the fail-loud
+    /// path: lost durable writes detected, no state invented).
+    pub loud_failures: usize,
+    /// Unsynced (or fault-destroyed) records legitimately lost across
+    /// all crashes.
+    pub records_lost: u64,
+    /// Corruption probes actually executed (a probe needs at least one
+    /// multi-frame durable segment to flip a bit in).
+    pub corrupt_probes: usize,
+    /// Probes whose bit-flip the recovery scan caught as corruption.
+    pub corruptions_detected: usize,
+    /// Contract violations (empty = the store survived the schedule).
+    pub violations: Vec<String>,
+    /// The run's event journal, in order; recovery timings are
+    /// normalised to zero so two same-seed runs compare equal.
+    pub journal: Vec<EventKind>,
+}
+
+static STORE_CHAOS_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn store_chaos_root() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "d2tree-storechaos-{}-{}",
+        std::process::id(),
+        STORE_CHAOS_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// One seeded record with plausible field ranges; collisions in `node`
+/// and `root` keep the version-gating and last-writer-wins paths hot.
+fn random_store_record(rng: &mut StdRng) -> MdsRecord {
+    match rng.gen_range(0..4u8) {
+        0 => MdsRecord::AttrCommit {
+            node: rng.gen_range(0..512),
+            gl: rng.gen_bool(0.25),
+            attr: AttrState {
+                version: rng.gen_range(1..1_000),
+                mode: 0o644,
+                uid: rng.gen_range(0..8),
+                gid: rng.gen_range(0..8),
+                size: rng.gen_range(0..1 << 20),
+                mtime: rng.gen_range(0..1 << 30),
+            },
+        },
+        1 => MdsRecord::Ownership {
+            root: rng.gen_range(0..128),
+            acquired: rng.gen_bool(0.5),
+        },
+        2 => MdsRecord::GlRecut {
+            version: rng.gen_range(1..1_000),
+            promoted: rng.gen_range(0..16),
+            demoted: rng.gen_range(0..16),
+        },
+        _ => MdsRecord::Popularity {
+            root: rng.gen_range(0..128),
+            bits: f64::from(rng.gen_range(0u32..1 << 20)).to_bits(),
+        },
+    }
+}
+
+fn replay_prefix(history: &[MdsRecord]) -> MdsState {
+    let mut state = MdsState::default();
+    for record in history {
+        state.apply(record);
+    }
+    state
+}
+
+/// WAL segment files in a store directory, in LSN order.
+fn wal_segments_sorted(dir: &Path) -> Vec<PathBuf> {
+    let mut found: Vec<(u64, PathBuf)> = Vec::new();
+    if let Ok(entries) = fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if let Some(hex) = name
+                .strip_prefix("wal-")
+                .and_then(|s| s.strip_suffix(".log"))
+            {
+                if let Ok(lsn) = u64::from_str_radix(hex, 16) {
+                    found.push((lsn, entry.path()));
+                }
+            }
+        }
+    }
+    found.sort();
+    found.into_iter().map(|(_, path)| path).collect()
+}
+
+/// Flips one CRC-covered payload bit in a segment's first frame, but
+/// only when a second complete frame follows it — that guarantees the
+/// recovery scan must call the damage corruption, never a torn tail.
+/// Returns whether a bit was flipped.
+fn flip_bit_in_first_frame(path: &Path) -> std::io::Result<bool> {
+    const MAGIC: usize = 8;
+    const HEADER: usize = 8; // len u32 + crc u32
+    let mut bytes = fs::read(path)?;
+    if bytes.len() < MAGIC + HEADER {
+        return Ok(false);
+    }
+    let len = u32::from_be_bytes([
+        bytes[MAGIC],
+        bytes[MAGIC + 1],
+        bytes[MAGIC + 2],
+        bytes[MAGIC + 3],
+    ]) as usize;
+    let first_end = MAGIC + HEADER + len;
+    if bytes.len() < first_end + HEADER {
+        return Ok(false);
+    }
+    let len2 = u32::from_be_bytes([
+        bytes[first_end],
+        bytes[first_end + 1],
+        bytes[first_end + 2],
+        bytes[first_end + 3],
+    ]) as usize;
+    if bytes.len() < first_end + HEADER + len2 {
+        return Ok(false);
+    }
+    bytes[MAGIC + HEADER] ^= 0x01; // first payload byte, inside the CRC
+    fs::write(path, bytes)?;
+    Ok(true)
+}
+
+/// Copies a (synced) store directory aside, flips a durable bit in it
+/// and checks the store refuses to open. `None` = nothing flippable
+/// yet; `Some(detected)` otherwise.
+fn corrupt_probe(src: &Path, probe: &Path, config: StoreConfig) -> Option<bool> {
+    fs::create_dir_all(probe).ok()?;
+    for entry in fs::read_dir(src).ok()?.flatten() {
+        fs::copy(entry.path(), probe.join(entry.file_name())).ok()?;
+    }
+    let flipped = wal_segments_sorted(probe)
+        .iter()
+        .any(|seg| flip_bit_in_first_frame(seg).unwrap_or(false));
+    if !flipped {
+        return None;
+    }
+    Some(matches!(MdsStore::open(probe, config), Err(e) if e.is_corrupt()))
+}
+
+/// Outcome of one crash-recover cycle.
+struct CrashOutcome {
+    store: MdsStore,
+    lost: u64,
+    torn: bool,
+    loud_failure: bool,
+}
+
+/// Crashes `store` according to `fault`, reopens the directory and
+/// checks the recovery contract: the recovered state must be the exact
+/// replay of `history[..next_lsn]`, with `next_lsn` at or above the
+/// fsynced floor unless the fault destroyed durable bytes. `history`
+/// and `synced` are truncated to the recovered reality.
+#[allow(clippy::too_many_arguments)]
+fn crash_recover_check(
+    dir: &Path,
+    store_config: StoreConfig,
+    registry: &Arc<Registry>,
+    mds: u16,
+    store: MdsStore,
+    history: &mut Vec<MdsRecord>,
+    synced: &mut usize,
+    fault: Option<StorageFault>,
+    rng: &mut StdRng,
+    step: u64,
+    violations: &mut Vec<String>,
+) -> CrashOutcome {
+    let mut floor = *synced;
+    let mut durable_destroyed = false;
+    match fault {
+        // Clean crash: the whole unsynced pending buffer vanishes.
+        None => store.simulate_crash(0).expect("crash"),
+        // Torn write: a prefix of the pending buffer reaches the
+        // platter, usually cutting the last frame mid-way.
+        Some(StorageFault::TornWrite) => {
+            let pending = store.pending_bytes();
+            let keep = if pending == 0 {
+                0
+            } else {
+                rng.gen_range(0..pending)
+            };
+            store.simulate_crash(keep).expect("crash");
+        }
+        // Lying fsync: the store syncs, the drive reports success, and
+        // a suffix of the segment is destroyed anyway.
+        Some(StorageFault::PartialFsync | StorageFault::CorruptRecord) => {
+            let mut store = store;
+            store.sync().expect("sync");
+            store.simulate_crash(0).expect("crash");
+            if let Some(tail) = wal_segments_sorted(dir).pop() {
+                let len = fs::metadata(&tail).map(|m| m.len()).unwrap_or(0);
+                if len > 8 {
+                    let cut = rng.gen_range(1..=len.min(64));
+                    let file = fs::OpenOptions::new()
+                        .write(true)
+                        .open(&tail)
+                        .expect("reopen tail segment");
+                    file.set_len(len - cut).expect("truncate tail segment");
+                    durable_destroyed = true;
+                    floor = 0;
+                }
+            }
+        }
+    }
+
+    let (reopened, info) = match MdsStore::open(dir, store_config) {
+        Ok(pair) => pair,
+        Err(e) if e.is_corrupt() && durable_destroyed => {
+            // The fail-loud path: recovery noticed durable writes are
+            // missing (e.g. the WAL regressed behind its snapshot) and
+            // refused to invent state. Start the store over.
+            let lost = history.len() as u64;
+            history.clear();
+            *synced = 0;
+            fs::remove_dir_all(dir).expect("wipe corrupt store");
+            let (fresh, _) = MdsStore::open(dir, store_config).expect("reopen wiped store");
+            return CrashOutcome {
+                store: fresh.with_registry(registry, mds),
+                lost,
+                torn: false,
+                loud_failure: true,
+            };
+        }
+        Err(e) => panic!("store for mds{mds} failed to reopen after crash: {e}"),
+    };
+
+    let recovered = info.next_lsn as usize;
+    if recovered > history.len() {
+        violations.push(format!(
+            "step {step}: mds{mds} recovered {recovered} records but only {} were appended",
+            history.len()
+        ));
+    } else {
+        if recovered < floor {
+            violations.push(format!(
+                "step {step}: mds{mds} lost fsynced records: recovered {recovered} < floor {floor}"
+            ));
+        }
+        if *reopened.state() != replay_prefix(&history[..recovered]) {
+            violations.push(format!(
+                "step {step}: mds{mds} recovered state is not the exact replay of its first {recovered} records"
+            ));
+        }
+    }
+    let keep = recovered.min(history.len());
+    let lost = (history.len() - keep) as u64;
+    history.truncate(keep);
+    *synced = keep;
+    registry.journal().record(EventKind::StoreRecovered {
+        mds,
+        records: info.records_replayed,
+        torn_bytes: info.torn_bytes,
+        recovery_ms: 0, // normalised: keeps same-seed journals identical
+    });
+    CrashOutcome {
+        store: reopened.with_registry(registry, mds),
+        lost,
+        torn: info.torn_bytes > 0,
+        loud_failure: false,
+    }
+}
+
+/// Runs one seeded store-chaos schedule to completion. Stores live in
+/// fresh directories under the system temp dir and are removed before
+/// returning.
+///
+/// # Panics
+///
+/// Panics if `config` is degenerate (no stores or steps, or more
+/// crashes/probes than the schedule can place) or on I/O errors in the
+/// scratch directory.
+#[must_use]
+pub fn run_store_chaos(seed: u64, config: &StoreChaosConfig) -> StoreChaosReport {
+    assert!(config.mds >= 1, "store chaos needs at least one store");
+    assert!(config.steps > 0 && config.step_ms > 0, "empty schedule");
+    assert!(
+        config.crashes <= config.steps as usize / 4,
+        "schedule does not fit: raise steps or lower crashes"
+    );
+    assert!(
+        config.corrupt_probes <= config.steps as usize / 8,
+        "schedule does not fit: raise steps or lower corrupt_probes"
+    );
+
+    let root = store_chaos_root();
+    let mut store_config = StoreConfig::manual();
+    store_config.segment_bytes = config.segment_bytes;
+
+    let registry = Arc::new(Registry::with_journal_capacity(64 * 1024));
+    // Crash points consult the storage rules: ~50% torn writes, ~25%
+    // lying fsyncs, the rest crash cleanly between frames.
+    let plan = FaultPlan::new(seed)
+        .with_storage_rule(StorageFaultRule::new(StorageFault::TornWrite).with_probability(0.5))
+        .with_storage_rule(StorageFaultRule::new(StorageFault::PartialFsync).with_probability(0.5));
+    let injector = FaultInjector::new(&plan).with_registry(Arc::clone(&registry));
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5851_f42d_4c95_7f2d);
+
+    let mut stores: Vec<MdsStore> = (0..config.mds)
+        .map(|k| {
+            let (store, _) = MdsStore::open(root.join(format!("mds-{k}")), store_config)
+                .expect("fresh store opens");
+            store.with_registry(&registry, k as u16)
+        })
+        .collect();
+    let mut history: Vec<Vec<MdsRecord>> = vec![Vec::new(); config.mds];
+    let mut synced: Vec<usize> = vec![0; config.mds];
+
+    // Seeded schedule: crashes anywhere past warm-up, probes in the
+    // second half (so there is durable multi-frame data to flip).
+    let mut crash_steps: BTreeMap<u64, usize> = BTreeMap::new();
+    while crash_steps.len() < config.crashes {
+        let at = rng.gen_range(1..config.steps);
+        let victim = rng.gen_range(0..config.mds);
+        crash_steps.entry(at).or_insert(victim);
+    }
+    let mut probe_steps: BTreeMap<u64, usize> = BTreeMap::new();
+    while probe_steps.len() < config.corrupt_probes {
+        let at = rng.gen_range(config.steps / 2..config.steps);
+        probe_steps
+            .entry(at)
+            .or_insert(rng.gen_range(0..config.mds));
+    }
+
+    let mut records_appended = 0u64;
+    let mut syncs = 0u64;
+    let mut snapshots = 0u64;
+    let mut crashes = 0usize;
+    let mut torn_crashes = 0usize;
+    let mut partial_fsyncs = 0usize;
+    let mut loud_failures = 0usize;
+    let mut records_lost = 0u64;
+    let mut probes_run = 0usize;
+    let mut corruptions_detected = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+
+    for step in 0..config.steps {
+        let now = step * config.step_ms;
+
+        // 1. Every store appends one record.
+        for (k, store) in stores.iter_mut().enumerate() {
+            let record = random_store_record(&mut rng);
+            store.append(record).expect("append");
+            history[k].push(record);
+            records_appended += 1;
+        }
+
+        // 2. Seeded group commits and the occasional snapshot.
+        for k in 0..config.mds {
+            if rng.gen_bool(0.25) {
+                stores[k].sync().expect("sync");
+                synced[k] = history[k].len();
+                syncs += 1;
+            }
+        }
+        if rng.gen_bool(0.05) {
+            let k = rng.gen_range(0..config.mds);
+            stores[k].snapshot().expect("snapshot");
+            synced[k] = history[k].len();
+            snapshots += 1;
+        }
+
+        // 3. Scheduled crash: the storage rules pick how it tears.
+        if let Some(&victim) = crash_steps.get(&step) {
+            let fault = injector.decide_storage(victim as u16, now);
+            let dir = root.join(format!("mds-{victim}"));
+            let store = stores.remove(victim);
+            let outcome = crash_recover_check(
+                &dir,
+                store_config,
+                &registry,
+                victim as u16,
+                store,
+                &mut history[victim],
+                &mut synced[victim],
+                fault,
+                &mut rng,
+                step,
+                &mut violations,
+            );
+            stores.insert(victim, outcome.store);
+            crashes += 1;
+            records_lost += outcome.lost;
+            if outcome.torn {
+                torn_crashes += 1;
+            }
+            if matches!(fault, Some(StorageFault::PartialFsync)) {
+                partial_fsyncs += 1;
+            }
+            if outcome.loud_failure {
+                loud_failures += 1;
+            }
+        }
+
+        // 4. Scheduled corruption probe against a synced copy.
+        if let Some(&victim) = probe_steps.get(&step) {
+            stores[victim].sync().expect("sync");
+            synced[victim] = history[victim].len();
+            let probe_dir = root.join(format!("probe-{step}"));
+            if let Some(detected) = corrupt_probe(stores[victim].dir(), &probe_dir, store_config) {
+                probes_run += 1;
+                registry
+                    .counter(MetricKey::global(names::FAULTS_STORAGE))
+                    .inc();
+                registry.journal().record(EventKind::FaultInjected {
+                    fault: FaultKind::CorruptRecord,
+                    mds: victim as u16,
+                });
+                if detected {
+                    corruptions_detected += 1;
+                } else {
+                    violations.push(format!(
+                        "step {step}: bit-flip in mds{victim}'s durable WAL went undetected"
+                    ));
+                }
+            }
+            let _ = fs::remove_dir_all(&probe_dir);
+        }
+    }
+
+    // Final sweep: a clean shutdown and reopen must reproduce every
+    // store's full history bit-for-bit.
+    for (k, store) in stores.into_iter().enumerate() {
+        let mut store = store;
+        store.sync().expect("final sync");
+        let dir = store.dir().to_path_buf();
+        drop(store);
+        let (reopened, info) = MdsStore::open(&dir, store_config).expect("final reopen succeeds");
+        let expected = replay_prefix(&history[k]);
+        if info.next_lsn as usize != history[k].len() || *reopened.state() != expected {
+            violations.push(format!(
+                "final: mds{k} reopened with {} records, wanted {}",
+                info.next_lsn,
+                history[k].len()
+            ));
+        } else if reopened.state().encode() != expected.encode() {
+            violations.push(format!("final: mds{k} state encoding diverged"));
+        }
+    }
+    let _ = fs::remove_dir_all(&root);
+
+    StoreChaosReport {
+        seed,
+        steps: config.steps,
+        records_appended,
+        syncs,
+        snapshots,
+        crashes,
+        torn_crashes,
+        partial_fsyncs,
+        loud_failures,
+        records_lost,
+        corrupt_probes: probes_run,
+        corruptions_detected,
+        violations,
+        journal: registry.snapshot().events.iter().map(|e| e.kind).collect(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -588,5 +1120,56 @@ mod tests {
                 report.violations
             );
         }
+    }
+
+    #[test]
+    fn store_chaos_same_seed_same_report() {
+        let config = StoreChaosConfig::default();
+        let a = run_store_chaos(42, &config);
+        let b = run_store_chaos(42, &config);
+        assert_eq!(a, b, "store-chaos runs must be fully reproducible");
+        assert!(!a.journal.is_empty(), "schedule must leave a trace");
+    }
+
+    #[test]
+    fn store_chaos_default_schedule_survives() {
+        let config = StoreChaosConfig::default();
+        let report = run_store_chaos(42, &config);
+        assert_eq!(report.crashes, config.crashes);
+        assert!(
+            report.violations.is_empty(),
+            "recovery contract violated: {:?}",
+            report.violations
+        );
+        assert!(report.syncs > 0 && report.snapshots > 0);
+        assert!(
+            report.torn_crashes + report.partial_fsyncs > 0,
+            "the storage rules must actually tear something"
+        );
+        assert_eq!(
+            report.corruptions_detected, report.corrupt_probes,
+            "every injected bit-flip must be caught"
+        );
+        assert!(report.corrupt_probes > 0, "probes must find data to flip");
+        assert!(
+            report.records_lost < report.records_appended / 2,
+            "crashes lose unsynced tails, not the bulk of the log"
+        );
+    }
+
+    #[test]
+    fn store_chaos_seeds_differ_and_sweep_clean() {
+        let config = StoreChaosConfig::default();
+        let mut journals = Vec::new();
+        for seed in [1u64, 7, 42] {
+            let report = run_store_chaos(seed, &config);
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+            journals.push(report.journal);
+        }
+        assert_ne!(journals[0], journals[1], "seed must steer the schedule");
     }
 }

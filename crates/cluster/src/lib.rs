@@ -36,10 +36,13 @@ pub mod message;
 pub mod monitor;
 pub mod sim;
 
-pub use chaos::{run_chaos, ChaosConfig, ChaosReport};
+pub use chaos::{
+    run_chaos, run_store_chaos, ChaosConfig, ChaosReport, StoreChaosConfig, StoreChaosReport,
+};
 pub use client::{CacheStats, ClientCache, RetryPolicy};
 pub use fault::{
     FaultAction, FaultDecision, FaultInjector, FaultPlan, FaultRule, FaultScope, NetEdge,
+    StorageFault, StorageFaultRule,
 };
 pub use lock::{LockService, LockToken};
 pub use message::{Request, RequestId, Response, ResponseBody};

@@ -9,6 +9,7 @@
 //! run on it.
 
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -18,9 +19,10 @@ use bytes::Bytes;
 use crossbeam::channel::{bounded, unbounded, Receiver, RecvTimeoutError, Sender};
 use d2tree_core::{Heartbeat, Subtree};
 use d2tree_metrics::{Assignment, ClusterSpec, MdsId, Migration, Placement};
-use d2tree_namespace::{AttrTable, NamespaceTree, NodeId};
+use d2tree_namespace::{AttrTable, NamespaceTree, NodeId, VersionedAttr};
+use d2tree_store::{AttrState, MdsRecord, MdsStore, StoreConfig};
 use d2tree_workload::{OpKind, Operation};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -35,7 +37,7 @@ use crate::message::{Request, RequestId, Response, ResponseBody};
 use crate::monitor::{ClusterEvent, Monitor, MonitorConfig};
 
 /// Tuning of the live runtime.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct LiveConfig {
     /// How often each MDS heartbeats the Monitor.
     pub heartbeat_interval: Duration,
@@ -52,6 +54,14 @@ pub struct LiveConfig {
     /// the busiest server's recent local-layer load exceeds the lightest's
     /// by this factor. `f64::INFINITY` disables live rebalancing.
     pub rebalance_factor: f64,
+    /// Root directory for durable per-MDS state (`<root>/mds-<k>`).
+    /// `None` runs the cluster purely in memory, as before; `Some`
+    /// makes every MDS journal ownership changes, attribute commits
+    /// and popularity counters to a write-ahead log, and
+    /// [`LiveCluster::restart`] then recovers locally from disk.
+    pub store_root: Option<PathBuf>,
+    /// WAL / snapshot tuning used when `store_root` is set.
+    pub store: StoreConfig,
 }
 
 impl Default for LiveConfig {
@@ -63,6 +73,8 @@ impl Default for LiveConfig {
             retry: RetryPolicy::default(),
             index_lease: Duration::from_millis(500),
             rebalance_factor: 3.0,
+            store_root: None,
+            store: StoreConfig::default(),
         }
     }
 }
@@ -106,6 +118,13 @@ struct Shared {
     /// Seeded fault injector both transport directions consult; `None`
     /// runs the cluster fault-free with zero overhead.
     faults: Option<FaultInjector>,
+    /// Per-MDS durable stores (empty when durability is disabled).
+    /// `None` inside a slot means that MDS is crashed: its store died
+    /// with it and is reopened — recovered from disk — on restart.
+    /// Lock order: a store mutex is always taken *last*, after any
+    /// placement/index/attr/counts locks are released or while only
+    /// read guards are held that nothing else orders after it.
+    stores: Vec<Mutex<Option<MdsStore>>>,
 }
 
 impl Shared {
@@ -120,6 +139,66 @@ impl Shared {
             Some(inj) => inj.decide(edge, self.now_ms()),
             None => FaultDecision::Deliver,
         }
+    }
+
+    /// Appends one record to MDS `k`'s WAL. A no-op when durability is
+    /// disabled or the MDS is crashed (its store is out of its slot —
+    /// exactly like a write racing a real crash: it never happened).
+    fn journal_record(&self, k: usize, record: MdsRecord) {
+        if let Some(slot) = self.stores.get(k) {
+            if let Some(store) = slot.lock().as_mut() {
+                store.append(record).expect("WAL append failed");
+            }
+        }
+    }
+
+    /// Journals an attribute commit on MDS `k`.
+    fn journal_attr(&self, k: usize, node: NodeId, gl: bool, committed: VersionedAttr) {
+        self.journal_record(
+            k,
+            MdsRecord::AttrCommit {
+                node: node.index() as u64,
+                gl,
+                attr: attr_state(committed),
+            },
+        );
+    }
+
+    /// Journals a subtree ownership change on MDS `k`.
+    fn journal_ownership(&self, k: usize, root: NodeId, acquired: bool) {
+        self.journal_record(
+            k,
+            MdsRecord::Ownership {
+                root: root.index() as u64,
+                acquired,
+            },
+        );
+    }
+}
+
+/// The journaled form of a versioned attribute record.
+fn attr_state(v: VersionedAttr) -> AttrState {
+    AttrState {
+        version: v.version,
+        mode: v.attr.mode,
+        uid: v.attr.uid,
+        gid: v.attr.gid,
+        size: v.attr.size,
+        mtime: v.attr.mtime,
+    }
+}
+
+/// The in-memory form of a journaled attribute record.
+fn versioned_attr(a: &AttrState) -> VersionedAttr {
+    VersionedAttr {
+        attr: d2tree_namespace::FileAttr {
+            mode: a.mode,
+            uid: a.uid,
+            gid: a.gid,
+            size: a.size,
+            mtime: a.mtime,
+        },
+        version: a.version,
     }
 }
 
@@ -223,6 +302,46 @@ impl LiveCluster {
         let faults = plan
             .filter(|p| !p.is_empty())
             .map(|p| FaultInjector::new(&p).with_registry(Arc::clone(&registry)));
+        // Durable stores: open (recovering whatever a previous run left
+        // on disk) and journal each server's initial subtree ownership.
+        let stores: Vec<Mutex<Option<MdsStore>>> = match &config.store_root {
+            Some(root) => (0..m)
+                .map(|k| {
+                    let dir = root.join(format!("mds-{k}"));
+                    let (store, _) = MdsStore::open(&dir, config.store).expect("store open failed");
+                    let mut store = store.with_registry(&registry, k as u16);
+                    // Converge the durable ownership set on the seeded
+                    // index: shed whatever a previous run left behind,
+                    // acquire what this run assigns.
+                    let seeded: std::collections::BTreeSet<u64> = index
+                        .iter()
+                        .filter(|(_, owner)| owner.index() == k)
+                        .map(|(subtree_root, _)| subtree_root.index() as u64)
+                        .collect();
+                    let stale: Vec<u64> =
+                        store.state().owned.difference(&seeded).copied().collect();
+                    for root in stale {
+                        store
+                            .append(MdsRecord::Ownership {
+                                root,
+                                acquired: false,
+                            })
+                            .expect("WAL append failed");
+                    }
+                    for root in seeded {
+                        store
+                            .append(MdsRecord::Ownership {
+                                root,
+                                acquired: true,
+                            })
+                            .expect("WAL append failed");
+                    }
+                    store.sync().expect("WAL sync failed");
+                    Mutex::new(Some(store))
+                })
+                .collect(),
+            None => Vec::new(),
+        };
         let shared = Arc::new(Shared {
             tree,
             placement: RwLock::new(placement),
@@ -239,6 +358,7 @@ impl LiveCluster {
             epoch: Instant::now(),
             registry,
             faults,
+            stores,
         });
 
         let (hb_tx, hb_rx) = unbounded::<Heartbeat>();
@@ -303,23 +423,51 @@ impl LiveCluster {
     /// `MdsId` is a no-op. Returns whether the call changed state (the
     /// server was alive and is now dead).
     pub fn kill(&self, mds: MdsId) -> bool {
-        match self.shared.killed.get(mds.index()) {
+        let changed = match self.shared.killed.get(mds.index()) {
             Some(flag) => !flag.swap(true, Ordering::SeqCst),
             None => false,
+        };
+        if changed {
+            if let Some(slot) = self.shared.stores.get(mds.index()) {
+                if let Some(store) = slot.lock().take() {
+                    // The crash happens at an arbitrary point in the
+                    // group-commit window: a prefix of the unsynced
+                    // buffer tears into the file, the rest is lost.
+                    let pending = store.pending_bytes();
+                    let keep = if pending == 0 {
+                        0
+                    } else {
+                        (self.shared.now_ms() as usize).wrapping_mul(2_654_435_761) % (pending + 1)
+                    };
+                    store.simulate_crash(keep).expect("crash simulation failed");
+                }
+            }
         }
+        changed
     }
 
     /// Crash-**restarts** a previously-[`kill`](Self::kill)ed MDS,
     /// running the recovery half of the paper's dynamic-adjustment
     /// protocol:
     ///
-    /// 1. The replica re-fetches the current global-layer state through
-    ///    the lock service — for every replicated node it takes the
-    ///    per-node lock, copies the freshest committed attribute version
-    ///    from the live replicas, and releases (a killed replica misses
-    ///    all GL propagation while down, so this is what makes it safe
-    ///    to serve again).
-    /// 2. It resumes heartbeating, which re-registers it with the
+    /// 1. With durability enabled ([`LiveConfig::store_root`]), the MDS
+    ///    first recovers locally from disk: it reopens its store
+    ///    (snapshot + WAL replay, truncating a torn final record),
+    ///    rebuilds its attribute table from the journaled commits,
+    ///    re-seeds its popularity counters, and sheds — durably — any
+    ///    subtree the cluster re-homed while it was down. The recovery
+    ///    time lands in the `recovery_ms` histogram and an
+    ///    [`EventKind::StoreRecovered`] journal event.
+    /// 2. The replica then **delta-syncs** its global-layer state
+    ///    through the lock service: only nodes where some live replica
+    ///    holds a *newer* version than the local (recovered) copy are
+    ///    locked and copied — a version-gated delta, not the full GL
+    ///    sweep. The entries transferred are journaled as
+    ///    [`EventKind::GlDeltaSync`] and counted in
+    ///    `gl_delta_sync_entries_total`. (A killed replica misses all
+    ///    GL propagation while down, so this is what makes it safe to
+    ///    serve again.)
+    /// 3. It resumes heartbeating, which re-registers it with the
     ///    Monitor: the Monitor sees a heartbeat from a declared-dead
     ///    server, journals [`EventKind::MdsRejoined`] and hands it
     ///    subtrees from the pending pool via the mirror-division
@@ -328,6 +476,12 @@ impl LiveCluster {
     /// Idempotent and panic-free: restarting an alive or unknown
     /// `MdsId` is a no-op. Returns whether the call changed state (the
     /// server was dead and is now rejoining).
+    ///
+    /// # Panics
+    ///
+    /// Panics if durability is enabled and the on-disk store cannot be
+    /// recovered (I/O failure or corruption worse than a torn tail) —
+    /// an MDS must not serve from state it cannot trust.
     pub fn restart(&self, mds: MdsId) -> bool {
         let Some(flag) = self.shared.killed.get(mds.index()) else {
             return false;
@@ -336,9 +490,72 @@ impl LiveCluster {
             return false;
         }
         let me = mds.index();
-        // GL re-sync before serving: every replicated node's freshest
-        // committed copy, fetched under the node's lock so a concurrent
-        // writer cannot interleave a partial commit.
+        // Phase 1: local recovery from disk (durability enabled only).
+        let mut recovered = None;
+        if let Some(root) = &self.config.store_root {
+            let dir = root.join(format!("mds-{me}"));
+            let (store, info) =
+                MdsStore::open(&dir, self.config.store).expect("store recovery failed");
+            let mut store = store.with_registry(&self.shared.registry, me as u16);
+            let recovery_ms = info.duration.as_millis() as u64;
+            self.shared
+                .registry
+                .histogram(MetricKey::mds(names::RECOVERY_MS, me as u16))
+                .record(recovery_ms);
+            self.shared
+                .registry
+                .journal()
+                .record(EventKind::StoreRecovered {
+                    mds: me as u16,
+                    records: info.records_replayed,
+                    torn_bytes: info.torn_bytes,
+                    recovery_ms,
+                });
+            // The crash wiped the process: rebuild the in-memory table
+            // from durable state alone. Unsynced commits inside the
+            // last group-commit window are gone — for GL nodes the
+            // delta sync below re-fetches them from live replicas.
+            let mut table = AttrTable::new(&self.shared.tree);
+            for (&node, a) in &store.state().attrs {
+                table.apply_if_newer(NodeId::from_index(node as usize), versioned_attr(a));
+            }
+            *self.shared.attr_stores[me].write() = table;
+            // Re-seed popularity counters; live values (accumulated by
+            // the survivors since the crash) win over journaled ones.
+            {
+                let mut counts = self.shared.subtree_counts.write();
+                for (&r, &bits) in &store.state().popularity {
+                    counts
+                        .entry(NodeId::from_index(r as usize))
+                        .or_insert_with(|| f64::from_bits(bits));
+                }
+            }
+            // Ownership reconcile: anything the Monitor re-homed while
+            // we were down is durably shed before we serve again.
+            let index = self.shared.index.read().clone();
+            let stale: Vec<u64> = store
+                .state()
+                .owned
+                .iter()
+                .copied()
+                .filter(|&r| {
+                    index.owner_of(NodeId::from_index(r as usize)) != Some(MdsId(me as u16))
+                })
+                .collect();
+            for r in stale {
+                store
+                    .append(MdsRecord::Ownership {
+                        root: r,
+                        acquired: false,
+                    })
+                    .expect("WAL append failed");
+            }
+            recovered = Some(store);
+        }
+        // Phase 2: version-gated GL delta sync. Only nodes where a live
+        // replica is ahead of the local copy are locked and copied; the
+        // common case after a short outage touches a handful of nodes
+        // instead of the whole global layer.
         let replicated: Vec<NodeId> = {
             let placement = self.shared.placement.read();
             self.shared
@@ -348,7 +565,22 @@ impl LiveCluster {
                 .filter(|&id| placement.assignment(id) == Assignment::Replicated)
                 .collect()
         };
+        let mut entries = 0u64;
         for node in replicated {
+            let mine = self.shared.attr_stores[me].read().get(node).version;
+            let behind = self
+                .shared
+                .attr_stores
+                .iter()
+                .enumerate()
+                .filter(|&(k, _)| k != me && !self.shared.killed[k].load(Ordering::SeqCst))
+                .any(|(_, store)| store.read().get(node).version > mine);
+            if !behind {
+                continue; // already current: no lock, no copy
+            }
+            // Fetch under the node's lock so a concurrent writer cannot
+            // interleave a partial commit, re-reading the freshest copy
+            // now that we hold it.
             let token = loop {
                 if let Some(t) = self.shared.locks.try_acquire(node, self.shared.now_ms()) {
                     break t;
@@ -364,12 +596,40 @@ impl LiveCluster {
                 .map(|(_, store)| store.read().get(node))
                 .max_by_key(|attr| attr.version);
             if let Some(attr) = freshest {
-                self.shared.attr_stores[me]
+                if self.shared.attr_stores[me]
                     .write()
-                    .apply_if_newer(node, attr);
+                    .apply_if_newer(node, attr)
+                {
+                    entries += 1;
+                    if let Some(store) = recovered.as_mut() {
+                        store
+                            .append(MdsRecord::AttrCommit {
+                                node: node.index() as u64,
+                                gl: true,
+                                attr: attr_state(attr),
+                            })
+                            .expect("WAL append failed");
+                    }
+                }
             }
             let released = self.shared.locks.release(token);
             debug_assert!(released, "fresh token releases cleanly");
+        }
+        self.shared
+            .registry
+            .counter(MetricKey::global(names::GL_DELTA_SYNC_ENTRIES))
+            .add(entries);
+        self.shared
+            .registry
+            .journal()
+            .record(EventKind::GlDeltaSync {
+                mds: me as u16,
+                entries,
+            });
+        // Publish the recovered store so the serve path journals again.
+        if let Some(mut store) = recovered {
+            store.sync().expect("WAL sync failed");
+            *self.shared.stores[me].lock() = Some(store);
         }
         self.shared.restarted_at[me].store(self.shared.now_ms(), Ordering::SeqCst);
         // Clearing the flag resumes serving and heartbeating; the
@@ -443,6 +703,42 @@ impl LiveCluster {
                 ));
             }
         }
+        // Durable-store invariants (durability enabled only): each live
+        // MDS's journaled state must agree with the cluster's in-memory
+        // state — what a crash right now would recover is exactly what
+        // the MDS is serving.
+        for (k, slot) in self.shared.stores.iter().enumerate() {
+            if !alive(MdsId(k as u16)) {
+                continue;
+            }
+            let guard = slot.lock();
+            let Some(store) = guard.as_ref() else {
+                violations.push(format!("live mds{k} has no open store"));
+                continue;
+            };
+            let state = store.state();
+            let index_owned: std::collections::BTreeSet<u64> = index
+                .iter()
+                .filter(|(_, owner)| owner.index() == k)
+                .map(|(root, _)| root.index() as u64)
+                .collect();
+            if state.owned != index_owned {
+                violations.push(format!(
+                    "mds{k} journaled ownership {:?} disagrees with index {:?}",
+                    state.owned, index_owned
+                ));
+            }
+            let table = self.shared.attr_stores[k].read();
+            for (&node, a) in &state.attrs {
+                let live = table.get(NodeId::from_index(node as usize)).version;
+                if live != a.version {
+                    violations.push(format!(
+                        "mds{k} journaled attr version {} for node {node}, serving {live}",
+                        a.version
+                    ));
+                }
+            }
+        }
         violations
     }
 
@@ -491,6 +787,13 @@ impl LiveCluster {
             .expect("shutdown called once")
             .join()
             .expect("monitor thread panicked");
+        // A clean shutdown leaves every surviving store durable up to
+        // its last append.
+        for slot in &self.shared.stores {
+            if let Some(store) = slot.lock().as_mut() {
+                store.sync().expect("WAL sync failed");
+            }
+        }
         LiveReport {
             served: self
                 .shared
@@ -593,12 +896,18 @@ fn server_main(
                                 .write()
                                 .update(req.target, |a| a.mtime = now);
                             let committed = shared.attr_stores[me].read().get(req.target);
+                            shared.journal_attr(me, req.target, true, committed);
                             for (k, store) in shared.attr_stores.iter().enumerate() {
                                 // A killed replica is a crashed process: it
                                 // misses propagation and must re-sync through
                                 // the lock service on restart.
                                 if k != me && !shared.killed[k].load(Ordering::SeqCst) {
-                                    store.write().apply_if_newer(req.target, committed);
+                                    // Each replica that actually advanced
+                                    // journals the propagated commit; a
+                                    // stale duplicate is not re-journaled.
+                                    if store.write().apply_if_newer(req.target, committed) {
+                                        shared.journal_attr(k, req.target, true, committed);
+                                    }
                                 }
                             }
                             let released = shared.locks.release(token);
@@ -613,6 +922,8 @@ fn server_main(
                             shared.attr_stores[me]
                                 .write()
                                 .update(req.target, |a| a.mtime = now);
+                            let committed = shared.attr_stores[me].read().get(req.target);
+                            shared.journal_attr(me, req.target, false, committed);
                         }
                         ResponseBody::Served { node: req.target }
                     }
@@ -634,7 +945,21 @@ fn server_main(
                         if let Some((root, _)) =
                             shared.index.read().locate(&shared.tree, req.target)
                         {
-                            *shared.subtree_counts.write().entry(root).or_insert(0.0) += 1.0;
+                            let bits = {
+                                let mut counts = shared.subtree_counts.write();
+                                let v = counts.entry(root).or_insert(0.0);
+                                *v += 1.0;
+                                v.to_bits()
+                            };
+                            // Journal the counter's new absolute value so
+                            // recovery restores popularity exactly.
+                            shared.journal_record(
+                                me,
+                                MdsRecord::Popularity {
+                                    root: root.index() as u64,
+                                    bits,
+                                },
+                            );
                         }
                     }
                 }
@@ -757,6 +1082,10 @@ fn monitor_main(
                 for root in stale {
                     if let Some(new_owner) = placement.assignment(root).owner() {
                         index.insert(root, new_owner);
+                        // The claimer journals its acquisition durably;
+                        // the dead owner's store is down and sheds this
+                        // subtree when it recovers and reconciles.
+                        shared.journal_ownership(new_owner.index(), root, true);
                         shared.registry.journal().record(EventKind::SubtreeClaimed {
                             to: new_owner.0,
                             subtree: root.index() as u64,
@@ -868,6 +1197,10 @@ fn rejoin_claims(shared: &Shared, mon: &mut Monitor, m: usize, back: MdsId, now:
             index.insert(mg.node, mg.to);
         }
     }
+    for mg in &migrations {
+        shared.journal_ownership(mg.from.index(), mg.node, false);
+        shared.journal_ownership(mg.to.index(), mg.node, true);
+    }
     shared
         .migrations
         .fetch_add(migrations.len() as u64, Ordering::Relaxed);
@@ -935,6 +1268,8 @@ fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
         placement.assign_subtree(&shared.tree, root, to);
     }
     shared.index.write().insert(root, to);
+    shared.journal_ownership(busy, root, false);
+    shared.journal_ownership(to.index(), root, true);
     shared.migrations.fetch_add(1, Ordering::Relaxed);
     shared
         .registry

@@ -1,0 +1,228 @@
+//! Whole-state snapshots.
+//!
+//! A snapshot file `snap-{lsn:016x}.snap` captures the [`MdsState`]
+//! after replaying every record with LSN `< lsn`; recovery loads the
+//! newest snapshot and replays only the WAL tail from that LSN on.
+//!
+//! Layout: 8-byte magic, `len: u32 BE`, `crc: u32 BE` (CRC-32 of the
+//! body), then the body (`lsn: u64 BE` ++ encoded state). Snapshots
+//! are written to a `.tmp` file, fsynced, renamed into place, and the
+//! directory fsynced — a crash mid-snapshot leaves at worst a stale
+//! `.tmp` that recovery deletes; a torn snapshot is never visible
+//! under its final name.
+
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::record::{Cursor, MdsState};
+use crate::{StoreError, StoreResult};
+
+/// Magic bytes opening every snapshot file.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"D2SNAP01";
+
+/// File name of the snapshot covering records with LSN `< lsn`.
+#[must_use]
+pub fn snapshot_file_name(lsn: u64) -> String {
+    format!("snap-{lsn:016x}.snap")
+}
+
+/// Parses a snapshot file name back into its covered LSN.
+#[must_use]
+pub fn parse_snapshot_name(name: &str) -> Option<u64> {
+    let hex = name.strip_prefix("snap-")?.strip_suffix(".snap")?;
+    if hex.len() != 16 {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+/// Lists snapshot files in a directory, sorted by covered LSN.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the directory cannot be read.
+pub fn list_snapshots(dir: &Path) -> StoreResult<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if let Some(lsn) = entry.file_name().to_str().and_then(parse_snapshot_name) {
+            out.push((lsn, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(lsn, _)| lsn);
+    Ok(out)
+}
+
+/// Deletes leftover `.tmp` files from a snapshot interrupted by a
+/// crash before its rename.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] if the directory cannot be read or a stale file
+/// cannot be removed.
+pub fn remove_stale_tmp(dir: &Path) -> StoreResult<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        if entry
+            .file_name()
+            .to_str()
+            .is_some_and(|n| n.ends_with(".tmp"))
+        {
+            fs::remove_file(entry.path())?;
+        }
+    }
+    Ok(())
+}
+
+/// Writes a snapshot of `state` covering records with LSN `< lsn`,
+/// durably (tmp + fsync + rename + dir fsync). Returns the final path.
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on any filesystem failure.
+pub fn write_snapshot(dir: &Path, lsn: u64, state: &MdsState) -> StoreResult<PathBuf> {
+    let mut body = Vec::with_capacity(64);
+    body.extend_from_slice(&lsn.to_be_bytes());
+    body.extend_from_slice(&state.encode());
+
+    let mut data = Vec::with_capacity(16 + body.len());
+    data.extend_from_slice(SNAPSHOT_MAGIC);
+    data.extend_from_slice(&(body.len() as u32).to_be_bytes());
+    data.extend_from_slice(&crc32(&body).to_be_bytes());
+    data.extend_from_slice(&body);
+
+    let final_path = dir.join(snapshot_file_name(lsn));
+    let tmp_path = dir.join(format!("{}.tmp", snapshot_file_name(lsn)));
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+    file.write_all(&data)?;
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp_path, &final_path)?;
+    File::open(dir)?.sync_all()?;
+    Ok(final_path)
+}
+
+/// Reads and validates a snapshot file, checking that it covers
+/// exactly `expect_lsn` (the LSN encoded in its name).
+///
+/// # Errors
+///
+/// [`StoreError::Io`] on read failure; [`StoreError::Corrupt`] on a
+/// bad magic, CRC mismatch, length mismatch, or LSN disagreement —
+/// a snapshot is never truncated-and-tolerated, because rename made
+/// it visible only after a successful fsync.
+pub fn read_snapshot(path: &Path, expect_lsn: u64) -> StoreResult<MdsState> {
+    let data = fs::read(path)?;
+    let name = path.display();
+    if data.len() < 16 || &data[..8] != SNAPSHOT_MAGIC {
+        return Err(StoreError::corrupt(format!("{name}: bad snapshot magic")));
+    }
+    let mut c = Cursor::new(&data[8..16]);
+    let len = c.u32().expect("sized above") as usize;
+    let crc = c.u32().expect("sized above");
+    if data.len() != 16 + len {
+        return Err(StoreError::corrupt(format!(
+            "{name}: snapshot body is {} bytes, header says {len}",
+            data.len() - 16
+        )));
+    }
+    let body = &data[16..];
+    if crc32(body) != crc {
+        return Err(StoreError::corrupt(format!(
+            "{name}: snapshot CRC mismatch"
+        )));
+    }
+    let lsn = u64::from_be_bytes(body[..8].try_into().expect("16-byte minimum"));
+    if lsn != expect_lsn {
+        return Err(StoreError::corrupt(format!(
+            "{name}: snapshot covers lsn {lsn}, file name says {expect_lsn}"
+        )));
+    }
+    MdsState::decode(&body[8..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::{AttrState, MdsRecord};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "d2tree-snap-{tag}-{}-{}",
+            std::process::id(),
+            DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = fs::remove_dir_all(&d);
+        fs::create_dir_all(&d).unwrap();
+        d
+    }
+
+    fn sample_state() -> MdsState {
+        let mut s = MdsState::default();
+        s.apply(&MdsRecord::Ownership {
+            root: 5,
+            acquired: true,
+        });
+        s.apply(&MdsRecord::AttrCommit {
+            node: 9,
+            gl: true,
+            attr: AttrState {
+                version: 12,
+                size: 777,
+                ..AttrState::default()
+            },
+        });
+        s.apply(&MdsRecord::Popularity {
+            root: 5,
+            bits: 1.25f64.to_bits(),
+        });
+        s
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let dir = tmp_dir("rt");
+        let state = sample_state();
+        let path = write_snapshot(&dir, 42, &state).unwrap();
+        assert_eq!(
+            parse_snapshot_name(path.file_name().unwrap().to_str().unwrap()),
+            Some(42)
+        );
+        assert_eq!(read_snapshot(&path, 42).unwrap(), state);
+        assert_eq!(list_snapshots(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupted_snapshot_fails_loudly() {
+        let dir = tmp_dir("bad");
+        let path = write_snapshot(&dir, 7, &sample_state()).unwrap();
+        let mut data = fs::read(&path).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0x01;
+        fs::write(&path, &data).unwrap();
+        assert!(read_snapshot(&path, 7).unwrap_err().is_corrupt());
+        // Wrong expected LSN is also rejected.
+        let ok = write_snapshot(&dir, 8, &sample_state()).unwrap();
+        assert!(read_snapshot(&ok, 9).unwrap_err().is_corrupt());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn stale_tmp_files_are_removed() {
+        let dir = tmp_dir("tmp");
+        fs::write(dir.join("snap-0000000000000001.snap.tmp"), b"half").unwrap();
+        remove_stale_tmp(&dir).unwrap();
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

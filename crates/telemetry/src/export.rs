@@ -208,6 +208,20 @@ fn json_event(out: &mut String, e: &Event) {
         EventKind::MdsRejoined { mds, claimed } => {
             let _ = write!(out, ",\"mds\":{mds},\"claimed\":{claimed}");
         }
+        EventKind::StoreRecovered {
+            mds,
+            records,
+            torn_bytes,
+            recovery_ms,
+        } => {
+            let _ = write!(
+                out,
+                ",\"mds\":{mds},\"records\":{records},\"torn_bytes\":{torn_bytes},\"recovery_ms\":{recovery_ms}"
+            );
+        }
+        EventKind::GlDeltaSync { mds, entries } => {
+            let _ = write!(out, ",\"mds\":{mds},\"entries\":{entries}");
+        }
     }
     out.push('}');
 }

@@ -83,6 +83,26 @@ pub enum EventKind {
         /// Subtrees it claimed from the pending pool on rejoin.
         claimed: u64,
     },
+    /// A restarted MDS recovered its durable state from its local
+    /// store (snapshot + WAL replay).
+    StoreRecovered {
+        /// The recovering MDS.
+        mds: u16,
+        /// WAL records replayed on top of the snapshot.
+        records: u64,
+        /// Bytes truncated from a torn WAL tail (0 on a clean open).
+        torn_bytes: u64,
+        /// Wall-clock recovery time, milliseconds.
+        recovery_ms: u64,
+    },
+    /// A restarted MDS re-synced its GL replica by copying only the
+    /// entries a live replica had newer versions of.
+    GlDeltaSync {
+        /// The syncing MDS.
+        mds: u16,
+        /// GL entries actually transferred (stale on the rejoiner).
+        entries: u64,
+    },
 }
 
 /// The kind of perturbation a fault-injection rule applied to a message.
@@ -96,6 +116,12 @@ pub enum FaultKind {
     Duplicate,
     /// Delivery order was perturbed by a random jitter.
     Reorder,
+    /// A WAL write was torn mid-frame at crash time.
+    TornWrite,
+    /// An fsync persisted only a prefix of the buffered bytes.
+    PartialFsync,
+    /// Bits of an already-durable record were flipped on disk.
+    CorruptRecord,
 }
 
 impl FaultKind {
@@ -107,6 +133,9 @@ impl FaultKind {
             FaultKind::Delay => "delay",
             FaultKind::Duplicate => "duplicate",
             FaultKind::Reorder => "reorder",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::PartialFsync => "partial_fsync",
+            FaultKind::CorruptRecord => "corrupt_record",
         }
     }
 }
@@ -126,6 +155,8 @@ impl EventKind {
             EventKind::Forwarded { .. } => "forwarded",
             EventKind::FaultInjected { .. } => "fault_injected",
             EventKind::MdsRejoined { .. } => "mds_rejoined",
+            EventKind::StoreRecovered { .. } => "store_recovered",
+            EventKind::GlDeltaSync { .. } => "gl_delta_sync",
         }
     }
 }

@@ -78,4 +78,20 @@ pub mod names {
     pub const REJOINS_TOTAL: &str = "rejoins_total";
     /// Milliseconds from restart to the rejoiner's first subtree claim.
     pub const REJOIN_FIRST_CLAIM_MS: &str = "rejoin_first_claim_ms";
+    /// Per-MDS time to buffer one WAL record, microseconds (store).
+    pub const WAL_APPEND_US: &str = "wal_append_us";
+    /// Per-MDS group-commit fsync latency, microseconds (store).
+    pub const WAL_FSYNC_US: &str = "wal_fsync_us";
+    /// Per-MDS bytes appended to the WAL (store).
+    pub const WAL_BYTES_TOTAL: &str = "wal_bytes_total";
+    /// Per-MDS records appended to the WAL (store).
+    pub const WAL_RECORDS_TOTAL: &str = "wal_records_total";
+    /// Per-MDS snapshots written (store).
+    pub const SNAPSHOTS_TOTAL: &str = "snapshots_total";
+    /// Per-MDS local crash-recovery time, milliseconds (store).
+    pub const RECOVERY_MS: &str = "recovery_ms";
+    /// GL replica entries copied during delta re-sync at restart.
+    pub const GL_DELTA_SYNC_ENTRIES: &str = "gl_delta_sync_entries_total";
+    /// Storage faults injected (torn writes, partial fsyncs, corruption).
+    pub const FAULTS_STORAGE: &str = "faults_storage_total";
 }

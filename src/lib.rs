@@ -14,6 +14,8 @@
 //!   DROP and AngleCut.
 //! * [`cluster`] — the MDS-cluster substrate (discrete-event simulator,
 //!   live threaded runtime, monitor, lock service).
+//! * [`store`] — per-MDS durability: a checksummed write-ahead log with
+//!   group commit, snapshots and local crash recovery.
 //! * [`telemetry`] — counters, gauges, latency histograms, the structured
 //!   event journal and the Prometheus/JSON exporters.
 //!
@@ -25,5 +27,6 @@ pub use d2tree_cluster as cluster;
 pub use d2tree_core as core;
 pub use d2tree_metrics as metrics;
 pub use d2tree_namespace as namespace;
+pub use d2tree_store as store;
 pub use d2tree_telemetry as telemetry;
 pub use d2tree_workload as workload;

@@ -21,8 +21,8 @@ use std::sync::Arc;
 
 use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
 use d2tree_cluster::{
-    run_chaos, run_store_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule, FaultScope,
-    ReplayOutcome, SimConfig, Simulator, StoreChaosConfig,
+    analyze, run_chaos, run_store_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule,
+    FaultScope, ReplayOutcome, SimConfig, Simulator, StoreChaosConfig, StrictChainRoute,
 };
 use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree_metrics::{balance, ClusterSpec};
@@ -30,7 +30,8 @@ use d2tree_namespace::NamespaceTree;
 use d2tree_store::{
     compact, inspect, verify, AttrState, MdsRecord, MdsState, MdsStore, StoreConfig, StoreError,
 };
-use d2tree_telemetry::{export, names, MetricKey, Registry};
+use d2tree_telemetry::trace::{chrome_trace_json, digest, Sampler, Tracer};
+use d2tree_telemetry::{export, names, Registry};
 use d2tree_workload::{io as trace_io, Trace, TraceProfile, TraceStats, WorkloadBuilder};
 
 /// Errors surfaced to the user.
@@ -47,6 +48,9 @@ pub enum CliError {
     Chaos(String),
     /// A durable store could not be read, or its contents are corrupt.
     Store(StoreError),
+    /// The trace analyzer found spans disagreeing with the paper's
+    /// Def. 1 / Def. 3 predictions, or a structurally broken trace.
+    Trace(String),
 }
 
 impl fmt::Display for CliError {
@@ -57,6 +61,7 @@ impl fmt::Display for CliError {
             CliError::Format(e) => write!(f, "bad input file: {e}"),
             CliError::Chaos(msg) => write!(f, "chaos run failed: {msg}"),
             CliError::Store(e) => write!(f, "store error: {e}"),
+            CliError::Trace(msg) => write!(f, "trace check failed: {msg}"),
         }
     }
 }
@@ -94,6 +99,7 @@ COMMANDS:
     partition  partition a namespace and report locality/balance
     replay     replay a trace through the cluster simulator
     report     replay a trace and export telemetry (Prometheus text / JSON)
+    trace      replay with per-op tracing: Chrome trace JSON + Def. 1/3 cross-check
     hotspots   list the hottest paths of a trace
     check      partition with D2-Tree and fsck the resulting state
     chaos      replay a seeded crash/partition schedule and check recovery
@@ -117,9 +123,19 @@ Common options:
 `replay` / `report` options:
     --metrics-out <file>  (replay) also write the telemetry snapshot as JSON
     --format <name>       (report) prometheus | json | both (default both)
+    --events-out <file>   (report) also dump the event journal as JSON lines
     --fault-drop <p>      drop each client→MDS message with probability p
     --fault-dup <p>       duplicate each client→MDS message with probability p
     --fault-seed <n>      seed of the fault injector (default: --seed)
+
+`trace` options (takes the common workspace/scheme options too):
+    --sample <rate>  fraction of operations to trace, in [0, 1] (default 1.0)
+    --out <file>     Chrome trace-event JSON path (default trace.json),
+                     loadable in chrome://tracing and Perfetto
+    --bench          measure tracing overhead instead: replays the same
+                     synthetic workload with tracing off and at 0%/1%/100%
+                     sampling ([--nodes <n>] [--ops <n>] [--reps <n>]) and
+                     writes a JSON report (default results/BENCH_trace.json)
 
 `chaos` options (schedule is derived from --seed):
     --mds <n>         cluster size (default 4)
@@ -238,6 +254,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "partition" => cmd_partition(&Opts::parse(rest)?),
         "replay" => cmd_replay(&Opts::parse(rest)?),
         "report" => cmd_report(&Opts::parse(rest)?),
+        "trace" => cmd_trace(rest),
         "hotspots" => cmd_hotspots(&Opts::parse(rest)?),
         "check" => cmd_check(&Opts::parse(rest)?),
         "chaos" => cmd_chaos(&Opts::parse(rest)?),
@@ -337,24 +354,6 @@ fn fault_plan_from_opts(opts: &Opts, default_seed: u64) -> Result<Option<FaultPl
     Ok(Some(plan))
 }
 
-/// Pre-registers the fault/recovery metrics so `report` output always
-/// lists them, even for a clean run where every value stays at zero.
-fn preregister_recovery_metrics(registry: &Registry) {
-    let _ = registry.counter(MetricKey::global(names::FAULTS_DROPPED));
-    let _ = registry.counter(MetricKey::global(names::FAULTS_DELAYED));
-    let _ = registry.counter(MetricKey::global(names::FAULTS_DUPLICATED));
-    let _ = registry.counter(MetricKey::global(names::FAULTS_STORAGE));
-    let _ = registry.counter(MetricKey::global(names::REJOINS_TOTAL));
-    let _ = registry.histogram(MetricKey::global(names::REJOIN_FIRST_CLAIM_MS));
-    let _ = registry.counter(MetricKey::global(names::WAL_BYTES_TOTAL));
-    let _ = registry.counter(MetricKey::global(names::WAL_RECORDS_TOTAL));
-    let _ = registry.counter(MetricKey::global(names::SNAPSHOTS_TOTAL));
-    let _ = registry.counter(MetricKey::global(names::GL_DELTA_SYNC_ENTRIES));
-    let _ = registry.histogram(MetricKey::global(names::WAL_APPEND_US));
-    let _ = registry.histogram(MetricKey::global(names::WAL_FSYNC_US));
-    let _ = registry.histogram(MetricKey::global(names::RECOVERY_MS));
-}
-
 /// Builds a scheme from the CLI options and replays the trace through an
 /// instrumented simulator, returning the scheme name, the outcome and the
 /// telemetry registry the run filled in.
@@ -370,7 +369,7 @@ fn instrumented_replay(opts: &Opts) -> Result<(String, ReplayOutcome, Arc<Regist
     let cluster = ClusterSpec::homogeneous(m, 1.0);
     scheme.build(&tree, &pop, &cluster);
     let registry = Arc::new(Registry::new());
-    preregister_recovery_metrics(&registry);
+    names::register_all(&registry);
     let mut sim = Simulator::new(SimConfig {
         clients,
         seed,
@@ -428,6 +427,223 @@ fn cmd_report(opts: &Opts) -> Result<String, CliError> {
             )))
         }
     }
+    if let Some(path) = opts.get("events-out") {
+        std::fs::write(path, export::events_jsonl(&snapshot))?;
+        text.push_str(&format!(
+            "{} journal event(s) written to {path}\n",
+            snapshot.events.len()
+        ));
+    }
+    Ok(text)
+}
+
+/// Entry point of `d2tree trace`: peels the valueless `--bench` flag off
+/// before the `--flag value` parser sees it, then dispatches.
+fn cmd_trace(rest: &[String]) -> Result<String, CliError> {
+    let bench = rest.iter().any(|a| a == "--bench");
+    let filtered: Vec<String> = rest.iter().filter(|a| *a != "--bench").cloned().collect();
+    let opts = Opts::parse(&filtered)?;
+    if bench {
+        cmd_trace_bench(&opts)
+    } else {
+        cmd_trace_replay(&opts)
+    }
+}
+
+/// Replays a workspace with distributed tracing on, cross-checks the
+/// observed spans against Def. 1 (`path_jumps`) and Def. 3 (locality)
+/// — any disagreement is a hard error — and writes the spans as a
+/// Chrome trace-event JSON file.
+fn cmd_trace_replay(opts: &Opts) -> Result<String, CliError> {
+    let (tree, trace) = load_workspace(opts)?;
+    let m = opts.num("mds", 8usize)?;
+    let gl = opts.num("gl", 0.01f64)?;
+    let seed = opts.num("seed", 42u64)?;
+    let clients = opts.num("clients", 200usize)?;
+    let rate = opts.num("sample", 1.0f64)?;
+    if !(0.0..=1.0).contains(&rate) {
+        return Err(CliError::Usage(format!(
+            "--sample expects a rate in [0, 1], got {rate}"
+        )));
+    }
+    let out_path = opts.get("out").unwrap_or("trace.json").to_owned();
+    let mut scheme = scheme_by_name(opts.required("scheme")?, gl, seed)?;
+
+    let pop = trace.popularity(&tree);
+    let cluster = ClusterSpec::homogeneous(m, 1.0);
+    scheme.build(&tree, &pop, &cluster);
+
+    let registry = Arc::new(Registry::new());
+    names::register_all(&registry);
+    let tracer = Arc::new(Tracer::new(Sampler::new(seed, rate)));
+    // The strict router walks the full forwarding chain on every query,
+    // so the serve spans are comparable with Def. 1 hop by hop.
+    let strict = StrictChainRoute(scheme.as_ref());
+    let mut sim = Simulator::new(SimConfig {
+        clients,
+        seed,
+        ..SimConfig::default()
+    })
+    .with_registry(Arc::clone(&registry))
+    .with_tracer(Arc::clone(&tracer));
+    if let Some(plan) = fault_plan_from_opts(opts, seed)? {
+        sim = sim.with_faults(plan);
+    }
+    let out = sim.replay(&tree, &trace, &strict);
+
+    let spans = tracer.drain();
+    let analysis = analyze(&spans, &tree, scheme.placement(), &pop)
+        .map_err(|e| CliError::Trace(e.to_string()))?;
+    let span_digest = digest(&spans);
+    std::fs::write(&out_path, chrome_trace_json(&spans))?;
+
+    let mut text = format!(
+        "traced replay: scheme {}, {} ops, sampling {:.4}%\n\
+         spans: {} recorded, {} shed; digest {span_digest:016x}\n\
+         ops traced: {}  mean observed hops: {:.4}\n\
+         Def. 1: span-derived hops == path_jumps for every sampled op\n\
+         Def. 3: observed locality {:.6e} == analytic {:.6e} (f64 tolerance)\n",
+        scheme.name(),
+        out.completed,
+        rate * 100.0,
+        tracer.sink().recorded(),
+        tracer.sink().dropped(),
+        analysis.ops.len(),
+        analysis.mean_observed_hops,
+        analysis.observed_locality.locality,
+        analysis.analytic_locality.locality,
+    );
+    if analysis.faults.is_empty() {
+        text.push_str("injected faults observed: none\n");
+    } else {
+        text.push_str("injected faults observed (latency attributed to the faulted hop):\n");
+        for (kind, att) in &analysis.faults {
+            text.push_str(&format!(
+                "  {}: {} span(s), {} µs total across {} MDS lane(s)\n",
+                kind.label(),
+                att.count,
+                att.total_us,
+                att.per_mds.len()
+            ));
+        }
+    }
+    text.push_str(&format!(
+        "chrome trace written to {out_path} (open in chrome://tracing or Perfetto)\n"
+    ));
+    Ok(text)
+}
+
+/// `d2tree trace --bench`: replays one synthetic workload with tracing
+/// off, then at 0%, 1% and 100% sampling, and reports the overhead of
+/// each against the untraced baseline (best of `--reps` runs each).
+fn cmd_trace_bench(opts: &Opts) -> Result<String, CliError> {
+    let nodes = opts.num("nodes", 4_000usize)?;
+    let ops = opts.num("ops", 30_000usize)?;
+    let seed = opts.num("seed", 42u64)?;
+    let reps = opts.num("reps", 3usize)?.max(1);
+    let clients = opts.num("clients", 64usize)?;
+    let out_path = opts
+        .get("out")
+        .unwrap_or("results/BENCH_trace.json")
+        .to_owned();
+
+    let workload = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(nodes).with_operations(ops))
+        .seed(seed)
+        .build();
+    let pop = workload.popularity();
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::by_proportion(0.01).with_seed(seed));
+    scheme.build(&workload.tree, &pop, &ClusterSpec::homogeneous(8, 1.0));
+
+    // Untimed warmup so the first timed config (the untraced baseline)
+    // does not pay the cold-cache penalty for everyone else.
+    let _ = Simulator::new(SimConfig {
+        clients,
+        seed,
+        ..SimConfig::default()
+    })
+    .replay(&workload.tree, &workload.trace, &scheme);
+
+    // (label, sampling rate; None = tracing compiled out of the run
+    // entirely, i.e. the simulator's tracer Option stays None).
+    let configs: [(&str, Option<f64>); 4] = [
+        ("off", None),
+        ("0%", Some(0.0)),
+        ("1%", Some(0.01)),
+        ("100%", Some(1.0)),
+    ];
+    // Interleave the configurations across reps (rather than running
+    // each config's reps back to back) so slow drift of the host does
+    // not bias whichever config happens to run last; keep the best rep
+    // per config.
+    let mut runs: Vec<(&str, Option<f64>, u64, u64)> = configs
+        .iter()
+        .map(|&(label, rate)| (label, rate, u64::MAX, 0u64))
+        .collect();
+    for _ in 0..reps {
+        for run in &mut runs {
+            let tracer = run.1.map(|r| Arc::new(Tracer::new(Sampler::new(seed, r))));
+            let mut sim = Simulator::new(SimConfig {
+                clients,
+                seed,
+                ..SimConfig::default()
+            });
+            if let Some(t) = &tracer {
+                sim = sim.with_tracer(Arc::clone(t));
+            }
+            let start = std::time::Instant::now();
+            let out = sim.replay(&workload.tree, &workload.trace, &scheme);
+            run.2 = run.2.min(start.elapsed().as_nanos() as u64);
+            if out.completed != ops {
+                return Err(CliError::Trace(format!(
+                    "bench replay completed {} of {ops} ops",
+                    out.completed
+                )));
+            }
+            run.3 = tracer.as_ref().map_or(0, |t| t.sink().len() as u64);
+        }
+    }
+
+    let baseline_ns = runs[0].2.max(1);
+    let overhead_pct = |ns: u64| (ns as f64 - baseline_ns as f64) / baseline_ns as f64 * 100.0;
+
+    let mut json = format!(
+        "{{\n  \"nodes\": {nodes},\n  \"ops\": {ops},\n  \"seed\": {seed},\n  \
+         \"reps\": {reps},\n  \"clients\": {clients},\n  \
+         \"baseline_ns\": {baseline_ns},\n  \
+         \"baseline_ns_per_op\": {},\n  \"rates\": [\n",
+        baseline_ns / ops as u64
+    );
+    for (i, &(label, rate, ns, spans)) in runs.iter().enumerate().skip(1) {
+        json.push_str(&format!(
+            "    {{\"label\": \"{label}\", \"rate\": {}, \"ns\": {ns}, \
+             \"ns_per_op\": {}, \"overhead_pct\": {:.2}, \"spans\": {spans}}}{}\n",
+            rate.unwrap_or(0.0),
+            ns / ops as u64,
+            overhead_pct(ns),
+            if i + 1 == runs.len() { "" } else { "," }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out_path, &json)?;
+
+    let mut text = format!(
+        "trace bench: {ops} ops over {nodes} nodes, best of {reps} rep(s)\n\
+         tracing off: {} ns/op\n",
+        baseline_ns / ops as u64
+    );
+    for &(label, _, ns, spans) in runs.iter().skip(1) {
+        text.push_str(&format!(
+            "  sampling {label}: {} ns/op ({:+.1}% vs off, {spans} span(s))\n",
+            ns / ops as u64,
+            overhead_pct(ns)
+        ));
+    }
+    text.push_str(&format!("report written to {out_path}\n"));
     Ok(text)
 }
 
@@ -1169,6 +1385,182 @@ mod tests {
 
         let _ = std::fs::remove_file(tree_file);
         let _ = std::fs::remove_file(trace_file);
+    }
+
+    #[test]
+    fn trace_command_checks_def1_def3_and_writes_chrome_json() {
+        let prefix = tmp_prefix("tracecmd");
+        run(&args(&[
+            "synth",
+            "--profile",
+            "dtr",
+            "--nodes",
+            "500",
+            "--ops",
+            "2000",
+            "--out",
+            &prefix,
+        ]))
+        .unwrap();
+        let tree_file = format!("{prefix}.tree");
+        let trace_file = format!("{prefix}.trace");
+        let out_file = format!("{prefix}.chrome.json");
+
+        let trace_args = args(&[
+            "trace",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--out",
+            &out_file,
+        ]);
+        let first = run(&trace_args).unwrap();
+        assert!(
+            first.contains("Def. 1: span-derived hops == path_jumps"),
+            "{first}"
+        );
+        assert!(first.contains("Def. 3: observed locality"), "{first}");
+        assert!(first.contains("0 shed"), "{first}");
+        let written = std::fs::read_to_string(&out_file).unwrap();
+        assert!(written.starts_with("{\"displayTimeUnit\""), "{written}");
+        assert!(written.contains("\"traceEvents\""));
+        assert!(written.contains("\"name\":\"op\""));
+        assert!(written.contains("\"name\":\"serve\""));
+
+        // Same seed, same workspace: the digest line must reproduce.
+        let second = run(&trace_args).unwrap();
+        let digest_line = |s: &str| {
+            s.lines()
+                .find(|l| l.contains("digest"))
+                .map(str::to_owned)
+                .expect("digest line")
+        };
+        assert_eq!(digest_line(&first), digest_line(&second));
+
+        // A faulty run attributes latency to the injected fault kind.
+        let faulty = run(&args(&[
+            "trace",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--out",
+            &out_file,
+            "--fault-drop",
+            "0.1",
+        ]))
+        .unwrap();
+        assert!(
+            faulty.contains("injected faults observed (latency attributed"),
+            "{faulty}"
+        );
+
+        assert!(matches!(
+            run(&args(&[
+                "trace", "--tree", &tree_file, "--trace", &trace_file, "--scheme", "d2tree",
+                "--sample", "2.0",
+            ])),
+            Err(CliError::Usage(msg)) if msg.contains("--sample")
+        ));
+
+        let _ = std::fs::remove_file(tree_file);
+        let _ = std::fs::remove_file(trace_file);
+        let _ = std::fs::remove_file(out_file);
+    }
+
+    #[test]
+    fn trace_bench_writes_overhead_report() {
+        let out_file = format!("{}.bench.json", tmp_prefix("tracebench"));
+        let out = run(&args(&[
+            "trace",
+            "--bench",
+            "--nodes",
+            "300",
+            "--ops",
+            "1500",
+            "--reps",
+            "1",
+            "--clients",
+            "8",
+            "--seed",
+            "7",
+            "--out",
+            &out_file,
+        ]))
+        .unwrap();
+        assert!(out.contains("tracing off:"), "{out}");
+        assert!(out.contains("sampling 100%:"), "{out}");
+        let written = std::fs::read_to_string(&out_file).unwrap();
+        assert!(written.contains("\"baseline_ns\""), "{written}");
+        assert!(written.contains("\"overhead_pct\""), "{written}");
+        assert!(written.contains("\"rate\": 0.01"), "{written}");
+        // 100% sampling over 1500 ops must actually record spans.
+        assert!(written.contains("\"label\": \"100%\""), "{written}");
+        let hundred = written
+            .lines()
+            .find(|l| l.contains("\"label\": \"100%\""))
+            .unwrap();
+        assert!(!hundred.contains("\"spans\": 0"), "{hundred}");
+        let _ = std::fs::remove_file(out_file);
+    }
+
+    #[test]
+    fn report_dumps_event_journal_jsonl() {
+        let prefix = tmp_prefix("eventsout");
+        run(&args(&[
+            "synth",
+            "--profile",
+            "dtr",
+            "--nodes",
+            "300",
+            "--ops",
+            "1000",
+            "--out",
+            &prefix,
+        ]))
+        .unwrap();
+        let tree_file = format!("{prefix}.tree");
+        let trace_file = format!("{prefix}.trace");
+        let events_file = format!("{prefix}.events.jsonl");
+        let out = run(&args(&[
+            "report",
+            "--tree",
+            &tree_file,
+            "--trace",
+            &trace_file,
+            "--scheme",
+            "d2tree",
+            "--mds",
+            "4",
+            "--clients",
+            "16",
+            "--format",
+            "json",
+            "--events-out",
+            &events_file,
+        ]))
+        .unwrap();
+        assert!(out.contains(&format!("written to {events_file}")), "{out}");
+        let written = std::fs::read_to_string(&events_file).unwrap();
+        for line in written.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        let _ = std::fs::remove_file(tree_file);
+        let _ = std::fs::remove_file(trace_file);
+        let _ = std::fs::remove_file(events_file);
     }
 
     #[test]

@@ -198,6 +198,7 @@ pub fn run_chaos(seed: u64, config: &ChaosConfig) -> ChaosReport {
     schedule.sort_by_key(|&(at, _)| at);
 
     let registry = Arc::new(Registry::with_journal_capacity(64 * 1024));
+    names::register_all(&registry);
     let injector = FaultInjector::new(&plan).with_registry(Arc::clone(&registry));
     let mut mon = Monitor::with_journal(
         MonitorConfig {
@@ -875,6 +876,7 @@ pub fn run_store_chaos(seed: u64, config: &StoreChaosConfig) -> StoreChaosReport
     store_config.segment_bytes = config.segment_bytes;
 
     let registry = Arc::new(Registry::with_journal_capacity(64 * 1024));
+    names::register_all(&registry);
     // Crash points consult the storage rules: ~50% torn writes, ~25%
     // lying fsyncs, the rest crash cleanly between frames.
     let plan = FaultPlan::new(seed)

@@ -24,6 +24,24 @@ pub enum RouteDecision {
     StaleCache,
 }
 
+impl RouteDecision {
+    /// Code used for destinations forced by a server redirect, which
+    /// never go through [`ClientCache::route`].
+    pub const REDIRECT_CODE: u64 = 3;
+
+    /// Stable numeric code used as a trace-span annotation:
+    /// 0 owner-routed, 1 any-MDS, 2 stale cache,
+    /// [`REDIRECT_CODE`](Self::REDIRECT_CODE) redirect-forced.
+    #[must_use]
+    pub fn code(&self) -> u64 {
+        match self {
+            RouteDecision::Owner(_) => 0,
+            RouteDecision::AnyMds => 1,
+            RouteDecision::StaleCache => 2,
+        }
+    }
+}
+
 /// Hit/miss counters of a client's index cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {

@@ -311,6 +311,20 @@ pub enum FaultDecision {
     DeliverTwice,
 }
 
+impl FaultDecision {
+    /// The [`FaultKind`] a tracer should tag the affected hop's span
+    /// with, or `None` for a clean delivery.
+    #[must_use]
+    pub fn kind(&self) -> Option<FaultKind> {
+        match self {
+            FaultDecision::Deliver => None,
+            FaultDecision::Drop => Some(FaultKind::Drop),
+            FaultDecision::Delay(_) => Some(FaultKind::Delay),
+            FaultDecision::DeliverTwice => Some(FaultKind::Duplicate),
+        }
+    }
+}
+
 struct FaultTelemetry {
     registry: Arc<Registry>,
     dropped: Arc<Counter>,

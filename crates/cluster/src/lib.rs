@@ -35,6 +35,7 @@ pub mod lock;
 pub mod message;
 pub mod monitor;
 pub mod sim;
+pub mod trace_analysis;
 
 pub use chaos::{
     run_chaos, run_store_chaos, ChaosConfig, ChaosReport, StoreChaosConfig, StoreChaosReport,
@@ -48,3 +49,6 @@ pub use lock::{LockService, LockToken};
 pub use message::{Request, RequestId, Response, ResponseBody};
 pub use monitor::{ClusterEvent, Monitor, MonitorConfig};
 pub use sim::{RebalancedReplay, ReplayOutcome, SimConfig, Simulator};
+pub use trace_analysis::{
+    analyze, FaultAttribution, StrictChainRoute, TraceAnalysis, TraceCheckError, TracedOp,
+};

@@ -28,7 +28,8 @@ use rand::{Rng, SeedableRng};
 
 use d2tree_core::LocalIndex;
 
-use d2tree_telemetry::{names, Counter, Event, EventKind, MetricKey, Registry};
+use d2tree_telemetry::trace::{span_names, Span, SpanCtx, SpanId, TraceId, Tracer};
+use d2tree_telemetry::{names, Counter, Event, EventKind, FaultKind, MetricKey, Registry};
 
 use crate::client::{CacheStats, ClientCache, RetryPolicy, RouteDecision};
 use crate::fault::{FaultDecision, FaultInjector, FaultPlan, NetEdge};
@@ -62,6 +63,19 @@ pub struct LiveConfig {
     pub store_root: Option<PathBuf>,
     /// WAL / snapshot tuning used when `store_root` is set.
     pub store: StoreConfig,
+    /// Tracer every hop (client attempts, server serves, lock holds,
+    /// monitor decisions, WAL I/O) records spans into; `None` disables
+    /// tracing, leaving one branch per potential span on the hot path.
+    pub tracer: Option<Arc<Tracer>>,
+}
+
+impl LiveConfig {
+    /// Attaches a tracer; spans from every hop land in its sink.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
 }
 
 impl Default for LiveConfig {
@@ -75,6 +89,7 @@ impl Default for LiveConfig {
             rebalance_factor: 3.0,
             store_root: None,
             store: StoreConfig::default(),
+            tracer: None,
         }
     }
 }
@@ -125,11 +140,17 @@ struct Shared {
     /// placement/index/attr/counts locks are released or while only
     /// read guards are held that nothing else orders after it.
     stores: Vec<Mutex<Option<MdsStore>>>,
+    /// Tracer shared by every component, `None` when tracing is off.
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Shared {
     fn now_ms(&self) -> u64 {
         self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
     }
 
     /// Consults the fault plan for one message on `edge` (a no-op
@@ -310,6 +331,9 @@ impl LiveCluster {
                     let dir = root.join(format!("mds-{k}"));
                     let (store, _) = MdsStore::open(&dir, config.store).expect("store open failed");
                     let mut store = store.with_registry(&registry, k as u16);
+                    if let Some(tr) = &config.tracer {
+                        store = store.with_tracer(Arc::clone(tr), k as u16);
+                    }
                     // Converge the durable ownership set on the seeded
                     // index: shed whatever a previous run left behind,
                     // acquire what this run assigns.
@@ -359,6 +383,7 @@ impl LiveCluster {
             registry,
             faults,
             stores,
+            tracer: config.tracer.clone(),
         });
 
         let (hb_tx, hb_rx) = unbounded::<Heartbeat>();
@@ -497,6 +522,9 @@ impl LiveCluster {
             let (store, info) =
                 MdsStore::open(&dir, self.config.store).expect("store recovery failed");
             let mut store = store.with_registry(&self.shared.registry, me as u16);
+            if let Some(tr) = &self.shared.tracer {
+                store = store.with_tracer(Arc::clone(tr), me as u16);
+            }
             let recovery_ms = info.duration.as_millis() as u64;
             self.shared
                 .registry
@@ -863,6 +891,19 @@ fn server_main(
                 let Some(req) = Request::decode(&mut frame) else {
                     continue;
                 };
+                // The serve span's id is allocated up front so lock/apply
+                // child spans can parent on it even though the serve span
+                // itself is only recorded once the response is ready.
+                let serve_ctx = match (shared.tracer(), req.trace) {
+                    (Some(tr), Some((t, s))) => {
+                        let ctx = SpanCtx {
+                            trace: TraceId(t),
+                            span: SpanId(s),
+                        };
+                        Some((ctx, tr.next_span(ctx.trace), tr.now_us()))
+                    }
+                    _ => None,
+                };
                 let assignment = shared.placement.read().assignment(req.target);
                 let body = match assignment {
                     Assignment::Replicated => {
@@ -872,8 +913,30 @@ fn server_main(
                             // Partitioned from it, the server cannot
                             // serialise the update — drop the request and
                             // let the client's retry policy cope.
-                            match shared.fault(NetEdge::MdsToLock(me as u16)) {
-                                FaultDecision::Drop => continue,
+                            let lock_fault = shared.fault(NetEdge::MdsToLock(me as u16));
+                            let lock_fault_kind = lock_fault.kind();
+                            match lock_fault {
+                                FaultDecision::Drop => {
+                                    // Partitioned from the lock service: the
+                                    // request dies here — attribute the loss
+                                    // to this hop before dropping it.
+                                    if let Some((ctx, id, start)) = serve_ctx {
+                                        let tr = shared.tracer().expect("ctx implies tracer");
+                                        tr.record(
+                                            Span::child(
+                                                ctx,
+                                                id,
+                                                span_names::SERVE,
+                                                start,
+                                                tr.now_us().saturating_sub(start),
+                                            )
+                                            .on_mds(me as u16)
+                                            .with_fault(FaultKind::Drop)
+                                            .with_arg("target", req.target.index() as u64),
+                                        );
+                                    }
+                                    continue;
+                                }
                                 FaultDecision::Delay(ms) => {
                                     std::thread::sleep(Duration::from_millis(ms));
                                 }
@@ -883,14 +946,9 @@ fn server_main(
                             // lock service (spin until granted), commit on
                             // this replica, propagate to the others while
                             // the lock is held.
-                            let token = loop {
-                                if let Some(t) =
-                                    shared.locks.try_acquire(req.target, shared.now_ms())
-                                {
-                                    break t;
-                                }
-                                std::thread::yield_now();
-                            };
+                            let lock_t0 = shared.tracer().map(Tracer::now_us);
+                            let (token, spins) =
+                                shared.locks.acquire_spin(req.target, || shared.now_ms());
                             let now = shared.now_ms();
                             shared.attr_stores[me]
                                 .write()
@@ -912,6 +970,30 @@ fn server_main(
                             }
                             let released = shared.locks.release(token);
                             debug_assert!(released, "fresh token releases cleanly");
+                            // Wait + hold of the global-layer lock, nested
+                            // under this server's serve span.
+                            if let Some((ctx, serve_id, _)) = serve_ctx {
+                                let tr = shared.tracer().expect("ctx implies tracer");
+                                let start = lock_t0.unwrap_or(0);
+                                let parent = SpanCtx {
+                                    trace: ctx.trace,
+                                    span: serve_id,
+                                };
+                                let mut sp = Span::child(
+                                    parent,
+                                    tr.next_span(ctx.trace),
+                                    span_names::LOCK,
+                                    start,
+                                    tr.now_us().saturating_sub(start),
+                                )
+                                .on_mds(me as u16)
+                                .with_arg("node", req.target.index() as u64)
+                                .with_arg("spins", spins);
+                                if let Some(k) = lock_fault_kind {
+                                    sp = sp.with_fault(k);
+                                }
+                                tr.record(sp);
+                            }
                         }
                         ResponseBody::Served { node: req.target }
                     }
@@ -970,7 +1052,32 @@ fn server_main(
                     hops: req.hops,
                 };
                 let frame = resp.encode();
-                match shared.fault(NetEdge::MdsToClient(me as u16)) {
+                let reply_fault = shared.fault(NetEdge::MdsToClient(me as u16));
+                if let Some((ctx, serve_id, start)) = serve_ctx {
+                    let tr = shared.tracer().expect("ctx implies tracer");
+                    let mut sp = Span::child(
+                        ctx,
+                        serve_id,
+                        span_names::SERVE,
+                        start,
+                        tr.now_us().saturating_sub(start),
+                    )
+                    .on_mds(me as u16)
+                    .with_arg("target", req.target.index() as u64)
+                    .with_arg(
+                        "body",
+                        match body {
+                            ResponseBody::Served { .. } => 0,
+                            ResponseBody::Redirect { .. } => 1,
+                            ResponseBody::NotFound => 2,
+                        },
+                    );
+                    if let Some(k) = reply_fault.kind() {
+                        sp = sp.with_fault(k);
+                    }
+                    tr.record(sp);
+                }
+                match reply_fault {
                     FaultDecision::Drop => {} // reply lost; client times out
                     FaultDecision::Delay(ms) => {
                         // Deliver late without stalling the serve loop.
@@ -1022,11 +1129,29 @@ fn monitor_main(
         }
         match hb_rx.recv_timeout(tick) {
             Ok(hb) => {
+                let hb_t0 = shared.tracer().map(Tracer::now_us);
                 if let Some(ClusterEvent::MdsRecovered(back)) =
                     mon.on_heartbeat(hb, shared.now_ms())
                 {
                     let now = shared.now_ms();
                     let claimed = rejoin_claims(shared, &mut mon, m, back, now);
+                    // The heartbeat that flipped an MDS back to alive is a
+                    // monitor decision worth a span of its own.
+                    if let Some(tr) = shared.tracer() {
+                        if let Some(ctx) = tr.begin() {
+                            let start = hb_t0.unwrap_or(0);
+                            tr.record(
+                                Span::root(
+                                    ctx,
+                                    span_names::HEARTBEAT,
+                                    start,
+                                    tr.now_us().saturating_sub(start),
+                                )
+                                .with_arg("mds", u64::from(back.0))
+                                .with_arg("claimed", claimed as u64),
+                            );
+                        }
+                    }
                     rejoins_total.inc();
                     let restarted =
                         shared.restarted_at[back.index()].swap(u64::MAX, Ordering::SeqCst);
@@ -1044,9 +1169,28 @@ fn monitor_main(
         }
         let now = shared.now_ms();
         live_rebalance(shared, &mon, m, now);
-        for event in mon.detect_failures(now) {
+        let detect_t0 = shared.tracer().map(Tracer::now_us);
+        let failures = mon.detect_failures(now);
+        if !failures.is_empty() {
+            if let Some(tr) = shared.tracer() {
+                if let Some(ctx) = tr.begin() {
+                    let start = detect_t0.unwrap_or(0);
+                    tr.record(
+                        Span::root(
+                            ctx,
+                            span_names::DETECT,
+                            start,
+                            tr.now_us().saturating_sub(start),
+                        )
+                        .with_arg("failures", failures.len() as u64),
+                    );
+                }
+            }
+        }
+        for event in failures {
             if let ClusterEvent::MdsFailed(dead) = event {
                 failures_total.inc();
+                let failover_t0 = shared.tracer().map(Tracer::now_us);
                 // Re-home the dead server's nodes onto the survivors,
                 // spreading round-robin (whole subtrees stay together
                 // because children shared the dead owner).
@@ -1092,6 +1236,23 @@ fn monitor_main(
                             size: shared.tree.subtree_size(root) as u64,
                             popularity: counts.get(&root).copied().unwrap_or(0.0),
                         });
+                    }
+                }
+                drop(index);
+                drop(placement);
+                if let Some(tr) = shared.tracer() {
+                    if let Some(ctx) = tr.begin() {
+                        let start = failover_t0.unwrap_or(0);
+                        tr.record(
+                            Span::root(
+                                ctx,
+                                span_names::FAILOVER,
+                                start,
+                                tr.now_us().saturating_sub(start),
+                            )
+                            .with_arg("mds", u64::from(dead.0))
+                            .with_arg("rehomed", i as u64),
+                        );
                     }
                 }
             }
@@ -1221,6 +1382,7 @@ fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
     if !shared.rebalance_factor.is_finite() {
         return;
     }
+    let t0 = shared.tracer().map(Tracer::now_us);
     let counts_snapshot: Vec<(NodeId, f64)> = {
         let counts = shared.subtree_counts.read();
         counts.iter().map(|(&k, &v)| (k, v)).collect()
@@ -1294,6 +1456,22 @@ fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
         size,
         popularity,
     });
+    if let Some(tr) = shared.tracer() {
+        if let Some(ctx) = tr.begin() {
+            let start = t0.unwrap_or(0);
+            tr.record(
+                Span::root(
+                    ctx,
+                    span_names::REBALANCE,
+                    start,
+                    tr.now_us().saturating_sub(start),
+                )
+                .with_arg("subtree", subtree)
+                .with_arg("from", busy as u64)
+                .with_arg("to", u64::from(to.0)),
+            );
+        }
+    }
     // Decay the counters so the next decision reflects fresh traffic.
     let mut counts = shared.subtree_counts.write();
     for v in counts.values_mut() {
@@ -1427,7 +1605,43 @@ impl LiveClient {
     ///   server ever responding.
     /// * [`ClientError::DeadlineExceeded`] — the policy deadline elapsed
     ///   first.
+    ///
+    /// When the cluster was started with a tracer, a sampled operation
+    /// records one root `op` span plus one `attempt` span per try, and
+    /// its trace context rides the request frame so servers parent
+    /// their serve spans on it.
     pub fn execute(&mut self, op: Operation) -> Result<Response, ClientError> {
+        let tracer = match &self.shared.tracer {
+            Some(t) => Arc::clone(t),
+            None => return self.execute_inner(op, None),
+        };
+        let Some(ctx) = tracer.begin() else {
+            return self.execute_inner(op, None);
+        };
+        let start = tracer.now_us();
+        let result = self.execute_inner(op, Some(ctx));
+        let mut span = Span::root(
+            ctx,
+            span_names::OP,
+            start,
+            tracer.now_us().saturating_sub(start),
+        )
+        .with_arg("target", op.target.index() as u64)
+        .with_arg("kind", crate::sim::op_kind_code(op.kind));
+        match &result {
+            Ok(resp) => span = span.with_arg("hops", u64::from(resp.hops)),
+            Err(_) => span = span.with_arg("error", 1),
+        }
+        tracer.record(span);
+        result
+    }
+
+    fn execute_inner(
+        &mut self,
+        op: Operation,
+        ctx: Option<SpanCtx>,
+    ) -> Result<Response, ClientError> {
+        let tracer = self.shared.tracer.clone();
         let id = RequestId(self.next_id);
         self.next_id += 1;
         let started = Instant::now();
@@ -1452,11 +1666,13 @@ impl LiveClient {
                 let remaining = self.retry.deadline.saturating_sub(started.elapsed());
                 std::thread::sleep(pause.min(remaining));
             }
-            let mut dest = match forced_dest.take() {
-                Some(d) => d,
+            let (mut dest, route_code) = match forced_dest.take() {
+                Some(d) => (d, RouteDecision::REDIRECT_CODE),
                 None => {
                     let now = self.shared.now_ms();
-                    match self.cache.route(&self.shared.tree, op.target, now) {
+                    let decision = self.cache.route(&self.shared.tree, op.target, now);
+                    let code = decision.code();
+                    let dest = match decision {
                         RouteDecision::Owner(owner) => {
                             self.cache_hits.inc();
                             owner
@@ -1476,7 +1692,8 @@ impl LiveClient {
                                 _ => self.random_server(),
                             }
                         }
-                    }
+                    };
+                    (dest, code)
                 }
             };
             if let Some(stale) = stale_dest.take() {
@@ -1498,11 +1715,37 @@ impl LiveClient {
                 kind: op.kind,
                 target: op.target,
                 hops,
+                trace: ctx.map(|c| (c.trace.0, c.span.0)),
             };
             let frame = req.encode();
             let (tx, rx) = bounded(1);
             let mut sent = false;
-            match self.shared.fault(NetEdge::ClientToMds(dest.0)) {
+            let attempt_t0 = tracer.as_deref().map(Tracer::now_us);
+            let send_fault = self.shared.fault(NetEdge::ClientToMds(dest.0));
+            let fault_kind = send_fault.kind();
+            // Records this try as an `attempt` span: which server, how it
+            // was routed, how it ended (0 served, 1 redirect, 2 not-found,
+            // 3 timeout, 4 lost/garbled), and any injected fault.
+            let finish_attempt = |outcome: u64| {
+                if let (Some(tr), Some(ctx)) = (tracer.as_deref(), ctx) {
+                    let start = attempt_t0.unwrap_or(0);
+                    let mut sp = Span::child(
+                        ctx,
+                        tr.next_span(ctx.trace),
+                        span_names::ATTEMPT,
+                        start,
+                        tr.now_us().saturating_sub(start),
+                    )
+                    .on_mds(dest.0)
+                    .with_arg("route", route_code)
+                    .with_arg("outcome", outcome);
+                    if let Some(k) = fault_kind {
+                        sp = sp.with_fault(k);
+                    }
+                    tr.record(sp);
+                }
+            };
+            match send_fault {
                 FaultDecision::Drop => {} // request lost; attempt times out
                 FaultDecision::Delay(ms) => {
                     std::thread::sleep(Duration::from_millis(ms).min(self.timeout));
@@ -1530,6 +1773,7 @@ impl LiveClient {
                 // Message lost (injected drop or server thread gone):
                 // re-route after backoff like any timed-out attempt.
                 drop(rx);
+                finish_attempt(4);
                 stale_dest = Some(dest);
                 backoffs += 1;
                 continue;
@@ -1539,12 +1783,17 @@ impl LiveClient {
                     Some(resp) => {
                         got_response = true;
                         match resp.body {
-                            ResponseBody::Served { .. } => return Ok(resp),
+                            ResponseBody::Served { .. } => {
+                                finish_attempt(0);
+                                return Ok(resp);
+                            }
                             ResponseBody::Redirect { owner } => {
+                                finish_attempt(1);
                                 hops += 1;
                                 forced_dest = Some(owner);
                             }
                             ResponseBody::NotFound => {
+                                finish_attempt(2);
                                 not_found_streak += 1;
                                 if not_found_streak >= 3 {
                                     return Err(ClientError::NotFound);
@@ -1556,6 +1805,7 @@ impl LiveClient {
                         }
                     }
                     None => {
+                        finish_attempt(4);
                         backoffs += 1;
                     }
                 },
@@ -1563,6 +1813,7 @@ impl LiveClient {
                     // Dead or overloaded server; the placement (and index)
                     // may change under us — drop the stale hint and avoid
                     // this destination on the next routed attempt.
+                    finish_attempt(3);
                     stale_dest = Some(dest);
                     backoffs += 1;
                 }
@@ -1604,6 +1855,71 @@ mod tests {
             LiveConfig::default(),
         );
         (tree, cluster, w.trace)
+    }
+
+    #[test]
+    fn traced_live_run_links_client_and_server_spans() {
+        use d2tree_telemetry::trace::Sampler;
+        use std::collections::HashSet;
+        let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(400).with_operations(200))
+            .seed(11)
+            .build();
+        let pop = w.popularity();
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(3, 1.0));
+        let placement = scheme.placement().clone();
+        let index = scheme.local_index().clone();
+        let tree = Arc::new(w.tree);
+        let tracer = Arc::new(Tracer::new(Sampler::always(0)));
+        let config = LiveConfig::default().with_tracer(Arc::clone(&tracer));
+        let cluster = LiveCluster::start_with_index(Arc::clone(&tree), placement, index, config);
+        let mut client = cluster.client(2);
+        for op in w.trace.iter().take(100) {
+            client.execute(*op).expect("op served");
+        }
+        let _ = cluster.shutdown();
+        let spans = tracer.drain();
+        let roots: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == span_names::OP && s.parent.is_none())
+            .collect();
+        assert_eq!(roots.len(), 100, "one root span per traced op");
+        // Each traced op made at least one client attempt, and some MDS
+        // recorded a serve span in the same trace — the context crossed
+        // the wire.
+        let attempt_traces: HashSet<u64> = spans
+            .iter()
+            .filter(|s| s.name == span_names::ATTEMPT)
+            .map(|s| s.trace.0)
+            .collect();
+        let serve_traces: HashSet<u64> = spans
+            .iter()
+            .filter(|s| s.name == span_names::SERVE)
+            .map(|s| s.trace.0)
+            .collect();
+        for root in &roots {
+            assert!(attempt_traces.contains(&root.trace.0), "missing attempt");
+            assert!(serve_traces.contains(&root.trace.0), "missing serve");
+        }
+        for s in spans.iter().filter(|s| s.name == span_names::SERVE) {
+            assert!(s.mds.is_some(), "serve spans are attributed to an MDS");
+            assert!(s.parent.is_some(), "serve spans parent on the op root");
+        }
+        // Replicated updates went through the lock service under a
+        // gl_lock span nested in the serving MDS's serve span.
+        let serve_ids: HashSet<u64> = spans
+            .iter()
+            .filter(|s| s.name == span_names::SERVE)
+            .map(|s| s.id.0)
+            .collect();
+        let locks: Vec<_> = spans
+            .iter()
+            .filter(|s| s.name == span_names::LOCK)
+            .collect();
+        for l in &locks {
+            let parent = l.parent.expect("lock spans have a parent");
+            assert!(serve_ids.contains(&parent.0), "lock nests under a serve");
+        }
     }
 
     #[test]

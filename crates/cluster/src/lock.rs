@@ -100,6 +100,23 @@ impl LockService {
         Some(LockToken { node, fence })
     }
 
+    /// Spins (yielding between tries) until the lock on `node` is
+    /// granted, re-reading the clock through `now_ms` on every try so
+    /// lease expiry is honoured mid-wait. Returns the token plus the
+    /// number of failed tries — the live server's traced path turns the
+    /// wait into a `gl_lock` span annotated with the spin count.
+    #[must_use]
+    pub fn acquire_spin(&self, node: NodeId, mut now_ms: impl FnMut() -> u64) -> (LockToken, u64) {
+        let mut spins = 0u64;
+        loop {
+            if let Some(token) = self.try_acquire(node, now_ms()) {
+                return (token, spins);
+            }
+            spins += 1;
+            std::thread::yield_now();
+        }
+    }
+
     /// Extends the lease of a held lock. Returns `false` if the token is
     /// stale (the lock was re-granted after a lease expiry).
     #[must_use]
@@ -182,6 +199,27 @@ mod tests {
         assert!(locks.is_held(n(3), 80));
         assert!(locks.try_acquire(n(3), 80).is_none());
         assert!(locks.release(t));
+    }
+
+    #[test]
+    fn acquire_spin_waits_out_a_holder_and_counts_spins() {
+        let locks = LockService::new(50);
+        // Free lock: granted immediately, zero spins.
+        let (t, spins) = locks.acquire_spin(n(4), || 0);
+        assert_eq!(spins, 0);
+        assert!(locks.release(t));
+        // Held lock: the waiter's advancing clock expires the lease and
+        // the spin loop eventually wins, fencing the stale holder.
+        let stale = locks.try_acquire(n(4), 0).unwrap();
+        let mut clock = 0u64;
+        let (fresh, spins) = locks.acquire_spin(n(4), || {
+            clock += 10;
+            clock
+        });
+        assert!(spins > 0, "had to wait for the lease to run out");
+        assert!(fresh.fence > stale.fence);
+        assert!(!locks.release(stale));
+        assert!(locks.release(fresh));
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct Request {
     pub target: NodeId,
     /// How many times this request has been forwarded between MDSs.
     pub hops: u32,
+    /// Trace context propagated across the wire when the operation is
+    /// sampled: `(trace_id, parent_span_id)`. Servers parent their
+    /// serve spans on it; `None` rides as zeroes on the wire.
+    pub trace: Option<(u64, u64)>,
 }
 
 /// What an MDS answers.
@@ -71,8 +75,8 @@ impl Request {
     /// Encodes the request as one length-prefixed frame.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(4 + 17);
-        buf.put_u32(17);
+        let mut buf = BytesMut::with_capacity(4 + 34);
+        buf.put_u32(34);
         buf.put_u64(self.id.0);
         buf.put_u8(match self.kind {
             OpKind::Read => KIND_READ,
@@ -81,6 +85,18 @@ impl Request {
         });
         buf.put_u32(self.target.index() as u32);
         buf.put_u32(self.hops);
+        match self.trace {
+            Some((trace, span)) => {
+                buf.put_u8(1);
+                buf.put_u64(trace);
+                buf.put_u64(span);
+            }
+            None => {
+                buf.put_u8(0);
+                buf.put_u64(0);
+                buf.put_u64(0);
+            }
+        }
         buf.freeze()
     }
 
@@ -94,7 +110,7 @@ impl Request {
             return None;
         }
         let len = u32::from_be_bytes(buf[..4].try_into().ok()?) as usize;
-        if buf.len() < 4 + len || len != 17 {
+        if buf.len() < 4 + len || len != 34 {
             return None;
         }
         buf.advance(4);
@@ -107,11 +123,24 @@ impl Request {
         };
         let target = NodeId::from_index(buf.get_u32() as usize);
         let hops = buf.get_u32();
+        let trace = match buf.get_u8() {
+            0 => {
+                // The context slots must ride as zeroes when unsampled.
+                let (t, s) = (buf.get_u64(), buf.get_u64());
+                if t != 0 || s != 0 {
+                    return None;
+                }
+                None
+            }
+            1 => Some((buf.get_u64(), buf.get_u64())),
+            _ => return None,
+        };
         Some(Request {
             id,
             kind,
             target,
             hops,
+            trace,
         })
     }
 }
@@ -196,11 +225,34 @@ mod tests {
                 kind,
                 target: NodeId::from_index(12345),
                 hops: 3,
+                trace: None,
             };
             let mut framed = req.encode();
             assert_eq!(Request::decode(&mut framed), Some(req));
             assert!(framed.is_empty(), "frame fully consumed");
         }
+    }
+
+    #[test]
+    fn trace_context_roundtrips_and_unsampled_slots_must_be_zero() {
+        let req = Request {
+            id: RequestId(7),
+            kind: OpKind::Write,
+            target: NodeId::from_index(3),
+            hops: 1,
+            trace: Some((0xAB, 0xCD)),
+        };
+        let mut framed = req.encode();
+        assert_eq!(Request::decode(&mut framed), Some(req));
+
+        let untraced = Request { trace: None, ..req };
+        let mut raw = BytesMut::from(&untraced.encode()[..]);
+        // Frame body starts at 4; id(8) + kind(1) + target(4) + hops(4)
+        // put the flag at offset 21 and the trace id right after it.
+        assert_eq!(raw[4 + 17], 0);
+        raw[4 + 18] = 0xFF; // junk in a supposedly-empty trace slot
+        let mut frame = raw.freeze();
+        assert_eq!(Request::decode(&mut frame), None);
     }
 
     #[test]
@@ -231,6 +283,7 @@ mod tests {
             kind: OpKind::Read,
             target: NodeId::from_index(1),
             hops: 0,
+            trace: Some((9, 17)),
         };
         let full = req.encode();
         for cut in 0..full.len() {
@@ -246,6 +299,7 @@ mod tests {
             kind: OpKind::Read,
             target: NodeId::from_index(1),
             hops: 0,
+            trace: None,
         };
         let mut raw = BytesMut::from(&req.encode()[..]);
         raw[4 + 8] = 99; // corrupt the kind byte
@@ -260,12 +314,14 @@ mod tests {
             kind: OpKind::Read,
             target: NodeId::from_index(10),
             hops: 0,
+            trace: Some((1, 2)),
         };
         let b = Request {
             id: RequestId(2),
             kind: OpKind::Update,
             target: NodeId::from_index(20),
             hops: 1,
+            trace: None,
         };
         let mut stream = BytesMut::new();
         stream.extend_from_slice(&a.encode());

@@ -26,7 +26,8 @@ use d2tree_namespace::NodeId;
 
 use d2tree_core::Partitioner;
 use d2tree_namespace::NamespaceTree;
-use d2tree_telemetry::{names, LocalHistogram, MetricKey, Registry};
+use d2tree_telemetry::trace::{span_names, Span, SpanCtx, Tracer};
+use d2tree_telemetry::{names, FaultKind, LocalHistogram, MetricKey, Registry};
 use d2tree_workload::{OpKind, Trace};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -137,6 +138,11 @@ struct ReqState {
     issued_at: u64,
     /// Whether this request takes the lock-service path on arrival.
     locked: bool,
+    /// Root span context when this operation was sampled for tracing.
+    ctx: Option<SpanCtx>,
+    /// Virtual time the in-flight hop arrived (queue start), for span
+    /// durations covering queue + service.
+    hop_arrived_at: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,12 +169,14 @@ enum Event {
 
 /// A unit of work in a server's FIFO queue: a client request stage, the
 /// local apply of a committed global-layer update, or wasted service of
-/// a fault-duplicated request copy.
+/// a fault-duplicated request copy. Apply/waste jobs carry the trace
+/// context of the operation that spawned them (if sampled) so the span
+/// lands on the server that actually did the work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Job {
     Request(u32),
-    Apply,
-    Waste,
+    Apply(Option<SpanCtx>),
+    Waste(Option<SpanCtx>),
 }
 
 /// How the (possibly faulty) network treats one client→server send.
@@ -208,6 +216,77 @@ fn plan_send(
         }
         FaultDecision::Delay(ms) => SendPlan::Deliver(base + ms * 1_000_000),
         FaultDecision::DeliverTwice => SendPlan::DeliverDup(base),
+    }
+}
+
+/// Numeric op-kind tag used in root-span args (read 0, write 1, update 2).
+pub(crate) fn op_kind_code(kind: OpKind) -> u64 {
+    match kind {
+        OpKind::Read => 0,
+        OpKind::Write => 1,
+        OpKind::Update => 2,
+    }
+}
+
+/// Records the network-leg span for one client→server send, tagging it
+/// with the injected fault (if any), and enqueues the trace context for
+/// a duplicated copy so the eventual `Waste` event can attribute its
+/// wasted service time. Purely observational.
+fn trace_send(
+    tracer: Option<&Tracer>,
+    ctx: Option<SpanCtx>,
+    sp: &SendPlan,
+    t: u64,
+    server: u16,
+    cfg: &SimConfig,
+    waste_ctx: &mut [VecDeque<Option<SpanCtx>>],
+) {
+    let Some(tr) = tracer else { return };
+    if matches!(sp, SendPlan::DeliverDup(_)) {
+        waste_ctx[server as usize].push_back(ctx);
+    }
+    let Some(ctx) = ctx else { return };
+    match *sp {
+        SendPlan::Deliver(at) => {
+            let mut span = Span::child(
+                ctx,
+                tr.next_span(ctx.trace),
+                span_names::NET,
+                t / 1_000,
+                (at - t) / 1_000,
+            )
+            .on_mds(server);
+            if at > t + cfg.client_latency_ns {
+                span = span.with_fault(FaultKind::Delay);
+            }
+            tr.record(span);
+        }
+        SendPlan::DeliverDup(at) => {
+            tr.record(
+                Span::child(
+                    ctx,
+                    tr.next_span(ctx.trace),
+                    span_names::NET,
+                    t / 1_000,
+                    (at - t) / 1_000,
+                )
+                .on_mds(server)
+                .with_fault(FaultKind::Duplicate),
+            );
+        }
+        SendPlan::Resend(at) => {
+            tr.record(
+                Span::child(
+                    ctx,
+                    tr.next_span(ctx.trace),
+                    span_names::RESEND_WAIT,
+                    t / 1_000,
+                    (at - t) / 1_000,
+                )
+                .on_mds(server)
+                .with_fault(FaultKind::Drop),
+            );
+        }
     }
 }
 
@@ -319,6 +398,7 @@ pub struct Simulator {
     config: SimConfig,
     registry: Option<Arc<Registry>>,
     faults: Option<FaultPlan>,
+    tracer: Option<Arc<Tracer>>,
 }
 
 impl Simulator {
@@ -338,6 +418,7 @@ impl Simulator {
             config,
             registry: None,
             faults: None,
+            tracer: None,
         }
     }
 
@@ -361,10 +442,29 @@ impl Simulator {
         self
     }
 
+    /// Attaches a tracer: subsequent replays record, for every *sampled*
+    /// operation, a root `op` span plus child spans for each network
+    /// send, server visit (queue + service), lock hold and replica
+    /// apply, stamped with virtual time so identically-seeded replays
+    /// produce byte-identical span streams. Fault-injected sends tag
+    /// their spans with the injected [`FaultKind`]. Tracing is purely
+    /// observational: it never changes scheduling or outcomes.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
     /// The attached telemetry registry, if any.
     #[must_use]
     pub fn registry(&self) -> Option<&Arc<Registry>> {
         self.registry.as_ref()
+    }
+
+    /// The attached tracer, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
     }
 
     /// The configuration in use.
@@ -501,6 +601,12 @@ impl Simulator {
                 None => inj,
             }
         });
+        let tracer = self.tracer.as_deref();
+        // Trace contexts for in-flight fault-duplicated copies, FIFO per
+        // server: pushed when a duplicate is scheduled, popped when its
+        // `Waste` event fires. Only populated while a tracer is attached,
+        // so push/pop stay aligned within a replay.
+        let mut waste_ctx: Vec<VecDeque<Option<SpanCtx>>> = vec![VecDeque::new(); m];
         let mut servers: Vec<Server> = (0..m)
             .map(|_| Server {
                 busy_workers: 0,
@@ -583,6 +689,7 @@ impl Simulator {
                     let plan = scheme.route(tree, op.target, &mut rng);
                     total_hops += plan.hops() as u64;
                     let locked_update = plan.target_replicated && op.kind == OpKind::Update;
+                    let ctx = tracer.and_then(Tracer::begin);
                     states[c] = Some(ReqState {
                         visits: plan.visits,
                         next_visit: 0,
@@ -590,17 +697,21 @@ impl Simulator {
                         target: op.target,
                         issued_at: t,
                         locked: locked_update,
+                        ctx,
+                        hop_arrived_at: t,
                     });
                     drop_counts[c] = 0;
                     let state = states[c].as_ref().expect("just stored");
                     let first = state.visits[0].0;
-                    match plan_send(
+                    let sp = plan_send(
                         injector.as_ref(),
                         &mut drop_counts[c],
                         first,
                         t,
                         &self.config,
-                    ) {
+                    );
+                    trace_send(tracer, ctx, &sp, t, first, &self.config, &mut waste_ctx);
+                    match sp {
                         SendPlan::Deliver(at) => {
                             if locked_update {
                                 push(&mut heap, &mut seq, at, Event::LockArrive { client });
@@ -629,17 +740,19 @@ impl Simulator {
                     }
                 }
                 TAG_RESEND => {
-                    let (first, locked_update) = {
+                    let (first, locked_update, ctx) = {
                         let state = states[c].as_ref().expect("resend without a request");
-                        (state.visits[0].0, state.locked)
+                        (state.visits[0].0, state.locked, state.ctx)
                     };
-                    match plan_send(
+                    let sp = plan_send(
                         injector.as_ref(),
                         &mut drop_counts[c],
                         first,
                         t,
                         &self.config,
-                    ) {
+                    );
+                    trace_send(tracer, ctx, &sp, t, first, &self.config, &mut waste_ctx);
+                    match sp {
                         SendPlan::Deliver(at) => {
                             if locked_update {
                                 push(&mut heap, &mut seq, at, Event::LockArrive { client });
@@ -671,8 +784,22 @@ impl Simulator {
                     // The "client" slot carries the server index; the server
                     // burns one read-sized service slot on the duplicate.
                     let server = c;
+                    let wctx = waste_ctx[server].pop_front().flatten();
                     if servers[server].busy_workers < self.config.workers_per_mds {
                         let svc = self.config.read_service_ns;
+                        if let (Some(tr), Some(ctx)) = (tracer, wctx) {
+                            tr.record(
+                                Span::child(
+                                    ctx,
+                                    tr.next_span(ctx.trace),
+                                    span_names::WASTE,
+                                    t / 1_000,
+                                    svc / 1_000,
+                                )
+                                .on_mds(server as u16)
+                                .with_fault(FaultKind::Duplicate),
+                            );
+                        }
                         servers[server].busy_workers += 1;
                         servers[server].busy_ns += svc;
                         push(
@@ -684,14 +811,15 @@ impl Simulator {
                             },
                         );
                     } else {
-                        servers[server].queue.push_back(Job::Waste);
+                        servers[server].queue.push_back(Job::Waste(wctx));
                         if let Some(tel) = &mut tel {
                             tel.queue_pushed(server, servers[server].queue.len());
                         }
                     }
                 }
                 TAG_ARRIVE => {
-                    let state = states[c].as_ref().expect("arrival without a request");
+                    let state = states[c].as_mut().expect("arrival without a request");
+                    state.hop_arrived_at = t;
                     let server = state.visits[state.next_visit].index();
                     if servers[server].busy_workers < self.config.workers_per_mds {
                         servers[server].busy_workers += 1;
@@ -707,12 +835,29 @@ impl Simulator {
                     }
                 }
                 TAG_SERVE_DONE => {
-                    let (server, finished) = {
+                    let (server, finished, ctx, arrived) = {
                         let state = states[c].as_mut().expect("completion without a request");
                         let server = state.visits[state.next_visit].index();
                         state.next_visit += 1;
-                        (server, state.next_visit == state.visits.len())
+                        (
+                            server,
+                            state.next_visit == state.visits.len(),
+                            state.ctx,
+                            state.hop_arrived_at,
+                        )
                     };
+                    if let (Some(tr), Some(ctx)) = (tracer, ctx) {
+                        tr.record(
+                            Span::child(
+                                ctx,
+                                tr.next_span(ctx.trace),
+                                span_names::SERVE,
+                                arrived / 1_000,
+                                (t - arrived) / 1_000,
+                            )
+                            .on_mds(server as u16),
+                        );
+                    }
                     // Free the worker; admit the next queued job.
                     servers[server].busy_workers -= 1;
                     match servers[server].queue.pop_front() {
@@ -732,8 +877,20 @@ impl Simulator {
                                 },
                             );
                         }
-                        Some(Job::Apply) => {
+                        Some(Job::Apply(jctx)) => {
                             let svc = self.config.replica_apply_ns;
+                            if let (Some(tr), Some(jctx)) = (tracer, jctx) {
+                                tr.record(
+                                    Span::child(
+                                        jctx,
+                                        tr.next_span(jctx.trace),
+                                        span_names::APPLY,
+                                        t / 1_000,
+                                        svc / 1_000,
+                                    )
+                                    .on_mds(server as u16),
+                                );
+                            }
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
                             push(
@@ -745,8 +902,21 @@ impl Simulator {
                                 },
                             );
                         }
-                        Some(Job::Waste) => {
+                        Some(Job::Waste(jctx)) => {
                             let svc = self.config.read_service_ns;
+                            if let (Some(tr), Some(jctx)) = (tracer, jctx) {
+                                tr.record(
+                                    Span::child(
+                                        jctx,
+                                        tr.next_span(jctx.trace),
+                                        span_names::WASTE,
+                                        t / 1_000,
+                                        svc / 1_000,
+                                    )
+                                    .on_mds(server as u16)
+                                    .with_fault(FaultKind::Duplicate),
+                                );
+                            }
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
                             push(
@@ -769,6 +939,20 @@ impl Simulator {
                         served_ops[served_by] += 1;
                         let done_at = t + self.config.client_latency_ns;
                         latencies.push(done_at - state.issued_at);
+                        if let (Some(tr), Some(ctx)) = (tracer, state.ctx) {
+                            tr.record(
+                                Span::root(
+                                    ctx,
+                                    span_names::OP,
+                                    state.issued_at / 1_000,
+                                    (done_at - state.issued_at) / 1_000,
+                                )
+                                .with_arg("target", state.target.index() as u64)
+                                .with_arg("kind", op_kind_code(state.kind))
+                                .with_arg("hops", state.visits.len() as u64 - 1)
+                                .with_arg("locked", 0),
+                            );
+                        }
                         if let Some(tel) = &mut tel {
                             tel.ops[served_by] += 1;
                             tel.record_latency(state.kind, done_at - state.issued_at);
@@ -785,7 +969,9 @@ impl Simulator {
                     }
                 }
                 TAG_LOCK_ARRIVE => {
-                    let node = states[c].as_ref().expect("lock arrival state").target;
+                    let state = states[c].as_mut().expect("lock arrival state");
+                    state.hop_arrived_at = t;
+                    let node = state.target;
                     if locked.contains(&node) {
                         lock_waiters.entry(node).or_default().push_back(client);
                     } else {
@@ -814,6 +1000,30 @@ impl Simulator {
                             lock_waiters.remove(&node);
                         }
                     }
+                    // Lock span: the wait (if any) plus the hold, charged to
+                    // the commit leader. Replica applies parent on it so the
+                    // viewer shows the causal fan-out of the commit.
+                    let lock_ctx = match (tracer, state.ctx) {
+                        (Some(tr), Some(ctx)) => {
+                            let id = tr.next_span(ctx.trace);
+                            tr.record(
+                                Span::child(
+                                    ctx,
+                                    id,
+                                    span_names::LOCK,
+                                    state.hop_arrived_at / 1_000,
+                                    (t - state.hop_arrived_at) / 1_000,
+                                )
+                                .on_mds(state.visits[0].0)
+                                .with_arg("node", node.index() as u64),
+                            );
+                            Some(SpanCtx {
+                                trace: ctx.trace,
+                                span: id,
+                            })
+                        }
+                        _ => None,
+                    };
                     // Every replica applies the committed mutation —
                     // real work on every replica's queue, which is what
                     // slows update-heavy traces as the cluster grows.
@@ -823,6 +1033,18 @@ impl Simulator {
                             continue;
                         }
                         if server.busy_workers < self.config.workers_per_mds {
+                            if let (Some(tr), Some(pctx)) = (tracer, lock_ctx) {
+                                tr.record(
+                                    Span::child(
+                                        pctx,
+                                        tr.next_span(pctx.trace),
+                                        span_names::APPLY,
+                                        t / 1_000,
+                                        self.config.replica_apply_ns / 1_000,
+                                    )
+                                    .on_mds(s as u16),
+                                );
+                            }
                             server.busy_workers += 1;
                             server.busy_ns += self.config.replica_apply_ns;
                             push(
@@ -832,7 +1054,7 @@ impl Simulator {
                                 Event::ApplyDone { server: s as u32 },
                             );
                         } else {
-                            server.queue.push_back(Job::Apply);
+                            server.queue.push_back(Job::Apply(lock_ctx));
                             if let Some(tel) = &mut tel {
                                 tel.queue_pushed(s, server.queue.len());
                             }
@@ -844,6 +1066,20 @@ impl Simulator {
                     served_ops[served_by] += 1;
                     let done_at = t + self.config.client_latency_ns;
                     latencies.push(done_at - state.issued_at);
+                    if let (Some(tr), Some(ctx)) = (tracer, state.ctx) {
+                        tr.record(
+                            Span::root(
+                                ctx,
+                                span_names::OP,
+                                state.issued_at / 1_000,
+                                (done_at - state.issued_at) / 1_000,
+                            )
+                            .with_arg("target", state.target.index() as u64)
+                            .with_arg("kind", op_kind_code(state.kind))
+                            .with_arg("hops", 0)
+                            .with_arg("locked", 1),
+                        );
+                    }
                     if let Some(tel) = &mut tel {
                         tel.ops[served_by] += 1;
                         tel.record_latency(state.kind, done_at - state.issued_at);
@@ -871,8 +1107,20 @@ impl Simulator {
                                 },
                             );
                         }
-                        Some(Job::Apply) => {
+                        Some(Job::Apply(jctx)) => {
                             let svc = self.config.replica_apply_ns;
+                            if let (Some(tr), Some(jctx)) = (tracer, jctx) {
+                                tr.record(
+                                    Span::child(
+                                        jctx,
+                                        tr.next_span(jctx.trace),
+                                        span_names::APPLY,
+                                        t / 1_000,
+                                        svc / 1_000,
+                                    )
+                                    .on_mds(server as u16),
+                                );
+                            }
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
                             push(
@@ -884,8 +1132,21 @@ impl Simulator {
                                 },
                             );
                         }
-                        Some(Job::Waste) => {
+                        Some(Job::Waste(jctx)) => {
                             let svc = self.config.read_service_ns;
+                            if let (Some(tr), Some(jctx)) = (tracer, jctx) {
+                                tr.record(
+                                    Span::child(
+                                        jctx,
+                                        tr.next_span(jctx.trace),
+                                        span_names::WASTE,
+                                        t / 1_000,
+                                        svc / 1_000,
+                                    )
+                                    .on_mds(server as u16)
+                                    .with_fault(FaultKind::Duplicate),
+                                );
+                            }
                             servers[server].busy_workers += 1;
                             servers[server].busy_ns += svc;
                             push(

@@ -72,9 +72,30 @@ pub fn chain_route(
     node: NodeId,
     rng: &mut dyn RngCore,
 ) -> AccessPlan {
+    chain_route_from(tree, placement, node, rng, CLIENT_CACHED_DEPTH)
+}
+
+/// [`chain_route`] with an explicit first traversed depth.
+///
+/// `start_depth = 0` walks the full root-to-target chain with no client
+/// caching. Under a full walk the deduplicated visit count minus one
+/// equals Def. 1's [`path_jumps`] exactly — the property the trace
+/// analyzer verifies per operation against observed spans.
+///
+/// # Panics
+///
+/// Panics if a chain node is unassigned.
+#[must_use]
+pub fn chain_route_from(
+    tree: &NamespaceTree,
+    placement: &Placement,
+    node: NodeId,
+    rng: &mut dyn RngCore,
+    start_depth: usize,
+) -> AccessPlan {
     let chain = tree.path_from_root(node);
     // Always traverse the target itself, even when it is shallow.
-    let start = CLIENT_CACHED_DEPTH.min(chain.len() - 1);
+    let start = start_depth.min(chain.len() - 1);
     let mut visits: Vec<MdsId> = Vec::new();
     for &id in &chain[start..] {
         match placement.assignment(id) {

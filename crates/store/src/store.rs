@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use d2tree_telemetry::trace::{span_names, Span, Tracer};
 use d2tree_telemetry::{names, Counter, Histogram, MetricKey, Registry};
 
 use crate::record::{MdsRecord, MdsState};
@@ -176,6 +177,9 @@ pub struct MdsStore {
     records_since_snapshot: u64,
     last_sync: Instant,
     telemetry: Option<StoreTelemetry>,
+    /// Tracer plus the owning MDS id for span attribution; `None` keeps
+    /// the WAL hot path span-free.
+    tracer: Option<(Arc<Tracer>, u16)>,
 }
 
 impl std::fmt::Debug for MdsStore {
@@ -223,6 +227,7 @@ impl MdsStore {
             records_since_snapshot: 0,
             last_sync: Instant::now(),
             telemetry: None,
+            tracer: None,
         };
         Ok((store, info))
     }
@@ -238,6 +243,14 @@ impl MdsStore {
             records_total: registry.counter(MetricKey::mds(names::WAL_RECORDS_TOTAL, mds)),
             snapshots_total: registry.counter(MetricKey::mds(names::SNAPSHOTS_TOTAL, mds)),
         });
+        self
+    }
+
+    /// Attaches a tracer; sampled WAL appends and fsyncs then record
+    /// `wal_append` / `wal_fsync` spans attributed to this MDS.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>, mds: u16) -> Self {
+        self.tracer = Some((tracer, mds));
         self
     }
 
@@ -258,6 +271,17 @@ impl MdsStore {
             t.append_us.record(t0.elapsed().as_micros() as u64);
             t.bytes_total.add(bytes as u64);
             t.records_total.inc();
+        }
+        if let Some((tr, mds)) = &self.tracer {
+            if let Some(ctx) = tr.begin() {
+                let dur = t0.elapsed().as_micros() as u64;
+                let end = tr.now_us();
+                tr.record(
+                    Span::root(ctx, span_names::WAL_APPEND, end.saturating_sub(dur), dur)
+                        .on_mds(*mds)
+                        .with_arg("bytes", bytes as u64),
+                );
+            }
         }
         if self.wal.pending_bytes() >= self.config.group_buffer_bytes
             || u128::from(self.config.flush_interval_ms) <= self.last_sync.elapsed().as_millis()
@@ -283,6 +307,17 @@ impl MdsStore {
         if bytes > 0 {
             if let Some(t) = &self.telemetry {
                 t.fsync_us.record(t0.elapsed().as_micros() as u64);
+            }
+            if let Some((tr, mds)) = &self.tracer {
+                if let Some(ctx) = tr.begin() {
+                    let dur = t0.elapsed().as_micros() as u64;
+                    let end = tr.now_us();
+                    tr.record(
+                        Span::root(ctx, span_names::WAL_FSYNC, end.saturating_sub(dur), dur)
+                            .on_mds(*mds)
+                            .with_arg("bytes", bytes),
+                    );
+                }
             }
         }
         Ok(())
@@ -701,6 +736,35 @@ mod tests {
                 .get(),
             1
         );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_spans_record_append_and_fsync_when_traced() {
+        use d2tree_telemetry::trace::Sampler;
+        let dir = tmp_dir("traced");
+        let tracer = Arc::new(Tracer::new(Sampler::always(0)));
+        let (store, _) = MdsStore::open(&dir, StoreConfig::manual()).unwrap();
+        let mut store = store.with_tracer(Arc::clone(&tracer), 5);
+        for i in 0..4 {
+            store.append(rec(i)).unwrap();
+        }
+        store.sync().unwrap();
+        let spans = tracer.drain();
+        let appends = spans
+            .iter()
+            .filter(|s| s.name == span_names::WAL_APPEND)
+            .count();
+        let fsyncs = spans
+            .iter()
+            .filter(|s| s.name == span_names::WAL_FSYNC)
+            .count();
+        assert_eq!(appends, 4, "one span per appended record");
+        assert_eq!(fsyncs, 1, "manual config: one explicit group commit");
+        assert!(spans.iter().all(|s| s.mds == Some(5)));
+        assert!(spans
+            .iter()
+            .all(|s| s.args.iter().any(|&(k, v)| k == "bytes" && v > 0)));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

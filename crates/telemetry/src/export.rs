@@ -226,6 +226,19 @@ fn json_event(out: &mut String, e: &Event) {
     out.push('}');
 }
 
+/// Renders the journal portion of a snapshot as JSON Lines: one event
+/// object per line, in sequence order, so the journal can be dumped to
+/// a file (`d2tree report --events-out`) and grepped or streamed.
+#[must_use]
+pub fn events_jsonl(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for e in &snap.events {
+        json_event(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
 /// Renders a snapshot as a self-contained JSON document.
 #[must_use]
 pub fn json(snap: &Snapshot) -> String {
@@ -321,6 +334,19 @@ mod tests {
             text.contains("d2tree_journal_events_total{kind=\"mds_down\"} 1"),
             "{text}"
         );
+    }
+
+    #[test]
+    fn events_jsonl_is_one_object_per_line_in_seq_order() {
+        let snap = sample_registry().snapshot();
+        let doc = super::events_jsonl(&snap);
+        let lines: Vec<&str> = doc.lines().collect();
+        assert_eq!(lines.len(), snap.events.len());
+        assert!(lines[0].contains("\"kind\":\"mds_down\""), "{doc}");
+        assert!(lines[1].contains("\"kind\":\"subtree_claimed\""), "{doc}");
+        for l in &lines {
+            assert!(l.starts_with('{') && l.ends_with('}'), "{l}");
+        }
     }
 
     #[test]

@@ -106,7 +106,7 @@ pub enum EventKind {
 }
 
 /// The kind of perturbation a fault-injection rule applied to a message.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum FaultKind {
     /// The message was silently discarded.
     Drop,

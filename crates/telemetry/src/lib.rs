@@ -27,11 +27,13 @@ mod journal;
 mod metrics;
 
 pub mod export;
+pub mod trace;
 
 pub use journal::{Event, EventJournal, EventKind, FaultKind};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricKey, Registry, Snapshot,
 };
+pub use trace::{Sampler, Span, SpanCtx, SpanId, SpanSink, TraceId, Tracer};
 
 /// Canonical metric names used across the workspace, so call sites,
 /// exporters and docs agree on spelling.
@@ -94,4 +96,53 @@ pub mod names {
     pub const GL_DELTA_SYNC_ENTRIES: &str = "gl_delta_sync_entries_total";
     /// Storage faults injected (torn writes, partial fsyncs, corruption).
     pub const FAULTS_STORAGE: &str = "faults_storage_total";
+    /// Spans accepted by the trace sink.
+    pub const TRACE_SPANS_RECORDED: &str = "trace_spans_recorded_total";
+    /// Spans shed because the trace sink was full.
+    pub const TRACE_SPANS_DROPPED: &str = "trace_spans_dropped_total";
+
+    /// Pre-registers every globally-scoped metric on `registry` so
+    /// exported metric sets are identical regardless of which code
+    /// paths a run happened to exercise (zero-valued series instead of
+    /// absent ones). Per-MDS series still appear on first touch, since
+    /// the MDS population is not known up front.
+    pub fn register_all(registry: &crate::Registry) {
+        use crate::MetricKey;
+        const COUNTERS: &[&str] = &[
+            ROUTE_EXTRA_HOPS,
+            LOCK_BUSY_NS,
+            CLIENT_CACHE_HITS,
+            CLIENT_CACHE_MISSES,
+            FORWARDED_TOTAL,
+            MIGRATIONS_TOTAL,
+            MDS_FAILURES_TOTAL,
+            FAULTS_DROPPED,
+            FAULTS_DELAYED,
+            FAULTS_DUPLICATED,
+            FAULTS_STORAGE,
+            REJOINS_TOTAL,
+            WAL_BYTES_TOTAL,
+            WAL_RECORDS_TOTAL,
+            SNAPSHOTS_TOTAL,
+            GL_DELTA_SYNC_ENTRIES,
+            TRACE_SPANS_RECORDED,
+            TRACE_SPANS_DROPPED,
+        ];
+        const HISTOGRAMS: &[&str] = &[
+            OP_LATENCY_US,
+            OP_LATENCY_US_READ,
+            OP_LATENCY_US_WRITE,
+            OP_LATENCY_US_UPDATE,
+            REJOIN_FIRST_CLAIM_MS,
+            WAL_APPEND_US,
+            WAL_FSYNC_US,
+            RECOVERY_MS,
+        ];
+        for name in COUNTERS {
+            let _ = registry.counter(MetricKey::global(name));
+        }
+        for name in HISTOGRAMS {
+            let _ = registry.histogram(MetricKey::global(name));
+        }
+    }
 }

@@ -114,7 +114,10 @@ fn bucket_bounds(i: usize) -> (u64, u64) {
         let sub = ((i - SUB as usize) % SUB as usize) as u64;
         let width = 1u64 << (major - SUB_BITS);
         let lo = (1u64 << major) + sub * width;
-        (lo, lo + width - 1)
+        // `lo + (width - 1)`, not `lo + width - 1`: the top bucket's
+        // upper bound is exactly `u64::MAX`, so summing `lo + width`
+        // first would overflow.
+        (lo, lo + (width - 1))
     }
 }
 

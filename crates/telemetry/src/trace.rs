@@ -1,0 +1,616 @@
+//! Per-operation causal tracing: spans, deterministic sampling, a
+//! bounded sink, Chrome trace-event export, and a stable digest.
+//!
+//! The paper's metrics (Def. 1 jump count, Def. 3 system locality) are
+//! *per-operation* quantities; aggregate counters cannot show whether a
+//! specific request took the hops the analysis predicts. This module
+//! records one root span per traced operation plus child spans for each
+//! hop (server visit, network leg, lock hold, replica apply, WAL I/O),
+//! linked by `(TraceId, SpanId, parent)` so an analyzer can reconstruct
+//! the exact path an operation took and cross-check it against
+//! `metrics::measures::path_jumps`.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Off means off.** An untraced call site costs one branch on an
+//!    `Option<&Tracer>`; an unsampled operation costs one atomic
+//!    fetch-add and one multiply. No allocation happens until a span is
+//!    actually recorded.
+//! 2. **Deterministic.** Trace/span ids come from plain counters and
+//!    the [`Sampler`] hashes a seed with the trace id, so the same
+//!    seeded replay produces byte-identical spans (the simulator stamps
+//!    spans with virtual time; see `cluster::sim`). CI asserts the
+//!    [`digest`] of two same-seed runs is identical.
+//! 3. **Bounded.** The [`SpanSink`] holds at most `capacity` spans and
+//!    counts what it sheds, so a pathological workload cannot OOM the
+//!    host through its own observability layer.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::journal::FaultKind;
+
+/// Canonical span names, so emitters, the analyzer and docs agree on
+/// spelling.
+pub mod span_names {
+    /// Root span: one whole client operation, issue to completion.
+    pub const OP: &str = "op";
+    /// One MDS serving (or forwarding) the request: queue + service.
+    pub const SERVE: &str = "serve";
+    /// One network leg between two parties.
+    pub const NET: &str = "net";
+    /// Client-side wait for a resend after a dropped message.
+    pub const RESEND_WAIT: &str = "resend_wait";
+    /// Duplicate delivery burning wasted service time on a server.
+    pub const WASTE: &str = "waste";
+    /// Global-layer lock held for a replicated update.
+    pub const LOCK: &str = "gl_lock";
+    /// A replica applying a propagated global-layer update.
+    pub const APPLY: &str = "gl_apply";
+    /// One client attempt in the live retry loop.
+    pub const ATTEMPT: &str = "attempt";
+    /// Monitor processing one heartbeat.
+    pub const HEARTBEAT: &str = "heartbeat";
+    /// Monitor declaring MDS failures.
+    pub const DETECT: &str = "detect_failures";
+    /// Monitor planning a rebalance (dynamic adjustment, Sec. IV).
+    pub const REBALANCE: &str = "rebalance";
+    /// Monitor planning a failover after an MDS death.
+    pub const FAILOVER: &str = "failover";
+    /// Store buffering one WAL record.
+    pub const WAL_APPEND: &str = "wal_append";
+    /// Store group-commit fsync.
+    pub const WAL_FSYNC: &str = "wal_fsync";
+}
+
+/// Identifies one traced operation end to end across every hop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TraceId(pub u64);
+
+/// Identifies one span within a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SpanId(pub u64);
+
+/// The context a hop needs to attach child spans: which trace it is in
+/// and which span is the parent. Sixteen bytes, `Copy`, and encodable
+/// on the wire (see `cluster::message`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanCtx {
+    /// The trace this context belongs to.
+    pub trace: TraceId,
+    /// The span that children created from this context hang off.
+    pub span: SpanId,
+}
+
+/// One completed span: a named, timed interval attributed to a trace,
+/// optionally to an MDS, and optionally tagged with the fault that hit
+/// it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Trace this span belongs to.
+    pub trace: TraceId,
+    /// This span's id, unique within the tracer's lifetime.
+    pub id: SpanId,
+    /// Parent span, `None` for a root.
+    pub parent: Option<SpanId>,
+    /// Name from [`span_names`].
+    pub name: &'static str,
+    /// MDS the work ran on, `None` for client/monitor-side spans.
+    pub mds: Option<u16>,
+    /// Start timestamp in microseconds. The simulator stamps virtual
+    /// time; live components stamp wall time from [`Tracer::now_us`].
+    pub start_us: u64,
+    /// Duration in microseconds (0 for instant events).
+    pub dur_us: u64,
+    /// Fault that was injected into this hop, if any.
+    pub fault: Option<FaultKind>,
+    /// Small numeric annotations (`("target", 42)`, `("hops", 2)`, …).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// A span inside an existing trace, parented on `ctx.span`.
+    #[must_use]
+    pub fn child(ctx: SpanCtx, id: SpanId, name: &'static str, start_us: u64, dur_us: u64) -> Self {
+        Span {
+            trace: ctx.trace,
+            id,
+            parent: Some(ctx.span),
+            name,
+            mds: None,
+            start_us,
+            dur_us,
+            fault: None,
+            args: Vec::new(),
+        }
+    }
+
+    /// The root span of a trace (no parent).
+    #[must_use]
+    pub fn root(ctx: SpanCtx, name: &'static str, start_us: u64, dur_us: u64) -> Self {
+        Span {
+            trace: ctx.trace,
+            id: ctx.span,
+            parent: None,
+            name,
+            mds: None,
+            start_us,
+            dur_us,
+            fault: None,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attributes the span to an MDS.
+    #[must_use]
+    pub fn on_mds(mut self, mds: u16) -> Self {
+        self.mds = Some(mds);
+        self
+    }
+
+    /// Tags the span with an injected fault.
+    #[must_use]
+    pub fn with_fault(mut self, fault: FaultKind) -> Self {
+        self.fault = Some(fault);
+        self
+    }
+
+    /// Adds a numeric annotation.
+    #[must_use]
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Self {
+        self.args.push((key, value));
+        self
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Seeded deterministic head sampler.
+///
+/// The decision is a pure function of `(seed, trace_id)`: the trace id
+/// is hashed with the seed and compared against a fixed threshold, so
+/// re-running the same seeded workload samples exactly the same
+/// operations — no RNG state threads through call sites.
+#[derive(Debug, Clone, Copy)]
+pub struct Sampler {
+    seed: u64,
+    /// Sample iff `hash < threshold`; `u64::MAX` means "always" so a
+    /// rate of 1.0 cannot lose traces to rounding.
+    threshold: u64,
+}
+
+impl Sampler {
+    /// A sampler keeping roughly `rate` (clamped to `[0, 1]`) of traces.
+    #[must_use]
+    pub fn new(seed: u64, rate: f64) -> Self {
+        let threshold = if rate >= 1.0 {
+            u64::MAX
+        } else if rate <= 0.0 {
+            0
+        } else {
+            // Cast is exact enough for sampling purposes; rate < 1.0
+            // keeps the product below 2^64.
+            (rate * u64::MAX as f64) as u64
+        };
+        Sampler { seed, threshold }
+    }
+
+    /// Sampler that records every trace.
+    #[must_use]
+    pub fn always(seed: u64) -> Self {
+        Sampler::new(seed, 1.0)
+    }
+
+    /// Sampler that records nothing (ids are still allocated, so
+    /// enabling sampling later does not shift the id sequence).
+    #[must_use]
+    pub fn never(seed: u64) -> Self {
+        Sampler::new(seed, 0.0)
+    }
+
+    /// Whether this trace should be recorded.
+    #[must_use]
+    pub fn sample(&self, trace: TraceId) -> bool {
+        if self.threshold == u64::MAX {
+            return true;
+        }
+        if self.threshold == 0 {
+            return false;
+        }
+        splitmix64(self.seed ^ trace.0) < self.threshold
+    }
+
+    /// The configured sampling rate, reconstructed from the threshold.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        if self.threshold == u64::MAX {
+            1.0
+        } else {
+            self.threshold as f64 / u64::MAX as f64
+        }
+    }
+}
+
+/// Bounded, lock-cheap span store.
+///
+/// A single `Mutex<Vec<Span>>` is deliberately simple: spans are only
+/// pushed for *sampled* operations, so at realistic rates (≤ a few
+/// percent) contention is negligible, and the simulator — the
+/// high-volume producer — is single-threaded anyway. Once `capacity`
+/// is reached further spans are counted in `dropped` and discarded.
+#[derive(Debug)]
+pub struct SpanSink {
+    spans: Mutex<Vec<Span>>,
+    capacity: usize,
+    recorded: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SpanSink {
+    /// A sink holding at most `capacity` spans.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SpanSink {
+            spans: Mutex::new(Vec::new()),
+            capacity,
+            recorded: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Stores a span, or sheds it (counted) if the sink is full.
+    pub fn push(&self, span: Span) {
+        let mut spans = self.spans.lock().expect("span sink poisoned");
+        if spans.len() >= self.capacity {
+            drop(spans);
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        spans.push(span);
+        drop(spans);
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Removes and returns all stored spans.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Span> {
+        std::mem::take(&mut *self.spans.lock().expect("span sink poisoned"))
+    }
+
+    /// Number of spans currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.spans.lock().expect("span sink poisoned").len()
+    }
+
+    /// Whether the sink holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans accepted over the sink's lifetime.
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
+
+    /// Spans shed because the sink was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+/// Default bound on buffered spans (enough for ~100k-op replays at
+/// 100% sampling with several spans per op).
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 20;
+
+/// The tracing façade instrumented code holds (as `Option<Arc<Tracer>>`).
+///
+/// Owns the id counters, the [`Sampler`] and the [`SpanSink`]. Call
+/// sites decide timestamps: the simulator passes virtual microseconds,
+/// live components use [`Tracer::now_us`]. Id allocation is atomic, so
+/// the live threaded cluster can share one tracer; the deterministic
+/// digest guarantee only applies to single-threaded (simulator) use.
+#[derive(Debug)]
+pub struct Tracer {
+    sampler: Sampler,
+    sink: SpanSink,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    epoch: Instant,
+}
+
+impl Tracer {
+    /// A tracer with the default sink capacity.
+    #[must_use]
+    pub fn new(sampler: Sampler) -> Self {
+        Tracer::with_capacity(sampler, DEFAULT_SPAN_CAPACITY)
+    }
+
+    /// A tracer bounding the sink to `capacity` spans.
+    #[must_use]
+    pub fn with_capacity(sampler: Sampler, capacity: usize) -> Self {
+        Tracer {
+            sampler,
+            sink: SpanSink::new(capacity),
+            next_trace: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Starts a new trace: allocates the trace id (always, so sampling
+    /// rate does not shift the id sequence) and, if sampled, a root
+    /// span id. `None` means "not sampled — skip all span work".
+    pub fn begin(&self) -> Option<SpanCtx> {
+        let trace = TraceId(self.next_trace.fetch_add(1, Ordering::Relaxed));
+        if !self.sampler.sample(trace) {
+            return None;
+        }
+        Some(SpanCtx {
+            trace,
+            span: self.next_span(trace),
+        })
+    }
+
+    /// Allocates a fresh span id within `ctx`'s trace.
+    pub fn next_span(&self, _trace: TraceId) -> SpanId {
+        SpanId(self.next_span.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// Derives a child context: same trace, fresh span id.
+    pub fn child(&self, ctx: SpanCtx) -> SpanCtx {
+        SpanCtx {
+            trace: ctx.trace,
+            span: self.next_span(ctx.trace),
+        }
+    }
+
+    /// Records a completed span.
+    pub fn record(&self, span: Span) {
+        self.sink.push(span);
+    }
+
+    /// Wall-clock microseconds since the tracer was created, for call
+    /// sites without a virtual clock (live cluster, store).
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// The sampler in force.
+    #[must_use]
+    pub fn sampler(&self) -> Sampler {
+        self.sampler
+    }
+
+    /// The underlying sink (for capacity/shed accounting).
+    #[must_use]
+    pub fn sink(&self) -> &SpanSink {
+        &self.sink
+    }
+
+    /// Removes and returns all buffered spans.
+    #[must_use]
+    pub fn drain(&self) -> Vec<Span> {
+        self.sink.drain()
+    }
+}
+
+fn push_json_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                use std::fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Renders spans as a Chrome trace-event JSON document (the
+/// `{"traceEvents": […]}` object form) loadable in `chrome://tracing`
+/// and Perfetto.
+///
+/// Each span becomes a complete (`"ph":"X"`) event; the thread id is
+/// `mds + 1` for server-side spans and 0 for client/monitor spans, so
+/// the viewer groups work by MDS lane.
+#[must_use]
+pub fn chrome_trace_json(spans: &[Span]) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(128 * spans.len() + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, s) in spans.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let tid = s.mds.map_or(0u32, |m| u32::from(m) + 1);
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"trace\":{},\"span\":{}",
+            s.name, s.start_us, s.dur_us, s.trace.0, s.id.0
+        );
+        if let Some(p) = s.parent {
+            let _ = write!(out, ",\"parent\":{}", p.0);
+        }
+        if let Some(m) = s.mds {
+            let _ = write!(out, ",\"mds\":{m}");
+        }
+        if let Some(f) = s.fault {
+            out.push_str(",\"fault\":\"");
+            push_json_escaped(&mut out, f.label());
+            out.push('"');
+        }
+        for (k, v) in &s.args {
+            out.push_str(",\"");
+            push_json_escaped(&mut out, k);
+            let _ = write!(out, "\":{v}");
+        }
+        out.push_str("}}");
+    }
+    out.push_str("]}");
+    out
+}
+
+/// A stable FNV-1a digest over every field of every span, in order.
+///
+/// Two replays with the same seed must produce the same digest; CI's
+/// `trace-determinism` job asserts exactly that.
+#[must_use]
+pub fn digest(spans: &[Span]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for s in spans {
+        eat(&s.trace.0.to_le_bytes());
+        eat(&s.id.0.to_le_bytes());
+        eat(&s.parent.map_or(0, |p| p.0).to_le_bytes());
+        eat(s.name.as_bytes());
+        eat(&[0]);
+        eat(&[s.mds.is_some() as u8]);
+        eat(&s.mds.unwrap_or(0).to_le_bytes());
+        eat(&s.start_us.to_le_bytes());
+        eat(&s.dur_us.to_le_bytes());
+        eat(s.fault.map_or("", |f| f.label()).as_bytes());
+        eat(&[0]);
+        for (k, v) in &s.args {
+            eat(k.as_bytes());
+            eat(&[0]);
+            eat(&v.to_le_bytes());
+        }
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_rates_are_exact_at_the_extremes() {
+        let always = Sampler::always(7);
+        let never = Sampler::never(7);
+        for t in 0..1000 {
+            assert!(always.sample(TraceId(t)));
+            assert!(!never.sample(TraceId(t)));
+        }
+        assert_eq!(always.rate(), 1.0);
+        assert_eq!(never.rate(), 0.0);
+    }
+
+    #[test]
+    fn sampler_is_deterministic_and_roughly_calibrated() {
+        let s = Sampler::new(42, 0.01);
+        let picks: Vec<bool> = (0..100_000).map(|t| s.sample(TraceId(t))).collect();
+        let again: Vec<bool> = (0..100_000).map(|t| s.sample(TraceId(t))).collect();
+        assert_eq!(picks, again, "sampling must be a pure function");
+        let kept = picks.iter().filter(|&&b| b).count();
+        // 1% of 100k = 1000 expected; allow generous slack.
+        assert!((500..1500).contains(&kept), "kept {kept} of 100000");
+    }
+
+    #[test]
+    fn different_seeds_pick_different_traces() {
+        let a = Sampler::new(1, 0.01);
+        let b = Sampler::new(2, 0.01);
+        let same = (0..100_000)
+            .filter(|&t| a.sample(TraceId(t)) == b.sample(TraceId(t)))
+            .count();
+        assert!(same < 100_000, "seed must influence the sample set");
+    }
+
+    #[test]
+    fn sink_bounds_and_counts_shedding() {
+        let sink = SpanSink::new(2);
+        let ctx = SpanCtx {
+            trace: TraceId(1),
+            span: SpanId(1),
+        };
+        for i in 0..5 {
+            sink.push(Span::root(ctx, span_names::OP, i, 1));
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.recorded(), 2);
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.drain().len(), 2);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn tracer_ids_are_unique_and_sampling_none_skips_spans() {
+        let t = Tracer::new(Sampler::always(0));
+        let a = t.begin().expect("sampled");
+        let b = t.begin().expect("sampled");
+        assert_ne!(a.trace, b.trace);
+        assert_ne!(a.span, b.span);
+        let child = t.child(a);
+        assert_eq!(child.trace, a.trace);
+        assert_ne!(child.span, a.span);
+
+        let off = Tracer::new(Sampler::never(0));
+        assert!(off.begin().is_none());
+        assert_eq!(off.sink().recorded(), 0);
+    }
+
+    #[test]
+    fn chrome_export_is_balanced_json_with_expected_fields() {
+        let t = Tracer::new(Sampler::always(0));
+        let ctx = t.begin().unwrap();
+        t.record(
+            Span::root(ctx, span_names::OP, 10, 100)
+                .with_arg("target", 42)
+                .with_arg("hops", 2),
+        );
+        let sctx = t.child(ctx);
+        t.record(
+            Span::child(ctx, sctx.span, span_names::SERVE, 20, 30)
+                .on_mds(3)
+                .with_fault(FaultKind::Delay),
+        );
+        let doc = chrome_trace_json(&t.drain());
+        assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");
+        assert_eq!(
+            doc.matches('{').count(),
+            doc.matches('}').count(),
+            "unbalanced: {doc}"
+        );
+        assert!(doc.contains("\"traceEvents\":["), "{doc}");
+        assert!(doc.contains("\"ph\":\"X\""), "{doc}");
+        assert!(doc.contains("\"tid\":4"), "{doc}");
+        assert!(doc.contains("\"fault\":\"delay\""), "{doc}");
+        assert!(doc.contains("\"target\":42"), "{doc}");
+    }
+
+    #[test]
+    fn digest_is_stable_and_field_sensitive() {
+        let ctx = SpanCtx {
+            trace: TraceId(1),
+            span: SpanId(1),
+        };
+        let a = vec![Span::root(ctx, span_names::OP, 0, 5).with_arg("target", 1)];
+        let mut b = a.clone();
+        assert_eq!(digest(&a), digest(&b));
+        b[0].dur_us = 6;
+        assert_ne!(digest(&a), digest(&b));
+        let mut c = a.clone();
+        c[0].fault = Some(FaultKind::Drop);
+        assert_ne!(digest(&a), digest(&c));
+    }
+}

@@ -26,7 +26,16 @@ proptest! {
     }
 
     #[test]
-    fn arbitrary_requests_roundtrip(id in any::<u64>(), target in 0u32..u32::MAX, kind in 0u8..3, hops in any::<u32>()) {
+    fn arbitrary_requests_roundtrip(
+        id in any::<u64>(),
+        target in 0u32..u32::MAX,
+        kind in 0u8..3,
+        hops in any::<u32>(),
+        traced in any::<bool>(),
+        trace_id in any::<u64>(),
+        parent_span in any::<u64>(),
+    ) {
+        let trace = traced.then_some((trace_id, parent_span));
         let kind = match kind {
             0 => OpKind::Read,
             1 => OpKind::Write,
@@ -37,6 +46,7 @@ proptest! {
             kind,
             target: NodeId::from_index(target as usize),
             hops,
+            trace,
         };
         let mut framed = req.encode();
         prop_assert_eq!(Request::decode(&mut framed), Some(req));

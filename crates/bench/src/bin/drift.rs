@@ -8,7 +8,7 @@
 //! D2-Tree and the dynamic schemes should hold their balance.
 
 use d2tree_baselines::paper_lineup;
-use d2tree_bench::{fmt_float, render_table, Scale};
+use d2tree_bench::{fmt_float, parallel_cells, render_table, Scale};
 use d2tree_metrics::{balance, ClusterSpec};
 use d2tree_namespace::Popularity;
 use d2tree_workload::{DriftingWorkload, TraceProfile};
@@ -36,8 +36,13 @@ fn main() {
     headers.extend((0..PHASES).map(|p| format!("phase {p}")));
     let mut rows = Vec::new();
 
+    // A scheme's popularity counters carry over (with decay) from phase
+    // to phase, so the parallel unit is a whole scheme *row*, not a
+    // single phase. Rows are independent of each other and rebuilt from
+    // the shared seed, so the sweep output is byte-identical at any
+    // `D2_THREADS`.
     let scheme_count = paper_lineup(0.01, scale.seed).len();
-    for slot in 0..scheme_count {
+    rows.extend(parallel_cells(scheme_count, |slot| {
         let mut lineup = paper_lineup(0.01, scale.seed);
         let scheme = &mut lineup[slot];
         let mut row = vec![scheme.name().to_owned()];
@@ -71,8 +76,8 @@ fn main() {
             let loads = scheme.placement().loads(&workload.tree, &phase_pop);
             row.push(fmt_float(balance(&loads, &phase_cluster)));
         }
-        rows.push(row);
-    }
+        row
+    }));
     println!("{}", render_table("Balance per phase", &headers, &rows));
     println!("\nStatic subtree cannot adapt; D2-Tree / DROP / AngleCut re-tune each phase.");
 }

@@ -11,10 +11,14 @@
 //! (hashing granularity); D2-Tree beats dynamic subtree on LMBE and RA
 //! (the global layer absorbs the flow-control nodes); static subtree is
 //! the weakest.
+//!
+//! Cells are independent (each rebuilds its scheme from the shared
+//! seed), so the grid fans out over [`parallel_cells`] and renders
+//! in-order: output is byte-identical at any `D2_THREADS`.
 
 use d2tree_baselines::paper_lineup;
 use d2tree_bench::{
-    fmt_float, mds_range, normalized_cluster, paper_workloads, render_table, Scale,
+    fmt_float, mds_range, normalized_cluster, paper_workloads, parallel_cells, render_table, Scale,
 };
 use d2tree_cluster::{SimConfig, Simulator};
 
@@ -25,39 +29,50 @@ fn main() {
     println!("== Fig. 7: Load balancing (Def. 5) after {ROUNDS} replay rounds ==");
     println!("(each round: simulated subtrace replay -> decayed counters -> rebalance)\n");
 
-    for workload in paper_workloads(scale) {
-        let pop = workload.popularity();
+    let workloads = paper_workloads(scale);
+    let pops: Vec<_> = workloads.iter().map(|w| w.popularity()).collect();
+    let ms = mds_range();
+    let names: Vec<String> = paper_lineup(0.01, scale.seed)
+        .iter()
+        .map(|s| s.name().to_owned())
+        .collect();
+
+    let cell_count = workloads.len() * names.len() * ms.len();
+    let cells = parallel_cells(cell_count, |i| {
+        let m_idx = i % ms.len();
+        let slot = (i / ms.len()) % names.len();
+        let w_idx = i / (ms.len() * names.len());
+        let workload = &workloads[w_idx];
+        let pop = &pops[w_idx];
+        let mut lineup = paper_lineup(0.01, scale.seed);
+        let scheme = &mut lineup[slot];
+        let cluster = normalized_cluster(ms[m_idx], pop);
+        scheme.build(&workload.tree, pop, &cluster);
+        let sim = Simulator::new(SimConfig {
+            seed: scale.seed,
+            ..SimConfig::default()
+        });
+        let out = sim.replay_with_rebalance(
+            &workload.tree,
+            &workload.trace,
+            scheme.as_mut(),
+            &cluster,
+            ROUNDS,
+            DECAY,
+        );
+        let settled = *out.balance_per_round.last().expect("rounds ran");
+        fmt_float(settled)
+    });
+
+    for (w_idx, workload) in workloads.iter().enumerate() {
         let mut headers = vec!["Scheme".to_owned()];
-        headers.extend(mds_range().iter().map(|m| format!("M={m}")));
+        headers.extend(ms.iter().map(|m| format!("M={m}")));
 
         let mut rows = Vec::new();
-        let scheme_count = paper_lineup(0.01, scale.seed).len();
-        for slot in 0..scheme_count {
-            let mut row = Vec::new();
-            let mut name = String::new();
-            for &m in &mds_range() {
-                let mut lineup = paper_lineup(0.01, scale.seed);
-                let scheme = &mut lineup[slot];
-                name = scheme.name().to_owned();
-                let cluster = normalized_cluster(m, &pop);
-                scheme.build(&workload.tree, &pop, &cluster);
-                let sim = Simulator::new(SimConfig {
-                    seed: scale.seed,
-                    ..SimConfig::default()
-                });
-                let out = sim.replay_with_rebalance(
-                    &workload.tree,
-                    &workload.trace,
-                    scheme.as_mut(),
-                    &cluster,
-                    ROUNDS,
-                    DECAY,
-                );
-                let settled = *out.balance_per_round.last().expect("rounds ran");
-                row.push(fmt_float(settled));
-            }
-            let mut full = vec![name];
-            full.extend(row);
+        for (slot, name) in names.iter().enumerate() {
+            let base = (w_idx * names.len() + slot) * ms.len();
+            let mut full = vec![name.clone()];
+            full.extend(cells[base..base + ms.len()].iter().cloned());
             rows.push(full);
         }
         println!(

@@ -20,6 +20,10 @@
 
 #![warn(missing_docs)]
 
+pub mod pool;
+
+pub use pool::{parallel_cells, parallel_cells_with, thread_count};
+
 use d2tree_core::Partitioner;
 use d2tree_metrics::ClusterSpec;
 use d2tree_namespace::Popularity;

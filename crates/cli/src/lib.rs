@@ -20,13 +20,14 @@ use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
 
 use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
+use d2tree_bench::{parallel_cells_with, thread_count};
 use d2tree_cluster::{
     analyze, run_chaos, run_store_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule,
     FaultScope, ReplayOutcome, SimConfig, Simulator, StoreChaosConfig, StrictChainRoute,
 };
-use d2tree_core::{D2TreeConfig, D2TreeScheme, Partitioner};
-use d2tree_metrics::{balance, ClusterSpec};
-use d2tree_namespace::NamespaceTree;
+use d2tree_core::{D2TreeConfig, D2TreeScheme, LocalIndex, Partitioner};
+use d2tree_metrics::{balance, ClusterSpec, MdsId};
+use d2tree_namespace::{NamespaceTree, NodeId, NsPath};
 use d2tree_store::{
     compact, inspect, verify, AttrState, MdsRecord, MdsState, MdsStore, StoreConfig, StoreError,
 };
@@ -51,6 +52,9 @@ pub enum CliError {
     /// The trace analyzer found spans disagreeing with the paper's
     /// Def. 1 / Def. 3 predictions, or a structurally broken trace.
     Trace(String),
+    /// A benchmark's cross-check failed or its `--check` speedup floor
+    /// was not reached.
+    Bench(String),
 }
 
 impl fmt::Display for CliError {
@@ -62,6 +66,7 @@ impl fmt::Display for CliError {
             CliError::Chaos(msg) => write!(f, "chaos run failed: {msg}"),
             CliError::Store(e) => write!(f, "store error: {e}"),
             CliError::Trace(msg) => write!(f, "trace check failed: {msg}"),
+            CliError::Bench(msg) => write!(f, "bench failed: {msg}"),
         }
     }
 }
@@ -104,6 +109,8 @@ COMMANDS:
     check      partition with D2-Tree and fsck the resulting state
     chaos      replay a seeded crash/partition schedule and check recovery
     store      inspect, verify, compact or bench a durable MDS store
+    bench      hot-path microbenchmarks: interned resolve, memoised locate,
+               serial-vs-parallel figure sweep
     help       show this message
 
 Common options:
@@ -155,6 +162,17 @@ Common options:
                                  measure WAL append overhead vs an in-memory
                                  baseline plus recovery time; writes a JSON
                                  report (default BENCH_store.json)
+
+`bench` usage:
+    d2tree bench hotpath [--nodes <n>] [--ops <n>] [--reps <n>] [--seed <n>]
+                         [--check <x>] [--out <file>]
+                 compare the interned resolver and the memoised locate
+                 against the legacy string-walk formulations they replaced,
+                 then time a serial vs parallel figure sweep (thread count
+                 from D2_THREADS, default: all cores); writes a JSON report
+                 (default results/BENCH_hotpath.json) plus a repo-root copy
+                 BENCH_hotpath.json; --check <x> errors unless both
+                 microbench speedups reach <x>
 ";
 
 /// Simple `--flag value` argument map.
@@ -259,6 +277,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "check" => cmd_check(&Opts::parse(rest)?),
         "chaos" => cmd_chaos(&Opts::parse(rest)?),
         "store" => cmd_store(rest),
+        "bench" => cmd_bench(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -1008,6 +1027,259 @@ fn cmd_store_bench(opts: &Opts) -> Result<String, CliError> {
     ))
 }
 
+fn cmd_bench(rest: &[String]) -> Result<String, CliError> {
+    let Some((action, rest)) = rest.split_first() else {
+        return Err(CliError::Usage("bench needs an action: hotpath".to_owned()));
+    };
+    match action.as_str() {
+        "hotpath" => cmd_bench_hotpath(&Opts::parse(rest)?),
+        other => Err(CliError::Usage(format!(
+            "unknown bench action {other:?} (expected hotpath)"
+        ))),
+    }
+}
+
+/// Times `reps` runs of `f`, returning the best (minimum) wall-clock in
+/// nanoseconds together with `f`'s final checksum so the work cannot be
+/// optimised away and runs can be cross-checked against each other.
+fn best_ns<F: FnMut() -> u64>(reps: usize, mut f: F) -> (u64, u64) {
+    let mut best = u64::MAX;
+    let mut checksum = 0;
+    for _ in 0..reps {
+        let start = std::time::Instant::now();
+        checksum = f();
+        best = best.min(start.elapsed().as_nanos() as u64);
+    }
+    (best.max(1), checksum)
+}
+
+/// `d2tree bench hotpath`: before/after measurement of the hot-path
+/// query engine.
+///
+/// * **resolve** — every live path resolved through (a) a rebuilt copy
+///   of the legacy layout (one `BTreeMap<Box<str>, NodeId>` per node,
+///   string comparisons on every step, exactly what `NamespaceTree`
+///   stored before name interning) and (b) the interned
+///   [`NamespaceTree::resolve`] (one symbol-table probe per component,
+///   `u32` comparisons down the child lists).
+/// * **locate** — every live target located through (a) the legacy
+///   formulation (collect the root→target chain into a fresh `Vec`,
+///   scan downward for the first indexed node) and (b) the
+///   allocation-free upward walk, uncached and memoised.
+/// * **sweep** — a Fig. 5-style cell grid replayed serially and on the
+///   worker pool, cross-checked cell by cell for byte-identical output.
+///
+/// All three are cross-checked for answer equality before timing; any
+/// disagreement is a hard error.
+fn cmd_bench_hotpath(opts: &Opts) -> Result<String, CliError> {
+    let nodes = opts.num("nodes", 20_000usize)?;
+    let ops = opts.num("ops", 50_000usize)?;
+    let seed = opts.num("seed", 42u64)?;
+    let reps = opts.num("reps", 3usize)?.max(1);
+    let check = opts.num("check", 0.0f64)?;
+    let out_path = opts
+        .get("out")
+        .unwrap_or("results/BENCH_hotpath.json")
+        .to_owned();
+
+    let workload = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(nodes).with_operations(ops))
+        .seed(seed)
+        .build();
+    let tree = &workload.tree;
+
+    // --- resolve: legacy string-walk vs interned ---------------------------
+    let ids: Vec<NodeId> = tree.nodes().map(|(id, _)| id).collect();
+    let paths: Vec<NsPath> = ids.iter().map(|&id| tree.path_of(id)).collect();
+    let max_index = ids.iter().map(|id| id.index()).max().unwrap_or(0);
+    let mut legacy_children: Vec<std::collections::BTreeMap<Box<str>, NodeId>> =
+        vec![std::collections::BTreeMap::new(); max_index + 1];
+    for (id, node) in tree.nodes() {
+        for (sym, child) in node.children() {
+            legacy_children[id.index()].insert(tree.symbols().resolve(sym).into(), child);
+        }
+    }
+    let legacy_resolve = |path: &NsPath| -> Option<NodeId> {
+        let mut cur = tree.root();
+        for comp in path.components() {
+            cur = *legacy_children.get(cur.index())?.get(comp)?;
+        }
+        Some(cur)
+    };
+    // Clients resolving the same paths repeatedly pre-intern them once;
+    // the pre-interning cost sits outside the timed loop just like the
+    // legacy maps' construction does.
+    let sym_paths: Vec<Vec<d2tree_namespace::Sym>> = paths
+        .iter()
+        .map(|p| tree.intern_path(p).expect("own paths intern"))
+        .collect();
+    for (&id, path) in ids.iter().zip(&paths) {
+        if legacy_resolve(path) != Some(id) || tree.resolve(path) != Some(id) {
+            return Err(CliError::Bench(format!("resolver disagreement on {path}")));
+        }
+    }
+    let fold = |acc: u64, id: Option<NodeId>| acc.wrapping_add(id.map_or(0, |i| i.index() as u64));
+    let (legacy_resolve_ns, ra) = best_ns(reps, || {
+        paths.iter().fold(0, |acc, p| fold(acc, legacy_resolve(p)))
+    });
+    let (interned_resolve_ns, rb) = best_ns(reps, || {
+        paths.iter().fold(0, |acc, p| fold(acc, tree.resolve(p)))
+    });
+    let (preinterned_resolve_ns, rc) = best_ns(reps, || {
+        sym_paths
+            .iter()
+            .fold(0, |acc, s| fold(acc, tree.resolve_syms(s)))
+    });
+    if ra != rb || rb != rc {
+        return Err(CliError::Bench(
+            "resolve checksum mismatch between legacy, interned and pre-interned passes".to_owned(),
+        ));
+    }
+
+    // --- locate: legacy Vec-collecting scan vs memoised upward walk --------
+    const MDS: u16 = 8;
+    const INDEX_EVERY: usize = 16;
+    let mut index = LocalIndex::new();
+    for (i, &id) in ids.iter().enumerate() {
+        if i % INDEX_EVERY == 0 && id != tree.root() {
+            index.insert(id, MdsId((i % MDS as usize) as u16));
+        }
+    }
+    let legacy_locate = |target: NodeId| -> Option<(NodeId, MdsId)> {
+        // The pre-memo formulation: allocate the full chain, scan down.
+        tree.path_from_root(target)
+            .into_iter()
+            .find_map(|id| index.owner_of(id).map(|owner| (id, owner)))
+    };
+    for &id in &ids {
+        let memo = index.locate(tree, id);
+        if legacy_locate(id) != memo || memo != index.locate_uncached(tree, id) {
+            return Err(CliError::Bench(format!(
+                "locate disagreement on node {}",
+                id.index()
+            )));
+        }
+    }
+    let lfold = |acc: u64, hit: Option<(NodeId, MdsId)>| {
+        acc.wrapping_add(hit.map_or(0, |(id, _)| id.index() as u64))
+    };
+    let (legacy_locate_ns, la) = best_ns(reps, || {
+        ids.iter().fold(0, |acc, &t| lfold(acc, legacy_locate(t)))
+    });
+    let (uncached_locate_ns, lb) = best_ns(reps, || {
+        ids.iter()
+            .fold(0, |acc, &t| lfold(acc, index.locate_uncached(tree, t)))
+    });
+    let (memo_locate_ns, lc) = best_ns(reps, || {
+        ids.iter()
+            .fold(0, |acc, &t| lfold(acc, index.locate(tree, t)))
+    });
+    if la != lb || lb != lc {
+        return Err(CliError::Bench(
+            "locate checksum mismatch between legacy, uncached and memoised passes".to_owned(),
+        ));
+    }
+
+    // --- sweep: serial vs parallel Fig. 5-style grid -----------------------
+    let threads = thread_count();
+    let ms = [5usize, 10, 15, 20, 25, 30];
+    let pop = workload.popularity();
+    let run_sweep = |workers: usize| -> (u64, Vec<String>) {
+        let start = std::time::Instant::now();
+        let cells = parallel_cells_with(workers, ms.len(), |i| {
+            let mut scheme = D2TreeScheme::new(D2TreeConfig::by_proportion(0.01).with_seed(seed));
+            scheme.build(tree, &pop, &ClusterSpec::homogeneous(ms[i], 1.0));
+            let sim = Simulator::new(SimConfig {
+                seed,
+                ..SimConfig::default()
+            });
+            let out = sim.replay(tree, &workload.trace, &scheme);
+            format!("{:.0}", out.throughput)
+        });
+        (start.elapsed().as_nanos() as u64, cells)
+    };
+    let (serial_sweep_ns, serial_cells) = run_sweep(1);
+    let (parallel_sweep_ns, parallel_cells) = run_sweep(threads);
+    if serial_cells != parallel_cells {
+        return Err(CliError::Bench(
+            "parallel sweep output diverged from the serial sweep".to_owned(),
+        ));
+    }
+
+    let n_paths = paths.len().max(1) as u64;
+    let resolve_speedup = legacy_resolve_ns as f64 / preinterned_resolve_ns as f64;
+    let locate_speedup = legacy_locate_ns as f64 / memo_locate_ns as f64;
+    let sweep_speedup = serial_sweep_ns as f64 / parallel_sweep_ns.max(1) as f64;
+
+    let json = format!(
+        "{{\n  \"nodes\": {nodes},\n  \"ops\": {ops},\n  \"seed\": {seed},\n  \
+         \"reps\": {reps},\n  \"paths\": {n_paths},\n  \
+         \"resolve\": {{\"legacy_ns_per_op\": {}, \"interned_ns_per_op\": {}, \
+         \"preinterned_ns_per_op\": {}, \"speedup_x\": {resolve_speedup:.2}}},\n  \
+         \"locate\": {{\"legacy_ns_per_op\": {}, \"uncached_ns_per_op\": {}, \
+         \"memo_ns_per_op\": {}, \"speedup_x\": {locate_speedup:.2}}},\n  \
+         \"sweep\": {{\"cells\": {}, \"threads\": {threads}, \
+         \"serial_ns\": {serial_sweep_ns}, \"parallel_ns\": {parallel_sweep_ns}, \
+         \"speedup_x\": {sweep_speedup:.2}}}\n}}\n",
+        legacy_resolve_ns / n_paths,
+        interned_resolve_ns / n_paths,
+        preinterned_resolve_ns / n_paths,
+        legacy_locate_ns / n_paths,
+        uncached_locate_ns / n_paths,
+        memo_locate_ns / n_paths,
+        ms.len(),
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out_path, &json)?;
+    // Repo-root copy so the headline numbers sit next to BENCH_store.json
+    // (skipped when --out redirects the report elsewhere).
+    let root_copy = "BENCH_hotpath.json";
+    let wrote_root_copy = out_path == "results/BENCH_hotpath.json";
+    if wrote_root_copy {
+        std::fs::write(root_copy, &json)?;
+    }
+
+    let mut text = format!(
+        "hotpath bench: {} live paths over {nodes} nodes, best of {reps} rep(s)\n\
+         resolve: legacy {} ns/op, interned {} ns/op, pre-interned {} ns/op \
+         ({resolve_speedup:.2}x)\n\
+         locate:  legacy {} ns/op, uncached {} ns/op, memoised {} ns/op ({locate_speedup:.2}x)\n\
+         sweep:   {} cells, serial {:.1} ms, parallel {:.1} ms on {threads} thread(s) \
+         ({sweep_speedup:.2}x)\n\
+         report written to {out_path}{}\n",
+        paths.len(),
+        legacy_resolve_ns / n_paths,
+        interned_resolve_ns / n_paths,
+        preinterned_resolve_ns / n_paths,
+        legacy_locate_ns / n_paths,
+        uncached_locate_ns / n_paths,
+        memo_locate_ns / n_paths,
+        ms.len(),
+        serial_sweep_ns as f64 / 1e6,
+        parallel_sweep_ns as f64 / 1e6,
+        if wrote_root_copy {
+            format!(" (and {root_copy})")
+        } else {
+            String::new()
+        },
+    );
+    if check > 0.0 {
+        if resolve_speedup < check || locate_speedup < check {
+            return Err(CliError::Bench(format!(
+                "hot-path speedups below the required {check}x floor: \
+                 resolve {resolve_speedup:.2}x, locate {locate_speedup:.2}x"
+            )));
+        }
+        text.push_str(&format!(
+            "check passed: resolve and locate both exceed {check}x\n"
+        ));
+    }
+    Ok(text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1027,6 +1299,37 @@ mod tests {
         assert!(run(&args(&["help"])).unwrap().contains("USAGE"));
         assert!(matches!(run(&args(&["bogus"])), Err(CliError::Usage(_))));
         assert!(matches!(run(&[]), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn bench_hotpath_cross_checks_and_reports() {
+        let out_file = format!("{}.json", tmp_prefix("hotpath"));
+        let out = run(&args(&[
+            "bench", "hotpath", "--nodes", "500", "--ops", "1500", "--reps", "1", "--seed", "7",
+            "--out", &out_file,
+        ]))
+        .unwrap();
+        assert!(out.contains("resolve: legacy"), "{out}");
+        assert!(out.contains("memoised"), "{out}");
+        let json = std::fs::read_to_string(&out_file).unwrap();
+        assert!(json.contains("\"preinterned_ns_per_op\""), "{json}");
+        assert!(json.contains("\"sweep\""), "{json}");
+        let _ = std::fs::remove_file(&out_file);
+
+        // An unreachable --check floor must fail loudly. (Timing noise
+        // cannot rescue it: no real machine hits a 1e6x speedup.)
+        let err = run(&args(&[
+            "bench", "hotpath", "--nodes", "300", "--ops", "900", "--reps", "1", "--check",
+            "1000000", "--out", &out_file,
+        ]));
+        assert!(matches!(err, Err(CliError::Bench(_))), "{err:?}");
+        let _ = std::fs::remove_file(&out_file);
+
+        assert!(matches!(run(&args(&["bench"])), Err(CliError::Usage(_))));
+        assert!(matches!(
+            run(&args(&["bench", "nope"])),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

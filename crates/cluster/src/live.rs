@@ -28,7 +28,7 @@ use rand::{Rng, SeedableRng};
 
 use d2tree_core::LocalIndex;
 
-use d2tree_telemetry::trace::{span_names, Span, SpanCtx, SpanId, TraceId, Tracer};
+use d2tree_telemetry::trace::{span_names, ArgKey, Span, SpanCtx, SpanId, TraceId, Tracer};
 use d2tree_telemetry::{names, Counter, Event, EventKind, FaultKind, MetricKey, Registry};
 
 use crate::client::{CacheStats, ClientCache, RetryPolicy, RouteDecision};
@@ -932,7 +932,7 @@ fn server_main(
                                             )
                                             .on_mds(me as u16)
                                             .with_fault(FaultKind::Drop)
-                                            .with_arg("target", req.target.index() as u64),
+                                            .with_arg(ArgKey::Target, req.target.index() as u64),
                                         );
                                     }
                                     continue;
@@ -987,8 +987,8 @@ fn server_main(
                                     tr.now_us().saturating_sub(start),
                                 )
                                 .on_mds(me as u16)
-                                .with_arg("node", req.target.index() as u64)
-                                .with_arg("spins", spins);
+                                .with_arg(ArgKey::Node, req.target.index() as u64)
+                                .with_arg(ArgKey::Spins, spins);
                                 if let Some(k) = lock_fault_kind {
                                     sp = sp.with_fault(k);
                                 }
@@ -1063,9 +1063,9 @@ fn server_main(
                         tr.now_us().saturating_sub(start),
                     )
                     .on_mds(me as u16)
-                    .with_arg("target", req.target.index() as u64)
+                    .with_arg(ArgKey::Target, req.target.index() as u64)
                     .with_arg(
-                        "body",
+                        ArgKey::Body,
                         match body {
                             ResponseBody::Served { .. } => 0,
                             ResponseBody::Redirect { .. } => 1,
@@ -1147,8 +1147,8 @@ fn monitor_main(
                                     start,
                                     tr.now_us().saturating_sub(start),
                                 )
-                                .with_arg("mds", u64::from(back.0))
-                                .with_arg("claimed", claimed as u64),
+                                .with_arg(ArgKey::Mds, u64::from(back.0))
+                                .with_arg(ArgKey::Claimed, claimed as u64),
                             );
                         }
                     }
@@ -1182,7 +1182,7 @@ fn monitor_main(
                             start,
                             tr.now_us().saturating_sub(start),
                         )
-                        .with_arg("failures", failures.len() as u64),
+                        .with_arg(ArgKey::Failures, failures.len() as u64),
                     );
                 }
             }
@@ -1250,8 +1250,8 @@ fn monitor_main(
                                 start,
                                 tr.now_us().saturating_sub(start),
                             )
-                            .with_arg("mds", u64::from(dead.0))
-                            .with_arg("rehomed", i as u64),
+                            .with_arg(ArgKey::Mds, u64::from(dead.0))
+                            .with_arg(ArgKey::Rehomed, i as u64),
                         );
                     }
                 }
@@ -1466,9 +1466,9 @@ fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
                     start,
                     tr.now_us().saturating_sub(start),
                 )
-                .with_arg("subtree", subtree)
-                .with_arg("from", busy as u64)
-                .with_arg("to", u64::from(to.0)),
+                .with_arg(ArgKey::Subtree, subtree)
+                .with_arg(ArgKey::From, busy as u64)
+                .with_arg(ArgKey::To, u64::from(to.0)),
             );
         }
     }
@@ -1626,11 +1626,11 @@ impl LiveClient {
             start,
             tracer.now_us().saturating_sub(start),
         )
-        .with_arg("target", op.target.index() as u64)
-        .with_arg("kind", crate::sim::op_kind_code(op.kind));
+        .with_arg(ArgKey::Target, op.target.index() as u64)
+        .with_arg(ArgKey::Kind, crate::sim::op_kind_code(op.kind));
         match &result {
-            Ok(resp) => span = span.with_arg("hops", u64::from(resp.hops)),
-            Err(_) => span = span.with_arg("error", 1),
+            Ok(resp) => span = span.with_arg(ArgKey::Hops, u64::from(resp.hops)),
+            Err(_) => span = span.with_arg(ArgKey::Error, 1),
         }
         tracer.record(span);
         result
@@ -1737,8 +1737,8 @@ impl LiveClient {
                         tr.now_us().saturating_sub(start),
                     )
                     .on_mds(dest.0)
-                    .with_arg("route", route_code)
-                    .with_arg("outcome", outcome);
+                    .with_arg(ArgKey::Route, route_code)
+                    .with_arg(ArgKey::Outcome, outcome);
                     if let Some(k) = fault_kind {
                         sp = sp.with_fault(k);
                     }

@@ -26,7 +26,7 @@ use d2tree_namespace::NodeId;
 
 use d2tree_core::Partitioner;
 use d2tree_namespace::NamespaceTree;
-use d2tree_telemetry::trace::{span_names, Span, SpanCtx, Tracer};
+use d2tree_telemetry::trace::{span_names, ArgKey, Span, SpanCtx, Tracer};
 use d2tree_telemetry::{names, FaultKind, LocalHistogram, MetricKey, Registry};
 use d2tree_workload::{OpKind, Trace};
 use rand::rngs::StdRng;
@@ -947,10 +947,10 @@ impl Simulator {
                                     state.issued_at / 1_000,
                                     (done_at - state.issued_at) / 1_000,
                                 )
-                                .with_arg("target", state.target.index() as u64)
-                                .with_arg("kind", op_kind_code(state.kind))
-                                .with_arg("hops", state.visits.len() as u64 - 1)
-                                .with_arg("locked", 0),
+                                .with_arg(ArgKey::Target, state.target.index() as u64)
+                                .with_arg(ArgKey::Kind, op_kind_code(state.kind))
+                                .with_arg(ArgKey::Hops, state.visits.len() as u64 - 1)
+                                .with_arg(ArgKey::Locked, 0),
                             );
                         }
                         if let Some(tel) = &mut tel {
@@ -1015,7 +1015,7 @@ impl Simulator {
                                     (t - state.hop_arrived_at) / 1_000,
                                 )
                                 .on_mds(state.visits[0].0)
-                                .with_arg("node", node.index() as u64),
+                                .with_arg(ArgKey::Node, node.index() as u64),
                             );
                             Some(SpanCtx {
                                 trace: ctx.trace,
@@ -1074,10 +1074,10 @@ impl Simulator {
                                 state.issued_at / 1_000,
                                 (done_at - state.issued_at) / 1_000,
                             )
-                            .with_arg("target", state.target.index() as u64)
-                            .with_arg("kind", op_kind_code(state.kind))
-                            .with_arg("hops", 0)
-                            .with_arg("locked", 1),
+                            .with_arg(ArgKey::Target, state.target.index() as u64)
+                            .with_arg(ArgKey::Kind, op_kind_code(state.kind))
+                            .with_arg(ArgKey::Hops, 0)
+                            .with_arg(ArgKey::Locked, 1),
                         );
                     }
                     if let Some(tel) = &mut tel {

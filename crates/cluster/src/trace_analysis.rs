@@ -27,7 +27,7 @@ use d2tree_metrics::{
     locality_from_jumps, path_jumps, ClusterSpec, LocalityReport, Migration, Placement,
 };
 use d2tree_namespace::{NamespaceTree, NodeId, Popularity};
-use d2tree_telemetry::trace::{span_names, Span};
+use d2tree_telemetry::trace::{span_names, ArgKey, Span};
 use d2tree_telemetry::FaultKind;
 use rand::RngCore;
 
@@ -199,14 +199,14 @@ impl std::fmt::Display for TraceCheckError {
 
 impl std::error::Error for TraceCheckError {}
 
-fn root_arg(span: &Span, key: &'static str) -> Result<u64, TraceCheckError> {
+fn root_arg(span: &Span, key: ArgKey) -> Result<u64, TraceCheckError> {
     span.args
         .iter()
         .find(|(k, _)| *k == key)
         .map(|&(_, v)| v)
         .ok_or(TraceCheckError::MalformedRoot {
             trace: span.trace.0,
-            missing: key,
+            missing: key.name(),
         })
 }
 
@@ -269,8 +269,8 @@ pub fn analyze(
     let mut observed_jumps: BTreeMap<NodeId, u32> = BTreeMap::new();
     let mut hop_sum = 0u64;
     for (&trace, root) in &roots {
-        let target = NodeId::from_index(root_arg(root, "target")? as usize);
-        let locked = root_arg(root, "locked")? == 1;
+        let target = NodeId::from_index(root_arg(root, ArgKey::Target)? as usize);
+        let locked = root_arg(root, ArgKey::Locked)? == 1;
         let serve_count = serves.get(&trace).copied().unwrap_or(0);
         // Lock-path ops commit on one leader (no forwarding chain);
         // both conventions agree on 0 for their replicated targets.

@@ -6,16 +6,33 @@
 //! (Sec. IV-A2 of the paper).
 
 use std::collections::HashMap;
+use std::sync::Mutex;
 
 use d2tree_metrics::MdsId;
 use d2tree_namespace::{NamespaceTree, NodeId};
 use serde::{Deserialize, Serialize};
+
+/// Cache of [`LocalIndex::locate`] results, stamped with the exact
+/// `(tree identity, tree version, index version)` it was computed
+/// against. Any mutation of either the tree or the index changes the
+/// stamp and implicitly discards every entry.
+#[derive(Debug, Default)]
+struct LocateMemo {
+    stamp: Option<(u64, u64, u64)>,
+    nearest: HashMap<NodeId, Option<(NodeId, MdsId)>>,
+}
 
 /// Versioned map from local-layer subtree roots to their owning MDS.
 ///
 /// The version number supports the paper's client-cache consistency story
 /// (version number + timeout + lease, borrowed from GFS): a client whose
 /// cached version lags the server's re-fetches the index.
+///
+/// [`locate`](LocalIndex::locate) — the per-operation routing query —
+/// memoises its nearest-owner answers per target node, so repeat lookups
+/// are O(1) hash probes instead of O(depth) chain walks. The memo is
+/// version-stamped against both the index and the tree and is invisible
+/// to every other API: clones start cold and equality ignores it.
 ///
 /// # Example
 ///
@@ -34,10 +51,11 @@ use serde::{Deserialize, Serialize};
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Default, Serialize, Deserialize)]
 pub struct LocalIndex {
     owners: HashMap<NodeId, MdsId>,
     version: u64,
+    memo: Mutex<LocateMemo>,
 }
 
 impl LocalIndex {
@@ -87,19 +105,50 @@ impl LocalIndex {
         self.owners.get(&subtree_root).copied()
     }
 
-    /// The client lookup of Sec. IV-A2: walk the root-to-`target` chain and
-    /// return the first indexed subtree root with its owner.
+    /// The client lookup of Sec. IV-A2: find the first (shallowest)
+    /// indexed subtree root on the root-to-`target` chain and return it
+    /// with its owner.
     ///
     /// `None` means every prefix node is in the global layer, so the query
     /// may be sent to any MDS.
+    ///
+    /// Answers are memoised per target and stamped with the tree's and the
+    /// index's versions; a repeat lookup against unchanged structures is a
+    /// single hash probe. Any [`insert`](Self::insert),
+    /// [`remove`](Self::remove), [`replace_all`](Self::replace_all) or
+    /// tree mutation invalidates the whole memo via the stamp.
     #[must_use]
     pub fn locate(&self, tree: &NamespaceTree, target: NodeId) -> Option<(NodeId, MdsId)> {
-        for id in tree.path_from_root(target) {
+        let mut memo = self.memo.lock().expect("locate memo poisoned");
+        let stamp = (tree.identity(), tree.version(), self.version);
+        if memo.stamp != Some(stamp) {
+            memo.nearest.clear();
+            memo.stamp = Some(stamp);
+        }
+        if let Some(&cached) = memo.nearest.get(&target) {
+            return cached;
+        }
+        let answer = self.locate_uncached(tree, target);
+        memo.nearest.insert(target, answer);
+        answer
+    }
+
+    /// [`locate`](Self::locate) without the memo: one allocation-free
+    /// upward walk of the parent chain, keeping the shallowest indexed
+    /// hit. Exposed for benchmarking and for callers that query each
+    /// target at most once.
+    #[must_use]
+    pub fn locate_uncached(&self, tree: &NamespaceTree, target: NodeId) -> Option<(NodeId, MdsId)> {
+        // Walking upward visits the chain deepest-first, so the last hit
+        // seen is the shallowest — the one the downward client walk of
+        // Sec. IV-A2 would report first.
+        let mut hit = None;
+        for id in tree.chain_up(target) {
             if let Some(&owner) = self.owners.get(&id) {
-                return Some((id, owner));
+                hit = Some((id, owner));
             }
         }
-        None
+        hit
     }
 
     /// Iterates over `(subtree_root, owner)` pairs in unspecified order.
@@ -115,6 +164,23 @@ impl LocalIndex {
     {
         self.owners = entries.into_iter().collect();
         self.version += 1;
+    }
+}
+
+impl Clone for LocalIndex {
+    fn clone(&self) -> Self {
+        LocalIndex {
+            owners: self.owners.clone(),
+            version: self.version,
+            // The memo is derived state; a cold one re-fills on demand.
+            memo: Mutex::new(LocateMemo::default()),
+        }
+    }
+}
+
+impl PartialEq for LocalIndex {
+    fn eq(&self, other: &Self) -> bool {
+        self.owners == other.owners && self.version == other.version
     }
 }
 
@@ -152,6 +218,17 @@ mod tests {
     }
 
     #[test]
+    fn locate_prefers_the_shallowest_indexed_ancestor() {
+        let (t, a, b, c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        idx.insert(a, MdsId(1));
+        idx.insert(b, MdsId(2));
+        // Both a and b lie on c's chain; the client walk hits a first.
+        assert_eq!(idx.locate(&t, c), Some((a, MdsId(1))));
+        assert_eq!(idx.locate_uncached(&t, c), Some((a, MdsId(1))));
+    }
+
+    #[test]
     fn versions_bump_on_mutation_only() {
         let (_t, a, b, _c) = deep_tree();
         let mut idx = LocalIndex::new();
@@ -175,5 +252,60 @@ mod tests {
         assert_eq!(idx.owner_of(a), None);
         assert_eq!(idx.owner_of(b), Some(MdsId(1)));
         assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn memo_invalidates_on_index_mutation() {
+        let (t, a, b, c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        idx.insert(b, MdsId(2));
+        assert_eq!(idx.locate(&t, c), Some((b, MdsId(2))));
+        // Re-register b elsewhere: the cached answer must not survive.
+        idx.insert(b, MdsId(5));
+        assert_eq!(idx.locate(&t, c), Some((b, MdsId(5))));
+        // Indexing a shallower ancestor changes the answer too.
+        idx.insert(a, MdsId(7));
+        assert_eq!(idx.locate(&t, c), Some((a, MdsId(7))));
+        idx.remove(a);
+        idx.remove(b);
+        assert_eq!(idx.locate(&t, c), None);
+    }
+
+    #[test]
+    fn memo_invalidates_on_tree_mutation() {
+        let (mut t, a, b, c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        idx.insert(a, MdsId(1));
+        assert_eq!(idx.locate(&t, c), Some((a, MdsId(1))));
+        // Move b (and its child c) to the root: a leaves c's chain.
+        t.move_subtree(b, t.root()).unwrap();
+        assert_eq!(idx.locate(&t, c), None);
+        assert_eq!(idx.locate(&t, b), None);
+        idx.insert(b, MdsId(3));
+        assert_eq!(idx.locate(&t, c), Some((b, MdsId(3))));
+    }
+
+    #[test]
+    fn clone_and_eq_ignore_the_memo() {
+        let (t, _a, b, c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        idx.insert(b, MdsId(2));
+        let warm = idx.locate(&t, c);
+        let cloned = idx.clone();
+        assert_eq!(idx, cloned, "warm memo must not affect equality");
+        assert_eq!(cloned.locate(&t, c), warm);
+        assert_eq!(idx, cloned);
+    }
+
+    #[test]
+    fn repeat_locates_agree_with_uncached() {
+        let (t, a, b, c) = deep_tree();
+        let mut idx = LocalIndex::new();
+        idx.insert(a, MdsId(4));
+        for target in [t.root(), a, b, c] {
+            for _ in 0..3 {
+                assert_eq!(idx.locate(&t, target), idx.locate_uncached(&t, target));
+            }
+        }
     }
 }

@@ -93,21 +93,32 @@ pub fn chain_route_from(
     rng: &mut dyn RngCore,
     start_depth: usize,
 ) -> AccessPlan {
-    let chain = tree.path_from_root(node);
-    // Always traverse the target itself, even when it is shallow.
-    let start = start_depth.min(chain.len() - 1);
+    thread_local! {
+        // Routing happens once per simulated operation; reusing one
+        // buffer per thread removes the per-call chain allocation.
+        static CHAIN_BUF: std::cell::RefCell<Vec<NodeId>> =
+            const { std::cell::RefCell::new(Vec::new()) };
+    }
     let mut visits: Vec<MdsId> = Vec::new();
-    for &id in &chain[start..] {
-        match placement.assignment(id) {
-            Assignment::Unassigned => panic!("routing requires a complete placement"),
-            Assignment::Replicated => {}
-            Assignment::Single(m) => {
-                if visits.last() != Some(&m) {
-                    visits.push(m);
+    CHAIN_BUF.with(|buf| {
+        let mut chain = buf.borrow_mut();
+        chain.clear();
+        chain.extend(tree.chain_up(node));
+        chain.reverse();
+        // Always traverse the target itself, even when it is shallow.
+        let start = start_depth.min(chain.len() - 1);
+        for &id in &chain[start..] {
+            match placement.assignment(id) {
+                Assignment::Unassigned => panic!("routing requires a complete placement"),
+                Assignment::Replicated => {}
+                Assignment::Single(m) => {
+                    if visits.last() != Some(&m) {
+                        visits.push(m);
+                    }
                 }
             }
         }
-    }
+    });
     let target_replicated = placement.assignment(node).is_replicated();
     if visits.is_empty() {
         let any = MdsId(rng.gen_range(0..placement.cluster_size()) as u16);

@@ -33,9 +33,12 @@ pub fn path_jumps(tree: &NamespaceTree, placement: &Placement, node: NodeId) -> 
         Any,
         One(usize),
     }
+    // Jump counting is direction-symmetric: the number of adjacent
+    // single-holder changes along the chain is the same walked up or
+    // down, and the upward parent-pointer walk needs no allocation.
     let mut jumps = 0;
     let mut holder = Holder::Any;
-    for id in tree.path_from_root(node) {
+    for id in tree.chain_up(node) {
         match placement.assignment(id) {
             Assignment::Unassigned => panic!("jump counting requires a complete placement"),
             Assignment::Replicated => {}

@@ -29,6 +29,39 @@ impl Iterator for Ancestors<'_> {
     }
 }
 
+/// Allocation-free iterator over the root-to-node chain, walked upward:
+/// the node itself first, then its parent, up to the root.
+///
+/// This visits exactly the ids of
+/// [`NamespaceTree::path_from_root`](crate::NamespaceTree::path_from_root)
+/// in reverse, without materialising the chain. For a tombstoned start
+/// node it yields only the node itself, mirroring the collected chain.
+/// Produced by [`NamespaceTree::chain_up`](crate::NamespaceTree::chain_up).
+#[derive(Debug, Clone)]
+pub struct ChainUp<'a> {
+    tree: &'a NamespaceTree,
+    next: Option<NodeId>,
+}
+
+impl<'a> ChainUp<'a> {
+    pub(crate) fn new(tree: &'a NamespaceTree, start: NodeId) -> Self {
+        ChainUp {
+            tree,
+            next: Some(start),
+        }
+    }
+}
+
+impl Iterator for ChainUp<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let cur = self.next?;
+        self.next = self.tree.node(cur).and_then(|n| n.parent());
+        Some(cur)
+    }
+}
+
 /// Pre-order depth-first iterator over a subtree, including its root.
 ///
 /// Children are visited in name order, so traversal order is deterministic.

@@ -31,6 +31,7 @@
 mod attrs;
 mod builder;
 mod error;
+mod intern;
 mod iter;
 mod node;
 mod path;
@@ -40,8 +41,9 @@ mod tree;
 pub use attrs::{AttrTable, FileAttr, VersionedAttr};
 pub use builder::TreeBuilder;
 pub use error::TreeError;
-pub use iter::{Ancestors, Descendants};
+pub use intern::{Sym, SymbolTable};
+pub use iter::{Ancestors, ChainUp, Descendants};
 pub use node::{Node, NodeId, NodeKind};
-pub use path::NsPath;
+pub use path::{Components, NsPath};
 pub use popularity::Popularity;
 pub use tree::NamespaceTree;

@@ -1,9 +1,10 @@
 //! Node identity and payload types.
 
-use std::collections::BTreeMap;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
+
+use crate::intern::{Sym, SymbolTable};
 
 /// Stable identifier of a node inside a [`NamespaceTree`](crate::NamespaceTree).
 ///
@@ -75,17 +76,79 @@ impl fmt::Display for NodeKind {
     }
 }
 
+/// A directory's children: `(Sym, NodeId)` entries kept sorted by the
+/// child's *name string*, so iteration order is identical to the old
+/// `BTreeMap<Box<str>, NodeId>` representation (every seeded experiment
+/// depends on that traversal order) while lookups compare interned `u32`
+/// handles instead of strings.
+///
+/// Mutations need the owning tree's [`SymbolTable`] to find the sorted
+/// insertion point, so they live on [`NamespaceTree`](crate::NamespaceTree).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct ChildMap {
+    entries: Vec<(Sym, NodeId)>,
+}
+
+impl ChildMap {
+    pub(crate) fn new() -> Self {
+        ChildMap {
+            entries: Vec::new(),
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Membership/lookup by interned symbol: a linear `u32` scan. Typical
+    /// fanouts are small and the entries are contiguous, so this beats
+    /// pointer-chasing B-tree nodes by a wide margin.
+    #[inline]
+    pub(crate) fn get(&self, sym: Sym) -> Option<NodeId> {
+        self.entries
+            .iter()
+            .find(|&&(s, _)| s == sym)
+            .map(|&(_, id)| id)
+    }
+
+    /// Inserts keeping name order; the caller guarantees `sym` is absent.
+    pub(crate) fn insert(&mut self, sym: Sym, id: NodeId, table: &SymbolTable) {
+        let name = table.resolve(sym);
+        let at = self
+            .entries
+            .partition_point(|&(s, _)| table.resolve(s) < name);
+        self.entries.insert(at, (sym, id));
+    }
+
+    pub(crate) fn remove(&mut self, sym: Sym) -> Option<NodeId> {
+        let at = self.entries.iter().position(|&(s, _)| s == sym)?;
+        Some(self.entries.remove(at).1)
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    pub(crate) fn iter(&self) -> std::slice::Iter<'_, (Sym, NodeId)> {
+        self.entries.iter()
+    }
+}
+
 /// A single metadata node: name, kind, parent link and (for directories) a
 /// name-ordered child map.
 ///
-/// Children are kept in a [`BTreeMap`] so traversal order is deterministic,
-/// which keeps every downstream experiment reproducible under a fixed seed.
+/// Children are keyed by interned [`Sym`] handles but kept sorted by name,
+/// so traversal order is deterministic — which keeps every downstream
+/// experiment reproducible under a fixed seed — while child lookup is a
+/// contiguous `u32` scan instead of a string-keyed B-tree probe.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct Node {
     pub(crate) name: Box<str>,
+    /// The interned handle for `name` in the owning tree's symbol table.
+    pub(crate) sym: Sym,
     pub(crate) kind: NodeKind,
     pub(crate) parent: Option<NodeId>,
-    pub(crate) children: BTreeMap<Box<str>, NodeId>,
+    pub(crate) children: ChildMap,
     pub(crate) alive: bool,
 }
 
@@ -94,6 +157,13 @@ impl Node {
     #[must_use]
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The interned symbol of the node's name, valid in the owning tree's
+    /// [`SymbolTable`](crate::SymbolTable).
+    #[must_use]
+    pub fn name_sym(&self) -> Sym {
+        self.sym
     }
 
     /// The node's kind.
@@ -114,15 +184,20 @@ impl Node {
         self.children.len()
     }
 
-    /// Iterates over `(name, id)` pairs of live children in name order.
-    pub fn children(&self) -> impl Iterator<Item = (&str, NodeId)> + '_ {
-        self.children.iter().map(|(k, v)| (k.as_ref(), *v))
+    /// Iterates over `(name_sym, id)` pairs of live children in name order.
+    ///
+    /// Resolve a symbol to its string with
+    /// [`NamespaceTree::symbols`](crate::NamespaceTree::symbols) when the
+    /// name itself is needed; traversals that only follow ids (the common
+    /// case) pay nothing for it.
+    pub fn children(&self) -> impl Iterator<Item = (Sym, NodeId)> + '_ {
+        self.children.iter().copied()
     }
 
-    /// Looks up a child by name.
+    /// Looks up a child by its interned name symbol.
     #[must_use]
-    pub fn child(&self, name: &str) -> Option<NodeId> {
-        self.children.get(name).copied()
+    pub fn child_by_sym(&self, sym: Sym) -> Option<NodeId> {
+        self.children.get(sym)
     }
 
     /// Whether the node is still part of the tree (not removed).
@@ -158,5 +233,22 @@ mod tests {
     #[test]
     fn node_ids_order_by_creation() {
         assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+
+    #[test]
+    fn child_map_keeps_name_order() {
+        let mut table = SymbolTable::new();
+        let mut map = ChildMap::new();
+        for (i, name) in ["z", "a", "m"].iter().enumerate() {
+            let sym = table.intern(name);
+            map.insert(sym, NodeId::from_index(i + 1), &table);
+        }
+        let names: Vec<&str> = map.iter().map(|&(s, _)| table.resolve(s)).collect();
+        assert_eq!(names, vec!["a", "m", "z"]);
+        let a = table.lookup("a").unwrap();
+        assert_eq!(map.get(a), Some(NodeId::from_index(2)));
+        assert_eq!(map.remove(a), Some(NodeId::from_index(2)));
+        assert_eq!(map.get(a), None);
+        assert_eq!(map.len(), 2);
     }
 }

@@ -1,13 +1,23 @@
 //! The arena-backed namespace tree.
 
-use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use serde::{Deserialize, Serialize};
 
 use crate::error::TreeError;
-use crate::iter::{Ancestors, Descendants};
-use crate::node::{Node, NodeId, NodeKind};
+use crate::intern::{Sym, SymbolTable};
+use crate::iter::{Ancestors, ChainUp, Descendants};
+use crate::node::{ChildMap, Node, NodeId, NodeKind};
 use crate::path::NsPath;
+
+/// Source of unique tree identities, so caches keyed on a tree (see
+/// `LocalIndex::locate`'s memo) can tell two trees apart even when their
+/// mutation counters coincide.
+static NEXT_TREE_ID: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_tree_id() -> u64 {
+    NEXT_TREE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// A POSIX-style namespace tree of files and directories.
 ///
@@ -15,6 +25,10 @@ use crate::path::NsPath;
 /// dense side tables (popularity, placement) indexed by [`NodeId::index`]
 /// stay valid across removals. Removed nodes are tombstoned and skipped by
 /// all traversals.
+///
+/// Name components are interned in a per-tree [`SymbolTable`]: child maps
+/// store `(Sym, NodeId)` pairs, so path resolution hashes each component
+/// once and then compares `u32` handles instead of strings.
 ///
 /// # Example
 ///
@@ -30,25 +44,36 @@ use crate::path::NsPath;
 /// # Ok(())
 /// # }
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Serialize, Deserialize)]
 pub struct NamespaceTree {
     nodes: Vec<Node>,
     live: usize,
+    symbols: SymbolTable,
+    /// Bumped on every structural mutation; see [`version`](Self::version).
+    version: u64,
+    /// Process-unique identity; see [`identity`](Self::identity).
+    identity: u64,
 }
 
 impl NamespaceTree {
     /// Creates a tree containing only the root directory.
     #[must_use]
     pub fn new() -> Self {
+        let mut symbols = SymbolTable::new();
+        let root_sym = symbols.intern("");
         NamespaceTree {
             nodes: vec![Node {
                 name: Box::from(""),
+                sym: root_sym,
                 kind: NodeKind::Directory,
                 parent: None,
-                children: BTreeMap::new(),
+                children: ChildMap::new(),
                 alive: true,
             }],
             live: 1,
+            symbols,
+            version: 0,
+            identity: fresh_tree_id(),
         }
     }
 
@@ -71,6 +96,29 @@ impl NamespaceTree {
     #[must_use]
     pub fn arena_size(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Monotonic mutation counter: bumped by every `create`, `rename`,
+    /// `move_subtree` and `remove_subtree`. Caches derived from the tree's
+    /// structure (e.g. the local index's nearest-owner memo) stay valid
+    /// exactly while this value is unchanged.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// A process-unique identity for this tree instance. Cloning produces
+    /// a tree with a fresh identity, so `(identity, version)` pairs never
+    /// collide across trees and are safe as cache stamps.
+    #[must_use]
+    pub fn identity(&self) -> u64 {
+        self.identity
+    }
+
+    /// The tree's name intern table.
+    #[must_use]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
     }
 
     /// Returns the node payload, or `None` if the id is out of range or the
@@ -97,6 +145,16 @@ impl NamespaceTree {
             .ok_or(TreeError::NodeNotFound(id))
     }
 
+    /// Looks up a child of `parent` by name.
+    ///
+    /// `None` if `parent` is not live, has no such child, or the name has
+    /// never been interned (then no node in the whole tree carries it).
+    #[must_use]
+    pub fn child_of(&self, parent: NodeId, name: &str) -> Option<NodeId> {
+        let sym = self.symbols.lookup(name)?;
+        self.node(parent)?.child_by_sym(sym)
+    }
+
     /// Creates a child of `parent` and returns its id.
     ///
     /// # Errors
@@ -118,21 +176,26 @@ impl NamespaceTree {
         if !p.kind.is_directory() {
             return Err(TreeError::NotADirectory(parent));
         }
-        if p.children.contains_key(name) {
-            return Err(TreeError::DuplicateName(name.to_owned()));
+        if let Some(sym) = self.symbols.lookup(name) {
+            if p.child_by_sym(sym).is_some() {
+                return Err(TreeError::DuplicateName(name.to_owned()));
+            }
         }
+        let sym = self.symbols.intern(name);
         let id = NodeId::from_index(self.nodes.len());
         self.nodes.push(Node {
             name: Box::from(name),
+            sym,
             kind,
             parent: Some(parent),
-            children: BTreeMap::new(),
+            children: ChildMap::new(),
             alive: true,
         });
         self.nodes[parent.index()]
             .children
-            .insert(Box::from(name), id);
+            .insert(sym, id, &self.symbols);
         self.live += 1;
+        self.version += 1;
         Ok(id)
     }
 
@@ -152,7 +215,8 @@ impl NamespaceTree {
         for (i, comp) in path.components().enumerate() {
             let last = i + 1 == n;
             let want = if last { kind } else { NodeKind::Directory };
-            match self.get(cur)?.child(comp) {
+            self.get(cur)?;
+            match self.child_of(cur, comp) {
                 Some(next) => {
                     let existing = self.get(next)?;
                     if last && existing.kind != want {
@@ -170,11 +234,45 @@ impl NamespaceTree {
     }
 
     /// Resolves an absolute path to a node id.
+    ///
+    /// Each component costs one intern-table probe (an FNV hash plus one
+    /// string verification) and a contiguous `u32` scan of the directory's
+    /// children — no per-level string comparisons and no allocation.
     #[must_use]
     pub fn resolve(&self, path: &NsPath) -> Option<NodeId> {
         let mut cur = self.root();
         for comp in path.components() {
-            cur = self.node(cur)?.child(comp)?;
+            let sym = self.symbols.lookup(comp)?;
+            cur = self.node(cur)?.child_by_sym(sym)?;
+        }
+        Some(cur)
+    }
+
+    /// Pre-interns every component of `path` against this tree's symbol
+    /// table, for repeat resolution via
+    /// [`resolve_syms`](Self::resolve_syms).
+    ///
+    /// `None` means some component names no symbol this tree has ever
+    /// seen, so the path cannot resolve. The returned symbols are only
+    /// meaningful against this tree (and trees cloned from it); they
+    /// stay valid across mutations because symbols are never reclaimed.
+    #[must_use]
+    pub fn intern_path(&self, path: &NsPath) -> Option<Vec<Sym>> {
+        path.components()
+            .map(|comp| self.symbols.lookup(comp))
+            .collect()
+    }
+
+    /// Resolves a pre-interned component sequence (see
+    /// [`intern_path`](Self::intern_path)): the hot-path form of
+    /// [`resolve`](Self::resolve) for paths looked up repeatedly. Each
+    /// component costs only the contiguous `u32` scan of the directory's
+    /// children — no hashing, no string comparisons, no allocation.
+    #[must_use]
+    pub fn resolve_syms(&self, syms: &[Sym]) -> Option<NodeId> {
+        let mut cur = self.root();
+        for &sym in syms {
+            cur = self.node(cur)?.child_by_sym(sym)?;
         }
         Some(cur)
     }
@@ -228,7 +326,9 @@ impl NamespaceTree {
     /// The node ids on the root-to-`id` path, inclusive of both ends.
     ///
     /// This is the chain a POSIX pathname traversal touches; the locality
-    /// metric counts server changes along it.
+    /// metric counts server changes along it. Allocates the chain — use
+    /// [`chain_up`](Self::chain_up) on hot paths where the walk direction
+    /// does not matter.
     ///
     /// # Panics
     ///
@@ -239,6 +339,15 @@ impl NamespaceTree {
         chain.reverse();
         chain.push(id);
         chain
+    }
+
+    /// Allocation-free walk of the same chain as
+    /// [`path_from_root`](Self::path_from_root), but upward: `id` first,
+    /// then its parent, up to the root. Direction-agnostic consumers
+    /// (nearest-owner search, jump counting) should prefer this.
+    #[must_use]
+    pub fn chain_up(&self, id: NodeId) -> ChainUp<'_> {
+        ChainUp::new(self, id)
     }
 
     /// Pre-order depth-first traversal of the subtree rooted at `id`,
@@ -273,17 +382,22 @@ impl NamespaceTree {
         }
         let node = self.get(id)?;
         let parent = node.parent.ok_or(TreeError::RootImmutable)?;
-        let old_name = node.name.clone();
-        if old_name.as_ref() == new_name {
+        let old_sym = node.sym;
+        if node.name.as_ref() == new_name {
             return Ok(());
         }
-        if self.get(parent)?.children.contains_key(new_name) {
+        if self.child_of(parent, new_name).is_some() {
             return Err(TreeError::DuplicateName(new_name.to_owned()));
         }
-        let pnode = self.get_mut(parent)?;
-        pnode.children.remove(&old_name);
-        pnode.children.insert(Box::from(new_name), id);
-        self.get_mut(id)?.name = Box::from(new_name);
+        let new_sym = self.symbols.intern(new_name);
+        self.nodes[parent.index()].children.remove(old_sym);
+        self.nodes[parent.index()]
+            .children
+            .insert(new_sym, id, &self.symbols);
+        let n = self.get_mut(id)?;
+        n.name = Box::from(new_name);
+        n.sym = new_sym;
+        self.version += 1;
         Ok(())
     }
 
@@ -300,7 +414,7 @@ impl NamespaceTree {
     pub fn move_subtree(&mut self, id: NodeId, new_parent: NodeId) -> Result<(), TreeError> {
         let node = self.get(id)?;
         let old_parent = node.parent.ok_or(TreeError::RootImmutable)?;
-        let name = node.name.clone();
+        let sym = node.sym;
         let dest = self.get(new_parent)?;
         if !dest.kind.is_directory() {
             return Err(TreeError::NotADirectory(new_parent));
@@ -314,12 +428,16 @@ impl NamespaceTree {
         if new_parent == old_parent {
             return Ok(());
         }
-        if dest.children.contains_key(&name) {
-            return Err(TreeError::DuplicateName(name.into_string()));
+        if dest.child_by_sym(sym).is_some() {
+            let name = self.symbols.resolve(sym).to_owned();
+            return Err(TreeError::DuplicateName(name));
         }
-        self.get_mut(old_parent)?.children.remove(&name);
-        self.get_mut(new_parent)?.children.insert(name, id);
+        self.get_mut(old_parent)?.children.remove(sym);
+        self.nodes[new_parent.index()]
+            .children
+            .insert(sym, id, &self.symbols);
         self.get_mut(id)?.parent = Some(new_parent);
+        self.version += 1;
         Ok(())
     }
 
@@ -336,14 +454,15 @@ impl NamespaceTree {
     pub fn remove_subtree(&mut self, id: NodeId) -> Result<usize, TreeError> {
         let node = self.get(id)?;
         let parent = node.parent.ok_or(TreeError::RootImmutable)?;
-        let name = node.name.clone();
+        let sym = node.sym;
         let victims: Vec<NodeId> = self.descendants(id).collect();
-        self.get_mut(parent)?.children.remove(&name);
+        self.get_mut(parent)?.children.remove(sym);
         for v in &victims {
             self.nodes[v.index()].alive = false;
             self.nodes[v.index()].children.clear();
         }
         self.live -= victims.len();
+        self.version += 1;
         Ok(victims.len())
     }
 
@@ -383,6 +502,20 @@ impl NamespaceTree {
     }
 }
 
+impl Clone for NamespaceTree {
+    fn clone(&self) -> Self {
+        NamespaceTree {
+            nodes: self.nodes.clone(),
+            live: self.live,
+            symbols: self.symbols.clone(),
+            version: self.version,
+            // A clone is a distinct tree: caches stamped with the source's
+            // identity must not be read against the copy.
+            identity: fresh_tree_id(),
+        }
+    }
+}
+
 impl Default for NamespaceTree {
     fn default() -> Self {
         Self::new()
@@ -408,6 +541,26 @@ mod tests {
         assert_eq!(p.to_string(), "/home/a/f.txt");
         assert_eq!(t.resolve(&p), Some(f));
         assert_eq!(t.resolve_str("/home/a/f.txt").unwrap(), f);
+    }
+
+    #[test]
+    fn preinterned_resolution_matches_resolve() {
+        let (mut t, _, a, f) = sample();
+        let p = t.path_of(f);
+        let syms = t.intern_path(&p).expect("every component is known");
+        assert_eq!(t.resolve_syms(&syms), Some(f));
+        // Unknown names cannot be interned against this tree.
+        assert_eq!(t.intern_path(&"/home/nope".parse().unwrap()), None);
+        // Symbols survive mutations elsewhere in the tree and keep
+        // tracking the renamed-away-and-back name.
+        let g = t.create(a, "g", NodeKind::File).unwrap();
+        assert_eq!(t.resolve_syms(&syms), Some(f));
+        t.remove_subtree(g).unwrap();
+        assert_eq!(t.resolve_syms(&syms), Some(f));
+        t.rename(f, "f2.txt").unwrap();
+        assert_eq!(t.resolve_syms(&syms), None, "old name no longer binds");
+        t.rename(f, "f.txt").unwrap();
+        assert_eq!(t.resolve_syms(&syms), Some(f));
     }
 
     #[test]
@@ -451,6 +604,24 @@ mod tests {
     }
 
     #[test]
+    fn chain_up_matches_path_from_root_reversed() {
+        let (t, _, _, f) = sample();
+        let mut down = t.path_from_root(f);
+        down.reverse();
+        let up: Vec<NodeId> = t.chain_up(f).collect();
+        assert_eq!(up, down);
+        // The root's chain is just itself.
+        assert_eq!(t.chain_up(t.root()).collect::<Vec<_>>(), vec![t.root()]);
+    }
+
+    #[test]
+    fn chain_up_of_dead_node_yields_only_the_node() {
+        let (mut t, _, a, f) = sample();
+        t.remove_subtree(a).unwrap();
+        assert_eq!(t.chain_up(f).collect::<Vec<_>>(), vec![f]);
+    }
+
+    #[test]
     fn descendants_preorder() {
         let (t, home, a, f) = sample();
         let desc: Vec<NodeId> = t.descendants(home).collect();
@@ -471,8 +642,10 @@ mod tests {
     #[test]
     fn rename_to_same_name_is_noop() {
         let (mut t, _, a, _) = sample();
+        let v = t.version();
         t.rename(a, "a").unwrap();
         assert!(t.resolve_str("/home/a").is_ok());
+        assert_eq!(t.version(), v, "no-op rename must not invalidate caches");
     }
 
     #[test]
@@ -526,5 +699,40 @@ mod tests {
         let c = t.clone();
         assert_eq!(c.resolve_str("/home/a/f.txt").unwrap(), f);
         assert_eq!(c.node_count(), t.node_count());
+    }
+
+    #[test]
+    fn clone_gets_a_fresh_identity() {
+        let (t, ..) = sample();
+        let c = t.clone();
+        assert_ne!(t.identity(), c.identity());
+        assert_eq!(t.version(), c.version());
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation_kind() {
+        let mut t = NamespaceTree::new();
+        assert_eq!(t.version(), 0);
+        let a = t.create(t.root(), "a", NodeKind::Directory).unwrap();
+        let v1 = t.version();
+        assert!(v1 > 0);
+        let b = t.create(t.root(), "b", NodeKind::Directory).unwrap();
+        t.rename(b, "c").unwrap();
+        let v2 = t.version();
+        assert!(v2 > v1);
+        t.move_subtree(b, a).unwrap();
+        let v3 = t.version();
+        assert!(v3 > v2);
+        t.remove_subtree(b).unwrap();
+        assert!(t.version() > v3);
+    }
+
+    #[test]
+    fn child_of_resolves_and_misses() {
+        let (t, home, a, _) = sample();
+        assert_eq!(t.child_of(t.root(), "home"), Some(home));
+        assert_eq!(t.child_of(home, "a"), Some(a));
+        assert_eq!(t.child_of(home, "zzz"), None);
+        assert_eq!(t.child_of(a, "never-interned"), None);
     }
 }

@@ -7,7 +7,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use d2tree_telemetry::trace::{span_names, Span, Tracer};
+use d2tree_telemetry::trace::{span_names, ArgKey, Span, Tracer};
 use d2tree_telemetry::{names, Counter, Histogram, MetricKey, Registry};
 
 use crate::record::{MdsRecord, MdsState};
@@ -279,7 +279,7 @@ impl MdsStore {
                 tr.record(
                     Span::root(ctx, span_names::WAL_APPEND, end.saturating_sub(dur), dur)
                         .on_mds(*mds)
-                        .with_arg("bytes", bytes as u64),
+                        .with_arg(ArgKey::Bytes, bytes as u64),
                 );
             }
         }
@@ -315,7 +315,7 @@ impl MdsStore {
                     tr.record(
                         Span::root(ctx, span_names::WAL_FSYNC, end.saturating_sub(dur), dur)
                             .on_mds(*mds)
-                            .with_arg("bytes", bytes),
+                            .with_arg(ArgKey::Bytes, bytes),
                     );
                 }
             }
@@ -764,7 +764,7 @@ mod tests {
         assert!(spans.iter().all(|s| s.mds == Some(5)));
         assert!(spans
             .iter()
-            .all(|s| s.args.iter().any(|&(k, v)| k == "bytes" && v > 0)));
+            .all(|s| s.args.iter().any(|&(k, v)| k == ArgKey::Bytes && v > 0)));
         fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -33,7 +33,7 @@ pub use journal::{Event, EventJournal, EventKind, FaultKind};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricKey, Registry, Snapshot,
 };
-pub use trace::{Sampler, Span, SpanCtx, SpanId, SpanSink, TraceId, Tracer};
+pub use trace::{ArgKey, Sampler, Span, SpanCtx, SpanId, SpanSink, TraceId, Tracer};
 
 /// Canonical metric names used across the workspace, so call sites,
 /// exporters and docs agree on spelling.

@@ -83,6 +83,159 @@ pub struct SpanCtx {
     pub span: SpanId,
 }
 
+/// Maximum numeric annotations per span. The widest emitter (the
+/// simulator's root `op` span) attaches four: target, kind, hops,
+/// locked.
+pub const MAX_SPAN_ARGS: usize = 4;
+
+/// Interned span-annotation key: the full closed set of labels any
+/// instrumented component attaches to a span.
+///
+/// One byte instead of a 16-byte `&'static str` keeps each stored
+/// `(key, value)` pair at 16 bytes and shrinks [`Span`] itself, which
+/// matters because recording cost at 100 % sampling is dominated by
+/// moving spans into the sink. Exports spell the label back out via
+/// [`ArgKey::name`], so JSON output and the trace digest are unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+#[repr(u8)]
+pub enum ArgKey {
+    /// Target node of an operation.
+    #[default]
+    Target,
+    /// Operation kind code (see `op_kind_code`).
+    Kind,
+    /// Extra hops taken after the first routing step.
+    Hops,
+    /// Whether the op hit a write-locked subtree (0/1).
+    Locked,
+    /// Bytes written or synced by the store.
+    Bytes,
+    /// Node id a hop or cache event refers to.
+    Node,
+    /// Retry spins before a request went through.
+    Spins,
+    /// MDS id a recovery event refers to.
+    Mds,
+    /// Subtrees claimed during failover.
+    Claimed,
+    /// Failures observed in one monitor sweep.
+    Failures,
+    /// Subtrees rehomed off a dead MDS.
+    Rehomed,
+    /// Subtree root involved in a migration.
+    Subtree,
+    /// Migration source MDS.
+    From,
+    /// Migration destination MDS.
+    To,
+    /// Whether the hop ended in an error (0/1).
+    Error,
+    /// Route taken by a request (code).
+    Route,
+    /// Outcome code of a request.
+    Outcome,
+    /// Response body kind (served/redirect/not-found code).
+    Body,
+}
+
+impl ArgKey {
+    /// The label this key prints as in exports and digests.
+    #[must_use]
+    pub const fn name(self) -> &'static str {
+        match self {
+            ArgKey::Target => "target",
+            ArgKey::Kind => "kind",
+            ArgKey::Hops => "hops",
+            ArgKey::Locked => "locked",
+            ArgKey::Bytes => "bytes",
+            ArgKey::Node => "node",
+            ArgKey::Spins => "spins",
+            ArgKey::Mds => "mds",
+            ArgKey::Claimed => "claimed",
+            ArgKey::Failures => "failures",
+            ArgKey::Rehomed => "rehomed",
+            ArgKey::Subtree => "subtree",
+            ArgKey::From => "from",
+            ArgKey::To => "to",
+            ArgKey::Error => "error",
+            ArgKey::Route => "route",
+            ArgKey::Outcome => "outcome",
+            ArgKey::Body => "body",
+        }
+    }
+}
+
+/// Inline, fixed-capacity annotation list: up to [`MAX_SPAN_ARGS`]
+/// `(ArgKey, u64)` pairs stored inside the span itself.
+///
+/// The previous `Vec`-backed representation heap-allocated per annotated
+/// span, which at 100 % sampling dominated tracing overhead (+57 % per
+/// op); this one makes span construction allocation-free. Pushing beyond
+/// capacity drops the extra pair (debug builds assert instead) — the
+/// digest and exports only ever see what was stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SpanArgs {
+    len: u8,
+    items: [(ArgKey, u64); MAX_SPAN_ARGS],
+}
+
+impl SpanArgs {
+    /// No annotations.
+    #[must_use]
+    pub fn new() -> Self {
+        SpanArgs {
+            len: 0,
+            items: [(ArgKey::Target, 0); MAX_SPAN_ARGS],
+        }
+    }
+
+    /// Appends an annotation; silently saturating at capacity (asserts
+    /// in debug builds, where a new call site exceeding the limit should
+    /// fail loudly).
+    pub fn push(&mut self, key: ArgKey, value: u64) {
+        debug_assert!(
+            (self.len as usize) < MAX_SPAN_ARGS,
+            "span carries more than {MAX_SPAN_ARGS} args"
+        );
+        if (self.len as usize) < MAX_SPAN_ARGS {
+            self.items[self.len as usize] = (key, value);
+            self.len += 1;
+        }
+    }
+
+    /// Number of stored annotations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no annotation is stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The annotations as a slice, in push order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(ArgKey, u64)] {
+        &self.items[..self.len as usize]
+    }
+
+    /// Iterates over the stored `(key, value)` pairs.
+    pub fn iter(&self) -> std::slice::Iter<'_, (ArgKey, u64)> {
+        self.as_slice().iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a SpanArgs {
+    type Item = &'a (ArgKey, u64);
+    type IntoIter = std::slice::Iter<'a, (ArgKey, u64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// One completed span: a named, timed interval attributed to a trace,
 /// optionally to an MDS, and optionally tagged with the fault that hit
 /// it.
@@ -105,11 +258,27 @@ pub struct Span {
     pub dur_us: u64,
     /// Fault that was injected into this hop, if any.
     pub fault: Option<FaultKind>,
-    /// Small numeric annotations (`("target", 42)`, `("hops", 2)`, …).
-    pub args: Vec<(&'static str, u64)>,
+    /// Small numeric annotations (`("target", 42)`, `("hops", 2)`, …),
+    /// stored inline — recording an annotated span never allocates.
+    pub args: SpanArgs,
 }
 
 impl Span {
+    /// An all-zero span used only to pre-fault sink buffers; never recorded.
+    pub(crate) fn placeholder() -> Self {
+        Span {
+            trace: TraceId(0),
+            id: SpanId(0),
+            parent: None,
+            name: "",
+            mds: None,
+            start_us: 0,
+            dur_us: 0,
+            fault: None,
+            args: SpanArgs::new(),
+        }
+    }
+
     /// A span inside an existing trace, parented on `ctx.span`.
     #[must_use]
     pub fn child(ctx: SpanCtx, id: SpanId, name: &'static str, start_us: u64, dur_us: u64) -> Self {
@@ -122,7 +291,7 @@ impl Span {
             start_us,
             dur_us,
             fault: None,
-            args: Vec::new(),
+            args: SpanArgs::new(),
         }
     }
 
@@ -138,7 +307,7 @@ impl Span {
             start_us,
             dur_us,
             fault: None,
-            args: Vec::new(),
+            args: SpanArgs::new(),
         }
     }
 
@@ -156,10 +325,10 @@ impl Span {
         self
     }
 
-    /// Adds a numeric annotation.
+    /// Adds a numeric annotation (at most [`MAX_SPAN_ARGS`] per span).
     #[must_use]
-    pub fn with_arg(mut self, key: &'static str, value: u64) -> Self {
-        self.args.push((key, value));
+    pub fn with_arg(mut self, key: ArgKey, value: u64) -> Self {
+        self.args.push(key, value);
         self
     }
 }
@@ -237,6 +406,15 @@ impl Sampler {
     }
 }
 
+/// Upper bound on how many span slots [`SpanSink::new`] preallocates.
+/// Larger capacities still work — the vector grows on demand — but the
+/// bound keeps a `1 << 20`-capacity sink from reserving hundreds of
+/// megabytes before a single span is recorded. Sized to hold a 100k-op
+/// replay at 100% sampling (~3 spans/op) without a single mid-run
+/// growth realloc, which would stall the recording fast path while
+/// tens of megabytes of spans are copied.
+const PREALLOC_SPAN_LIMIT: usize = 1 << 18;
+
 /// Bounded, lock-cheap span store.
 ///
 /// A single `Mutex<Vec<Span>>` is deliberately simple: spans are only
@@ -248,18 +426,33 @@ impl Sampler {
 pub struct SpanSink {
     spans: Mutex<Vec<Span>>,
     capacity: usize,
-    recorded: AtomicU64,
+    /// Spans removed by [`drain`](Self::drain) over the lifetime;
+    /// `recorded()` is this plus the current buffer length, so the
+    /// accept fast path touches no counter at all.
+    drained: AtomicU64,
     dropped: AtomicU64,
 }
 
 impl SpanSink {
     /// A sink holding at most `capacity` spans.
+    ///
+    /// The backing buffer is preallocated (bounded to keep huge-capacity
+    /// sinks from reserving hundreds of megabytes up front), so the
+    /// recording fast path never grows the vector for typical replays.
     #[must_use]
     pub fn new(capacity: usize) -> Self {
+        let prealloc = capacity.min(PREALLOC_SPAN_LIMIT);
+        let mut spans = Vec::with_capacity(prealloc);
+        // Pre-fault the whole buffer now: a freshly mapped allocation
+        // takes a page fault on every first-touched 4 KiB during
+        // recording, which dwarfs the push itself. Filling and clearing
+        // moves that cost here, out of the instrumented hot path.
+        spans.resize(prealloc, Span::placeholder());
+        spans.clear();
         SpanSink {
-            spans: Mutex::new(Vec::new()),
+            spans: Mutex::new(spans),
             capacity,
-            recorded: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
         }
     }
@@ -273,14 +466,24 @@ impl SpanSink {
             return;
         }
         spans.push(span);
-        drop(spans);
-        self.recorded.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Removes and returns all stored spans.
+    ///
+    /// Copies spans out with `Vec::drain` rather than `mem::take` (or
+    /// `split_off(0)`, which hands off the buffer too) so the sink keeps
+    /// its preallocated, already-faulted buffer for the next run.
     #[must_use]
     pub fn drain(&self) -> Vec<Span> {
-        std::mem::take(&mut *self.spans.lock().expect("span sink poisoned"))
+        let drained: Vec<Span> = self
+            .spans
+            .lock()
+            .expect("span sink poisoned")
+            .drain(..)
+            .collect();
+        self.drained
+            .fetch_add(drained.len() as u64, Ordering::Relaxed);
+        drained
     }
 
     /// Number of spans currently stored.
@@ -295,10 +498,11 @@ impl SpanSink {
         self.len() == 0
     }
 
-    /// Spans accepted over the sink's lifetime.
+    /// Spans accepted over the sink's lifetime (already-drained plus
+    /// currently buffered).
     #[must_use]
     pub fn recorded(&self) -> u64 {
-        self.recorded.load(Ordering::Relaxed)
+        self.drained.load(Ordering::Relaxed) + self.len() as u64
     }
 
     /// Spans shed because the sink was full.
@@ -454,7 +658,7 @@ pub fn chrome_trace_json(spans: &[Span]) -> String {
         }
         for (k, v) in &s.args {
             out.push_str(",\"");
-            push_json_escaped(&mut out, k);
+            push_json_escaped(&mut out, k.name());
             let _ = write!(out, "\":{v}");
         }
         out.push_str("}}");
@@ -491,7 +695,7 @@ pub fn digest(spans: &[Span]) -> u64 {
         eat(s.fault.map_or("", |f| f.label()).as_bytes());
         eat(&[0]);
         for (k, v) in &s.args {
-            eat(k.as_bytes());
+            eat(k.name().as_bytes());
             eat(&[0]);
             eat(&v.to_le_bytes());
         }
@@ -575,8 +779,8 @@ mod tests {
         let ctx = t.begin().unwrap();
         t.record(
             Span::root(ctx, span_names::OP, 10, 100)
-                .with_arg("target", 42)
-                .with_arg("hops", 2),
+                .with_arg(ArgKey::Target, 42)
+                .with_arg(ArgKey::Hops, 2),
         );
         let sctx = t.child(ctx);
         t.record(
@@ -604,7 +808,7 @@ mod tests {
             trace: TraceId(1),
             span: SpanId(1),
         };
-        let a = vec![Span::root(ctx, span_names::OP, 0, 5).with_arg("target", 1)];
+        let a = vec![Span::root(ctx, span_names::OP, 0, 5).with_arg(ArgKey::Target, 1)];
         let mut b = a.clone();
         assert_eq!(digest(&a), digest(&b));
         b[0].dur_us = 6;

@@ -1,0 +1,57 @@
+//! The parallel sweep harness must be a pure scheduling change: for any
+//! worker count, every DES cell is rebuilt from the same seed and the
+//! results are reassembled in index order, so the output is
+//! byte-identical to a serial run. This pins that contract for the
+//! seeds the figures ship with.
+
+use d2tree::baselines::paper_lineup;
+use d2tree::cluster::{SimConfig, Simulator};
+use d2tree_bench::{normalized_cluster, parallel_cells_with, Scale};
+use d2tree_workload::{TraceProfile, WorkloadBuilder};
+
+/// One figure-style cell: rebuild the scheme from scratch, replay the
+/// trace on the DES, and format the throughput exactly as `fig5` does.
+fn sweep_cells(seed: u64, workers: usize) -> Vec<String> {
+    let scale = Scale {
+        nodes: 600,
+        operations: 3_000,
+        seed,
+    };
+    let profile = TraceProfile::paper_presets().remove(0);
+    let workload = WorkloadBuilder::new(scale.apply(profile))
+        .seed(scale.seed)
+        .build();
+    let pop = workload.popularity();
+
+    let slots = paper_lineup(0.01, seed).len().min(2);
+    let ms = [5usize, 10];
+    let cells = parallel_cells_with(workers, slots * ms.len(), |i| {
+        let m_idx = i % ms.len();
+        let slot = i / ms.len();
+        let mut lineup = paper_lineup(0.01, seed);
+        let scheme = &mut lineup[slot];
+        let cluster = normalized_cluster(ms[m_idx], &pop);
+        scheme.build(&workload.tree, &pop, &cluster);
+        let sim = Simulator::new(SimConfig {
+            seed,
+            ..SimConfig::default()
+        });
+        let out = sim.replay(&workload.tree, &workload.trace, scheme.as_ref());
+        format!("{:.0}", out.throughput)
+    });
+    cells
+}
+
+#[test]
+fn parallel_sweep_is_byte_identical_to_serial() {
+    for seed in [1u64, 7, 42] {
+        let serial = sweep_cells(seed, 1);
+        for workers in [2usize, 4] {
+            let parallel = sweep_cells(seed, workers);
+            assert_eq!(
+                serial, parallel,
+                "seed {seed}: {workers}-worker sweep diverged from serial"
+            );
+        }
+    }
+}

@@ -229,3 +229,173 @@ mod io_roundtrip {
         }
     }
 }
+
+/// Equivalence properties for the interned hot path: `intern_path` +
+/// `resolve_syms` and the memoised `LocalIndex::locate` must agree with
+/// a naive string-walk reference model, before and after arbitrary
+/// rename / move / delete sequences (which exercise both symbol-table
+/// stability and memo invalidation).
+mod interned_hot_path {
+    use super::*;
+    use d2tree::core::LocalIndex;
+    use d2tree::metrics::MdsId;
+    use d2tree::namespace::NodeId;
+
+    /// Reference resolver: walks components by comparing name *strings*
+    /// against each child, independent of the symbol table and of the
+    /// child-map representation.
+    fn string_walk(tree: &NamespaceTree, path: &NsPath) -> Option<NodeId> {
+        let mut cur = tree.root();
+        for comp in path.components() {
+            cur = tree
+                .node(cur)?
+                .children()
+                .find_map(|(sym, child)| (tree.symbols().resolve(sym) == comp).then_some(child))?;
+        }
+        Some(cur)
+    }
+
+    /// Reference locate: first indexed node on the root→target chain
+    /// (i.e. the shallowest, per D2-Tree's nearest-indexed-ancestor
+    /// convention).
+    fn walk_locate(
+        tree: &NamespaceTree,
+        index: &LocalIndex,
+        target: NodeId,
+    ) -> Option<(NodeId, MdsId)> {
+        tree.path_from_root(target)
+            .into_iter()
+            .find_map(|id| index.owner_of(id).map(|owner| (id, owner)))
+    }
+
+    /// Asserts all three resolution routes agree for every live node,
+    /// and that `locate` (memoised) == `locate_uncached` == reference.
+    fn assert_equivalent(tree: &NamespaceTree, index: &LocalIndex) -> Result<(), TestCaseError> {
+        for (id, _) in tree.nodes() {
+            let path = tree.path_of(id);
+            prop_assert_eq!(tree.resolve(&path), Some(id));
+            prop_assert_eq!(string_walk(tree, &path), Some(id));
+            let syms = tree.intern_path(&path);
+            prop_assert!(syms.is_some(), "live path {} must intern", path);
+            prop_assert_eq!(tree.resolve_syms(&syms.unwrap()), Some(id));
+
+            let reference = walk_locate(tree, index, id);
+            prop_assert_eq!(index.locate(tree, id), reference);
+            prop_assert_eq!(index.locate_uncached(tree, id), reference);
+        }
+        Ok(())
+    }
+
+    fn build(paths: &[String]) -> NamespaceTree {
+        let mut builder = TreeBuilder::new();
+        for p in paths {
+            let _ = builder.file(p);
+        }
+        builder.build()
+    }
+
+    fn spread_index(tree: &NamespaceTree) -> LocalIndex {
+        let mut index = LocalIndex::new();
+        for (i, (id, _)) in tree.nodes().enumerate() {
+            // Index every third node so plenty of targets resolve via a
+            // strict ancestor and some via themselves.
+            if i % 3 == 0 {
+                index.insert(id, MdsId((i % 5) as u16));
+            }
+        }
+        index
+    }
+
+    proptest! {
+        #[test]
+        fn interned_resolution_matches_string_walk(paths in path_strategy()) {
+            let tree = build(&paths);
+            let index = spread_index(&tree);
+            assert_equivalent(&tree, &index)?;
+        }
+
+        #[test]
+        fn equivalence_survives_mutation_sequences(
+            paths in path_strategy(),
+            kinds in proptest::collection::vec(0u8..4, 12),
+            picks_a in proptest::collection::vec(any::<prop::sample::Index>(), 12),
+            picks_b in proptest::collection::vec(any::<prop::sample::Index>(), 12),
+        ) {
+            let mut tree = build(&paths);
+            let mut index = spread_index(&tree);
+            for ((&kind, a), b) in kinds.iter().zip(&picks_a).zip(&picks_b) {
+                let nodes: Vec<NodeId> = tree
+                    .nodes()
+                    .map(|(id, _)| id)
+                    .filter(|&id| id != tree.root())
+                    .collect();
+                if nodes.is_empty() {
+                    break;
+                }
+                let subject = nodes[a.index(nodes.len())];
+                match kind {
+                    0 => {
+                        // Rename to a name outside the generator alphabet
+                        // (collision-free), then keep it — later rounds
+                        // may rename it again.
+                        let fresh = format!("r{}", subject.index());
+                        let _ = tree.rename(subject, &fresh);
+                    }
+                    1 => {
+                        let dirs: Vec<NodeId> = tree
+                            .nodes()
+                            .filter(|(_, n)| n.kind().is_directory())
+                            .map(|(id, _)| id)
+                            .collect();
+                        let dest = dirs[b.index(dirs.len())];
+                        let _ = tree.move_subtree(subject, dest);
+                    }
+                    2 => {
+                        if tree.remove_subtree(subject).is_ok() {
+                            // Drop index entries whose nodes died, as the
+                            // owning MDS would.
+                            let dead: Vec<NodeId> = index
+                                .iter()
+                                .map(|(id, _)| id)
+                                .filter(|&id| !tree.contains(id))
+                                .collect();
+                            for id in dead {
+                                index.remove(id);
+                            }
+                        }
+                    }
+                    _ => {
+                        // Index churn: toggle the subject's entry.
+                        if index.owner_of(subject).is_some() {
+                            index.remove(subject);
+                        } else {
+                            index.insert(subject, MdsId((b.index(7)) as u16));
+                        }
+                    }
+                }
+                assert_equivalent(&tree, &index)?;
+            }
+        }
+
+        #[test]
+        fn stale_syms_track_renames(paths in path_strategy()) {
+            let mut tree = build(&paths);
+            let victim = match tree.nodes().map(|(id, _)| id).find(|&id| id != tree.root()) {
+                Some(v) => v,
+                None => return Ok(()),
+            };
+            let path = tree.path_of(victim);
+            let syms = tree.intern_path(&path).unwrap();
+            let old_name = tree.node(victim).unwrap().name().to_owned();
+            if tree.rename(victim, "zz_stale").is_ok() {
+                // The pre-rename symbol sequence no longer names a node…
+                prop_assert_eq!(tree.resolve_syms(&syms), None);
+                // …until the rename is undone, when it must work again
+                // (symbols are never reclaimed, so the Vec<Sym> is still
+                // valid).
+                tree.rename(victim, &old_name).unwrap();
+                prop_assert_eq!(tree.resolve_syms(&syms), Some(victim));
+            }
+        }
+    }
+}

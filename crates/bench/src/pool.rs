@@ -62,7 +62,9 @@ where
 {
     let threads = threads.max(1).min(n);
     if threads <= 1 {
-        return (0..n).map(f).collect();
+        let out = (0..n).map(f).collect();
+        d2tree_telemetry::flush_thread_local();
+        return out;
     }
 
     let next = AtomicUsize::new(0);
@@ -72,14 +74,22 @@ where
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(move || {
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    if tx.send((i, f(i))).is_err() {
+                        break;
+                    }
                 }
-                if tx.send((i, f(i))).is_err() {
-                    break;
-                }
+                // Cells may have traced spans into this worker's
+                // thread-local sink buffers. Hand them to their sinks
+                // before the scope joins, so every span a cell recorded
+                // is drainable the moment this function returns — at
+                // any thread count.
+                d2tree_telemetry::flush_thread_local();
             });
         }
         // The workers hold the only remaining senders; recv disconnects
@@ -130,5 +140,45 @@ mod tests {
     #[test]
     fn thread_count_is_at_least_one() {
         assert!(thread_count() >= 1);
+    }
+
+    #[test]
+    fn traced_cells_drain_identically_at_any_thread_count() {
+        use d2tree_telemetry::{
+            trace, ArgKey, Sampler, Span, SpanCtx, SpanId, SpanName, TraceId, Tracer,
+        };
+
+        let run = |threads: usize| {
+            let tracer = Tracer::new(Sampler::always(7));
+            let cells = parallel_cells_with(threads, 24, |i| {
+                // Ids derive from the cell index, not the tracer's
+                // shared counters, so the span set is a pure function
+                // of the grid regardless of which worker claims what.
+                let id = i as u64 + 1;
+                let ctx = SpanCtx {
+                    trace: TraceId(id),
+                    span: SpanId(id),
+                };
+                tracer
+                    .record(Span::root(ctx, SpanName::Op, id * 10, 3).with_arg(ArgKey::Target, id));
+                i
+            });
+            assert_eq!(cells, (0..24).collect::<Vec<_>>());
+            // Workers flushed their thread-local buffers before the
+            // scope joined, so nothing recorded is still in flight.
+            assert_eq!(tracer.sink().recorded(), 24, "threads = {threads}");
+            assert_eq!(tracer.sink().len(), 24, "threads = {threads}");
+            let mut spans = tracer.drain();
+            assert_eq!(tracer.sink().dropped(), 0, "threads = {threads}");
+            // Segment order follows flush order, which is scheduling-
+            // dependent; the span *set* must not be.
+            spans.sort_by_key(|s| (s.trace.0, s.id.0, s.start_us));
+            trace::digest(&spans)
+        };
+
+        let reference = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), reference, "threads = {threads}");
+        }
     }
 }

@@ -29,7 +29,10 @@ use rand::{Rng, SeedableRng};
 use d2tree_core::LocalIndex;
 
 use d2tree_telemetry::trace::{span_names, ArgKey, Span, SpanCtx, SpanId, TraceId, Tracer};
-use d2tree_telemetry::{names, Counter, Event, EventKind, FaultKind, MetricKey, Registry};
+use d2tree_telemetry::{
+    names, Counter, Event, EventKind, FaultKind, FlightRecorder, HealthTick, MetricKey, Registry,
+    TickSample,
+};
 
 use crate::client::{CacheStats, ClientCache, RetryPolicy, RouteDecision};
 use crate::fault::{FaultDecision, FaultInjector, FaultPlan, NetEdge};
@@ -67,6 +70,11 @@ pub struct LiveConfig {
     /// monitor decisions, WAL I/O) records spans into; `None` disables
     /// tracing, leaving one branch per potential span on the hot path.
     pub tracer: Option<Arc<Tracer>>,
+    /// Flight-recorder ring capacity; `Some(n)` makes the Monitor sample
+    /// one [`HealthTick`] per heartbeat interval (balance from live
+    /// subtree counters, op/forward/migration deltas, WAL fsync p99),
+    /// keeping the newest `n`. `None` disables health recording.
+    pub recorder_capacity: Option<usize>,
 }
 
 impl LiveConfig {
@@ -74,6 +82,14 @@ impl LiveConfig {
     #[must_use]
     pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Enables the Monitor's flight recorder with room for `capacity`
+    /// health ticks.
+    #[must_use]
+    pub fn with_recorder(mut self, capacity: usize) -> Self {
+        self.recorder_capacity = Some(capacity);
         self
     }
 }
@@ -90,6 +106,7 @@ impl Default for LiveConfig {
             store_root: None,
             store: StoreConfig::default(),
             tracer: None,
+            recorder_capacity: None,
         }
     }
 }
@@ -142,6 +159,9 @@ struct Shared {
     stores: Vec<Mutex<Option<MdsStore>>>,
     /// Tracer shared by every component, `None` when tracing is off.
     tracer: Option<Arc<Tracer>>,
+    /// Monitor-sampled health trajectory, `None` when recording is off.
+    /// Locked once per heartbeat interval by the Monitor and on reads.
+    recorder: Option<Mutex<FlightRecorder>>,
 }
 
 impl Shared {
@@ -384,6 +404,9 @@ impl LiveCluster {
             faults,
             stores,
             tracer: config.tracer.clone(),
+            recorder: config
+                .recorder_capacity
+                .map(|c| Mutex::new(FlightRecorder::new(c))),
         });
 
         let (hb_tx, hb_rx) = unbounded::<Heartbeat>();
@@ -785,6 +808,18 @@ impl LiveCluster {
         &self.shared.registry
     }
 
+    /// The Monitor's health trajectory so far, oldest tick first — empty
+    /// unless the cluster was started with
+    /// [`LiveConfig::with_recorder`]. Safe to call while running; the
+    /// recorder is locked only for the copy.
+    #[must_use]
+    pub fn health_ticks(&self) -> Vec<HealthTick> {
+        self.shared
+            .recorder
+            .as_ref()
+            .map_or_else(Vec::new, |r| r.lock().ticks().cloned().collect())
+    }
+
     /// The attribute version server `mds` holds for `node` — used to
     /// verify replica convergence after global-layer updates.
     #[must_use]
@@ -1122,7 +1157,12 @@ fn monitor_main(
     let rejoin_latency = shared
         .registry
         .histogram(MetricKey::global(names::REJOIN_FIRST_CLAIM_MS));
-    let tick = Duration::from_millis(config.heartbeat_interval_ms.max(1));
+    let health_ticks_total = shared
+        .registry
+        .counter(MetricKey::global(names::HEALTH_TICKS_TOTAL));
+    let tick_ms = config.heartbeat_interval_ms.max(1);
+    let mut next_sample_ms = 0u64;
+    let tick = Duration::from_millis(tick_ms);
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -1169,6 +1209,37 @@ fn monitor_main(
         }
         let now = shared.now_ms();
         live_rebalance(shared, &mon, m, now);
+        // Fixed-interval health sampling: one tick per heartbeat
+        // interval, no matter how bursty the heartbeat traffic is.
+        if let Some(rec) = &shared.recorder {
+            if now >= next_sample_ms {
+                next_sample_ms = now + tick_ms;
+                let loads = per_server_load(shared, m);
+                let total: f64 = loads.iter().sum();
+                #[allow(clippy::cast_precision_loss)]
+                let spec = ClusterSpec::homogeneous(m, (total / m as f64).max(f64::MIN_POSITIVE));
+                rec.lock().sample(
+                    TickSample {
+                        t_us: shared.registry.uptime_us(),
+                        // Live locality needs a namespace popularity
+                        // model the data plane does not maintain; NaN
+                        // marks it unknown (exported as null).
+                        locality: f64::NAN,
+                        balance: d2tree_metrics::balance(&loads, &spec),
+                        ops_total: shared
+                            .served
+                            .iter()
+                            .map(|s| s.load(Ordering::Relaxed))
+                            .sum(),
+                        retries_total: shared.redirects.load(Ordering::Relaxed),
+                        migrations_total: shared.migrations.load(Ordering::Relaxed),
+                        loads,
+                    },
+                    Some(&shared.registry),
+                );
+                health_ticks_total.inc();
+            }
+        }
         let detect_t0 = shared.tracer().map(Tracer::now_us);
         let failures = mon.detect_failures(now);
         if !failures.is_empty() {
@@ -1378,6 +1449,25 @@ fn rejoin_claims(shared: &Shared, mon: &mut Monitor, m: usize, back: MdsId, now:
 /// by the configured factor, its hottest subtree migrates — placement and
 /// published index are rewritten so subsequent (re-)fetched client caches
 /// route to the new owner.
+/// Recent local-layer load per server: the decayed subtree access
+/// counters summed by current owner (the same quantity live rebalancing
+/// triggers on). Snapshot-then-read lock order matches
+/// [`live_rebalance`].
+fn per_server_load(shared: &Shared, m: usize) -> Vec<f64> {
+    let counts_snapshot: Vec<(NodeId, f64)> = {
+        let counts = shared.subtree_counts.read();
+        counts.iter().map(|(&k, &v)| (k, v)).collect()
+    };
+    let placement = shared.placement.read();
+    let mut per_server = vec![0.0f64; m];
+    for &(root, c) in &counts_snapshot {
+        if let Some(owner) = placement.assignment(root).owner() {
+            per_server[owner.index()] += c;
+        }
+    }
+    per_server
+}
+
 fn live_rebalance(shared: &Shared, mon: &Monitor, m: usize, now: u64) {
     if !shared.rebalance_factor.is_finite() {
         return;
@@ -1920,6 +2010,53 @@ mod tests {
             let parent = l.parent.expect("lock spans have a parent");
             assert!(serve_ids.contains(&parent.0), "lock nests under a serve");
         }
+    }
+
+    #[test]
+    fn monitor_records_health_ticks_while_serving() {
+        let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(500).with_operations(400))
+            .seed(13)
+            .build();
+        let pop = w.popularity();
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(3, 1.0));
+        let placement = scheme.placement().clone();
+        let index = scheme.local_index().clone();
+        let tree = Arc::new(w.tree);
+        let config = LiveConfig::default().with_recorder(64);
+        let cluster = LiveCluster::start_with_index(Arc::clone(&tree), placement, index, config);
+        let mut client = cluster.client(5);
+        for op in w.trace.iter().take(200) {
+            client.execute(*op).expect("op served");
+        }
+        // Give the Monitor at least a couple of heartbeat intervals to
+        // sample after the load landed.
+        std::thread::sleep(Duration::from_millis(120));
+        let ticks = cluster.health_ticks();
+        assert!(!ticks.is_empty(), "monitor sampled no health ticks");
+        assert!(
+            ticks.windows(2).all(|w| w[0].tick + 1 == w[1].tick),
+            "tick numbering is contiguous"
+        );
+        assert!(
+            ticks.iter().all(|t| t.locality.is_nan()),
+            "live layer has no popularity model; locality must be NaN"
+        );
+        let served_so_far: u64 = ticks.iter().map(|t| t.ops).sum();
+        assert!(served_so_far <= 200, "deltas cannot exceed ops issued");
+        let last = ticks.last().expect("non-empty");
+        assert!(last.balance > 0.0, "balance is a positive Def. 5 score");
+        assert_eq!(last.loads.len(), 3, "one load lane per MDS");
+        assert!(
+            cluster
+                .registry()
+                .snapshot()
+                .counters
+                .iter()
+                .any(|(k, v)| k.name == names::HEALTH_TICKS_TOTAL && *v > 0),
+            "health tick counter advances"
+        );
+        let _ = cluster.shutdown();
     }
 
     #[test]

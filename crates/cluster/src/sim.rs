@@ -506,6 +506,36 @@ impl Simulator {
         rounds: usize,
         decay: f64,
     ) -> RebalancedReplay {
+        self.replay_with_rebalance_recorded(tree, trace, scheme, cluster, rounds, decay, None)
+    }
+
+    /// [`replay_with_rebalance`](Self::replay_with_rebalance), but with
+    /// an optional flight recorder sampled once per round: each tick
+    /// carries that round's Def. 5 balance (from served ops), the Def. 3
+    /// locality of the placement *after* the round's adjustment (the
+    /// trajectory shows the rebalancer catching up to drift), cumulative
+    /// op/hop/migration counts, and — when a registry is attached —
+    /// fault and WAL signals.
+    ///
+    /// # Panics
+    ///
+    /// As for [`replay_with_rebalance`](Self::replay_with_rebalance).
+    #[allow(
+        clippy::too_many_arguments,
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    pub fn replay_with_rebalance_recorded(
+        &self,
+        tree: &NamespaceTree,
+        trace: &Trace,
+        scheme: &mut dyn Partitioner,
+        cluster: &d2tree_metrics::ClusterSpec,
+        rounds: usize,
+        decay: f64,
+        mut recorder: Option<&mut d2tree_telemetry::FlightRecorder>,
+    ) -> RebalancedReplay {
         assert!(rounds > 0, "need at least one round");
         assert!(trace.len() >= rounds, "need at least one op per round");
         let chunk = trace.len() / rounds;
@@ -513,6 +543,9 @@ impl Simulator {
         let mut balance_per_round = Vec::with_capacity(rounds);
         let mut migrations_per_round = Vec::with_capacity(rounds);
         let mut merged: Option<ReplayOutcome> = None;
+        // Cumulative inputs for the flight recorder; it differences them
+        // into per-tick deltas itself.
+        let (mut cum_ops, mut cum_hops, mut cum_migs, mut cum_secs) = (0u64, 0u64, 0u64, 0f64);
 
         for r in 0..rounds {
             let start = r * chunk;
@@ -539,6 +572,29 @@ impl Simulator {
             }
             pop.rollup(tree);
             migrations_per_round.push(scheme.rebalance(tree, &pop, cluster).len());
+
+            if let Some(rec) = recorder.as_deref_mut() {
+                cum_ops += out.completed as u64;
+                cum_hops += out.total_hops;
+                cum_migs += *migrations_per_round.last().expect("just pushed") as u64;
+                cum_secs += out.sim_seconds;
+                rec.sample(
+                    d2tree_telemetry::TickSample {
+                        t_us: (cum_secs * 1e6) as u64,
+                        locality: scheme.locality(tree, &pop).locality,
+                        balance: *balance_per_round.last().expect("just pushed"),
+                        ops_total: cum_ops,
+                        retries_total: cum_hops,
+                        migrations_total: cum_migs,
+                        loads: out.served_ops.iter().map(|&s| s as f64).collect(),
+                    },
+                    self.registry.as_deref(),
+                );
+                if let Some(r) = &self.registry {
+                    r.counter(MetricKey::global(names::HEALTH_TICKS_TOTAL))
+                        .inc();
+                }
+            }
 
             merged = Some(match merged.take() {
                 None => out,
@@ -1340,6 +1396,56 @@ mod tests {
         for b in &out.balance_per_round {
             assert!(*b > 0.0);
         }
+    }
+
+    #[test]
+    fn recorded_replay_ticks_once_per_round_and_matches_trajectories() {
+        let (w, pop) = workload(6_000);
+        let cluster = ClusterSpec::homogeneous(4, pop.sum_individual() / 4.0);
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &cluster);
+        let registry = Arc::new(Registry::new());
+        let mut rec = d2tree_telemetry::FlightRecorder::new(16);
+        let out = sim(32)
+            .with_registry(Arc::clone(&registry))
+            .replay_with_rebalance_recorded(
+                &w.tree,
+                &w.trace,
+                &mut scheme,
+                &cluster,
+                5,
+                0.5,
+                Some(&mut rec),
+            );
+        assert_eq!(rec.len(), 5, "one tick per round");
+        let ticks: Vec<_> = rec.ticks().cloned().collect();
+        // The recorder's balance trajectory is exactly the replay's.
+        for (tick, b) in ticks.iter().zip(&out.balance_per_round) {
+            assert!((tick.balance - b).abs() < 1e-12);
+        }
+        for (tick, m) in ticks.iter().zip(&out.migrations_per_round) {
+            assert_eq!(tick.migrations, *m as u64);
+        }
+        assert_eq!(ticks.iter().map(|t| t.ops).sum::<u64>(), 6_000);
+        assert!(ticks
+            .iter()
+            .all(|t| t.locality.is_finite() && t.locality > 0.0));
+        assert!(
+            ticks.windows(2).all(|w| w[0].t_us < w[1].t_us),
+            "virtual time advances"
+        );
+        assert_eq!(
+            registry
+                .counter(MetricKey::global(names::HEALTH_TICKS_TOTAL))
+                .get(),
+            5
+        );
+        // Same seed, no recorder: outcome identical (recording is passive).
+        let mut scheme2 = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme2.build(&w.tree, &pop, &cluster);
+        let out2 = sim(32).replay_with_rebalance(&w.tree, &w.trace, &mut scheme2, &cluster, 5, 0.5);
+        assert_eq!(out.balance_per_round, out2.balance_per_round);
+        assert_eq!(out.overall.completed, out2.overall.completed);
     }
 
     #[test]

@@ -1,0 +1,84 @@
+//! Micro-benchmark for span recording paths (dev tool).
+//!
+//! Run with `cargo run --release -p d2tree-telemetry --example sinkbench`.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+use d2tree_telemetry::trace::{span_names, PackedSpans, Span, SpanCtx, SpanId, TraceId};
+use d2tree_telemetry::{ArgKey, SpanSink};
+
+fn mkspan(i: u64) -> Span {
+    let ctx = SpanCtx {
+        trace: TraceId(i / 3 + 1),
+        span: SpanId(i + 1),
+    };
+    Span::root(ctx, span_names::OP, i * 7, 5)
+        .on_mds((i % 8) as u16)
+        .with_arg(ArgKey::Target, i % 4000)
+        .with_arg(ArgKey::Kind, i % 3)
+        .with_arg(ArgKey::Hops, 0)
+        .with_arg(ArgKey::Locked, 0)
+}
+
+fn main() {
+    const N: u64 = 200_000;
+
+    // 1. Span construction alone.
+    let t0 = Instant::now();
+    let mut acc = 0u64;
+    for i in 0..N {
+        let s = mkspan(i);
+        acc = acc.wrapping_add(s.start_us);
+    }
+    let construct = t0.elapsed();
+    println!(
+        "construct only:      {:6.1} ns/span (acc {acc})",
+        construct.as_nanos() as f64 / N as f64
+    );
+
+    // 2. PackedSpans::push directly (no TLS, no atomics).
+    let mut packed = PackedSpans::new();
+    let t0 = Instant::now();
+    for i in 0..N {
+        let s = mkspan(i);
+        packed.push(&s);
+    }
+    let enc = t0.elapsed();
+    println!(
+        "construct + encode:  {:6.1} ns/span ({} spans, {} bytes)",
+        enc.as_nanos() as f64 / N as f64,
+        packed.len(),
+        packed.byte_len()
+    );
+
+    // 3. Old-style mutexed Vec<Span> push.
+    let sink = Mutex::new(Vec::with_capacity(N as usize));
+    let t0 = Instant::now();
+    for i in 0..N {
+        let s = mkspan(i);
+        sink.lock().unwrap().push(s);
+    }
+    let old = t0.elapsed();
+    println!(
+        "construct + mutex:   {:6.1} ns/span ({} spans)",
+        old.as_nanos() as f64 / N as f64,
+        sink.lock().unwrap().len()
+    );
+
+    // 4. Full SpanSink::push (atomic + TLS + encode).
+    let sink = SpanSink::new(4 << 20);
+    let t0 = Instant::now();
+    for i in 0..N {
+        let s = mkspan(i);
+        sink.push(s);
+    }
+    let full = t0.elapsed();
+    println!(
+        "construct + sink:    {:6.1} ns/span ({} held)",
+        full.as_nanos() as f64 / N as f64,
+        sink.len()
+    );
+    let spans = sink.drain();
+    println!("drained {}", spans.len());
+}

@@ -350,6 +350,63 @@ mod tests {
     }
 
     #[test]
+    fn registered_export_names_are_stable() {
+        // The exported metric vocabulary is an external interface:
+        // dashboards, the health CLI and the CI gates all key on these
+        // exact strings. Renaming one must fail here first.
+        const EXPECTED: &[&str] = &[
+            "route_extra_hops",
+            "lock_busy_ns",
+            "client_cache_hits",
+            "client_cache_misses",
+            "forwarded_total",
+            "migrations_total",
+            "mds_failures_total",
+            "faults_dropped_total",
+            "faults_delayed_total",
+            "faults_duplicated_total",
+            "faults_storage_total",
+            "rejoins_total",
+            "wal_bytes_total",
+            "wal_records_total",
+            "snapshots_total",
+            "gl_delta_sync_entries_total",
+            "trace_spans_recorded_total",
+            "trace_spans_dropped_total",
+            "health_ticks_total",
+            "health_violations_total",
+            "op_latency_us",
+            "op_latency_us_read",
+            "op_latency_us_write",
+            "op_latency_us_update",
+            "rejoin_first_claim_ms",
+            "wal_append_us",
+            "wal_fsync_us",
+            "recovery_ms",
+        ];
+
+        let r = Registry::new();
+        names::register_all(&r);
+        let snap = r.snapshot();
+        // Every canonical name is pre-registered: exports carry the
+        // full vocabulary as zero-valued series even on a run that
+        // never touches a code path.
+        assert_eq!(snap.counters.len() + snap.histograms.len(), EXPECTED.len());
+        let prom = super::prometheus_text(&snap);
+        let json = super::json(&snap);
+        for name in EXPECTED {
+            assert!(
+                prom.contains(&format!("d2tree_{name}")),
+                "{name} missing from Prometheus export"
+            );
+            assert!(
+                json.contains(&format!("\"name\":\"{name}\"")),
+                "{name} missing from JSON export"
+            );
+        }
+    }
+
+    #[test]
     fn json_is_structurally_sound() {
         let doc = super::json(&sample_registry().snapshot());
         assert!(doc.starts_with('{') && doc.ends_with('}'), "{doc}");

@@ -27,13 +27,17 @@ mod journal;
 mod metrics;
 
 pub mod export;
+pub mod recorder;
+pub mod sink;
 pub mod trace;
 
 pub use journal::{Event, EventJournal, EventKind, FaultKind};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, LocalHistogram, MetricKey, Registry, Snapshot,
 };
-pub use trace::{ArgKey, Sampler, Span, SpanCtx, SpanId, SpanSink, TraceId, Tracer};
+pub use recorder::{FlightRecorder, HealthRules, HealthTick, TickSample, Violation};
+pub use sink::{flush_thread_local, PackedSpans, SinkRegistry, SpanSink};
+pub use trace::{ArgKey, Sampler, Span, SpanArgs, SpanCtx, SpanId, SpanName, TraceId, Tracer};
 
 /// Canonical metric names used across the workspace, so call sites,
 /// exporters and docs agree on spelling.
@@ -100,6 +104,10 @@ pub mod names {
     pub const TRACE_SPANS_RECORDED: &str = "trace_spans_recorded_total";
     /// Spans shed because the trace sink was full.
     pub const TRACE_SPANS_DROPPED: &str = "trace_spans_dropped_total";
+    /// Flight-recorder health ticks sampled.
+    pub const HEALTH_TICKS_TOTAL: &str = "health_ticks_total";
+    /// Health-rule violations observed across checked trajectories.
+    pub const HEALTH_VIOLATIONS_TOTAL: &str = "health_violations_total";
 
     /// Pre-registers every globally-scoped metric on `registry` so
     /// exported metric sets are identical regardless of which code
@@ -127,6 +135,8 @@ pub mod names {
             GL_DELTA_SYNC_ENTRIES,
             TRACE_SPANS_RECORDED,
             TRACE_SPANS_DROPPED,
+            HEALTH_TICKS_TOTAL,
+            HEALTH_VIOLATIONS_TOTAL,
         ];
         const HISTOGRAMS: &[&str] = &[
             OP_LATENCY_US,

@@ -1,0 +1,824 @@
+//! Sharded span storage: thread-local packed buffers behind the
+//! [`SpanSink`] façade.
+//!
+//! The previous sink was one `Mutex<Vec<Span>>`. Correct, but every
+//! recorded span paid the lock plus a 144-byte memcpy, which ROADMAP
+//! tracked as the ~+36 %/op ceiling at 100 % sampling. This module
+//! removes both costs from the hot path:
+//!
+//! * **Thread-local shards.** Each recording thread encodes spans into
+//!   its own buffer, found through a thread-local table keyed by sink
+//!   id — no lock, no sharing. Full buffers are *sealed*: moved, as a
+//!   unit, into the sink's central [`SinkRegistry`], so the registry
+//!   mutex is taken once per 1024 spans instead of once per span.
+//! * **Packed records.** Buffers store spans in a delta encoding
+//!   ([`PackedSpans`]) at 44 bytes per narrow record instead of the
+//!   104-byte [`Span`]: interned one-byte name and arg keys, `u32`
+//!   deltas for ids and timestamps. Encoding eagerly, at record time,
+//!   keeps the per-span memory traffic at 44 bytes — staging raw spans
+//!   and packing at seal time measures strictly worse, since it writes
+//!   104 bytes per span and re-reads them cache-cold. The encoding is
+//!   lossless — [`PackedSpans::decode`] reconstructs the exact [`Span`]
+//!   values — so the Chrome export and the FNV digest downstream are
+//!   byte-identical to the unsharded sink's.
+//!
+//! Draining decodes every sealed segment in seal order. A
+//! single-threaded producer (the simulator, the trace bench) therefore
+//! sees spans come back in exact push order, which is what keeps
+//! same-seed digests stable. Multi-threaded producers interleave at
+//! segment granularity; their cross-thread order was never
+//! deterministic and still is not.
+//!
+//! Buffers left unsealed when a thread exits are flushed by the
+//! thread-local destructor; worker pools that want the flush at a
+//! deterministic point (before results are observed, not at thread
+//! teardown) call [`flush_thread_local`] as their scope ends.
+
+use std::cell::RefCell;
+use std::mem;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, Weak};
+
+use crate::journal::FaultKind;
+use crate::trace::{ArgKey, Span, SpanId, SpanName, TraceId};
+
+/// Seal a thread-local buffer into the central registry once it holds
+/// this many spans (~45 KiB of narrow records).
+const SEAL_SPANS: usize = 1024;
+
+/// Capacity-admission tokens a thread reserves from its sink at a time,
+/// so the hot path decrements a thread-local counter instead of hitting
+/// the shared occupancy atomic per span.
+const QUOTA_BATCH: u64 = 1024;
+
+/// Upper bound on recycled segment buffers kept in the global pool
+/// (each holds [`SEAL_SPANS`] records, ~45 KiB).
+const POOL_SEGMENTS: usize = 64;
+
+/// Encodes `b` as a 32-bit signed delta against `a`, or `None` if the
+/// difference does not fit (`wide` record territory). The hot path in
+/// [`PackedSpans::push`] inlines the same rule branch-free; this
+/// reference form exists for the tests that pin the two together.
+#[cfg(test)]
+#[allow(
+    clippy::cast_possible_truncation,
+    clippy::cast_possible_wrap,
+    clippy::cast_sign_loss
+)]
+#[inline]
+fn narrow(a: u64, b: u64) -> Option<u32> {
+    let d = b.wrapping_sub(a) as i64;
+    let t = d as i32;
+    (i64::from(t) == d).then_some(t as u32)
+}
+
+/// The inverse of [`narrow`]: sign-extends the delta back onto `a`.
+#[allow(clippy::cast_possible_wrap, clippy::cast_sign_loss)]
+#[inline]
+fn widen(a: u64, d: u32) -> u64 {
+    a.wrapping_add(i64::from(d as i32) as u64)
+}
+
+#[cfg(test)]
+fn fits_u32(v: u64) -> Option<u32> {
+    u32::try_from(v).ok()
+}
+
+fn fault_code(f: Option<FaultKind>) -> u8 {
+    match f {
+        None => 0,
+        Some(FaultKind::Drop) => 1,
+        Some(FaultKind::Delay) => 2,
+        Some(FaultKind::Duplicate) => 3,
+        Some(FaultKind::Reorder) => 4,
+        Some(FaultKind::TornWrite) => 5,
+        Some(FaultKind::PartialFsync) => 6,
+        Some(FaultKind::CorruptRecord) => 7,
+    }
+}
+
+fn fault_from_code(code: u8) -> Option<FaultKind> {
+    match code {
+        1 => Some(FaultKind::Drop),
+        2 => Some(FaultKind::Delay),
+        3 => Some(FaultKind::Duplicate),
+        4 => Some(FaultKind::Reorder),
+        5 => Some(FaultKind::TornWrite),
+        6 => Some(FaultKind::PartialFsync),
+        7 => Some(FaultKind::CorruptRecord),
+        _ => None,
+    }
+}
+
+/// Marker in [`PackedSpan::name`] for a record stored verbatim in the
+/// wide side table (a field delta did not fit 32 bits).
+const WIDE_NAME: u8 = 0xff;
+
+/// One span in compact fixed-width form: interned one-byte name and arg
+/// keys, `u32` deltas for ids and timestamps (against the previous span
+/// in the batch; the parent against the span's own id), `u32` argument
+/// values. 44 bytes instead of the 144-byte [`Span`].
+#[derive(Debug, Clone, Copy, Default)]
+struct PackedSpan {
+    /// [`SpanName`] code, or [`WIDE_NAME`].
+    name: u8,
+    /// Bit 0 parent present, bit 1 MDS present, bits 2–4 fault code,
+    /// bits 5–7 arg count.
+    flags: u8,
+    mds: u16,
+    /// Trace-id delta — or, for a wide record, the side-table index.
+    trace_d: u32,
+    id_d: u32,
+    parent_d: u32,
+    start_d: u32,
+    dur: u32,
+    arg_keys: [u8; crate::trace::MAX_SPAN_ARGS],
+    arg_vals: [u32; crate::trace::MAX_SPAN_ARGS],
+}
+
+/// A batch of spans in a compact, lossless form.
+///
+/// The common case packs into the fixed 44-byte [`PackedSpan`]; the
+/// rare span whose deltas or argument values overflow 32 bits is kept
+/// verbatim in a side table and referenced by index, so the encoding
+/// loses nothing: [`PackedSpans::decode`] reproduces the exact pushed
+/// [`Span`] values and digests/exports computed from a decoded batch
+/// match the unpacked original byte for byte.
+#[derive(Debug, Default)]
+pub struct PackedSpans {
+    records: Vec<PackedSpan>,
+    /// Spans that did not fit the narrow record, verbatim.
+    wide: Vec<Span>,
+    prev_trace: u64,
+    prev_id: u64,
+    prev_start: u64,
+}
+
+/// Recycled, already-faulted segment buffers. Freshly mapped pages cost
+/// a minor fault per 4 KiB on first touch, which lands in the recording
+/// hot path; recycling drained segments moves that cost to the first
+/// run, the way the old sink's pre-faulted buffer did at creation.
+static SEGMENT_POOL: Mutex<Vec<Vec<PackedSpan>>> = Mutex::new(Vec::new());
+
+fn pooled_records() -> Vec<PackedSpan> {
+    let recycled = SEGMENT_POOL.lock().ok().and_then(|mut p| p.pop());
+    recycled.unwrap_or_else(|| {
+        let mut v = Vec::with_capacity(SEAL_SPANS);
+        // Touch every page now, outside the per-span path.
+        v.resize(SEAL_SPANS, PackedSpan::default());
+        v.clear();
+        v
+    })
+}
+
+fn recycle_records(mut v: Vec<PackedSpan>) {
+    v.clear();
+    if v.capacity() >= SEAL_SPANS {
+        if let Ok(mut pool) = SEGMENT_POOL.lock() {
+            if pool.len() < POOL_SEGMENTS {
+                pool.push(v);
+            }
+        }
+    }
+}
+
+impl PackedSpans {
+    /// An empty batch.
+    #[must_use]
+    pub fn new() -> Self {
+        PackedSpans::default()
+    }
+
+    /// A batch backed by a recycled (pre-faulted) segment buffer.
+    fn pooled() -> Self {
+        PackedSpans {
+            records: pooled_records(),
+            ..PackedSpans::default()
+        }
+    }
+
+    /// Appends one span to the batch.
+    ///
+    /// The fit test is branch-free: every delta is computed with
+    /// wrapping arithmetic, the would-be-truncated high bits of all
+    /// seven fields are OR-folded into one word, and a single
+    /// (overwhelmingly predictable) branch picks narrow vs wide.
+    #[allow(clippy::cast_possible_truncation)]
+    #[inline]
+    pub fn push(&mut self, s: &Span) {
+        // A wrapped delta `d` fits a sign-extended u32 iff
+        // `d + 2^31 < 2^32`; biasing makes that a high-bits-zero test
+        // that folds into the shared misfit accumulator below.
+        const BIAS: u64 = 1 << 31;
+        let (items, argc) = s.args.raw();
+        let mut arg_keys = [0u8; crate::trace::MAX_SPAN_ARGS];
+        let mut arg_vals = [0u32; crate::trace::MAX_SPAN_ARGS];
+        let mut args_hi = 0u64;
+        // Fixed trip count over the whole backing array (unused slots
+        // are zero) — no data-dependent bound, no per-element early out.
+        for i in 0..crate::trace::MAX_SPAN_ARGS {
+            let (k, v) = items[i];
+            arg_keys[i] = k as u8;
+            arg_vals[i] = v as u32;
+            args_hi |= v >> 32;
+        }
+        let trace_d = s.trace.0.wrapping_sub(self.prev_trace);
+        let id_d = s.id.0.wrapping_sub(self.prev_id);
+        let parent_d = s.parent.map_or(0, |p| p.0.wrapping_sub(s.id.0));
+        let start_d = s.start_us.wrapping_sub(self.prev_start);
+        let misfit = (trace_d.wrapping_add(BIAS)
+            | id_d.wrapping_add(BIAS)
+            | parent_d.wrapping_add(BIAS)
+            | start_d.wrapping_add(BIAS))
+            >> 32
+            | s.dur_us >> 32
+            | args_hi;
+        self.prev_trace = s.trace.0;
+        self.prev_id = s.id.0;
+        self.prev_start = s.start_us;
+        if misfit == 0 {
+            self.records.push(PackedSpan {
+                name: s.name as u8,
+                flags: u8::from(s.parent.is_some())
+                    | (u8::from(s.mds.is_some()) << 1)
+                    | (fault_code(s.fault) << 2)
+                    | (argc << 5),
+                mds: s.mds.unwrap_or(0),
+                trace_d: trace_d as u32,
+                id_d: id_d as u32,
+                parent_d: parent_d as u32,
+                start_d: start_d as u32,
+                dur: s.dur_us as u32,
+                arg_keys,
+                arg_vals,
+            });
+        } else {
+            let idx = self.wide.len() as u32;
+            self.wide.push(s.clone());
+            self.records.push(PackedSpan {
+                name: WIDE_NAME,
+                trace_d: idx,
+                ..PackedSpan::default()
+            });
+        }
+    }
+
+    /// Number of spans in the batch.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the batch holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Encoded size in bytes (narrow records plus the wide side table).
+    #[must_use]
+    pub fn byte_len(&self) -> usize {
+        self.records.len() * std::mem::size_of::<PackedSpan>()
+            + self.wide.len() * std::mem::size_of::<Span>()
+    }
+
+    /// Decodes the batch back into spans, in push order.
+    #[must_use]
+    pub fn decode(&self) -> Vec<Span> {
+        let mut out = Vec::with_capacity(self.records.len());
+        self.decode_into(&mut out);
+        out
+    }
+
+    /// Decodes the batch, appending to `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batch was not produced by [`push`](Self::push)
+    /// (the encoding is internal; corruption is a bug, not an input).
+    pub fn decode_into(&self, out: &mut Vec<Span>) {
+        let (mut prev_trace, mut prev_id, mut prev_start) = (0u64, 0u64, 0u64);
+        for rec in &self.records {
+            let span = if rec.name == WIDE_NAME {
+                self.wide[rec.trace_d as usize].clone()
+            } else {
+                let id = widen(prev_id, rec.id_d);
+                let mut span = Span {
+                    trace: TraceId(widen(prev_trace, rec.trace_d)),
+                    id: SpanId(id),
+                    parent: (rec.flags & 1 != 0).then(|| SpanId(widen(id, rec.parent_d))),
+                    name: SpanName::from_code(rec.name).expect("corrupt span name code"),
+                    mds: (rec.flags & 2 != 0).then_some(rec.mds),
+                    start_us: widen(prev_start, rec.start_d),
+                    dur_us: u64::from(rec.dur),
+                    fault: fault_from_code((rec.flags >> 2) & 0x7),
+                    args: crate::trace::SpanArgs::new(),
+                };
+                for i in 0..usize::from(rec.flags >> 5) {
+                    let key = ArgKey::from_code(rec.arg_keys[i]).expect("corrupt arg key code");
+                    span.args.push(key, u64::from(rec.arg_vals[i]));
+                }
+                span
+            };
+            prev_trace = span.trace.0;
+            prev_id = span.id.0;
+            prev_start = span.start_us;
+            out.push(span);
+        }
+    }
+}
+
+static NEXT_SINK_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The central, shared half of a sink: sealed packed segments plus the
+/// accounting counters every thread agrees on.
+///
+/// Recording threads never touch the segment mutex per span — they
+/// encode into thread-local buffers and push whole buffers here when
+/// full (or when flushed). The only per-span shared state is the
+/// `buffered` occupancy counter enforcing the sink's capacity bound.
+#[derive(Debug)]
+pub struct SinkRegistry {
+    id: u64,
+    capacity: usize,
+    segments: Mutex<Vec<PackedSpans>>,
+    /// Admission slots currently reserved (sealed spans, thread-local
+    /// spans, plus each thread's unused quota). Threads reserve
+    /// [`QUOTA_BATCH`] slots at a time and return leftovers on flush,
+    /// so the capacity bound never over-admits, and the count is exact
+    /// whenever buffers are flushed (always true after a local drain).
+    buffered: AtomicU64,
+    drained: AtomicU64,
+    dropped: AtomicU64,
+}
+
+impl SinkRegistry {
+    fn seal(&self, seg: PackedSpans) {
+        if !seg.is_empty() {
+            self.segments
+                .lock()
+                .expect("sink registry poisoned")
+                .push(seg);
+        }
+    }
+
+    /// Reserves up to `want` admission slots; returns the number granted
+    /// (zero once `capacity` is reached).
+    fn try_reserve(&self, want: u64) -> u64 {
+        let mut cur = self.buffered.load(Ordering::Relaxed);
+        loop {
+            let granted = want.min((self.capacity as u64).saturating_sub(cur));
+            if granted == 0 {
+                return 0;
+            }
+            match self.buffered.compare_exchange_weak(
+                cur,
+                cur + granted,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return granted,
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    fn release(&self, n: u64) {
+        if n > 0 {
+            self.buffered.fetch_sub(n, Ordering::Relaxed);
+        }
+    }
+}
+
+struct LocalEntry {
+    sink_id: u64,
+    registry: Weak<SinkRegistry>,
+    buf: PackedSpans,
+    /// Admission slots reserved from the sink but not yet used by a
+    /// recorded span; returned on flush.
+    quota: u64,
+}
+
+impl LocalEntry {
+    /// Seals the buffered spans (if any) and returns unused quota, so
+    /// the sink's occupancy count reflects exactly what is drainable.
+    fn flush_into(&mut self, registry: &SinkRegistry) {
+        registry.release(self.quota);
+        self.quota = 0;
+        if !self.buf.is_empty() {
+            registry.seal(mem::take(&mut self.buf));
+        }
+    }
+}
+
+/// Per-thread buffer table. Deliberately `Drop`-free: a destructor on
+/// the table itself would put a teardown-state check on every hot-path
+/// TLS access. Exit flushing is [`FlushOnExit`]'s job instead.
+#[derive(Default)]
+struct LocalBufs {
+    entries: Vec<LocalEntry>,
+}
+
+impl LocalBufs {
+    fn entry(&mut self, registry: &Arc<SinkRegistry>) -> &mut LocalEntry {
+        let id = registry.id;
+        if let Some(pos) = self.entries.iter().position(|e| e.sink_id == id) {
+            // Keep the active sink's entry at the table head so the
+            // next push takes the first-slot fast path.
+            self.entries.swap(0, pos);
+            return &mut self.entries[0];
+        }
+        // New sink on this thread: drop table entries whose sink died so
+        // tests churning tracers do not grow the table without bound.
+        self.entries.retain(|e| e.registry.strong_count() > 0);
+        self.entries.insert(
+            0,
+            LocalEntry {
+                sink_id: id,
+                registry: Arc::downgrade(registry),
+                buf: PackedSpans::new(),
+                quota: 0,
+            },
+        );
+        &mut self.entries[0]
+    }
+}
+
+/// Zero-sized thread-local whose destructor seals the thread's span
+/// buffers at exit. The destructor lives here, on a separate key,
+/// precisely so [`LOCALS`] itself stays destructor-free: a `Drop` type
+/// behind a `const`-init `thread_local!` still pays a
+/// destructor-registration check on every access, and `LOCALS` is
+/// accessed once per span. This key is only touched from the cold
+/// refill path, where the check is free.
+struct FlushOnExit;
+
+impl Drop for FlushOnExit {
+    fn drop(&mut self) {
+        flush_thread_local();
+    }
+}
+
+thread_local! {
+    // `const` init and no `Drop` impl: access compiles to a plain
+    // TLS-offset load with neither a lazy-initialisation check nor a
+    // destructor-registration check, which matters at one access per
+    // span. Exit flushing is FLUSH_GUARD's job.
+    static LOCALS: RefCell<LocalBufs> = const {
+        RefCell::new(LocalBufs {
+            entries: Vec::new(),
+        })
+    };
+    static FLUSH_GUARD: FlushOnExit = const { FlushOnExit };
+}
+
+/// What the cold refill path handed back to [`SpanSink::push`].
+enum Refill<'a> {
+    /// A table entry with admission quota in hand: buffer the span.
+    Entry(&'a mut LocalEntry),
+    /// The sink is at capacity: shed the span.
+    Shed,
+    /// Thread-local destructors are already running, so a buffered span
+    /// might never be sealed: bypass the buffer entirely.
+    Teardown,
+}
+
+/// Seals every span buffer the current thread holds into its owning
+/// sink, making those spans visible to a subsequent drain from any
+/// thread.
+///
+/// Thread exit does this implicitly; call it explicitly where the flush
+/// must happen at a deterministic point — worker pools call it as each
+/// worker's scope ends, so parallel sweeps never lose tail spans to
+/// thread-teardown timing.
+pub fn flush_thread_local() {
+    let _ = LOCALS.try_with(|cell| {
+        let mut locals = cell.borrow_mut();
+        locals.entries.retain_mut(|e| match e.registry.upgrade() {
+            Some(reg) => {
+                e.flush_into(&reg);
+                true
+            }
+            None => false,
+        });
+    });
+}
+
+/// Bounded span store, sharded per recording thread.
+///
+/// The public surface matches the old single-mutex sink — `push`,
+/// `drain`, occupancy and shed accounting — but `push` now costs one
+/// relaxed atomic plus a thread-local varint encode, and `drain`
+/// decodes sealed per-thread segments. Once `capacity` spans are held,
+/// further pushes are counted in `dropped` and discarded.
+#[derive(Debug)]
+pub struct SpanSink {
+    registry: Arc<SinkRegistry>,
+}
+
+impl SpanSink {
+    /// A sink holding at most `capacity` spans.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        SpanSink {
+            registry: Arc::new(SinkRegistry {
+                id: NEXT_SINK_ID.fetch_add(1, Ordering::Relaxed),
+                capacity,
+                segments: Mutex::new(Vec::new()),
+                buffered: AtomicU64::new(0),
+                drained: AtomicU64::new(0),
+                dropped: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Stores a span, or sheds it (counted) if the sink is full.
+    #[inline]
+    pub fn push(&self, span: Span) {
+        let reg = &self.registry;
+        let ok = LOCALS.try_with(|cell| {
+            let locals = &mut *cell.borrow_mut();
+            // Fast path: this sink's entry sits at the table head with
+            // admission quota in hand — one id compare, no scan.
+            let entry = match locals.entries.first_mut() {
+                Some(e) if e.sink_id == reg.id && e.quota > 0 => e,
+                _ => match Self::refill(locals, reg) {
+                    Refill::Entry(e) => e,
+                    Refill::Shed => {
+                        reg.dropped.fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                    Refill::Teardown => {
+                        Self::seal_single(reg, &span);
+                        return;
+                    }
+                },
+            };
+            entry.quota -= 1;
+            entry.buf.push(&span);
+        });
+        if ok.is_err() {
+            // LOCALS itself was unreachable (should not happen for a
+            // destructor-free key, but stay lossless if it ever does).
+            Self::seal_single(reg, &span);
+        }
+    }
+
+    /// Out-of-line remainder of [`SpanSink::push`]: locates (or creates)
+    /// this sink's table entry, seals the finished segment, and reserves
+    /// a fresh admission batch. Because [`QUOTA_BATCH`] equals
+    /// [`SEAL_SPANS`] and a flush empties buffer and quota together,
+    /// quota exhaustion *is* the segment boundary — the fast path needs
+    /// no per-span seal check. Runs once per batch.
+    #[cold]
+    fn refill<'a>(locals: &'a mut LocalBufs, reg: &Arc<SinkRegistry>) -> Refill<'a> {
+        // Registering a buffer is only safe while the exit guard can
+        // still flush it. If thread-local destructors are already
+        // running (a span recorded from another destructor), the guard
+        // is gone or about to be, and buffered spans could be lost.
+        if FLUSH_GUARD.try_with(|_| ()).is_err() {
+            return Refill::Teardown;
+        }
+        let entry = locals.entry(reg);
+        if entry.quota == 0 {
+            if entry.buf.is_empty() {
+                if entry.buf.records.capacity() == 0 {
+                    entry.buf = PackedSpans::pooled();
+                }
+            } else {
+                reg.seal(mem::replace(&mut entry.buf, PackedSpans::pooled()));
+            }
+            entry.quota = reg.try_reserve(QUOTA_BATCH);
+            if entry.quota == 0 {
+                return Refill::Shed;
+            }
+        }
+        Refill::Entry(entry)
+    }
+
+    /// Seals `span` as its own one-record segment, bypassing the
+    /// thread-local buffer — the lossless fallback for spans recorded
+    /// while thread-local state is being torn down.
+    #[cold]
+    fn seal_single(reg: &SinkRegistry, span: &Span) {
+        if reg.try_reserve(1) == 0 {
+            reg.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let mut seg = PackedSpans::new();
+        seg.push(span);
+        reg.seal(seg);
+    }
+
+    /// Seals the calling thread's buffer for this sink and returns its
+    /// unused admission quota, without draining. Other threads' buffers
+    /// are untouched.
+    pub fn flush_local(&self) {
+        let _ = LOCALS.try_with(|cell| {
+            let mut locals = cell.borrow_mut();
+            if let Some(e) = locals
+                .entries
+                .iter_mut()
+                .find(|e| e.sink_id == self.registry.id)
+            {
+                e.flush_into(&self.registry);
+            }
+        });
+    }
+
+    /// Removes and returns all sealed spans, in seal order (exact push
+    /// order for a single-threaded producer).
+    ///
+    /// The calling thread's own buffer is sealed first, so the common
+    /// record-then-drain-on-one-thread flow loses nothing. Buffers still
+    /// held by *other live* threads are not visible until those threads
+    /// seal (scope-exit flush, thread exit, or a full buffer).
+    #[must_use]
+    pub fn drain(&self) -> Vec<Span> {
+        self.flush_local();
+        let segments: Vec<PackedSpans> = {
+            let mut guard = self
+                .registry
+                .segments
+                .lock()
+                .expect("sink registry poisoned");
+            mem::take(&mut *guard)
+        };
+        let mut out = Vec::with_capacity(segments.iter().map(PackedSpans::len).sum());
+        for seg in &segments {
+            seg.decode_into(&mut out);
+        }
+        for seg in segments {
+            recycle_records(seg.records);
+        }
+        self.registry
+            .drained
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        self.registry.release(out.len() as u64);
+        out
+    }
+
+    /// Number of spans currently held (sealed plus every thread's
+    /// unsealed buffer).
+    ///
+    /// Seals the calling thread's own buffer first, so the count is
+    /// exact for single-threaded recording. While *other* threads are
+    /// actively recording, it includes their reserved-but-unused
+    /// admission quota and can over-report by up to a batch per thread
+    /// until they flush.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation)]
+    pub fn len(&self) -> usize {
+        self.flush_local();
+        self.registry.buffered.load(Ordering::Relaxed) as usize
+    }
+
+    /// Whether the sink holds no spans.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Spans accepted over the sink's lifetime (already-drained plus
+    /// currently held). Exactness caveats as for [`len`](Self::len).
+    #[must_use]
+    pub fn recorded(&self) -> u64 {
+        self.flush_local();
+        self.registry.drained.load(Ordering::Relaxed)
+            + self.registry.buffered.load(Ordering::Relaxed)
+    }
+
+    /// Spans shed because the sink was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.registry.dropped.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{span_names, SpanCtx};
+
+    fn ctx(trace: u64, span: u64) -> SpanCtx {
+        SpanCtx {
+            trace: TraceId(trace),
+            span: SpanId(span),
+        }
+    }
+
+    #[test]
+    fn narrow_widen_round_trips_and_rejects_big_deltas() {
+        for (a, b) in [
+            (0u64, 0u64),
+            (5, 3),
+            (3, 5),
+            (1 << 40, (1 << 40) + 7),
+            (u64::MAX, u64::MAX - 1),
+            (0, u64::MAX), // delta is -1 in wrapping terms: narrow
+        ] {
+            let d = narrow(a, b).expect("fits");
+            assert_eq!(widen(a, d), b, "a={a} b={b}");
+        }
+        assert!(narrow(0, 1 << 32).is_none());
+        assert!(narrow(1 << 40, 0).is_none());
+        assert_eq!(fits_u32(u64::from(u32::MAX)), Some(u32::MAX));
+        assert_eq!(fits_u32(u64::from(u32::MAX) + 1), None);
+    }
+
+    #[test]
+    fn overflowing_spans_take_the_wide_path_losslessly() {
+        let mut packed = PackedSpans::new();
+        let spans = vec![
+            Span::root(ctx(1, 1), span_names::OP, 0, 1),
+            // Trace-id jump beyond i32 range and a u64 arg value: wide.
+            Span::root(ctx(1 << 40, 2), span_names::SERVE, 5, 2).with_arg(ArgKey::Bytes, u64::MAX),
+            // Back near the wide span's values: narrow again, proving
+            // the delta base tracks through wide records.
+            Span::root(ctx((1 << 40) + 1, 3), span_names::NET, 6, 3),
+        ];
+        for s in &spans {
+            packed.push(s);
+        }
+        assert_eq!(packed.decode(), spans);
+    }
+
+    #[test]
+    fn packed_round_trip_preserves_every_field() {
+        let mut packed = PackedSpans::new();
+        let spans = vec![
+            Span::root(ctx(1, 1), span_names::OP, 10, 100)
+                .with_arg(ArgKey::Target, 42)
+                .with_arg(ArgKey::Hops, 2),
+            Span::child(ctx(1, 1), SpanId(2), span_names::SERVE, 20, 30)
+                .on_mds(3)
+                .with_fault(FaultKind::Delay),
+            Span::child(
+                ctx(1, 1),
+                SpanId(3),
+                span_names::WAL_FSYNC,
+                u64::MAX - 5,
+                u64::MAX,
+            )
+            .on_mds(u16::MAX)
+            .with_arg(ArgKey::Bytes, u64::MAX),
+        ];
+        for s in &spans {
+            packed.push(s);
+        }
+        assert_eq!(packed.len(), 3);
+        assert!(packed.byte_len() < 3 * 144, "packing should shrink spans");
+        assert_eq!(packed.decode(), spans);
+    }
+
+    #[test]
+    fn every_fault_code_round_trips() {
+        for f in [
+            None,
+            Some(FaultKind::Drop),
+            Some(FaultKind::Delay),
+            Some(FaultKind::Duplicate),
+            Some(FaultKind::Reorder),
+            Some(FaultKind::TornWrite),
+            Some(FaultKind::PartialFsync),
+            Some(FaultKind::CorruptRecord),
+        ] {
+            assert_eq!(fault_from_code(fault_code(f)), f);
+        }
+    }
+
+    #[test]
+    fn sink_seals_across_threads_and_drains_everything_after_flush() {
+        let tracer =
+            std::sync::Arc::new(crate::trace::Tracer::new(crate::trace::Sampler::always(0)));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let tr = std::sync::Arc::clone(&tracer);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    let c = tr.begin().expect("sampled");
+                    tr.record(Span::root(c, span_names::OP, t * 1000 + i, 1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("worker");
+        }
+        // Thread exit sealed each worker's buffer; everything is visible.
+        let spans = tracer.drain();
+        assert_eq!(spans.len(), 400);
+        assert_eq!(tracer.sink().recorded(), 400);
+        assert_eq!(tracer.sink().dropped(), 0);
+    }
+
+    #[test]
+    fn flush_thread_local_makes_spans_drainable_mid_thread() {
+        let sink = SpanSink::new(1024);
+        sink.push(Span::root(ctx(9, 9), span_names::NET, 0, 1));
+        assert_eq!(sink.len(), 1);
+        flush_thread_local();
+        // The buffer is sealed into the registry now, not just counted.
+        assert_eq!(sink.drain().len(), 1);
+        assert!(sink.is_empty());
+    }
+}

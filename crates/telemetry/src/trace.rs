@@ -24,44 +24,134 @@
 //! 3. **Bounded.** The [`SpanSink`] holds at most `capacity` spans and
 //!    counts what it sheds, so a pathological workload cannot OOM the
 //!    host through its own observability layer.
+//! 4. **Cheap at 100 % sampling.** Recording goes through per-thread
+//!    packed buffers (see [`crate::sink`]) — no lock and ~12 bytes
+//!    moved per span instead of a mutexed 144-byte copy.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
 
 use crate::journal::FaultKind;
 
-/// Canonical span names, so emitters, the analyzer and docs agree on
-/// spelling.
-pub mod span_names {
+/// Interned span name: the closed set of names any instrumented
+/// component gives a span.
+///
+/// One byte instead of a 16-byte `&'static str` is what lets the packed
+/// sink encoding (see [`crate::sink::PackedSpans`]) store a span's name
+/// in a single code byte. Exports and digests spell the name back out
+/// via [`SpanName::as_str`], so serialized output is unchanged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum SpanName {
     /// Root span: one whole client operation, issue to completion.
-    pub const OP: &str = "op";
+    Op,
     /// One MDS serving (or forwarding) the request: queue + service.
-    pub const SERVE: &str = "serve";
+    Serve,
     /// One network leg between two parties.
-    pub const NET: &str = "net";
+    Net,
     /// Client-side wait for a resend after a dropped message.
-    pub const RESEND_WAIT: &str = "resend_wait";
+    ResendWait,
     /// Duplicate delivery burning wasted service time on a server.
-    pub const WASTE: &str = "waste";
+    Waste,
     /// Global-layer lock held for a replicated update.
-    pub const LOCK: &str = "gl_lock";
+    Lock,
     /// A replica applying a propagated global-layer update.
-    pub const APPLY: &str = "gl_apply";
+    Apply,
     /// One client attempt in the live retry loop.
-    pub const ATTEMPT: &str = "attempt";
+    Attempt,
     /// Monitor processing one heartbeat.
-    pub const HEARTBEAT: &str = "heartbeat";
+    Heartbeat,
     /// Monitor declaring MDS failures.
-    pub const DETECT: &str = "detect_failures";
+    Detect,
     /// Monitor planning a rebalance (dynamic adjustment, Sec. IV).
-    pub const REBALANCE: &str = "rebalance";
+    Rebalance,
     /// Monitor planning a failover after an MDS death.
-    pub const FAILOVER: &str = "failover";
+    Failover,
     /// Store buffering one WAL record.
-    pub const WAL_APPEND: &str = "wal_append";
+    WalAppend,
     /// Store group-commit fsync.
-    pub const WAL_FSYNC: &str = "wal_fsync";
+    WalFsync,
+}
+
+impl SpanName {
+    /// The string this name prints as in exports and digests.
+    #[must_use]
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            SpanName::Op => "op",
+            SpanName::Serve => "serve",
+            SpanName::Net => "net",
+            SpanName::ResendWait => "resend_wait",
+            SpanName::Waste => "waste",
+            SpanName::Lock => "gl_lock",
+            SpanName::Apply => "gl_apply",
+            SpanName::Attempt => "attempt",
+            SpanName::Heartbeat => "heartbeat",
+            SpanName::Detect => "detect_failures",
+            SpanName::Rebalance => "rebalance",
+            SpanName::Failover => "failover",
+            SpanName::WalAppend => "wal_append",
+            SpanName::WalFsync => "wal_fsync",
+        }
+    }
+
+    /// The inverse of `self as u8`, for decoding packed spans.
+    #[must_use]
+    pub const fn from_code(code: u8) -> Option<SpanName> {
+        Some(match code {
+            0 => SpanName::Op,
+            1 => SpanName::Serve,
+            2 => SpanName::Net,
+            3 => SpanName::ResendWait,
+            4 => SpanName::Waste,
+            5 => SpanName::Lock,
+            6 => SpanName::Apply,
+            7 => SpanName::Attempt,
+            8 => SpanName::Heartbeat,
+            9 => SpanName::Detect,
+            10 => SpanName::Rebalance,
+            11 => SpanName::Failover,
+            12 => SpanName::WalAppend,
+            13 => SpanName::WalFsync,
+            _ => return None,
+        })
+    }
+}
+
+/// Canonical span names, so emitters, the analyzer and docs agree on
+/// spelling. Kept as constants (now of type [`SpanName`]) so call sites
+/// read the same as when names were strings.
+pub mod span_names {
+    use super::SpanName;
+
+    /// Root span: one whole client operation, issue to completion.
+    pub const OP: SpanName = SpanName::Op;
+    /// One MDS serving (or forwarding) the request: queue + service.
+    pub const SERVE: SpanName = SpanName::Serve;
+    /// One network leg between two parties.
+    pub const NET: SpanName = SpanName::Net;
+    /// Client-side wait for a resend after a dropped message.
+    pub const RESEND_WAIT: SpanName = SpanName::ResendWait;
+    /// Duplicate delivery burning wasted service time on a server.
+    pub const WASTE: SpanName = SpanName::Waste;
+    /// Global-layer lock held for a replicated update.
+    pub const LOCK: SpanName = SpanName::Lock;
+    /// A replica applying a propagated global-layer update.
+    pub const APPLY: SpanName = SpanName::Apply;
+    /// One client attempt in the live retry loop.
+    pub const ATTEMPT: SpanName = SpanName::Attempt;
+    /// Monitor processing one heartbeat.
+    pub const HEARTBEAT: SpanName = SpanName::Heartbeat;
+    /// Monitor declaring MDS failures.
+    pub const DETECT: SpanName = SpanName::Detect;
+    /// Monitor planning a rebalance (dynamic adjustment, Sec. IV).
+    pub const REBALANCE: SpanName = SpanName::Rebalance;
+    /// Monitor planning a failover after an MDS death.
+    pub const FAILOVER: SpanName = SpanName::Failover;
+    /// Store buffering one WAL record.
+    pub const WAL_APPEND: SpanName = SpanName::WalAppend;
+    /// Store group-commit fsync.
+    pub const WAL_FSYNC: SpanName = SpanName::WalFsync;
 }
 
 /// Identifies one traced operation end to end across every hop.
@@ -163,6 +253,32 @@ impl ArgKey {
             ArgKey::Body => "body",
         }
     }
+
+    /// The inverse of `self as u8`, for decoding packed spans.
+    #[must_use]
+    pub const fn from_code(code: u8) -> Option<ArgKey> {
+        Some(match code {
+            0 => ArgKey::Target,
+            1 => ArgKey::Kind,
+            2 => ArgKey::Hops,
+            3 => ArgKey::Locked,
+            4 => ArgKey::Bytes,
+            5 => ArgKey::Node,
+            6 => ArgKey::Spins,
+            7 => ArgKey::Mds,
+            8 => ArgKey::Claimed,
+            9 => ArgKey::Failures,
+            10 => ArgKey::Rehomed,
+            11 => ArgKey::Subtree,
+            12 => ArgKey::From,
+            13 => ArgKey::To,
+            14 => ArgKey::Error,
+            15 => ArgKey::Route,
+            16 => ArgKey::Outcome,
+            17 => ArgKey::Body,
+            _ => return None,
+        })
+    }
 }
 
 /// Inline, fixed-capacity annotation list: up to [`MAX_SPAN_ARGS`]
@@ -225,6 +341,13 @@ impl SpanArgs {
     pub fn iter(&self) -> std::slice::Iter<'_, (ArgKey, u64)> {
         self.as_slice().iter()
     }
+
+    /// The full backing array plus the live count, for encoders that
+    /// want a fixed-trip-count loop (unused slots are `(Target, 0)`).
+    #[inline]
+    pub(crate) fn raw(&self) -> (&[(ArgKey, u64); MAX_SPAN_ARGS], u8) {
+        (&self.items, self.len)
+    }
 }
 
 impl<'a> IntoIterator for &'a SpanArgs {
@@ -248,7 +371,7 @@ pub struct Span {
     /// Parent span, `None` for a root.
     pub parent: Option<SpanId>,
     /// Name from [`span_names`].
-    pub name: &'static str,
+    pub name: SpanName,
     /// MDS the work ran on, `None` for client/monitor-side spans.
     pub mds: Option<u16>,
     /// Start timestamp in microseconds. The simulator stamps virtual
@@ -264,24 +387,9 @@ pub struct Span {
 }
 
 impl Span {
-    /// An all-zero span used only to pre-fault sink buffers; never recorded.
-    pub(crate) fn placeholder() -> Self {
-        Span {
-            trace: TraceId(0),
-            id: SpanId(0),
-            parent: None,
-            name: "",
-            mds: None,
-            start_us: 0,
-            dur_us: 0,
-            fault: None,
-            args: SpanArgs::new(),
-        }
-    }
-
     /// A span inside an existing trace, parented on `ctx.span`.
     #[must_use]
-    pub fn child(ctx: SpanCtx, id: SpanId, name: &'static str, start_us: u64, dur_us: u64) -> Self {
+    pub fn child(ctx: SpanCtx, id: SpanId, name: SpanName, start_us: u64, dur_us: u64) -> Self {
         Span {
             trace: ctx.trace,
             id,
@@ -297,7 +405,7 @@ impl Span {
 
     /// The root span of a trace (no parent).
     #[must_use]
-    pub fn root(ctx: SpanCtx, name: &'static str, start_us: u64, dur_us: u64) -> Self {
+    pub fn root(ctx: SpanCtx, name: SpanName, start_us: u64, dur_us: u64) -> Self {
         Span {
             trace: ctx.trace,
             id: ctx.span,
@@ -406,111 +514,7 @@ impl Sampler {
     }
 }
 
-/// Upper bound on how many span slots [`SpanSink::new`] preallocates.
-/// Larger capacities still work — the vector grows on demand — but the
-/// bound keeps a `1 << 20`-capacity sink from reserving hundreds of
-/// megabytes before a single span is recorded. Sized to hold a 100k-op
-/// replay at 100% sampling (~3 spans/op) without a single mid-run
-/// growth realloc, which would stall the recording fast path while
-/// tens of megabytes of spans are copied.
-const PREALLOC_SPAN_LIMIT: usize = 1 << 18;
-
-/// Bounded, lock-cheap span store.
-///
-/// A single `Mutex<Vec<Span>>` is deliberately simple: spans are only
-/// pushed for *sampled* operations, so at realistic rates (≤ a few
-/// percent) contention is negligible, and the simulator — the
-/// high-volume producer — is single-threaded anyway. Once `capacity`
-/// is reached further spans are counted in `dropped` and discarded.
-#[derive(Debug)]
-pub struct SpanSink {
-    spans: Mutex<Vec<Span>>,
-    capacity: usize,
-    /// Spans removed by [`drain`](Self::drain) over the lifetime;
-    /// `recorded()` is this plus the current buffer length, so the
-    /// accept fast path touches no counter at all.
-    drained: AtomicU64,
-    dropped: AtomicU64,
-}
-
-impl SpanSink {
-    /// A sink holding at most `capacity` spans.
-    ///
-    /// The backing buffer is preallocated (bounded to keep huge-capacity
-    /// sinks from reserving hundreds of megabytes up front), so the
-    /// recording fast path never grows the vector for typical replays.
-    #[must_use]
-    pub fn new(capacity: usize) -> Self {
-        let prealloc = capacity.min(PREALLOC_SPAN_LIMIT);
-        let mut spans = Vec::with_capacity(prealloc);
-        // Pre-fault the whole buffer now: a freshly mapped allocation
-        // takes a page fault on every first-touched 4 KiB during
-        // recording, which dwarfs the push itself. Filling and clearing
-        // moves that cost here, out of the instrumented hot path.
-        spans.resize(prealloc, Span::placeholder());
-        spans.clear();
-        SpanSink {
-            spans: Mutex::new(spans),
-            capacity,
-            drained: AtomicU64::new(0),
-            dropped: AtomicU64::new(0),
-        }
-    }
-
-    /// Stores a span, or sheds it (counted) if the sink is full.
-    pub fn push(&self, span: Span) {
-        let mut spans = self.spans.lock().expect("span sink poisoned");
-        if spans.len() >= self.capacity {
-            drop(spans);
-            self.dropped.fetch_add(1, Ordering::Relaxed);
-            return;
-        }
-        spans.push(span);
-    }
-
-    /// Removes and returns all stored spans.
-    ///
-    /// Copies spans out with `Vec::drain` rather than `mem::take` (or
-    /// `split_off(0)`, which hands off the buffer too) so the sink keeps
-    /// its preallocated, already-faulted buffer for the next run.
-    #[must_use]
-    pub fn drain(&self) -> Vec<Span> {
-        let drained: Vec<Span> = self
-            .spans
-            .lock()
-            .expect("span sink poisoned")
-            .drain(..)
-            .collect();
-        self.drained
-            .fetch_add(drained.len() as u64, Ordering::Relaxed);
-        drained
-    }
-
-    /// Number of spans currently stored.
-    #[must_use]
-    pub fn len(&self) -> usize {
-        self.spans.lock().expect("span sink poisoned").len()
-    }
-
-    /// Whether the sink holds no spans.
-    #[must_use]
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Spans accepted over the sink's lifetime (already-drained plus
-    /// currently buffered).
-    #[must_use]
-    pub fn recorded(&self) -> u64 {
-        self.drained.load(Ordering::Relaxed) + self.len() as u64
-    }
-
-    /// Spans shed because the sink was full.
-    #[must_use]
-    pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
-    }
-}
+pub use crate::sink::{flush_thread_local, PackedSpans, SinkRegistry, SpanSink};
 
 /// Default bound on buffered spans (enough for ~100k-op replays at
 /// 100% sampling with several spans per op).
@@ -643,7 +647,11 @@ pub fn chrome_trace_json(spans: &[Span]) -> String {
         let _ = write!(
             out,
             "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":0,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"trace\":{},\"span\":{}",
-            s.name, s.start_us, s.dur_us, s.trace.0, s.id.0
+            s.name.as_str(),
+            s.start_us,
+            s.dur_us,
+            s.trace.0,
+            s.id.0
         );
         if let Some(p) = s.parent {
             let _ = write!(out, ",\"parent\":{}", p.0);
@@ -686,7 +694,7 @@ pub fn digest(spans: &[Span]) -> u64 {
         eat(&s.trace.0.to_le_bytes());
         eat(&s.id.0.to_le_bytes());
         eat(&s.parent.map_or(0, |p| p.0).to_le_bytes());
-        eat(s.name.as_bytes());
+        eat(s.name.as_str().as_bytes());
         eat(&[0]);
         eat(&[s.mds.is_some() as u8]);
         eat(&s.mds.unwrap_or(0).to_le_bytes());

@@ -22,8 +22,9 @@ use std::sync::Arc;
 use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
 use d2tree_bench::{parallel_cells_with, thread_count};
 use d2tree_cluster::{
-    analyze, run_chaos, run_store_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule,
-    FaultScope, ReplayOutcome, SimConfig, Simulator, StoreChaosConfig, StrictChainRoute,
+    analyze, run_chaos, run_monitor_chaos, run_store_chaos, ChaosConfig, FaultAction, FaultPlan,
+    FaultRule, FaultScope, MonitorChaosConfig, ReplayOutcome, SimConfig, Simulator,
+    StoreChaosConfig, StrictChainRoute,
 };
 use d2tree_core::{D2TreeConfig, D2TreeScheme, LocalIndex, Partitioner};
 use d2tree_metrics::{balance, ClusterSpec, MdsId};
@@ -160,6 +161,11 @@ Common options:
     --partitions <n>  monitor-link partition windows (default 1)
     --store-crashes <n>  also run a WAL/torn-write store-chaos schedule
                          with this many crash-recover cycles (default 0 = off)
+    --monitor-crashes <n>  also run a replicated-control-plane chaos schedule
+                         that crash-restarts the Monitor leader this many
+                         times (plus peer partitions and a forced split
+                         vote), checking election safety, fencing-token
+                         monotonicity and bounded failover (default 0 = off)
 
 `health` options (all optional):
     --profile <name>  dtr | lmbe | ra (default lmbe; lmbe drifts hardest)
@@ -862,6 +868,52 @@ fn cmd_chaos(opts: &Opts) -> Result<String, CliError> {
             store_report.snapshots,
             store_report.corrupt_probes,
             store_report.corruptions_detected,
+        ));
+    }
+
+    let monitor_crashes = opts.num("monitor-crashes", 0usize)?;
+    if monitor_crashes > 0 {
+        let monitor_config = MonitorChaosConfig {
+            monitor_kills: monitor_crashes,
+            ..MonitorChaosConfig::default()
+        };
+        let monitor_report = run_monitor_chaos(seed, &monitor_config);
+        if monitor_report != run_monitor_chaos(seed, &monitor_config) {
+            return Err(CliError::Chaos(format!(
+                "monitor seed {seed} did not reproduce: two runs produced different reports"
+            )));
+        }
+        if !monitor_report.violations.is_empty() {
+            let mut msg = format!(
+                "monitor seed {seed}: {} control-plane violation(s):\n",
+                monitor_report.violations.len()
+            );
+            for v in monitor_report.violations.iter().take(20) {
+                msg.push_str(&format!("  {v}\n"));
+            }
+            return Err(CliError::Chaos(msg));
+        }
+        out.push_str(&format!(
+            "monitor chaos: {} leader crashes, {} restarts; {} elections, {} leader changes\n\
+             replicated log: {} commits — {} grants, {} GL writes, {} migrations\n\
+             fencing: {} rejections ({} deliberate expired-fence probes confirmed)\n\
+             client: {} control-plane retries, {} writes blocked leaderless\n\
+             worst failover: {} virtual ms; journal: {} events, identical across two runs\n\
+             control-plane invariants: all clean (one leader per term, logs match, fences monotonic)\n",
+            monitor_report.monitor_kills,
+            monitor_report.monitor_restarts,
+            monitor_report.elections,
+            monitor_report.leader_changes,
+            monitor_report.commits,
+            monitor_report.grants,
+            monitor_report.gl_writes,
+            monitor_report.migrations_committed,
+            monitor_report.fence_rejections,
+            monitor_report.stale_probes_confirmed,
+            monitor_report.monitor_retries,
+            monitor_report.blocked_writes,
+            monitor_report.max_failover_ms,
+            monitor_report.journal.len(),
         ));
     }
     Ok(out)
@@ -2279,6 +2331,27 @@ mod tests {
         .unwrap();
         assert!(out.contains("store chaos: 4 crashes"), "{out}");
         assert!(out.contains("store invariants: all clean"), "{out}");
+    }
+
+    #[test]
+    fn chaos_command_runs_monitor_schedule() {
+        let out = run(&args(&[
+            "chaos",
+            "--seed",
+            "7",
+            "--mds",
+            "3",
+            "--nodes",
+            "300",
+            "--ticks",
+            "300",
+            "--monitor-crashes",
+            "2",
+        ]))
+        .unwrap();
+        assert!(out.contains("monitor chaos: 2 leader crashes"), "{out}");
+        assert!(out.contains("control-plane invariants: all clean"), "{out}");
+        assert!(out.contains("expired-fence probes confirmed"), "{out}");
     }
 
     #[test]

@@ -46,6 +46,9 @@ use d2tree_workload::{TraceProfile, WorkloadBuilder};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::consensus::{
+    Applied, Command, ConsensusCluster, ConsensusConfig, ConsensusTiming, LeaderClient,
+};
 use crate::fault::{
     FaultDecision, FaultInjector, FaultPlan, FaultRule, FaultScope, NetEdge, StorageFault,
     StorageFaultRule,
@@ -1046,6 +1049,711 @@ pub fn run_store_chaos(seed: u64, config: &StoreChaosConfig) -> StoreChaosReport
     }
 }
 
+// ---------------------------------------------------------------------------
+// Monitor chaos: leader failover of the replicated control plane.
+
+/// Shape of a monitor-chaos run: a seeded schedule of Monitor-replica
+/// crashes, replica-link partitions, forced split votes and data-plane
+/// MDS failures, replayed against the replicated control plane of
+/// [`crate::consensus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonitorChaosConfig {
+    /// Data-plane cluster size (MDS servers sending heartbeats).
+    pub mds: usize,
+    /// Monitor replicas (3 tolerates one crash).
+    pub replicas: usize,
+    /// Namespace-tree size the placement is built over.
+    pub nodes: usize,
+    /// Virtual ticks to run; disruptions land in the first 60%.
+    pub ticks: u64,
+    /// Virtual milliseconds per tick.
+    pub tick_ms: u64,
+    /// Monitor-leader crash/restart cycles to schedule.
+    pub monitor_kills: usize,
+    /// Replica-link partition windows (one replica loses its inbound
+    /// peer traffic for a while — long enough to force a re-election
+    /// when the victim is the leader).
+    pub peer_partitions: usize,
+    /// Forced split votes (every live replica campaigns at once; the
+    /// randomized timeouts must untangle it).
+    pub split_votes: usize,
+    /// Data-plane MDS crash/restart cycles, so failover and rebalance
+    /// decisions flow through the replicated log while the control
+    /// plane itself is being disrupted.
+    pub mds_kills: usize,
+    /// When set, a window late in the run crashes 2 of 3 replicas: the
+    /// cluster must degrade to read-only serving (no panics, reads keep
+    /// answering, writes blocked) and recover when quorum returns.
+    pub quorum_loss: bool,
+}
+
+impl Default for MonitorChaosConfig {
+    fn default() -> Self {
+        MonitorChaosConfig {
+            mds: 4,
+            replicas: 3,
+            nodes: 400,
+            ticks: 900,
+            tick_ms: 10,
+            monitor_kills: 2,
+            peer_partitions: 1,
+            split_votes: 1,
+            mds_kills: 1,
+            quorum_loss: false,
+        }
+    }
+}
+
+/// What a monitor-chaos run did and found.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonitorChaosReport {
+    /// The seed the schedule was derived from.
+    pub seed: u64,
+    /// Ticks executed.
+    pub ticks: u64,
+    /// Monitor-replica crashes injected.
+    pub monitor_kills: usize,
+    /// Monitor-replica restarts performed.
+    pub monitor_restarts: usize,
+    /// Elections started across all replicas (`elections_total`).
+    pub elections: u64,
+    /// Distinct leader handovers (`leader_changes_total`).
+    pub leader_changes: u64,
+    /// Entries committed through the replicated log (`log_commits_total`).
+    pub commits: u64,
+    /// Leases granted by the replicated lock state machine.
+    pub grants: u64,
+    /// Global-layer writes committed under a valid lease.
+    pub gl_writes: u64,
+    /// Writes rejected for stale or expired fencing tokens.
+    pub fence_rejections: u64,
+    /// Deliberate expired-fence probes that were correctly rejected.
+    pub stale_probes_confirmed: usize,
+    /// Control-plane submissions that were redirected or re-aimed
+    /// (`monitor_retries_total`).
+    pub monitor_retries: u64,
+    /// Write attempts that found no leader to accept them (read-only
+    /// degradation in action).
+    pub blocked_writes: u64,
+    /// Longest observed leader-loss → re-election gap, in virtual ms.
+    pub max_failover_ms: u64,
+    /// Subtree re-homings committed through the log.
+    pub migrations_committed: u64,
+    /// Safety violations (empty = the control plane survived).
+    pub violations: Vec<String>,
+    /// The shared journal (heartbeats elided), in order. Two runs with
+    /// the same seed and config produce identical journals.
+    pub journal: Vec<EventKind>,
+}
+
+static MONITOR_CHAOS_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn monitor_chaos_root() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "d2tree-monchaos-{}-{}",
+        std::process::id(),
+        MONITOR_CHAOS_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// The GL writer drives its lease lifecycle through these phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GlPhase {
+    Idle,
+    Acquiring,
+    Holding {
+        fence: u64,
+    },
+    Writing {
+        fence: u64,
+    },
+    /// Deliberately sitting on an expiring lease to probe the fencing
+    /// path: the write is submitted only after `expires_at_ms`.
+    StaleWait {
+        fence: u64,
+        expires_at_ms: u64,
+    },
+    StaleProbe {
+        fence: u64,
+    },
+}
+
+/// MDS id the GL writer submits lease operations as.
+const GL_WRITER: u16 = 0;
+
+/// Runs one seeded monitor-chaos schedule to completion.
+///
+/// # Panics
+///
+/// Panics if `config` is degenerate (fewer than 2 MDSs or replicas,
+/// zero ticks or tick length, or a schedule that does not fit the
+/// disruption window).
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_monitor_chaos(seed: u64, config: &MonitorChaosConfig) -> MonitorChaosReport {
+    assert!(config.mds >= 2, "monitor chaos needs at least two MDSs");
+    assert!(
+        config.replicas >= 2,
+        "a replicated control plane needs peers"
+    );
+    assert!(config.ticks > 0 && config.tick_ms > 0, "empty schedule");
+    let tick_ms = config.tick_ms;
+    let horizon_ms = config.ticks * tick_ms;
+    let disrupt_until_ms = horizon_ms * 3 / 5;
+    let failure_timeout_ms = 5 * tick_ms;
+    let lease_ms = 8 * tick_ms;
+    let timing = ConsensusTiming {
+        heartbeat_ms: 2 * tick_ms,
+        election_min_ms: 10 * tick_ms,
+        election_jitter_ms: 10 * tick_ms,
+        net_delay_ms: 1,
+    };
+    let reelect_slack_ms = timing.reelect_bound_ms() + 2 * tick_ms;
+
+    // Deterministic topology, as in `run_chaos`.
+    let w = WorkloadBuilder::new(
+        TraceProfile::dtr()
+            .with_nodes(config.nodes)
+            .with_operations(config.nodes),
+    )
+    .seed(seed)
+    .build();
+    let pop = w.popularity();
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+    scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(config.mds, 1.0));
+    let tree = &w.tree;
+    let mut owned: BTreeMap<NodeId, MdsId> = scheme.local_index().iter().collect();
+    let initial_roots: BTreeSet<NodeId> = owned.keys().copied().collect();
+    let gl_node = tree.root().index() as u64;
+    let cluster_spec = ClusterSpec::homogeneous(config.mds, 1.0);
+
+    // Seeded schedule. Monitor kills are aimed at whoever leads at
+    // fire time (maximally adversarial); restarts come after the
+    // re-election bound so each crash forces a full failover.
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5de3_4d4b_a2c8_b711);
+    let mut kill_windows: Vec<(u64, u64)> = Vec::new();
+    let mut cursor = timing.election_min_ms + timing.election_jitter_ms + 2 * tick_ms;
+    for _ in 0..config.monitor_kills {
+        let at = cursor + rng.gen_range(1..=5) * tick_ms;
+        let back_at = at + reelect_slack_ms + rng.gen_range(1..=5) * tick_ms;
+        kill_windows.push((at, back_at));
+        cursor = back_at + 4 * tick_ms;
+    }
+    assert!(
+        cursor <= disrupt_until_ms,
+        "monitor-kill schedule does not fit: raise ticks or lower kills"
+    );
+    let mut plan = FaultPlan::new(seed);
+    let mut partition_windows: Vec<(u64, u64)> = Vec::new();
+    for _ in 0..config.peer_partitions {
+        let from = rng.gen_range(tick_ms..disrupt_until_ms.max(tick_ms + 1));
+        let until = from + reelect_slack_ms + rng.gen_range(1..=4) * tick_ms;
+        let victim = rng.gen_range(0..config.replicas) as u16;
+        plan = plan.with_rule(FaultRule::partition(
+            FaultScope::PeerLink(victim),
+            from,
+            until,
+        ));
+        partition_windows.push((from, until));
+    }
+    let split_vote_at: Vec<u64> = (0..config.split_votes)
+        .map(|_| rng.gen_range(tick_ms..disrupt_until_ms.max(tick_ms + 1)))
+        .collect();
+    let mut mds_kill_windows: Vec<(u64, u64, MdsId)> = Vec::new();
+    for _ in 0..config.mds_kills {
+        let at = rng.gen_range(failure_timeout_ms..disrupt_until_ms.max(failure_timeout_ms + 1));
+        let back_at = at + failure_timeout_ms + rng.gen_range(2..=6) * tick_ms;
+        // Never the GL writer: its lease lifecycle must keep running
+        // through every disruption.
+        let victim = MdsId(rng.gen_range(1..config.mds) as u16);
+        mds_kill_windows.push((at, back_at, victim));
+    }
+    // Quorum loss lands after the disruption window so it cannot overlap
+    // the single-kill schedules.
+    let quorum_window = config.quorum_loss.then(|| {
+        let from = disrupt_until_ms + 5 * tick_ms;
+        let until = from + 20 * tick_ms;
+        (from, until)
+    });
+    let stale_probe_after_ms = horizon_ms / 2;
+
+    let registry = Arc::new(Registry::with_journal_capacity(64 * 1024));
+    names::register_all(&registry);
+    let injector = FaultInjector::new(&plan).with_registry(Arc::clone(&registry));
+    let wal_root = monitor_chaos_root();
+    let mut cluster = ConsensusCluster::new(
+        seed,
+        ConsensusConfig {
+            replicas: config.replicas,
+            timing,
+            lease_ms,
+            wal_root: Some(wal_root.clone()),
+            segment_bytes: 16 * 1024,
+        },
+    )
+    .with_registry(Arc::clone(&registry))
+    .with_journal(Arc::clone(registry.journal()));
+    // One Monitor state machine per replica, each with a private journal
+    // (only committed membership decisions reach the shared journal,
+    // via the observer).
+    let mut monitors: Vec<Monitor> = (0..config.replicas)
+        .map(|_| {
+            Monitor::new(
+                MonitorConfig {
+                    heartbeat_interval_ms: tick_ms,
+                    failure_timeout_ms,
+                    ..MonitorConfig::default()
+                },
+                config.mds,
+            )
+        })
+        .collect();
+    let mut client = LeaderClient::new(seed, config.replicas as u16).with_registry(&registry);
+
+    let mut mds_killed = vec![false; config.mds];
+    let mut registered = false;
+    let mut known_leader: Option<u16> = None;
+    let mut reelect_deadline: Option<u64> = None;
+    let mut pending_failover: BTreeSet<u64> = BTreeSet::new();
+    let mut gl_phase = GlPhase::Idle;
+    // When the writer entered its current in-flight phase, and how long
+    // it waits for the commit before assuming the proposal died with a
+    // leader and re-issuing (failover-sized, plus the lease the retry
+    // may have to wait out).
+    let mut phase_since = 0u64;
+    let give_up_ms = reelect_slack_ms + 2 * lease_ms;
+    let mut stale_probe_done = false;
+    let mut stale_probes_confirmed = 0usize;
+    let mut monitor_kills = 0usize;
+    let mut monitor_restarts = 0usize;
+    let mut gl_writes = 0u64;
+    let mut blocked_writes = 0u64;
+    let mut migrations_committed = 0u64;
+    let mut max_failover_ms = 0u64;
+    let mut last_fence = 0u64;
+    let mut next_kill = 0usize;
+    let mut next_mds_kill = 0usize;
+    let mut next_split = 0usize;
+    let mut violations: Vec<String> = Vec::new();
+
+    for tick in 0..config.ticks {
+        let now = tick * tick_ms;
+        let in_partition = partition_windows
+            .iter()
+            .any(|&(from, until)| now >= from && now < until);
+        let in_quorum_loss = quorum_window.is_some_and(|(from, until)| now >= from && now < until);
+
+        // 1. Scheduled control-plane disruptions.
+        if next_kill < kill_windows.len() && now >= kill_windows[next_kill].0 {
+            let (_, back_at) = kill_windows[next_kill];
+            if now >= back_at {
+                // Restart whoever is down from this window.
+                for r in 0..config.replicas as u16 {
+                    if !cluster.is_up(r) && cluster.restart(r, now) {
+                        monitor_restarts += 1;
+                    }
+                }
+                next_kill += 1;
+            } else if cluster.up_count() == config.replicas {
+                // Kill the current leader (or replica 0 while leaderless).
+                let victim = cluster.leader().unwrap_or(0);
+                if cluster.kill(victim, now) {
+                    monitor_kills += 1;
+                    known_leader = None;
+                    pending_failover.clear();
+                    reelect_deadline = Some(now + reelect_slack_ms);
+                }
+            }
+        }
+        if let Some((from, until)) = quorum_window {
+            if now >= from && now < until && cluster.up_count() == config.replicas {
+                // Crash everything but one replica: quorum is gone.
+                let survivor = cluster
+                    .leader()
+                    .map_or(0, |l| (l + 1) % config.replicas as u16);
+                for r in 0..config.replicas as u16 {
+                    if r != survivor && cluster.kill(r, now) {
+                        monitor_kills += 1;
+                    }
+                }
+                known_leader = None;
+                pending_failover.clear();
+                reelect_deadline = None;
+            }
+            if now >= until && cluster.up_count() < config.replicas {
+                for r in 0..config.replicas as u16 {
+                    if !cluster.is_up(r) && cluster.restart(r, now) {
+                        monitor_restarts += 1;
+                    }
+                }
+                reelect_deadline = Some(now + reelect_slack_ms);
+            }
+        }
+        if next_split < split_vote_at.len() && now >= split_vote_at[next_split] {
+            next_split += 1;
+            cluster.force_split_vote(now);
+            known_leader = None;
+            reelect_deadline = Some(now + reelect_slack_ms);
+        }
+
+        // 2. Scheduled data-plane disruptions.
+        if next_mds_kill < mds_kill_windows.len() {
+            let (at, back_at, victim) = mds_kill_windows[next_mds_kill];
+            if now >= back_at {
+                mds_killed[victim.index()] = false;
+                next_mds_kill += 1;
+            } else if now >= at {
+                mds_killed[victim.index()] = true;
+            }
+        }
+
+        // 3. Leadership bookkeeping: adopt the committed membership on
+        // a fresh leader; enforce the re-election bound.
+        let leader = cluster.leader();
+        if let Some(l) = leader {
+            if known_leader != Some(l) {
+                known_leader = Some(l);
+                let alive: Vec<bool> = (0..config.mds as u16)
+                    .map(|k| cluster.observer().alive.get(&k).copied().unwrap_or(false))
+                    .collect();
+                monitors[l as usize].adopt_membership(&alive, now);
+                pending_failover.clear();
+            }
+            reelect_deadline = None;
+            if let Some(f) = cluster.last_failover_ms() {
+                max_failover_ms = max_failover_ms.max(f);
+            }
+        } else if let Some(deadline) = reelect_deadline {
+            let quorum = cluster.up_count() * 2 > config.replicas;
+            if now > deadline && quorum && !in_partition && !in_quorum_loss {
+                violations.push(format!(
+                    "t={now}: no leader within the re-election bound ({}ms past loss)",
+                    timing.reelect_bound_ms()
+                ));
+                reelect_deadline = None;
+            }
+        }
+
+        // 4. MDS heartbeats flow to the leader's Monitor through the
+        // injected network; membership decisions become log entries.
+        if let Some(l) = leader {
+            if !registered {
+                for k in 0..config.mds as u16 {
+                    let _ = cluster.submit(l, Command::MdsAlive { mds: k }, now);
+                }
+                registered = true;
+            }
+            let mon = &mut monitors[l as usize];
+            for (k, &dead) in mds_killed.iter().enumerate() {
+                if dead {
+                    continue;
+                }
+                let edge = NetEdge::MdsToMonitor(k as u16);
+                if injector.decide(edge, now) == FaultDecision::Drop {
+                    continue;
+                }
+                let hb = Heartbeat {
+                    mds: MdsId(k as u16),
+                    load: owned.values().filter(|&&o| o.index() == k).count() as f64,
+                };
+                if let Some(ClusterEvent::MdsRecovered(back)) = mon.on_heartbeat(hb, now) {
+                    let _ = cluster.submit(l, Command::MdsAlive { mds: back.0 }, now);
+                }
+            }
+            for event in monitors[l as usize].detect_failures(now) {
+                if let ClusterEvent::MdsFailed(dead) = event {
+                    let _ = cluster.submit(l, Command::MdsDead { mds: dead.0 }, now);
+                }
+            }
+        }
+
+        // 5. Failover resume: any subtree still owned by a
+        // committed-dead MDS gets a re-homing proposed by the current
+        // leader — including orphans inherited from a leader that died
+        // mid-rebalance.
+        if let Some(l) = leader {
+            let dead_owners: BTreeSet<MdsId> = owned
+                .values()
+                .filter(|o| {
+                    cluster
+                        .observer()
+                        .alive
+                        .get(&o.0)
+                        .is_some_and(|alive| !alive)
+                })
+                .copied()
+                .collect();
+            for dead in dead_owners {
+                let owned_vec = subtree_table(tree, &owned);
+                let migrations =
+                    monitors[l as usize].plan_failover(dead, &owned_vec, &cluster_spec, now);
+                for mg in migrations {
+                    let subtree = mg.node.index() as u64;
+                    if pending_failover.insert(subtree) {
+                        let _ = cluster.submit(
+                            l,
+                            Command::Migrate {
+                                subtree,
+                                from: mg.from.0,
+                                to: mg.to.0,
+                            },
+                            now,
+                        );
+                    }
+                }
+            }
+        }
+
+        // 6. The GL writer drives its lease lifecycle through the
+        // replicated lock state machine, via leader discovery + the
+        // shared retry policy.
+        match gl_phase {
+            GlPhase::Idle => {
+                if leader.is_some() || cluster.up_count() * 2 > config.replicas {
+                    if client
+                        .try_submit(
+                            &mut cluster,
+                            Command::LeaseAcquire {
+                                node: gl_node,
+                                holder: GL_WRITER,
+                                now_ms: now,
+                            },
+                            now,
+                        )
+                        .is_some()
+                    {
+                        gl_phase = GlPhase::Acquiring;
+                        phase_since = now;
+                    } else if leader.is_none() {
+                        blocked_writes += 1;
+                    }
+                } else {
+                    // Quorum lost: reads still answer from the observer
+                    // (and any surviving replica), writes are blocked.
+                    let _ = cluster.observer().gl_version(gl_node);
+                    blocked_writes += 1;
+                }
+            }
+            GlPhase::Holding { fence } => {
+                if !stale_probe_done && now >= stale_probe_after_ms {
+                    // Hold the lease past expiry instead of writing.
+                    stale_probe_done = true;
+                    gl_phase = GlPhase::StaleWait {
+                        fence,
+                        expires_at_ms: now + lease_ms,
+                    };
+                } else if client
+                    .try_submit(
+                        &mut cluster,
+                        Command::GlWrite {
+                            node: gl_node,
+                            fence,
+                            now_ms: now,
+                        },
+                        now,
+                    )
+                    .is_some()
+                {
+                    gl_phase = GlPhase::Writing { fence };
+                    phase_since = now;
+                }
+            }
+            GlPhase::StaleWait {
+                fence,
+                expires_at_ms,
+            } => {
+                if now > expires_at_ms
+                    && client
+                        .try_submit(
+                            &mut cluster,
+                            Command::GlWrite {
+                                node: gl_node,
+                                fence,
+                                now_ms: now,
+                            },
+                            now,
+                        )
+                        .is_some()
+                {
+                    gl_phase = GlPhase::StaleProbe { fence };
+                    phase_since = now;
+                }
+            }
+            GlPhase::Acquiring | GlPhase::Writing { .. } | GlPhase::StaleProbe { .. } => {
+                // Waiting on a commit; resolved in step 7. A proposal
+                // accepted by a leader that died before replicating it
+                // is simply lost — after a failover-sized wait assume
+                // the worst and re-issue, like a real client timing out.
+                if now.saturating_sub(phase_since) > give_up_ms {
+                    gl_phase = match gl_phase {
+                        GlPhase::StaleProbe { fence } => {
+                            // Re-arm the probe: the expired fence must
+                            // still be submitted and rejected, not
+                            // forgotten with the lost message.
+                            GlPhase::StaleWait {
+                                fence,
+                                expires_at_ms: now,
+                            }
+                        }
+                        _ => GlPhase::Idle,
+                    };
+                    phase_since = now;
+                }
+            }
+        }
+
+        // 7. Advance the consensus cluster one step and fold the newly
+        // committed entries back into the chaos world.
+        for (_entry, outcome) in cluster.tick(now, Some(&injector)) {
+            match outcome {
+                Applied::Granted {
+                    node,
+                    fence,
+                    holder,
+                } if node == gl_node && holder == GL_WRITER => {
+                    if fence <= last_fence {
+                        violations.push(format!(
+                            "t={now}: fence regression {fence} after {last_fence}"
+                        ));
+                    }
+                    last_fence = fence;
+                    if gl_phase == GlPhase::Acquiring {
+                        gl_phase = GlPhase::Holding { fence };
+                    }
+                }
+                Applied::GlWritten { node, .. } if node == gl_node => {
+                    gl_writes += 1;
+                    if let GlPhase::Writing { fence } = gl_phase {
+                        let _ = client.try_submit(
+                            &mut cluster,
+                            Command::LeaseRelease {
+                                node: gl_node,
+                                fence,
+                            },
+                            now,
+                        );
+                        gl_phase = GlPhase::Idle;
+                    }
+                }
+                Applied::Rejected { node, .. } if node == gl_node => {
+                    match gl_phase {
+                        GlPhase::StaleProbe { .. } => {
+                            stale_probes_confirmed += 1;
+                            gl_phase = GlPhase::Idle;
+                        }
+                        GlPhase::Writing { .. } => {
+                            // An honest write raced lease expiry (e.g.
+                            // blocked behind a long failover): the fence
+                            // did its job. Start over.
+                            gl_phase = GlPhase::Idle;
+                        }
+                        _ => {}
+                    }
+                }
+                Applied::Migrated { subtree, to, .. } => {
+                    migrations_committed += 1;
+                    pending_failover.remove(&subtree);
+                    let root = NodeId::from_index(subtree as usize);
+                    if let Some(owner) = owned.get_mut(&root) {
+                        let from = *owner;
+                        *owner = MdsId(to);
+                        let size = tree.subtree_size(root) as u64;
+                        registry.journal().record(EventKind::SubtreeShed {
+                            from: from.0,
+                            subtree,
+                            size,
+                            popularity: size as f64,
+                        });
+                        registry.journal().record(EventKind::SubtreeClaimed {
+                            to,
+                            subtree,
+                            size,
+                            popularity: size as f64,
+                        });
+                    } else {
+                        violations.push(format!("t={now}: migrate of unknown subtree {subtree}"));
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        // During quorum loss, reads must still answer (the acceptance
+        // bar: degraded, not dead).
+        if in_quorum_loss {
+            let _ = cluster.observer().gl_version(gl_node);
+            let _ = cluster.observer().lease(gl_node);
+        }
+    }
+
+    // Final sweep.
+    violations.extend(cluster.check_invariants());
+    let roots: BTreeSet<NodeId> = owned.keys().copied().collect();
+    if roots != initial_roots {
+        violations.push("ownership table lost or invented subtrees".to_string());
+    }
+    for (&root, &owner) in &owned {
+        let alive = cluster
+            .observer()
+            .alive
+            .get(&owner.0)
+            .copied()
+            .unwrap_or(false);
+        if !alive {
+            violations.push(format!(
+                "subtree {} still owned by dead mds{} at quiesce",
+                root.index(),
+                owner.0
+            ));
+        }
+    }
+    // Fencing tokens in the shared journal must be strictly monotonic —
+    // across failovers, restarts and partitions.
+    let mut prev = 0u64;
+    for e in registry.journal().snapshot() {
+        if let EventKind::LeaseGranted { fence, .. } = e.kind {
+            if fence <= prev {
+                violations.push(format!("journal fence regression: {fence} after {prev}"));
+            }
+            prev = fence;
+        }
+    }
+
+    let snap = registry.snapshot();
+    let counter = |name: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k.name == name)
+            .map_or(0, |&(_, v)| v)
+    };
+    let report = MonitorChaosReport {
+        seed,
+        ticks: config.ticks,
+        monitor_kills,
+        monitor_restarts,
+        elections: counter(names::ELECTIONS_TOTAL),
+        leader_changes: counter(names::LEADER_CHANGES_TOTAL),
+        commits: counter(names::LOG_COMMITS_TOTAL),
+        grants: cluster.observer().grants,
+        gl_writes,
+        fence_rejections: cluster.observer().fence_rejections,
+        stale_probes_confirmed,
+        monitor_retries: counter(names::MONITOR_RETRIES_TOTAL),
+        blocked_writes,
+        max_failover_ms,
+        migrations_committed,
+        violations,
+        journal: snap
+            .events
+            .iter()
+            .map(|e| e.kind)
+            .filter(|k| !matches!(k, EventKind::Heartbeat { .. }))
+            .collect(),
+    };
+    fs::remove_dir_all(&wal_root).ok();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1122,6 +1830,86 @@ mod tests {
                 report.violations
             );
         }
+    }
+
+    #[test]
+    fn monitor_chaos_same_seed_same_report() {
+        let config = MonitorChaosConfig::default();
+        let a = run_monitor_chaos(42, &config);
+        let b = run_monitor_chaos(42, &config);
+        assert_eq!(a, b, "monitor-chaos runs must be fully reproducible");
+        assert!(!a.journal.is_empty(), "schedule must leave a trace");
+    }
+
+    #[test]
+    fn monitor_chaos_default_schedule_survives() {
+        let report = run_monitor_chaos(42, &MonitorChaosConfig::default());
+        assert!(
+            report.violations.is_empty(),
+            "control plane violated safety: {:?}",
+            report.violations
+        );
+        assert!(report.monitor_kills >= 1, "leaders must actually die");
+        assert_eq!(report.monitor_restarts, report.monitor_kills);
+        assert!(report.leader_changes >= 2, "kills must force failovers");
+        assert!(report.commits > 0 && report.grants > 0 && report.gl_writes > 0);
+        assert_eq!(
+            report.stale_probes_confirmed, 1,
+            "the expired-fence probe must be rejected, not applied"
+        );
+        assert!(
+            report.fence_rejections >= 1,
+            "the stale write must show up as a rejection"
+        );
+        assert!(
+            report.max_failover_ms > 0,
+            "a completed failover must be measured"
+        );
+    }
+
+    #[test]
+    fn monitor_chaos_seeds_sweep_clean_and_differ() {
+        let config = MonitorChaosConfig::default();
+        let mut journals = Vec::new();
+        for seed in [1u64, 7, 42] {
+            let report = run_monitor_chaos(seed, &config);
+            assert!(
+                report.violations.is_empty(),
+                "seed {seed}: {:?}",
+                report.violations
+            );
+            journals.push(report.journal);
+        }
+        assert_ne!(journals[0], journals[1], "seed must steer the schedule");
+    }
+
+    #[test]
+    fn monitor_chaos_mds_kill_rebalances_through_the_log() {
+        let report = run_monitor_chaos(7, &MonitorChaosConfig::default());
+        assert!(
+            report.migrations_committed >= 1,
+            "an MDS crash must re-home its subtrees via committed entries"
+        );
+        assert!(report.violations.is_empty(), "{:?}", report.violations);
+    }
+
+    #[test]
+    fn monitor_chaos_quorum_loss_degrades_read_only_then_recovers() {
+        let config = MonitorChaosConfig {
+            quorum_loss: true,
+            ticks: 1200,
+            ..MonitorChaosConfig::default()
+        };
+        let report = run_monitor_chaos(42, &config);
+        assert!(
+            report.blocked_writes > 0,
+            "quorum loss must block writes (while reads keep serving)"
+        );
+        assert!(
+            report.violations.is_empty(),
+            "degradation must be graceful: {:?}",
+            report.violations
+        );
     }
 
     #[test]

@@ -20,15 +20,20 @@
 //!
 //! Robustness layers: [`fault`] (deterministic seeded fault injection
 //! over client↔MDS, MDS↔Monitor and MDS↔lock edges, consulted by both
-//! transports) and [`chaos`] (a virtual-time chaos engine that replays
+//! transports), [`chaos`] (a virtual-time chaos engine that replays
 //! seeded kill/partition/restart schedules against the full recovery
-//! protocol and machine-checks ownership and GL-convergence invariants).
+//! protocol and machine-checks ownership and GL-convergence invariants)
+//! and [`consensus`] (a replicated control plane: Raft-style leader
+//! election and log replication across Monitor replicas, with
+//! membership and lease decisions applied only through committed,
+//! WAL-persisted log entries).
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod chaos;
 pub mod client;
+pub mod consensus;
 pub mod fault;
 pub mod live;
 pub mod lock;
@@ -38,9 +43,14 @@ pub mod sim;
 pub mod trace_analysis;
 
 pub use chaos::{
-    run_chaos, run_store_chaos, ChaosConfig, ChaosReport, StoreChaosConfig, StoreChaosReport,
+    run_chaos, run_monitor_chaos, run_store_chaos, ChaosConfig, ChaosReport, MonitorChaosConfig,
+    MonitorChaosReport, StoreChaosConfig, StoreChaosReport,
 };
 pub use client::{CacheStats, ClientCache, RetryPolicy};
+pub use consensus::{
+    Applied, Command, ConsensusCluster, ConsensusConfig, ConsensusTiming, ControlState, Entry,
+    LeaderClient, LeaseState, PeerMsg, Replica, Role, SubmitOutcome,
+};
 pub use fault::{
     FaultAction, FaultDecision, FaultInjector, FaultPlan, FaultRule, FaultScope, NetEdge,
     StorageFault, StorageFaultRule,

@@ -418,8 +418,9 @@ impl LiveCluster {
             let shared = Arc::clone(&shared);
             let hb_tx = hb_tx.clone();
             let interval = config.heartbeat_interval;
+            let retry = config.retry;
             server_handles.push(std::thread::spawn(move || {
-                server_main(&shared, k, &rx, &hb_tx, interval);
+                server_main(&shared, k, &rx, &hb_tx, interval, retry);
             }));
         }
         drop(hb_tx);
@@ -453,6 +454,7 @@ impl LiveCluster {
         LiveClient {
             cache_hits: registry.counter(MetricKey::global(names::CLIENT_CACHE_HITS)),
             cache_misses: registry.counter(MetricKey::global(names::CLIENT_CACHE_MISSES)),
+            monitor_retries: registry.counter(MetricKey::global(names::MONITOR_RETRIES_TOTAL)),
             client_id: seed,
             shared: Arc::clone(&self.shared),
             server_txs: self.server_txs.clone(),
@@ -878,6 +880,7 @@ fn server_main(
     rx: &Receiver<ServerMsg>,
     hb_tx: &Sender<Heartbeat>,
     interval: Duration,
+    retry: RetryPolicy,
 ) {
     let my_id = MdsId(me as u16);
     // Cache counter handles once; the serve loop must not take the
@@ -888,13 +891,39 @@ fn server_main(
     let forwarded_total = shared
         .registry
         .counter(MetricKey::global(names::FORWARDED_TOTAL));
+    let monitor_retries = shared
+        .registry
+        .counter(MetricKey::global(names::MONITOR_RETRIES_TOTAL));
+    // Heartbeat resends are spaced by the same capped-exponential +
+    // seeded-jitter policy the clients use; seeded per server so runs
+    // stay reproducible.
+    let mut hb_rng = StdRng::seed_from_u64(0x6d6f_6e5f_7274_7279 ^ me as u64);
     let mut last_hb = Instant::now() - interval; // heartbeat immediately
     loop {
         if !shared.killed[me].load(Ordering::SeqCst) && last_hb.elapsed() >= interval {
             let load = shared.served[me].load(Ordering::SeqCst) as f64;
             let hb = Heartbeat { mds: my_id, load };
             match shared.fault(NetEdge::MdsToMonitor(me as u16)) {
-                FaultDecision::Drop => {} // heartbeat lost in transit
+                FaultDecision::Drop => {
+                    // Heartbeat lost in transit. A silent loss costs a
+                    // whole interval and edges the server toward a false
+                    // failure declaration, so retry a bounded number of
+                    // times under the shared policy instead of the old
+                    // fire-and-forget. Backoff is capped well below the
+                    // interval: the serve loop must not stall.
+                    for attempt in 0..2 {
+                        monitor_retries.inc();
+                        let pause = retry.backoff(attempt, &mut hb_rng).min(interval / 8);
+                        std::thread::sleep(pause);
+                        if shared.killed[me].load(Ordering::SeqCst) {
+                            break;
+                        }
+                        if shared.fault(NetEdge::MdsToMonitor(me as u16)) != FaultDecision::Drop {
+                            let _ = hb_tx.send(hb);
+                            break;
+                        }
+                    }
+                }
                 FaultDecision::Delay(ms) => {
                     let hb_tx = hb_tx.clone();
                     std::thread::spawn(move || {
@@ -982,8 +1011,22 @@ fn server_main(
                             // this replica, propagate to the others while
                             // the lock is held.
                             let lock_t0 = shared.tracer().map(Tracer::now_us);
-                            let (token, spins) =
-                                shared.locks.acquire_spin(req.target, || shared.now_ms());
+                            // Spin until granted *and still live at apply
+                            // time*: a lease that expired while the write
+                            // was in flight (e.g. behind an injected
+                            // delay) must not authorise the mutation —
+                            // re-acquire under a fresh fence instead of
+                            // applying stale.
+                            let mut spins = 0u64;
+                            let token = loop {
+                                let (t, s) =
+                                    shared.locks.acquire_spin(req.target, || shared.now_ms());
+                                spins += s;
+                                if shared.locks.validate(t, shared.now_ms()) {
+                                    break t;
+                                }
+                                spins += 1;
+                            };
                             let now = shared.now_ms();
                             shared.attr_stores[me]
                                 .write()
@@ -1632,6 +1675,7 @@ pub struct LiveClient {
     client_id: u64,
     cache_hits: Arc<Counter>,
     cache_misses: Arc<Counter>,
+    monitor_retries: Arc<Counter>,
 }
 
 impl LiveClient {
@@ -1641,7 +1685,19 @@ impl LiveClient {
 
     /// Fetches a fresh index copy from some responsive server.
     fn refresh_cache(&mut self) {
-        for _ in 0..self.server_txs.len().max(1) {
+        for attempt in 0..self.server_txs.len().max(1) {
+            if attempt > 0 {
+                // Re-probing after a lost or timed-out fetch is a retry:
+                // space it under the same capped-exponential + jittered
+                // policy as the data path instead of hammering the next
+                // server immediately.
+                self.monitor_retries.inc();
+                std::thread::sleep(
+                    self.retry
+                        .backoff(attempt - 1, &mut self.rng)
+                        .min(self.timeout),
+                );
+            }
             let dest = self.random_server();
             // The index fetch crosses the same client↔MDS link as the
             // data path, so the fault plan applies to it too.
@@ -2010,6 +2066,52 @@ mod tests {
             let parent = l.parent.expect("lock spans have a parent");
             assert!(serve_ids.contains(&parent.0), "lock nests under a serve");
         }
+    }
+
+    #[test]
+    fn dropped_heartbeats_are_resent_under_the_shared_retry_policy() {
+        use crate::fault::{FaultAction, FaultRule, FaultScope};
+        let w = WorkloadBuilder::new(TraceProfile::dtr().with_nodes(400).with_operations(100))
+            .seed(17)
+            .build();
+        let pop = w.popularity();
+        let mut scheme = D2TreeScheme::new(D2TreeConfig::paper_default());
+        scheme.build(&w.tree, &pop, &ClusterSpec::homogeneous(3, 1.0));
+        let placement = scheme.placement().clone();
+        let index = scheme.local_index().clone();
+        let tree = Arc::new(w.tree);
+        // Drop MDS 0's heartbeats for the first 80 ms (shorter than the
+        // 120 ms failure timeout, so no false failure declaration): each
+        // loss must be re-sent under the shared retry policy and counted
+        // in monitor_retries_total, not silently eaten.
+        let plan = FaultPlan::new(99)
+            .with_rule(FaultRule::new(FaultScope::MonitorLink(0), FaultAction::Drop).during(0, 80));
+        let cluster = LiveCluster::start_with_faults(
+            Arc::clone(&tree),
+            placement,
+            index,
+            LiveConfig::default(),
+            plan,
+        );
+        std::thread::sleep(Duration::from_millis(200));
+        let snap = cluster.registry().snapshot();
+        let retries = snap
+            .counters
+            .iter()
+            .find(|(k, _)| k.name == names::MONITOR_RETRIES_TOTAL)
+            .map_or(0, |(_, v)| *v);
+        let report = cluster.shutdown();
+        assert!(
+            retries > 0,
+            "dropped heartbeats must be retried and counted (got {retries})"
+        );
+        assert!(
+            !report
+                .events
+                .iter()
+                .any(|e| matches!(e, ClusterEvent::MdsFailed(_))),
+            "retried heartbeats keep the server alive through the drop window"
+        );
     }
 
     #[test]

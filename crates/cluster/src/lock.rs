@@ -131,6 +131,22 @@ impl LockService {
         }
     }
 
+    /// Whether `token` still authorises a write at `now_ms`: the lock
+    /// must be held under the same fence *and* the lease must still be
+    /// live. Writers re-check this immediately before applying an
+    /// in-flight global-layer mutation — a lease that expired mid-write
+    /// must fence the write out rather than let it land stale. The
+    /// replicated control plane enforces the same rule at log-apply
+    /// time (`GlWrite` rejection in `consensus::ControlState`).
+    #[must_use]
+    pub fn validate(&self, token: LockToken, now_ms: u64) -> bool {
+        self.inner
+            .lock()
+            .held
+            .get(&token.node)
+            .is_some_and(|h| h.fence == token.fence && h.expires_at_ms > now_ms)
+    }
+
     /// Releases a held lock. Returns `false` if the token is stale.
     pub fn release(&self, token: LockToken) -> bool {
         let mut inner = self.inner.lock();
@@ -219,6 +235,29 @@ mod tests {
         assert!(spins > 0, "had to wait for the lease to run out");
         assert!(fresh.fence > stale.fence);
         assert!(!locks.release(stale));
+        assert!(locks.release(fresh));
+    }
+
+    #[test]
+    fn lease_expiry_mid_write_invalidates_the_token_before_apply() {
+        // Regression: a writer holding the lock stalls mid-write until
+        // its lease runs out. The expired fencing token must be rejected
+        // at validate time — even before any successor steals the lock —
+        // not silently honoured by the apply.
+        let locks = LockService::new(50);
+        let t = locks.try_acquire(n(5), 0).unwrap();
+        // Still in flight and still live just before expiry...
+        assert!(locks.validate(t, 49));
+        // ...but the lease ran out while the write was in flight. With
+        // no new holder yet, the expired fence already fails validation.
+        assert!(!locks.validate(t, 50));
+        // A successor takes over under a higher fence; the stale token
+        // stays invalid and cannot release the new holder's lock.
+        let fresh = locks.try_acquire(n(5), 60).unwrap();
+        assert!(fresh.fence > t.fence);
+        assert!(!locks.validate(t, 61));
+        assert!(locks.validate(fresh, 61));
+        assert!(!locks.release(t));
         assert!(locks.release(fresh));
     }
 

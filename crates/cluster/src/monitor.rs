@@ -145,6 +145,28 @@ impl Monitor {
         fresh
     }
 
+    /// Installs the *committed* membership view on a Monitor that just
+    /// became the control-plane leader.
+    ///
+    /// Under replicated operation each Monitor replica keeps its own
+    /// heartbeat clock, but membership truth lives in the consensus
+    /// log. A fresh leader adopts that committed view: alive servers
+    /// get a synthetic `last_seen` stamp of `now_ms` (they earn their
+    /// next timeout from scratch rather than being re-declared off a
+    /// stale clock), dead servers are marked already-declared so the
+    /// new leader does not re-announce failures the old leader already
+    /// committed.
+    pub fn adopt_membership(&mut self, alive: &[bool], now_ms: u64) {
+        for (k, &up) in alive.iter().enumerate().take(self.last_seen_ms.len()) {
+            if up {
+                self.last_seen_ms[k] = Some(now_ms);
+                self.declared_dead[k] = false;
+            } else {
+                self.declared_dead[k] = true;
+            }
+        }
+    }
+
     /// Whether an MDS is currently considered alive at `now_ms`.
     #[must_use]
     pub fn is_alive(&self, mds: MdsId, now_ms: u64) -> bool {
@@ -392,6 +414,26 @@ mod tests {
         );
         // Once resurrected, further heartbeats are ordinary again.
         assert_eq!(mon.on_heartbeat(hb(0, 1.0), 1_200), None);
+    }
+
+    #[test]
+    fn adopt_membership_installs_committed_view_without_reannouncing() {
+        let mut mon = Monitor::new(MonitorConfig::default(), 3);
+        // Committed view: 0 and 2 alive, 1 dead.
+        mon.adopt_membership(&[true, false, true], 1_000);
+        assert!(mon.is_alive(MdsId(0), 1_100));
+        assert!(!mon.is_alive(MdsId(1), 1_100));
+        assert!(mon.is_alive(MdsId(2), 1_100));
+        // The already-committed death is not re-declared...
+        assert!(mon.detect_failures(1_100).is_empty());
+        // ...but adopted-alive servers still earn a fresh timeout.
+        let events = mon.detect_failures(1_000 + 500);
+        assert_eq!(events.len(), 2);
+        // And a resurrection of the adopted-dead server still fires.
+        assert_eq!(
+            mon.on_heartbeat(hb(1, 1.0), 1_200),
+            Some(ClusterEvent::MdsRecovered(MdsId(1)))
+        );
     }
 
     #[test]

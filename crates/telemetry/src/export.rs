@@ -222,6 +222,22 @@ fn json_event(out: &mut String, e: &Event) {
         EventKind::GlDeltaSync { mds, entries } => {
             let _ = write!(out, ",\"mds\":{mds},\"entries\":{entries}");
         }
+        EventKind::LeaderElected { replica, term } => {
+            let _ = write!(out, ",\"replica\":{replica},\"term\":{term}");
+        }
+        EventKind::LeaseGranted {
+            node,
+            fence,
+            holder,
+        } => {
+            let _ = write!(
+                out,
+                ",\"node\":{node},\"fence\":{fence},\"holder\":{holder}"
+            );
+        }
+        EventKind::FenceRejected { node, fence } => {
+            let _ = write!(out, ",\"node\":{node},\"fence\":{fence}");
+        }
     }
     out.push('}');
 }
@@ -375,6 +391,10 @@ mod tests {
             "trace_spans_dropped_total",
             "health_ticks_total",
             "health_violations_total",
+            "elections_total",
+            "leader_changes_total",
+            "log_commits_total",
+            "monitor_retries_total",
             "op_latency_us",
             "op_latency_us_read",
             "op_latency_us_write",
@@ -383,6 +403,7 @@ mod tests {
             "wal_append_us",
             "wal_fsync_us",
             "recovery_ms",
+            "monitor_failover_ms",
         ];
 
         let r = Registry::new();

@@ -103,6 +103,30 @@ pub enum EventKind {
         /// GL entries actually transferred (stale on the rejoiner).
         entries: u64,
     },
+    /// A control-plane replica won an election and became leader.
+    LeaderElected {
+        /// The replica that assumed leadership.
+        replica: u16,
+        /// The term it leads.
+        term: u64,
+    },
+    /// The replicated lock state machine granted (or renewed) a lease.
+    LeaseGranted {
+        /// GL node the lease covers.
+        node: u64,
+        /// Monotonic fencing token attached to the grant.
+        fence: u64,
+        /// MDS holding the lease.
+        holder: u16,
+    },
+    /// The replicated lock state machine rejected a write carrying a
+    /// stale or expired fencing token.
+    FenceRejected {
+        /// GL node the rejected write targeted.
+        node: u64,
+        /// The stale fencing token presented.
+        fence: u64,
+    },
 }
 
 /// The kind of perturbation a fault-injection rule applied to a message.
@@ -157,6 +181,9 @@ impl EventKind {
             EventKind::MdsRejoined { .. } => "mds_rejoined",
             EventKind::StoreRecovered { .. } => "store_recovered",
             EventKind::GlDeltaSync { .. } => "gl_delta_sync",
+            EventKind::LeaderElected { .. } => "leader_elected",
+            EventKind::LeaseGranted { .. } => "lease_granted",
+            EventKind::FenceRejected { .. } => "fence_rejected",
         }
     }
 }

@@ -108,6 +108,16 @@ pub mod names {
     pub const HEALTH_TICKS_TOTAL: &str = "health_ticks_total";
     /// Health-rule violations observed across checked trajectories.
     pub const HEALTH_VIOLATIONS_TOTAL: &str = "health_violations_total";
+    /// Elections started by control-plane replicas (candidate steps).
+    pub const ELECTIONS_TOTAL: &str = "elections_total";
+    /// Distinct leadership hand-offs observed by the control plane.
+    pub const LEADER_CHANGES_TOTAL: &str = "leader_changes_total";
+    /// Entries committed through the replicated control-plane log.
+    pub const LOG_COMMITS_TOTAL: &str = "log_commits_total";
+    /// Monitor/control-plane RPC retries taken under the retry policy.
+    pub const MONITOR_RETRIES_TOTAL: &str = "monitor_retries_total";
+    /// Leader-loss to next-commit gap across failovers, milliseconds.
+    pub const MONITOR_FAILOVER_MS: &str = "monitor_failover_ms";
 
     /// Pre-registers every globally-scoped metric on `registry` so
     /// exported metric sets are identical regardless of which code
@@ -137,6 +147,10 @@ pub mod names {
             TRACE_SPANS_DROPPED,
             HEALTH_TICKS_TOTAL,
             HEALTH_VIOLATIONS_TOTAL,
+            ELECTIONS_TOTAL,
+            LEADER_CHANGES_TOTAL,
+            LOG_COMMITS_TOTAL,
+            MONITOR_RETRIES_TOTAL,
         ];
         const HISTOGRAMS: &[&str] = &[
             OP_LATENCY_US,
@@ -147,6 +161,7 @@ pub mod names {
             WAL_APPEND_US,
             WAL_FSYNC_US,
             RECOVERY_MS,
+            MONITOR_FAILOVER_MS,
         ];
         for name in COUNTERS {
             let _ = registry.counter(MetricKey::global(name));

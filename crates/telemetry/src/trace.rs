@@ -71,6 +71,10 @@ pub enum SpanName {
     WalAppend,
     /// Store group-commit fsync.
     WalFsync,
+    /// A control-plane replica campaigning for leadership.
+    Election,
+    /// A leader replicating one committed batch to its followers.
+    Replicate,
 }
 
 impl SpanName {
@@ -92,6 +96,8 @@ impl SpanName {
             SpanName::Failover => "failover",
             SpanName::WalAppend => "wal_append",
             SpanName::WalFsync => "wal_fsync",
+            SpanName::Election => "election",
+            SpanName::Replicate => "replicate",
         }
     }
 
@@ -113,6 +119,8 @@ impl SpanName {
             11 => SpanName::Failover,
             12 => SpanName::WalAppend,
             13 => SpanName::WalFsync,
+            14 => SpanName::Election,
+            15 => SpanName::Replicate,
             _ => return None,
         })
     }
@@ -152,6 +160,10 @@ pub mod span_names {
     pub const WAL_APPEND: SpanName = SpanName::WalAppend;
     /// Store group-commit fsync.
     pub const WAL_FSYNC: SpanName = SpanName::WalFsync;
+    /// A control-plane replica campaigning for leadership.
+    pub const ELECTION: SpanName = SpanName::Election;
+    /// A leader replicating one committed batch to its followers.
+    pub const REPLICATE: SpanName = SpanName::Replicate;
 }
 
 /// Identifies one traced operation end to end across every hop.
@@ -226,6 +238,10 @@ pub enum ArgKey {
     Outcome,
     /// Response body kind (served/redirect/not-found code).
     Body,
+    /// Consensus term an election or replication batch ran in.
+    Term,
+    /// Fencing token carried by a lease grant or rejected write.
+    Fence,
 }
 
 impl ArgKey {
@@ -251,6 +267,8 @@ impl ArgKey {
             ArgKey::Route => "route",
             ArgKey::Outcome => "outcome",
             ArgKey::Body => "body",
+            ArgKey::Term => "term",
+            ArgKey::Fence => "fence",
         }
     }
 
@@ -276,6 +294,8 @@ impl ArgKey {
             15 => ArgKey::Route,
             16 => ArgKey::Outcome,
             17 => ArgKey::Body,
+            18 => ArgKey::Term,
+            19 => ArgKey::Fence,
             _ => return None,
         })
     }

@@ -12,11 +12,12 @@ use std::time::{Duration, Instant};
 
 use d2tree::cluster::live::{ClientError, LiveCluster, LiveConfig};
 use d2tree::cluster::{
-    run_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule, FaultScope, RetryPolicy,
+    run_chaos, run_monitor_chaos, ChaosConfig, FaultAction, FaultPlan, FaultRule, FaultScope,
+    MonitorChaosConfig, RetryPolicy,
 };
 use d2tree::core::{D2TreeConfig, D2TreeScheme, Partitioner};
 use d2tree::metrics::{ClusterSpec, MdsId};
-use d2tree::telemetry::names;
+use d2tree::telemetry::{names, EventKind};
 use d2tree::workload::{OpKind, Operation, TraceProfile, WorkloadBuilder};
 
 /// Seeds the CI matrix replays one at a time via `CHAOS_SEED`.
@@ -302,4 +303,95 @@ fn gl_replicas_reconverge_after_restart() {
     assert!(violations.is_empty(), "{violations:?}");
     drop(client);
     let _ = cluster.shutdown();
+}
+
+#[test]
+fn monitor_leader_crash_mid_rebalance_is_safe_and_reproducible() {
+    // The replicated control plane under the full default schedule:
+    // leader crash-restarts, a peer partition, a forced split vote and
+    // an MDS kill that makes the surviving leader re-home subtrees
+    // through the committed log. Safety must hold, grants must never
+    // regress their fencing tokens, failover must stay within the
+    // re-election bound, and the whole run must replay identically.
+    let config = MonitorChaosConfig::default();
+    let timing = d2tree::cluster::ConsensusTiming {
+        heartbeat_ms: 2 * config.tick_ms,
+        election_min_ms: 10 * config.tick_ms,
+        election_jitter_ms: 10 * config.tick_ms,
+        net_delay_ms: 1,
+    };
+    let failover_bound = timing.reelect_bound_ms() + 2 * config.tick_ms;
+    for seed in seeds_under_test() {
+        let a = run_monitor_chaos(seed, &config);
+        let b = run_monitor_chaos(seed, &config);
+        assert_eq!(a, b, "seed {seed}: same seed must replay identically");
+        assert!(
+            a.violations.is_empty(),
+            "seed {seed}: control-plane violations: {:?}",
+            a.violations
+        );
+        assert_eq!(a.monitor_kills, config.monitor_kills, "seed {seed}");
+        assert_eq!(
+            a.monitor_restarts, a.monitor_kills,
+            "seed {seed}: every crashed replica restarts"
+        );
+        assert!(
+            a.leader_changes >= 2,
+            "seed {seed}: leader crashes must hand leadership over"
+        );
+        assert!(a.commits > 0 && a.grants > 0, "seed {seed}: no progress");
+        assert!(
+            a.max_failover_ms > 0 && a.max_failover_ms <= failover_bound,
+            "seed {seed}: failover took {} ms, bound is {failover_bound} ms",
+            a.max_failover_ms
+        );
+        // Zero lost grants, monotonic fences: every committed grant in
+        // the journal carries a strictly larger fencing token than the
+        // one before it, across every crash and re-election.
+        let fences: Vec<u64> = a
+            .journal
+            .iter()
+            .filter_map(|e| match e {
+                EventKind::LeaseGranted { fence, .. } => Some(*fence),
+                _ => None,
+            })
+            .collect();
+        assert!(!fences.is_empty(), "seed {seed}: no grants journaled");
+        assert!(
+            fences.windows(2).all(|w| w[0] < w[1]),
+            "seed {seed}: fencing tokens regressed: {fences:?}"
+        );
+        assert!(
+            a.stale_probes_confirmed >= 1,
+            "seed {seed}: the deliberate expired-fence probe must be rejected"
+        );
+    }
+}
+
+#[test]
+fn monitor_quorum_loss_degrades_to_read_only_then_recovers() {
+    // Killing 2 of 3 Monitor replicas must degrade the control plane to
+    // read-only — writes blocked, no panic, no safety violation — and
+    // restarting the replicas must restore write availability.
+    let config = MonitorChaosConfig {
+        ticks: 1_200,
+        quorum_loss: true,
+        ..MonitorChaosConfig::default()
+    };
+    for seed in seeds_under_test() {
+        let report = run_monitor_chaos(seed, &config);
+        assert!(
+            report.violations.is_empty(),
+            "seed {seed}: quorum loss broke safety: {:?}",
+            report.violations
+        );
+        assert!(
+            report.blocked_writes > 0,
+            "seed {seed}: the leaderless window must visibly block writes"
+        );
+        assert!(
+            report.grants > 0 && report.gl_writes > 0,
+            "seed {seed}: writes must resume once quorum is restored"
+        );
+    }
 }

@@ -18,16 +18,18 @@ use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::sync::Arc;
+use std::time::Duration;
 
 use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
 use d2tree_bench::{parallel_cells_with, thread_count};
 use d2tree_cluster::{
-    analyze, run_chaos, run_monitor_chaos, run_store_chaos, ChaosConfig, FaultAction, FaultPlan,
-    FaultRule, FaultScope, MonitorChaosConfig, ReplayOutcome, SimConfig, Simulator,
-    StoreChaosConfig, StrictChainRoute,
+    analyze, run_chaos, run_load, run_monitor_chaos, run_store_chaos, ChaosConfig, FaultAction,
+    FaultPlan, FaultRule, FaultScope, LoadConfig, LoadMode, LoadReport, MonitorChaosConfig, NetMds,
+    NetServer, NetServerConfig, ReplayOutcome, RetryPolicy, SimConfig, Simulator, StoreChaosConfig,
+    StrictChainRoute,
 };
 use d2tree_core::{D2TreeConfig, D2TreeScheme, LocalIndex, Partitioner};
-use d2tree_metrics::{balance, ClusterSpec, MdsId};
+use d2tree_metrics::{balance, ClusterSpec, MdsId, Placement};
 use d2tree_namespace::{NamespaceTree, NodeId, NsPath};
 use d2tree_store::{
     compact, inspect, verify, AttrState, MdsRecord, MdsState, MdsStore, StoreConfig, StoreError,
@@ -117,6 +119,9 @@ COMMANDS:
     store      inspect, verify, compact or bench a durable MDS store
     bench      hot-path microbenchmarks: interned resolve, memoised locate,
                serial-vs-parallel figure sweep
+    serve      run one MDS as a real TCP daemon over the frame codec
+    load       drive a running `serve` daemon over N TCP connections and
+               report throughput + latency percentiles
     help       show this message
 
 Common options:
@@ -206,6 +211,35 @@ Common options:
                  (default results/BENCH_hotpath.json) plus a repo-root copy
                  BENCH_hotpath.json; --check <x> errors unless both
                  microbench speedups reach <x>
+
+`serve` / `load` options:
+    Both commands derive the SAME cluster (tree, trace, placement, local
+    index) from the shared workload flags, so they must be given identical
+    values for: --profile (default dtr), --nodes (default 2000),
+    --ops (default 10000), --seed (default 42), --gl (default 0.01),
+    --mds (default 1; cluster size of the derivation).
+
+    serve [--addr <ip:port>]   listen address (default 127.0.0.1:0)
+          [--mds-id <k>]       which MDS of the derivation to serve (default 0)
+          [--store-root <dir>] attach a durable WAL store at <dir>/mds-<k>
+          [--duration-ms <n>]  serve this long then exit (default 0 = forever)
+          [--port-file <file>] write the bound address (resolves port 0)
+                               atomically once listening — start scripts and
+                               CI poll this file instead of racing the bind
+          [--sample <rate>]    trace-sample served requests at this rate,
+                               parenting serve spans on the wire trailer
+
+    load  --addr <a,b,...>     comma-separated server addresses indexed by
+                               owner MDS id (owners wrap modulo the list, so
+                               one address absorbs a multi-MDS derivation)
+          [--conns <n>]        concurrent connections (default 4)
+          [--count <n>]        operations to issue (default: trace length)
+          [--mode <m>]         closed | open | both (default closed)
+          [--qps <x>]          open-loop aggregate target rate (default 2000)
+          [--timeout-ms <n>]   per-attempt socket timeout (default 2000)
+          [--check-p99-us <n>] error unless every mode's p99 stays under <n>
+                               microseconds and at least one op completed
+          [--out <file>]       JSON report (default results/BENCH_net.json)
 ";
 
 /// Simple `--flag value` argument map.
@@ -312,6 +346,8 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "health" => cmd_health(rest),
         "store" => cmd_store(rest),
         "bench" => cmd_bench(rest),
+        "serve" => cmd_serve(&Opts::parse(rest)?),
+        "load" => cmd_load(&Opts::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -1559,6 +1595,254 @@ fn cmd_bench_hotpath(opts: &Opts) -> Result<String, CliError> {
     Ok(text)
 }
 
+/// Derives the cluster both sides of the TCP serving layer agree on:
+/// the synthetic tree + trace from the workload flags, and the D2-Tree
+/// placement/local-index built over that trace's popularity. `serve`
+/// and `load` must be given identical --profile/--nodes/--ops/--seed/
+/// --gl/--mds values — the placement depends on trace popularity, so a
+/// mismatched client would route at a cluster nobody is serving.
+fn derive_cluster(
+    opts: &Opts,
+) -> Result<(Arc<NamespaceTree>, Trace, Placement, LocalIndex, usize), CliError> {
+    let profile = profile_by_name(opts.get("profile").unwrap_or("dtr"))?
+        .with_nodes(opts.num("nodes", 2_000usize)?)
+        .with_operations(opts.num("ops", 10_000usize)?);
+    let seed = opts.num("seed", 42u64)?;
+    let gl = opts.num("gl", 0.01f64)?;
+    let m = opts.num("mds", 1usize)?;
+    if m == 0 {
+        return Err(CliError::Usage("--mds must be at least 1".to_owned()));
+    }
+    let workload = WorkloadBuilder::new(profile).seed(seed).build();
+    let tree = Arc::new(workload.tree);
+    let trace = workload.trace;
+    let pop = trace.popularity(&tree);
+    let mut scheme = D2TreeScheme::new(D2TreeConfig::by_proportion(gl).with_seed(seed));
+    scheme.build(&tree, &pop, &ClusterSpec::homogeneous(m, 1.0));
+    let placement = scheme.placement().clone();
+    // LocalIndex is deliberately not Clone (it owns a memo cache); the
+    // owner map is tiny, so rebuild it entry by entry.
+    let mut index = LocalIndex::new();
+    for (root, owner) in scheme.local_index().iter() {
+        index.insert(root, owner);
+    }
+    Ok((tree, trace, placement, index, m))
+}
+
+fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
+    let (tree, _trace, placement, index, m) = derive_cluster(opts)?;
+    let mds_id = opts.num("mds-id", 0u16)?;
+    if usize::from(mds_id) >= m {
+        return Err(CliError::Usage(format!(
+            "--mds-id {mds_id} is outside the {m}-MDS derivation (see --mds)"
+        )));
+    }
+    let addr = opts.get("addr").unwrap_or("127.0.0.1:0");
+    let duration_ms = opts.num("duration-ms", 0u64)?;
+    let sample = opts.num("sample", 0.0f64)?;
+    let seed = opts.num("seed", 42u64)?;
+
+    let registry = Arc::new(Registry::new());
+    names::register_all(&registry);
+    let mut mds = NetMds::new(
+        Arc::clone(&tree),
+        placement,
+        index,
+        MdsId(mds_id),
+        Arc::clone(&registry),
+    );
+    if sample > 0.0 {
+        mds = mds.with_tracer(Arc::new(Tracer::new(Sampler::new(seed, sample))));
+    }
+    if let Some(root) = opts.get("store-root") {
+        mds = mds.with_store_root(std::path::Path::new(root), StoreConfig::default());
+    }
+    let mds = Arc::new(mds);
+    let server = NetServer::bind(addr, Arc::clone(&mds), NetServerConfig::default())?;
+    let bound = server.local_addr();
+    if let Some(port_file) = opts.get("port-file") {
+        // Write-then-rename so a polling reader never sees a half-written
+        // address.
+        let tmp = format!("{port_file}.tmp");
+        std::fs::write(&tmp, format!("{bound}\n"))?;
+        std::fs::rename(&tmp, port_file)?;
+    }
+    if duration_ms == 0 {
+        // Daemon mode: serve until the process is killed. (`park` can
+        // wake spuriously, hence the loop.)
+        loop {
+            std::thread::park();
+        }
+    }
+    std::thread::sleep(Duration::from_millis(duration_ms));
+    mds.sync();
+    let served = mds.served();
+    let redirects = mds.redirects();
+    let stats = server.shutdown();
+    Ok(format!(
+        "mds {mds_id} served on {bound} for {duration_ms} ms\n\
+         served: {served} ops, redirects: {redirects}\n\
+         connections: {}, frames: {}, decode errors: {}, resets: {}\n",
+        stats.conns, stats.frames, stats.decode_errors, stats.conn_resets
+    ))
+}
+
+/// Renders one [`LoadReport`] as a JSON object body (no trailing comma).
+fn load_report_json(mode: &str, target_qps: Option<f64>, r: &LoadReport) -> String {
+    let target = target_qps.map_or(String::new(), |q| format!("\"target_qps\": {q:.1}, "));
+    format!(
+        "  \"{mode}\": {{{target}\"attempted\": {}, \"completed\": {}, \"errors\": {}, \
+         \"timeouts\": {}, \"retries_exhausted\": {}, \"deadline_exceeded\": {}, \
+         \"not_found\": {}, \"redirects_followed\": {}, \"reconnects\": {}, \
+         \"elapsed_ms\": {:.1}, \"achieved_qps\": {:.1}, \
+         \"latency_us\": {{\"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+         \"p999\": {}, \"max\": {}}}}}",
+        r.attempted,
+        r.completed,
+        r.errors,
+        r.timeouts,
+        r.retries_exhausted,
+        r.deadline_exceeded,
+        r.not_found,
+        r.redirects_followed,
+        r.reconnects,
+        r.elapsed.as_secs_f64() * 1e3,
+        r.achieved_qps,
+        r.latency.mean(),
+        r.latency.p50,
+        r.latency.p90,
+        r.latency.p99,
+        r.latency.p999,
+        r.latency.max,
+    )
+}
+
+fn cmd_load(opts: &Opts) -> Result<String, CliError> {
+    let (tree, trace, _placement, index, _m) = derive_cluster(opts)?;
+    let addrs: Vec<String> = opts
+        .required("addr")?
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(ToOwned::to_owned)
+        .collect();
+    if addrs.is_empty() {
+        return Err(CliError::Usage(
+            "--addr needs at least one ip:port".to_owned(),
+        ));
+    }
+    let conns = opts.num("conns", 4usize)?;
+    if conns == 0 {
+        return Err(CliError::Usage("--conns must be at least 1".to_owned()));
+    }
+    let count = opts.num("count", trace.len())?;
+    let qps = opts.num("qps", 2_000.0f64)?;
+    if qps <= 0.0 {
+        return Err(CliError::Usage("--qps must be positive".to_owned()));
+    }
+    let timeout = Duration::from_millis(opts.num("timeout-ms", 2_000u64)?);
+    let seed = opts.num("seed", 42u64)?;
+    let check_p99_us = opts.num("check-p99-us", 0u64)?;
+    let out_path = opts
+        .get("out")
+        .unwrap_or("results/BENCH_net.json")
+        .to_owned();
+    let modes: Vec<(&str, LoadMode)> = match opts.get("mode").unwrap_or("closed") {
+        "closed" => vec![("closed", LoadMode::Closed)],
+        "open" => vec![("open", LoadMode::Open { target_qps: qps })],
+        "both" => vec![
+            ("closed", LoadMode::Closed),
+            ("open", LoadMode::Open { target_qps: qps }),
+        ],
+        other => {
+            return Err(CliError::Usage(format!(
+                "--mode expects closed, open or both, got {other:?}"
+            )))
+        }
+    };
+
+    let registry = Arc::new(Registry::new());
+    names::register_all(&registry);
+    let mut sections = Vec::new();
+    let mut text = String::new();
+    let mut failures = Vec::new();
+    for (name, mode) in &modes {
+        let cfg = LoadConfig {
+            addrs: addrs.clone(),
+            conns,
+            ops: count,
+            mode: *mode,
+            timeout,
+            retry: RetryPolicy::default(),
+            seed,
+        };
+        let report = run_load(&cfg, &tree, &index, &trace, &registry, None);
+        let target = match mode {
+            LoadMode::Open { target_qps } => Some(*target_qps),
+            LoadMode::Closed => None,
+        };
+        text.push_str(&format!(
+            "{name}: {}/{} ops over {conns} conn(s) in {:.2} s — {:.0} ops/s, \
+             p50 {} µs, p99 {} µs ({} redirects, {} errors)\n",
+            report.completed,
+            report.attempted,
+            report.elapsed.as_secs_f64(),
+            report.achieved_qps,
+            report.latency.p50,
+            report.latency.p99,
+            report.redirects_followed,
+            report.reconnects + report.errors,
+        ));
+        if check_p99_us > 0 {
+            if report.completed == 0 {
+                failures.push(format!("{name}: no operation completed"));
+            } else if report.latency.p99 > check_p99_us {
+                failures.push(format!(
+                    "{name}: p99 {} µs exceeds the {check_p99_us} µs ceiling",
+                    report.latency.p99
+                ));
+            }
+        }
+        sections.push(load_report_json(name, target, &report));
+    }
+    let snap = registry.snapshot();
+    let net_counter = |n: &str| {
+        snap.counters
+            .iter()
+            .find(|(k, _)| k.name == n && k.mds.is_none())
+            .map_or(0, |(_, v)| *v)
+    };
+    let addrs_json: Vec<String> = addrs.iter().map(|a| format!("\"{a}\"")).collect();
+    let json = format!(
+        "{{\n  \"addrs\": [{}],\n  \"conns\": {conns},\n  \"ops\": {count},\n  \
+         \"seed\": {seed},\n{},\n  \
+         \"net\": {{\"conns\": {}, \"frames\": {}, \"decode_errors\": {}, \
+         \"conn_resets\": {}}}\n}}\n",
+        addrs_json.join(", "),
+        sections.join(",\n"),
+        net_counter(names::NET_CONNS_TOTAL),
+        net_counter(names::NET_FRAMES_TOTAL),
+        net_counter(names::NET_DECODE_ERRORS_TOTAL),
+        net_counter(names::NET_CONN_RESETS_TOTAL),
+    );
+    if let Some(parent) = std::path::Path::new(&out_path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(&out_path, &json)?;
+    text.push_str(&format!("report written to {out_path}\n"));
+    if !failures.is_empty() {
+        return Err(CliError::Bench(failures.join("; ")));
+    }
+    if check_p99_us > 0 {
+        text.push_str(&format!(
+            "check passed: every mode's p99 is under {check_p99_us} µs\n"
+        ));
+    }
+    Ok(text)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1609,6 +1893,103 @@ mod tests {
             run(&args(&["bench", "nope"])),
             Err(CliError::Usage(_))
         ));
+    }
+
+    #[test]
+    fn serve_load_loopback_roundtrip() {
+        let port_file = format!("{}.port", tmp_prefix("serve"));
+        let out_file = format!("{}.json", tmp_prefix("loadreport"));
+        // A single-MDS derivation: one daemon owns every subtree, so the
+        // load run must complete all ops. (Redirect-following across two
+        // daemons is exercised in tests/net_serve.rs.)
+        let shared = [
+            "--profile",
+            "dtr",
+            "--nodes",
+            "300",
+            "--ops",
+            "600",
+            "--seed",
+            "7",
+            "--mds",
+            "1",
+        ];
+
+        let server = {
+            let port_file = port_file.clone();
+            std::thread::spawn(move || {
+                let mut a = args(&[
+                    "serve",
+                    "--addr",
+                    "127.0.0.1:0",
+                    "--mds-id",
+                    "0",
+                    "--duration-ms",
+                    "4000",
+                    "--port-file",
+                    &port_file,
+                ]);
+                a.extend(args(&shared));
+                run(&a).unwrap()
+            })
+        };
+
+        // The daemon writes the bound address once it is listening.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let addr = loop {
+            if let Ok(s) = std::fs::read_to_string(&port_file) {
+                break s.trim().to_owned();
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "port file never appeared"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        };
+
+        let mut a = args(&[
+            "load",
+            "--addr",
+            &addr,
+            "--conns",
+            "2",
+            "--count",
+            "400",
+            "--mode",
+            "both",
+            "--qps",
+            "800",
+            "--check-p99-us",
+            "2000000",
+            "--out",
+            &out_file,
+        ]);
+        a.extend(args(&shared));
+        let out = run(&a).unwrap();
+        assert!(out.contains("closed: 400/400 ops"), "{out}");
+        assert!(out.contains("open: 400/400 ops"), "{out}");
+        assert!(out.contains("check passed"), "{out}");
+
+        let json = std::fs::read_to_string(&out_file).unwrap();
+        assert!(json.contains("\"closed\""), "{json}");
+        assert!(json.contains("\"target_qps\": 800.0"), "{json}");
+        assert!(json.contains("\"net\""), "{json}");
+
+        let served = server.join().unwrap();
+        assert!(served.contains("mds 0 served"), "{served}");
+
+        // A mismatched --mds-id must be rejected before binding anything.
+        assert!(matches!(
+            run(&args(&["serve", "--mds-id", "9", "--nodes", "200", "--ops", "200"])),
+            Err(CliError::Usage(msg)) if msg.contains("--mds-id")
+        ));
+        assert!(matches!(
+            run(&args(&["load", "--conns", "2"])),
+            Err(CliError::Usage(msg)) if msg.contains("--addr")
+        ));
+
+        let _ = std::fs::remove_file(&port_file);
+        let _ = std::fs::remove_file(&out_file);
     }
 
     #[test]

@@ -39,6 +39,7 @@ pub mod live;
 pub mod lock;
 pub mod message;
 pub mod monitor;
+pub mod net;
 pub mod sim;
 pub mod trace_analysis;
 
@@ -58,6 +59,10 @@ pub use fault::{
 pub use lock::{LockService, LockToken};
 pub use message::{Request, RequestId, Response, ResponseBody};
 pub use monitor::{ClusterEvent, Monitor, MonitorConfig};
+pub use net::{
+    run_load, FrameBuf, FrameReader, LoadConfig, LoadMode, LoadReport, NetClient, NetMds,
+    NetServer, NetServerConfig, NetServerStats, MAX_FRAME_BYTES,
+};
 pub use sim::{RebalancedReplay, ReplayOutcome, SimConfig, Simulator};
 pub use trace_analysis::{
     analyze, FaultAttribution, StrictChainRoute, TraceAnalysis, TraceCheckError, TracedOp,

@@ -218,7 +218,7 @@ impl Shared {
 }
 
 /// The journaled form of a versioned attribute record.
-fn attr_state(v: VersionedAttr) -> AttrState {
+pub(crate) fn attr_state(v: VersionedAttr) -> AttrState {
     AttrState {
         version: v.version,
         mode: v.attr.mode,

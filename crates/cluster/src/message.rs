@@ -73,12 +73,19 @@ const BODY_SERVED: u8 = 0;
 const BODY_REDIRECT: u8 = 1;
 const BODY_NOT_FOUND: u8 = 2;
 
+/// Body length of a [`Request`] frame (id + kind + target + hops +
+/// trace flag + trace id + parent span id).
+pub const REQUEST_WIRE_BYTES: usize = 8 + 1 + 4 + 4 + 1 + 8 + 8;
+/// Body length of a [`Response`] frame (id + from + tag + node + owner
+/// + hops).
+pub const RESPONSE_WIRE_BYTES: usize = 8 + 2 + 1 + 4 + 2 + 4;
+
 impl Request {
     /// Encodes the request as one length-prefixed frame.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(4 + 34);
-        buf.put_u32(34);
+        let mut buf = BytesMut::with_capacity(4 + REQUEST_WIRE_BYTES);
+        buf.put_u32(REQUEST_WIRE_BYTES as u32);
         buf.put_u64(self.id.0);
         buf.put_u8(match self.kind {
             OpKind::Read => KIND_READ,
@@ -112,7 +119,7 @@ impl Request {
             return None;
         }
         let len = u32::from_be_bytes(buf[..4].try_into().ok()?) as usize;
-        if buf.len() < 4 + len || len != 34 {
+        if buf.len() < 4 + len || len != REQUEST_WIRE_BYTES {
             return None;
         }
         buf.advance(4);
@@ -151,8 +158,12 @@ impl Response {
     /// Encodes the response as one length-prefixed frame.
     #[must_use]
     pub fn encode(&self) -> Bytes {
-        let mut buf = BytesMut::with_capacity(4 + 20);
-        buf.put_u32(20);
+        // The length prefix must cover the whole 21-byte body; it used
+        // to claim 20, which never mattered over the channel shims (each
+        // message arrived pre-framed) but desyncs a real byte stream and
+        // let a truncated frame panic the decoder mid-read.
+        let mut buf = BytesMut::with_capacity(4 + RESPONSE_WIRE_BYTES);
+        buf.put_u32(RESPONSE_WIRE_BYTES as u32);
         buf.put_u64(self.id.0);
         buf.put_u16(self.from.0);
         match self.body {
@@ -186,7 +197,7 @@ impl Response {
             return None;
         }
         let len = u32::from_be_bytes(buf[..4].try_into().ok()?) as usize;
-        if buf.len() < 4 + len || len != 20 {
+        if buf.len() < 4 + len || len != RESPONSE_WIRE_BYTES {
             return None;
         }
         buf.advance(4);
@@ -474,7 +485,104 @@ mod tests {
             };
             let mut framed = resp.encode();
             assert_eq!(Response::decode(&mut framed), Some(resp));
+            assert!(framed.is_empty(), "frame fully consumed: {resp:?}");
         }
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        [
+            ResponseBody::Served {
+                node: NodeId::from_index(7),
+            },
+            ResponseBody::Redirect { owner: MdsId(31) },
+            ResponseBody::NotFound,
+        ]
+        .into_iter()
+        .map(|body| Response {
+            id: RequestId(42),
+            from: MdsId(5),
+            body,
+            hops: 2,
+        })
+        .collect()
+    }
+
+    #[test]
+    fn response_truncated_frames_are_rejected() {
+        for resp in sample_responses() {
+            let full = resp.encode();
+            for cut in 0..full.len() {
+                let mut partial = full.slice(..cut);
+                assert_eq!(
+                    Response::decode(&mut partial),
+                    None,
+                    "{resp:?} cut at {cut}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn response_garbage_is_rejected() {
+        // Unknown body tag.
+        let mut raw = BytesMut::from(&sample_responses()[0].encode()[..]);
+        raw[4 + 10] = 99; // the body tag byte
+        assert_eq!(Response::decode(&mut raw.freeze()), None);
+
+        // Length prefix disagreeing with the fixed frame size.
+        let mut raw = BytesMut::from(&sample_responses()[0].encode()[..]);
+        raw[3] = 20; // the pre-fix (short) length
+        assert_eq!(Response::decode(&mut raw.freeze()), None);
+    }
+
+    #[test]
+    fn flipped_bytes_never_panic_the_decoders() {
+        // Any single corrupted byte must decode to None or to some
+        // well-formed value that consumes the whole frame — never
+        // panic. (A None may leave the cursor mid-frame; callers treat
+        // a decode failure as fatal for the stream.)
+        let req = Request {
+            id: RequestId(77),
+            kind: OpKind::Update,
+            target: NodeId::from_index(12345),
+            hops: 2,
+            trace: Some((0xAB, 0xCD)),
+        };
+        let req_frame = req.encode();
+        for i in 0..req_frame.len() {
+            let mut raw = BytesMut::from(&req_frame[..]);
+            raw[i] ^= 0xFF;
+            let mut frame = raw.freeze();
+            if Request::decode(&mut frame).is_some() {
+                assert!(frame.is_empty(), "byte {i}: partial consume");
+            }
+        }
+        for resp in sample_responses() {
+            let resp_frame = resp.encode();
+            for i in 0..resp_frame.len() {
+                let mut raw = BytesMut::from(&resp_frame[..]);
+                raw[i] ^= 0xFF;
+                let mut frame = raw.freeze();
+                if Response::decode(&mut frame).is_some() {
+                    assert!(frame.is_empty(), "byte {i}: partial consume");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn response_back_to_back_frames_decode_in_order() {
+        // The length prefix must cover the whole body, or the second
+        // frame starts one byte early (the pre-fix bug this guards).
+        let mut stream = BytesMut::new();
+        for resp in sample_responses() {
+            stream.extend_from_slice(&resp.encode());
+        }
+        let mut stream = stream.freeze();
+        for resp in sample_responses() {
+            assert_eq!(Response::decode(&mut stream), Some(resp));
+        }
+        assert!(stream.is_empty());
     }
 
     #[test]

@@ -1,0 +1,1441 @@
+//! Real TCP serving layer: the wire codec of [`crate::message`] carried
+//! over `std::net` sockets instead of channel shims.
+//!
+//! The paper's evaluation (Table I, Figs. 9/10) measures metadata servers
+//! answering clients over a real network. This module supplies that
+//! substrate in-workspace:
+//!
+//! * [`FrameBuf`] / [`FrameReader`] — incremental length-prefixed frame
+//!   reassembly that is correct under arbitrarily short reads (a TCP
+//!   stream may deliver one byte at a time) and rejects absurd length
+//!   prefixes instead of buffering unboundedly.
+//! * [`NetMds`] — one MDS worth of serving state (placement, local
+//!   index, attribute table, optional WAL-backed durable store, metrics,
+//!   tracing) behind a synchronous [`NetMds::serve`] call. The serve
+//!   logic mirrors [`crate::live`]'s in-process server: replicated
+//!   global-layer nodes serve anywhere, single-owner nodes either serve
+//!   locally or redirect, unassigned targets report not-found.
+//! * [`NetServer`] — a blocking thread-per-connection TCP server:
+//!   accept loop on its own thread, one handler thread per client
+//!   connection (read loop → decode → serve → encode), graceful
+//!   shutdown via a stop flag plus a self-connect listener wake, and
+//!   per-connection error isolation (a poisoned or reset connection
+//!   dies alone; the listener and its siblings keep serving).
+//! * [`NetClient`] — a blocking single-connection client speaking the
+//!   same codec, one outstanding request at a time.
+//! * [`run_load`] — a multi-connection load generator driving seeded
+//!   workload streams in closed-loop (each worker issues back-to-back)
+//!   or open-loop (target QPS with a pacing clock; latency measured
+//!   from the scheduled send time, so queueing delay is not omitted)
+//!   modes, with owner-routing through a derived [`LocalIndex`],
+//!   redirect following, and retry/timeout under the shared
+//!   [`RetryPolicy`].
+//!
+//! Trace contexts ride the 17-byte trailer of every [`Request`] frame,
+//! so a sampled operation's span chain — client `op` root, per-try
+//! `attempt` children, server `serve` span — links across the socket
+//! exactly as it does over the in-process transport.
+//!
+//! One caveat versus the in-process cluster: each `d2tree serve`
+//! process is a *single* replica with no cross-process lock service, so
+//! replicated (global-layer) updates commit locally without the
+//! Zookeeper-style serialisation of Sec. IV-A3. See DESIGN.md §14.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use d2tree_core::LocalIndex;
+use d2tree_metrics::{Assignment, MdsId, Placement};
+use d2tree_namespace::{AttrTable, NamespaceTree, NodeId};
+use d2tree_store::{MdsRecord, MdsStore, StoreConfig};
+use d2tree_telemetry::trace::{span_names, ArgKey, Span, SpanCtx, SpanId, TraceId, Tracer};
+use d2tree_telemetry::{
+    names, Counter, EventKind, Histogram, HistogramSnapshot, MetricKey, Registry,
+};
+use d2tree_workload::{OpKind, Operation, Trace};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::client::{RetryPolicy, RouteDecision};
+use crate::live::{attr_state, ClientError};
+use crate::message::{Request, RequestId, Response, ResponseBody};
+
+/// Default cap on a single frame's body length. The real codec's frames
+/// are tens of bytes; anything near this cap is garbage (a desynced
+/// stream or a port scanner), and rejecting it bounds per-connection
+/// memory.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Incremental assembly of length-prefixed frames from a byte stream.
+///
+/// Feed arbitrary chunks in with [`extend`](Self::extend); take complete
+/// frames (4-byte big-endian length prefix *plus* body, so the existing
+/// `decode` functions consume them directly) out with
+/// [`next_frame`](Self::next_frame). Handles frames split across any
+/// number of chunks, including one byte at a time, and multiple frames
+/// arriving in one chunk.
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    max_frame: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer rejecting frames whose body exceeds `max_frame`.
+    #[must_use]
+    pub fn new(max_frame: usize) -> Self {
+        FrameBuf {
+            buf: Vec::new(),
+            max_frame,
+        }
+    }
+
+    /// Appends one received chunk.
+    pub fn extend(&mut self, chunk: &[u8]) {
+        self.buf.extend_from_slice(chunk);
+    }
+
+    /// Bytes buffered but not yet returned as a complete frame.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Takes the next complete frame (prefix + body) off the buffer.
+    ///
+    /// `Ok(None)` means more bytes are needed.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::InvalidData`] when the length prefix exceeds the
+    /// configured cap — the stream is desynced or hostile and cannot be
+    /// re-synchronised; the caller should drop the connection.
+    pub fn next_frame(&mut self) -> io::Result<Option<Bytes>> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().expect("4 bytes")) as usize;
+        if len > self.max_frame {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "frame body of {len} bytes exceeds the {} cap",
+                    self.max_frame
+                ),
+            ));
+        }
+        let total = 4 + len;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let frame: Vec<u8> = self.buf.drain(..total).collect();
+        Ok(Some(Bytes::from(frame)))
+    }
+}
+
+/// A [`FrameBuf`] fed from any [`Read`] — the server and client side of
+/// every connection read frames through this.
+#[derive(Debug)]
+pub struct FrameReader<R> {
+    inner: R,
+    buf: FrameBuf,
+    scratch: Box<[u8]>,
+}
+
+impl<R: Read> FrameReader<R> {
+    /// Wraps `inner`, rejecting frame bodies larger than `max_frame`.
+    pub fn new(inner: R, max_frame: usize) -> Self {
+        FrameReader {
+            inner,
+            buf: FrameBuf::new(max_frame),
+            scratch: vec![0u8; 16 * 1024].into_boxed_slice(),
+        }
+    }
+
+    /// Reads until one complete frame is buffered and returns it.
+    ///
+    /// `Ok(None)` is a clean EOF at a frame boundary (the peer closed
+    /// between frames).
+    ///
+    /// # Errors
+    ///
+    /// * [`io::ErrorKind::UnexpectedEof`] — the peer closed mid-frame.
+    /// * [`io::ErrorKind::InvalidData`] — oversized length prefix.
+    /// * `WouldBlock` / `TimedOut` — propagated from a read timeout so
+    ///   pollers can check their stop flag; buffered partial-frame bytes
+    ///   are kept and the next call resumes where this one left off.
+    pub fn next_frame(&mut self) -> io::Result<Option<Bytes>> {
+        loop {
+            if let Some(frame) = self.buf.next_frame()? {
+                return Ok(Some(frame));
+            }
+            match self.inner.read(&mut self.scratch) {
+                Ok(0) => {
+                    return if self.buf.pending() == 0 {
+                        Ok(None)
+                    } else {
+                        Err(io::Error::new(
+                            io::ErrorKind::UnexpectedEof,
+                            "connection closed mid-frame",
+                        ))
+                    };
+                }
+                Ok(n) => self.buf.extend(&self.scratch[..n]),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// One MDS worth of serving state behind a real socket.
+///
+/// Built from the same deterministic workspace derivation the load
+/// generator uses (profile + seed → tree, trace popularity → placement
+/// and local index), so a `serve` daemon and its `load` clients agree on
+/// routing without any control-plane exchange.
+#[derive(Debug)]
+pub struct NetMds {
+    tree: Arc<NamespaceTree>,
+    placement: Placement,
+    index: LocalIndex,
+    me: MdsId,
+    attrs: RwLock<AttrTable>,
+    /// Served-op counts per local-layer subtree root, journaled so a
+    /// restarted daemon recovers its popularity signal.
+    subtree_counts: Mutex<HashMap<NodeId, f64>>,
+    store: Mutex<Option<MdsStore>>,
+    epoch: Instant,
+    registry: Arc<Registry>,
+    tracer: Option<Arc<Tracer>>,
+    served: AtomicU64,
+    redirects: AtomicU64,
+    served_total: Arc<Counter>,
+    forwarded_total: Arc<Counter>,
+}
+
+impl NetMds {
+    /// Serving state for MDS `me` of the cluster described by
+    /// `placement`/`index` over `tree`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the placement is not complete for `tree` — a daemon
+    /// must know the assignment of every node it can be asked about.
+    #[must_use]
+    pub fn new(
+        tree: Arc<NamespaceTree>,
+        placement: Placement,
+        index: LocalIndex,
+        me: MdsId,
+        registry: Arc<Registry>,
+    ) -> Self {
+        assert!(
+            placement.is_complete(&tree),
+            "net MDS needs a complete placement"
+        );
+        let attrs = RwLock::new(AttrTable::new(&tree));
+        let served_total = registry.counter(MetricKey::mds(names::SERVER_SERVED_TOTAL, me.0));
+        let forwarded_total = registry.counter(MetricKey::global(names::FORWARDED_TOTAL));
+        NetMds {
+            tree,
+            placement,
+            index,
+            me,
+            attrs,
+            subtree_counts: Mutex::new(HashMap::new()),
+            store: Mutex::new(None),
+            epoch: Instant::now(),
+            registry,
+            tracer: None,
+            served: AtomicU64::new(0),
+            redirects: AtomicU64::new(0),
+            served_total,
+            forwarded_total,
+        }
+    }
+
+    /// Attaches a durable store at `<root>/mds-<k>`: recovers whatever a
+    /// previous run left on disk (rebuilding the attribute table and
+    /// popularity counters), then converges the journaled ownership set
+    /// on the seeded index, exactly like the in-process cluster does.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the store cannot be opened or recovered — a daemon must
+    /// not serve from state it cannot trust.
+    #[must_use]
+    pub fn with_store_root(self, root: &Path, config: StoreConfig) -> Self {
+        let k = self.me.index();
+        let dir = root.join(format!("mds-{k}"));
+        let (store, _info) = MdsStore::open(&dir, config).expect("store open failed");
+        let mut store = store.with_registry(&self.registry, self.me.0);
+        if let Some(tr) = &self.tracer {
+            store = store.with_tracer(Arc::clone(tr), self.me.0);
+        }
+        // Recover in-memory state from the journal before serving.
+        {
+            let mut table = self.attrs.write();
+            for (&node, a) in &store.state().attrs {
+                let v = d2tree_namespace::VersionedAttr {
+                    attr: d2tree_namespace::FileAttr {
+                        mode: a.mode,
+                        uid: a.uid,
+                        gid: a.gid,
+                        size: a.size,
+                        mtime: a.mtime,
+                    },
+                    version: a.version,
+                };
+                table.apply_if_newer(NodeId::from_index(node as usize), v);
+            }
+        }
+        {
+            let mut counts = self.subtree_counts.lock();
+            for (&r, &bits) in &store.state().popularity {
+                counts.insert(NodeId::from_index(r as usize), f64::from_bits(bits));
+            }
+        }
+        // Converge durable ownership on the seeded index: shed whatever
+        // a previous run left behind, acquire what this run assigns.
+        let seeded: std::collections::BTreeSet<u64> = self
+            .index
+            .iter()
+            .filter(|(_, owner)| *owner == self.me)
+            .map(|(root, _)| root.index() as u64)
+            .collect();
+        let stale: Vec<u64> = store.state().owned.difference(&seeded).copied().collect();
+        for root in stale {
+            store
+                .append(MdsRecord::Ownership {
+                    root,
+                    acquired: false,
+                })
+                .expect("WAL append failed");
+        }
+        for root in seeded {
+            store
+                .append(MdsRecord::Ownership {
+                    root,
+                    acquired: true,
+                })
+                .expect("WAL append failed");
+        }
+        store.sync().expect("WAL sync failed");
+        *self.store.lock() = Some(store);
+        self
+    }
+
+    /// Attaches a tracer; sampled requests record `serve` spans parented
+    /// on the trace context riding the request frame.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Self {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// The telemetry registry this MDS instruments itself against.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Operations this MDS has served (not redirected).
+    #[must_use]
+    pub fn served(&self) -> u64 {
+        self.served.load(Ordering::Relaxed)
+    }
+
+    /// Redirect responses this MDS has issued.
+    #[must_use]
+    pub fn redirects(&self) -> u64 {
+        self.redirects.load(Ordering::Relaxed)
+    }
+
+    /// The attribute version this MDS holds for `node` — used by tests
+    /// to verify updates actually committed.
+    #[must_use]
+    pub fn attr_version(&self, node: NodeId) -> u64 {
+        self.attrs.read().get(node).version
+    }
+
+    /// Flushes the durable store (if any) so a clean shutdown leaves the
+    /// WAL durable up to its last append.
+    pub fn sync(&self) {
+        if let Some(store) = self.store.lock().as_mut() {
+            store.sync().expect("WAL sync failed");
+        }
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    fn journal_record(&self, record: MdsRecord) {
+        if let Some(store) = self.store.lock().as_mut() {
+            store.append(record).expect("WAL append failed");
+        }
+    }
+
+    /// Serves one decoded request, mirroring the in-process server's
+    /// logic. Never panics on out-of-range targets: a request for a node
+    /// this tree does not have answers `NotFound` (a foreign client built
+    /// from a different workload derivation must not crash the daemon).
+    pub fn serve(&self, req: Request) -> Response {
+        let me = self.me.index();
+        // Serve span id allocated up front so the span parents correctly
+        // on the wire context even though it is recorded at the end.
+        let serve_ctx = match (self.tracer.as_deref(), req.trace) {
+            (Some(tr), Some((t, s))) => {
+                let ctx = SpanCtx {
+                    trace: TraceId(t),
+                    span: SpanId(s),
+                };
+                Some((ctx, tr.next_span(ctx.trace), tr.now_us()))
+            }
+            _ => None,
+        };
+        let in_tree = self.tree.node(req.target).is_some();
+        let assignment = if in_tree {
+            self.placement.assignment(req.target)
+        } else {
+            Assignment::Unassigned
+        };
+        let body = match assignment {
+            Assignment::Replicated => {
+                if req.kind == OpKind::Update {
+                    // Single-replica global layer: no cross-process lock
+                    // service exists yet, so the commit is local-only
+                    // (DESIGN.md §14 spells out the divergence risk when
+                    // several daemons of one cluster run concurrently).
+                    let now = self.now_ms();
+                    self.attrs.write().update(req.target, |a| a.mtime = now);
+                    let committed = self.attrs.read().get(req.target);
+                    self.journal_record(MdsRecord::AttrCommit {
+                        node: req.target.index() as u64,
+                        gl: true,
+                        attr: attr_state(committed),
+                    });
+                }
+                ResponseBody::Served { node: req.target }
+            }
+            Assignment::Single(owner) if owner == self.me => {
+                if req.kind == OpKind::Update {
+                    let now = self.now_ms();
+                    self.attrs.write().update(req.target, |a| a.mtime = now);
+                    let committed = self.attrs.read().get(req.target);
+                    self.journal_record(MdsRecord::AttrCommit {
+                        node: req.target.index() as u64,
+                        gl: false,
+                        attr: attr_state(committed),
+                    });
+                }
+                ResponseBody::Served { node: req.target }
+            }
+            Assignment::Single(owner) => {
+                self.redirects.fetch_add(1, Ordering::Relaxed);
+                self.forwarded_total.inc();
+                self.registry.journal().record(EventKind::Forwarded {
+                    from: me as u16,
+                    to: owner.0,
+                });
+                ResponseBody::Redirect { owner }
+            }
+            Assignment::Unassigned => ResponseBody::NotFound,
+        };
+        if matches!(body, ResponseBody::Served { .. }) {
+            self.served.fetch_add(1, Ordering::Relaxed);
+            self.served_total.inc();
+            if matches!(assignment, Assignment::Single(_)) {
+                if let Some((root, _)) = self.index.locate(&self.tree, req.target) {
+                    let bits = {
+                        let mut counts = self.subtree_counts.lock();
+                        let v = counts.entry(root).or_insert(0.0);
+                        *v += 1.0;
+                        v.to_bits()
+                    };
+                    self.journal_record(MdsRecord::Popularity {
+                        root: root.index() as u64,
+                        bits,
+                    });
+                }
+            }
+        }
+        if let Some((ctx, serve_id, start)) = serve_ctx {
+            let tr = self.tracer.as_deref().expect("ctx implies tracer");
+            tr.record(
+                Span::child(
+                    ctx,
+                    serve_id,
+                    span_names::SERVE,
+                    start,
+                    tr.now_us().saturating_sub(start),
+                )
+                .on_mds(self.me.0)
+                .with_arg(ArgKey::Target, req.target.index() as u64)
+                .with_arg(
+                    ArgKey::Body,
+                    match body {
+                        ResponseBody::Served { .. } => 0,
+                        ResponseBody::Redirect { .. } => 1,
+                        ResponseBody::NotFound => 2,
+                    },
+                ),
+            );
+        }
+        Response {
+            id: req.id,
+            from: self.me,
+            body,
+            hops: req.hops,
+        }
+    }
+}
+
+/// Tuning of a [`NetServer`].
+#[derive(Debug, Clone, Copy)]
+pub struct NetServerConfig {
+    /// Read timeout on connection sockets, which doubles as the stop-flag
+    /// poll granularity: a shutdown completes within roughly one interval.
+    pub poll_interval: Duration,
+    /// Per-frame body-size cap (see [`MAX_FRAME_BYTES`]).
+    pub max_frame: usize,
+}
+
+impl Default for NetServerConfig {
+    fn default() -> Self {
+        NetServerConfig {
+            poll_interval: Duration::from_millis(25),
+            max_frame: MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// Totals a [`NetServer`] accumulated over its lifetime, reported by
+/// [`NetServer::shutdown`]. Values are read from the shared registry's
+/// `net_*` counters, so when several servers share one registry these
+/// are registry-wide totals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetServerStats {
+    /// Connections accepted.
+    pub conns: u64,
+    /// Frames read off or written onto connections.
+    pub frames: u64,
+    /// Frames that failed to decode (connection then dropped).
+    pub decode_errors: u64,
+    /// Connections ending in an I/O error or mid-frame EOF.
+    pub conn_resets: u64,
+}
+
+#[derive(Debug, Clone)]
+struct NetCounters {
+    conns: Arc<Counter>,
+    frames: Arc<Counter>,
+    decode_errors: Arc<Counter>,
+    resets: Arc<Counter>,
+}
+
+impl NetCounters {
+    fn from_registry(registry: &Registry) -> Self {
+        NetCounters {
+            conns: registry.counter(MetricKey::global(names::NET_CONNS_TOTAL)),
+            frames: registry.counter(MetricKey::global(names::NET_FRAMES_TOTAL)),
+            decode_errors: registry.counter(MetricKey::global(names::NET_DECODE_ERRORS_TOTAL)),
+            resets: registry.counter(MetricKey::global(names::NET_CONN_RESETS_TOTAL)),
+        }
+    }
+}
+
+/// A blocking thread-per-connection TCP server fronting one [`NetMds`].
+#[derive(Debug)]
+pub struct NetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    counters: NetCounters,
+}
+
+impl NetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop. Each accepted connection gets its own handler thread
+    /// running read → decode → [`NetMds::serve`] → encode → write until
+    /// the peer closes, an error poisons the connection, or the server
+    /// shuts down.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, permission denied).
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        mds: Arc<NetMds>,
+        config: NetServerConfig,
+    ) -> io::Result<NetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let counters = NetCounters::from_registry(mds.registry());
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let counters = counters.clone();
+            std::thread::spawn(move || accept_main(&listener, &mds, &counters, &stop, config))
+        };
+        Ok(NetServer {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+            counters,
+        })
+    }
+
+    /// The address the server actually bound (resolves port 0).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    fn stop_and_join(&mut self) {
+        let Some(handle) = self.accept_handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; a refused connect is fine too (the
+        // listener may already be gone if its thread errored out).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let conn_handles = handle.join().expect("accept thread panicked");
+        for h in conn_handles {
+            h.join().expect("connection thread panicked");
+        }
+    }
+
+    /// Stops accepting, drains every connection handler (each notices the
+    /// stop flag within one poll interval), and reports totals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept loop or a connection handler panicked.
+    #[must_use]
+    pub fn shutdown(mut self) -> NetServerStats {
+        self.stop_and_join();
+        NetServerStats {
+            conns: self.counters.conns.get(),
+            frames: self.counters.frames.get(),
+            decode_errors: self.counters.decode_errors.get(),
+            conn_resets: self.counters.resets.get(),
+        }
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn accept_main(
+    listener: &TcpListener,
+    mds: &Arc<NetMds>,
+    counters: &NetCounters,
+    stop: &Arc<AtomicBool>,
+    config: NetServerConfig,
+) -> Vec<JoinHandle<()>> {
+    let mut handles = Vec::new();
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stop.load(Ordering::SeqCst) {
+                    break; // the shutdown wake-up connect, or a racer
+                }
+                counters.conns.inc();
+                let mds = Arc::clone(mds);
+                let counters = counters.clone();
+                let stop = Arc::clone(stop);
+                handles.push(std::thread::spawn(move || {
+                    conn_main(stream, &mds, &counters, &stop, config);
+                }));
+            }
+            Err(_) if stop.load(Ordering::SeqCst) => break,
+            Err(_) => {
+                // Transient accept failure (e.g. fd exhaustion): don't
+                // spin the core; the listener itself is still alive.
+                std::thread::sleep(config.poll_interval);
+            }
+        }
+    }
+    handles
+}
+
+/// One connection's serve loop. Errors are isolated here: whatever goes
+/// wrong, this thread cleans up its own socket and exits without
+/// touching the listener or any sibling connection.
+fn conn_main(
+    stream: TcpStream,
+    mds: &NetMds,
+    counters: &NetCounters,
+    stop: &AtomicBool,
+    config: NetServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    // The read timeout doubles as the stop-flag poll interval.
+    let _ = stream.set_read_timeout(Some(config.poll_interval));
+    let Ok(read_half) = stream.try_clone() else {
+        counters.resets.inc();
+        return;
+    };
+    let mut reader = FrameReader::new(read_half, config.max_frame);
+    let mut write_half = stream;
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match reader.next_frame() {
+            Ok(Some(mut frame)) => {
+                counters.frames.inc();
+                let Some(req) = Request::decode(&mut frame) else {
+                    // A byte stream cannot re-synchronise past a bad
+                    // frame; drop the connection, keep the server.
+                    counters.decode_errors.inc();
+                    break;
+                };
+                let resp = mds.serve(req);
+                let out = resp.encode();
+                if write_half.write_all(&out).is_err() {
+                    counters.resets.inc();
+                    break;
+                }
+                counters.frames.inc();
+            }
+            Ok(None) => break, // clean close at a frame boundary
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue; // poll tick: re-check the stop flag
+            }
+            Err(e) => {
+                if e.kind() == io::ErrorKind::InvalidData {
+                    counters.decode_errors.inc();
+                } else {
+                    counters.resets.inc();
+                }
+                break;
+            }
+        }
+    }
+}
+
+/// A blocking client connection: one outstanding request at a time over
+/// one TCP stream, speaking the same frame codec as the server.
+#[derive(Debug)]
+pub struct NetClient {
+    write_half: TcpStream,
+    reader: FrameReader<TcpStream>,
+}
+
+impl NetClient {
+    /// Connects to `addr` (a `host:port` string) with `timeout` bounding
+    /// both the connect and each subsequent read.
+    ///
+    /// # Errors
+    ///
+    /// Propagates resolution and connect failures; an unresolvable
+    /// address reports [`io::ErrorKind::InvalidInput`].
+    pub fn connect(addr: &str, timeout: Duration) -> io::Result<NetClient> {
+        let sockaddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "address resolved empty"))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        let read_half = stream.try_clone()?;
+        Ok(NetClient {
+            write_half: stream,
+            reader: FrameReader::new(read_half, MAX_FRAME_BYTES),
+        })
+    }
+
+    /// Sends one request and blocks for its response frame.
+    ///
+    /// After any error the connection must be discarded: a late response
+    /// to a timed-out request would desync the request/response pairing.
+    ///
+    /// # Errors
+    ///
+    /// * `TimedOut` / `WouldBlock` — no response within the read timeout.
+    /// * [`io::ErrorKind::UnexpectedEof`] — the server closed on us.
+    /// * [`io::ErrorKind::InvalidData`] — the response failed to decode.
+    pub fn call(&mut self, req: &Request) -> io::Result<Response> {
+        let frame = req.encode();
+        self.write_half.write_all(&frame)?;
+        match self.reader.next_frame()? {
+            Some(mut frame) => Response::decode(&mut frame).ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "response frame failed to decode",
+                )
+            }),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            )),
+        }
+    }
+}
+
+/// How [`run_load`] paces its workers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Each worker issues its next operation the moment the previous one
+    /// completes — measures peak sustainable throughput.
+    Closed,
+    /// Operations are released on a fixed schedule targeting this many
+    /// operations per second across all workers; latency is measured
+    /// from the *scheduled* send time, so a server falling behind shows
+    /// up as queueing delay instead of being silently omitted.
+    Open {
+        /// Aggregate target rate, operations per second.
+        target_qps: f64,
+    },
+}
+
+/// Configuration of one [`run_load`] run.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server addresses indexed by `MdsId` (`addrs[k]` serves MDS `k`).
+    /// Owners beyond the list wrap modulo its length, so a single
+    /// address can absorb a multi-MDS derivation for smoke tests.
+    pub addrs: Vec<String>,
+    /// Concurrent worker connections.
+    pub conns: usize,
+    /// Operations to issue in total (the trace is cycled if shorter).
+    pub ops: usize,
+    /// Closed- or open-loop pacing.
+    pub mode: LoadMode,
+    /// Per-attempt connect/read/write timeout.
+    pub timeout: Duration,
+    /// Retry budget, backoff and deadline shared with the live cluster.
+    pub retry: RetryPolicy,
+    /// Seed for per-worker routing/backoff randomness.
+    pub seed: u64,
+}
+
+/// What one [`run_load`] run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Operations issued (completed + errors).
+    pub attempted: u64,
+    /// Operations that completed with a `Served` response.
+    pub completed: u64,
+    /// Operations that failed after exhausting their retry policy.
+    pub errors: u64,
+    /// Errors that were [`ClientError::Timeout`] (no server ever responded).
+    pub timeouts: u64,
+    /// Errors that were [`ClientError::RetriesExhausted`].
+    pub retries_exhausted: u64,
+    /// Errors that were [`ClientError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Errors that were [`ClientError::NotFound`].
+    pub not_found: u64,
+    /// Redirect responses followed to the advertised owner.
+    pub redirects_followed: u64,
+    /// Connections dropped (timeout, reset, desync) and later reopened.
+    pub reconnects: u64,
+    /// Wall-clock duration of the whole run.
+    pub elapsed: Duration,
+    /// `completed / elapsed`, operations per second.
+    pub achieved_qps: f64,
+    /// End-to-end latency of completed operations, microseconds.
+    pub latency: HistogramSnapshot,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct WorkerStats {
+    attempted: u64,
+    completed: u64,
+    errors: u64,
+    timeouts: u64,
+    retries_exhausted: u64,
+    deadline_exceeded: u64,
+    not_found: u64,
+    redirects: u64,
+    reconnects: u64,
+}
+
+/// One load worker's connections plus routing/retry state.
+struct LoadWorker<'a> {
+    addrs: &'a [String],
+    conns: Vec<Option<NetClient>>,
+    tree: &'a NamespaceTree,
+    index: &'a LocalIndex,
+    timeout: Duration,
+    retry: RetryPolicy,
+    rng: StdRng,
+    tracer: Option<&'a Tracer>,
+    counters: NetCounters,
+    stats: WorkerStats,
+    next_id: u64,
+}
+
+impl LoadWorker<'_> {
+    /// Maps an owner id onto an address slot (wrapping, see
+    /// [`LoadConfig::addrs`]).
+    fn slot(&self, owner: MdsId) -> usize {
+        owner.index() % self.addrs.len()
+    }
+
+    fn execute(&mut self, op: Operation) -> Result<Response, ClientError> {
+        let Some(tracer) = self.tracer else {
+            return self.execute_inner(op, None);
+        };
+        let Some(ctx) = tracer.begin() else {
+            return self.execute_inner(op, None);
+        };
+        let start = tracer.now_us();
+        let result = self.execute_inner(op, Some(ctx));
+        let mut span = Span::root(
+            ctx,
+            span_names::OP,
+            start,
+            tracer.now_us().saturating_sub(start),
+        )
+        .with_arg(ArgKey::Target, op.target.index() as u64)
+        .with_arg(ArgKey::Kind, crate::sim::op_kind_code(op.kind));
+        match &result {
+            Ok(resp) => span = span.with_arg(ArgKey::Hops, u64::from(resp.hops)),
+            Err(_) => span = span.with_arg(ArgKey::Error, 1),
+        }
+        tracer.record(span);
+        result
+    }
+
+    fn execute_inner(
+        &mut self,
+        op: Operation,
+        ctx: Option<SpanCtx>,
+    ) -> Result<Response, ClientError> {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        let started = Instant::now();
+        let mut hops = 0u32;
+        let mut forced: Option<usize> = None;
+        let mut not_found_streak = 0usize;
+        let mut got_response = false;
+        let mut backoffs = 0usize;
+        for _attempt in 0..self.retry.max_attempts {
+            if started.elapsed() >= self.retry.deadline {
+                return Err(ClientError::DeadlineExceeded {
+                    elapsed: started.elapsed(),
+                });
+            }
+            if backoffs > 0 {
+                let pause = self.retry.backoff(backoffs - 1, &mut self.rng);
+                let remaining = self.retry.deadline.saturating_sub(started.elapsed());
+                std::thread::sleep(pause.min(remaining));
+            }
+            let (dest, route_code) = match forced.take() {
+                Some(d) => (d, RouteDecision::REDIRECT_CODE),
+                None => match self.index.locate(self.tree, op.target) {
+                    Some((_, owner)) => (self.slot(owner), 0),
+                    None => (self.rng.gen_range(0..self.addrs.len()), 1),
+                },
+            };
+            if self.conns[dest].is_none() {
+                match NetClient::connect(&self.addrs[dest], self.timeout) {
+                    Ok(c) => {
+                        self.counters.conns.inc();
+                        self.conns[dest] = Some(c);
+                    }
+                    Err(_) => {
+                        // Server unreachable (down, or not listening
+                        // yet): back off and retry like a timeout.
+                        self.attempt_span(ctx, started, dest, route_code, 3);
+                        backoffs += 1;
+                        continue;
+                    }
+                }
+            }
+            let req = Request {
+                id,
+                kind: op.kind,
+                target: op.target,
+                hops,
+                trace: ctx.map(|c| (c.trace.0, c.span.0)),
+            };
+            let attempt_t0 = self.tracer.map(Tracer::now_us);
+            self.counters.frames.inc();
+            let outcome = self.conns[dest].as_mut().expect("just ensured").call(&req);
+            match outcome {
+                Ok(resp) if resp.id == id => {
+                    self.counters.frames.inc();
+                    got_response = true;
+                    match resp.body {
+                        ResponseBody::Served { .. } => {
+                            self.attempt_span_at(ctx, attempt_t0, dest, route_code, 0);
+                            return Ok(resp);
+                        }
+                        ResponseBody::Redirect { owner } => {
+                            self.attempt_span_at(ctx, attempt_t0, dest, route_code, 1);
+                            hops += 1;
+                            forced = Some(self.slot(owner));
+                            self.stats.redirects += 1;
+                            // A redirect carries fresh routing: no backoff.
+                        }
+                        ResponseBody::NotFound => {
+                            self.attempt_span_at(ctx, attempt_t0, dest, route_code, 2);
+                            not_found_streak += 1;
+                            if not_found_streak >= 3 {
+                                return Err(ClientError::NotFound);
+                            }
+                            backoffs += 1;
+                        }
+                    }
+                }
+                Ok(_) => {
+                    // Response id mismatch: the stream is desynced (a
+                    // late answer to an abandoned request). Drop the
+                    // connection; its replacement starts clean.
+                    self.attempt_span_at(ctx, attempt_t0, dest, route_code, 4);
+                    self.counters.resets.inc();
+                    self.conns[dest] = None;
+                    self.stats.reconnects += 1;
+                    backoffs += 1;
+                }
+                Err(_) => {
+                    // Timeout, reset or garble: same cure — a timed-out
+                    // connection cannot be reused, its late response
+                    // would pair with the wrong request.
+                    self.attempt_span_at(ctx, attempt_t0, dest, route_code, 3);
+                    self.counters.resets.inc();
+                    self.conns[dest] = None;
+                    self.stats.reconnects += 1;
+                    backoffs += 1;
+                }
+            }
+        }
+        Err(if got_response {
+            ClientError::RetriesExhausted {
+                attempts: self.retry.max_attempts,
+            }
+        } else {
+            ClientError::Timeout {
+                attempts: self.retry.max_attempts,
+            }
+        })
+    }
+
+    /// Attempt span with `start` taken now-ish (connect failures, where
+    /// no pre-call timestamp was captured).
+    fn attempt_span(
+        &self,
+        ctx: Option<SpanCtx>,
+        _started: Instant,
+        dest: usize,
+        route: u64,
+        outcome: u64,
+    ) {
+        let t0 = self.tracer.map(Tracer::now_us);
+        self.attempt_span_at(ctx, t0, dest, route, outcome);
+    }
+
+    /// Records one client try as an `attempt` span: which server slot,
+    /// how it was routed, how it ended (0 served, 1 redirect,
+    /// 2 not-found, 3 timeout/unreachable, 4 desynced/garbled).
+    fn attempt_span_at(
+        &self,
+        ctx: Option<SpanCtx>,
+        t0: Option<u64>,
+        dest: usize,
+        route: u64,
+        outcome: u64,
+    ) {
+        if let (Some(tr), Some(ctx)) = (self.tracer, ctx) {
+            let start = t0.unwrap_or(0);
+            tr.record(
+                Span::child(
+                    ctx,
+                    tr.next_span(ctx.trace),
+                    span_names::ATTEMPT,
+                    start,
+                    tr.now_us().saturating_sub(start),
+                )
+                .on_mds(dest as u16)
+                .with_arg(ArgKey::Route, route)
+                .with_arg(ArgKey::Outcome, outcome),
+            );
+        }
+    }
+}
+
+/// Drives `cfg.ops` operations from `trace` against the servers at
+/// `cfg.addrs` over `cfg.conns` concurrent connections, routing each
+/// operation at its owner through `index` (derived client-side from the
+/// same workload flags the servers were started with).
+///
+/// Completed-operation latencies land in the returned report's
+/// histogram *and* in the registry's `op_latency_us` histogram; the
+/// `net_*` counters account connections, frames and resets.
+///
+/// # Panics
+///
+/// Panics if `cfg.addrs` is empty, `cfg.conns` is zero, the trace is
+/// empty while `cfg.ops > 0`, or a worker thread panics.
+#[must_use]
+pub fn run_load(
+    cfg: &LoadConfig,
+    tree: &Arc<NamespaceTree>,
+    index: &LocalIndex,
+    trace: &Trace,
+    registry: &Arc<Registry>,
+    tracer: Option<&Arc<Tracer>>,
+) -> LoadReport {
+    assert!(!cfg.addrs.is_empty(), "load needs at least one server");
+    assert!(cfg.conns >= 1, "load needs at least one connection");
+    assert!(
+        cfg.ops == 0 || !trace.is_empty(),
+        "load needs a non-empty trace"
+    );
+    let ops: Vec<Operation> = (0..cfg.ops).map(|i| trace.ops()[i % trace.len()]).collect();
+    let hist = Histogram::new();
+    let op_latency = registry.histogram(MetricKey::global(names::OP_LATENCY_US));
+    let counters = NetCounters::from_registry(registry);
+    let interval = match cfg.mode {
+        LoadMode::Closed => None,
+        LoadMode::Open { target_qps } => {
+            assert!(
+                target_qps > 0.0,
+                "open-loop load needs a positive target QPS"
+            );
+            Some(Duration::from_secs_f64(cfg.conns as f64 / target_qps))
+        }
+    };
+    let started = Instant::now();
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..cfg.conns)
+            .map(|w| {
+                let ops = &ops;
+                let hist = &hist;
+                let op_latency = Arc::clone(&op_latency);
+                let counters = counters.clone();
+                let tracer = tracer.map(Arc::as_ref);
+                s.spawn(move || {
+                    let mut worker = LoadWorker {
+                        addrs: &cfg.addrs,
+                        conns: (0..cfg.addrs.len()).map(|_| None).collect(),
+                        tree,
+                        index,
+                        timeout: cfg.timeout,
+                        retry: cfg.retry,
+                        rng: StdRng::seed_from_u64(
+                            cfg.seed ^ 0x9e37_79b9_7f4a_7c15u64.wrapping_mul(w as u64 + 1),
+                        ),
+                        tracer,
+                        counters,
+                        stats: WorkerStats::default(),
+                        // Ids unique across workers so a desynced frame
+                        // can never pair with another worker's request.
+                        next_id: (w as u64) << 48 | 1,
+                    };
+                    let mut k = 0u32;
+                    let mut i = w;
+                    while i < ops.len() {
+                        let op = ops[i];
+                        let t0 = match interval {
+                            Some(iv) => {
+                                let scheduled = started + iv * k;
+                                let now = Instant::now();
+                                if scheduled > now {
+                                    std::thread::sleep(scheduled - now);
+                                }
+                                scheduled
+                            }
+                            None => Instant::now(),
+                        };
+                        k += 1;
+                        worker.stats.attempted += 1;
+                        match worker.execute(op) {
+                            Ok(_) => {
+                                let us = t0.elapsed().as_micros() as u64;
+                                hist.record(us);
+                                op_latency.record(us);
+                                worker.stats.completed += 1;
+                            }
+                            Err(e) => {
+                                worker.stats.errors += 1;
+                                match e {
+                                    ClientError::Timeout { .. } => worker.stats.timeouts += 1,
+                                    ClientError::RetriesExhausted { .. } => {
+                                        worker.stats.retries_exhausted += 1;
+                                    }
+                                    ClientError::DeadlineExceeded { .. } => {
+                                        worker.stats.deadline_exceeded += 1;
+                                    }
+                                    ClientError::NotFound => worker.stats.not_found += 1,
+                                }
+                            }
+                        }
+                        i += cfg.conns;
+                    }
+                    worker.stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let elapsed = started.elapsed();
+    let mut total = WorkerStats::default();
+    for ws in &worker_stats {
+        total.attempted += ws.attempted;
+        total.completed += ws.completed;
+        total.errors += ws.errors;
+        total.timeouts += ws.timeouts;
+        total.retries_exhausted += ws.retries_exhausted;
+        total.deadline_exceeded += ws.deadline_exceeded;
+        total.not_found += ws.not_found;
+        total.redirects += ws.redirects;
+        total.reconnects += ws.reconnects;
+    }
+    let achieved_qps = if elapsed.as_secs_f64() > 0.0 {
+        total.completed as f64 / elapsed.as_secs_f64()
+    } else {
+        0.0
+    };
+    LoadReport {
+        attempted: total.attempted,
+        completed: total.completed,
+        errors: total.errors,
+        timeouts: total.timeouts,
+        retries_exhausted: total.retries_exhausted,
+        deadline_exceeded: total.deadline_exceeded,
+        not_found: total.not_found,
+        redirects_followed: total.redirects,
+        reconnects: total.reconnects,
+        elapsed,
+        achieved_qps,
+        latency: hist.snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use d2tree_namespace::NodeKind;
+
+    fn request_frame(id: u64, target: u32) -> Vec<u8> {
+        Request {
+            id: RequestId(id),
+            kind: OpKind::Read,
+            target: NodeId::from_index(target as usize),
+            hops: 0,
+            trace: None,
+        }
+        .encode()
+        .to_vec()
+    }
+
+    #[test]
+    fn frame_buf_reassembles_split_frames() {
+        let a = request_frame(1, 0);
+        let b = request_frame(2, 7);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&a);
+        stream.extend_from_slice(&b);
+        // Feed in ragged chunks of 3 bytes.
+        let mut fb = FrameBuf::new(MAX_FRAME_BYTES);
+        let mut out = Vec::new();
+        for chunk in stream.chunks(3) {
+            fb.extend(chunk);
+            while let Some(frame) = fb.next_frame().unwrap() {
+                out.push(frame.to_vec());
+            }
+        }
+        assert_eq!(out, vec![a, b]);
+        assert_eq!(fb.pending(), 0);
+    }
+
+    #[test]
+    fn frame_buf_rejects_oversize_length_prefix() {
+        let mut fb = FrameBuf::new(1024);
+        fb.extend(&u32::MAX.to_be_bytes());
+        let err = fb.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn frame_buf_accepts_frame_exactly_at_cap() {
+        let mut fb = FrameBuf::new(8);
+        fb.extend(&8u32.to_be_bytes());
+        fb.extend(&[0xAB; 8]);
+        let frame = fb.next_frame().unwrap().expect("complete frame");
+        assert_eq!(frame.len(), 12);
+    }
+
+    /// A reader that returns one byte per `read` call — the worst case a
+    /// TCP stack can legally deliver.
+    struct OneByteReader {
+        data: Vec<u8>,
+        pos: usize,
+    }
+
+    impl Read for OneByteReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.pos >= self.data.len() {
+                return Ok(0);
+            }
+            buf[0] = self.data[self.pos];
+            self.pos += 1;
+            Ok(1)
+        }
+    }
+
+    #[test]
+    fn frame_reader_reassembles_one_byte_at_a_time() {
+        let a = request_frame(9, 3);
+        let b = request_frame(10, 4);
+        let mut data = Vec::new();
+        data.extend_from_slice(&a);
+        data.extend_from_slice(&b);
+        let mut reader = FrameReader::new(OneByteReader { data, pos: 0 }, MAX_FRAME_BYTES);
+        let first = reader.next_frame().unwrap().expect("first frame");
+        assert_eq!(first.to_vec(), a);
+        // The reassembled frame decodes to the original request.
+        let mut buf = first;
+        let req = Request::decode(&mut buf).expect("decodes");
+        assert_eq!(req.id, RequestId(9));
+        let second = reader.next_frame().unwrap().expect("second frame");
+        assert_eq!(second.to_vec(), b);
+        assert!(reader.next_frame().unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn frame_reader_mid_frame_eof_is_unexpected_eof() {
+        let mut data = request_frame(1, 0);
+        data.truncate(data.len() - 1); // peer died one byte short
+        let mut reader = FrameReader::new(OneByteReader { data, pos: 0 }, MAX_FRAME_BYTES);
+        let err = reader.next_frame().unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn frame_reader_empty_stream_is_clean_eof() {
+        let mut reader = FrameReader::new(
+            OneByteReader {
+                data: Vec::new(),
+                pos: 0,
+            },
+            MAX_FRAME_BYTES,
+        );
+        assert!(reader.next_frame().unwrap().is_none());
+    }
+
+    /// Smallest possible end-to-end check kept module-local; the real
+    /// loopback suites live in `tests/net_serve.rs`.
+    #[test]
+    fn loopback_single_request_roundtrip() {
+        let mut tree = NamespaceTree::new();
+        let sub = tree
+            .create(tree.root(), "s", NodeKind::Directory)
+            .expect("create");
+        let tree = Arc::new(tree);
+        let mut placement = Placement::new(&tree, 1);
+        for (id, _) in tree.nodes() {
+            placement.set(id, Assignment::Single(MdsId(0)));
+        }
+        let mut index = LocalIndex::new();
+        index.insert(tree.root(), MdsId(0));
+        let registry = Arc::new(Registry::new());
+        let mds = Arc::new(NetMds::new(
+            Arc::clone(&tree),
+            placement,
+            index,
+            MdsId(0),
+            registry,
+        ));
+        let server = NetServer::bind("127.0.0.1:0", Arc::clone(&mds), NetServerConfig::default())
+            .expect("bind");
+        let addr = server.local_addr().to_string();
+        let mut client = NetClient::connect(&addr, Duration::from_secs(2)).expect("connect");
+        let resp = client
+            .call(&Request {
+                id: RequestId(42),
+                kind: OpKind::Read,
+                target: sub,
+                hops: 0,
+                trace: None,
+            })
+            .expect("call");
+        assert_eq!(resp.id, RequestId(42));
+        assert_eq!(resp.body, ResponseBody::Served { node: sub });
+        drop(client);
+        let stats = server.shutdown();
+        assert_eq!(stats.conns, 1);
+        assert!(stats.frames >= 2, "one request + one response");
+        assert_eq!(stats.decode_errors, 0);
+        assert_eq!(mds.served(), 1);
+    }
+
+    #[test]
+    fn garbage_frame_drops_connection_not_server() {
+        let tree = Arc::new(NamespaceTree::new());
+        let mut placement = Placement::new(&tree, 1);
+        for (id, _) in tree.nodes() {
+            placement.set(id, Assignment::Single(MdsId(0)));
+        }
+        let registry = Arc::new(Registry::new());
+        let mds = Arc::new(NetMds::new(
+            Arc::clone(&tree),
+            placement,
+            LocalIndex::new(),
+            MdsId(0),
+            registry,
+        ));
+        let server = NetServer::bind("127.0.0.1:0", Arc::clone(&mds), NetServerConfig::default())
+            .expect("bind");
+        let addr = server.local_addr().to_string();
+        // First connection sends garbage with a plausible length prefix:
+        // the decoder rejects it and the server drops just this conn.
+        {
+            let mut bad = NetClient::connect(&addr, Duration::from_secs(2)).expect("connect");
+            let mut junk = Vec::new();
+            junk.extend_from_slice(&10u32.to_be_bytes());
+            junk.extend_from_slice(&[0xFF; 10]);
+            bad.write_half.write_all(&junk).expect("write junk");
+            // The server closes on us; the next read sees EOF (or a
+            // reset, depending on timing) rather than hanging.
+            let err = bad.call(&Request {
+                id: RequestId(1),
+                kind: OpKind::Read,
+                target: tree.root(),
+                hops: 0,
+                trace: None,
+            });
+            assert!(err.is_err(), "poisoned connection must not answer");
+        }
+        // A fresh connection still gets served.
+        let mut good = NetClient::connect(&addr, Duration::from_secs(2)).expect("connect");
+        let resp = good
+            .call(&Request {
+                id: RequestId(2),
+                kind: OpKind::Read,
+                target: tree.root(),
+                hops: 0,
+                trace: None,
+            })
+            .expect("server survived the bad peer");
+        assert_eq!(resp.id, RequestId(2));
+        drop(good);
+        let stats = server.shutdown();
+        assert_eq!(stats.decode_errors, 1);
+        assert_eq!(stats.conns, 2);
+    }
+}

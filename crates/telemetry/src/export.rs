@@ -395,6 +395,10 @@ mod tests {
             "leader_changes_total",
             "log_commits_total",
             "monitor_retries_total",
+            "net_conns_total",
+            "net_frames_total",
+            "net_decode_errors_total",
+            "net_conn_resets_total",
             "op_latency_us",
             "op_latency_us_read",
             "op_latency_us_write",

@@ -118,6 +118,16 @@ pub mod names {
     pub const MONITOR_RETRIES_TOTAL: &str = "monitor_retries_total";
     /// Leader-loss to next-commit gap across failovers, milliseconds.
     pub const MONITOR_FAILOVER_MS: &str = "monitor_failover_ms";
+    /// TCP connections accepted (server) or opened (load client).
+    pub const NET_CONNS_TOTAL: &str = "net_conns_total";
+    /// Request/response frames carried over TCP connections.
+    pub const NET_FRAMES_TOTAL: &str = "net_frames_total";
+    /// Frames that failed to decode off a TCP stream (connection is
+    /// then closed — a byte stream cannot re-synchronise past garbage).
+    pub const NET_DECODE_ERRORS_TOTAL: &str = "net_decode_errors_total";
+    /// TCP connections that ended in an I/O error or mid-frame EOF
+    /// rather than a clean frame-boundary close.
+    pub const NET_CONN_RESETS_TOTAL: &str = "net_conn_resets_total";
 
     /// Pre-registers every globally-scoped metric on `registry` so
     /// exported metric sets are identical regardless of which code
@@ -151,6 +161,10 @@ pub mod names {
             LEADER_CHANGES_TOTAL,
             LOG_COMMITS_TOTAL,
             MONITOR_RETRIES_TOTAL,
+            NET_CONNS_TOTAL,
+            NET_FRAMES_TOTAL,
+            NET_DECODE_ERRORS_TOTAL,
+            NET_CONN_RESETS_TOTAL,
         ];
         const HISTOGRAMS: &[&str] = &[
             OP_LATENCY_US,

@@ -17,14 +17,16 @@ use std::error::Error;
 use std::fmt;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
 use d2tree_baselines::{AngleCut, DropScheme, DynamicSubtree, HashMapping, StaticSubtree};
 use d2tree_bench::{parallel_cells_with, thread_count};
 use d2tree_cluster::{
-    analyze, run_chaos, run_load, run_monitor_chaos, run_store_chaos, ChaosConfig, FaultAction,
-    FaultPlan, FaultRule, FaultScope, LoadConfig, LoadMode, LoadReport, MonitorChaosConfig, NetMds,
+    admin_get, analyze, parse_metrics_json, run_chaos, run_load, run_monitor_chaos,
+    run_store_chaos, AdminConfig, AdminServer, ChaosConfig, FaultAction, FaultPlan, FaultRule,
+    FaultScope, LoadConfig, LoadMode, LoadReport, MetricsDoc, MonitorChaosConfig, NetMds,
     NetServer, NetServerConfig, ReplayOutcome, RetryPolicy, SimConfig, Simulator, StoreChaosConfig,
     StrictChainRoute,
 };
@@ -122,6 +124,8 @@ COMMANDS:
     serve      run one MDS as a real TCP daemon over the frame codec
     load       drive a running `serve` daemon over N TCP connections and
                report throughput + latency percentiles
+    top        poll a running daemon's admin plane and render a refreshing
+               ops/s + server latency + redirect-rate + health view
     help       show this message
 
 Common options:
@@ -228,6 +232,15 @@ Common options:
                                CI poll this file instead of racing the bind
           [--sample <rate>]    trace-sample served requests at this rate,
                                parenting serve spans on the wire trailer
+          [--admin-addr <ip:port>]  also serve the live admin plane here:
+                               GET /metrics (Prometheus text), /metrics.json,
+                               /health (flight-recorder rules → 200/503),
+                               /trace?n=K (last K sealed spans, Chrome JSON),
+                               /slow (slowest served requests)
+          [--admin-port-file <file>]  write the bound admin address
+                               atomically once listening (needs --admin-addr)
+          [--admin-tick-ms <n>]  admin flight-recorder sampling period
+                               (default 250)
 
     load  --addr <a,b,...>     comma-separated server addresses indexed by
                                owner MDS id (owners wrap modulo the list, so
@@ -240,6 +253,19 @@ Common options:
           [--check-p99-us <n>] error unless every mode's p99 stays under <n>
                                microseconds and at least one op completed
           [--out <file>]       JSON report (default results/BENCH_net.json)
+          [--admin-addr <ip:port>]  scrape the daemon's admin plane mid-run:
+                               each mode runs once unscraped then once with a
+                               --scrape-hz poller, and the JSON report gains
+                               the server-observed latency histograms plus the
+                               scrape-overhead ops/s delta per mode
+          [--scrape-hz <x>]    mid-run scraper polling rate (default 1.0)
+
+    top   --admin-addr <ip:port>  admin plane of a running daemon (the
+                               address `serve --admin-addr` bound)
+          [--refresh-ms <n>]   poll period (default 1000)
+          [--iters <n>]        stop after n refreshes and return them as
+                               text (default 0 = stream forever to stdout)
+          [--timeout-ms <n>]   per-request socket timeout (default 2000)
 ";
 
 /// Simple `--flag value` argument map.
@@ -348,6 +374,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "bench" => cmd_bench(rest),
         "serve" => cmd_serve(&Opts::parse(rest)?),
         "load" => cmd_load(&Opts::parse(rest)?),
+        "top" => cmd_top(&Opts::parse(rest)?),
         "help" | "--help" | "-h" => Ok(USAGE.to_owned()),
         other => Err(CliError::Usage(format!(
             "unknown command {other:?}\n\n{USAGE}"
@@ -1661,12 +1688,29 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     let server = NetServer::bind(addr, Arc::clone(&mds), NetServerConfig::default())?;
     let bound = server.local_addr();
     if let Some(port_file) = opts.get("port-file") {
-        // Write-then-rename so a polling reader never sees a half-written
-        // address.
-        let tmp = format!("{port_file}.tmp");
-        std::fs::write(&tmp, format!("{bound}\n"))?;
-        std::fs::rename(&tmp, port_file)?;
+        write_port_file(port_file, &bound.to_string())?;
     }
+    let admin = match opts.get("admin-addr") {
+        Some(admin_addr) => {
+            let config = AdminConfig {
+                tick_interval: Duration::from_millis(opts.num("admin-tick-ms", 250u64)?),
+                ..AdminConfig::default()
+            };
+            let admin = AdminServer::bind(admin_addr, Arc::clone(&mds), config)?;
+            if let Some(port_file) = opts.get("admin-port-file") {
+                write_port_file(port_file, &admin.local_addr().to_string())?;
+            }
+            Some(admin)
+        }
+        None => {
+            if opts.get("admin-port-file").is_some() {
+                return Err(CliError::Usage(
+                    "--admin-port-file needs --admin-addr".to_owned(),
+                ));
+            }
+            None
+        }
+    };
     if duration_ms == 0 {
         // Daemon mode: serve until the process is killed. (`park` can
         // wake spuriously, hence the loop.)
@@ -1675,6 +1719,19 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
         }
     }
     std::thread::sleep(Duration::from_millis(duration_ms));
+    // Admin first: its ticker samples the MDS, so stop the scrape plane
+    // before tearing the data plane down.
+    let admin_line = match admin {
+        Some(admin) => {
+            let admin_bound = admin.local_addr();
+            let stats = admin.shutdown();
+            format!(
+                "admin on {admin_bound}: {} scrapes, {} errors\n",
+                stats.scrapes, stats.errors
+            )
+        }
+        None => String::new(),
+    };
     mds.sync();
     let served = mds.served();
     let redirects = mds.redirects();
@@ -1682,13 +1739,139 @@ fn cmd_serve(opts: &Opts) -> Result<String, CliError> {
     Ok(format!(
         "mds {mds_id} served on {bound} for {duration_ms} ms\n\
          served: {served} ops, redirects: {redirects}\n\
-         connections: {}, frames: {}, decode errors: {}, resets: {}\n",
+         connections: {}, frames: {}, decode errors: {}, resets: {}\n{admin_line}",
         stats.conns, stats.frames, stats.decode_errors, stats.conn_resets
     ))
 }
 
-/// Renders one [`LoadReport`] as a JSON object body (no trailing comma).
-fn load_report_json(mode: &str, target_qps: Option<f64>, r: &LoadReport) -> String {
+/// Writes `addr` to `path` via write-then-rename so a polling reader
+/// never sees a half-written address.
+fn write_port_file(path: &str, addr: &str) -> Result<(), CliError> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, format!("{addr}\n"))?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// The server-side latency matrix: short label × exporter name, one per
+/// op kind × outcome, as registered by `NetMds`.
+const SRV_LATENCY: [(&str, &str); 9] = [
+    ("read_ok", names::SRV_LATENCY_US_READ_OK),
+    ("read_redirect", names::SRV_LATENCY_US_READ_REDIRECT),
+    ("read_error", names::SRV_LATENCY_US_READ_ERROR),
+    ("write_ok", names::SRV_LATENCY_US_WRITE_OK),
+    ("write_redirect", names::SRV_LATENCY_US_WRITE_REDIRECT),
+    ("write_error", names::SRV_LATENCY_US_WRITE_ERROR),
+    ("update_ok", names::SRV_LATENCY_US_UPDATE_OK),
+    ("update_redirect", names::SRV_LATENCY_US_UPDATE_REDIRECT),
+    ("update_error", names::SRV_LATENCY_US_UPDATE_ERROR),
+];
+
+/// Total server-observed requests: every lane of the op × outcome matrix.
+fn srv_ops(doc: &MetricsDoc) -> u64 {
+    doc.histogram_count_where(|n| n.starts_with("srv_latency_us_"))
+}
+
+/// The raw token of `"key":<value>` in a flat JSON object, mapped to
+/// `n/a` when absent or `null` (the recorder serialises NaN/∞ as null).
+fn json_token(body: &str, key: &str) -> String {
+    let pat = format!("\"{key}\":");
+    let token = body.find(&pat).map(|start| {
+        let rest = &body[start + pat.len()..];
+        let end = rest.find([',', '}']).unwrap_or(rest.len());
+        rest[..end].trim()
+    });
+    match token {
+        None | Some("null") | Some("") => "n/a".to_owned(),
+        Some(t) => t.to_owned(),
+    }
+}
+
+/// One refresh line of `d2tree top`: ops/s from scrape-to-scrape count
+/// deltas, quantiles from the busiest server-side histogram lane,
+/// Def. 3/5 and status from `/health`.
+fn top_line(doc: &MetricsDoc, prev: Option<&MetricsDoc>, health: &(u16, String)) -> String {
+    let ops = srv_ops(doc);
+    let redirects =
+        doc.histogram_count_where(|n| n.starts_with("srv_latency_us_") && n.ends_with("_redirect"));
+    let (delta_ops, delta_us) = match prev {
+        // First refresh: rate over the daemon's whole lifetime.
+        None => (ops, doc.uptime_us),
+        Some(p) => (
+            ops.saturating_sub(srv_ops(p)),
+            doc.uptime_us.saturating_sub(p.uptime_us),
+        ),
+    };
+    let rate = delta_ops as f64 / (delta_us.max(1) as f64 / 1e6);
+    let busiest = SRV_LATENCY
+        .iter()
+        .filter_map(|(_, name)| doc.histogram(name))
+        .max_by_key(|h| h.count);
+    let (p50, p99) = busiest.map_or((0, 0), |h| (h.p50, h.p99));
+    let redirect_pct = if ops == 0 {
+        0.0
+    } else {
+        redirects as f64 * 100.0 / ops as f64
+    };
+    let (health_status, health_body) = health;
+    format!(
+        "up {:>8.1}s  ops {ops} ({rate:.0}/s)  redirects {redirect_pct:.1}%  conns {}  \
+         srv p50 {p50} µs  p99 {p99} µs  locality {}  balance {}  health {}",
+        doc.uptime_us as f64 / 1e6,
+        doc.gauge(names::NET_ACTIVE_CONNS),
+        json_token(health_body, "locality"),
+        json_token(health_body, "balance"),
+        if *health_status == 200 {
+            "ok"
+        } else {
+            "UNHEALTHY"
+        },
+    )
+}
+
+fn cmd_top(opts: &Opts) -> Result<String, CliError> {
+    let addr = opts.required("admin-addr")?.to_owned();
+    let refresh = Duration::from_millis(opts.num("refresh-ms", 1_000u64)?);
+    let iters = opts.num("iters", 0u64)?;
+    let timeout = Duration::from_millis(opts.num("timeout-ms", 2_000u64)?);
+    let mut out = String::new();
+    let mut prev: Option<MetricsDoc> = None;
+    let mut refreshes = 0u64;
+    loop {
+        let (status, body) = admin_get(&addr, "/metrics.json", timeout)?;
+        if status != 200 {
+            return Err(CliError::Bench(format!(
+                "admin plane at {addr} answered /metrics.json with HTTP {status}"
+            )));
+        }
+        let doc = parse_metrics_json(&body).ok_or_else(|| {
+            CliError::Bench(format!(
+                "admin plane at {addr} returned an unparsable /metrics.json"
+            ))
+        })?;
+        let health = admin_get(&addr, "/health", timeout)?;
+        let line = top_line(&doc, prev.as_ref(), &health);
+        if iters == 0 {
+            // Streaming mode: the loop never returns, so print live.
+            println!("{line}");
+        } else {
+            out.push_str(&line);
+            out.push('\n');
+        }
+        prev = Some(doc);
+        refreshes += 1;
+        if iters > 0 && refreshes >= iters {
+            return Ok(out);
+        }
+        std::thread::sleep(refresh);
+    }
+}
+
+/// Renders one [`LoadReport`] as a JSON object body (no trailing
+/// comma); `extra` is spliced in as additional `, "key": value` pairs
+/// (empty for a plain run, scrape-overhead fields when the admin plane
+/// was polled mid-run).
+fn load_report_json(mode: &str, target_qps: Option<f64>, r: &LoadReport, extra: &str) -> String {
     let target = target_qps.map_or(String::new(), |q| format!("\"target_qps\": {q:.1}, "));
     format!(
         "  \"{mode}\": {{{target}\"attempted\": {}, \"completed\": {}, \"errors\": {}, \
@@ -1696,7 +1879,7 @@ fn load_report_json(mode: &str, target_qps: Option<f64>, r: &LoadReport) -> Stri
          \"not_found\": {}, \"redirects_followed\": {}, \"reconnects\": {}, \
          \"elapsed_ms\": {:.1}, \"achieved_qps\": {:.1}, \
          \"latency_us\": {{\"mean\": {:.1}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
-         \"p999\": {}, \"max\": {}}}}}",
+         \"p999\": {}, \"max\": {}}}{extra}}}",
         r.attempted,
         r.completed,
         r.errors,
@@ -1714,6 +1897,84 @@ fn load_report_json(mode: &str, target_qps: Option<f64>, r: &LoadReport) -> Stri
         r.latency.p99,
         r.latency.p999,
         r.latency.max,
+    )
+}
+
+/// What one mid-run scraper pass saw.
+struct ScrapeRun {
+    /// Successful `/metrics.json` scrapes.
+    scrapes: u64,
+    /// Scrapes that failed to connect, read, or parse.
+    failures: u64,
+}
+
+/// Runs `body` while a background thread polls `/metrics.json` on the
+/// admin plane at `hz`, stopping the poller when `body` returns.
+fn scrape_during<T>(
+    addr: &str,
+    hz: f64,
+    timeout: Duration,
+    body: impl FnOnce() -> T,
+) -> (T, ScrapeRun) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let stop = Arc::clone(&stop);
+        let addr = addr.to_owned();
+        let period = Duration::from_secs_f64(1.0 / hz);
+        std::thread::spawn(move || {
+            let mut run = ScrapeRun {
+                scrapes: 0,
+                failures: 0,
+            };
+            while !stop.load(Ordering::Relaxed) {
+                match admin_get(&addr, "/metrics.json", timeout) {
+                    Ok((200, body)) if parse_metrics_json(&body).is_some() => run.scrapes += 1,
+                    _ => run.failures += 1,
+                }
+                // Sleep in short slices so stopping is prompt even at
+                // low scrape rates.
+                let mut slept = Duration::ZERO;
+                while slept < period && !stop.load(Ordering::Relaxed) {
+                    let nap = Duration::from_millis(25).min(period - slept);
+                    std::thread::sleep(nap);
+                    slept += nap;
+                }
+            }
+            run
+        })
+    };
+    let result = body();
+    stop.store(true, Ordering::Relaxed);
+    let run = poller.join().expect("admin scraper thread panicked");
+    (result, run)
+}
+
+/// Renders the server-observed side of the benchmark: the non-empty
+/// lanes of the serve-latency matrix plus admin-plane totals, from the
+/// final post-run `/metrics.json` scrape.
+fn server_section_json(addr: &str, scrape_hz: f64, doc: &MetricsDoc) -> String {
+    let lanes: Vec<String> = SRV_LATENCY
+        .iter()
+        .filter_map(|(label, name)| {
+            let h = doc.histogram(name)?;
+            (h.count > 0).then(|| {
+                format!(
+                    "\"{label}\": {{\"count\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}, \
+                     \"p999\": {}, \"max\": {}}}",
+                    h.count, h.p50, h.p90, h.p99, h.p999, h.max
+                )
+            })
+        })
+        .collect();
+    format!(
+        "  \"server\": {{\"admin_addr\": \"{addr}\", \"scrape_hz\": {scrape_hz:.1}, \
+         \"uptime_us\": {}, \"ops\": {}, \"scrapes\": {}, \"scrape_errors\": {}, \
+         \"latency_us\": {{{}}}}}",
+        doc.uptime_us,
+        srv_ops(doc),
+        doc.counter(names::ADMIN_SCRAPES_TOTAL),
+        doc.counter(names::ADMIN_ERRORS_TOTAL),
+        lanes.join(", "),
     )
 }
 
@@ -1747,6 +2008,11 @@ fn cmd_load(opts: &Opts) -> Result<String, CliError> {
         .get("out")
         .unwrap_or("results/BENCH_net.json")
         .to_owned();
+    let admin_addr = opts.get("admin-addr").map(ToOwned::to_owned);
+    let scrape_hz = opts.num("scrape-hz", 1.0f64)?;
+    if scrape_hz <= 0.0 {
+        return Err(CliError::Usage("--scrape-hz must be positive".to_owned()));
+    }
     let modes: Vec<(&str, LoadMode)> = match opts.get("mode").unwrap_or("closed") {
         "closed" => vec![("closed", LoadMode::Closed)],
         "open" => vec![("open", LoadMode::Open { target_qps: qps })],
@@ -1776,7 +2042,34 @@ fn cmd_load(opts: &Opts) -> Result<String, CliError> {
             retry: RetryPolicy::default(),
             seed,
         };
-        let report = run_load(&cfg, &tree, &index, &trace, &registry, None);
+        // With an admin plane to scrape, run the mode twice — once
+        // quiet for a baseline, once with the poller — so the report
+        // can state what mid-run observability costs in ops/s.
+        let (report, extra) = match &admin_addr {
+            None => (run_load(&cfg, &tree, &index, &trace, &registry, None), String::new()),
+            Some(addr) => {
+                let baseline = run_load(&cfg, &tree, &index, &trace, &registry, None);
+                let (scraped, scrape) = scrape_during(addr, scrape_hz, timeout, || {
+                    run_load(&cfg, &tree, &index, &trace, &registry, None)
+                });
+                let overhead_pct = if baseline.achieved_qps > 0.0 {
+                    (baseline.achieved_qps - scraped.achieved_qps) * 100.0 / baseline.achieved_qps
+                } else {
+                    0.0
+                };
+                text.push_str(&format!(
+                    "{name}: scrape overhead {overhead_pct:.2}% at {scrape_hz:.1} Hz \
+                     (baseline {:.0} ops/s, scraped {:.0} ops/s, {} scrapes, {} failures)\n",
+                    baseline.achieved_qps, scraped.achieved_qps, scrape.scrapes, scrape.failures,
+                ));
+                let extra = format!(
+                    ", \"baseline_qps\": {:.1}, \"scrape_overhead_pct\": {overhead_pct:.2}, \
+                     \"scrapes\": {}, \"scrape_failures\": {}",
+                    baseline.achieved_qps, scrape.scrapes, scrape.failures,
+                );
+                (scraped, extra)
+            }
+        };
         let target = match mode {
             LoadMode::Open { target_qps } => Some(*target_qps),
             LoadMode::Closed => None,
@@ -1803,7 +2096,24 @@ fn cmd_load(opts: &Opts) -> Result<String, CliError> {
                 ));
             }
         }
-        sections.push(load_report_json(name, target, &report));
+        sections.push(load_report_json(name, target, &report, &extra));
+    }
+    if let Some(addr) = &admin_addr {
+        // One final scrape after the last pass: the authoritative
+        // server-observed latency matrix next to the client-observed
+        // sections above.
+        let (status, body) = admin_get(addr, "/metrics.json", timeout)?;
+        if status != 200 {
+            return Err(CliError::Bench(format!(
+                "admin plane at {addr} answered /metrics.json with HTTP {status}"
+            )));
+        }
+        let doc = parse_metrics_json(&body).ok_or_else(|| {
+            CliError::Bench(format!(
+                "admin plane at {addr} returned an unparsable /metrics.json"
+            ))
+        })?;
+        sections.push(server_section_json(addr, scrape_hz, &doc));
     }
     let snap = registry.snapshot();
     let net_counter = |n: &str| {
@@ -2551,7 +2861,7 @@ mod tests {
         assert_eq!(jsonl.lines().count(), 4, "{jsonl}");
         assert!(jsonl.lines().all(|l| l.contains("\"balance\":")), "{jsonl}");
         let csv = std::fs::read_to_string(&csv_file).unwrap();
-        assert!(csv.starts_with("tick,t_us,locality,balance"), "{csv}");
+        assert!(csv.starts_with("tick,t_us,t_ms,locality,balance"), "{csv}");
         assert_eq!(csv.lines().count(), 5, "{csv}"); // header + 4 ticks
         let _ = std::fs::remove_file(jsonl_file);
         let _ = std::fs::remove_file(csv_file);
@@ -2796,5 +3106,92 @@ mod tests {
         .unwrap_err();
         assert!(matches!(err, CliError::Io(_)));
         assert!(!err.to_string().is_empty());
+    }
+
+    /// Polls a `--port-file` until the daemon writes the bound address.
+    fn wait_port_file(path: &str) -> String {
+        for _ in 0..200 {
+            if let Ok(addr) = std::fs::read_to_string(path) {
+                let addr = addr.trim().to_owned();
+                if !addr.is_empty() {
+                    return addr;
+                }
+            }
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        panic!("daemon never wrote {path}");
+    }
+
+    #[test]
+    fn serve_admin_load_and_top_round_trip() {
+        let prefix = tmp_prefix("adminplane");
+        let port_file = format!("{prefix}.port");
+        let admin_port_file = format!("{prefix}.admin.port");
+        let out_file = format!("{prefix}.bench.json");
+        let serve = {
+            let (port_file, admin_port_file) = (port_file.clone(), admin_port_file.clone());
+            std::thread::spawn(move || {
+                run(&args(&[
+                    "serve",
+                    "--nodes",
+                    "300",
+                    "--ops",
+                    "1500",
+                    "--duration-ms",
+                    "6000",
+                    "--port-file",
+                    &port_file,
+                    "--admin-addr",
+                    "127.0.0.1:0",
+                    "--admin-port-file",
+                    &admin_port_file,
+                    "--admin-tick-ms",
+                    "50",
+                ]))
+            })
+        };
+        let addr = wait_port_file(&port_file);
+        let admin_addr = wait_port_file(&admin_port_file);
+
+        // A fast scraper (20 Hz) against a short run still lands at
+        // least one mid-run scrape; the report gains the overhead
+        // fields and the server-observed latency section.
+        let out = run(&args(&[
+            "load", "--nodes", "300", "--ops", "1500", "--addr", &addr, "--conns", "2",
+            "--admin-addr", &admin_addr, "--scrape-hz", "20", "--out", &out_file,
+        ]))
+        .unwrap();
+        assert!(out.contains("scrape overhead"), "{out}");
+        let json = std::fs::read_to_string(&out_file).unwrap();
+        assert!(json.contains("\"scrape_overhead_pct\":"), "{json}");
+        assert!(json.contains("\"baseline_qps\":"), "{json}");
+        assert!(json.contains("\"server\": {\"admin_addr\""), "{json}");
+        assert!(json.contains("\"read_ok\": {\"count\":"), "{json}");
+
+        // `top` renders bounded refreshes with the served ops visible.
+        let top = run(&args(&[
+            "top",
+            "--admin-addr",
+            &admin_addr,
+            "--iters",
+            "2",
+            "--refresh-ms",
+            "50",
+        ]))
+        .unwrap();
+        assert_eq!(top.lines().count(), 2, "{top}");
+        for line in top.lines() {
+            assert!(line.contains("ops 3000"), "both load passes visible: {top}");
+            assert!(line.contains("health ok"), "{top}");
+            assert!(line.contains("srv p50"), "{top}");
+        }
+
+        let summary = serve.join().expect("serve thread panicked").unwrap();
+        assert!(summary.contains("served: 3000 ops"), "{summary}");
+        assert!(summary.contains("admin on "), "{summary}");
+        assert!(summary.contains(" scrapes"), "{summary}");
+        for f in [port_file, admin_port_file, out_file] {
+            let _ = std::fs::remove_file(f);
+        }
     }
 }

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod admin;
 pub mod chaos;
 pub mod client;
 pub mod consensus;
@@ -43,6 +44,9 @@ pub mod net;
 pub mod sim;
 pub mod trace_analysis;
 
+pub use admin::{
+    admin_get, parse_metrics_json, AdminConfig, AdminServer, AdminStats, MetricsDoc,
+};
 pub use chaos::{
     run_chaos, run_monitor_chaos, run_store_chaos, ChaosConfig, ChaosReport, MonitorChaosConfig,
     MonitorChaosReport, StoreChaosConfig, StoreChaosReport,
@@ -61,7 +65,7 @@ pub use message::{Request, RequestId, Response, ResponseBody};
 pub use monitor::{ClusterEvent, Monitor, MonitorConfig};
 pub use net::{
     run_load, FrameBuf, FrameReader, LoadConfig, LoadMode, LoadReport, NetClient, NetMds,
-    NetServer, NetServerConfig, NetServerStats, MAX_FRAME_BYTES,
+    NetServer, NetServerConfig, NetServerStats, SlowEntry, MAX_FRAME_BYTES,
 };
 pub use sim::{RebalancedReplay, ReplayOutcome, SimConfig, Simulator};
 pub use trace_analysis::{

@@ -196,6 +196,94 @@ impl<R: Read> FrameReader<R> {
     }
 }
 
+/// Entries the slow-request log keeps.
+const SLOW_LOG_CAPACITY: usize = 16;
+
+/// One request in the slow-request log: what ran long, where it was
+/// aimed, how it ended, and the trace id to pull its span chain with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SlowEntry {
+    /// Server-side duration of the request, microseconds.
+    pub dur_us: u64,
+    /// Completion time as registry uptime, microseconds.
+    pub t_us: u64,
+    /// The requested operation kind.
+    pub kind: OpKind,
+    /// Target node index.
+    pub target: u64,
+    /// How it ended: 0 served, 1 redirect, 2 not-found.
+    pub outcome: u8,
+    /// Trace id from the wire trailer, when the request was sampled.
+    pub trace: Option<u64>,
+}
+
+/// Bounded top-N-by-duration log of served requests.
+///
+/// The hot path is gated on a lock-free floor: once the log is full,
+/// only a request slower than the current N-th slowest takes the mutex,
+/// so steady-state fast requests cost one relaxed load.
+#[derive(Debug)]
+struct SlowLog {
+    /// Duration of the slowest entry *not* worth logging — requests at
+    /// or under this skip the lock. Zero until the log fills.
+    floor: AtomicU64,
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    fn new() -> Self {
+        SlowLog {
+            floor: AtomicU64::new(0),
+            entries: Mutex::new(Vec::with_capacity(SLOW_LOG_CAPACITY)),
+        }
+    }
+
+    fn observe(&self, e: SlowEntry) {
+        if e.dur_us <= self.floor.load(Ordering::Relaxed) {
+            return;
+        }
+        let mut entries = self.entries.lock();
+        if entries.len() < SLOW_LOG_CAPACITY {
+            entries.push(e);
+        } else {
+            let (i, slowest_min) = entries
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, x)| x.dur_us)
+                .map(|(i, x)| (i, x.dur_us))
+                .expect("full log is non-empty");
+            if slowest_min >= e.dur_us {
+                return; // the floor moved under us; still not worth it
+            }
+            entries[i] = e;
+        }
+        if entries.len() == SLOW_LOG_CAPACITY {
+            let floor = entries
+                .iter()
+                .map(|x| x.dur_us)
+                .min()
+                .expect("full log is non-empty");
+            self.floor.store(floor, Ordering::Relaxed);
+        }
+    }
+
+    /// Entries sorted slowest first.
+    fn top(&self) -> Vec<SlowEntry> {
+        let mut v = self.entries.lock().clone();
+        v.sort_by(|a, b| b.dur_us.cmp(&a.dur_us).then(a.t_us.cmp(&b.t_us)));
+        v
+    }
+}
+
+/// Row index for a request kind in the server-side latency matrix.
+fn kind_index(kind: OpKind) -> usize {
+    match kind {
+        OpKind::Read => 0,
+        OpKind::Write => 1,
+        OpKind::Update => 2,
+    }
+}
+
 /// One MDS worth of serving state behind a real socket.
 ///
 /// Built from the same deterministic workspace derivation the load
@@ -220,6 +308,11 @@ pub struct NetMds {
     redirects: AtomicU64,
     served_total: Arc<Counter>,
     forwarded_total: Arc<Counter>,
+    /// Server-side latency histograms, `[kind][outcome]` with outcome
+    /// 0 served / 1 redirect / 2 not-found — the measurement the admin
+    /// plane's `/metrics` reports next to client-observed latencies.
+    srv_latency: [[Arc<Histogram>; 3]; 3],
+    slow: SlowLog,
 }
 
 impl NetMds {
@@ -245,6 +338,25 @@ impl NetMds {
         let attrs = RwLock::new(AttrTable::new(&tree));
         let served_total = registry.counter(MetricKey::mds(names::SERVER_SERVED_TOTAL, me.0));
         let forwarded_total = registry.counter(MetricKey::global(names::FORWARDED_TOTAL));
+        let srv_names = [
+            [
+                names::SRV_LATENCY_US_READ_OK,
+                names::SRV_LATENCY_US_READ_REDIRECT,
+                names::SRV_LATENCY_US_READ_ERROR,
+            ],
+            [
+                names::SRV_LATENCY_US_WRITE_OK,
+                names::SRV_LATENCY_US_WRITE_REDIRECT,
+                names::SRV_LATENCY_US_WRITE_ERROR,
+            ],
+            [
+                names::SRV_LATENCY_US_UPDATE_OK,
+                names::SRV_LATENCY_US_UPDATE_REDIRECT,
+                names::SRV_LATENCY_US_UPDATE_ERROR,
+            ],
+        ];
+        let srv_latency =
+            srv_names.map(|row| row.map(|name| registry.histogram(MetricKey::mds(name, me.0))));
         NetMds {
             tree,
             placement,
@@ -260,6 +372,8 @@ impl NetMds {
             redirects: AtomicU64::new(0),
             served_total,
             forwarded_total,
+            srv_latency,
+            slow: SlowLog::new(),
         }
     }
 
@@ -360,6 +474,41 @@ impl NetMds {
         self.redirects.load(Ordering::Relaxed)
     }
 
+    /// The tracer attached with [`with_tracer`](Self::with_tracer), if
+    /// any — the admin plane reads live spans through it.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+
+    /// The slowest requests this daemon has served, slowest first
+    /// (bounded at [`SLOW_LOG_CAPACITY`] entries).
+    #[must_use]
+    pub fn slow_requests(&self) -> Vec<SlowEntry> {
+        self.slow.top()
+    }
+
+    /// A flight-recorder sample of this daemon's running totals.
+    ///
+    /// A single daemon has no popularity model and no sibling loads,
+    /// so Def. 3 locality is NaN (unknown, exempt from health rules)
+    /// and Def. 5 balance is +∞ (one replica is trivially balanced);
+    /// redirects stand in for the retry signal, exactly the extra-hop
+    /// meaning the rules assign it.
+    #[must_use]
+    pub fn tick_sample(&self) -> d2tree_telemetry::TickSample {
+        let served = self.served();
+        d2tree_telemetry::TickSample {
+            t_us: self.registry.uptime_us(),
+            locality: f64::NAN,
+            balance: f64::INFINITY,
+            ops_total: served,
+            retries_total: self.redirects(),
+            migrations_total: 0,
+            loads: vec![served as f64],
+        }
+    }
+
     /// The attribute version this MDS holds for `node` — used by tests
     /// to verify updates actually committed.
     #[must_use]
@@ -391,6 +540,7 @@ impl NetMds {
     /// from a different workload derivation must not crash the daemon).
     pub fn serve(&self, req: Request) -> Response {
         let me = self.me.index();
+        let t0 = Instant::now();
         // Serve span id allocated up front so the span parents correctly
         // on the wire context even though it is recorded at the end.
         let serve_ctx = match (self.tracer.as_deref(), req.trace) {
@@ -469,6 +619,21 @@ impl NetMds {
                 }
             }
         }
+        let outcome = match body {
+            ResponseBody::Served { .. } => 0u8,
+            ResponseBody::Redirect { .. } => 1,
+            ResponseBody::NotFound => 2,
+        };
+        let dur_us = t0.elapsed().as_micros() as u64;
+        self.srv_latency[kind_index(req.kind)][usize::from(outcome)].record(dur_us);
+        self.slow.observe(SlowEntry {
+            dur_us,
+            t_us: self.registry.uptime_us(),
+            kind: req.kind,
+            target: req.target.index() as u64,
+            outcome,
+            trace: req.trace.map(|(t, _)| t),
+        });
         if let Some((ctx, serve_id, start)) = serve_ctx {
             let tr = self.tracer.as_deref().expect("ctx implies tracer");
             tr.record(
@@ -497,6 +662,103 @@ impl NetMds {
             body,
             hops: req.hops,
         }
+    }
+}
+
+/// The accept-loop/shutdown machinery shared by the frame-codec
+/// [`NetServer`] and the admin plane's HTTP listener
+/// ([`crate::admin::AdminServer`]): a bound listener, an accept thread
+/// spawning one handler thread per connection, and graceful shutdown
+/// via a stop flag plus a self-connect wake of the blocking accept.
+///
+/// The handler runs on its own thread and receives the shared stop
+/// flag; it is expected to poll the flag (via a socket read timeout)
+/// so shutdown completes within one poll interval.
+#[derive(Debug)]
+pub(crate) struct AcceptLoop {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+}
+
+impl AcceptLoop {
+    /// Binds `addr` (port 0 for ephemeral) and starts accepting;
+    /// `handler` runs per connection on a dedicated thread.
+    pub(crate) fn spawn<A, F>(addr: A, poll_interval: Duration, handler: F) -> io::Result<AcceptLoop>
+    where
+        A: ToSocketAddrs,
+        F: Fn(TcpStream, &AtomicBool) + Send + Sync + 'static,
+    {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            let handler = Arc::new(handler);
+            std::thread::spawn(move || {
+                let mut handles: Vec<JoinHandle<()>> = Vec::new();
+                loop {
+                    match listener.accept() {
+                        Ok((stream, _peer)) => {
+                            if stop.load(Ordering::SeqCst) {
+                                break; // the shutdown wake-up connect, or a racer
+                            }
+                            let handler = Arc::clone(&handler);
+                            let stop = Arc::clone(&stop);
+                            handles.push(std::thread::spawn(move || handler(stream, &stop)));
+                        }
+                        Err(_) if stop.load(Ordering::SeqCst) => break,
+                        Err(_) => {
+                            // Transient accept failure (e.g. fd exhaustion):
+                            // don't spin the core; the listener is alive.
+                            std::thread::sleep(poll_interval);
+                        }
+                    }
+                }
+                handles
+            })
+        };
+        Ok(AcceptLoop {
+            addr,
+            stop,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub(crate) fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The stop flag shared with every handler thread, for sibling
+    /// threads (e.g. a sampling ticker) that must stop with the server.
+    pub(crate) fn stop_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.stop)
+    }
+
+    /// Stops accepting and drains every handler thread. Idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the accept loop or a handler thread panicked.
+    pub(crate) fn stop_and_join(&mut self) {
+        let Some(handle) = self.accept_handle.take() else {
+            return;
+        };
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept; a refused connect is fine too (the
+        // listener may already be gone if its thread errored out).
+        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
+        let conn_handles = handle.join().expect("accept thread panicked");
+        for h in conn_handles {
+            h.join().expect("connection thread panicked");
+        }
+    }
+}
+
+impl Drop for AcceptLoop {
+    fn drop(&mut self) {
+        self.stop_and_join();
     }
 }
 
@@ -557,9 +819,7 @@ impl NetCounters {
 /// A blocking thread-per-connection TCP server fronting one [`NetMds`].
 #[derive(Debug)]
 pub struct NetServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    accept_handle: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    acceptor: AcceptLoop,
     counters: NetCounters,
 }
 
@@ -578,41 +838,26 @@ impl NetServer {
         mds: Arc<NetMds>,
         config: NetServerConfig,
     ) -> io::Result<NetServer> {
-        let listener = TcpListener::bind(addr)?;
-        let addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
         let counters = NetCounters::from_registry(mds.registry());
-        let accept_handle = {
-            let stop = Arc::clone(&stop);
+        let active = mds
+            .registry()
+            .gauge(MetricKey::global(names::NET_ACTIVE_CONNS));
+        let acceptor = {
             let counters = counters.clone();
-            std::thread::spawn(move || accept_main(&listener, &mds, &counters, &stop, config))
+            AcceptLoop::spawn(addr, config.poll_interval, move |stream, stop| {
+                counters.conns.inc();
+                active.add(1);
+                conn_main(stream, &mds, &counters, stop, config);
+                active.sub(1);
+            })?
         };
-        Ok(NetServer {
-            addr,
-            stop,
-            accept_handle: Some(accept_handle),
-            counters,
-        })
+        Ok(NetServer { acceptor, counters })
     }
 
     /// The address the server actually bound (resolves port 0).
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
-        self.addr
-    }
-
-    fn stop_and_join(&mut self) {
-        let Some(handle) = self.accept_handle.take() else {
-            return;
-        };
-        self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept; a refused connect is fine too (the
-        // listener may already be gone if its thread errored out).
-        let _ = TcpStream::connect_timeout(&self.addr, Duration::from_secs(1));
-        let conn_handles = handle.join().expect("accept thread panicked");
-        for h in conn_handles {
-            h.join().expect("connection thread panicked");
-        }
+        self.acceptor.local_addr()
     }
 
     /// Stops accepting, drains every connection handler (each notices the
@@ -623,7 +868,7 @@ impl NetServer {
     /// Panics if the accept loop or a connection handler panicked.
     #[must_use]
     pub fn shutdown(mut self) -> NetServerStats {
-        self.stop_and_join();
+        self.acceptor.stop_and_join();
         NetServerStats {
             conns: self.counters.conns.get(),
             frames: self.counters.frames.get(),
@@ -631,45 +876,6 @@ impl NetServer {
             conn_resets: self.counters.resets.get(),
         }
     }
-}
-
-impl Drop for NetServer {
-    fn drop(&mut self) {
-        self.stop_and_join();
-    }
-}
-
-fn accept_main(
-    listener: &TcpListener,
-    mds: &Arc<NetMds>,
-    counters: &NetCounters,
-    stop: &Arc<AtomicBool>,
-    config: NetServerConfig,
-) -> Vec<JoinHandle<()>> {
-    let mut handles = Vec::new();
-    loop {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                if stop.load(Ordering::SeqCst) {
-                    break; // the shutdown wake-up connect, or a racer
-                }
-                counters.conns.inc();
-                let mds = Arc::clone(mds);
-                let counters = counters.clone();
-                let stop = Arc::clone(stop);
-                handles.push(std::thread::spawn(move || {
-                    conn_main(stream, &mds, &counters, &stop, config);
-                }));
-            }
-            Err(_) if stop.load(Ordering::SeqCst) => break,
-            Err(_) => {
-                // Transient accept failure (e.g. fd exhaustion): don't
-                // spin the core; the listener itself is still alive.
-                std::thread::sleep(config.poll_interval);
-            }
-        }
-    }
-    handles
 }
 
 /// One connection's serve loop. Errors are isolated here: whatever goes

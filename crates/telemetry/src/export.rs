@@ -399,10 +399,22 @@ mod tests {
             "net_frames_total",
             "net_decode_errors_total",
             "net_conn_resets_total",
+            "net_active_conns",
+            "admin_scrapes_total",
+            "admin_errors_total",
             "op_latency_us",
             "op_latency_us_read",
             "op_latency_us_write",
             "op_latency_us_update",
+            "srv_latency_us_read_ok",
+            "srv_latency_us_read_redirect",
+            "srv_latency_us_read_error",
+            "srv_latency_us_write_ok",
+            "srv_latency_us_write_redirect",
+            "srv_latency_us_write_error",
+            "srv_latency_us_update_ok",
+            "srv_latency_us_update_redirect",
+            "srv_latency_us_update_error",
             "rejoin_first_claim_ms",
             "wal_append_us",
             "wal_fsync_us",
@@ -415,8 +427,13 @@ mod tests {
         let snap = r.snapshot();
         // Every canonical name is pre-registered: exports carry the
         // full vocabulary as zero-valued series even on a run that
-        // never touches a code path.
-        assert_eq!(snap.counters.len() + snap.histograms.len(), EXPECTED.len());
+        // never touches a code path. 49 names as of the admin plane —
+        // the CI net-smoke scrape gate keys on this count too.
+        assert_eq!(
+            snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
+            EXPECTED.len()
+        );
+        assert_eq!(EXPECTED.len(), 49, "export vocabulary changed size");
         let prom = super::prometheus_text(&snap);
         let json = super::json(&snap);
         for name in EXPECTED {

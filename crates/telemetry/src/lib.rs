@@ -128,6 +128,31 @@ pub mod names {
     /// TCP connections that ended in an I/O error or mid-frame EOF
     /// rather than a clean frame-boundary close.
     pub const NET_CONN_RESETS_TOTAL: &str = "net_conn_resets_total";
+    /// TCP connections currently open against a serving daemon (gauge).
+    pub const NET_ACTIVE_CONNS: &str = "net_active_conns";
+    /// Admin-plane requests answered (any endpoint, any status).
+    pub const ADMIN_SCRAPES_TOTAL: &str = "admin_scrapes_total";
+    /// Admin-plane requests rejected (garbled line, oversized path,
+    /// unknown endpoint, unsupported method).
+    pub const ADMIN_ERRORS_TOTAL: &str = "admin_errors_total";
+    /// Server-observed serve latency, reads answered locally (µs).
+    pub const SRV_LATENCY_US_READ_OK: &str = "srv_latency_us_read_ok";
+    /// Server-observed serve latency, reads answered with a redirect.
+    pub const SRV_LATENCY_US_READ_REDIRECT: &str = "srv_latency_us_read_redirect";
+    /// Server-observed serve latency, reads answered not-found/error.
+    pub const SRV_LATENCY_US_READ_ERROR: &str = "srv_latency_us_read_error";
+    /// Server-observed serve latency, writes answered locally (µs).
+    pub const SRV_LATENCY_US_WRITE_OK: &str = "srv_latency_us_write_ok";
+    /// Server-observed serve latency, writes answered with a redirect.
+    pub const SRV_LATENCY_US_WRITE_REDIRECT: &str = "srv_latency_us_write_redirect";
+    /// Server-observed serve latency, writes answered not-found/error.
+    pub const SRV_LATENCY_US_WRITE_ERROR: &str = "srv_latency_us_write_error";
+    /// Server-observed serve latency, updates committed locally (µs).
+    pub const SRV_LATENCY_US_UPDATE_OK: &str = "srv_latency_us_update_ok";
+    /// Server-observed serve latency, updates answered with a redirect.
+    pub const SRV_LATENCY_US_UPDATE_REDIRECT: &str = "srv_latency_us_update_redirect";
+    /// Server-observed serve latency, updates answered not-found/error.
+    pub const SRV_LATENCY_US_UPDATE_ERROR: &str = "srv_latency_us_update_error";
 
     /// Pre-registers every globally-scoped metric on `registry` so
     /// exported metric sets are identical regardless of which code
@@ -165,12 +190,24 @@ pub mod names {
             NET_FRAMES_TOTAL,
             NET_DECODE_ERRORS_TOTAL,
             NET_CONN_RESETS_TOTAL,
+            ADMIN_SCRAPES_TOTAL,
+            ADMIN_ERRORS_TOTAL,
         ];
+        const GAUGES: &[&str] = &[NET_ACTIVE_CONNS];
         const HISTOGRAMS: &[&str] = &[
             OP_LATENCY_US,
             OP_LATENCY_US_READ,
             OP_LATENCY_US_WRITE,
             OP_LATENCY_US_UPDATE,
+            SRV_LATENCY_US_READ_OK,
+            SRV_LATENCY_US_READ_REDIRECT,
+            SRV_LATENCY_US_READ_ERROR,
+            SRV_LATENCY_US_WRITE_OK,
+            SRV_LATENCY_US_WRITE_REDIRECT,
+            SRV_LATENCY_US_WRITE_ERROR,
+            SRV_LATENCY_US_UPDATE_OK,
+            SRV_LATENCY_US_UPDATE_REDIRECT,
+            SRV_LATENCY_US_UPDATE_ERROR,
             REJOIN_FIRST_CLAIM_MS,
             WAL_APPEND_US,
             WAL_FSYNC_US,
@@ -179,6 +216,9 @@ pub mod names {
         ];
         for name in COUNTERS {
             let _ = registry.counter(MetricKey::global(name));
+        }
+        for name in GAUGES {
+            let _ = registry.gauge(MetricKey::global(name));
         }
         for name in HISTOGRAMS {
             let _ = registry.histogram(MetricKey::global(name));

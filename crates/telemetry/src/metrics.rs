@@ -227,22 +227,72 @@ impl Histogram {
     }
 
     /// Freezes the histogram into plain numbers for export.
+    ///
+    /// Safe against concurrent [`record`](Self::record) calls: the
+    /// bucket array is copied *once* and every derived statistic
+    /// (count, all four quantiles) comes from that one coherent view,
+    /// so quantiles are always mutually monotone (p50 ≤ p90 ≤ p99 ≤
+    /// p999) even while other threads are recording. Calling
+    /// [`quantile`](Self::quantile) four times instead would re-read
+    /// the live buckets per call — racing records between calls can
+    /// then yield a p90 *below* the p50. Quantile midpoints are
+    /// additionally clamped into the observed `[min, max]`, so a
+    /// scrape never reports a percentile outside the recorded range
+    /// (the min/max cells are updated after the bucket cell, so a
+    /// torn read could otherwise surface a p99 above the max).
     #[must_use]
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let count = self.count();
+        let mut frozen = [0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        for (slot, b) in frozen.iter_mut().zip(self.buckets.iter()) {
+            let v = b.load(Ordering::Relaxed);
+            *slot = v;
+            count += v;
+        }
+        if count == 0 {
+            return HistogramSnapshot {
+                count: 0,
+                sum: 0,
+                min: 0,
+                max: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                p999: 0,
+            };
+        }
+        let mut min = self.min.load(Ordering::Relaxed);
+        let mut max = self.max.load(Ordering::Relaxed);
+        if min > max {
+            // A racing first record has bumped its bucket but not yet
+            // stored min/max. Derive a coherent range from the frozen
+            // buckets instead of surfacing the torn sentinel values.
+            let first = frozen.iter().position(|&n| n > 0).expect("count > 0");
+            let last = frozen.iter().rposition(|&n| n > 0).expect("count > 0");
+            min = bucket_bounds(first).0;
+            max = bucket_bounds(last).1;
+        }
+        let quantile_of = |q: f64| -> u64 {
+            let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+            let mut seen = 0u64;
+            for (i, &n) in frozen.iter().enumerate() {
+                seen += n;
+                if seen >= rank {
+                    let (lo, hi) = bucket_bounds(i);
+                    return (lo + (hi - lo) / 2).clamp(min, max);
+                }
+            }
+            max
+        };
         HistogramSnapshot {
             count,
             sum: self.sum(),
-            min: if count == 0 {
-                0
-            } else {
-                self.min.load(Ordering::Relaxed)
-            },
-            max: self.max.load(Ordering::Relaxed),
-            p50: self.quantile(0.50),
-            p90: self.quantile(0.90),
-            p99: self.quantile(0.99),
-            p999: self.quantile(0.999),
+            min,
+            max,
+            p50: quantile_of(0.50),
+            p90: quantile_of(0.90),
+            p99: quantile_of(0.99),
+            p999: quantile_of(0.999),
         }
     }
 }
@@ -627,6 +677,67 @@ mod tests {
         g.max(7);
         g.max(2);
         assert_eq!(g.get(), 7);
+    }
+
+    /// Two writer threads hammer a histogram while the main thread
+    /// scrapes snapshots in a tight loop. Every snapshot must be
+    /// internally coherent: quantiles mutually monotone, quantiles
+    /// inside `[min, max]`, and count never moving backwards. This is
+    /// the loom-free stress test guarding the frozen-bucket snapshot
+    /// path used by the live admin plane's `/metrics` scrape.
+    #[test]
+    fn snapshot_is_coherent_under_concurrent_recording() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        let h = Arc::new(Histogram::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..2u64)
+            .map(|t| {
+                let h = Arc::clone(&h);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    // Deterministic xorshift per thread; spans several
+                    // orders of magnitude so bucket walks cross ranges.
+                    let mut x = 0x9e37_79b9_7f4a_7c15u64 ^ (t + 1);
+                    while !stop.load(Ordering::Relaxed) {
+                        x ^= x << 13;
+                        x ^= x >> 7;
+                        x ^= x << 17;
+                        h.record(1 + (x % 1_000_000));
+                    }
+                })
+            })
+            .collect();
+
+        let mut last_count = 0u64;
+        let mut scrapes = 0u64;
+        let deadline = std::time::Instant::now() + std::time::Duration::from_millis(200);
+        while std::time::Instant::now() < deadline {
+            let s = h.snapshot();
+            if s.count == 0 {
+                continue;
+            }
+            scrapes += 1;
+            assert!(s.count >= last_count, "count went backwards");
+            last_count = s.count;
+            assert!(s.min <= s.max, "min {} > max {}", s.min, s.max);
+            assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
+            for (label, q) in [("p50", s.p50), ("p90", s.p90), ("p99", s.p99), ("p999", s.p999)]
+            {
+                assert!(
+                    (s.min..=s.max).contains(&q),
+                    "{label} {q} outside [{}, {}]",
+                    s.min,
+                    s.max
+                );
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in writers {
+            w.join().expect("writer panicked");
+        }
+        assert!(scrapes > 100, "stress loop barely ran ({scrapes} scrapes)");
     }
 
     #[test]

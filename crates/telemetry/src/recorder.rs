@@ -39,6 +39,11 @@ pub struct HealthTick {
     pub tick: u64,
     /// Sample time in microseconds (virtual for sim, wall for live).
     pub t_us: u64,
+    /// Sample time in whole milliseconds (`t_us / 1000`). Redundant
+    /// with `t_us` but stamped into every export so a live `/health`
+    /// scrape and a post-hoc `d2tree health` dump can be joined on
+    /// (`tick`, `t_ms`) without consumers re-deriving the unit.
+    pub t_ms: u64,
     /// Def. 3 system locality at this tick (NaN when unavailable).
     pub locality: f64,
     /// Def. 5 load-balance degree at this tick.
@@ -162,6 +167,7 @@ impl FlightRecorder {
         let tick = HealthTick {
             tick: self.total,
             t_us: s.t_us,
+            t_ms: s.t_us / 1000,
             locality: s.locality,
             balance: s.balance,
             ops: s.ops_total.saturating_sub(self.prev_ops),
@@ -192,11 +198,12 @@ impl FlightRecorder {
         let mut out = String::new();
         for t in &self.ticks {
             out.push_str(&format!(
-                "{{\"tick\":{},\"t_us\":{},\"locality\":{},\"balance\":{},\"ops\":{},\
+                "{{\"tick\":{},\"t_us\":{},\"t_ms\":{},\"locality\":{},\"balance\":{},\"ops\":{},\
                  \"retries\":{},\"faults\":{},\"migrations\":{},\"spans_dropped\":{},\
                  \"wal_fsync_p99_us\":{},\"loads\":[",
                 t.tick,
                 t.t_us,
+                t.t_ms,
                 json_f64(t.locality),
                 json_f64(t.balance),
                 t.ops,
@@ -223,15 +230,16 @@ impl FlightRecorder {
     #[must_use]
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "tick,t_us,locality,balance,ops,retries,faults,migrations,\
+            "tick,t_us,t_ms,locality,balance,ops,retries,faults,migrations,\
              spans_dropped,wal_fsync_p99_us,loads\n",
         );
         for t in &self.ticks {
             let loads: Vec<String> = t.loads.iter().map(|l| format!("{l}")).collect();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 t.tick,
                 t.t_us,
+                t.t_ms,
                 t.locality,
                 t.balance,
                 t.ops,
@@ -431,8 +439,57 @@ mod tests {
         assert!(jsonl.contains("\"loads\":[1,2]"));
         let csv = rec.to_csv();
         assert_eq!(csv.lines().count(), 3, "header + 2 rows");
-        assert!(csv.starts_with("tick,t_us,locality,balance"));
+        assert!(csv.starts_with("tick,t_us,t_ms,locality,balance"));
         assert!(csv.contains("1;2"), "loads joined by ';': {csv}");
+    }
+
+    /// Pins the export schema: the exact CSV header and the exact JSONL
+    /// key set, in order. Live `/health` consumers and post-hoc
+    /// `d2tree health` tooling join rows on (`tick`, `t_ms`), so a
+    /// renamed or reordered column is a breaking change this test must
+    /// catch before it ships.
+    #[test]
+    fn export_schema_is_pinned() {
+        let mut rec = FlightRecorder::new(2);
+        rec.sample(sample(3, 4.5), None);
+        let csv = rec.to_csv();
+        assert_eq!(
+            csv.lines().next().expect("header"),
+            "tick,t_us,t_ms,locality,balance,ops,retries,faults,migrations,\
+             spans_dropped,wal_fsync_p99_us,loads"
+        );
+        let row = csv.lines().nth(1).expect("one data row");
+        assert_eq!(row.split(',').count(), 12, "column count: {row}");
+
+        let jsonl = rec.to_jsonl();
+        let line = jsonl.lines().next().expect("one JSONL row");
+        let keys: Vec<&str> = line
+            .match_indices('"')
+            .collect::<Vec<_>>()
+            .chunks(2)
+            .map(|pair| &line[pair[0].0 + 1..pair[1].0])
+            .collect();
+        assert_eq!(
+            keys,
+            [
+                "tick",
+                "t_us",
+                "t_ms",
+                "locality",
+                "balance",
+                "ops",
+                "retries",
+                "faults",
+                "migrations",
+                "spans_dropped",
+                "wal_fsync_p99_us",
+                "loads"
+            ]
+        );
+        // t_ms is derived from t_us by integer division; tick numbering
+        // is monotone from 0 — the join key is stable across exports.
+        assert!(line.contains("\"t_us\":3000") && line.contains("\"t_ms\":3"));
+        assert!(line.starts_with("{\"tick\":0,"));
     }
 
     #[test]

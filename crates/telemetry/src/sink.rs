@@ -658,6 +658,49 @@ impl SpanSink {
         out
     }
 
+    /// Returns up to the last `k` sealed spans in seal order *without*
+    /// removing them — the sink's occupancy, drained count, and segment
+    /// list are untouched, so a subsequent [`drain`](Self::drain) still
+    /// sees everything.
+    ///
+    /// This backs live inspection (the admin plane's `/trace?n=K`
+    /// endpoint) where a scrape must not steal spans from the export
+    /// that runs at shutdown. The calling thread's own buffer is sealed
+    /// first so a single-threaded producer sees its freshest spans;
+    /// buffers held by other live threads stay invisible until those
+    /// threads seal, exactly as for `drain`.
+    #[must_use]
+    pub fn peek_recent(&self, k: usize) -> Vec<Span> {
+        if k == 0 {
+            return Vec::new();
+        }
+        self.flush_local();
+        let guard = self
+            .registry
+            .segments
+            .lock()
+            .expect("sink registry poisoned");
+        // Decode only the suffix of segments needed to cover `k` spans.
+        let mut take = 0usize;
+        let mut covered = 0usize;
+        for seg in guard.iter().rev() {
+            take += 1;
+            covered += seg.len();
+            if covered >= k {
+                break;
+            }
+        }
+        let mut out = Vec::with_capacity(covered);
+        for seg in &guard[guard.len() - take..] {
+            seg.decode_into(&mut out);
+        }
+        drop(guard);
+        if out.len() > k {
+            out.drain(..out.len() - k);
+        }
+        out
+    }
+
     /// Number of spans currently held (sealed plus every thread's
     /// unsealed buffer).
     ///
@@ -809,6 +852,25 @@ mod tests {
         assert_eq!(spans.len(), 400);
         assert_eq!(tracer.sink().recorded(), 400);
         assert_eq!(tracer.sink().dropped(), 0);
+    }
+
+    #[test]
+    fn peek_recent_returns_the_tail_without_consuming() {
+        let sink = SpanSink::new(16 * 1024);
+        let total = 3 * SEAL_SPANS + 10; // several sealed segments + a partial
+        for i in 0..total as u64 {
+            sink.push(Span::root(ctx(1, i + 1), span_names::OP, i, 1));
+        }
+        let tail = sink.peek_recent(5);
+        assert_eq!(tail.len(), 5);
+        assert_eq!(tail.last().expect("non-empty").start_us, total as u64 - 1);
+        assert_eq!(tail[0].start_us, total as u64 - 5);
+        // Peeking more than is held returns everything, once each.
+        assert_eq!(sink.peek_recent(usize::MAX).len(), total);
+        assert!(sink.peek_recent(0).is_empty());
+        // Nothing was consumed: a full drain still sees every span.
+        assert_eq!(sink.drain().len(), total);
+        assert_eq!(sink.recorded(), total as u64);
     }
 
     #[test]

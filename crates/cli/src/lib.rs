@@ -210,6 +210,8 @@ Common options:
                          [--check <x>] [--out <file>]
                  compare the interned resolver and the memoised locate
                  against the legacy string-walk formulations they replaced,
+                 time the memoised locate under interleaved index mutations
+                 (wholesale vs per-subtree dirty-root invalidation),
                  then time a serial vs parallel figure sweep (thread count
                  from D2_THREADS, default: all cores); writes a JSON report
                  (default results/BENCH_hotpath.json) plus a repo-root copy
@@ -249,9 +251,14 @@ Common options:
           [--count <n>]        operations to issue (default: trace length)
           [--mode <m>]         closed | open | both (default closed)
           [--qps <x>]          open-loop aggregate target rate (default 2000)
+          [--pipeline <l>]     comma-separated per-connection pipeline depths
+                               (default 1); each mode runs once per depth and
+                               depths > 1 report as e.g. closed_p8; the run
+                               refuses to write a report if any section
+                               completed zero operations
           [--timeout-ms <n>]   per-attempt socket timeout (default 2000)
-          [--check-p99-us <n>] error unless every mode's p99 stays under <n>
-                               microseconds and at least one op completed
+          [--check-p99-us <n>] error unless every section's p99 stays under
+                               <n> microseconds
           [--out <file>]       JSON report (default results/BENCH_net.json)
           [--admin-addr <ip:port>]  scrape the daemon's admin plane mid-run:
                                each mode runs once unscraped then once with a
@@ -1521,6 +1528,71 @@ fn cmd_bench_hotpath(opts: &Opts) -> Result<String, CliError> {
         ));
     }
 
+    // --- locate_mut: memoised locate under interleaved mutations -----------
+    // Index churn (an insert, a burst of locates over a hot working
+    // set, the matching remove) interleaved with lookups, timed twice:
+    // wholesale invalidation (every mutation discards the whole memo,
+    // so the hot set can never stay warm) vs per-subtree dirty-root
+    // eviction (only entries whose cached chain passes through the
+    // mutated root are dropped, so unrelated hot targets keep hitting).
+    // The hot set is Zipf-style small — fewer hot directories than
+    // lookups per mutation window — which is exactly the regime the
+    // memo exists for.
+    // Each rep ends exactly where it started, so reps are comparable;
+    // the three passes must agree on a fold checksum or the bench
+    // errors.
+    const LOCATES_PER_MUTATION: usize = 256;
+    const HOT_SET: usize = 128;
+    let churn: Vec<NodeId> = ids
+        .iter()
+        .copied()
+        .step_by(97)
+        .filter(|&id| id != tree.root() && index.owner_of(id).is_none())
+        .take(64)
+        .collect();
+    if churn.is_empty() {
+        return Err(CliError::Bench(
+            "locate_mut bench found no unindexed churn roots".to_owned(),
+        ));
+    }
+    let mutations = churn.len() * 2;
+    let locates = churn.len() * LOCATES_PER_MUTATION;
+    let hot = &ids[..ids.len().min(HOT_SET)];
+    let run_locate_mut = |wholesale: bool, uncached: bool| -> (u64, u64) {
+        let mut idx = index.clone();
+        idx.set_wholesale_invalidation(wholesale);
+        let mut cursor = 0usize;
+        best_ns(reps, || {
+            let mut acc = 0u64;
+            for (j, &root) in churn.iter().enumerate() {
+                idx.insert(root, MdsId((j % MDS as usize) as u16));
+                for _ in 0..LOCATES_PER_MUTATION {
+                    let t = hot[cursor % hot.len()];
+                    cursor += 1;
+                    let hit = if uncached {
+                        idx.locate_uncached(tree, t)
+                    } else {
+                        idx.locate(tree, t)
+                    };
+                    acc = lfold(acc, hit);
+                }
+                idx.remove(root);
+            }
+            // Rewind so every rep sees the same target stream.
+            cursor = 0;
+            acc
+        })
+    };
+    let (mut_uncached_ns, ma) = run_locate_mut(false, true);
+    let (mut_wholesale_ns, mb) = run_locate_mut(true, false);
+    let (mut_dirty_ns, mc) = run_locate_mut(false, false);
+    if ma != mb || mb != mc {
+        return Err(CliError::Bench(
+            "locate_mut checksum mismatch between uncached, wholesale and dirty-root passes"
+                .to_owned(),
+        ));
+    }
+
     // --- sweep: serial vs parallel Fig. 5-style grid -----------------------
     let threads = thread_count();
     let ms = [5usize, 10, 15, 20, 25, 30];
@@ -1548,8 +1620,10 @@ fn cmd_bench_hotpath(opts: &Opts) -> Result<String, CliError> {
     }
 
     let n_paths = paths.len().max(1) as u64;
+    let n_mut_locates = locates.max(1) as u64;
     let resolve_speedup = legacy_resolve_ns as f64 / preinterned_resolve_ns as f64;
     let locate_speedup = legacy_locate_ns as f64 / memo_locate_ns as f64;
+    let locate_mut_speedup = mut_wholesale_ns as f64 / mut_dirty_ns.max(1) as f64;
     let sweep_speedup = serial_sweep_ns as f64 / parallel_sweep_ns.max(1) as f64;
 
     let json = format!(
@@ -1559,6 +1633,9 @@ fn cmd_bench_hotpath(opts: &Opts) -> Result<String, CliError> {
          \"preinterned_ns_per_op\": {}, \"speedup_x\": {resolve_speedup:.2}}},\n  \
          \"locate\": {{\"legacy_ns_per_op\": {}, \"uncached_ns_per_op\": {}, \
          \"memo_ns_per_op\": {}, \"speedup_x\": {locate_speedup:.2}}},\n  \
+         \"locate_mut\": {{\"mutations\": {mutations}, \"locates\": {locates}, \
+         \"uncached_ns_per_op\": {}, \"wholesale_ns_per_op\": {}, \
+         \"dirty_root_ns_per_op\": {}, \"speedup_x\": {locate_mut_speedup:.2}}},\n  \
          \"sweep\": {{\"cells\": {}, \"threads\": {threads}, \
          \"serial_ns\": {serial_sweep_ns}, \"parallel_ns\": {parallel_sweep_ns}, \
          \"speedup_x\": {sweep_speedup:.2}}}\n}}\n",
@@ -1568,6 +1645,9 @@ fn cmd_bench_hotpath(opts: &Opts) -> Result<String, CliError> {
         legacy_locate_ns / n_paths,
         uncached_locate_ns / n_paths,
         memo_locate_ns / n_paths,
+        mut_uncached_ns / n_mut_locates,
+        mut_wholesale_ns / n_mut_locates,
+        mut_dirty_ns / n_mut_locates,
         ms.len(),
     );
     if let Some(parent) = std::path::Path::new(&out_path).parent() {
@@ -1589,6 +1669,9 @@ fn cmd_bench_hotpath(opts: &Opts) -> Result<String, CliError> {
          resolve: legacy {} ns/op, interned {} ns/op, pre-interned {} ns/op \
          ({resolve_speedup:.2}x)\n\
          locate:  legacy {} ns/op, uncached {} ns/op, memoised {} ns/op ({locate_speedup:.2}x)\n\
+         locate under mutation ({mutations} mutations / {locates} locates): \
+         uncached {} ns/op, wholesale {} ns/op, dirty-root {} ns/op \
+         ({locate_mut_speedup:.2}x vs wholesale)\n\
          sweep:   {} cells, serial {:.1} ms, parallel {:.1} ms on {threads} thread(s) \
          ({sweep_speedup:.2}x)\n\
          report written to {out_path}{}\n",
@@ -1599,6 +1682,9 @@ fn cmd_bench_hotpath(opts: &Opts) -> Result<String, CliError> {
         legacy_locate_ns / n_paths,
         uncached_locate_ns / n_paths,
         memo_locate_ns / n_paths,
+        mut_uncached_ns / n_mut_locates,
+        mut_wholesale_ns / n_mut_locates,
+        mut_dirty_ns / n_mut_locates,
         ms.len(),
         serial_sweep_ns as f64 / 1e6,
         parallel_sweep_ns as f64 / 1e6,
@@ -1871,10 +1957,17 @@ fn cmd_top(opts: &Opts) -> Result<String, CliError> {
 /// comma); `extra` is spliced in as additional `, "key": value` pairs
 /// (empty for a plain run, scrape-overhead fields when the admin plane
 /// was polled mid-run).
-fn load_report_json(mode: &str, target_qps: Option<f64>, r: &LoadReport, extra: &str) -> String {
+fn load_report_json(
+    mode: &str,
+    target_qps: Option<f64>,
+    pipeline: usize,
+    r: &LoadReport,
+    extra: &str,
+) -> String {
     let target = target_qps.map_or(String::new(), |q| format!("\"target_qps\": {q:.1}, "));
     format!(
-        "  \"{mode}\": {{{target}\"attempted\": {}, \"completed\": {}, \"errors\": {}, \
+        "  \"{mode}\": {{{target}\"pipeline\": {pipeline}, \
+         \"attempted\": {}, \"completed\": {}, \"errors\": {}, \
          \"timeouts\": {}, \"retries_exhausted\": {}, \"deadline_exceeded\": {}, \
          \"not_found\": {}, \"redirects_followed\": {}, \"reconnects\": {}, \
          \"elapsed_ms\": {:.1}, \"achieved_qps\": {:.1}, \
@@ -1966,16 +2059,50 @@ fn server_section_json(addr: &str, scrape_hz: f64, doc: &MetricsDoc) -> String {
             })
         })
         .collect();
+    let batch_depth = doc
+        .histogram(names::NET_BATCH_DEPTH)
+        .filter(|h| h.count > 0)
+        .map_or(String::new(), |h| {
+            format!(
+                ", \"batch_depth\": {{\"count\": {}, \"mean\": {:.2}, \"p50\": {}, \
+                 \"p99\": {}, \"max\": {}}}",
+                h.count,
+                h.mean(),
+                h.p50,
+                h.p99,
+                h.max
+            )
+        });
     format!(
         "  \"server\": {{\"admin_addr\": \"{addr}\", \"scrape_hz\": {scrape_hz:.1}, \
          \"uptime_us\": {}, \"ops\": {}, \"scrapes\": {}, \"scrape_errors\": {}, \
+         \"batches\": {}, \"wal_group_commits\": {}{batch_depth}, \
          \"latency_us\": {{{}}}}}",
         doc.uptime_us,
         srv_ops(doc),
         doc.counter(names::ADMIN_SCRAPES_TOTAL),
         doc.counter(names::ADMIN_ERRORS_TOTAL),
+        doc.counter(names::NET_BATCHES_TOTAL),
+        doc.counter(names::WAL_GROUP_COMMITS_TOTAL),
         lanes.join(", "),
     )
+}
+
+/// One authoritative `/metrics.json` scrape, parsed — shared by the
+/// pre/post delta bookkeeping in `cmd_load` and the final server
+/// section.
+fn fetch_metrics_doc(addr: &str, timeout: Duration) -> Result<MetricsDoc, CliError> {
+    let (status, body) = admin_get(addr, "/metrics.json", timeout)?;
+    if status != 200 {
+        return Err(CliError::Bench(format!(
+            "admin plane at {addr} answered /metrics.json with HTTP {status}"
+        )));
+    }
+    parse_metrics_json(&body).ok_or_else(|| {
+        CliError::Bench(format!(
+            "admin plane at {addr} returned an unparsable /metrics.json"
+        ))
+    })
 }
 
 fn cmd_load(opts: &Opts) -> Result<String, CliError> {
@@ -2026,93 +2153,157 @@ fn cmd_load(opts: &Opts) -> Result<String, CliError> {
             )))
         }
     };
+    let pipelines: Vec<usize> = opts
+        .get("pipeline")
+        .unwrap_or("1")
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<usize>().map_err(|_| {
+                CliError::Usage(format!(
+                    "--pipeline expects a comma list of depths, got {s:?}"
+                ))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    if pipelines.is_empty() || pipelines.contains(&0) {
+        return Err(CliError::Usage(
+            "--pipeline needs at least one depth, every depth ≥ 1".to_owned(),
+        ));
+    }
 
     let registry = Arc::new(Registry::new());
     names::register_all(&registry);
     let mut sections = Vec::new();
     let mut text = String::new();
     let mut failures = Vec::new();
-    for (name, mode) in &modes {
-        let cfg = LoadConfig {
-            addrs: addrs.clone(),
-            conns,
-            ops: count,
-            mode: *mode,
-            timeout,
-            retry: RetryPolicy::default(),
-            seed,
-        };
-        // With an admin plane to scrape, run the mode twice — once
-        // quiet for a baseline, once with the poller — so the report
-        // can state what mid-run observability costs in ops/s.
-        let (report, extra) = match &admin_addr {
-            None => (run_load(&cfg, &tree, &index, &trace, &registry, None), String::new()),
-            Some(addr) => {
-                let baseline = run_load(&cfg, &tree, &index, &trace, &registry, None);
-                let (scraped, scrape) = scrape_during(addr, scrape_hz, timeout, || {
-                    run_load(&cfg, &tree, &index, &trace, &registry, None)
-                });
-                let overhead_pct = if baseline.achieved_qps > 0.0 {
-                    (baseline.achieved_qps - scraped.achieved_qps) * 100.0 / baseline.achieved_qps
-                } else {
-                    0.0
-                };
-                text.push_str(&format!(
-                    "{name}: scrape overhead {overhead_pct:.2}% at {scrape_hz:.1} Hz \
-                     (baseline {:.0} ops/s, scraped {:.0} ops/s, {} scrapes, {} failures)\n",
-                    baseline.achieved_qps, scraped.achieved_qps, scrape.scrapes, scrape.failures,
-                ));
-                let extra = format!(
-                    ", \"baseline_qps\": {:.1}, \"scrape_overhead_pct\": {overhead_pct:.2}, \
-                     \"scrapes\": {}, \"scrape_failures\": {}",
-                    baseline.achieved_qps, scrape.scrapes, scrape.failures,
-                );
-                (scraped, extra)
-            }
-        };
-        let target = match mode {
-            LoadMode::Open { target_qps } => Some(*target_qps),
-            LoadMode::Closed => None,
-        };
-        text.push_str(&format!(
-            "{name}: {}/{} ops over {conns} conn(s) in {:.2} s — {:.0} ops/s, \
-             p50 {} µs, p99 {} µs ({} redirects, {} errors)\n",
-            report.completed,
-            report.attempted,
-            report.elapsed.as_secs_f64(),
-            report.achieved_qps,
-            report.latency.p50,
-            report.latency.p99,
-            report.redirects_followed,
-            report.reconnects + report.errors,
-        ));
-        if check_p99_us > 0 {
+    let mut dead_sections = Vec::new();
+    for (mode_name, mode) in &modes {
+        for &pipeline in &pipelines {
+            let name = if pipeline == 1 {
+                (*mode_name).to_owned()
+            } else {
+                format!("{mode_name}_p{pipeline}")
+            };
+            let cfg = LoadConfig {
+                addrs: addrs.clone(),
+                conns,
+                ops: count,
+                mode: *mode,
+                timeout,
+                retry: RetryPolicy::default(),
+                seed,
+                pipeline,
+            };
+            // With an admin plane to scrape, run the section twice —
+            // once quiet for a baseline, once with the poller — so the
+            // report can state what mid-run observability costs in
+            // ops/s, and bracket the scraped pass with two extra
+            // scrapes so fsyncs/op and batch depth are exact deltas.
+            let (report, extra) = match &admin_addr {
+                None => (
+                    run_load(&cfg, &tree, &index, &trace, &registry, None),
+                    String::new(),
+                ),
+                Some(addr) => {
+                    let baseline = run_load(&cfg, &tree, &index, &trace, &registry, None);
+                    let pre = fetch_metrics_doc(addr, timeout)?;
+                    let (scraped, scrape) = scrape_during(addr, scrape_hz, timeout, || {
+                        run_load(&cfg, &tree, &index, &trace, &registry, None)
+                    });
+                    let post = fetch_metrics_doc(addr, timeout)?;
+                    let overhead_pct = if baseline.achieved_qps > 0.0 {
+                        (baseline.achieved_qps - scraped.achieved_qps) * 100.0
+                            / baseline.achieved_qps
+                    } else {
+                        0.0
+                    };
+                    let hist_count =
+                        |d: &MetricsDoc, n: &str| d.histogram(n).map_or(0, |h| h.count);
+                    let hist_sum = |d: &MetricsDoc, n: &str| d.histogram(n).map_or(0, |h| h.sum);
+                    let fsyncs = hist_count(&post, names::WAL_FSYNC_US)
+                        .saturating_sub(hist_count(&pre, names::WAL_FSYNC_US));
+                    let group_commits = post
+                        .counter(names::WAL_GROUP_COMMITS_TOTAL)
+                        .saturating_sub(pre.counter(names::WAL_GROUP_COMMITS_TOTAL));
+                    let batches = hist_count(&post, names::NET_BATCH_DEPTH)
+                        .saturating_sub(hist_count(&pre, names::NET_BATCH_DEPTH));
+                    let batched_frames = hist_sum(&post, names::NET_BATCH_DEPTH)
+                        .saturating_sub(hist_sum(&pre, names::NET_BATCH_DEPTH));
+                    let fsyncs_per_op = if scraped.completed == 0 {
+                        0.0
+                    } else {
+                        fsyncs as f64 / scraped.completed as f64
+                    };
+                    let batch_depth_mean = if batches == 0 {
+                        0.0
+                    } else {
+                        batched_frames as f64 / batches as f64
+                    };
+                    text.push_str(&format!(
+                        "{name}: scrape overhead {overhead_pct:.2}% at {scrape_hz:.1} Hz \
+                         (baseline {:.0} ops/s, scraped {:.0} ops/s, {} scrapes, {} failures)\n\
+                         {name}: {fsyncs} fsyncs / {} ops = {fsyncs_per_op:.3} fsyncs/op, \
+                         mean server batch depth {batch_depth_mean:.2}\n",
+                        baseline.achieved_qps,
+                        scraped.achieved_qps,
+                        scrape.scrapes,
+                        scrape.failures,
+                        scraped.completed,
+                    ));
+                    let extra = format!(
+                        ", \"baseline_qps\": {:.1}, \"scrape_overhead_pct\": {overhead_pct:.2}, \
+                         \"scrapes\": {}, \"scrape_failures\": {}, \
+                         \"fsyncs\": {fsyncs}, \"fsyncs_per_op\": {fsyncs_per_op:.4}, \
+                         \"wal_group_commits\": {group_commits}, \
+                         \"batch_depth_mean\": {batch_depth_mean:.2}",
+                        baseline.achieved_qps, scrape.scrapes, scrape.failures,
+                    );
+                    (scraped, extra)
+                }
+            };
+            let target = match mode {
+                LoadMode::Open { target_qps } => Some(*target_qps),
+                LoadMode::Closed => None,
+            };
+            text.push_str(&format!(
+                "{name}: {}/{} ops over {conns} conn(s) in {:.2} s — {:.0} ops/s, \
+                 p50 {} µs, p99 {} µs ({} redirects, {} errors)\n",
+                report.completed,
+                report.attempted,
+                report.elapsed.as_secs_f64(),
+                report.achieved_qps,
+                report.latency.p50,
+                report.latency.p99,
+                report.redirects_followed,
+                report.reconnects + report.errors,
+            ));
             if report.completed == 0 {
-                failures.push(format!("{name}: no operation completed"));
-            } else if report.latency.p99 > check_p99_us {
+                dead_sections.push(name.clone());
+            } else if check_p99_us > 0 && report.latency.p99 > check_p99_us {
                 failures.push(format!(
                     "{name}: p99 {} µs exceeds the {check_p99_us} µs ceiling",
                     report.latency.p99
                 ));
             }
+            sections.push(load_report_json(&name, target, pipeline, &report, &extra));
         }
-        sections.push(load_report_json(name, target, &report, &extra));
+    }
+    // A run that completed nothing measured nothing: refuse to write
+    // the artifact at all, so a dead benchmark can never be committed
+    // as if it were a result.
+    if !dead_sections.is_empty() {
+        return Err(CliError::Bench(format!(
+            "refusing to write {out_path}: zero operations completed in section(s) {}",
+            dead_sections.join(", ")
+        )));
     }
     if let Some(addr) = &admin_addr {
         // One final scrape after the last pass: the authoritative
         // server-observed latency matrix next to the client-observed
         // sections above.
-        let (status, body) = admin_get(addr, "/metrics.json", timeout)?;
-        if status != 200 {
-            return Err(CliError::Bench(format!(
-                "admin plane at {addr} answered /metrics.json with HTTP {status}"
-            )));
-        }
-        let doc = parse_metrics_json(&body).ok_or_else(|| {
-            CliError::Bench(format!(
-                "admin plane at {addr} returned an unparsable /metrics.json"
-            ))
-        })?;
+        let doc = fetch_metrics_doc(addr, timeout)?;
         sections.push(server_section_json(addr, scrape_hz, &doc));
     }
     let snap = registry.snapshot();
@@ -3157,8 +3348,21 @@ mod tests {
         // least one mid-run scrape; the report gains the overhead
         // fields and the server-observed latency section.
         let out = run(&args(&[
-            "load", "--nodes", "300", "--ops", "1500", "--addr", &addr, "--conns", "2",
-            "--admin-addr", &admin_addr, "--scrape-hz", "20", "--out", &out_file,
+            "load",
+            "--nodes",
+            "300",
+            "--ops",
+            "1500",
+            "--addr",
+            &addr,
+            "--conns",
+            "2",
+            "--admin-addr",
+            &admin_addr,
+            "--scrape-hz",
+            "20",
+            "--out",
+            &out_file,
         ]))
         .unwrap();
         assert!(out.contains("scrape overhead"), "{out}");

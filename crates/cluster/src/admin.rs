@@ -252,7 +252,12 @@ fn head_complete(head: &[u8]) -> bool {
 /// Reads one request head from `stream` into `head`, byte-dribble-safe
 /// and bounded in both size and time, polling `stop` every read
 /// timeout exactly like the frame-codec connection loop.
-fn read_head(stream: &mut TcpStream, stop: &AtomicBool, head: &mut Vec<u8>, cfg: &AdminConfig) -> Head {
+fn read_head(
+    stream: &mut TcpStream,
+    stop: &AtomicBool,
+    head: &mut Vec<u8>,
+    cfg: &AdminConfig,
+) -> Head {
     let deadline = Instant::now() + cfg.head_deadline;
     let mut buf = [0u8; 1024];
     loop {
@@ -344,7 +349,11 @@ fn dispatch(head: &[u8], state: &AdminState) -> (u16, &'static str, String) {
         return (414, "text/plain", "request path too long\n".to_owned());
     }
     if !target.starts_with('/') {
-        return (400, "text/plain", "request path must be absolute\n".to_owned());
+        return (
+            400,
+            "text/plain",
+            "request path must be absolute\n".to_owned(),
+        );
     }
     if method != "GET" {
         return (405, "text/plain", "only GET is served\n".to_owned());
@@ -382,7 +391,11 @@ fn dispatch(head: &[u8], state: &AdminState) -> (u16, &'static str, String) {
                 .unwrap_or_default();
             (200, "application/json", chrome_trace_json(&spans))
         }
-        "/slow" => (200, "application/json", slow_body(&state.mds.slow_requests())),
+        "/slow" => (
+            200,
+            "application/json",
+            slow_body(&state.mds.slow_requests()),
+        ),
         _ => (404, "text/plain", "unknown path\n".to_owned()),
     }
 }
@@ -441,9 +454,7 @@ fn slow_body(entries: &[SlowEntry]) -> String {
         if i > 0 {
             out.push(',');
         }
-        let trace = e
-            .trace
-            .map_or_else(|| "null".to_owned(), |t| t.to_string());
+        let trace = e.trace.map_or_else(|| "null".to_owned(), |t| t.to_string());
         out.push_str(&format!(
             "{{\"dur_us\":{},\"t_us\":{},\"kind\":\"{:?}\",\"target\":{},\
              \"outcome\":{},\"trace\":{trace}}}",

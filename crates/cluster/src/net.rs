@@ -17,19 +17,26 @@
 //!   locally or redirect, unassigned targets report not-found.
 //! * [`NetServer`] — a blocking thread-per-connection TCP server:
 //!   accept loop on its own thread, one handler thread per client
-//!   connection (read loop → decode → serve → encode), graceful
-//!   shutdown via a stop flag plus a self-connect listener wake, and
-//!   per-connection error isolation (a poisoned or reset connection
-//!   dies alone; the listener and its siblings keep serving).
+//!   connection running a *batched* serve loop (every complete frame
+//!   the last read buffered is decoded and served together, the
+//!   batch's WAL appends share one group-committed fsync, and all
+//!   responses leave in one buffered write), graceful shutdown via a
+//!   stop flag plus a self-connect listener wake, and per-connection
+//!   error isolation (a poisoned or reset connection dies alone; the
+//!   listener and its siblings keep serving).
 //! * [`NetClient`] — a blocking single-connection client speaking the
-//!   same codec, one outstanding request at a time.
+//!   same codec: request/response via [`NetClient::call`], or a
+//!   pipelined window via [`NetClient::send_batch`] +
+//!   [`NetClient::recv`].
 //! * [`run_load`] — a multi-connection load generator driving seeded
 //!   workload streams in closed-loop (each worker issues back-to-back)
 //!   or open-loop (target QPS with a pacing clock; latency measured
 //!   from the scheduled send time, so queueing delay is not omitted)
 //!   modes, with owner-routing through a derived [`LocalIndex`],
-//!   redirect following, and retry/timeout under the shared
-//!   [`RetryPolicy`].
+//!   redirect following, retry/timeout under the shared
+//!   [`RetryPolicy`], and an optional per-connection pipeline depth
+//!   ([`LoadConfig::pipeline`]) that keeps N requests in flight while
+//!   still measuring latency per operation.
 //!
 //! Trace contexts ride the 17-byte trailer of every [`Request`] frame,
 //! so a sampled operation's span chain — client `op` root, per-try
@@ -41,7 +48,7 @@
 //! replicated (global-layer) updates commit locally without the
 //! Zookeeper-style serialisation of Sec. IV-A3. See DESIGN.md §14.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::Path;
@@ -66,7 +73,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::client::{RetryPolicy, RouteDecision};
 use crate::live::{attr_state, ClientError};
-use crate::message::{Request, RequestId, Response, ResponseBody};
+use crate::message::{Request, RequestId, Response, ResponseBody, REQUEST_WIRE_BYTES};
 
 /// Default cap on a single frame's body length. The real codec's frames
 /// are tens of bytes; anything near this cap is garbage (a desynced
@@ -194,6 +201,39 @@ impl<R: Read> FrameReader<R> {
             }
         }
     }
+
+    /// Blocks until at least one complete frame is available, then
+    /// drains *every* already-buffered complete frame into `out`
+    /// without issuing further reads. This is the batch-serving
+    /// primitive: a pipelining client that wrote N frames back-to-back
+    /// typically lands them in one `read()` syscall, and the server
+    /// gets all N here as one batch.
+    ///
+    /// Returns the number of frames appended to `out`; `Ok(0)` is a
+    /// clean EOF at a frame boundary.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`next_frame`](Self::next_frame). Errors can
+    /// only surface before the first frame of a batch: once one frame
+    /// is out, the remaining buffered bytes stay put for the next call.
+    pub fn next_frames(&mut self, out: &mut Vec<Bytes>) -> io::Result<usize> {
+        let Some(first) = self.next_frame()? else {
+            return Ok(0);
+        };
+        out.push(first);
+        let mut n = 1;
+        // Drain whatever the last read left buffered; no more syscalls.
+        // A poisoned prefix (oversized length) mid-drain is left in
+        // place: the good frames ahead of it are served now and the
+        // next call surfaces the error — FrameBuf consumes nothing on
+        // error, so it cannot be skipped silently.
+        while let Ok(Some(frame)) = self.buf.next_frame() {
+            out.push(frame);
+            n += 1;
+        }
+        Ok(n)
+    }
 }
 
 /// Entries the slow-request log keeps.
@@ -308,6 +348,9 @@ pub struct NetMds {
     redirects: AtomicU64,
     served_total: Arc<Counter>,
     forwarded_total: Arc<Counter>,
+    /// Group commits on the serving path: one per batch whose journaled
+    /// mutations were fsynced together before responding.
+    wal_group_commits: Arc<Counter>,
     /// Server-side latency histograms, `[kind][outcome]` with outcome
     /// 0 served / 1 redirect / 2 not-found — the measurement the admin
     /// plane's `/metrics` reports next to client-observed latencies.
@@ -338,6 +381,8 @@ impl NetMds {
         let attrs = RwLock::new(AttrTable::new(&tree));
         let served_total = registry.counter(MetricKey::mds(names::SERVER_SERVED_TOTAL, me.0));
         let forwarded_total = registry.counter(MetricKey::global(names::FORWARDED_TOTAL));
+        let wal_group_commits =
+            registry.counter(MetricKey::mds(names::WAL_GROUP_COMMITS_TOTAL, me.0));
         let srv_names = [
             [
                 names::SRV_LATENCY_US_READ_OK,
@@ -372,6 +417,7 @@ impl NetMds {
             redirects: AtomicU64::new(0),
             served_total,
             forwarded_total,
+            wal_group_commits,
             srv_latency,
             slow: SlowLog::new(),
         }
@@ -530,15 +576,56 @@ impl NetMds {
 
     fn journal_record(&self, record: MdsRecord) {
         if let Some(store) = self.store.lock().as_mut() {
-            store.append(record).expect("WAL append failed");
+            // Buffer only: durability comes from the batch's single
+            // group-committed fsync in `commit_batch`, issued before
+            // the batch's responses are written back.
+            store.append_deferred(record).expect("WAL append failed");
         }
     }
 
-    /// Serves one decoded request, mirroring the in-process server's
-    /// logic. Never panics on out-of-range targets: a request for a node
-    /// this tree does not have answers `NotFound` (a foreign client built
+    /// Group-commits everything the current batch journaled: one fsync
+    /// covers every buffered append, and the `wal_group_commits_total`
+    /// counter ticks once per fsync actually issued. A no-op when no
+    /// store is attached or nothing is pending (e.g. a read-only batch,
+    /// or a sibling connection's commit already covered our appends —
+    /// cross-connection coalescing is free and correct, since a later
+    /// fsync makes every earlier buffered append durable too).
+    pub fn commit_batch(&self) {
+        if let Some(store) = self.store.lock().as_mut() {
+            if store.pending_bytes() > 0 {
+                store.sync().expect("WAL sync failed");
+                self.wal_group_commits.inc();
+            }
+        }
+    }
+
+    /// Serves a batch of decoded requests and issues one group-committed
+    /// fsync for every mutation the batch journaled, so the responses —
+    /// written back by the caller *after* this returns — acknowledge
+    /// durable state. This is the per-connection batch path: cost is one
+    /// fsync per batch instead of one per mutating request.
+    #[must_use]
+    pub fn serve_batch(&self, reqs: &[Request]) -> Vec<Response> {
+        let resps = reqs.iter().map(|&req| self.serve_deferred(req)).collect();
+        self.commit_batch();
+        resps
+    }
+
+    /// Serves one decoded request with durability deferred: journaled
+    /// mutations stay buffered until the next [`commit_batch`]
+    /// (or store-policy sync). Callers must not acknowledge the
+    /// response to a remote peer before committing. Public for crash
+    /// tests that need to open the ack-before-fsync window on purpose;
+    /// everything else wants [`serve`](Self::serve) or
+    /// [`serve_batch`](Self::serve_batch).
+    ///
+    /// [`commit_batch`]: Self::commit_batch
+    ///
+    /// Never panics on out-of-range targets: a request for a node this
+    /// tree does not have answers `NotFound` (a foreign client built
     /// from a different workload derivation must not crash the daemon).
-    pub fn serve(&self, req: Request) -> Response {
+    #[must_use]
+    pub fn serve_deferred(&self, req: Request) -> Response {
         let me = self.me.index();
         let t0 = Instant::now();
         // Serve span id allocated up front so the span parents correctly
@@ -663,6 +750,41 @@ impl NetMds {
             hops: req.hops,
         }
     }
+
+    /// Serves one decoded request durably: a batch of one — any
+    /// journaled mutation is group-committed before the response is
+    /// returned. See [`serve_deferred`](Self::serve_deferred) for the
+    /// serving semantics.
+    #[must_use]
+    pub fn serve(&self, req: Request) -> Response {
+        let resp = self.serve_deferred(req);
+        self.commit_batch();
+        resp
+    }
+
+    /// The attached store's next LSN (records journaled so far), if a
+    /// store is attached. Lets tests and diagnostics account journal
+    /// growth without reaching into the store.
+    #[must_use]
+    pub fn store_next_lsn(&self) -> Option<u64> {
+        self.store.lock().as_ref().map(MdsStore::next_lsn)
+    }
+
+    /// Crash-models the attached store: tears `keep` bytes of whatever
+    /// is buffered-but-unsynced into the WAL file and drops the store
+    /// (further serving continues without journaling, like a daemon
+    /// whose disk died). Returns whether a store was attached. Test
+    /// hook — pairs with [`serve_deferred`](Self::serve_deferred) to
+    /// open a mid-group-commit window and verify recovery semantics.
+    pub fn simulate_store_crash(&self, keep: usize) -> bool {
+        match self.store.lock().take() {
+            Some(store) => {
+                store.simulate_crash(keep).expect("simulated crash failed");
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 /// The accept-loop/shutdown machinery shared by the frame-codec
@@ -684,7 +806,11 @@ pub(crate) struct AcceptLoop {
 impl AcceptLoop {
     /// Binds `addr` (port 0 for ephemeral) and starts accepting;
     /// `handler` runs per connection on a dedicated thread.
-    pub(crate) fn spawn<A, F>(addr: A, poll_interval: Duration, handler: F) -> io::Result<AcceptLoop>
+    pub(crate) fn spawn<A, F>(
+        addr: A,
+        poll_interval: Duration,
+        handler: F,
+    ) -> io::Result<AcceptLoop>
     where
         A: ToSocketAddrs,
         F: Fn(TcpStream, &AtomicBool) + Send + Sync + 'static,
@@ -795,6 +921,9 @@ pub struct NetServerStats {
     pub decode_errors: u64,
     /// Connections ending in an I/O error or mid-frame EOF.
     pub conn_resets: u64,
+    /// Request batches served (one batch = every complete frame drained
+    /// from one read, served together).
+    pub batches: u64,
 }
 
 #[derive(Debug, Clone)]
@@ -803,6 +932,8 @@ struct NetCounters {
     frames: Arc<Counter>,
     decode_errors: Arc<Counter>,
     resets: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_depth: Arc<Histogram>,
 }
 
 impl NetCounters {
@@ -812,6 +943,8 @@ impl NetCounters {
             frames: registry.counter(MetricKey::global(names::NET_FRAMES_TOTAL)),
             decode_errors: registry.counter(MetricKey::global(names::NET_DECODE_ERRORS_TOTAL)),
             resets: registry.counter(MetricKey::global(names::NET_CONN_RESETS_TOTAL)),
+            batches: registry.counter(MetricKey::global(names::NET_BATCHES_TOTAL)),
+            batch_depth: registry.histogram(MetricKey::global(names::NET_BATCH_DEPTH)),
         }
     }
 }
@@ -874,13 +1007,21 @@ impl NetServer {
             frames: self.counters.frames.get(),
             decode_errors: self.counters.decode_errors.get(),
             conn_resets: self.counters.resets.get(),
+            batches: self.counters.batches.get(),
         }
     }
 }
 
-/// One connection's serve loop. Errors are isolated here: whatever goes
-/// wrong, this thread cleans up its own socket and exits without
-/// touching the listener or any sibling connection.
+/// One connection's serve loop, batch-oriented: every complete frame
+/// the last read left buffered is decoded and served as one batch
+/// ([`NetMds::serve_batch`] — one group-committed fsync for the whole
+/// batch's mutations), and all responses go back in a single buffered
+/// write. A non-pipelining client degenerates to batches of one; a
+/// pipelining client amortises syscalls and fsyncs across its window.
+///
+/// Errors are isolated here: whatever goes wrong, this thread cleans up
+/// its own socket and exits without touching the listener or any
+/// sibling connection.
 fn conn_main(
     stream: TcpStream,
     mds: &NetMds,
@@ -897,32 +1038,51 @@ fn conn_main(
     };
     let mut reader = FrameReader::new(read_half, config.max_frame);
     let mut write_half = stream;
+    let mut frames: Vec<Bytes> = Vec::new();
+    let mut reqs: Vec<Request> = Vec::new();
+    let mut out: Vec<u8> = Vec::new();
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
         }
-        match reader.next_frame() {
-            Ok(Some(mut frame)) => {
-                counters.frames.inc();
-                let Some(req) = Request::decode(&mut frame) else {
-                    // A byte stream cannot re-synchronise past a bad
-                    // frame; drop the connection, keep the server.
-                    counters.decode_errors.inc();
-                    break;
-                };
-                let resp = mds.serve(req);
-                let out = resp.encode();
-                if write_half.write_all(&out).is_err() {
+        frames.clear();
+        match reader.next_frames(&mut frames) {
+            Ok(0) => break, // clean close at a frame boundary
+            Ok(n) => {
+                counters.frames.add(n as u64);
+                counters.batches.inc();
+                counters.batch_depth.record(n as u64);
+                reqs.clear();
+                let mut poisoned = false;
+                for frame in &mut frames {
+                    let Some(req) = Request::decode(frame) else {
+                        // A byte stream cannot re-synchronise past a bad
+                        // frame; serve the valid prefix of the batch,
+                        // then drop the connection, keep the server.
+                        counters.decode_errors.inc();
+                        poisoned = true;
+                        break;
+                    };
+                    reqs.push(req);
+                }
+                let resps = mds.serve_batch(&reqs);
+                out.clear();
+                for resp in &resps {
+                    out.extend_from_slice(&resp.encode());
+                }
+                if !out.is_empty() && write_half.write_all(&out).is_err() {
                     counters.resets.inc();
                     break;
                 }
-                counters.frames.inc();
+                counters.frames.add(resps.len() as u64);
+                if poisoned {
+                    break;
+                }
             }
-            Ok(None) => break, // clean close at a frame boundary
             Err(e)
                 if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
             {
-                continue; // poll tick: re-check the stop flag
+                // poll tick: re-check the stop flag
             }
             Err(e) => {
                 if e.kind() == io::ErrorKind::InvalidData {
@@ -979,8 +1139,38 @@ impl NetClient {
     /// * [`io::ErrorKind::UnexpectedEof`] — the server closed on us.
     /// * [`io::ErrorKind::InvalidData`] — the response failed to decode.
     pub fn call(&mut self, req: &Request) -> io::Result<Response> {
-        let frame = req.encode();
-        self.write_half.write_all(&frame)?;
+        self.send_batch(std::slice::from_ref(req))?;
+        self.recv()
+    }
+
+    /// Writes every request as one contiguous buffered write — a
+    /// pipelining client's whole window leaves in a single syscall and
+    /// typically lands in a single server-side read, which is what lets
+    /// the server serve it as one batch. Responses come back in request
+    /// order via [`recv`](Self::recv), one call per request.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; the connection must then be discarded.
+    pub fn send_batch(&mut self, reqs: &[Request]) -> io::Result<()> {
+        let mut buf = Vec::with_capacity(reqs.len() * (4 + REQUEST_WIRE_BYTES));
+        for req in reqs {
+            buf.extend_from_slice(&req.encode());
+        }
+        self.write_half.write_all(&buf)
+    }
+
+    /// Blocks for the next response frame.
+    ///
+    /// After any error the connection must be discarded: a late response
+    /// to a timed-out request would desync the request/response pairing.
+    ///
+    /// # Errors
+    ///
+    /// * `TimedOut` / `WouldBlock` — no response within the read timeout.
+    /// * [`io::ErrorKind::UnexpectedEof`] — the server closed on us.
+    /// * [`io::ErrorKind::InvalidData`] — the response failed to decode.
+    pub fn recv(&mut self) -> io::Result<Response> {
         match self.reader.next_frame()? {
             Some(mut frame) => Response::decode(&mut frame).ok_or_else(|| {
                 io::Error::new(
@@ -1031,6 +1221,19 @@ pub struct LoadConfig {
     pub retry: RetryPolicy,
     /// Seed for per-worker routing/backoff randomness.
     pub seed: u64,
+    /// Requests each worker keeps in flight on one connection (≥ 1).
+    ///
+    /// At 1 (the default) every worker is strictly request/response. At
+    /// N, closed-loop workers burst windows of up to N consecutive
+    /// same-destination operations in one buffered write and then drain
+    /// the responses in order; open-loop workers still release each
+    /// request on its schedule but only block for responses once N are
+    /// outstanding. Latency stays per-operation and is measured from
+    /// the send (closed) or scheduled-send (open) time of *that*
+    /// operation, so pipelining adds no coordinated omission. Redirects,
+    /// not-found and transport errors inside a window fall back to the
+    /// sequential retry path, preserving completion semantics.
+    pub pipeline: usize,
 }
 
 /// What one [`run_load`] run measured.
@@ -1075,6 +1278,16 @@ struct WorkerStats {
     reconnects: u64,
 }
 
+/// One request a pipelined worker has sent but not yet drained the
+/// response for. `t0` is the honest per-op latency origin: the moment
+/// its burst was written (closed loop) or its scheduled send time (open
+/// loop).
+struct Inflight {
+    op: Operation,
+    id: RequestId,
+    t0: Instant,
+}
+
 /// One load worker's connections plus routing/retry state.
 struct LoadWorker<'a> {
     addrs: &'a [String],
@@ -1095,6 +1308,285 @@ impl LoadWorker<'_> {
     /// [`LoadConfig::addrs`]).
     fn slot(&self, owner: MdsId) -> usize {
         owner.index() % self.addrs.len()
+    }
+
+    /// Routes one operation at a server slot: the located owner's slot,
+    /// or a random slot for global-layer targets any MDS can serve.
+    fn route(&mut self, op: Operation) -> usize {
+        match self.index.locate(self.tree, op.target) {
+            Some((_, owner)) => self.slot(owner),
+            None => self.rng.gen_range(0..self.addrs.len()),
+        }
+    }
+
+    /// Opens the connection for `dest` if it is not already up. `false`
+    /// means the server is unreachable right now.
+    fn ensure_conn(&mut self, dest: usize) -> bool {
+        if self.conns[dest].is_some() {
+            return true;
+        }
+        match NetClient::connect(&self.addrs[dest], self.timeout) {
+            Ok(c) => {
+                self.counters.conns.inc();
+                self.conns[dest] = Some(c);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Builds the next wire request for `op`. Pipelined fast-path
+    /// requests carry no trace context — span linkage needs the
+    /// sequential path, which fallbacks take.
+    fn next_request(&mut self, op: Operation) -> Request {
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        Request {
+            id,
+            kind: op.kind,
+            target: op.target,
+            hops: 0,
+            trace: None,
+        }
+    }
+
+    /// Books one finished operation: a served response records its
+    /// latency from `t0`, an error lands in the taxonomy.
+    fn account(
+        &mut self,
+        result: &Result<Response, ClientError>,
+        t0: Instant,
+        hist: &Histogram,
+        op_latency: &Histogram,
+    ) {
+        match result {
+            Ok(_) => {
+                let us = t0.elapsed().as_micros() as u64;
+                hist.record(us);
+                op_latency.record(us);
+                self.stats.completed += 1;
+            }
+            Err(e) => {
+                self.stats.errors += 1;
+                match e {
+                    ClientError::Timeout { .. } => self.stats.timeouts += 1,
+                    ClientError::RetriesExhausted { .. } => {
+                        self.stats.retries_exhausted += 1;
+                    }
+                    ClientError::DeadlineExceeded { .. } => {
+                        self.stats.deadline_exceeded += 1;
+                    }
+                    ClientError::NotFound => self.stats.not_found += 1,
+                }
+            }
+        }
+    }
+
+    /// Finishes every deferred operation on the sequential retry path,
+    /// keeping each op's original `t0` so retries and redirect chases
+    /// show up as that op's latency, not as omitted time.
+    fn finish_fallbacks(
+        &mut self,
+        fallbacks: &mut Vec<(Operation, Instant)>,
+        hist: &Histogram,
+        op_latency: &Histogram,
+    ) {
+        for (op, t0) in std::mem::take(fallbacks) {
+            let result = self.execute(op);
+            self.account(&result, t0, hist, op_latency);
+        }
+    }
+
+    /// Receives and books one in-flight response. Returns `false` when
+    /// the connection became unusable — every outstanding op (including
+    /// the one just popped) has then been moved to `fallbacks`.
+    fn drain_one(
+        &mut self,
+        dest: usize,
+        window: &mut VecDeque<Inflight>,
+        fallbacks: &mut Vec<(Operation, Instant)>,
+        hist: &Histogram,
+        op_latency: &Histogram,
+    ) -> bool {
+        let Some(inf) = window.pop_front() else {
+            return true;
+        };
+        let Some(conn) = self.conns[dest].as_mut() else {
+            fallbacks.push((inf.op, inf.t0));
+            fallbacks.extend(window.drain(..).map(|r| (r.op, r.t0)));
+            return false;
+        };
+        match conn.recv() {
+            Ok(resp) if resp.id == inf.id => {
+                self.counters.frames.inc();
+                match resp.body {
+                    ResponseBody::Served { .. } => {
+                        let us = inf.t0.elapsed().as_micros() as u64;
+                        hist.record(us);
+                        op_latency.record(us);
+                        self.stats.completed += 1;
+                    }
+                    ResponseBody::Redirect { .. } | ResponseBody::NotFound => {
+                        // The sequential path owns redirect chasing and
+                        // not-found policy; the op keeps its t0.
+                        fallbacks.push((inf.op, inf.t0));
+                    }
+                }
+                true
+            }
+            Ok(_) | Err(_) => {
+                // Timeout, reset, garble or id desync: the stream's
+                // request/response pairing is gone, so the connection
+                // and every response still expected over it are lost.
+                self.counters.resets.inc();
+                self.conns[dest] = None;
+                self.stats.reconnects += 1;
+                fallbacks.push((inf.op, inf.t0));
+                fallbacks.extend(window.drain(..).map(|r| (r.op, r.t0)));
+                false
+            }
+        }
+    }
+
+    /// Drains the whole window (stops early if the connection dies —
+    /// the remainder is in `fallbacks`).
+    fn drain_window(
+        &mut self,
+        dest: usize,
+        window: &mut VecDeque<Inflight>,
+        fallbacks: &mut Vec<(Operation, Instant)>,
+        hist: &Histogram,
+        op_latency: &Histogram,
+    ) {
+        while !window.is_empty() {
+            if !self.drain_one(dest, window, fallbacks, hist, op_latency) {
+                break;
+            }
+        }
+    }
+
+    /// The pipelined worker body (`pipeline > 1`): closed loop bursts
+    /// windows of up to `pipeline` consecutive same-destination ops in
+    /// one buffered write and drains the responses in order; open loop
+    /// releases each request on its schedule and only blocks once
+    /// `pipeline` are outstanding. Latency is per-op from that op's
+    /// send / scheduled-send time. Anything that cannot complete on the
+    /// fast path (redirect, not-found, transport error, unreachable
+    /// server) finishes on the sequential retry path with its original
+    /// t0.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pipelined(
+        &mut self,
+        ops: &[Operation],
+        w: usize,
+        stride: usize,
+        pipeline: usize,
+        interval: Option<Duration>,
+        started: Instant,
+        hist: &Histogram,
+        op_latency: &Histogram,
+    ) {
+        let mut fallbacks: Vec<(Operation, Instant)> = Vec::new();
+        let mut window: VecDeque<Inflight> = VecDeque::new();
+        if let Some(iv) = interval {
+            let mut cur_dest: Option<usize> = None;
+            let mut k = 0u32;
+            let mut i = w;
+            while i < ops.len() {
+                let op = ops[i];
+                i += stride;
+                let scheduled = started + iv * k;
+                k += 1;
+                let dest = self.route(op);
+                if let Some(d) = cur_dest {
+                    if d != dest {
+                        // Responses are drained per connection; switch
+                        // destinations only with an empty window.
+                        self.drain_window(d, &mut window, &mut fallbacks, hist, op_latency);
+                    }
+                }
+                cur_dest = Some(dest);
+                while window.len() >= pipeline {
+                    if !self.drain_one(dest, &mut window, &mut fallbacks, hist, op_latency) {
+                        break;
+                    }
+                }
+                let now = Instant::now();
+                if scheduled > now {
+                    std::thread::sleep(scheduled - now);
+                }
+                self.stats.attempted += 1;
+                if self.ensure_conn(dest) {
+                    let req = self.next_request(op);
+                    self.counters.frames.inc();
+                    let sent = self.conns[dest]
+                        .as_mut()
+                        .expect("just ensured")
+                        .send_batch(std::slice::from_ref(&req));
+                    if sent.is_ok() {
+                        window.push_back(Inflight {
+                            op,
+                            id: req.id,
+                            t0: scheduled,
+                        });
+                    } else {
+                        self.counters.resets.inc();
+                        self.conns[dest] = None;
+                        self.stats.reconnects += 1;
+                        fallbacks.push((op, scheduled));
+                    }
+                } else {
+                    fallbacks.push((op, scheduled));
+                }
+                self.finish_fallbacks(&mut fallbacks, hist, op_latency);
+            }
+            if let Some(d) = cur_dest {
+                self.drain_window(d, &mut window, &mut fallbacks, hist, op_latency);
+            }
+        } else {
+            let mut i = w;
+            while i < ops.len() {
+                let first = ops[i];
+                i += stride;
+                let dest = self.route(first);
+                let mut batch = vec![first];
+                while batch.len() < pipeline && i < ops.len() {
+                    let op = ops[i];
+                    if self.route(op) != dest {
+                        break;
+                    }
+                    batch.push(op);
+                    i += stride;
+                }
+                self.stats.attempted += batch.len() as u64;
+                if self.ensure_conn(dest) {
+                    let reqs: Vec<Request> =
+                        batch.iter().map(|&op| self.next_request(op)).collect();
+                    let t0 = Instant::now();
+                    self.counters.frames.add(reqs.len() as u64);
+                    let sent = self.conns[dest]
+                        .as_mut()
+                        .expect("just ensured")
+                        .send_batch(&reqs);
+                    if sent.is_ok() {
+                        for (&op, req) in batch.iter().zip(&reqs) {
+                            window.push_back(Inflight { op, id: req.id, t0 });
+                        }
+                        self.drain_window(dest, &mut window, &mut fallbacks, hist, op_latency);
+                    } else {
+                        self.counters.resets.inc();
+                        self.conns[dest] = None;
+                        self.stats.reconnects += 1;
+                        fallbacks.extend(batch.into_iter().map(|op| (op, t0)));
+                    }
+                } else {
+                    let now = Instant::now();
+                    fallbacks.extend(batch.into_iter().map(|op| (op, now)));
+                }
+                self.finish_fallbacks(&mut fallbacks, hist, op_latency);
+            }
+        }
+        self.finish_fallbacks(&mut fallbacks, hist, op_latency);
     }
 
     fn execute(&mut self, op: Operation) -> Result<Response, ClientError> {
@@ -1304,6 +1796,7 @@ pub fn run_load(
 ) -> LoadReport {
     assert!(!cfg.addrs.is_empty(), "load needs at least one server");
     assert!(cfg.conns >= 1, "load needs at least one connection");
+    assert!(cfg.pipeline >= 1, "pipeline depth must be at least 1");
     assert!(
         cfg.ops == 0 || !trace.is_empty(),
         "load needs a non-empty trace"
@@ -1349,6 +1842,19 @@ pub fn run_load(
                         // can never pair with another worker's request.
                         next_id: (w as u64) << 48 | 1,
                     };
+                    if cfg.pipeline > 1 {
+                        worker.run_pipelined(
+                            ops,
+                            w,
+                            cfg.conns,
+                            cfg.pipeline,
+                            interval,
+                            started,
+                            hist,
+                            &op_latency,
+                        );
+                        return worker.stats;
+                    }
                     let mut k = 0u32;
                     let mut i = w;
                     while i < ops.len() {
@@ -1366,27 +1872,8 @@ pub fn run_load(
                         };
                         k += 1;
                         worker.stats.attempted += 1;
-                        match worker.execute(op) {
-                            Ok(_) => {
-                                let us = t0.elapsed().as_micros() as u64;
-                                hist.record(us);
-                                op_latency.record(us);
-                                worker.stats.completed += 1;
-                            }
-                            Err(e) => {
-                                worker.stats.errors += 1;
-                                match e {
-                                    ClientError::Timeout { .. } => worker.stats.timeouts += 1,
-                                    ClientError::RetriesExhausted { .. } => {
-                                        worker.stats.retries_exhausted += 1;
-                                    }
-                                    ClientError::DeadlineExceeded { .. } => {
-                                        worker.stats.deadline_exceeded += 1;
-                                    }
-                                    ClientError::NotFound => worker.stats.not_found += 1,
-                                }
-                            }
-                        }
+                        let result = worker.execute(op);
+                        worker.account(&result, t0, hist, &op_latency);
                         i += cfg.conns;
                     }
                     worker.stats
@@ -1643,5 +2130,232 @@ mod tests {
         let stats = server.shutdown();
         assert_eq!(stats.decode_errors, 1);
         assert_eq!(stats.conns, 2);
+    }
+
+    /// A reader that returns each predefined chunk in one `read` call —
+    /// models a TCP stack delivering bytes at arbitrary boundaries.
+    struct ChunkReader {
+        chunks: Vec<Vec<u8>>,
+        pos: usize,
+    }
+
+    impl Read for ChunkReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let Some(chunk) = self.chunks.get(self.pos) else {
+                return Ok(0);
+            };
+            assert!(buf.len() >= chunk.len(), "test chunks fit the scratch");
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.pos += 1;
+            Ok(chunk.len())
+        }
+    }
+
+    /// Property sweep for the batch drain: three back-to-back frames (a
+    /// pipelined client's burst) split at *every* byte boundary must
+    /// reassemble to exactly those frames, in order, regardless of how
+    /// the cut lands relative to length prefixes and bodies.
+    #[test]
+    fn frame_reader_drains_pipelined_frames_split_at_every_boundary() {
+        let frames = [
+            request_frame(1, 0),
+            request_frame(2, 7),
+            request_frame(3, 9),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(f);
+        }
+        for cut in 0..=stream.len() {
+            let chunks: Vec<Vec<u8>> = [&stream[..cut], &stream[cut..]]
+                .iter()
+                .filter(|c| !c.is_empty())
+                .map(|c| c.to_vec())
+                .collect();
+            let mut reader = FrameReader::new(ChunkReader { chunks, pos: 0 }, MAX_FRAME_BYTES);
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            let mut batches = Vec::new();
+            loop {
+                let mut out = Vec::new();
+                let n = reader.next_frames(&mut out).expect("no error in sweep");
+                if n == 0 {
+                    break;
+                }
+                batches.push(n);
+                got.extend(out.iter().map(|b| b.to_vec()));
+            }
+            assert_eq!(got, frames.to_vec(), "cut at byte {cut}");
+            // A cut mid-stream yields at most one batch per chunk.
+            assert!(batches.len() <= 2, "cut at byte {cut}: {batches:?}");
+            assert_eq!(batches.iter().sum::<usize>(), 3, "cut at byte {cut}");
+        }
+    }
+
+    /// Same sweep with the final frame truncated: every complete frame
+    /// ahead of the tear is delivered, then the reader reports
+    /// `UnexpectedEof` — never a silent drop, never a hang.
+    #[test]
+    fn frame_reader_truncated_final_frame_yields_prefix_then_eof_error() {
+        let frames = [
+            request_frame(4, 1),
+            request_frame(5, 2),
+            request_frame(6, 3),
+        ];
+        let mut stream = Vec::new();
+        for f in &frames {
+            stream.extend_from_slice(f);
+        }
+        let whole = frames.iter().map(Vec::len).sum::<usize>();
+        for tear in (whole - frames[2].len() + 1)..whole {
+            let mut reader = FrameReader::new(
+                OneByteReader {
+                    data: stream[..tear].to_vec(),
+                    pos: 0,
+                },
+                MAX_FRAME_BYTES,
+            );
+            let mut got: Vec<Vec<u8>> = Vec::new();
+            let err = loop {
+                let mut out = Vec::new();
+                match reader.next_frames(&mut out) {
+                    Ok(0) => panic!("tear at {tear}: clean EOF despite a partial frame"),
+                    Ok(_) => got.extend(out.iter().map(|b| b.to_vec())),
+                    Err(e) => break e,
+                }
+            };
+            assert_eq!(got, frames[..2].to_vec(), "tear at byte {tear}");
+            assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "tear at {tear}");
+        }
+    }
+
+    /// A pipelined window over a real socket: eight requests leave in
+    /// one buffered write, eight responses come back in request order.
+    #[test]
+    fn loopback_pipelined_window_roundtrips_in_order() {
+        let mut tree = NamespaceTree::new();
+        let sub = tree
+            .create(tree.root(), "s", NodeKind::Directory)
+            .expect("create");
+        let tree = Arc::new(tree);
+        let mut placement = Placement::new(&tree, 1);
+        for (id, _) in tree.nodes() {
+            placement.set(id, Assignment::Single(MdsId(0)));
+        }
+        let mut index = LocalIndex::new();
+        index.insert(tree.root(), MdsId(0));
+        let registry = Arc::new(Registry::new());
+        let mds = Arc::new(NetMds::new(
+            Arc::clone(&tree),
+            placement,
+            index,
+            MdsId(0),
+            registry,
+        ));
+        let server = NetServer::bind("127.0.0.1:0", Arc::clone(&mds), NetServerConfig::default())
+            .expect("bind");
+        let addr = server.local_addr().to_string();
+        let mut client = NetClient::connect(&addr, Duration::from_secs(2)).expect("connect");
+        let reqs: Vec<Request> = (0..8)
+            .map(|i| Request {
+                id: RequestId(100 + i),
+                kind: if i % 2 == 0 {
+                    OpKind::Read
+                } else {
+                    OpKind::Update
+                },
+                target: sub,
+                hops: 0,
+                trace: None,
+            })
+            .collect();
+        client.send_batch(&reqs).expect("one buffered write");
+        for req in &reqs {
+            let resp = client.recv().expect("in-order response");
+            assert_eq!(resp.id, req.id);
+            assert_eq!(resp.body, ResponseBody::Served { node: sub });
+        }
+        drop(client);
+        let stats = server.shutdown();
+        assert_eq!(mds.served(), 8);
+        assert!(
+            (1..=8).contains(&stats.batches),
+            "8 frames arrived in {} batch(es)",
+            stats.batches
+        );
+        assert_eq!(stats.frames, 16, "8 requests + 8 responses");
+    }
+
+    /// The group-commit contract of `serve_batch`: one batch of
+    /// mutations costs exactly one fsync (`wal_group_commits_total`
+    /// ticks once), a read-only batch costs none, and every journaled
+    /// record is on disk when the call returns.
+    #[test]
+    fn serve_batch_group_commits_once_per_mutating_batch() {
+        let dir = std::env::temp_dir().join(format!(
+            "d2tree-net-gc-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .expect("clock")
+                .as_nanos()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut tree = NamespaceTree::new();
+        let sub = tree
+            .create(tree.root(), "s", NodeKind::Directory)
+            .expect("create");
+        let tree = Arc::new(tree);
+        let mut placement = Placement::new(&tree, 1);
+        for (id, _) in tree.nodes() {
+            placement.set(id, Assignment::Single(MdsId(0)));
+        }
+        let mut index = LocalIndex::new();
+        index.insert(tree.root(), MdsId(0));
+        let registry = Arc::new(Registry::new());
+        let mds = NetMds::new(
+            Arc::clone(&tree),
+            placement,
+            index,
+            MdsId(0),
+            Arc::clone(&registry),
+        )
+        .with_store_root(&dir, StoreConfig::manual());
+        let commits = registry.counter(MetricKey::mds(names::WAL_GROUP_COMMITS_TOTAL, 0));
+        let commits_0 = commits.get();
+
+        let req = |i: u64, kind: OpKind| Request {
+            id: RequestId(i),
+            kind,
+            target: sub,
+            hops: 0,
+            trace: None,
+        };
+        // A batch that journals nothing (unassigned target → NotFound)
+        // must not fsync at all.
+        let miss = Request {
+            id: RequestId(1),
+            kind: OpKind::Read,
+            target: NodeId::from_index(9_999),
+            hops: 0,
+            trace: None,
+        };
+        let resps = mds.serve_batch(&[miss]);
+        assert_eq!(resps[0].body, ResponseBody::NotFound);
+        assert_eq!(commits.get(), commits_0, "nothing journaled, no fsync");
+        // Mutating batch: four updates (each journals an AttrCommit
+        // plus a Popularity record) share one group commit.
+        let lsn_before = mds.store_next_lsn().expect("store attached");
+        let batch: Vec<Request> = (10..14).map(|i| req(i, OpKind::Update)).collect();
+        let resps = mds.serve_batch(&batch);
+        assert!(resps
+            .iter()
+            .all(|r| matches!(r.body, ResponseBody::Served { .. })));
+        assert_eq!(commits.get(), commits_0 + 1, "one fsync for the batch");
+        let lsn_after = mds.store_next_lsn().expect("store attached");
+        assert!(
+            lsn_after >= lsn_before + 4,
+            "each update journaled at least its AttrCommit"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

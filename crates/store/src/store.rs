@@ -263,6 +263,25 @@ impl MdsStore {
     ///
     /// [`StoreError::Io`] if a policy-triggered sync or snapshot fails.
     pub fn append(&mut self, record: MdsRecord) -> StoreResult<()> {
+        self.append_inner(record, true)
+    }
+
+    /// [`append`](Self::append) minus the time/size sync policy: the
+    /// record is buffered and applied, but no sync happens here even if
+    /// the group buffer is full or the flush interval has elapsed. The
+    /// caller owns durability and must call [`sync`](Self::sync) (one
+    /// group-committed fsync for the whole batch) before acknowledging —
+    /// this is the batch-serving path's building block. The snapshot
+    /// trigger still fires (a snapshot syncs internally first).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Io`] if a triggered snapshot fails.
+    pub fn append_deferred(&mut self, record: MdsRecord) -> StoreResult<()> {
+        self.append_inner(record, false)
+    }
+
+    fn append_inner(&mut self, record: MdsRecord, policy_sync: bool) -> StoreResult<()> {
         let t0 = Instant::now();
         let (_, bytes) = self.wal.append(&record);
         self.state.apply(&record);
@@ -283,8 +302,10 @@ impl MdsStore {
                 );
             }
         }
-        if self.wal.pending_bytes() >= self.config.group_buffer_bytes
-            || u128::from(self.config.flush_interval_ms) <= self.last_sync.elapsed().as_millis()
+        if policy_sync
+            && (self.wal.pending_bytes() >= self.config.group_buffer_bytes
+                || u128::from(self.config.flush_interval_ms)
+                    <= self.last_sync.elapsed().as_millis())
         {
             self.sync()?;
         }
@@ -577,6 +598,57 @@ mod tests {
         assert_eq!(info.records_replayed, 50);
         assert_eq!(info.torn_bytes, 0);
         assert_eq!(store.state(), &expect, "bit-identical recovery");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `append_deferred` must ignore both the size and the time sync
+    /// triggers: with a 1-byte group buffer and a 0ms flush interval,
+    /// policy appends would sync on every record, yet deferred appends
+    /// keep everything buffered until the caller's explicit group commit.
+    #[test]
+    fn append_deferred_buffers_past_every_policy_trigger() {
+        let dir = tmp_dir("deferred");
+        let config = StoreConfig {
+            group_buffer_bytes: 1,
+            flush_interval_ms: 0,
+            ..StoreConfig::manual()
+        };
+        let (mut store, _) = MdsStore::open(&dir, config).unwrap();
+        for i in 0..10 {
+            store.append_deferred(rec(i)).unwrap();
+        }
+        assert!(
+            store.pending_bytes() > 0,
+            "no policy sync fired under deferred appends"
+        );
+        // Crash before the commit: nothing was durable.
+        let expect_after_commit = store.state().clone();
+        store.sync().unwrap();
+        drop(store);
+        let (store, info) = MdsStore::open(&dir, StoreConfig::manual()).unwrap();
+        assert_eq!(info.records_replayed, 10);
+        assert_eq!(store.state(), &expect_after_commit);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A crash between deferred appends and the group commit loses the
+    /// whole batch — exactly the not-yet-acknowledged window.
+    #[test]
+    fn crash_before_group_commit_loses_the_deferred_batch() {
+        let dir = tmp_dir("deferred-crash");
+        let (mut store, _) = MdsStore::open(&dir, StoreConfig::manual()).unwrap();
+        for i in 0..8 {
+            store.append(rec(i)).unwrap();
+        }
+        store.sync().unwrap();
+        let committed = store.state().clone();
+        for i in 8..16 {
+            store.append_deferred(rec(i)).unwrap();
+        }
+        store.simulate_crash(3).unwrap();
+        let (store, info) = MdsStore::open(&dir, StoreConfig::manual()).unwrap();
+        assert_eq!(info.records_replayed, 8);
+        assert_eq!(store.state(), &committed);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -399,7 +399,10 @@ mod tests {
             "net_frames_total",
             "net_decode_errors_total",
             "net_conn_resets_total",
+            "net_batches_total",
+            "wal_group_commits_total",
             "net_active_conns",
+            "net_batch_depth",
             "admin_scrapes_total",
             "admin_errors_total",
             "op_latency_us",
@@ -427,13 +430,15 @@ mod tests {
         let snap = r.snapshot();
         // Every canonical name is pre-registered: exports carry the
         // full vocabulary as zero-valued series even on a run that
-        // never touches a code path. 49 names as of the admin plane —
-        // the CI net-smoke scrape gate keys on this count too.
+        // never touches a code path. 52 names as of the batched serving
+        // path (net_batches_total, net_batch_depth,
+        // wal_group_commits_total) — the CI net-smoke scrape gate keys
+        // on this count too.
         assert_eq!(
             snap.counters.len() + snap.gauges.len() + snap.histograms.len(),
             EXPECTED.len()
         );
-        assert_eq!(EXPECTED.len(), 49, "export vocabulary changed size");
+        assert_eq!(EXPECTED.len(), 52, "export vocabulary changed size");
         let prom = super::prometheus_text(&snap);
         let json = super::json(&snap);
         for name in EXPECTED {

@@ -130,6 +130,16 @@ pub mod names {
     pub const NET_CONN_RESETS_TOTAL: &str = "net_conn_resets_total";
     /// TCP connections currently open against a serving daemon (gauge).
     pub const NET_ACTIVE_CONNS: &str = "net_active_conns";
+    /// Request batches served off TCP connections (one batch = every
+    /// complete frame drained from one read, served together).
+    pub const NET_BATCHES_TOTAL: &str = "net_batches_total";
+    /// Frames per served batch (histogram; mean > 1 means pipelined
+    /// clients are actually exercising the batch path).
+    pub const NET_BATCH_DEPTH: &str = "net_batch_depth";
+    /// Per-MDS WAL group commits on the serving path: batches whose
+    /// journalled mutations were made durable by one shared fsync before
+    /// their responses were written back.
+    pub const WAL_GROUP_COMMITS_TOTAL: &str = "wal_group_commits_total";
     /// Admin-plane requests answered (any endpoint, any status).
     pub const ADMIN_SCRAPES_TOTAL: &str = "admin_scrapes_total";
     /// Admin-plane requests rejected (garbled line, oversized path,
@@ -190,6 +200,8 @@ pub mod names {
             NET_FRAMES_TOTAL,
             NET_DECODE_ERRORS_TOTAL,
             NET_CONN_RESETS_TOTAL,
+            NET_BATCHES_TOTAL,
+            WAL_GROUP_COMMITS_TOTAL,
             ADMIN_SCRAPES_TOTAL,
             ADMIN_ERRORS_TOTAL,
         ];
@@ -208,6 +220,7 @@ pub mod names {
             SRV_LATENCY_US_UPDATE_OK,
             SRV_LATENCY_US_UPDATE_REDIRECT,
             SRV_LATENCY_US_UPDATE_ERROR,
+            NET_BATCH_DEPTH,
             REJOIN_FIRST_CLAIM_MS,
             WAL_APPEND_US,
             WAL_FSYNC_US,

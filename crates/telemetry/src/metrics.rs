@@ -723,8 +723,12 @@ mod tests {
             last_count = s.count;
             assert!(s.min <= s.max, "min {} > max {}", s.min, s.max);
             assert!(s.p50 <= s.p90 && s.p90 <= s.p99 && s.p99 <= s.p999);
-            for (label, q) in [("p50", s.p50), ("p90", s.p90), ("p99", s.p99), ("p999", s.p999)]
-            {
+            for (label, q) in [
+                ("p50", s.p50),
+                ("p90", s.p90),
+                ("p99", s.p99),
+                ("p999", s.p999),
+            ] {
                 assert!(
                     (s.min..=s.max).contains(&q),
                     "{label} {q} outside [{}, {}]",

@@ -103,6 +103,7 @@ fn load_cfg(addrs: Vec<String>, conns: usize, ops: usize) -> LoadConfig {
         timeout: Duration::from_secs(2),
         retry: RetryPolicy::default(),
         seed: 7,
+        pipeline: 1,
     }
 }
 

@@ -377,3 +377,94 @@ fn live_cluster_restart_recovers_from_disk() {
         let _ = fs::remove_dir_all(&store_root);
     }
 }
+
+/// The serving path's group-commit contract under a crash: a daemon that
+/// dies after buffering a batch's WAL records but before the group
+/// fsync loses exactly that batch — recovery replays the committed
+/// batches bit-for-bit and truncates the torn tail, never a record
+/// more, never a record less.
+#[test]
+fn serve_daemon_crash_mid_group_commit_recovers_the_committed_prefix() {
+    use d2tree::cluster::{NetMds, Request, RequestId, ResponseBody};
+    use d2tree::metrics::{Assignment, Placement};
+    use d2tree::namespace::{NamespaceTree, NodeKind};
+    use d2tree::telemetry::Registry;
+
+    let dir = tmp_dir("groupcommit");
+    let mut tree = NamespaceTree::new();
+    let sub = tree
+        .create(tree.root(), "s", NodeKind::Directory)
+        .expect("create");
+    let tree = Arc::new(tree);
+    let mut placement = Placement::new(&tree, 1);
+    for (id, _) in tree.nodes() {
+        placement.set(id, Assignment::Single(MdsId(0)));
+    }
+    let mut index = d2tree::core::LocalIndex::new();
+    index.insert(tree.root(), MdsId(0));
+    let registry = Arc::new(Registry::new());
+    let mds = NetMds::new(Arc::clone(&tree), placement, index, MdsId(0), registry)
+        .with_store_root(&dir, StoreConfig::manual());
+    let lsn0 = mds.store_next_lsn().expect("store attached");
+
+    let req = |i: u64| Request {
+        id: RequestId(i),
+        kind: OpKind::Update,
+        target: sub,
+        hops: 0,
+        trace: None,
+    };
+    // Three committed batches of three updates each: every
+    // `serve_batch` group-commits (fsyncs) before its responses would
+    // be acked, so all nine updates are durable.
+    let committed_updates = 9u64;
+    for b in 0..3u64 {
+        let batch: Vec<Request> = (0..3).map(|i| req(b * 3 + i)).collect();
+        let resps = mds.serve_batch(&batch);
+        assert!(resps
+            .iter()
+            .all(|r| matches!(r.body, ResponseBody::Served { .. })));
+    }
+    let committed_lsn = mds.store_next_lsn().expect("store attached");
+    assert!(committed_lsn > lsn0, "updates journal records");
+
+    // A fourth batch is served deferred — records buffered, no group
+    // commit yet — and the daemon dies with a torn write: only 3 bytes
+    // of the buffered tail reach the disk (a mid-record tear).
+    for i in 0..3u64 {
+        let resp = mds.serve_deferred(req(100 + i));
+        assert!(matches!(resp.body, ResponseBody::Served { .. }));
+    }
+    assert!(
+        mds.store_next_lsn().expect("store attached") > committed_lsn,
+        "the deferred tail was journaled in memory"
+    );
+    assert!(mds.simulate_store_crash(3), "store was attached");
+
+    // Recovery: the exact committed prefix, the torn tail truncated.
+    let (store, info) =
+        MdsStore::open(dir.join("mds-0"), StoreConfig::manual()).expect("reopen after crash");
+    assert_eq!(
+        info.next_lsn, committed_lsn,
+        "recovery ends exactly at the last group commit"
+    );
+    // `with_store_root` seeds the journal with the index's Ownership
+    // records before `lsn0` was captured, so the full recovered
+    // history is every record below `committed_lsn` (LSNs start at 0).
+    assert_eq!(
+        info.snapshot_lsn + info.records_replayed,
+        committed_lsn,
+        "every committed record is recovered"
+    );
+    assert!(info.torn_bytes > 0, "the torn tail bytes are truncated");
+    let attr = store
+        .state()
+        .attrs
+        .get(&(sub.index() as u64))
+        .expect("the updated node's attrs were recovered");
+    assert_eq!(
+        attr.version, committed_updates,
+        "attr state reflects the nine committed updates and none of the lost batch"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
